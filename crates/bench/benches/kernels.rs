@@ -1,0 +1,153 @@
+//! Criterion performance benchmarks of the kernels behind the paper's
+//! runtime claims: move evaluation (§4.2 quotes 160K move evaluations in
+//! 17 min on 15 threads), golden timing (40 min per full STA), LP solving
+//! and the routing/delay estimators.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use clk_cts::{Testcase, TestcaseKind};
+use clk_delay::{NetTiming, RcTree};
+use clk_geom::{Point, Rect};
+use clk_liberty::{CornerId, Library, StdCorners, WireRc};
+use clk_lp::{Problem, RowKind};
+use clk_netlist::Floorplan;
+use clk_route::{rsmt, single_trunk, WireTree};
+use clk_skewopt::predictor::move_features;
+use clk_skewopt::{enumerate_moves, MoveConfig};
+use clk_sta::Timer;
+
+fn pins(n: usize) -> (Point, Vec<Point>) {
+    let mut seed = 42u64;
+    let mut next = move || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((seed >> 33) % 80_000) as i64
+    };
+    let driver = Point::new(next(), next());
+    let pts = (0..n).map(|_| Point::new(next(), next())).collect();
+    (driver, pts)
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing");
+    g.sample_size(20);
+    let (d, p9) = pins(9);
+    g.bench_function("rsmt_9pins", |b| b.iter(|| rsmt(d, &p9)));
+    let (d, p30) = pins(30);
+    g.bench_function("rsmt_30pins_mst_mode", |b| b.iter(|| rsmt(d, &p30)));
+    g.bench_function("single_trunk_30pins", |b| b.iter(|| single_trunk(d, &p30)));
+    g.finish();
+}
+
+fn bench_delay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delay");
+    g.sample_size(20);
+    let mut wt = WireTree::new(Point::new(0, 0));
+    let mut prev = WireTree::ROOT;
+    for i in 1..=40 {
+        prev = wt.add_child(prev, Point::new(i * 10_000, (i % 7) * 3_000));
+    }
+    let rc = WireRc {
+        r_per_um: 2.0e-3,
+        c_per_um: 0.2,
+    };
+    g.bench_function("extract_golden_5um", |b| {
+        b.iter(|| RcTree::extract(&wt, rc, &[(prev, 3.0)], 5.0))
+    });
+    let fine = RcTree::extract(&wt, rc, &[(prev, 3.0)], 5.0);
+    g.bench_function("moments_d2m", |b| b.iter(|| NetTiming::analyze(&fine)));
+    g.finish();
+}
+
+fn bench_timer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("golden_timer");
+    g.sample_size(10);
+    let tc = Testcase::generate(TestcaseKind::Cls1v1, 64, 1);
+    let timer = Timer::golden();
+    g.bench_function("analyze_64sinks_1corner", |b| {
+        b.iter(|| timer.analyze(&tc.tree, &tc.lib, CornerId(0)))
+    });
+    g.bench_function("analyze_64sinks_3corners", |b| {
+        b.iter(|| timer.analyze_all(&tc.tree, &tc.lib))
+    });
+    g.finish();
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp");
+    g.sample_size(10);
+    // a dense-ish random LP of ~180 rows x 120 vars
+    let build = || {
+        let mut seed = 7u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut p = Problem::new();
+        let vars: Vec<_> = (0..120)
+            .map(|_| p.add_var(0.0, 1.0 + next(), next() - 0.5))
+            .collect();
+        for _ in 0..180 {
+            let mut terms = Vec::new();
+            for &v in &vars {
+                if next() < 0.12 {
+                    terms.push((v, next() - 0.3));
+                }
+            }
+            let rhs = 1.0 + 2.0 * next();
+            p.add_row(RowKind::Le, rhs, &terms);
+        }
+        p
+    };
+    let p = build();
+    g.bench_function("simplex_180x120", |b| {
+        b.iter_batched(|| p.clone(), |p| clk_lp::solve(&p), BatchSize::SmallInput)
+    });
+    g.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictor");
+    g.sample_size(10);
+    let tc = Testcase::generate(TestcaseKind::Cls1v1, 48, 2);
+    let timing = Timer::golden().analyze(&tc.tree, &tc.lib, CornerId(0));
+    let mcfg = MoveConfig::default();
+    let moves = enumerate_moves(&tc.tree, &tc.lib, &mcfg, None);
+    let mv = moves[moves.len() / 2];
+    g.bench_function("move_features_one_corner", |b| {
+        b.iter(|| move_features(&tc.tree, &tc.lib, CornerId(0), &timing, &mv, &mcfg))
+    });
+    g.finish();
+}
+
+fn bench_infra(c: &mut Criterion) {
+    let mut g = c.benchmark_group("infra");
+    g.sample_size(30);
+    let lib = Library::synthetic_28nm(StdCorners::all());
+    g.bench_function("library_characterize", |b| {
+        b.iter(|| Library::synthetic_28nm(StdCorners::all()))
+    });
+    let x4 = lib.cell_by_name("CLKINV_X4").unwrap();
+    g.bench_function("nldm_lookup", |b| {
+        b.iter(|| lib.gate_delay(x4, CornerId(1), 23.0, 9.5))
+    });
+    let fp = Floorplan::utilized(Rect::from_um(0.0, 0.0, 1820.0, 1820.0), vec![]);
+    g.bench_function("legalize", |b| {
+        b.iter(|| fp.legalize(Point::new(123_456, 777_777)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_routing,
+    bench_delay,
+    bench_timer,
+    bench_lp,
+    bench_predictor,
+    bench_infra
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Fig. 2: stage-delay ratios between corner pairs (c1, c0) and (c2, c0)
+//! as functions of stage delay per unit distance at c0, with the fitted
+//! polynomial W_min / W_max feasibility bounds (red curves of the paper).
+
+use clk_liberty::{CornerId, Library, StdCorners};
+use clk_skewopt::lut::{fit_ratio_bounds, ratio_scatter, StageLuts};
+
+fn main() {
+    let lib = Library::synthetic_28nm(StdCorners::all());
+    println!("characterizing stage LUTs (5 sizes x 39 spacings x 4 corners)...");
+    let luts = StageLuts::characterize(&lib);
+
+    for (k, label) in [(CornerId(1), "c1/c0"), (CornerId(2), "c2/c0")] {
+        let scatter = ratio_scatter(&luts, k, CornerId(0));
+        let bounds = fit_ratio_bounds(&scatter, 0.03);
+        println!("\n=== delay ratio {label} vs stage delay per um at c0 ===");
+        println!(
+            "W_min poly (low->high power): {:?}",
+            rounded(bounds.poly_lo())
+        );
+        println!(
+            "W_max poly (low->high power): {:?}",
+            rounded(bounds.poly_hi())
+        );
+        // bin the scatter for a compact view
+        let xs: Vec<f64> = scatter.iter().map(|p| p.0).collect();
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{:>12} {:>8} {:>8} {:>8} | {:>8} {:>8}",
+            "x (ps/um)", "points", "min r", "max r", "W_min", "W_max"
+        );
+        let n_bins = 8;
+        for b in 0..n_bins {
+            let a = lo + (hi - lo) * b as f64 / n_bins as f64;
+            let z = lo + (hi - lo) * (b + 1) as f64 / n_bins as f64;
+            let in_bin: Vec<f64> = scatter
+                .iter()
+                .filter(|p| p.0 >= a && (p.0 < z || b == n_bins - 1))
+                .map(|p| p.1)
+                .collect();
+            if in_bin.is_empty() {
+                continue;
+            }
+            let rmin = in_bin.iter().copied().fold(f64::INFINITY, f64::min);
+            let rmax = in_bin.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let (wlo, whi) = bounds.bounds(0.5 * (a + z));
+            println!(
+                "{:>12} {:>8} {:>8.3} {:>8.3} | {:>8.3} {:>8.3}",
+                format!("{a:.2}-{z:.2}"),
+                in_bin.len(),
+                rmin,
+                rmax,
+                wlo,
+                whi
+            );
+        }
+        let mean: f64 = scatter.iter().map(|p| p.1).sum::<f64>() / scatter.len() as f64;
+        println!(
+            "mean ratio {label}: {mean:.3}  ({} scatter points)",
+            scatter.len()
+        );
+    }
+    println!("\npaper: c1/c0 sits well above 1, c2/c0 well below 1; any ratio outside");
+    println!("the corridor is unreachable with the available buffer-insertion solutions");
+}
+
+fn rounded(p: &[f64]) -> Vec<f64> {
+    p.iter().map(|c| (c * 1e4).round() / 1e4).collect()
+}

@@ -1,0 +1,98 @@
+//! Fig. 5: predicted vs actual latency changes of the delta-latency model
+//! and the percentage-error histogram at the hold corner, plus the
+//! across-corner error summary the paper quotes (≈2.8% average error,
+//! extremes ≈ +22% / −16%).
+
+use clk_bench::{ascii_histogram, ExpArgs};
+use clk_liberty::{CornerId, Library, StdCorners};
+use clk_skewopt::predictor::{build_dataset, CornerData, Dataset};
+use clk_skewopt::{DeltaLatencyModel, ModelKind, TrainConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+    let cfg = TrainConfig {
+        n_cases: if args.quick { 12 } else { 150 },
+        seed: args.seed.wrapping_mul(7919).wrapping_add(11),
+        ..TrainConfig::default()
+    };
+    println!("building dataset ({} artificial testcases)...", cfg.n_cases);
+    let ds = build_dataset(&lib, &cfg);
+
+    // 80/20 split, train HSM, evaluate held-out
+    let split: Vec<(CornerData, CornerData)> = ds
+        .per_corner
+        .iter()
+        .map(|cd| {
+            let cut = cd.x.len() * 4 / 5;
+            (
+                CornerData {
+                    x: cd.x[..cut].to_vec(),
+                    y: cd.y[..cut].to_vec(),
+                    lat: cd.lat[..cut].to_vec(),
+                },
+                CornerData {
+                    x: cd.x[cut..].to_vec(),
+                    y: cd.y[cut..].to_vec(),
+                    lat: cd.lat[cut..].to_vec(),
+                },
+            )
+        })
+        .collect();
+    let train = Dataset {
+        per_corner: split.iter().map(|(t, _)| t.clone()).collect(),
+    };
+    let model = DeltaLatencyModel::fit(&train, ModelKind::Hsm, &cfg);
+
+    // The paper plots corner c3: in the CLS1 library that is index 2.
+    let hold = CornerId(2);
+    // Fig. 5 plots *latencies* reconstructed from predicted deltas:
+    // predicted latency = baseline latency + predicted delta.
+    let (_, test) = &split[hold.0];
+    println!(
+        "\n(a) predicted vs actual post-move latency at {} (held-out moves):",
+        lib.corner(hold).name
+    );
+    println!("{:>12} {:>12}", "actual(ps)", "predicted(ps)");
+    for ((x, y), lat) in test.x.iter().zip(&test.y).zip(&test.lat).take(24) {
+        println!("{:>12.2} {:>12.2}", lat + y, lat + model.predict(hold, x));
+    }
+    if test.x.len() > 24 {
+        println!("... ({} more)", test.x.len() - 24);
+    }
+
+    let pct_errors = |k: usize, test: &CornerData| -> Vec<f64> {
+        test.x
+            .iter()
+            .zip(&test.y)
+            .zip(&test.lat)
+            .map(|((x, y), lat)| 100.0 * (model.predict(CornerId(k), x) - y) / (lat + y))
+            .collect()
+    };
+    let pct = pct_errors(hold.0, test);
+    println!(
+        "\n(b) latency percentage-error histogram at {}:",
+        lib.corner(hold).name
+    );
+    print!("{}", ascii_histogram(&pct, 9, 40));
+
+    println!("\nacross-corner summary (held-out):");
+    let mut all_abs = Vec::new();
+    for (k, (_, test)) in split.iter().enumerate() {
+        let errs = pct_errors(k, test);
+        if errs.is_empty() {
+            continue;
+        }
+        let mean_abs = errs.iter().map(|e| e.abs()).sum::<f64>() / errs.len() as f64;
+        let max = errs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = errs.iter().copied().fold(f64::INFINITY, f64::min);
+        println!(
+            "  {}: mean |err| {mean_abs:.2}%, max {max:+.2}%, min {min:+.2}%  ({} samples)",
+            lib.corner(CornerId(k)).name,
+            errs.len()
+        );
+        all_abs.extend(errs.iter().map(|e| e.abs()));
+    }
+    let overall = all_abs.iter().sum::<f64>() / all_abs.len().max(1) as f64;
+    println!("  overall mean |err|: {overall:.2}%   (paper: 2.8% avg, extremes +21.98/-16.21%)");
+}

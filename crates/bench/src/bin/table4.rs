@@ -1,0 +1,90 @@
+//! Table 4: summary of testcases (#Cells, #Flip-flops, Area, Util,
+//! Corners) for the scaled CLS1v1 / CLS1v2 / CLS2v1 generators, plus an
+//! optional `--floorplan` ASCII rendering of Fig. 7.
+
+use clk_bench::ExpArgs;
+use clk_cts::{Testcase, TestcaseKind};
+use clk_geom::Rect;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let n = args.sinks.unwrap_or(if args.quick { 48 } else { 120 });
+    let show_fp = std::env::args().any(|a| a == "--floorplan");
+
+    println!("Table 4: Summary of testcases (scaled; paper sizes in parentheses)");
+    println!(
+        "{:<10} {:>8} {:>12} {:>10} {:>6}  {}",
+        "Testcase", "#Cells", "#Flip-flops", "Area", "Util", "Corners"
+    );
+    for (kind, paper) in [
+        (TestcaseKind::Cls1v1, ("0.4M", "36K", "3.3mm2", "62%")),
+        (TestcaseKind::Cls1v2, ("0.4M", "35K", "3.4mm2", "60%")),
+        (TestcaseKind::Cls2v1, ("1.79M", "270K", "4.5mm2", "58%")),
+    ] {
+        let tc = Testcase::generate(kind, n, args.seed);
+        let corners: Vec<&str> = tc.lib.corners().iter().map(|c| c.name.as_str()).collect();
+        println!(
+            "{:<10} {:>8} {:>12} {:>10} {:>6}  {}",
+            kind.name(),
+            format!("{} ({})", tc.equiv_cells, paper.0),
+            format!("{} ({})", tc.tree.sinks().count(), paper.1),
+            format!("{:.1}mm2 ({})", tc.area_mm2(), paper.2),
+            format!("{:.0}% ({})", 100.0 * kind.utilization(), paper.3),
+            corners.join(", "),
+        );
+        if show_fp {
+            println!("{}", render_floorplan(&tc));
+        }
+    }
+}
+
+/// Fig. 7-style ASCII floorplan: die outline, blockages (#), sinks (.),
+/// clock cells (+).
+fn render_floorplan(tc: &Testcase) -> String {
+    let die = tc.floorplan.die;
+    let (w, h) = (64usize, 28usize);
+    let mut grid = vec![vec![' '; w]; h];
+    let cell_of = |r: Rect, x: usize, y: usize| -> Rect {
+        let _ = (r, x, y);
+        r
+    };
+    let _ = cell_of;
+    let to_cell = |p: clk_geom::Point| -> (usize, usize) {
+        let cx = ((p.x - die.lo.x) as f64 / die.width() as f64 * (w - 1) as f64) as usize;
+        let cy = ((p.y - die.lo.y) as f64 / die.height() as f64 * (h - 1) as f64) as usize;
+        (cx.min(w - 1), (h - 1) - cy.min(h - 1))
+    };
+    for b in &tc.floorplan.blockages {
+        for gy in 0..h {
+            for gx in 0..w {
+                let p = clk_geom::Point::new(
+                    die.lo.x + (gx as i64 * die.width()) / (w as i64 - 1),
+                    die.lo.y + ((h - 1 - gy) as i64 * die.height()) / (h as i64 - 1),
+                );
+                if b.contains(p) {
+                    grid[gy][gx] = '#';
+                }
+            }
+        }
+    }
+    for s in tc.tree.sinks().collect::<Vec<_>>() {
+        let (x, y) = to_cell(tc.tree.loc(s));
+        grid[y][x] = '.';
+    }
+    for b in tc.tree.buffers().collect::<Vec<_>>() {
+        let (x, y) = to_cell(tc.tree.loc(b));
+        grid[y][x] = '+';
+    }
+    let mut out = String::new();
+    out.push_str(&format!("+{}+\n", "-".repeat(w)));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "+{}+  (. sink, + clock cell, # blockage)\n",
+        "-".repeat(w)
+    ));
+    out
+}

@@ -1,0 +1,288 @@
+//! End-to-end flows (`global`, `local`, `global-local`) and the Table-5
+//! report.
+
+use clk_netlist::{ClockTree, TreeStats};
+use clk_sta::{alpha_factors, clock_power, local_skew_ps, pair_skews, variation_report, Timer};
+
+use clk_cts::Testcase;
+
+use crate::global::{global_optimize_guarded, GlobalConfig, GlobalReport};
+use crate::local::{local_optimize_guarded, LocalConfig, LocalReport, Ranker};
+use crate::lut::StageLuts;
+use crate::predictor::{DeltaLatencyModel, ModelKind, TrainConfig};
+
+/// Which optimization flow to run (the three rows per testcase of
+/// Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flow {
+    /// LP-guided global optimization only.
+    Global,
+    /// ML-guided local iterative optimization only.
+    Local,
+    /// Global, then local on the global result (the paper's headline
+    /// flow).
+    GlobalLocal,
+}
+
+impl std::fmt::Display for Flow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Flow::Global => "global",
+            Flow::Local => "local",
+            Flow::GlobalLocal => "global-local",
+        })
+    }
+}
+
+/// Flow-level configuration.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Global-phase knobs.
+    pub global: GlobalConfig,
+    /// Local-phase knobs.
+    pub local: LocalConfig,
+    /// Predictor training (used by local flows).
+    pub train: TrainConfig,
+    /// Which learner the local phase uses.
+    pub model_kind: ModelKind,
+    /// Clock frequency for the power report, GHz.
+    pub freq_ghz: f64,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            global: GlobalConfig::default(),
+            local: LocalConfig::default(),
+            train: TrainConfig::default(),
+            model_kind: ModelKind::Hsm,
+            freq_ghz: 1.0,
+        }
+    }
+}
+
+/// The Table-5 row: metric deltas of one flow on one testcase.
+#[derive(Debug, Clone)]
+pub struct OptReport {
+    /// Flow that produced this report.
+    pub flow: Flow,
+    /// Σ variation before, ps (normalized column of Table 5).
+    pub variation_before: f64,
+    /// Σ variation after, ps.
+    pub variation_after: f64,
+    /// Local skew per corner before, ps.
+    pub local_skew_before: Vec<f64>,
+    /// Local skew per corner after, ps.
+    pub local_skew_after: Vec<f64>,
+    /// Clock cells before.
+    pub cells_before: usize,
+    /// Clock cells after.
+    pub cells_after: usize,
+    /// Clock-tree power before (corner 0), mW.
+    pub power_before_mw: f64,
+    /// Clock-tree power after, mW.
+    pub power_after_mw: f64,
+    /// Clock-cell area before, µm².
+    pub area_before_um2: f64,
+    /// Clock-cell area after, µm².
+    pub area_after_um2: f64,
+    /// The optimized tree.
+    pub tree: ClockTree,
+    /// Global-phase details when the flow ran it.
+    pub global_report: Option<GlobalReport>,
+    /// Local-phase details when the flow ran it.
+    pub local_report: Option<LocalReport>,
+}
+
+impl OptReport {
+    /// `after / before` of the variation sum (the `[norm]` column).
+    pub fn variation_ratio(&self) -> f64 {
+        if self.variation_before <= 0.0 {
+            1.0
+        } else {
+            self.variation_after / self.variation_before
+        }
+    }
+}
+
+/// Runs `flow` on the testcase, characterizing LUTs and training the
+/// predictor as needed. For repeated runs share them via
+/// [`optimize_with`].
+pub fn optimize(tc: &Testcase, flow: Flow, cfg: &FlowConfig) -> OptReport {
+    let luts =
+        matches!(flow, Flow::Global | Flow::GlobalLocal).then(|| StageLuts::characterize(&tc.lib));
+    let model = matches!(flow, Flow::Local | Flow::GlobalLocal)
+        .then(|| DeltaLatencyModel::train(&tc.lib, cfg.model_kind, &cfg.train));
+    optimize_with(tc, flow, cfg, luts.as_ref(), model.as_ref())
+}
+
+/// Runs `flow` with pre-characterized LUTs / a pre-trained model (both
+/// are per-technology artifacts the paper reuses across designs).
+///
+/// # Panics
+///
+/// Panics if the flow needs an artifact that was not provided.
+pub fn optimize_with(
+    tc: &Testcase,
+    flow: Flow,
+    cfg: &FlowConfig,
+    luts: Option<&StageLuts>,
+    model: Option<&DeltaLatencyModel>,
+) -> OptReport {
+    let lib = &tc.lib;
+    let timer = Timer::golden();
+    let skews0: Vec<Vec<f64>> = timer
+        .analyze_all(&tc.tree, lib)
+        .iter()
+        .map(|t| pair_skews(t, tc.tree.sink_pairs()))
+        .collect();
+    let alphas = alpha_factors(&skews0);
+    let variation_before = variation_report(&skews0, &alphas, None).sum;
+    let local_skew_before: Vec<f64> = skews0.iter().map(|s| local_skew_ps(s)).collect();
+    let stats0 = TreeStats::compute(&tc.tree, lib);
+    let power_before = clock_power(
+        &tc.tree,
+        lib,
+        &timer.analyze(&tc.tree, lib, clk_liberty::CornerId(0)),
+        cfg.freq_ghz,
+    );
+
+    let mut tree = tc.tree.clone();
+    let mut global_report = None;
+    let mut local_report = None;
+    if matches!(flow, Flow::Global | Flow::GlobalLocal) {
+        let luts = luts.expect("global flows need characterized stage LUTs");
+        let (opt, rep) = global_optimize_guarded(
+            &tree,
+            lib,
+            &tc.floorplan,
+            luts,
+            &cfg.global,
+            Some(&local_skew_before),
+        );
+        tree = opt;
+        global_report = Some(rep);
+    }
+    if matches!(flow, Flow::Local | Flow::GlobalLocal) {
+        let model = model.expect("local flows need a trained predictor");
+        let rep = local_optimize_guarded(
+            &mut tree,
+            lib,
+            &tc.floorplan,
+            Ranker::Ml(model),
+            &cfg.local,
+            Some(&local_skew_before),
+        );
+        local_report = Some(rep);
+    }
+
+    let skews1: Vec<Vec<f64>> = timer
+        .analyze_all(&tree, lib)
+        .iter()
+        .map(|t| pair_skews(t, tree.sink_pairs()))
+        .collect();
+    let variation_after = variation_report(&skews1, &alphas, None).sum;
+    let local_skew_after: Vec<f64> = skews1.iter().map(|s| local_skew_ps(s)).collect();
+    let stats1 = TreeStats::compute(&tree, lib);
+    let power_after = clock_power(
+        &tree,
+        lib,
+        &timer.analyze(&tree, lib, clk_liberty::CornerId(0)),
+        cfg.freq_ghz,
+    );
+
+    OptReport {
+        flow,
+        variation_before,
+        variation_after,
+        local_skew_before,
+        local_skew_after,
+        cells_before: stats0.n_buffers,
+        cells_after: stats1.n_buffers,
+        power_before_mw: power_before.total_mw(),
+        power_after_mw: power_after.total_mw(),
+        area_before_um2: stats0.buffer_area_um2,
+        area_after_um2: stats1.buffer_area_um2,
+        tree,
+        global_report,
+        local_report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clk_cts::TestcaseKind;
+    use clk_ml::MlpConfig;
+
+    fn quick_cfg() -> FlowConfig {
+        FlowConfig {
+            global: GlobalConfig {
+                max_pairs: 30,
+                lambdas: vec![0.05, 0.3],
+                rounds: 1,
+                ..GlobalConfig::default()
+            },
+            local: LocalConfig {
+                max_iterations: 2,
+                max_batches: 1,
+                ..LocalConfig::default()
+            },
+            train: TrainConfig {
+                n_cases: 5,
+                moves_per_case: 8,
+                mlp: MlpConfig {
+                    epochs: 30,
+                    ..MlpConfig::default()
+                },
+                ..TrainConfig::default()
+            },
+            ..FlowConfig::default()
+        }
+    }
+
+    #[test]
+    fn global_local_flow_improves_and_reports() {
+        let tc = clk_cts::Testcase::generate(TestcaseKind::Cls1v1, 40, 31);
+        let report = optimize(&tc, Flow::GlobalLocal, &quick_cfg());
+        report.tree.validate().unwrap();
+        assert!(report.variation_ratio() <= 1.0);
+        assert!(report.global_report.is_some());
+        assert!(report.local_report.is_some());
+        assert_eq!(report.local_skew_before.len(), 3);
+        assert!(report.power_before_mw > 0.0);
+        assert!(report.cells_before > 0);
+        // cell-count overhead stays small (paper: ~1-2%)
+        assert!(
+            (report.cells_after as f64) < 1.35 * report.cells_before as f64,
+            "cells {} -> {}",
+            report.cells_before,
+            report.cells_after
+        );
+    }
+
+    #[test]
+    fn flow_names_are_stable() {
+        assert_eq!(Flow::Global.to_string(), "global");
+        assert_eq!(Flow::Local.to_string(), "local");
+        assert_eq!(Flow::GlobalLocal.to_string(), "global-local");
+    }
+
+    #[test]
+    fn pure_global_flow_needs_no_model() {
+        let tc = clk_cts::Testcase::generate(TestcaseKind::Cls1v1, 24, 33);
+        let luts = crate::lut::StageLuts::characterize(&tc.lib);
+        let report = optimize_with(&tc, Flow::Global, &quick_cfg(), Some(&luts), None);
+        assert!(report.local_report.is_none());
+        assert!(report.variation_ratio() <= 1.0 + 1e-9);
+        assert!(report.variation_ratio() > 0.0);
+    }
+
+    #[test]
+    fn pure_local_flow_runs() {
+        let tc = clk_cts::Testcase::generate(TestcaseKind::Cls1v1, 32, 32);
+        let report = optimize(&tc, Flow::Local, &quick_cfg());
+        assert!(report.global_report.is_none());
+        assert!(report.variation_ratio() <= 1.0);
+    }
+}

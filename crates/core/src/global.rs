@@ -1,0 +1,1123 @@
+//! Global optimization (paper §4.1): the LP of Eqs. (4)–(11) over per-arc
+//! delay changes, and the LP-guided ECO of Algorithm 1.
+//!
+//! The paper minimizes `Σ|Δ|` subject to `Σ V ≤ U` and sweeps the bound
+//! `U`. We solve the Lagrangian-equivalent scalarization
+//! `min Σ V + λ·Σ|Δ|` and sweep `λ` — the same Pareto frontier, but every
+//! sweep point starts feasible (`Δ = 0`), which keeps the in-tree simplex
+//! solver in its well-conditioned regime (DESIGN.md §4). Each sweep point
+//! is realized with the ECO engine and evaluated with the golden timer;
+//! the best realizable point wins, subject to the paper's constraints
+//! (7)–(8): no local-skew degradation at any corner.
+
+use std::collections::{HashMap, HashSet};
+
+use clk_liberty::{CellId, CornerId, Library};
+use clk_lp::{Problem, RowKind, Solution, VarId};
+use clk_netlist::{Arc, ArcId, ArcSet, ClockTree, Floorplan, NodeId, NodeKind, SinkPair};
+use clk_route::RoutePath;
+use clk_sta::{
+    alpha_factors, arc_delays_ps, local_skew_ps, pair_skews, variation_report, CornerTiming, Timer,
+};
+
+use crate::lut::{fit_ratio_bounds, ratio_scatter, RatioBounds, StageLuts};
+
+/// Global-optimization knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalConfig {
+    /// Optimize the `max_pairs` sink pairs with the largest current
+    /// variation (the paper optimizes the top-critical pairs).
+    pub max_pairs: usize,
+    /// Constraint (10) upper bound: `D + Δ ≤ β·D`.
+    pub beta: f64,
+    /// Constraint (9): `D_max` = this × current max latency per corner.
+    pub latency_slack: f64,
+    /// The λ sweep of the scalarized objective (ascending; small λ pushes
+    /// harder on variation at the cost of more ECO delay change).
+    pub lambdas: Vec<f64>,
+    /// Arcs whose worst-corner |Δ| is below this are left untouched, ps.
+    pub delta_threshold_ps: f64,
+    /// Longest permitted U-shape detour per arc, µm.
+    pub max_detour_um: f64,
+    /// Widening margin of the Fig. 2 ratio corridor.
+    pub ratio_margin: f64,
+    /// Acceptance: local skew may not grow by more than this factor…
+    pub skew_guard_factor: f64,
+    /// …plus this absolute allowance, ps (ECO discreteness).
+    pub skew_guard_ps: f64,
+    /// Per-arc fidelity gate: a rebuild is kept when its realized delay
+    /// change is within `frac · ‖target‖₁ + abs` of the LP target (or the
+    /// variation sum improves outright).
+    pub fidelity_tol_frac: f64,
+    /// Absolute part of the fidelity gate, ps per corner.
+    pub fidelity_tol_ps: f64,
+    /// Weight of the ECO search's uncertainty penalty (per ps of
+    /// estimated configuration change).
+    pub eco_uncertainty_frac: f64,
+    /// Number of solve→ECO→re-time rounds (the framework is incremental;
+    /// each round re-targets the arcs the previous ECO realized
+    /// imperfectly).
+    pub rounds: usize,
+}
+
+impl Default for GlobalConfig {
+    fn default() -> Self {
+        GlobalConfig {
+            max_pairs: 120,
+            beta: 1.2,
+            latency_slack: 1.08,
+            lambdas: vec![0.02, 0.1, 0.4],
+            delta_threshold_ps: 0.8,
+            max_detour_um: 400.0,
+            ratio_margin: 0.05,
+            skew_guard_factor: 1.02,
+            skew_guard_ps: 2.0,
+            fidelity_tol_frac: 0.5,
+            fidelity_tol_ps: 2.0,
+            eco_uncertainty_frac: 0.25,
+            rounds: 3,
+        }
+    }
+}
+
+/// Outcome of one λ sweep point (diagnostics + the U-sweep curve).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The λ of this point.
+    pub lambda: f64,
+    /// LP objective value (`ΣV + λ·Σ|Δ|`).
+    pub lp_objective: f64,
+    /// Sum of |Δ| the LP asked for, ps.
+    pub lp_total_delta: f64,
+    /// Arcs the ECO rebuilt for this point.
+    pub arcs_changed: usize,
+    /// Golden variation sum after the trial ECO (None: LP failed or no
+    /// arc crossed the change threshold).
+    pub variation_after: Option<f64>,
+    /// Whether the point survived the local-skew guard and improved.
+    pub accepted: bool,
+}
+
+/// Outcome of the global optimization.
+#[derive(Debug, Clone)]
+pub struct GlobalReport {
+    /// Sum of normalized skew variation before, ps.
+    pub variation_before: f64,
+    /// Sum after the accepted ECO, ps.
+    pub variation_after: f64,
+    /// λ of the accepted sweep point (`None` when no point was accepted).
+    pub lambda_used: Option<f64>,
+    /// Arcs rebuilt by the accepted ECO.
+    pub arcs_changed: usize,
+    /// Simplex pivots spent across the sweep.
+    pub lp_iterations: usize,
+    /// Per-λ details of the sweep.
+    pub sweep: Vec<SweepPoint>,
+}
+
+/// Per-arc LP variables.
+struct ArcVars {
+    /// `(pos, neg)` per corner.
+    delta: Vec<(VarId, VarId)>,
+}
+
+/// Runs the global optimization and returns the optimized tree plus a
+/// report. The input tree is not modified.
+///
+/// Runs up to [`GlobalConfig::rounds`] solve→ECO→re-time rounds and stops
+/// early when a round yields < 0.2% additional reduction.
+pub fn global_optimize(
+    tree: &ClockTree,
+    lib: &Library,
+    fp: &Floorplan,
+    luts: &StageLuts,
+    cfg: &GlobalConfig,
+) -> (ClockTree, GlobalReport) {
+    global_optimize_guarded(tree, lib, fp, luts, cfg, None)
+}
+
+/// [`global_optimize`] with an explicit local-skew guard baseline
+/// (ps per corner). `None` computes the baseline from the input tree;
+/// flows pass the *original* tree's skews so that multi-phase guards do
+/// not compound.
+pub fn global_optimize_guarded(
+    tree: &ClockTree,
+    lib: &Library,
+    fp: &Floorplan,
+    luts: &StageLuts,
+    cfg: &GlobalConfig,
+    guard_baseline: Option<&[f64]>,
+) -> (ClockTree, GlobalReport) {
+    let mut current = tree.clone();
+    let mut total: Option<GlobalReport> = None;
+    for _round in 0..cfg.rounds.max(1) {
+        let (next, rep) = global_round(&current, lib, fp, luts, cfg, guard_baseline);
+        let gained = rep.variation_before - rep.variation_after;
+        let enough = gained > 0.002 * rep.variation_before;
+        match &mut total {
+            None => total = Some(rep),
+            Some(t) => {
+                t.variation_after = rep.variation_after;
+                t.arcs_changed += rep.arcs_changed;
+                t.lp_iterations += rep.lp_iterations;
+                t.sweep.extend(rep.sweep);
+                if t.lambda_used.is_none() {
+                    t.lambda_used = rep.lambda_used;
+                }
+            }
+        }
+        current = next;
+        if !enough {
+            break;
+        }
+    }
+    let report = total.expect("at least one round ran");
+    (current, report)
+}
+
+/// One solve→ECO→verify round of the global optimization.
+fn global_round(
+    tree: &ClockTree,
+    lib: &Library,
+    fp: &Floorplan,
+    luts: &StageLuts,
+    cfg: &GlobalConfig,
+    guard_baseline: Option<&[f64]>,
+) -> (ClockTree, GlobalReport) {
+    let timer = Timer::golden();
+    let timings: Vec<CornerTiming> = timer.analyze_all(tree, lib);
+    let arcs = ArcSet::extract(tree);
+    let arc_d: Vec<Vec<f64>> = timings
+        .iter()
+        .map(|t| arc_delays_ps(tree, &arcs, t))
+        .collect();
+    let n_corners = lib.corner_count();
+
+    // skews + alphas over *all* pairs (alphas are an input parameter fixed
+    // before optimization, per the paper)
+    let all_pairs = tree.sink_pairs().to_vec();
+    let per_corner_skews: Vec<Vec<f64>> =
+        timings.iter().map(|t| pair_skews(t, &all_pairs)).collect();
+    let alphas = alpha_factors(&per_corner_skews);
+    let before_report = variation_report(&per_corner_skews, &alphas, None);
+    let variation_before = before_report.sum;
+
+    // top-variation pair selection
+    let mut order: Vec<usize> = (0..all_pairs.len()).collect();
+    order.sort_by(|&a, &b| {
+        before_report.per_pair[b]
+            .partial_cmp(&before_report.per_pair[a])
+            .expect("finite variation")
+    });
+    order.truncate(cfg.max_pairs);
+    let sel_pairs: Vec<SinkPair> = order.iter().map(|&i| all_pairs[i]).collect();
+
+    // per-sink arc paths and the involved-arc set
+    let mut path_of: HashMap<NodeId, Vec<ArcId>> = HashMap::new();
+    let mut involved: HashSet<ArcId> = HashSet::new();
+    for p in &sel_pairs {
+        for s in [p.a, p.b] {
+            let path = path_of
+                .entry(s)
+                .or_insert_with(|| arcs.path_arcs(tree, s))
+                .clone();
+            involved.extend(path);
+        }
+    }
+    let involved: Vec<ArcId> = {
+        let mut v: Vec<ArcId> = involved.into_iter().collect();
+        v.sort_unstable();
+        v
+    };
+
+    // ratio corridors (k vs corner 0) once per run
+    let bounds: Vec<Option<RatioBounds>> = (0..n_corners)
+        .map(|k| {
+            (k != 0).then(|| {
+                fit_ratio_bounds(
+                    &ratio_scatter(luts, CornerId(k), CornerId(0)),
+                    cfg.ratio_margin,
+                )
+            })
+        })
+        .collect();
+
+    let mut best: Option<(ClockTree, f64, f64, usize)> = None;
+    let mut lp_iterations = 0usize;
+    let mut sweep = Vec::with_capacity(cfg.lambdas.len());
+    let before_local: Vec<f64> = match guard_baseline {
+        Some(b) => b.to_vec(),
+        None => per_corner_skews.iter().map(|s| local_skew_ps(s)).collect(),
+    };
+
+    for &lambda in &cfg.lambdas {
+        let mut point = SweepPoint {
+            lambda,
+            lp_objective: f64::NAN,
+            lp_total_delta: 0.0,
+            arcs_changed: 0,
+            variation_after: None,
+            accepted: false,
+        };
+        let Some((solution, vars)) = build_and_solve(
+            tree,
+            lib,
+            luts,
+            &arcs,
+            &arc_d,
+            &timings,
+            &sel_pairs,
+            &path_of,
+            &involved,
+            &alphas,
+            &bounds,
+            LpObjective::Scalarized(lambda),
+            cfg,
+        ) else {
+            sweep.push(point);
+            continue;
+        };
+        lp_iterations += solution.iterations;
+        point.lp_objective = solution.objective;
+        point.lp_total_delta = vars
+            .values()
+            .flat_map(|av| av.delta.iter())
+            .map(|&(p, n)| solution.value(p) + solution.value(n))
+            .sum();
+
+        // realize with the ECO engine on a clone, arc by arc with golden
+        // accept/rollback (see `execute_eco`)
+        let mut trial = tree.clone();
+        let (changed, after) = execute_eco(
+            &mut trial,
+            lib,
+            fp,
+            luts,
+            &arcs,
+            &arc_d,
+            &timings,
+            &involved,
+            &vars,
+            &solution,
+            &all_pairs,
+            &alphas,
+            &before_local,
+            variation_before,
+            cfg,
+        );
+        point.arcs_changed = changed;
+        if changed == 0 {
+            sweep.push(point);
+            continue;
+        }
+        trial.validate().expect("ECO preserves tree invariants");
+        point.variation_after = Some(after);
+        if after < variation_before && best.as_ref().map_or(true, |&(_, v, _, _)| after < v) {
+            point.accepted = true;
+            best = Some((trial, after, lambda, changed));
+        }
+        sweep.push(point);
+    }
+
+    match best {
+        Some((t, after, lambda, changed)) => (
+            t,
+            GlobalReport {
+                variation_before,
+                variation_after: after,
+                lambda_used: Some(lambda),
+                arcs_changed: changed,
+                lp_iterations,
+                sweep,
+            },
+        ),
+        None => (
+            tree.clone(),
+            GlobalReport {
+                variation_before,
+                variation_after: variation_before,
+                lambda_used: None,
+                arcs_changed: 0,
+                lp_iterations,
+                sweep,
+            },
+        ),
+    }
+}
+
+/// Which objective variant the LP is built with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LpObjective {
+    /// `min ΣV + λ·Σ|Δ|` — the Lagrangian scalarization the flow sweeps.
+    Scalarized(f64),
+    /// The paper's literal Eqs. (4)–(5): `min Σ|Δ|` subject to `ΣV ≤ U`.
+    UBound(f64),
+}
+
+/// Builds the LP of Eqs. (4)–(11) and solves it.
+#[allow(clippy::too_many_arguments)]
+fn build_and_solve(
+    tree: &ClockTree,
+    lib: &Library,
+    luts: &StageLuts,
+    arcs: &ArcSet,
+    arc_d: &[Vec<f64>],
+    timings: &[CornerTiming],
+    sel_pairs: &[SinkPair],
+    path_of: &HashMap<NodeId, Vec<ArcId>>,
+    involved: &[ArcId],
+    alphas: &[f64],
+    bounds: &[Option<RatioBounds>],
+    objective: LpObjective,
+    cfg: &GlobalConfig,
+) -> Option<(Solution, HashMap<ArcId, ArcVars>)> {
+    let n_corners = arc_d.len();
+    let (delta_cost, v_cost) = match objective {
+        LpObjective::Scalarized(lambda) => (lambda, 1.0),
+        LpObjective::UBound(_) => (1.0, 0.0),
+    };
+    let mut p = Problem::new();
+    let mut vars: HashMap<ArcId, ArcVars> = HashMap::new();
+    let mut v_vars: Vec<VarId> = Vec::with_capacity(sel_pairs.len());
+
+    for &aid in involved {
+        let arc = arcs.arc(aid);
+        let len = arc.length_um(tree).max(1.0);
+        let drv = tree.cell(arc.from).unwrap_or(CellId(0));
+        let end_load = end_load_ff(tree, lib, arc);
+        let mut delta = Vec::with_capacity(n_corners);
+        for k in 0..n_corners {
+            let d = arc_d[k][aid.0 as usize];
+            let slew = timings[k].slew_ps(arc.from);
+            let dmin = luts.min_arc_delay(lib, CornerId(k), drv, slew, len, end_load);
+            let up = ((cfg.beta - 1.0) * d).max(0.0);
+            let down = (d - dmin).max(0.0);
+            let pos = p.add_var(0.0, up, delta_cost);
+            let neg = p.add_var(0.0, down, delta_cost);
+            delta.push((pos, neg));
+        }
+        vars.insert(aid, ArcVars { delta });
+    }
+
+    // Per-pair V variables and constraints (6)–(8).
+    for (pi, pair) in sel_pairs.iter().enumerate() {
+        let v = p.add_var(0.0, f64::INFINITY, v_cost);
+        v_vars.push(v);
+        let pa = &path_of[&pair.a];
+        let pb = &path_of[&pair.b];
+        // symmetric difference: shared prefix arcs cancel out of the skew
+        let set_b: HashSet<ArcId> = pb.iter().copied().collect();
+        let set_a: HashSet<ArcId> = pa.iter().copied().collect();
+        let only_a: Vec<ArcId> = pa.iter().copied().filter(|x| !set_b.contains(x)).collect();
+        let only_b: Vec<ArcId> = pb.iter().copied().filter(|x| !set_a.contains(x)).collect();
+        // S_k(Δ) terms with coefficient `c` at corner k
+        let skew_terms = |k: usize, c: f64, terms: &mut Vec<(VarId, f64)>| {
+            for &aid in &only_a {
+                let (pos, neg) = vars[&aid].delta[k];
+                terms.push((pos, c));
+                terms.push((neg, -c));
+            }
+            for &aid in &only_b {
+                let (pos, neg) = vars[&aid].delta[k];
+                terms.push((pos, -c));
+                terms.push((neg, c));
+            }
+        };
+        let s0: Vec<f64> = (0..n_corners)
+            .map(|k| timings[k].arrival_ps(pair.a) - timings[k].arrival_ps(pair.b))
+            .collect();
+        let _ = pi;
+        // (6): V ≥ ±(αk·S_k − αk'·S_k')
+        for k in 0..n_corners {
+            for k2 in (k + 1)..n_corners {
+                let base = alphas[k] * s0[k] - alphas[k2] * s0[k2];
+                for sign in [1.0, -1.0] {
+                    let mut terms = vec![(v, 1.0)];
+                    skew_terms(k, -sign * alphas[k], &mut terms);
+                    skew_terms(k2, sign * alphas[k2], &mut terms);
+                    p.add_row(RowKind::Ge, sign * base, &terms);
+                }
+            }
+        }
+        // (7): |S_k(Δ)| ≤ |S_k(0)| at every corner
+        for k in 0..n_corners {
+            let cap = s0[k].abs();
+            for sign in [1.0, -1.0] {
+                let mut terms = Vec::new();
+                skew_terms(k, sign, &mut terms);
+                p.add_row(RowKind::Le, cap - sign * s0[k], &terms);
+            }
+        }
+        // (8): |αk·S_k − α0·S_0| may not grow, k ≠ 0
+        for k in 1..n_corners {
+            let cap = (alphas[k] * s0[k] - alphas[0] * s0[0]).abs();
+            let base = alphas[k] * s0[k] - alphas[0] * s0[0];
+            for sign in [1.0, -1.0] {
+                let mut terms = Vec::new();
+                skew_terms(k, sign * alphas[k], &mut terms);
+                skew_terms(0, -sign * alphas[0], &mut terms);
+                p.add_row(RowKind::Le, cap - sign * base, &terms);
+            }
+        }
+    }
+
+    // (9): path latency bound per sink per corner
+    for (sink, path) in path_of {
+        for k in 0..n_corners {
+            let lat = timings[k].arrival_ps(*sink);
+            let dmax = timings[k].max_latency_ps(tree) * cfg.latency_slack;
+            let terms: Vec<(VarId, f64)> = path
+                .iter()
+                .flat_map(|aid| {
+                    let (pos, neg) = vars[aid].delta[k];
+                    [(pos, 1.0), (neg, -1.0)]
+                })
+                .collect();
+            p.add_row(RowKind::Le, dmax - lat, &terms);
+        }
+    }
+
+    // (11): cross-corner delay-ratio corridor per arc, k vs 0
+    for &aid in involved {
+        let arc = arcs.arc(aid);
+        let len = arc.length_um(tree);
+        if len < 20.0 {
+            continue; // ratio of a near-zero-length arc is meaningless
+        }
+        let d0 = arc_d[0][aid.0 as usize];
+        let x = d0 / len;
+        let (p0, n0) = vars[&aid].delta[0];
+        for k in 1..n_corners {
+            let Some(b) = &bounds[k] else { continue };
+            let (lo, hi) = b.bounds(x);
+            let dk = arc_d[k][aid.0 as usize];
+            let (pk, nk) = vars[&aid].delta[k];
+            // dk + Δk − hi·(d0 + Δ0) ≤ 0
+            p.add_row(
+                RowKind::Le,
+                hi * d0 - dk,
+                &[(pk, 1.0), (nk, -1.0), (p0, -hi), (n0, hi)],
+            );
+            // dk + Δk − lo·(d0 + Δ0) ≥ 0
+            p.add_row(
+                RowKind::Ge,
+                lo * d0 - dk,
+                &[(pk, 1.0), (nk, -1.0), (p0, -lo), (n0, lo)],
+            );
+        }
+    }
+
+    // (5): Σ V ≤ U in the paper's literal formulation
+    if let LpObjective::UBound(u) = objective {
+        let terms: Vec<(VarId, f64)> = v_vars.iter().map(|&v| (v, 1.0)).collect();
+        p.add_row(RowKind::Le, u, &terms);
+    }
+
+    clk_lp::solve(&p).ok().map(|s| (s, vars))
+}
+
+/// One point of the paper's U-sweep Pareto curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct USweepPoint {
+    /// The bound `U` on `Σ V`.
+    pub u: f64,
+    /// The minimum total delay change `Σ|Δ|` the LP needs to satisfy it.
+    pub total_delta: f64,
+    /// `Σ V` actually attained (≤ `u`).
+    pub sum_v: f64,
+    /// Whether the LP was feasible at this `U`.
+    pub feasible: bool,
+}
+
+/// Traces the paper's literal formulation: minimize `Σ|Δ|` subject to
+/// `Σ V ≤ U`, sweeping `U` on a geometric grid from the current variation
+/// sum down toward the LP's unconstrained optimum (paper §4.1: "We then
+/// sweep this upper bound to search for the achievable solution with
+/// minimum sum of skew variations"). Returns one point per grid value.
+/// This is the analysis view; the ECO flow uses the Lagrangian-equivalent
+/// scalarization, which traces the same Pareto frontier.
+pub fn u_sweep(
+    tree: &ClockTree,
+    lib: &Library,
+    luts: &StageLuts,
+    cfg: &GlobalConfig,
+    n_points: usize,
+) -> Vec<USweepPoint> {
+    let timer = Timer::golden();
+    let timings: Vec<CornerTiming> = timer.analyze_all(tree, lib);
+    let arcs = ArcSet::extract(tree);
+    let arc_d: Vec<Vec<f64>> = timings
+        .iter()
+        .map(|t| arc_delays_ps(tree, &arcs, t))
+        .collect();
+    let n_corners = lib.corner_count();
+    let all_pairs = tree.sink_pairs().to_vec();
+    let per_corner_skews: Vec<Vec<f64>> =
+        timings.iter().map(|t| pair_skews(t, &all_pairs)).collect();
+    let alphas = alpha_factors(&per_corner_skews);
+    let before_report = variation_report(&per_corner_skews, &alphas, None);
+    let mut order: Vec<usize> = (0..all_pairs.len()).collect();
+    order.sort_by(|&a, &b| {
+        before_report.per_pair[b]
+            .partial_cmp(&before_report.per_pair[a])
+            .expect("finite variation")
+    });
+    order.truncate(cfg.max_pairs);
+    let sel_pairs: Vec<SinkPair> = order.iter().map(|&i| all_pairs[i]).collect();
+    let sel_sum: f64 = order.iter().map(|&i| before_report.per_pair[i]).sum();
+
+    let mut path_of: HashMap<NodeId, Vec<ArcId>> = HashMap::new();
+    let mut involved_set: HashSet<ArcId> = HashSet::new();
+    for p in &sel_pairs {
+        for s in [p.a, p.b] {
+            let path = path_of
+                .entry(s)
+                .or_insert_with(|| arcs.path_arcs(tree, s))
+                .clone();
+            involved_set.extend(path);
+        }
+    }
+    let mut involved: Vec<ArcId> = involved_set.into_iter().collect();
+    involved.sort_unstable();
+    let bounds: Vec<Option<RatioBounds>> = (0..n_corners)
+        .map(|k| {
+            (k != 0).then(|| {
+                fit_ratio_bounds(
+                    &ratio_scatter(luts, CornerId(k), CornerId(0)),
+                    cfg.ratio_margin,
+                )
+            })
+        })
+        .collect();
+
+    // lower end of the sweep: the unconstrained ΣV optimum
+    let floor = build_and_solve(
+        tree,
+        lib,
+        luts,
+        &arcs,
+        &arc_d,
+        &timings,
+        &sel_pairs,
+        &path_of,
+        &involved,
+        &alphas,
+        &bounds,
+        LpObjective::Scalarized(1e-6),
+        cfg,
+    )
+    .map(|(sol, _)| sol.objective.max(0.0))
+    .unwrap_or(0.0);
+
+    let mut out = Vec::with_capacity(n_points);
+    for i in 0..n_points.max(2) {
+        // geometric interpolation between sel_sum and max(floor, 1e-3)
+        let lo = floor.max(1.0e-3);
+        let t = i as f64 / (n_points.max(2) - 1) as f64;
+        let u = sel_sum.max(lo) * (lo / sel_sum.max(lo)).powf(t);
+        match build_and_solve(
+            tree,
+            lib,
+            luts,
+            &arcs,
+            &arc_d,
+            &timings,
+            &sel_pairs,
+            &path_of,
+            &involved,
+            &alphas,
+            &bounds,
+            LpObjective::UBound(u),
+            cfg,
+        ) {
+            Some((sol, vars)) => {
+                let total_delta: f64 = vars
+                    .values()
+                    .flat_map(|av| av.delta.iter())
+                    .map(|&(p, n)| sol.value(p) + sol.value(n))
+                    .sum();
+                out.push(USweepPoint {
+                    u,
+                    total_delta,
+                    sum_v: f64::NAN, // ΣV is slack-bounded; report the bound
+                    feasible: true,
+                });
+            }
+            None => out.push(USweepPoint {
+                u,
+                total_delta: f64::NAN,
+                sum_v: f64::NAN,
+                feasible: false,
+            }),
+        }
+    }
+    out
+}
+
+fn end_load_ff(tree: &ClockTree, lib: &Library, arc: &Arc) -> f64 {
+    match tree.node(arc.to).kind {
+        NodeKind::Buffer(c) => lib.cell(c).input_cap_ff,
+        NodeKind::Sink => lib.sink_cap_ff(),
+        NodeKind::Source => 0.0,
+    }
+}
+
+/// Algorithm 1, applied incrementally: arcs are rebuilt in decreasing
+/// order of requested |Δ| and each rebuild must survive a golden-timer
+/// check (variation improves, local skew stays within the guard) or it is
+/// rolled back. This is the robust counterpart of the paper's batch ECO:
+/// the commercial router/placer of the original flow realizes delays much
+/// more faithfully than an open-source ECO stack can, so per-arc
+/// verification replaces that fidelity (DESIGN.md §4).
+///
+/// Returns (arcs kept, final variation sum).
+#[allow(clippy::too_many_arguments)]
+fn execute_eco(
+    tree: &mut ClockTree,
+    lib: &Library,
+    fp: &Floorplan,
+    luts: &StageLuts,
+    arcs: &ArcSet,
+    arc_d: &[Vec<f64>],
+    timings: &[CornerTiming],
+    involved: &[ArcId],
+    vars: &HashMap<ArcId, ArcVars>,
+    sol: &Solution,
+    all_pairs: &[SinkPair],
+    alphas: &[f64],
+    guard_local: &[f64],
+    variation_before: f64,
+    cfg: &GlobalConfig,
+) -> (usize, f64) {
+    let n_corners = arc_d.len();
+    let timer = Timer::golden();
+    // collect candidate arcs with their requested deltas
+    let mut todo: Vec<(f64, ArcId, Vec<f64>)> = Vec::new();
+    for &aid in involved {
+        let av = &vars[&aid];
+        let deltas: Vec<f64> = (0..n_corners)
+            .map(|k| {
+                let (pos, neg) = av.delta[k];
+                sol.value(pos) - sol.value(neg)
+            })
+            .collect();
+        let worst = deltas.iter().map(|d| d.abs()).fold(0.0, f64::max);
+        if worst >= cfg.delta_threshold_ps {
+            todo.push((worst, aid, deltas));
+        }
+    }
+    todo.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite deltas"));
+
+    let mut changed = 0usize;
+    let mut current = variation_before;
+    // the paper's guarantee: no new max-cap / max-transition violations
+    let mut drc_budget: usize = timer
+        .analyze_all(tree, lib)
+        .iter()
+        .map(|t| t.violations().len())
+        .sum();
+    for (_, aid, deltas) in todo {
+        let arc = arcs.arc(aid).clone();
+        // the arc set was extracted from the original tree; skip arcs whose
+        // neighbourhood a previous accepted rebuild restructured
+        if !arc_is_current(tree, &arc) {
+            continue;
+        }
+        let d_lp: Vec<f64> = (0..n_corners)
+            .map(|k| arc_d[k][aid.0 as usize] + deltas[k])
+            .collect();
+        let d_now: Vec<f64> = (0..n_corners).map(|k| arc_d[k][aid.0 as usize]).collect();
+        let backup = tree.clone();
+        if !realize_arc(tree, lib, fp, luts, timings, &arc, &d_lp, &d_now, cfg) {
+            *tree = backup;
+            continue;
+        }
+        // golden re-timing: fidelity of the realized arc delta vs the LP
+        // target, plus the variation / local-skew effect
+        let t_after: Vec<CornerTiming> = timer.analyze_all(tree, lib);
+        let realized: Vec<f64> = t_after
+            .iter()
+            .map(|t| t.arrival_ps(arc.to) - t.arrival_ps(arc.from))
+            .collect();
+        let mut fid_err = 0.0;
+        let mut target_norm = 0.0;
+        for k in 0..n_corners {
+            fid_err += (realized[k] - d_lp[k]).abs();
+            target_norm += (d_lp[k] - d_now[k]).abs();
+            for k2 in (k + 1)..n_corners {
+                fid_err += ((realized[k] - realized[k2]) - (d_lp[k] - d_lp[k2])).abs();
+            }
+        }
+        let fid_ok =
+            fid_err <= cfg.fidelity_tol_frac * target_norm + cfg.fidelity_tol_ps * n_corners as f64;
+        if std::env::var_os("CLOCKVAR_DEBUG_ECO").is_some() {
+            eprintln!(
+                "eco arc {aid}: now {:?} -> target {:?}, realized {:?}, fid_err {fid_err:.2} (ok {fid_ok})",
+                d_now.iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>(),
+                d_lp.iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>(),
+                realized.iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>(),
+            );
+        }
+        let skews: Vec<Vec<f64>> = t_after.iter().map(|t| pair_skews(t, all_pairs)).collect();
+        let after = variation_report(&skews, alphas, None).sum;
+        let guard_ok = skews
+            .iter()
+            .zip(guard_local)
+            .all(|(s, &g)| local_skew_ps(s) <= g * cfg.skew_guard_factor + cfg.skew_guard_ps);
+        let drc: usize = t_after.iter().map(|t| t.violations().len()).sum();
+        if guard_ok && drc <= drc_budget && (after < current || fid_ok) {
+            drc_budget = drc;
+            current = after;
+            changed += 1;
+        } else {
+            *tree = backup;
+        }
+    }
+    (changed, current)
+}
+
+/// Whether `arc` still describes the live chain between its junctions.
+pub(crate) fn arc_is_current(tree: &ClockTree, arc: &Arc) -> bool {
+    if !tree.is_alive(arc.from) || !tree.is_alive(arc.to) {
+        return false;
+    }
+    let mut cur = match tree.parent(arc.to) {
+        Some(p) => p,
+        None => return false,
+    };
+    for &n in arc.interior.iter().rev() {
+        if !tree.is_alive(n) || cur != n {
+            return false;
+        }
+        cur = match tree.parent(n) {
+            Some(p) => p,
+            None => return false,
+        };
+    }
+    cur == arc.from
+}
+
+/// Algorithm 1, lines 3–19, for one arc: pick (size p, spacing q, pair
+/// count u) minimizing the multi-corner error against `d_lp`, then rebuild
+/// the chain with legalized placement and exact detour routing.
+///
+/// Candidate delays are **anchored**: the score uses
+/// `d_now + (est(candidate) − est(current config))`, so the systematic
+/// part of the LUT-vs-golden modelling error cancels and only the *change*
+/// must be estimated accurately.
+/// Baseline-facing wrapper around [`realize_arc`] with default ECO knobs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn realize_arc_for_baseline(
+    tree: &mut ClockTree,
+    lib: &Library,
+    fp: &Floorplan,
+    luts: &StageLuts,
+    timings: &[CornerTiming],
+    arc: &Arc,
+    d_lp: &[f64],
+    d_now: &[f64],
+) -> bool {
+    realize_arc(
+        tree,
+        lib,
+        fp,
+        luts,
+        timings,
+        arc,
+        d_lp,
+        d_now,
+        &GlobalConfig::default(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn realize_arc(
+    tree: &mut ClockTree,
+    lib: &Library,
+    fp: &Floorplan,
+    luts: &StageLuts,
+    timings: &[CornerTiming],
+    arc: &Arc,
+    d_lp: &[f64],
+    d_now: &[f64],
+    cfg: &GlobalConfig,
+) -> bool {
+    let n_corners = d_lp.len();
+    let from_loc = tree.loc(arc.from);
+    let to_loc = tree.loc(arc.to);
+    let span = from_loc.manhattan_um(to_loc).max(1.0);
+    let drv = tree.cell(arc.from).unwrap_or(CellId(0));
+    let end_load = end_load_ff(tree, lib, arc);
+    let slews: Vec<f64> = (0..n_corners)
+        .map(|k| timings[k].slew_ps(arc.from))
+        .collect();
+
+    let est = |p: CellId, q: f64, n_inv: usize, k: usize| -> f64 {
+        luts.arc_delay_estimate(lib, CornerId(k), drv, slews[k], p, q, n_inv, end_load)
+    };
+
+    // estimate of the arc as it stands, for anchoring
+    let cur_n = arc.interior.len();
+    let cur_len = arc.length_um(tree).max(1.0);
+    let cur_q = cur_len / (cur_n + 1) as f64;
+    let cur_size = arc
+        .interior
+        .first()
+        .and_then(|&n| tree.cell(n))
+        .unwrap_or(drv);
+    let est_cur: Vec<f64> = (0..n_corners)
+        .map(|k| est(cur_size, cur_q, cur_n, k))
+        .collect();
+
+    // Scoring: Algorithm 1's multi-corner error, plus an uncertainty
+    // penalty proportional to how far (in estimated delay) a candidate
+    // strays from the current configuration — the LUT estimate of a
+    // *large* reconfiguration carries proportionally large model error,
+    // and an unpenalized search happily exploits that noise.
+    let mut best: Option<(f64, CellId, f64, usize)> = None; // (score, size, q, n_inv)
+    let mut consider = |p: CellId, q: f64, n_inv: usize| {
+        let route_len = (n_inv + 1) as f64 * q;
+        if route_len < span * 0.999 || route_len > span + cfg.max_detour_um {
+            return;
+        }
+        let d_est: Vec<f64> = (0..n_corners)
+            .map(|k| d_now[k] + est(p, q, n_inv, k) - est_cur[k])
+            .collect();
+        let mut err = 0.0;
+        let mut distance = 0.0;
+        for k in 0..n_corners {
+            err += (d_est[k] - d_lp[k]).abs();
+            distance += (d_est[k] - d_now[k]).abs();
+        }
+        for k in 0..n_corners {
+            for k2 in (k + 1)..n_corners {
+                err += ((d_est[k] - d_est[k2]) - (d_lp[k] - d_lp[k2])).abs();
+            }
+        }
+        let score = err + cfg.eco_uncertainty_frac * distance;
+        if best.as_ref().map_or(true, |&(e, ..)| score < e) {
+            best = Some((score, p, q, n_inv));
+        }
+    };
+
+    // Clock polarity: the rebuilt chain must keep the inversion parity of
+    // the chain it replaces (the paper's trees are built purely of
+    // inverter *pairs*, so there parity is trivially even; our junctions
+    // sit on pair-internal inverters, so odd interiors occur).
+    let parity = cur_n % 2;
+    // Inverter counts worth trying: around the current count and around
+    // Algorithm 1's `u_est ± 2` estimate at a mid-table spacing.
+    let mut counts: Vec<usize> = Vec::new();
+    {
+        let mut push = |n: i64| {
+            if n >= parity as i64 && (n as usize) % 2 == parity {
+                let n = n as usize;
+                if !counts.contains(&n) {
+                    counts.push(n);
+                }
+            }
+        };
+        for d in -4i64..=4 {
+            push(cur_n as i64 + 2 * d);
+        }
+        let stage = luts
+            .stage_delay(CornerId(0), cur_size, cur_q.clamp(10.0, 200.0))
+            .max(1e-6);
+        let u_est = (d_lp[0] / (2.0 * stage)).round() as i64;
+        for d in -2i64..=2 {
+            push(2 * (u_est + d) + parity as i64);
+        }
+    }
+    for size in 0..lib.cells().len() {
+        let p = CellId(size);
+        for &n_inv in &counts {
+            if n_inv == 0 {
+                // wire-only: route length is the only knob
+                for detour_frac in [1.0, 1.05, 1.15, 1.3] {
+                    consider(p, span * detour_frac, 0);
+                }
+                continue;
+            }
+            // continuous spacing: bisect q so the c0 estimate hits the
+            // target (the stage LUT interpolates between its 5 µm grid)
+            let segs = (n_inv + 1) as f64;
+            let q_lo = (span / segs).max(2.0);
+            let q_hi = (span + cfg.max_detour_um) / segs;
+            if q_hi < q_lo {
+                continue;
+            }
+            let target0 = d_lp[0];
+            let e_lo = d_now[0] + est(p, q_lo, n_inv, 0) - est_cur[0];
+            let e_hi = d_now[0] + est(p, q_hi, n_inv, 0) - est_cur[0];
+            let q_star = if e_lo >= target0 {
+                q_lo
+            } else if e_hi <= target0 {
+                q_hi
+            } else {
+                let (mut a, mut b) = (q_lo, q_hi);
+                for _ in 0..30 {
+                    let m = 0.5 * (a + b);
+                    let e = d_now[0] + est(p, m, n_inv, 0) - est_cur[0];
+                    if e < target0 {
+                        a = m;
+                    } else {
+                        b = m;
+                    }
+                }
+                0.5 * (a + b)
+            };
+            consider(p, q_star, n_inv);
+            // also the no-detour point, which Algorithm 1's D_min favours
+            consider(p, q_lo, n_inv);
+        }
+    }
+
+    let Some((best_err, size, q, n_inv)) = best else {
+        return false;
+    };
+    if std::env::var_os("CLOCKVAR_DEBUG_ECO").is_some() {
+        eprintln!(
+            "  realize: cur (size {:?}, q {:.1}, n {}), chosen (size {size:?}, q {q:.1}, n {n_inv}), span {span:.1}, len {cur_len:.1}, est_err {best_err:.2}",
+            cur_size, cur_q, cur_n
+        );
+    }
+    let route_len = (n_inv + 1) as f64 * q;
+    let path = if route_len > span * 1.01 {
+        RoutePath::with_detour(from_loc, to_loc, route_len - span)
+    } else {
+        RoutePath::l_shape(from_loc, to_loc)
+    };
+
+    // tear out the old chain
+    for &n in &arc.interior {
+        tree.remove_buffer(n).expect("interior nodes are buffers");
+    }
+    // insert the new chain with legalized positions and detour-preserving
+    // route pieces
+    let total = path.length_dbu();
+    let mut prev = arc.from;
+    let mut prev_d = 0i64;
+    let mut prev_loc = from_loc;
+    for i in 1..=n_inv {
+        let d = total * i as i64 / (n_inv as i64 + 1);
+        let ideal = path.locate(d);
+        let legal = fp.legalize(ideal);
+        let piece = chain_piece(&path, prev_d, d, prev_loc, legal);
+        prev = tree
+            .add_node_with_route(NodeKind::Buffer(size), legal, prev, piece)
+            .expect("chain piece endpoints match");
+        prev_d = d;
+        prev_loc = legal;
+    }
+    if prev != arc.from {
+        tree.set_parent(arc.to, prev).expect("no cycles in a chain");
+    }
+    let last = chain_piece(&path, prev_d, total, prev_loc, to_loc);
+    tree.set_route(arc.to, last).expect("endpoints match");
+    true
+}
+
+/// A route piece following `path` between distances `d0..d1`, with small
+/// L-shape jogs patched on both ends to reach the legalized locations.
+fn chain_piece(
+    path: &RoutePath,
+    d0: i64,
+    d1: i64,
+    start_actual: clk_geom::Point,
+    end_actual: clk_geom::Point,
+) -> RoutePath {
+    let mut piece = path.sub_path(d0, d1);
+    if piece.start() != start_actual {
+        piece = RoutePath::l_shape(start_actual, piece.start()).join(&piece);
+    }
+    if piece.end() != end_actual {
+        piece = piece.join(&RoutePath::l_shape(piece.end(), end_actual));
+    }
+    piece
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clk_cts::{Testcase, TestcaseKind};
+
+    fn quick_cfg() -> GlobalConfig {
+        GlobalConfig {
+            max_pairs: 40,
+            lambdas: vec![0.05, 0.3],
+            rounds: 2,
+            ..GlobalConfig::default()
+        }
+    }
+
+    #[test]
+    fn global_reduces_variation_on_cls1() {
+        let tc = Testcase::generate(TestcaseKind::Cls1v1, 48, 5);
+        let luts = StageLuts::characterize(&tc.lib);
+        let (opt, report) = global_optimize(&tc.tree, &tc.lib, &tc.floorplan, &luts, &quick_cfg());
+        opt.validate().unwrap();
+        assert!(
+            report.variation_after <= report.variation_before,
+            "variation {} -> {}",
+            report.variation_before,
+            report.variation_after
+        );
+        // must really have done something on a CTS'd tree
+        assert!(report.variation_before > 0.0);
+    }
+
+    #[test]
+    fn u_sweep_traces_a_monotone_frontier() {
+        let tc = Testcase::generate(TestcaseKind::Cls1v1, 40, 7);
+        let luts = StageLuts::characterize(&tc.lib);
+        let cfg = GlobalConfig {
+            max_pairs: 25,
+            ..GlobalConfig::default()
+        };
+        let curve = u_sweep(&tc.tree, &tc.lib, &luts, &cfg, 5);
+        assert_eq!(curve.len(), 5);
+        // U = current sum must be feasible at (near) zero delta spend
+        let first = &curve[0];
+        assert!(first.feasible);
+        assert!(first.total_delta < 1.0, "delta {}", first.total_delta);
+        // tighter U never needs less delta (Pareto monotonicity)
+        let mut last = -1.0;
+        for p in curve.iter().filter(|p| p.feasible) {
+            assert!(
+                p.total_delta >= last - 1e-6,
+                "frontier not monotone: {curve:?}"
+            );
+            last = p.total_delta;
+        }
+    }
+
+    #[test]
+    fn local_skew_never_degrades_past_guard() {
+        let tc = Testcase::generate(TestcaseKind::Cls1v1, 48, 6);
+        let luts = StageLuts::characterize(&tc.lib);
+        let cfg = quick_cfg();
+        let timer = Timer::golden();
+        let before: Vec<f64> = tc
+            .lib
+            .corner_ids()
+            .map(|c| {
+                local_skew_ps(&pair_skews(
+                    &timer.analyze(&tc.tree, &tc.lib, c),
+                    tc.tree.sink_pairs(),
+                ))
+            })
+            .collect();
+        let (opt, _) = global_optimize(&tc.tree, &tc.lib, &tc.floorplan, &luts, &cfg);
+        for (k, c) in tc.lib.corner_ids().enumerate() {
+            let after = local_skew_ps(&pair_skews(
+                &timer.analyze(&opt, &tc.lib, c),
+                opt.sink_pairs(),
+            ));
+            assert!(
+                after <= before[k] * cfg.skew_guard_factor + cfg.skew_guard_ps,
+                "corner {k}: {} -> {after}",
+                before[k]
+            );
+        }
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! `clk-skewopt` — the paper's contribution: a global-local optimization
+//! framework for simultaneous multi-mode multi-corner clock skew variation
+//! reduction (Han, Kahng, Lee, Li, Nath — DAC 2015).
+//!
+//! Given a routed, buffered clock tree signed off at several PVT corners,
+//! the framework minimizes the **sum over sequentially adjacent sink pairs
+//! of the worst normalized skew variation across corner pairs**
+//! (Eqs. (1)–(3) of the paper):
+//!
+//! * [`lut`] characterizes stage-delay lookup tables for inverter pairs
+//!   (LUT_uniform / LUT_detail, §4.1) once per technology, and fits the
+//!   cross-corner delay-ratio feasibility bounds of Fig. 2;
+//! * [`global`] builds the LP of Eqs. (4)–(11) over per-arc delay changes,
+//!   sweeps the variation bound, and realizes the chosen delay targets
+//!   with the LP-guided ECO of Algorithm 1 (buffer removal / re-insertion
+//!   / U-shaped routing detours);
+//! * [`moves`] enumerates the Table-2 local moves (buffer sizing ±
+//!   displacement, child sizing, tree surgery);
+//! * [`predictor`] trains the per-corner machine-learning delta-latency
+//!   models (ANN, SVM-RBF, HSM) on artificial testcases and exposes the
+//!   analytical estimators they refine;
+//! * [`local`] runs the iterative local optimization of Algorithm 2 with
+//!   the predictor ranking moves and the golden timer arbitrating;
+//! * [`flow`] stitches the `global`, `local` and `global-local` flows of
+//!   Table 5 together and reports variation / skew / cells / power / area.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use clk_cts::{Testcase, TestcaseKind};
+//! use clk_skewopt::flow::{optimize, Flow, FlowConfig};
+//!
+//! let tc = Testcase::generate(TestcaseKind::Cls1v1, 200, 1);
+//! let report = optimize(&tc, Flow::GlobalLocal, &FlowConfig::default());
+//! println!("variation: {:.1} -> {:.1} ps", report.variation_before, report.variation_after);
+//! ```
+
+pub mod baseline;
+pub mod flow;
+pub mod global;
+pub mod local;
+pub mod lut;
+pub mod moves;
+pub mod predictor;
+
+pub use baseline::{worst_skew_optimize, WorstSkewReport};
+pub use flow::{optimize, optimize_with, Flow, FlowConfig, OptReport};
+pub use global::{
+    global_optimize, global_optimize_guarded, u_sweep, GlobalConfig, GlobalReport, LpObjective,
+    USweepPoint,
+};
+pub use local::{
+    local_optimize, local_optimize_guarded, predict_move_gain, LocalConfig, LocalReport, Ranker,
+};
+pub use lut::{RatioBounds, StageLuts};
+pub use moves::{apply_move, enumerate_moves, Move, MoveConfig, Resize};
+pub use predictor::{DeltaLatencyModel, ModelKind, TrainConfig};

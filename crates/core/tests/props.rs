@@ -1,0 +1,87 @@
+//! Property tests of the optimization framework's building blocks.
+
+use clk_cts::{artificial, Testcase, TestcaseKind};
+use clk_liberty::{CellId, CornerId, Library, StdCorners};
+use clk_skewopt::lut::{fit_ratio_bounds, ratio_scatter};
+use clk_skewopt::{apply_move, enumerate_moves, MoveConfig, StageLuts};
+use clk_sta::Timer;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every enumerated move applies cleanly to a fresh clone and leaves a
+    /// structurally valid, polarity-preserving tree.
+    #[test]
+    fn every_enumerated_move_is_applicable(n in 8usize..24, seed in 0u64..200) {
+        let tc = Testcase::generate(TestcaseKind::Cls1v1, n, seed);
+        let mcfg = MoveConfig::default();
+        let moves = enumerate_moves(&tc.tree, &tc.lib, &mcfg, None);
+        prop_assert!(!moves.is_empty());
+        // sample every 7th move to bound runtime
+        for mv in moves.iter().step_by(7) {
+            let mut trial = tc.tree.clone();
+            apply_move(&mut trial, &tc.lib, &tc.floorplan, &mcfg, mv)
+                .unwrap_or_else(|e| panic!("move {mv} failed: {e}"));
+            trial.validate().expect("move left a valid tree");
+            for s in trial.sinks().collect::<Vec<_>>() {
+                prop_assert_eq!(trial.inversions_to(s) % 2, 0,
+                    "move {} flipped polarity", mv);
+            }
+        }
+    }
+
+    /// Artificial training cases always produce timeable trees whose
+    /// driver fanout matches the paper's ranges.
+    #[test]
+    fn artificial_cases_always_timeable(seed in 0u64..400) {
+        let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+        let last = seed % 3 == 0;
+        let case = artificial(&lib, seed, last);
+        case.tree.validate().expect("artificial tree valid");
+        let fanout = case.tree.children(case.driver).len();
+        if last {
+            prop_assert!((20..=40).contains(&fanout));
+        } else {
+            prop_assert!((1..=5).contains(&fanout));
+        }
+        let timer = Timer::golden();
+        for c in lib.corner_ids() {
+            let t = timer.analyze(&case.tree, &lib, c);
+            for s in case.tree.sinks().collect::<Vec<_>>() {
+                prop_assert!(t.arrival_ps(s) > 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn ratio_corridors_widen_with_margin() {
+    let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+    let luts = StageLuts::characterize(&lib);
+    let scatter = ratio_scatter(&luts, CornerId(1), CornerId(0));
+    let tight = fit_ratio_bounds(&scatter, 0.0);
+    let wide = fit_ratio_bounds(&scatter, 0.10);
+    for &(x, _) in scatter.iter().step_by(13) {
+        let (tl, th) = tight.bounds(x);
+        let (wl, wh) = wide.bounds(x);
+        assert!(wl <= tl + 1e-9, "wide lower above tight at {x}");
+        assert!(wh >= th - 1e-9, "wide upper below tight at {x}");
+    }
+}
+
+#[test]
+fn stage_luts_cover_all_sizes_and_corners() {
+    let lib = Library::synthetic_28nm(StdCorners::all());
+    let luts = StageLuts::characterize(&lib);
+    assert_eq!(luts.n_sizes(), 5);
+    assert_eq!(luts.n_corners(), 4);
+    for size in 0..5 {
+        for corner in 0..4 {
+            for q in [10.0, 55.0, 200.0] {
+                let d = luts.stage_delay(CornerId(corner), CellId(size), q);
+                assert!(d.is_finite() && d > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Latency balancing by routing detours — the "skew target 0 ps" pass.
+
+use clk_liberty::{CornerId, Library};
+use clk_netlist::{ClockTree, NodeId, NodeKind};
+use clk_route::RoutePath;
+use clk_sta::Timer;
+
+/// How the balancer weighs corners, mirroring the paper's MCSM vs MCMM
+/// clock-tree optimization scenarios (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalanceMode {
+    /// Balance latencies at one corner only (multi-corner **single-mode**
+    /// runs pick the best corner afterwards).
+    SingleCorner(CornerId),
+    /// Balance the average of per-corner latencies, each normalized by
+    /// that corner's mean latency (multi-corner multi-mode).
+    MultiCorner,
+}
+
+/// Iteratively lengthens the routes into faster sinks ("detour snaking")
+/// until every sink is as late as the slowest one, within what the step
+/// limit allows. Returns the final worst-minus-best latency spread, ps, at
+/// the balance objective.
+///
+/// Only sink edges are detoured; upper-level imbalance remains — exactly
+/// the residual a commercial CTS leaves for the paper's optimizer to
+/// clean up across corners.
+pub fn balance_by_detours(
+    tree: &mut ClockTree,
+    lib: &Library,
+    mode: BalanceMode,
+    iterations: usize,
+    max_detour_per_iter_um: f64,
+) -> f64 {
+    let timer = Timer::golden();
+    let mut spread = f64::INFINITY;
+    for _ in 0..iterations {
+        // objective latency per sink
+        let lat: Vec<(NodeId, f64)> = match mode {
+            BalanceMode::SingleCorner(c) => {
+                let t = timer.analyze(tree, lib, c);
+                tree.sinks().map(|s| (s, t.arrival_ps(s))).collect()
+            }
+            BalanceMode::MultiCorner => {
+                let all: Vec<_> = lib
+                    .corner_ids()
+                    .map(|c| timer.analyze(tree, lib, c))
+                    .collect();
+                let sinks: Vec<NodeId> = tree.sinks().collect();
+                let means: Vec<f64> = all
+                    .iter()
+                    .map(|t| {
+                        sinks.iter().map(|&s| t.arrival_ps(s)).sum::<f64>() / sinks.len() as f64
+                    })
+                    .collect();
+                sinks
+                    .iter()
+                    .map(|&s| {
+                        let v = all
+                            .iter()
+                            .zip(&means)
+                            .map(|(t, m)| t.arrival_ps(s) / m)
+                            .sum::<f64>()
+                            / all.len() as f64;
+                        (s, v)
+                    })
+                    .collect()
+            }
+        };
+        let target = lat
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let low = lat.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+        spread = target - low;
+        if spread < 1.0 {
+            break;
+        }
+        // ps-per-µm estimate at the reference corner for converting latency
+        // gaps to detour lengths
+        let ref_corner = match mode {
+            BalanceMode::SingleCorner(c) => c,
+            BalanceMode::MultiCorner => CornerId(0),
+        };
+        let wire = lib.wire_rc(ref_corner);
+        let scale = match mode {
+            BalanceMode::SingleCorner(_) => 1.0,
+            BalanceMode::MultiCorner => {
+                // normalized units: convert back with the mean c0 latency
+                let t = timer.analyze(tree, lib, CornerId(0));
+                let sinks: Vec<NodeId> = tree.sinks().collect();
+                sinks.iter().map(|&s| t.arrival_ps(s)).sum::<f64>() / sinks.len() as f64
+            }
+        };
+        for (s, v) in lat {
+            let gap_ps = (target - v) * scale;
+            if gap_ps < 1.0 {
+                continue;
+            }
+            let parent = tree.parent(s).expect("sink has driver");
+            let drv_cell = match tree.node(parent).kind {
+                NodeKind::Buffer(c) => c,
+                _ => tree.source_cell(),
+            };
+            let r_drv = lib.drive_res_kohm(drv_cell, ref_corner);
+            let route = tree.node(s).route.as_ref().expect("sink routed");
+            let len = route.length_um();
+            // d(delay)/d(len): driver sees more cap + wire RC grows
+            let ps_per_um =
+                r_drv * wire.c_per_um + wire.r_per_um * (wire.c_per_um * len + lib.sink_cap_ff());
+            let add = (0.7 * gap_ps / ps_per_um).clamp(0.0, max_detour_per_iter_um);
+            if add < 1.0 {
+                continue;
+            }
+            let existing_extra = len - tree.loc(parent).manhattan_um(tree.loc(s));
+            let new_route =
+                RoutePath::with_detour(tree.loc(parent), tree.loc(s), existing_extra + add);
+            tree.set_route(s, new_route).expect("endpoints unchanged");
+        }
+    }
+    spread
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CtsEngine;
+    use clk_geom::{Point, Rect};
+    use clk_liberty::StdCorners;
+    use clk_netlist::Floorplan;
+
+    fn skew_at(tree: &ClockTree, lib: &Library, c: CornerId) -> f64 {
+        let t = Timer::golden().analyze(tree, lib, c);
+        let lats: Vec<f64> = tree.sinks().map(|s| t.arrival_ps(s)).collect();
+        lats.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+            - lats.iter().fold(f64::INFINITY, |a, &b| a.min(b))
+    }
+
+    fn unbalanced_case() -> (ClockTree, Library) {
+        let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+        let fp = Floorplan::utilized(Rect::from_um(0.0, 0.0, 800.0, 800.0), vec![]);
+        // asymmetric sink spread to create skew
+        let mut sinks = Vec::new();
+        for i in 0..30 {
+            sinks.push(Point::from_um(
+                40.0 + 11.0 * (i % 6) as f64,
+                40.0 + 13.0 * (i / 6) as f64,
+            ));
+        }
+        for i in 0..6 {
+            sinks.push(Point::from_um(700.0 + 10.0 * i as f64, 720.0));
+        }
+        let tree = CtsEngine::default().synthesize(&lib, &fp, Point::from_um(0.0, 0.0), &sinks);
+        (tree, lib)
+    }
+
+    #[test]
+    fn balancing_reduces_skew_at_target_corner() {
+        let (mut tree, lib) = unbalanced_case();
+        let before = skew_at(&tree, &lib, CornerId(0));
+        let spread = balance_by_detours(
+            &mut tree,
+            &lib,
+            BalanceMode::SingleCorner(CornerId(0)),
+            4,
+            120.0,
+        );
+        let after = skew_at(&tree, &lib, CornerId(0));
+        tree.validate().unwrap();
+        assert!(after < before, "skew went {before} -> {after}");
+        assert!(spread <= before + 1e-9);
+    }
+
+    #[test]
+    fn multicorner_balancing_runs_and_helps_somewhere() {
+        let (mut tree, lib) = unbalanced_case();
+        let before: f64 = lib.corner_ids().map(|c| skew_at(&tree, &lib, c)).sum();
+        balance_by_detours(&mut tree, &lib, BalanceMode::MultiCorner, 3, 120.0);
+        let after: f64 = lib.corner_ids().map(|c| skew_at(&tree, &lib, c)).sum();
+        tree.validate().unwrap();
+        assert!(after < before, "sum of skews went {before} -> {after}");
+    }
+
+    #[test]
+    fn balanced_tree_is_a_fixpoint_ish() {
+        let (mut tree, lib) = unbalanced_case();
+        balance_by_detours(
+            &mut tree,
+            &lib,
+            BalanceMode::SingleCorner(CornerId(0)),
+            5,
+            120.0,
+        );
+        let s1 = skew_at(&tree, &lib, CornerId(0));
+        balance_by_detours(
+            &mut tree,
+            &lib,
+            BalanceMode::SingleCorner(CornerId(0)),
+            2,
+            120.0,
+        );
+        let s2 = skew_at(&tree, &lib, CornerId(0));
+        assert!(s2 <= s1 * 1.5 + 5.0, "balance diverged: {s1} -> {s2}");
+    }
+}

@@ -1,0 +1,363 @@
+//! The baseline CTS engine: clustering, inverter-pair insertion, sizing,
+//! long-edge repeatering.
+
+use clk_geom::{um_to_dbu, Point, Rect};
+use clk_liberty::{CellId, CornerId, Library};
+use clk_netlist::{rebuild_arc, Arc, ClockTree, Floorplan, NodeId, NodeKind};
+
+/// CTS tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtsConfig {
+    /// Maximum sinks driven by one leaf-level inverter pair (the paper's
+    /// artificial trees use 20–40 for last-stage buffers).
+    pub leaf_fanout: usize,
+    /// Maximum child clusters per upper-level driver (1–5 in the paper).
+    pub branch_fanout: usize,
+    /// Edges longer than this get repeater pairs, µm.
+    pub max_unbuffered_um: f64,
+    /// Sizing headroom: chosen cell must satisfy
+    /// `load · sizing_margin ≤ max_cap`.
+    pub sizing_margin: f64,
+    /// Spacing between the two inverters of a pair, µm.
+    pub pair_gap_um: f64,
+    /// Corner whose wire capacitance drives sizing decisions.
+    pub sizing_corner: CornerId,
+}
+
+impl Default for CtsConfig {
+    fn default() -> Self {
+        CtsConfig {
+            leaf_fanout: 16,
+            branch_fanout: 4,
+            max_unbuffered_um: 140.0,
+            sizing_margin: 1.35,
+            pair_gap_um: 4.0,
+            sizing_corner: CornerId(0),
+        }
+    }
+}
+
+/// A hierarchical cluster of sink indices.
+enum Cluster {
+    Leaf(Vec<usize>),
+    Internal(Vec<Cluster>),
+}
+
+impl Cluster {
+    fn centroid(&self, sinks: &[Point]) -> Point {
+        fn accum(c: &Cluster, sinks: &[Point], sum: &mut (i128, i128, i64)) {
+            match c {
+                Cluster::Leaf(idx) => {
+                    for &i in idx {
+                        sum.0 += sinks[i].x as i128;
+                        sum.1 += sinks[i].y as i128;
+                        sum.2 += 1;
+                    }
+                }
+                Cluster::Internal(ch) => {
+                    for c in ch {
+                        accum(c, sinks, sum);
+                    }
+                }
+            }
+        }
+        let mut sum = (0i128, 0i128, 0i64);
+        accum(self, sinks, &mut sum);
+        debug_assert!(sum.2 > 0);
+        Point::new(
+            (sum.0 / sum.2 as i128) as i64,
+            (sum.1 / sum.2 as i128) as i64,
+        )
+    }
+}
+
+/// The CTS engine. See the crate docs for the flow description.
+#[derive(Debug, Clone, Default)]
+pub struct CtsEngine {
+    cfg: CtsConfig,
+}
+
+impl CtsEngine {
+    /// An engine with explicit configuration.
+    pub fn new(cfg: CtsConfig) -> Self {
+        CtsEngine { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CtsConfig {
+        &self.cfg
+    }
+
+    /// Synthesizes a buffered, routed clock tree over `sinks`, rooted at a
+    /// source placed at `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sinks` is empty.
+    pub fn synthesize(
+        &self,
+        lib: &Library,
+        fp: &Floorplan,
+        source: Point,
+        sinks: &[Point],
+    ) -> ClockTree {
+        assert!(!sinks.is_empty(), "CTS needs at least one sink");
+        let root_cell = CellId(lib.cells().len() - 1);
+        let mut tree = ClockTree::new(fp.legalize(source), root_cell);
+
+        // 1. cluster: sinks into leaf groups, then groups into a hierarchy
+        let all: Vec<usize> = (0..sinks.len()).collect();
+        let leaves = bisect(all, sinks, self.cfg.leaf_fanout);
+        let mut level: Vec<Cluster> = leaves.into_iter().map(Cluster::Leaf).collect();
+        while level.len() > 1 {
+            // group cluster centroids geometrically with branch fanout
+            let cents: Vec<Point> = level.iter().map(|c| c.centroid(sinks)).collect();
+            let idx: Vec<usize> = (0..level.len()).collect();
+            let groups = bisect(idx, &cents, self.cfg.branch_fanout);
+            let mut next: Vec<Cluster> = Vec::with_capacity(groups.len());
+            // drain `level` by index without disturbing order
+            let mut taken: Vec<Option<Cluster>> = level.into_iter().map(Some).collect();
+            for g in groups {
+                let members: Vec<Cluster> = g
+                    .into_iter()
+                    .map(|i| taken[i].take().expect("each cluster grouped once"))
+                    .collect();
+                next.push(Cluster::Internal(members));
+            }
+            level = next;
+        }
+        let top = level.pop().expect("one root cluster");
+
+        // 2. materialize top-down: every cluster gets an inverter pair
+        let mid_cell = CellId(lib.cells().len() / 2);
+        let root = tree.root();
+        self.place_cluster(&mut tree, lib, fp, &top, sinks, root, mid_cell);
+
+        // 3. repeater pairs on long edges
+        self.insert_repeaters(&mut tree, lib, fp, mid_cell);
+
+        // 4. load-aware sizing, leaves up
+        self.size_buffers(&mut tree, lib);
+
+        tree
+    }
+
+    /// Creates the inverter pair of `cluster` under `parent` and recurses.
+    fn place_cluster(
+        &self,
+        tree: &mut ClockTree,
+        lib: &Library,
+        fp: &Floorplan,
+        cluster: &Cluster,
+        sinks: &[Point],
+        parent: NodeId,
+        cell: CellId,
+    ) {
+        let c = cluster.centroid(sinks);
+        let pa = fp.legalize(c);
+        let pb = fp.legalize(pa.offset(um_to_dbu(self.cfg.pair_gap_um), 0));
+        let inv_a = tree.add_node(NodeKind::Buffer(cell), pa, parent);
+        let inv_b = tree.add_node(NodeKind::Buffer(cell), pb, inv_a);
+        let _ = lib;
+        match cluster {
+            Cluster::Leaf(idx) => {
+                for &i in idx {
+                    tree.add_node(NodeKind::Sink, sinks[i], inv_b);
+                }
+            }
+            Cluster::Internal(children) => {
+                for ch in children {
+                    self.place_cluster(tree, lib, fp, ch, sinks, inv_b, cell);
+                }
+            }
+        }
+    }
+
+    /// Splits any too-long edge with repeater pairs (polarity-preserving).
+    fn insert_repeaters(&self, tree: &mut ClockTree, lib: &Library, fp: &Floorplan, cell: CellId) {
+        let _ = (lib, fp);
+        let limit = self.cfg.max_unbuffered_um;
+        // collect long edges first; insertion adds only short edges
+        let long: Vec<NodeId> = tree
+            .node_ids()
+            .filter(|&id| {
+                tree.node(id)
+                    .route
+                    .as_ref()
+                    .is_some_and(|r| r.length_um() > limit)
+            })
+            .collect();
+        for child in long {
+            let parent = tree.parent(child).expect("routed node has parent");
+            let route = tree.node(child).route.clone().expect("checked above");
+            let n_pairs = (route.length_um() / limit).floor() as usize;
+            if n_pairs == 0 {
+                continue;
+            }
+            let arc = Arc {
+                from: parent,
+                to: child,
+                interior: Vec::new(),
+            };
+            rebuild_arc(tree, &arc, cell, 2 * n_pairs, route).expect("route endpoints unchanged");
+        }
+    }
+
+    /// Sizes every buffer so its load fits with margin, processing leaves
+    /// first so upstream loads see final input caps.
+    fn size_buffers(&self, tree: &mut ClockTree, lib: &Library) {
+        let wire = lib.wire_rc(self.cfg.sizing_corner);
+        // reverse BFS order = children before parents
+        let order: Vec<NodeId> = {
+            let mut bfs = vec![tree.root()];
+            let mut i = 0;
+            while i < bfs.len() {
+                let n = bfs[i];
+                bfs.extend_from_slice(tree.children(n));
+                i += 1;
+            }
+            bfs.into_iter().rev().collect()
+        };
+        for id in order {
+            if !matches!(tree.node(id).kind, NodeKind::Buffer(_)) {
+                continue;
+            }
+            let mut load = 0.0;
+            for &ch in tree.children(id) {
+                let r = tree.node(ch).route.as_ref().expect("child has route");
+                load += r.length_um() * wire.c_per_um;
+                load += match tree.node(ch).kind {
+                    NodeKind::Buffer(c) => lib.cell(c).input_cap_ff,
+                    NodeKind::Sink => lib.sink_cap_ff(),
+                    NodeKind::Source => unreachable!(),
+                };
+            }
+            let need = load * self.cfg.sizing_margin;
+            let chosen = lib
+                .cells()
+                .iter()
+                .position(|c| c.max_cap_ff >= need)
+                .unwrap_or(lib.cells().len() - 1);
+            tree.set_cell(id, CellId(chosen)).expect("id is a buffer");
+        }
+    }
+}
+
+/// Recursive median bisection of `items` (indices into `pts`) until every
+/// group has at most `max_size` members. Splits along the longer bbox axis.
+fn bisect(items: Vec<usize>, pts: &[Point], max_size: usize) -> Vec<Vec<usize>> {
+    assert!(max_size >= 1);
+    if items.len() <= max_size {
+        return vec![items];
+    }
+    let bbox = Rect::bounding(&items.iter().map(|&i| pts[i]).collect::<Vec<_>>())
+        .expect("non-empty group");
+    let horizontal = bbox.width() >= bbox.height();
+    let mut sorted = items;
+    sorted.sort_by_key(|&i| {
+        if horizontal {
+            (pts[i].x, pts[i].y)
+        } else {
+            (pts[i].y, pts[i].x)
+        }
+    });
+    let mid = sorted.len() / 2;
+    let right = sorted.split_off(mid);
+    let mut out = bisect(sorted, pts, max_size);
+    out.extend(bisect(right, pts, max_size));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clk_liberty::StdCorners;
+
+    fn lib() -> Library {
+        Library::synthetic_28nm(StdCorners::c0_c1_c3())
+    }
+
+    fn grid_sinks(n_side: usize, pitch_um: f64) -> Vec<Point> {
+        (0..n_side * n_side)
+            .map(|i| {
+                Point::from_um(
+                    60.0 + (i % n_side) as f64 * pitch_um,
+                    60.0 + (i / n_side) as f64 * pitch_um,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bisect_respects_max_size() {
+        let pts = grid_sinks(7, 30.0);
+        let groups = bisect((0..pts.len()).collect(), &pts, 6);
+        assert!(groups.iter().all(|g| g.len() <= 6 && !g.is_empty()));
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 49);
+    }
+
+    #[test]
+    fn synthesize_produces_valid_polarized_tree() {
+        let lib = lib();
+        let fp = Floorplan::utilized(Rect::from_um(0.0, 0.0, 700.0, 700.0), vec![]);
+        let sinks = grid_sinks(8, 70.0);
+        let tree = CtsEngine::default().synthesize(&lib, &fp, Point::from_um(350.0, 0.0), &sinks);
+        tree.validate().unwrap();
+        assert_eq!(tree.sinks().count(), 64);
+        for s in tree.sinks().collect::<Vec<_>>() {
+            assert_eq!(tree.inversions_to(s) % 2, 0, "sink {s} sees inverted clock");
+        }
+    }
+
+    #[test]
+    fn long_edges_get_repeaters() {
+        let lib = lib();
+        let fp = Floorplan::open(Rect::from_um(0.0, 0.0, 2000.0, 2000.0));
+        // two sinks very far from the source force long top-level edges
+        let sinks = vec![
+            Point::from_um(1800.0, 1800.0),
+            Point::from_um(1750.0, 1850.0),
+        ];
+        let tree = CtsEngine::default().synthesize(&lib, &fp, Point::from_um(0.0, 0.0), &sinks);
+        tree.validate().unwrap();
+        let max_edge = tree
+            .node_ids()
+            .filter_map(|id| tree.node(id).route.as_ref().map(|r| r.length_um()))
+            .fold(0.0, f64::max);
+        assert!(
+            max_edge <= CtsConfig::default().max_unbuffered_um * 1.01,
+            "edge of {max_edge} um survived repeatering"
+        );
+    }
+
+    #[test]
+    fn sizing_prevents_cap_violations() {
+        let lib = lib();
+        let fp = Floorplan::utilized(Rect::from_um(0.0, 0.0, 900.0, 900.0), vec![]);
+        let sinks = grid_sinks(9, 90.0);
+        let tree = CtsEngine::default().synthesize(&lib, &fp, Point::from_um(450.0, 0.0), &sinks);
+        let timing =
+            clk_sta::Timer::golden().analyze(&tree, &lib, CtsConfig::default().sizing_corner);
+        let cap_viols = timing
+            .violations()
+            .iter()
+            .filter(|v| matches!(v, clk_sta::Violation::MaxCap { .. }))
+            .count();
+        assert_eq!(cap_viols, 0, "violations: {:?}", timing.violations());
+    }
+
+    #[test]
+    fn single_sink_works() {
+        let lib = lib();
+        let fp = Floorplan::open(Rect::from_um(0.0, 0.0, 100.0, 100.0));
+        let tree = CtsEngine::default().synthesize(
+            &lib,
+            &fp,
+            Point::from_um(0.0, 0.0),
+            &[Point::from_um(90.0, 90.0)],
+        );
+        tree.validate().unwrap();
+        assert_eq!(tree.sinks().count(), 1);
+    }
+}

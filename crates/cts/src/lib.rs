@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Baseline clock-tree synthesis and testcase generation — the stand-in
+//! for the commercial CTS flow and for the paper's benchmark designs.
+//!
+//! * [`builder`]: a best-practices CTS: recursive geometric clustering
+//!   (large leaf fanout, small branch fanout), inverter-**pair** insertion
+//!   at every cluster driver (clock polarity stays even by construction),
+//!   load-aware sizing, repeater chains on long edges, and a latency-
+//!   balancing pass that adds routing detours until the skew target (0 ps)
+//!   stops improving — in single-corner (MCSM) or multi-corner (MCMM)
+//!   mode, mirroring how the paper's original trees were produced.
+//! * [`testcase`]: generators for the paper's two design classes — CLS1
+//!   (four-ILM application processor, Table 4: CLS1v1/CLS1v2) and CLS2
+//!   (L-shaped memory controller, CLS2v1) — plus the **artificial
+//!   training testcases** used to fit the delta-latency models (fanout
+//!   1–5, 20–40 at the last stage; bounding boxes 1000–8000 µm², aspect
+//!   ratio 0.5–1).
+//!
+//! Sizes are parameterizable: the paper's 36K–270K-sink blocks scale down
+//! to hundreds–thousands of sinks here (see DESIGN.md §4).
+//!
+//! # Examples
+//!
+//! ```
+//! use clk_cts::testcase::{Testcase, TestcaseKind};
+//!
+//! let tc = Testcase::generate(TestcaseKind::Cls1v1, 64, 1);
+//! assert_eq!(tc.tree.sinks().count(), 64);
+//! assert!(!tc.tree.sink_pairs().is_empty());
+//! tc.tree.validate().expect("CTS produces well-formed trees");
+//! ```
+
+pub mod balance;
+pub mod builder;
+pub mod testcase;
+
+pub use balance::{balance_by_detours, BalanceMode};
+pub use builder::{CtsConfig, CtsEngine};
+pub use testcase::{artificial, variation_sum, ArtificialCase, Testcase, TestcaseKind};

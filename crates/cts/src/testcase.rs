@@ -1,0 +1,472 @@
+//! Testcase generators: the CLS1/CLS2 design classes of Table 4 and the
+//! artificial nets used to train the delta-latency models.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use clk_geom::{Point, Rect};
+use clk_liberty::{CellId, CornerId, Library, StdCorners};
+use clk_netlist::{ClockTree, Floorplan, NodeId, NodeKind, SinkPair};
+use clk_sta::{alpha_factors, pair_skews, variation_report, Timer};
+
+use crate::balance::{balance_by_detours, BalanceMode};
+use crate::builder::CtsEngine;
+
+/// Which benchmark design to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestcaseKind {
+    /// Application-processor block, variant 1 (four 650×650 µm ILMs in a
+    /// ~3.3 mm² rectangle, corners {c0, c1, c3}).
+    Cls1v1,
+    /// Application-processor block, variant 2 (~3.4 mm², different ILM
+    /// spread, corners {c0, c1, c3}).
+    Cls1v2,
+    /// L-shaped memory controller (~4.5 mm², controller + two interface
+    /// arms ~1 mm away, corners {c0, c1, c2}).
+    Cls2v1,
+}
+
+impl TestcaseKind {
+    /// Table-4 display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TestcaseKind::Cls1v1 => "CLS1v1",
+            TestcaseKind::Cls1v2 => "CLS1v2",
+            TestcaseKind::Cls2v1 => "CLS2v1",
+        }
+    }
+
+    /// The corner set this class signs off at (Table 4).
+    pub fn corners(self) -> Vec<clk_liberty::Corner> {
+        match self {
+            TestcaseKind::Cls1v1 | TestcaseKind::Cls1v2 => StdCorners::c0_c1_c3(),
+            TestcaseKind::Cls2v1 => StdCorners::c0_c1_c2(),
+        }
+    }
+
+    /// Standard-cell utilization reported in Table 4.
+    pub fn utilization(self) -> f64 {
+        match self {
+            TestcaseKind::Cls1v1 => 0.62,
+            TestcaseKind::Cls1v2 => 0.60,
+            TestcaseKind::Cls2v1 => 0.58,
+        }
+    }
+}
+
+/// A generated benchmark: library, floorplan, CTS'd tree and metadata.
+#[derive(Debug, Clone)]
+pub struct Testcase {
+    /// Which class/variant this is.
+    pub kind: TestcaseKind,
+    /// The multi-corner library the design signs off with.
+    pub lib: Library,
+    /// Floorplan (die + blockages + legalization rules).
+    pub floorplan: Floorplan,
+    /// The CTS baseline tree (sink pairs installed).
+    pub tree: ClockTree,
+    /// Equivalent full-design cell count (FFs plus combinational logic),
+    /// for the Table-4 "#Cells" column.
+    pub equiv_cells: usize,
+}
+
+impl Testcase {
+    /// Generates the testcase with `n_sinks` flip-flops (the paper's 36K /
+    /// 35K / 270K scaled down; see DESIGN.md §4) and a deterministic
+    /// `seed`.
+    ///
+    /// Following the paper's §5.1 methodology, the tree is balanced with a
+    /// 0 ps skew target under both the MCSM and MCMM scenarios and the
+    /// solution with the smaller sum of skew variations is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_sinks == 0`.
+    pub fn generate(kind: TestcaseKind, n_sinks: usize, seed: u64) -> Self {
+        assert!(n_sinks > 0, "testcase needs sinks");
+        let lib = Library::synthetic_28nm(kind.corners());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC15);
+        let (floorplan, regions, source) = geometry(kind);
+        let sinks = sample_sinks(&mut rng, &regions, n_sinks);
+
+        let engine = CtsEngine::default();
+        let mut mcsm = engine.synthesize(&lib, &floorplan, source, &sinks);
+        let pairs = generate_pairs(kind, &mcsm, &regions, &mut rng);
+        mcsm.set_sink_pairs(pairs);
+        let mut mcmm = mcsm.clone();
+
+        balance_by_detours(
+            &mut mcsm,
+            &lib,
+            BalanceMode::SingleCorner(CornerId(0)),
+            4,
+            120.0,
+        );
+        balance_by_detours(&mut mcmm, &lib, BalanceMode::MultiCorner, 4, 120.0);
+
+        let tree = if variation_sum(&mcsm, &lib) <= variation_sum(&mcmm, &lib) {
+            mcsm
+        } else {
+            mcmm
+        };
+        Testcase {
+            kind,
+            lib,
+            floorplan,
+            tree,
+            // the paper's blocks carry ~11 cells per flip-flop
+            equiv_cells: n_sinks * 11,
+        }
+    }
+
+    /// Block area in mm² (Table 4).
+    pub fn area_mm2(&self) -> f64 {
+        let die = self.floorplan.die.area_um2();
+        let blocked: f64 = self.floorplan.blockages.iter().map(|b| b.area_um2()).sum();
+        (die - blocked) / 1.0e6
+    }
+}
+
+/// Sum of normalized skew variations of a tree (golden timing, paper
+/// Eq. (2)/(3) objective) — used here to pick the better CTS scenario.
+pub fn variation_sum(tree: &ClockTree, lib: &Library) -> f64 {
+    let timer = Timer::golden();
+    let per_corner: Vec<Vec<f64>> = lib
+        .corner_ids()
+        .map(|c| pair_skews(&timer.analyze(tree, lib, c), tree.sink_pairs()))
+        .collect();
+    let alphas = alpha_factors(&per_corner);
+    variation_report(&per_corner, &alphas, None).sum
+}
+
+/// Sink-bearing regions with sampling weights.
+struct Region {
+    rect: Rect,
+    weight: f64,
+    /// Region family, used when pairing sinks (0 = local cluster id space,
+    /// 1 = controller, 2 = interface).
+    family: u8,
+}
+
+fn geometry(kind: TestcaseKind) -> (Floorplan, Vec<Region>, Point) {
+    match kind {
+        TestcaseKind::Cls1v1 => {
+            let die = Rect::from_um(0.0, 0.0, 1820.0, 1820.0);
+            let ilm = |x: f64, y: f64| Region {
+                rect: Rect::from_um(x, y, x + 650.0, y + 650.0),
+                weight: 0.225,
+                family: 0,
+            };
+            let glue = Region {
+                rect: Rect::from_um(760.0, 80.0, 1060.0, 1740.0),
+                weight: 0.10,
+                family: 0,
+            };
+            (
+                Floorplan::utilized(die, vec![]),
+                vec![
+                    ilm(60.0, 60.0),
+                    ilm(1110.0, 60.0),
+                    ilm(60.0, 1110.0),
+                    ilm(1110.0, 1110.0),
+                    glue,
+                ],
+                Point::from_um(910.0, 4.8),
+            )
+        }
+        TestcaseKind::Cls1v2 => {
+            let die = Rect::from_um(0.0, 0.0, 1850.0, 1840.0);
+            let ilm = |x: f64, y: f64| Region {
+                rect: Rect::from_um(x, y, x + 650.0, y + 650.0),
+                weight: 0.2125,
+                family: 0,
+            };
+            let glue = Region {
+                rect: Rect::from_um(100.0, 800.0, 1750.0, 1040.0),
+                weight: 0.15,
+                family: 0,
+            };
+            (
+                Floorplan::utilized(die, vec![]),
+                vec![
+                    ilm(140.0, 100.0),
+                    ilm(1060.0, 100.0),
+                    ilm(140.0, 1090.0),
+                    ilm(1060.0, 1090.0),
+                    glue,
+                ],
+                Point::from_um(925.0, 4.8),
+            )
+        }
+        TestcaseKind::Cls2v1 => {
+            // L shape: vertical bar 1000×2500 + horizontal bar 1600×1250
+            let die = Rect::from_um(0.0, 0.0, 2600.0, 2500.0);
+            let blockage = Rect::from_um(1000.0, 1250.0, 2600.0, 2500.0);
+            let controller = Region {
+                rect: Rect::from_um(120.0, 120.0, 900.0, 1100.0),
+                weight: 0.5,
+                family: 1,
+            };
+            let if_top = Region {
+                rect: Rect::from_um(120.0, 1700.0, 900.0, 2400.0),
+                weight: 0.25,
+                family: 2,
+            };
+            let if_right = Region {
+                rect: Rect::from_um(1800.0, 120.0, 2480.0, 1130.0),
+                weight: 0.25,
+                family: 2,
+            };
+            (
+                Floorplan::utilized(die, vec![blockage]),
+                vec![controller, if_top, if_right],
+                Point::from_um(500.0, 4.8),
+            )
+        }
+    }
+}
+
+fn sample_sinks(rng: &mut StdRng, regions: &[Region], n: usize) -> Vec<Point> {
+    let total_w: f64 = regions.iter().map(|r| r.weight).sum();
+    let mut sinks = Vec::with_capacity(n);
+    for i in 0..n {
+        // deterministic stratified region choice
+        let mut pick = (i as f64 + rng.gen::<f64>()) / n as f64 * total_w;
+        let mut region = &regions[0];
+        for r in regions {
+            if pick <= r.weight {
+                region = r;
+                break;
+            }
+            pick -= r.weight;
+        }
+        let b = region.rect;
+        let x = rng.gen_range(b.lo.x..=b.hi.x);
+        let y = rng.gen_range(b.lo.y..=b.hi.y);
+        sinks.push(Point::new(x, y));
+    }
+    sinks
+}
+
+/// Builds launch/capture pairs: nearest-neighbour local datapaths plus the
+/// class-specific long paths (cross-ILM for CLS1, controller↔interface for
+/// CLS2 — the paper calls out the ~1 mm control signals explicitly).
+fn generate_pairs(
+    kind: TestcaseKind,
+    tree: &ClockTree,
+    regions: &[Region],
+    rng: &mut StdRng,
+) -> Vec<SinkPair> {
+    let sinks: Vec<NodeId> = tree.sinks().collect();
+    let locs: Vec<Point> = sinks.iter().map(|&s| tree.loc(s)).collect();
+    let family = |p: Point| -> u8 {
+        regions
+            .iter()
+            .find(|r| r.rect.contains(p))
+            .map(|r| r.family)
+            .unwrap_or(0)
+    };
+    let mut pairs = Vec::new();
+    for (i, &s) in sinks.iter().enumerate() {
+        // k nearest neighbours = local datapaths
+        let k = 1 + rng.gen_range(0..3usize);
+        let mut dists: Vec<(i64, usize)> = locs
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(j, &p)| (locs[i].manhattan(p), j))
+            .collect();
+        dists.sort_unstable();
+        for &(_, j) in dists.iter().take(k) {
+            pairs.push(SinkPair::new(s, sinks[j]));
+        }
+    }
+    // long-distance pairs
+    let n_long = (sinks.len() / 8).max(1);
+    match kind {
+        TestcaseKind::Cls1v1 | TestcaseKind::Cls1v2 => {
+            for _ in 0..n_long {
+                let a = rng.gen_range(0..sinks.len());
+                let b = rng.gen_range(0..sinks.len());
+                if a != b {
+                    pairs.push(SinkPair::new(sinks[a], sinks[b]));
+                }
+            }
+        }
+        TestcaseKind::Cls2v1 => {
+            let ctrl: Vec<usize> = (0..sinks.len()).filter(|&i| family(locs[i]) == 1).collect();
+            let intf: Vec<usize> = (0..sinks.len()).filter(|&i| family(locs[i]) == 2).collect();
+            if !ctrl.is_empty() && !intf.is_empty() {
+                for _ in 0..(2 * n_long) {
+                    let a = ctrl[rng.gen_range(0..ctrl.len())];
+                    let b = intf[rng.gen_range(0..intf.len())];
+                    pairs.push(SinkPair::new(sinks[a], sinks[b]));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// An artificial training net: one driver buffer inside a realistic local
+/// subtree, used to learn delta-latency models (paper §4.2).
+#[derive(Debug, Clone)]
+pub struct ArtificialCase {
+    /// The net's clock tree (source → feeder → driver → fanouts, plus a
+    /// same-level alternate driver on most cases so that tree-surgery
+    /// moves occur in the training data).
+    pub tree: ClockTree,
+    /// The buffer whose perturbations are the training moves.
+    pub driver: NodeId,
+}
+
+/// Generates an artificial testcase: fanout 1–5 (or 20–40 when
+/// `last_stage`), bounding-box area 1000–8000 µm², aspect ratio 0.5–1.0,
+/// fanout cells placed uniformly inside the box. Two of three cases also
+/// carry a parallel feeder/driver pair nearby, so type-III (driver
+/// reassignment) moves are enumerable and the predictor learns them.
+pub fn artificial(lib: &Library, seed: u64, last_stage: bool) -> ArtificialCase {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA27F);
+    let area = rng.gen_range(1000.0..8000.0f64);
+    let ar = rng.gen_range(0.5..1.0f64);
+    let w = (area / ar).sqrt();
+    let h = area / w;
+    let ox = rng.gen_range(100.0..400.0);
+    let oy = rng.gen_range(100.0..400.0);
+    let bbox = Rect::from_um(ox, oy, ox + w, oy + h);
+
+    let n_fanout = if last_stage {
+        rng.gen_range(20..=40usize)
+    } else {
+        rng.gen_range(1..=5usize)
+    };
+    let driver_cell = CellId(rng.gen_range(1..lib.cells().len()));
+    let feeder_cell = CellId(lib.cells().len() - 1);
+
+    let mut tree = ClockTree::new(Point::from_um(ox - 60.0, oy - 60.0), feeder_cell);
+    let feeder = tree.add_node(
+        NodeKind::Buffer(feeder_cell),
+        Point::from_um(ox - 25.0, oy - 20.0),
+        tree.root(),
+    );
+    let driver = tree.add_node(NodeKind::Buffer(driver_cell), bbox.center(), feeder);
+    let place_fanout = |tree: &mut ClockTree, under: NodeId, rng: &mut StdRng| {
+        let p = Point::new(
+            rng.gen_range(bbox.lo.x..=bbox.hi.x),
+            rng.gen_range(bbox.lo.y..=bbox.hi.y),
+        );
+        if last_stage {
+            tree.add_node(NodeKind::Sink, p, under);
+        } else {
+            let cell = CellId(rng.gen_range(0..lib.cells().len().saturating_sub(1)));
+            let fan = tree.add_node(NodeKind::Buffer(cell), p, under);
+            // terminate with a sink so latency is observable downstream
+            let off = Point::new(
+                p.x + rng.gen_range(5_000..20_000),
+                p.y + rng.gen_range(-10_000..10_000),
+            );
+            tree.add_node(NodeKind::Sink, off, fan);
+        }
+    };
+    for _ in 0..n_fanout {
+        place_fanout(&mut tree, driver, &mut rng);
+    }
+    // a parallel same-level subtree close enough for tree surgery
+    if seed % 3 != 1 {
+        let feeder2 = tree.add_node(
+            NodeKind::Buffer(feeder_cell),
+            Point::from_um(ox - 25.0, oy + 15.0),
+            tree.root(),
+        );
+        let d2_loc = bbox.center().offset(
+            rng.gen_range(-40_000..40_000),
+            rng.gen_range(15_000..40_000),
+        );
+        let driver2 = tree.add_node(
+            NodeKind::Buffer(CellId(rng.gen_range(1..lib.cells().len()))),
+            d2_loc,
+            feeder2,
+        );
+        for _ in 0..rng.gen_range(1..=3usize) {
+            place_fanout(&mut tree, driver2, &mut rng);
+        }
+    }
+    ArtificialCase { tree, driver }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cls1v1_generates_valid_design() {
+        let tc = Testcase::generate(TestcaseKind::Cls1v1, 80, 3);
+        tc.tree.validate().unwrap();
+        assert_eq!(tc.tree.sinks().count(), 80);
+        assert!(!tc.tree.sink_pairs().is_empty());
+        assert_eq!(tc.lib.corner_count(), 3);
+        assert!((tc.area_mm2() - 3.31).abs() < 0.1, "area {}", tc.area_mm2());
+        assert_eq!(tc.equiv_cells, 880);
+    }
+
+    #[test]
+    fn cls2_sinks_stay_inside_the_l() {
+        let tc = Testcase::generate(TestcaseKind::Cls2v1, 60, 9);
+        let blk = &tc.floorplan.blockages[0];
+        for s in tc.tree.sinks().collect::<Vec<_>>() {
+            assert!(
+                !blk.contains(tc.tree.loc(s)),
+                "sink {s} inside the blocked notch"
+            );
+        }
+        assert!((tc.area_mm2() - 4.5).abs() < 0.1, "area {}", tc.area_mm2());
+    }
+
+    #[test]
+    fn cls2_has_long_pairs() {
+        let tc = Testcase::generate(TestcaseKind::Cls2v1, 60, 10);
+        let longest = tc
+            .tree
+            .sink_pairs()
+            .iter()
+            .map(|p| tc.tree.loc(p.a).manhattan_um(tc.tree.loc(p.b)))
+            .fold(0.0, f64::max);
+        assert!(longest > 800.0, "longest pair span {longest} um");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = Testcase::generate(TestcaseKind::Cls1v2, 40, 7);
+        let b = Testcase::generate(TestcaseKind::Cls1v2, 40, 7);
+        assert_eq!(
+            variation_sum(&a.tree, &a.lib),
+            variation_sum(&b.tree, &b.lib)
+        );
+    }
+
+    #[test]
+    fn artificial_cases_match_paper_parameters() {
+        let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+        for seed in 0..12 {
+            let last = seed % 3 == 0;
+            let case = artificial(&lib, seed, last);
+            case.tree.validate().unwrap();
+            let fanout = case.tree.children(case.driver).len();
+            if last {
+                assert!((20..=40).contains(&fanout), "fanout {fanout}");
+            } else {
+                assert!((1..=5).contains(&fanout), "fanout {fanout}");
+            }
+            let pts: Vec<Point> = case
+                .tree
+                .children(case.driver)
+                .iter()
+                .map(|&c| case.tree.loc(c))
+                .collect();
+            if pts.len() >= 2 {
+                let bbox = Rect::bounding(&pts).unwrap();
+                assert!(bbox.area_um2() <= 8200.0, "bbox {}", bbox.area_um2());
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests of the CTS baseline and the testcase generators.
+
+use clk_cts::{CtsConfig, CtsEngine, Testcase, TestcaseKind};
+use clk_geom::{Point, Rect};
+use clk_liberty::{Library, StdCorners};
+use clk_netlist::Floorplan;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// CTS over arbitrary sink clouds yields valid, polarity-correct,
+    /// repeater-bounded trees that reach every sink.
+    #[test]
+    fn cts_contract(sinks in prop::collection::vec((20_000i64..780_000, 20_000i64..780_000), 2..40),
+                    leaf in 4usize..20) {
+        let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+        let fp = Floorplan::utilized(Rect::from_um(0.0, 0.0, 800.0, 800.0), vec![]);
+        let pts: Vec<Point> = sinks.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let engine = CtsEngine::new(CtsConfig {
+            leaf_fanout: leaf,
+            ..CtsConfig::default()
+        });
+        let tree = engine.synthesize(&lib, &fp, Point::new(400_000, 0), &pts);
+        tree.validate().expect("CTS output is well-formed");
+        prop_assert_eq!(tree.sinks().count(), pts.len());
+        for s in tree.sinks().collect::<Vec<_>>() {
+            prop_assert_eq!(tree.inversions_to(s) % 2, 0, "inverted clock at {}", s);
+        }
+        // every driver respects the leaf fanout bound (+1 slack for the
+        // paired-inverter structure)
+        for b in tree.buffers().collect::<Vec<_>>() {
+            let sink_children = tree
+                .children(b)
+                .iter()
+                .filter(|&&c| tree.node(c).kind == clk_netlist::NodeKind::Sink)
+                .count();
+            prop_assert!(sink_children <= leaf, "driver {b} has {sink_children} sinks");
+        }
+        // no edge exceeds the repeater limit materially
+        let limit = CtsConfig::default().max_unbuffered_um * 1.01;
+        for id in tree.node_ids() {
+            if let Some(r) = &tree.node(id).route {
+                prop_assert!(r.length_um() <= limit, "edge {} um", r.length_um());
+            }
+        }
+    }
+
+    /// Generated testcases keep sinks inside their regions and pairs
+    /// reference live sinks, at any size/seed.
+    #[test]
+    fn testcase_generator_contract(n in 8usize..60, seed in 0u64..500) {
+        let kind = match seed % 3 {
+            0 => TestcaseKind::Cls1v1,
+            1 => TestcaseKind::Cls1v2,
+            _ => TestcaseKind::Cls2v1,
+        };
+        let tc = Testcase::generate(kind, n, seed);
+        tc.tree.validate().expect("generated tree valid");
+        prop_assert_eq!(tc.tree.sinks().count(), n);
+        prop_assert!(!tc.tree.sink_pairs().is_empty());
+        for p in tc.tree.sink_pairs() {
+            prop_assert!(p.a != p.b);
+        }
+        for s in tc.tree.sinks().collect::<Vec<_>>() {
+            prop_assert!(tc.floorplan.die.contains(tc.tree.loc(s)));
+            for b in &tc.floorplan.blockages {
+                prop_assert!(!b.contains(tc.tree.loc(s)), "sink inside blockage");
+            }
+        }
+    }
+}

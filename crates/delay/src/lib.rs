@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Interconnect delay calculation — the extraction + delay-calculator
+//! substrate.
+//!
+//! Provides:
+//!
+//! * [`RcTree`]: a distributed RC network extracted from a routed
+//!   [`clk_route::WireTree`] with per-corner wire parasitics and receiver
+//!   pin loads (π-segmented at a configurable pitch — fine segmentation is
+//!   the "golden" extraction, single-segment lumping is the fast estimate);
+//! * [`NetTiming`]: first and second moments of the impulse response at
+//!   every node, and from them the **Elmore** delay, the **D2M** two-moment
+//!   delay metric \[Alpert-Devgan-Kashyap, ISPD'00\], a two-moment wire slew
+//!   metric, and **PERI**-style slew merging \[Kashyap et al., TAU'02\]
+//!   (`slew_out² = slew_gate² + slew_wire²`).
+//!
+//! # Examples
+//!
+//! ```
+//! use clk_geom::Point;
+//! use clk_liberty::WireRc;
+//! use clk_route::WireTree;
+//! use clk_delay::{NetTiming, RcTree, WireModel};
+//!
+//! let mut wt = WireTree::new(Point::new(0, 0));
+//! let far = wt.add_child(WireTree::ROOT, Point::new(100_000, 0)); // 100 µm
+//! let rc = WireRc { r_per_um: 2.0e-3, c_per_um: 0.2 };
+//! let tree = RcTree::extract(&wt, rc, &[(far, 5.0)], 5.0);
+//! let timing = NetTiming::analyze(&tree);
+//! let node = tree.rc_node_of_wire_node(far);
+//! let elmore = timing.elmore_ps(node);
+//! let d2m = timing.delay_ps(node, WireModel::D2m);
+//! assert!(d2m <= elmore, "D2M is never more pessimistic than Elmore");
+//! ```
+
+pub mod net;
+pub mod rc;
+pub mod spef;
+
+pub use net::{peri_slew, NetTiming, WireModel};
+pub use rc::RcTree;

@@ -1,0 +1,106 @@
+//! SPEF output for extracted nets — the parasitics-interchange stand-in
+//! (the paper's flow hands extracted parasitics to the golden timer; this
+//! lets external timers consume ours).
+
+use std::fmt::Write as _;
+
+use crate::rc::RcTree;
+
+/// Writes a single-net SPEF fragmentary file: header, one `*D_NET` with
+/// `*CAP` and `*RES` sections. Node `0` (the driver) is named
+/// `<net>:drv`; every other RC node is `<net>:<index>`.
+///
+/// ```
+/// use clk_delay::{spef::write_spef, RcTree};
+/// let net = RcTree::from_raw(
+///     vec![None, Some(0)],
+///     vec![0.0, 1.5],
+///     vec![0.2, 3.0],
+/// );
+/// let text = write_spef("clk_net", &net);
+/// assert!(text.contains("*D_NET clk_net"));
+/// assert!(text.contains("*RES"));
+/// ```
+pub fn write_spef(net: &str, tree: &RcTree) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "*SPEF \"IEEE 1481-1998\"");
+    let _ = writeln!(out, "*DESIGN \"clockvar\"");
+    let _ = writeln!(out, "*T_UNIT 1 PS");
+    let _ = writeln!(out, "*C_UNIT 1 FF");
+    let _ = writeln!(out, "*R_UNIT 1 KOHM");
+    let _ = writeln!(out, "*L_UNIT 1 HENRY");
+    let _ = writeln!(out);
+    let name = |i: usize| -> String {
+        if i == 0 {
+            format!("{net}:drv")
+        } else {
+            format!("{net}:{i}")
+        }
+    };
+    let _ = writeln!(out, "*D_NET {net} {:.6}", tree.total_cap_ff());
+    let _ = writeln!(out, "*CONN");
+    let _ = writeln!(out, "*I {} O", name(0));
+    let _ = writeln!(out, "*CAP");
+    let mut cap_idx = 1usize;
+    for i in 0..tree.node_count() {
+        let c = tree.cap_ff(i);
+        if c > 0.0 {
+            let _ = writeln!(out, "{cap_idx} {} {c:.6}", name(i));
+            cap_idx += 1;
+        }
+    }
+    let _ = writeln!(out, "*RES");
+    let mut res_idx = 1usize;
+    for i in 1..tree.node_count() {
+        let p = tree.parent(i).expect("non-root");
+        let _ = writeln!(
+            out,
+            "{res_idx} {} {} {:.6}",
+            name(p),
+            name(i),
+            tree.res_kohm(i)
+        );
+        res_idx += 1;
+    }
+    let _ = writeln!(out, "*END");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> RcTree {
+        RcTree::from_raw(
+            vec![None, Some(0), Some(1), Some(1)],
+            vec![0.0, 0.5, 1.0, 0.7],
+            vec![0.1, 2.0, 3.0, 0.0],
+        )
+    }
+
+    #[test]
+    fn spef_has_all_sections_and_counts() {
+        let t = net();
+        let s = write_spef("n42", &t);
+        for marker in ["*SPEF", "*D_NET n42", "*CONN", "*CAP", "*RES", "*END"] {
+            assert!(s.contains(marker), "missing {marker}");
+        }
+        // 3 nonzero caps, 3 resistors
+        let res_lines = s
+            .lines()
+            .skip_while(|l| !l.starts_with("*RES"))
+            .skip(1)
+            .take_while(|l| !l.starts_with('*'))
+            .count();
+        assert_eq!(res_lines, 3);
+        assert!(s.contains(&format!("*D_NET n42 {:.6}", t.total_cap_ff())));
+    }
+
+    #[test]
+    fn node_names_are_stable() {
+        let s = write_spef("x", &net());
+        assert!(s.contains("x:drv x:1"));
+        assert!(s.contains("x:1 x:2"));
+        assert!(s.contains("x:1 x:3"));
+    }
+}

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! Fixed-point geometry primitives for the clockvar physical-design database.
+//!
+//! All coordinates are stored as [`Dbu`] (database units); **1 dbu = 1 nm**.
+//! Conversions to and from micrometres are provided for the math layers,
+//! which work in `f64` µm.
+//!
+//! # Examples
+//!
+//! ```
+//! use clk_geom::{Point, Rect};
+//!
+//! let a = Point::new(0, 0);
+//! let b = Point::from_um(10.0, 5.0);
+//! assert_eq!(a.manhattan(b), 15_000);
+//! let r = Rect::bounding(&[a, b]).expect("non-empty");
+//! assert_eq!(r.width(), 10_000);
+//! ```
+
+pub mod point;
+pub mod rect;
+
+pub use point::{Dbu, Direction, Point, DBU_PER_UM};
+pub use rect::Rect;
+
+/// Converts database units to micrometres.
+///
+/// ```
+/// assert_eq!(clk_geom::dbu_to_um(2_500), 2.5);
+/// ```
+#[inline]
+pub fn dbu_to_um(dbu: Dbu) -> f64 {
+    dbu as f64 / DBU_PER_UM as f64
+}
+
+/// Converts micrometres to database units, rounding to the nearest unit.
+///
+/// ```
+/// assert_eq!(clk_geom::um_to_dbu(2.5), 2_500);
+/// ```
+#[inline]
+pub fn um_to_dbu(um: f64) -> Dbu {
+    (um * DBU_PER_UM as f64).round() as Dbu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbu_um_roundtrip() {
+        for v in [-12.25, 0.0, 0.001, 3.75, 650.0] {
+            assert!((dbu_to_um(um_to_dbu(v)) - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn um_to_dbu_rounds() {
+        assert_eq!(um_to_dbu(0.0004), 0);
+        assert_eq!(um_to_dbu(0.0006), 1);
+        assert_eq!(um_to_dbu(-0.0006), -1);
+    }
+}

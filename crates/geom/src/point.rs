@@ -1,0 +1,225 @@
+//! Points, distances and compass directions.
+
+/// A database-unit coordinate. 1 dbu = 1 nm.
+pub type Dbu = i64;
+
+/// Database units per micrometre.
+pub const DBU_PER_UM: Dbu = 1_000;
+
+/// A point on the chip canvas, in database units.
+///
+/// ```
+/// use clk_geom::Point;
+/// let p = Point::new(1_000, 2_000);
+/// assert_eq!(p.x_um(), 1.0);
+/// assert_eq!(p.manhattan(Point::new(0, 0)), 3_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Point {
+    /// Horizontal coordinate in dbu.
+    pub x: Dbu,
+    /// Vertical coordinate in dbu.
+    pub y: Dbu,
+}
+
+impl Point {
+    /// Creates a point from dbu coordinates.
+    #[inline]
+    pub const fn new(x: Dbu, y: Dbu) -> Self {
+        Point { x, y }
+    }
+
+    /// Creates a point from µm coordinates, rounding to the nearest dbu.
+    #[inline]
+    pub fn from_um(x_um: f64, y_um: f64) -> Self {
+        Point {
+            x: (x_um * DBU_PER_UM as f64).round() as Dbu,
+            y: (y_um * DBU_PER_UM as f64).round() as Dbu,
+        }
+    }
+
+    /// Horizontal coordinate in µm.
+    #[inline]
+    pub fn x_um(self) -> f64 {
+        self.x as f64 / DBU_PER_UM as f64
+    }
+
+    /// Vertical coordinate in µm.
+    #[inline]
+    pub fn y_um(self) -> f64 {
+        self.y as f64 / DBU_PER_UM as f64
+    }
+
+    /// Manhattan (rectilinear) distance to `other`, in dbu.
+    #[inline]
+    pub fn manhattan(self, other: Point) -> Dbu {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Manhattan distance to `other`, in µm.
+    #[inline]
+    pub fn manhattan_um(self, other: Point) -> f64 {
+        self.manhattan(other) as f64 / DBU_PER_UM as f64
+    }
+
+    /// Component-wise translation by `(dx, dy)` dbu.
+    #[inline]
+    pub fn offset(self, dx: Dbu, dy: Dbu) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Translates this point by `dist` dbu in compass direction `dir`.
+    ///
+    /// Diagonal directions move `dist` on **each** axis (so the Manhattan
+    /// displacement of a diagonal step is `2 * dist`), matching the "displace
+    /// {N, S, E, W, NE, NW, SE, SW} by 10µm" move menu of the paper, where
+    /// the displacement magnitude is per-axis.
+    #[inline]
+    pub fn step(self, dir: Direction, dist: Dbu) -> Point {
+        let (dx, dy) = dir.unit();
+        Point::new(self.x + dx * dist, self.y + dy * dist)
+    }
+
+    /// Clamps the point into `rect` (inclusive bounds).
+    #[inline]
+    pub fn clamp_to(self, rect: crate::Rect) -> Point {
+        Point::new(
+            self.x.clamp(rect.lo.x, rect.hi.x),
+            self.y.clamp(rect.lo.y, rect.hi.y),
+        )
+    }
+
+    /// Midpoint (rounded toward negative infinity on each axis).
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new(
+            (self.x + other.x).div_euclid(2),
+            (self.y + other.y).div_euclid(2),
+        )
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.3}, {:.3})um", self.x_um(), self.y_um())
+    }
+}
+
+/// The eight compass directions used by the local-move menu (Table 2 of the
+/// paper: displace {N, S, E, W, NE, NW, SE, SW}).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// +y
+    North,
+    /// -y
+    South,
+    /// +x
+    East,
+    /// -x
+    West,
+    /// +x, +y
+    NorthEast,
+    /// -x, +y
+    NorthWest,
+    /// +x, -y
+    SouthEast,
+    /// -x, -y
+    SouthWest,
+}
+
+impl Direction {
+    /// All eight directions, in a stable order.
+    pub const ALL: [Direction; 8] = [
+        Direction::North,
+        Direction::South,
+        Direction::East,
+        Direction::West,
+        Direction::NorthEast,
+        Direction::NorthWest,
+        Direction::SouthEast,
+        Direction::SouthWest,
+    ];
+
+    /// Per-axis unit displacement `(dx, dy)` of this direction.
+    #[inline]
+    pub const fn unit(self) -> (Dbu, Dbu) {
+        match self {
+            Direction::North => (0, 1),
+            Direction::South => (0, -1),
+            Direction::East => (1, 0),
+            Direction::West => (-1, 0),
+            Direction::NorthEast => (1, 1),
+            Direction::NorthWest => (-1, 1),
+            Direction::SouthEast => (1, -1),
+            Direction::SouthWest => (-1, -1),
+        }
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Direction::North => "N",
+            Direction::South => "S",
+            Direction::East => "E",
+            Direction::West => "W",
+            Direction::NorthEast => "NE",
+            Direction::NorthWest => "NW",
+            Direction::SouthEast => "SE",
+            Direction::SouthWest => "SW",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rect;
+
+    #[test]
+    fn manhattan_is_symmetric_and_zero_on_self() {
+        let a = Point::new(3, -7);
+        let b = Point::new(-2, 11);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(a), 0);
+        assert_eq!(a.manhattan(b), 5 + 18);
+    }
+
+    #[test]
+    fn step_covers_all_directions() {
+        let p = Point::new(0, 0);
+        let mut seen = std::collections::HashSet::new();
+        for d in Direction::ALL {
+            seen.insert(p.step(d, 10));
+        }
+        assert_eq!(seen.len(), 8);
+        assert_eq!(p.step(Direction::NorthEast, 10), Point::new(10, 10));
+        assert_eq!(p.step(Direction::South, 10), Point::new(0, -10));
+    }
+
+    #[test]
+    fn clamp_to_rect() {
+        let r = Rect::new(Point::new(0, 0), Point::new(10, 10));
+        assert_eq!(Point::new(-5, 4).clamp_to(r), Point::new(0, 4));
+        assert_eq!(Point::new(15, 20).clamp_to(r), Point::new(10, 10));
+        assert_eq!(Point::new(5, 5).clamp_to(r), Point::new(5, 5));
+    }
+
+    #[test]
+    fn midpoint_rounds_down() {
+        assert_eq!(
+            Point::new(0, 0).midpoint(Point::new(3, 5)),
+            Point::new(1, 2)
+        );
+        assert_eq!(
+            Point::new(-1, -1).midpoint(Point::new(0, 0)),
+            Point::new(-1, -1)
+        );
+    }
+
+    #[test]
+    fn display_formats_um() {
+        assert_eq!(Point::new(1500, -250).to_string(), "(1.500, -0.250)um");
+    }
+}

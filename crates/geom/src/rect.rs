@@ -1,0 +1,230 @@
+//! Axis-aligned rectangles and bounding boxes.
+
+use crate::{Dbu, Point, DBU_PER_UM};
+
+/// A closed axis-aligned rectangle `[lo.x, hi.x] x [lo.y, hi.y]` in dbu.
+///
+/// Degenerate rectangles (zero width and/or height) are allowed; they arise
+/// naturally as bounding boxes of collinear pin sets.
+///
+/// ```
+/// use clk_geom::{Point, Rect};
+/// let r = Rect::new(Point::new(0, 0), Point::new(2_000, 1_000));
+/// assert_eq!(r.area_um2(), 2.0);
+/// assert!(r.contains(Point::new(500, 500)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub lo: Point,
+    /// Upper-right corner.
+    pub hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corners, normalizing the order.
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            lo: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            hi: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates a rectangle from µm corner coordinates.
+    pub fn from_um(lx: f64, ly: f64, hx: f64, hy: f64) -> Self {
+        Rect::new(Point::from_um(lx, ly), Point::from_um(hx, hy))
+    }
+
+    /// The smallest rectangle containing every point, or `None` when `pts`
+    /// is empty.
+    pub fn bounding(pts: &[Point]) -> Option<Self> {
+        let first = *pts.first()?;
+        let mut r = Rect {
+            lo: first,
+            hi: first,
+        };
+        for &p in &pts[1..] {
+            r.expand(p);
+        }
+        Some(r)
+    }
+
+    /// Grows the rectangle (in place) so that it contains `p`.
+    pub fn expand(&mut self, p: Point) {
+        self.lo.x = self.lo.x.min(p.x);
+        self.lo.y = self.lo.y.min(p.y);
+        self.hi.x = self.hi.x.max(p.x);
+        self.hi.y = self.hi.y.max(p.y);
+    }
+
+    /// Width in dbu.
+    #[inline]
+    pub fn width(&self) -> Dbu {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height in dbu.
+    #[inline]
+    pub fn height(&self) -> Dbu {
+        self.hi.y - self.lo.y
+    }
+
+    /// Area in µm².
+    #[inline]
+    pub fn area_um2(&self) -> f64 {
+        let w = self.width() as f64 / DBU_PER_UM as f64;
+        let h = self.height() as f64 / DBU_PER_UM as f64;
+        w * h
+    }
+
+    /// Half-perimeter wirelength in µm — the classic HPWL net-length
+    /// estimate.
+    #[inline]
+    pub fn hpwl_um(&self) -> f64 {
+        (self.width() + self.height()) as f64 / DBU_PER_UM as f64
+    }
+
+    /// Aspect ratio `min(w, h) / max(w, h)` in `[0, 1]`; returns 1.0 for a
+    /// degenerate (point) rectangle so that single-pin bounding boxes do not
+    /// produce NaN features.
+    pub fn aspect_ratio(&self) -> f64 {
+        let w = self.width() as f64;
+        let h = self.height() as f64;
+        let (lo, hi) = if w < h { (w, h) } else { (h, w) };
+        if hi == 0.0 {
+            1.0
+        } else {
+            lo / hi
+        }
+    }
+
+    /// Center point (rounded down per axis).
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.lo.midpoint(self.hi)
+    }
+
+    /// Whether `p` lies inside the closed rectangle.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// Whether `other` lies entirely inside this rectangle.
+    #[inline]
+    pub fn contains_rect(&self, other: Rect) -> bool {
+        self.contains(other.lo) && self.contains(other.hi)
+    }
+
+    /// Whether the closed rectangles intersect.
+    #[inline]
+    pub fn intersects(&self, other: Rect) -> bool {
+        self.lo.x <= other.hi.x
+            && other.lo.x <= self.hi.x
+            && self.lo.y <= other.hi.y
+            && other.lo.y <= self.hi.y
+    }
+
+    /// A rectangle inflated by `margin` dbu on every side.
+    pub fn inflate(&self, margin: Dbu) -> Rect {
+        Rect {
+            lo: Point::new(self.lo.x - margin, self.lo.y - margin),
+            hi: Point::new(self.hi.x + margin, self.hi.y + margin),
+        }
+    }
+
+    /// The square of side `2 * half_side` centred on `c` — used for the
+    /// "within bounding box of 50µm × 50µm" type-III move constraint.
+    pub fn square_around(c: Point, half_side: Dbu) -> Rect {
+        Rect {
+            lo: Point::new(c.x - half_side, c.y - half_side),
+            hi: Point::new(c.x + half_side, c.y + half_side),
+        }
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{} .. {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_corners() {
+        let r = Rect::new(Point::new(5, 1), Point::new(-2, 8));
+        assert_eq!(r.lo, Point::new(-2, 1));
+        assert_eq!(r.hi, Point::new(5, 8));
+    }
+
+    #[test]
+    fn bounding_of_empty_is_none() {
+        assert!(Rect::bounding(&[]).is_none());
+    }
+
+    #[test]
+    fn bounding_contains_all_points() {
+        let pts = [
+            Point::new(3, 3),
+            Point::new(-1, 10),
+            Point::new(7, -4),
+            Point::new(0, 0),
+        ];
+        let r = Rect::bounding(&pts).unwrap();
+        for p in pts {
+            assert!(r.contains(p));
+        }
+        assert_eq!(r.lo, Point::new(-1, -4));
+        assert_eq!(r.hi, Point::new(7, 10));
+    }
+
+    #[test]
+    fn area_and_hpwl() {
+        let r = Rect::from_um(0.0, 0.0, 3.0, 2.0);
+        assert!((r.area_um2() - 6.0).abs() < 1e-12);
+        assert!((r.hpwl_um() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aspect_ratio_in_unit_interval() {
+        assert!((Rect::from_um(0.0, 0.0, 4.0, 2.0).aspect_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(
+            Rect::new(Point::new(1, 1), Point::new(1, 1)).aspect_ratio(),
+            1.0
+        );
+        // degenerate in one axis only
+        assert_eq!(
+            Rect::new(Point::new(0, 0), Point::new(5, 0)).aspect_ratio(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn intersection_tests() {
+        let a = Rect::new(Point::new(0, 0), Point::new(10, 10));
+        let b = Rect::new(Point::new(10, 10), Point::new(20, 20)); // touching corner
+        let c = Rect::new(Point::new(11, 11), Point::new(20, 20));
+        assert!(a.intersects(b));
+        assert!(!a.intersects(c));
+        assert!(a.contains_rect(Rect::new(Point::new(2, 2), Point::new(8, 8))));
+        assert!(!a.contains_rect(b));
+    }
+
+    #[test]
+    fn square_around_is_centered() {
+        let s = Rect::square_around(Point::new(100, 200), 25_000);
+        assert_eq!(s.center(), Point::new(100, 200));
+        assert_eq!(s.width(), 50_000);
+        assert_eq!(s.height(), 50_000);
+    }
+
+    #[test]
+    fn inflate_grows_symmetrically() {
+        let r = Rect::new(Point::new(0, 0), Point::new(10, 10)).inflate(5);
+        assert_eq!(r.lo, Point::new(-5, -5));
+        assert_eq!(r.hi, Point::new(15, 15));
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests of the geometry primitives.
+
+use clk_geom::{Dbu, Direction, Point, Rect};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1_000_000i64..1_000_000, -1_000_000i64..1_000_000).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    /// Manhattan distance is a metric: symmetry, identity, triangle
+    /// inequality.
+    #[test]
+    fn manhattan_is_a_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+        prop_assert_eq!(a.manhattan(a), 0);
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+    }
+
+    /// One compass step moves by exactly the expected Manhattan distance.
+    #[test]
+    fn steps_have_exact_length(p in arb_point(), d in 0usize..8, dist in 1i64..100_000) {
+        let dir = Direction::ALL[d];
+        let q = p.step(dir, dist);
+        let expect = match dir {
+            Direction::North | Direction::South | Direction::East | Direction::West => dist,
+            _ => 2 * dist,
+        };
+        prop_assert_eq!(p.manhattan(q), expect);
+    }
+
+    /// A bounding box contains its generators and is minimal per axis.
+    #[test]
+    fn bounding_box_is_tight(pts in prop::collection::vec(arb_point(), 1..20)) {
+        let r = Rect::bounding(&pts).expect("non-empty");
+        for &p in &pts {
+            prop_assert!(r.contains(p));
+        }
+        prop_assert!(pts.iter().any(|p| p.x == r.lo.x));
+        prop_assert!(pts.iter().any(|p| p.x == r.hi.x));
+        prop_assert!(pts.iter().any(|p| p.y == r.lo.y));
+        prop_assert!(pts.iter().any(|p| p.y == r.hi.y));
+    }
+
+    /// Clamping lands inside and is idempotent.
+    #[test]
+    fn clamp_contract(p in arb_point(), a in arb_point(), b in arb_point()) {
+        let r = Rect::new(a, b);
+        let q = p.clamp_to(r);
+        prop_assert!(r.contains(q));
+        prop_assert_eq!(q.clamp_to(r), q);
+        if r.contains(p) {
+            prop_assert_eq!(q, p);
+        }
+    }
+
+    /// Inflation preserves containment and grows the perimeter linearly.
+    #[test]
+    fn inflate_grows(a in arb_point(), b in arb_point(), m in 0i64..10_000) {
+        let r = Rect::new(a, b);
+        let g = r.inflate(m);
+        prop_assert!(g.contains_rect(r));
+        prop_assert_eq!(g.width(), r.width() + 2 * m);
+        prop_assert_eq!(g.height(), r.height() + 2 * m);
+    }
+
+    /// dbu ↔ µm conversions round-trip within half a dbu.
+    #[test]
+    fn unit_conversions_roundtrip(v in -1_000_000i64..1_000_000) {
+        let um = clk_geom::dbu_to_um(v);
+        let back: Dbu = clk_geom::um_to_dbu(um);
+        prop_assert_eq!(back, v);
+    }
+}

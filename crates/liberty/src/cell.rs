@@ -1,0 +1,70 @@
+//! Clock-inverter cell descriptions.
+
+/// Opaque index of a cell within a [`crate::Library`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub usize);
+
+impl std::fmt::Display for CellId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell#{}", self.0)
+    }
+}
+
+/// A clock inverter cell master.
+///
+/// The library generates one `Cell` per drive size; sizes are the familiar
+/// `X<drive>` family. Per-corner electrical behaviour lives in the library's
+/// NLDM tables — this struct holds the corner-independent properties.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Cell master name, e.g. `"CLKINV_X4"`.
+    pub name: String,
+    /// Drive-strength multiple (the `X` number).
+    pub drive: f64,
+    /// Input pin capacitance, fF.
+    pub input_cap_ff: f64,
+    /// Footprint area, µm².
+    pub area_um2: f64,
+    /// Maximum load capacitance the cell may legally drive, fF.
+    pub max_cap_ff: f64,
+    /// Nominal leakage power at TT/25°C, nW (scaled per corner by
+    /// [`crate::Corner::leakage_factor`]).
+    pub leakage_nw: f64,
+}
+
+impl Cell {
+    /// Builds the standard synthetic clock inverter of the given drive.
+    pub fn clock_inverter(drive: f64) -> Self {
+        Cell {
+            name: format!("CLKINV_X{}", drive as i64),
+            drive,
+            input_cap_ff: 0.8 * drive,
+            area_um2: 0.45 + 0.38 * drive,
+            max_cap_ff: 24.0 * drive,
+            leakage_nw: 1.1 * drive,
+        }
+    }
+}
+
+impl std::fmt::Display for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverter_properties_scale_with_drive() {
+        let x1 = Cell::clock_inverter(1.0);
+        let x8 = Cell::clock_inverter(8.0);
+        assert_eq!(x1.name, "CLKINV_X1");
+        assert_eq!(x8.name, "CLKINV_X8");
+        assert!(x8.input_cap_ff > x1.input_cap_ff);
+        assert!(x8.area_um2 > x1.area_um2);
+        assert!(x8.max_cap_ff > x1.max_cap_ff);
+        assert!(x8.leakage_nw > x1.leakage_nw);
+    }
+}

@@ -1,0 +1,304 @@
+//! PVT corners and the alpha-power-law delay physics behind them.
+
+/// Process corner of the transistors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Process {
+    /// Slow NMOS / slow PMOS.
+    Ss,
+    /// Typical.
+    Tt,
+    /// Fast NMOS / fast PMOS.
+    Ff,
+}
+
+impl Process {
+    /// Relative transconductance of the process corner (TT = 1.0).
+    pub fn gain(self) -> f64 {
+        match self {
+            Process::Ss => 0.85,
+            Process::Tt => 1.0,
+            Process::Ff => 1.15,
+        }
+    }
+
+    /// Threshold-voltage shift of the process corner, in volts (TT = 0).
+    pub fn vth_shift(self) -> f64 {
+        match self {
+            Process::Ss => 0.06,
+            Process::Tt => 0.0,
+            Process::Ff => -0.06,
+        }
+    }
+}
+
+impl std::fmt::Display for Process {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Process::Ss => "ss",
+            Process::Tt => "tt",
+            Process::Ff => "ff",
+        })
+    }
+}
+
+/// Back-end-of-line (interconnect) corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Beol {
+    /// Worst capacitance / resistance (slow interconnect).
+    CMax,
+    /// Best capacitance / resistance (fast interconnect).
+    CMin,
+    /// Typical interconnect.
+    CTyp,
+}
+
+impl std::fmt::Display for Beol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Beol::CMax => "Cmax",
+            Beol::CMin => "Cmin",
+            Beol::CTyp => "Ctyp",
+        })
+    }
+}
+
+/// Per-unit-length wire parasitics of a BEOL corner, for the clock routing
+/// layer stack.
+///
+/// Units: resistance in kΩ/µm, capacitance in fF/µm, so that
+/// `r_per_um * c_per_um * length²` is directly in ps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireRc {
+    /// Wire resistance, kΩ/µm.
+    pub r_per_um: f64,
+    /// Wire capacitance, fF/µm.
+    pub c_per_um: f64,
+}
+
+/// One signoff corner: a (process, voltage, temperature, BEOL) combination.
+///
+/// The paper's Table 3 corners are provided by [`StdCorners`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corner {
+    /// Short display name, e.g. `"c0"`.
+    pub name: String,
+    /// Transistor process corner.
+    pub process: Process,
+    /// Supply voltage in volts.
+    pub voltage: f64,
+    /// Junction temperature in °C.
+    pub temp_c: f64,
+    /// Interconnect corner.
+    pub beol: Beol,
+}
+
+/// Alpha exponent of the alpha-power-law drain-current model. A velocity-
+/// saturated 28nm device sits well below the long-channel α=2.
+const ALPHA: f64 = 1.8;
+/// Nominal threshold voltage of the LP process, volts (TT, 25°C).
+const VTH0: f64 = 0.42;
+/// Threshold-voltage temperature coefficient, V/°C (V_th drops when hot).
+const VTH_TEMP_COEFF: f64 = -0.35e-3;
+/// Mobility temperature exponent: µ ∝ (T/T₀)^−1.5 in kelvin.
+const MOBILITY_EXP: f64 = -1.5;
+/// Reference temperature for mobility, °C.
+const TEMP_REF_C: f64 = 25.0;
+
+impl Corner {
+    /// Creates a corner.
+    pub fn new(
+        name: impl Into<String>,
+        process: Process,
+        voltage: f64,
+        temp_c: f64,
+        beol: Beol,
+    ) -> Self {
+        Corner {
+            name: name.into(),
+            process,
+            voltage,
+            temp_c,
+            beol,
+        }
+    }
+
+    /// Effective threshold voltage at this corner's process and temperature.
+    pub fn vth(&self) -> f64 {
+        VTH0 + self.process.vth_shift() + VTH_TEMP_COEFF * (self.temp_c - TEMP_REF_C)
+    }
+
+    /// Gate overdrive `V_dd − V_th`; clamped to a small positive value so
+    /// that absurd corners do not divide by zero.
+    pub fn overdrive(&self) -> f64 {
+        (self.voltage - self.vth()).max(0.02)
+    }
+
+    /// Relative carrier mobility at this corner's temperature (25 °C = 1).
+    pub fn mobility(&self) -> f64 {
+        let t_k = self.temp_c + 273.15;
+        let t0_k = TEMP_REF_C + 273.15;
+        (t_k / t0_k).powf(MOBILITY_EXP)
+    }
+
+    /// Gate-delay scale factor of this corner: proportional to
+    /// `V / (gain · µ(T) · (V − V_th)^α)`. Only **ratios** between corners
+    /// are meaningful; [`crate::Library`] normalizes the absolute value.
+    pub fn delay_factor(&self) -> f64 {
+        let i_rel = self.process.gain() * self.mobility() * self.overdrive().powf(ALPHA);
+        self.voltage / i_rel
+    }
+
+    /// Per-unit wire parasitics of this corner's BEOL, with a mild metal
+    /// temperature coefficient on resistance (+0.35%/°C).
+    pub fn wire_rc(&self) -> WireRc {
+        let (r0, c) = match self.beol {
+            Beol::CMax => (2.2e-3, 0.22), // kΩ/µm, fF/µm
+            Beol::CMin => (1.7e-3, 0.16),
+            Beol::CTyp => (1.95e-3, 0.19),
+        };
+        let r = r0 * (1.0 + 0.0035 * (self.temp_c - TEMP_REF_C));
+        WireRc {
+            r_per_um: r,
+            c_per_um: c,
+        }
+    }
+
+    /// Relative leakage factor: leakage grows exponentially when V_th drops
+    /// and when temperature rises. Normalized to ≈1 at TT/25°C/nominal-V.
+    pub fn leakage_factor(&self) -> f64 {
+        let vth_term = (-(self.vth() - VTH0) / 0.045).exp();
+        let temp_term = ((self.temp_c - TEMP_REF_C) / 55.0).exp();
+        let volt_term = (self.voltage / 0.9).powi(2);
+        vth_term * temp_term * volt_term
+    }
+}
+
+impl std::fmt::Display for Corner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} = ({}, {:.2}V, {:.0}C, {})",
+            self.name, self.process, self.voltage, self.temp_c, self.beol
+        )
+    }
+}
+
+/// Opaque index of a corner within a [`crate::Library`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CornerId(pub usize);
+
+impl std::fmt::Display for CornerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c#{}", self.0)
+    }
+}
+
+/// The four signoff corners of Table 3 of the paper, and the two triples
+/// actually used per testcase class.
+#[derive(Debug, Clone, Copy)]
+pub struct StdCorners;
+
+impl StdCorners {
+    /// `c0 = (SS, 0.90V, −25°C, Cmax)` — the nominal (setup) corner.
+    pub fn c0() -> Corner {
+        Corner::new("c0", Process::Ss, 0.90, -25.0, Beol::CMax)
+    }
+
+    /// `c1 = (SS, 0.75V, −25°C, Cmax)` — the low-voltage setup corner.
+    pub fn c1() -> Corner {
+        Corner::new("c1", Process::Ss, 0.75, -25.0, Beol::CMax)
+    }
+
+    /// `c2 = (FF, 1.10V, 125°C, Cmin)` — a hold corner.
+    pub fn c2() -> Corner {
+        Corner::new("c2", Process::Ff, 1.10, 125.0, Beol::CMin)
+    }
+
+    /// `c3 = (FF, 1.32V, 125°C, Cmin)` — the fast hold corner.
+    pub fn c3() -> Corner {
+        Corner::new("c3", Process::Ff, 1.32, 125.0, Beol::CMin)
+    }
+
+    /// All four Table-3 corners in order.
+    pub fn all() -> Vec<Corner> {
+        vec![Self::c0(), Self::c1(), Self::c2(), Self::c3()]
+    }
+
+    /// The corner triple used for the CLS1 (application-processor)
+    /// testcases: `{c0, c1, c3}`.
+    pub fn c0_c1_c3() -> Vec<Corner> {
+        vec![Self::c0(), Self::c1(), Self::c3()]
+    }
+
+    /// The corner triple used for the CLS2 (memory-controller) testcase:
+    /// `{c0, c1, c2}`.
+    pub fn c0_c1_c2() -> Vec<Corner> {
+        vec![Self::c0(), Self::c1(), Self::c2()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_delay_ratios_match_silicon_expectations() {
+        let c0 = StdCorners::c0().delay_factor();
+        let c1 = StdCorners::c1().delay_factor();
+        let c2 = StdCorners::c2().delay_factor();
+        let c3 = StdCorners::c3().delay_factor();
+        let r1 = c1 / c0;
+        let r2 = c2 / c0;
+        let r3 = c3 / c0;
+        assert!(r1 > 1.6 && r1 < 2.4, "c1/c0 = {r1}");
+        assert!(r2 > 0.4 && r2 < 0.7, "c2/c0 = {r2}");
+        assert!(r3 > 0.3 && r3 < 0.55, "c3/c0 = {r3}");
+        assert!(r3 < r2, "higher voltage FF corner must be faster");
+    }
+
+    #[test]
+    fn vth_moves_with_process_and_temperature() {
+        let ss_cold = StdCorners::c0();
+        let ff_hot = StdCorners::c2();
+        assert!(ss_cold.vth() > ff_hot.vth());
+        // cold raises V_th above nominal shift
+        assert!(ss_cold.vth() > VTH0 + 0.06);
+    }
+
+    #[test]
+    fn mobility_decreases_with_temperature() {
+        assert!(StdCorners::c0().mobility() > 1.0);
+        assert!(StdCorners::c2().mobility() < 1.0);
+    }
+
+    #[test]
+    fn wire_rc_cmax_worse_than_cmin() {
+        let cmax = StdCorners::c0().wire_rc();
+        let cmin = StdCorners::c3().wire_rc();
+        assert!(cmax.c_per_um > cmin.c_per_um);
+        // c3 is hot, which raises metal R, but the Cmin base is far enough
+        // below Cmax that RC is still clearly better.
+        assert!(
+            cmax.r_per_um * cmax.c_per_um > cmin.r_per_um * cmin.c_per_um,
+            "Cmax RC product must exceed Cmin"
+        );
+    }
+
+    #[test]
+    fn leakage_orders_ss_cold_below_ff_hot() {
+        assert!(StdCorners::c0().leakage_factor() < StdCorners::c3().leakage_factor());
+    }
+
+    #[test]
+    fn overdrive_clamped_for_absurd_corners() {
+        let c = Corner::new("bad", Process::Ss, 0.2, -40.0, Beol::CMax);
+        assert!(c.overdrive() >= 0.02);
+        assert!(c.delay_factor().is_finite());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(StdCorners::c0().to_string(), "c0 = (ss, 0.90V, -25C, Cmax)");
+        assert_eq!(CornerId(2).to_string(), "c#2");
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Synthetic multi-corner standard-cell library — the PDK/Liberty substrate.
+//!
+//! The DAC'15 flow this workspace reproduces was evaluated on a foundry 28nm
+//! LP technology with Liberty libraries characterized at four PVT corners
+//! (Table 3 of the paper). No such PDK can ship with an open-source
+//! reproduction, so this crate *generates* a library with the same structure:
+//!
+//! * a clock-inverter family in **five sizes** (the paper's ECO lookup
+//!   tables use five inverter sizes),
+//! * NLDM-style two-dimensional lookup tables (input slew × load
+//!   capacitance) for cell delay and output slew, one per (cell, corner),
+//! * per-corner wire RC for the Cmax / Cmin back-end-of-line corners.
+//!
+//! Table values come from an alpha-power-law MOSFET model
+//! (`I ∝ (V - V_th)^α` with process- and temperature-dependent `V_th` and
+//! mobility), so cross-corner delay **ratios** behave like silicon: the
+//! 0.75 V SS corner is ≈1.9× slower than the 0.90 V SS corner and the FF
+//! high-voltage corners are ≈0.43–0.56× faster, reproducing the ratio bands
+//! of Fig. 2 of the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use clk_liberty::{Library, StdCorners};
+//!
+//! let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+//! let inv = lib.cell_by_name("CLKINV_X4").expect("size exists");
+//! // delay of an X4 inverter at the nominal corner, 20ps input slew, 10fF load
+//! let d0 = lib.gate_delay(inv, clk_liberty::CornerId(0), 20.0, 10.0);
+//! let d1 = lib.gate_delay(inv, clk_liberty::CornerId(1), 20.0, 10.0);
+//! assert!(d1 > 1.5 * d0, "low-voltage SS corner must be much slower");
+//! ```
+
+pub mod cell;
+pub mod corner;
+pub mod library;
+pub mod lut;
+pub mod text;
+
+pub use cell::{Cell, CellId};
+pub use corner::{Beol, Corner, CornerId, Process, StdCorners, WireRc};
+pub use library::Library;
+pub use library::{analytic_gate_delay, analytic_output_slew, INVERTER_DRIVES};
+pub use lut::{BuildLutError, Lut1, Lut2};

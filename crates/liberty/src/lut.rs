@@ -1,0 +1,259 @@
+//! One- and two-dimensional lookup tables with linear interpolation —
+//! the NLDM table primitive, also reused by the ECO stage-delay LUTs.
+
+/// A one-dimensional piecewise-linear lookup table.
+///
+/// Outside the axis range the table **extrapolates linearly** from the two
+/// nearest breakpoints, matching common Liberty delay-calculator behaviour.
+///
+/// ```
+/// use clk_liberty::Lut1;
+/// let t = Lut1::new(vec![0.0, 10.0, 20.0], vec![1.0, 2.0, 4.0]).unwrap();
+/// assert_eq!(t.eval(5.0), 1.5);
+/// assert_eq!(t.eval(30.0), 6.0); // extrapolated
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lut1 {
+    axis: Vec<f64>,
+    values: Vec<f64>,
+}
+
+/// Error building a lookup table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildLutError {
+    /// Axis and value lengths differ, or a dimension is empty / too short.
+    ShapeMismatch,
+    /// An axis is not strictly increasing.
+    AxisNotIncreasing,
+}
+
+impl std::fmt::Display for BuildLutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildLutError::ShapeMismatch => f.write_str("table shape mismatch"),
+            BuildLutError::AxisNotIncreasing => f.write_str("axis not strictly increasing"),
+        }
+    }
+}
+
+impl std::error::Error for BuildLutError {}
+
+fn check_axis(axis: &[f64]) -> Result<(), BuildLutError> {
+    if axis.len() < 2 {
+        return Err(BuildLutError::ShapeMismatch);
+    }
+    if axis.windows(2).any(|w| w[1] <= w[0]) {
+        return Err(BuildLutError::AxisNotIncreasing);
+    }
+    Ok(())
+}
+
+/// Index of the segment `[axis[i], axis[i+1]]` to use for `x`, clamped so
+/// that out-of-range points use the first/last segment (linear
+/// extrapolation).
+fn segment(axis: &[f64], x: f64) -> usize {
+    match axis.binary_search_by(|a| a.partial_cmp(&x).expect("finite axis")) {
+        Ok(i) => i.min(axis.len() - 2),
+        Err(0) => 0,
+        Err(i) => (i - 1).min(axis.len() - 2),
+    }
+}
+
+impl Lut1 {
+    /// Builds a 1-D table.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildLutError::ShapeMismatch`] when lengths differ or are < 2;
+    /// [`BuildLutError::AxisNotIncreasing`] when the axis is not strictly
+    /// increasing.
+    pub fn new(axis: Vec<f64>, values: Vec<f64>) -> Result<Self, BuildLutError> {
+        check_axis(&axis)?;
+        if axis.len() != values.len() {
+            return Err(BuildLutError::ShapeMismatch);
+        }
+        Ok(Lut1 { axis, values })
+    }
+
+    /// Evaluates the table at `x` with linear interpolation/extrapolation.
+    pub fn eval(&self, x: f64) -> f64 {
+        let i = segment(&self.axis, x);
+        let (x0, x1) = (self.axis[i], self.axis[i + 1]);
+        let (y0, y1) = (self.values[i], self.values[i + 1]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// The table axis.
+    pub fn axis(&self) -> &[f64] {
+        &self.axis
+    }
+
+    /// The table values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// A two-dimensional bilinear lookup table, NLDM style.
+///
+/// Rows follow the first axis, columns the second. Out-of-range queries
+/// extrapolate linearly along each axis, which mirrors how signoff delay
+/// calculators treat slews/loads outside the characterized window.
+///
+/// ```
+/// use clk_liberty::Lut2;
+/// let t = Lut2::new(
+///     vec![0.0, 1.0],          // e.g. input slew
+///     vec![0.0, 10.0],         // e.g. load cap
+///     vec![vec![0.0, 10.0], vec![1.0, 11.0]],
+/// ).unwrap();
+/// assert_eq!(t.eval(0.5, 5.0), 5.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lut2 {
+    axis1: Vec<f64>,
+    axis2: Vec<f64>,
+    /// `values[i][j]` at `(axis1[i], axis2[j])`.
+    values: Vec<Vec<f64>>,
+}
+
+impl Lut2 {
+    /// Builds a 2-D table.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildLutError`] when the shape is inconsistent or an axis is not
+    /// strictly increasing.
+    pub fn new(
+        axis1: Vec<f64>,
+        axis2: Vec<f64>,
+        values: Vec<Vec<f64>>,
+    ) -> Result<Self, BuildLutError> {
+        check_axis(&axis1)?;
+        check_axis(&axis2)?;
+        if values.len() != axis1.len() || values.iter().any(|r| r.len() != axis2.len()) {
+            return Err(BuildLutError::ShapeMismatch);
+        }
+        Ok(Lut2 {
+            axis1,
+            axis2,
+            values,
+        })
+    }
+
+    /// Builds the table by sampling `f(a1, a2)` on the grid.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Lut2::new`].
+    pub fn tabulate(
+        axis1: Vec<f64>,
+        axis2: Vec<f64>,
+        mut f: impl FnMut(f64, f64) -> f64,
+    ) -> Result<Self, BuildLutError> {
+        check_axis(&axis1)?;
+        check_axis(&axis2)?;
+        let values = axis1
+            .iter()
+            .map(|&a| axis2.iter().map(|&b| f(a, b)).collect())
+            .collect();
+        Ok(Lut2 {
+            axis1,
+            axis2,
+            values,
+        })
+    }
+
+    /// Evaluates the table at `(x1, x2)` with bilinear
+    /// interpolation/extrapolation.
+    pub fn eval(&self, x1: f64, x2: f64) -> f64 {
+        let i = segment(&self.axis1, x1);
+        let j = segment(&self.axis2, x2);
+        let (a0, a1) = (self.axis1[i], self.axis1[i + 1]);
+        let (b0, b1) = (self.axis2[j], self.axis2[j + 1]);
+        let t = (x1 - a0) / (a1 - a0);
+        let u = (x2 - b0) / (b1 - b0);
+        let v00 = self.values[i][j];
+        let v01 = self.values[i][j + 1];
+        let v10 = self.values[i + 1][j];
+        let v11 = self.values[i + 1][j + 1];
+        v00 * (1.0 - t) * (1.0 - u) + v01 * (1.0 - t) * u + v10 * t * (1.0 - u) + v11 * t * u
+    }
+
+    /// First (row) axis.
+    pub fn axis1(&self) -> &[f64] {
+        &self.axis1
+    }
+
+    /// Second (column) axis.
+    pub fn axis2(&self) -> &[f64] {
+        &self.axis2
+    }
+
+    /// Raw values, row-major.
+    pub fn values(&self) -> &[Vec<f64>] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut1_rejects_bad_shapes() {
+        assert_eq!(
+            Lut1::new(vec![0.0], vec![1.0]).unwrap_err(),
+            BuildLutError::ShapeMismatch
+        );
+        assert_eq!(
+            Lut1::new(vec![0.0, 0.0], vec![1.0, 2.0]).unwrap_err(),
+            BuildLutError::AxisNotIncreasing
+        );
+        assert_eq!(
+            Lut1::new(vec![0.0, 1.0], vec![1.0]).unwrap_err(),
+            BuildLutError::ShapeMismatch
+        );
+    }
+
+    #[test]
+    fn lut1_hits_breakpoints_exactly() {
+        let t = Lut1::new(vec![1.0, 2.0, 4.0], vec![10.0, 20.0, 0.0]).unwrap();
+        assert_eq!(t.eval(1.0), 10.0);
+        assert_eq!(t.eval(2.0), 20.0);
+        assert_eq!(t.eval(4.0), 0.0);
+        assert_eq!(t.eval(3.0), 10.0);
+    }
+
+    #[test]
+    fn lut1_extrapolates() {
+        let t = Lut1::new(vec![0.0, 1.0], vec![0.0, 2.0]).unwrap();
+        assert_eq!(t.eval(-1.0), -2.0);
+        assert_eq!(t.eval(2.0), 4.0);
+    }
+
+    #[test]
+    fn lut2_reproduces_bilinear_function_exactly() {
+        // f(x, y) = 3 + 2x + 5y is affine per axis; but bilinear
+        // interpolation is exact for functions with an xy term only within
+        // cells when sampled on the grid, so test an affine function.
+        let f = |x: f64, y: f64| 3.0 + 2.0 * x + 5.0 * y;
+        let t = Lut2::tabulate(vec![0.0, 2.0, 5.0], vec![1.0, 4.0, 9.0], f).unwrap();
+        for &(x, y) in &[(0.5, 2.0), (3.0, 8.0), (-1.0, 0.0), (6.0, 12.0)] {
+            assert!((t.eval(x, y) - f(x, y)).abs() < 1e-9, "at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn lut2_monotone_table_interpolates_within_bounds() {
+        let t = Lut2::tabulate(vec![1.0, 2.0, 3.0], vec![1.0, 2.0], |a, b| a * b).unwrap();
+        let v = t.eval(1.5, 1.5);
+        assert!(v > 1.0 && v < 6.0);
+    }
+
+    #[test]
+    fn lut2_shape_errors() {
+        assert!(Lut2::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![vec![0.0, 1.0]]).is_err());
+        assert!(Lut2::new(vec![1.0, 0.0], vec![0.0, 1.0], vec![vec![0.0; 2]; 2]).is_err());
+    }
+}

@@ -1,0 +1,434 @@
+//! Liberty-format text output and a minimal reader.
+//!
+//! The paper's framework interfaces with commercial P&R/STA tools through
+//! production PDK libraries; this module is that interface's stand-in. It
+//! writes the synthetic library as industry-syntax Liberty (`.lib`) — one
+//! file per corner, NLDM `lu_table_template`/`cell`/`pin`/`timing` groups
+//! — and reads the same dialect back, so external tooling (or a future
+//! real-PDK flow) can exchange characterization data with this workspace.
+//!
+//! The reader handles the subset this crate writes (it is not a general
+//! Liberty parser): nested `group(name) { ... }` blocks,
+//! `attribute : value;` statements and quoted number lists.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::{Cell, CellId, Corner, CornerId, Library, Lut2};
+
+/// Writes one corner of the library as Liberty text.
+///
+/// ```
+/// use clk_liberty::{Library, StdCorners, CornerId};
+/// let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+/// let text = clk_liberty::text::write_liberty(&lib, CornerId(0));
+/// assert!(text.contains("library (clockvar_28nm_c0)"));
+/// assert!(text.contains("cell (CLKINV_X4)"));
+/// ```
+pub fn write_liberty(lib: &Library, corner: CornerId) -> String {
+    let c = lib.corner(corner);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "/* synthetic 28nm-class clock library, corner {} */",
+        c.name
+    );
+    let _ = writeln!(out, "library (clockvar_28nm_{}) {{", c.name);
+    let _ = writeln!(out, "  delay_model : table_lookup;");
+    let _ = writeln!(out, "  time_unit : \"1ps\";");
+    let _ = writeln!(out, "  capacitive_load_unit (1, ff);");
+    let _ = writeln!(out, "  voltage_unit : \"1V\";");
+    let _ = writeln!(out, "  nom_voltage : {:.2};", c.voltage);
+    let _ = writeln!(out, "  nom_temperature : {:.1};", c.temp_c);
+    let _ = writeln!(out, "  nom_process : 1.0;");
+
+    for (idx, cell) in lib.cells().iter().enumerate() {
+        let id = CellId(idx);
+        let delay = sample_table(lib, id, corner, true);
+        let slew = sample_table(lib, id, corner, false);
+        let _ = writeln!(out, "  cell ({}) {{", cell.name);
+        let _ = writeln!(out, "    area : {:.4};", cell.area_um2);
+        let _ = writeln!(
+            out,
+            "    cell_leakage_power : {:.6};",
+            lib.cell_leakage_nw(id, corner)
+        );
+        let _ = writeln!(out, "    pin (A) {{");
+        let _ = writeln!(out, "      direction : input;");
+        let _ = writeln!(out, "      capacitance : {:.4};", cell.input_cap_ff);
+        let _ = writeln!(out, "    }}");
+        let _ = writeln!(out, "    pin (Y) {{");
+        let _ = writeln!(out, "      direction : output;");
+        let _ = writeln!(out, "      function : \"(!A)\";");
+        let _ = writeln!(out, "      max_capacitance : {:.4};", cell.max_cap_ff);
+        let _ = writeln!(out, "      timing () {{");
+        let _ = writeln!(out, "        related_pin : \"A\";");
+        let _ = writeln!(out, "        timing_sense : negative_unate;");
+        write_lut(&mut out, "cell_rise", &delay);
+        write_lut(&mut out, "rise_transition", &slew);
+        let _ = writeln!(out, "      }}");
+        let _ = writeln!(out, "    }}");
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Samples the library's (interpolating) tables back onto a fixed grid so
+/// the emitted Liberty is self-contained.
+fn sample_table(lib: &Library, cell: CellId, corner: CornerId, delay: bool) -> Lut2 {
+    let slews = vec![2.0, 10.0, 40.0, 160.0, 320.0];
+    let loads: Vec<f64> = [0.5, 2.0, 8.0, 16.0, 30.0]
+        .iter()
+        .map(|s| s * lib.cell(cell).drive)
+        .collect();
+    Lut2::tabulate(slews, loads, |s, c| {
+        if delay {
+            lib.gate_delay(cell, corner, s, c)
+        } else {
+            lib.gate_output_slew(cell, corner, s, c)
+        }
+    })
+    .expect("fixed axes are valid")
+}
+
+fn write_lut(out: &mut String, group: &str, t: &Lut2) {
+    let fmt_row = |row: &[f64]| -> String {
+        row.iter()
+            .map(|v| format!("{v:.4}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let _ = writeln!(out, "        {group} (delay_template) {{");
+    let _ = writeln!(out, "          index_1 (\"{}\");", fmt_row(t.axis1()));
+    let _ = writeln!(out, "          index_2 (\"{}\");", fmt_row(t.axis2()));
+    let _ = writeln!(out, "          values ( \\");
+    for (i, row) in t.values().iter().enumerate() {
+        let sep = if i + 1 == t.values().len() {
+            " );"
+        } else {
+            ", \\"
+        };
+        let _ = writeln!(out, "            \"{}\"{sep}", fmt_row(row));
+    }
+    let _ = writeln!(out, "        }}");
+}
+
+/// A parsed Liberty cell (the subset [`write_liberty`] emits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedCell {
+    /// Cell master name.
+    pub name: String,
+    /// `area` attribute, µm².
+    pub area_um2: f64,
+    /// Input pin capacitance, fF.
+    pub input_cap_ff: f64,
+    /// Output max capacitance, fF.
+    pub max_cap_ff: f64,
+    /// The `cell_rise` NLDM table.
+    pub delay: Lut2,
+    /// The `rise_transition` NLDM table.
+    pub slew: Lut2,
+}
+
+/// A parsed Liberty library (the subset [`write_liberty`] emits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedLiberty {
+    /// `library (...)` group name.
+    pub name: String,
+    /// `nom_voltage`.
+    pub nom_voltage: f64,
+    /// `nom_temperature`.
+    pub nom_temperature: f64,
+    /// Parsed cells, in file order.
+    pub cells: Vec<ParsedCell>,
+}
+
+impl ParsedLiberty {
+    /// Finds a parsed cell by name.
+    pub fn cell(&self, name: &str) -> Option<&ParsedCell> {
+        self.cells.iter().find(|c| c.name == name)
+    }
+}
+
+/// Errors from [`parse_liberty`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLibertyError {
+    /// Offending line (1-based) where parsing stopped.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseLibertyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "liberty parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseLibertyError {}
+
+/// A parsed group tree node.
+#[derive(Debug, Default)]
+struct Group {
+    kind: String,
+    name: String,
+    attrs: HashMap<String, String>,
+    children: Vec<Group>,
+}
+
+/// Parses the dialect emitted by [`write_liberty`].
+///
+/// # Errors
+///
+/// [`ParseLibertyError`] on structural problems (unbalanced braces,
+/// missing required attributes, malformed tables).
+pub fn parse_liberty(text: &str) -> Result<ParsedLiberty, ParseLibertyError> {
+    let root = parse_groups(text)?;
+    let lib = root
+        .children
+        .iter()
+        .find(|g| g.kind == "library")
+        .ok_or_else(|| err(1, "no library group"))?;
+    let mut cells = Vec::new();
+    for cg in lib.children.iter().filter(|g| g.kind == "cell") {
+        let area = attr_f64(cg, "area")?;
+        let mut input_cap = 0.0;
+        let mut max_cap = 0.0;
+        let mut delay = None;
+        let mut slew = None;
+        for pin in cg.children.iter().filter(|g| g.kind == "pin") {
+            if let Some(c) = pin.attrs.get("capacitance") {
+                input_cap = parse_f64(c)?;
+            }
+            if let Some(c) = pin.attrs.get("max_capacitance") {
+                max_cap = parse_f64(c)?;
+            }
+            for timing in pin.children.iter().filter(|g| g.kind == "timing") {
+                for t in &timing.children {
+                    match t.kind.as_str() {
+                        "cell_rise" => delay = Some(parse_lut(t)?),
+                        "rise_transition" => slew = Some(parse_lut(t)?),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        cells.push(ParsedCell {
+            name: cg.name.clone(),
+            area_um2: area,
+            input_cap_ff: input_cap,
+            max_cap_ff: max_cap,
+            delay: delay.ok_or_else(|| err(0, "cell without cell_rise table"))?,
+            slew: slew.ok_or_else(|| err(0, "cell without rise_transition table"))?,
+        });
+    }
+    Ok(ParsedLiberty {
+        name: lib.name.clone(),
+        nom_voltage: attr_f64(lib, "nom_voltage")?,
+        nom_temperature: attr_f64(lib, "nom_temperature")?,
+        cells,
+    })
+}
+
+fn err(line: usize, m: impl Into<String>) -> ParseLibertyError {
+    ParseLibertyError {
+        line,
+        message: m.into(),
+    }
+}
+
+fn parse_f64(s: &str) -> Result<f64, ParseLibertyError> {
+    s.trim()
+        .parse()
+        .map_err(|_| err(0, format!("bad number: {s:?}")))
+}
+
+fn attr_f64(g: &Group, key: &str) -> Result<f64, ParseLibertyError> {
+    parse_f64(
+        g.attrs
+            .get(key)
+            .ok_or_else(|| err(0, format!("missing attribute {key}")))?,
+    )
+}
+
+fn parse_lut(g: &Group) -> Result<Lut2, ParseLibertyError> {
+    let nums = |key: &str| -> Result<Vec<f64>, ParseLibertyError> {
+        let raw = g
+            .attrs
+            .get(key)
+            .ok_or_else(|| err(0, format!("missing {key}")))?;
+        raw.replace(['(', ')', '"', '\\'], " ")
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(parse_f64)
+            .collect()
+    };
+    let a1 = nums("index_1")?;
+    let a2 = nums("index_2")?;
+    let flat = nums("values")?;
+    if a1.is_empty() || a2.is_empty() || flat.len() != a1.len() * a2.len() {
+        return Err(err(0, "table shape mismatch"));
+    }
+    let values: Vec<Vec<f64>> = flat.chunks(a2.len()).map(|r| r.to_vec()).collect();
+    Lut2::new(a1, a2, values).map_err(|e| err(0, e.to_string()))
+}
+
+/// Tokenizes `text` into a group tree. Handles `/* */` comments,
+/// `key : value;`, `key (args...);`-style complex attributes (stored with
+/// the parenthesized body as the value) and nested `kind (name) { ... }`.
+fn parse_groups(text: &str) -> Result<Group, ParseLibertyError> {
+    // strip comments
+    let mut src = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(i) = rest.find("/*") {
+        src.push_str(&rest[..i]);
+        match rest[i..].find("*/") {
+            Some(j) => rest = &rest[i + j + 2..],
+            None => return Err(err(0, "unterminated comment")),
+        }
+    }
+    src.push_str(rest);
+    // join continuation lines
+    let src = src.replace("\\\n", " ");
+
+    let mut root = Group::default();
+    let mut stack: Vec<Group> = vec![];
+    let mut cur = std::mem::take(&mut root);
+    for (ln, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "}" {
+            let done = cur;
+            cur = stack
+                .pop()
+                .ok_or_else(|| err(ln + 1, "unbalanced closing brace"))?;
+            cur.children.push(done);
+            continue;
+        }
+        if let Some(body) = line.strip_suffix('{') {
+            // `kind (name) {`
+            let body = body.trim();
+            let (kind, name) = match body.split_once('(') {
+                Some((k, n)) => (
+                    k.trim().to_string(),
+                    n.trim().trim_end_matches(')').trim().to_string(),
+                ),
+                None => (body.to_string(), String::new()),
+            };
+            stack.push(cur);
+            cur = Group {
+                kind,
+                name,
+                ..Group::default()
+            };
+            continue;
+        }
+        let stmt = line.trim_end_matches(';').trim();
+        if let Some((key, value)) = stmt.split_once(':') {
+            cur.attrs.insert(
+                key.trim().to_string(),
+                value.trim().trim_matches('"').to_string(),
+            );
+        } else if let Some((key, value)) = stmt.split_once('(') {
+            // complex attribute: index_1 ("...") / values (...)
+            cur.attrs.insert(
+                key.trim().to_string(),
+                value.trim().trim_end_matches(')').to_string(),
+            );
+        }
+    }
+    if !stack.is_empty() {
+        return Err(err(src.lines().count(), "unbalanced open brace"));
+    }
+    Ok(Group {
+        children: vec![cur]
+            .into_iter()
+            .flat_map(|g| {
+                if g.kind.is_empty() {
+                    g.children
+                } else {
+                    vec![g]
+                }
+            })
+            .collect(),
+        ..Group::default()
+    })
+}
+
+/// Convenience: a parsed view of every corner of `lib`.
+pub fn round_trip(lib: &Library) -> Result<Vec<ParsedLiberty>, ParseLibertyError> {
+    lib.corner_ids()
+        .map(|c| parse_liberty(&write_liberty(lib, c)))
+        .collect()
+}
+
+/// Used by tests to compare cells.
+pub fn cells_match(lib_cell: &Cell, parsed: &ParsedCell, tol: f64) -> bool {
+    (lib_cell.area_um2 - parsed.area_um2).abs() < tol
+        && (lib_cell.input_cap_ff - parsed.input_cap_ff).abs() < tol
+        && (lib_cell.max_cap_ff - parsed.max_cap_ff).abs() < tol
+}
+
+/// Re-exported corner helper for binding parsed data to corners.
+pub fn corner_label(c: &Corner) -> String {
+    format!("clockvar_28nm_{}", c.name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StdCorners;
+
+    #[test]
+    fn writes_syntactically_balanced_liberty() {
+        let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+        let text = write_liberty(&lib, CornerId(1));
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert!(text.contains("nom_voltage : 0.75"));
+        assert!(text.contains("pin (Y)"));
+    }
+
+    #[test]
+    fn round_trips_every_corner() {
+        let lib = Library::synthetic_28nm(StdCorners::all());
+        let parsed = round_trip(&lib).expect("parses its own output");
+        assert_eq!(parsed.len(), 4);
+        for (k, p) in parsed.iter().enumerate() {
+            assert_eq!(p.name, corner_label(lib.corner(CornerId(k))));
+            assert_eq!(p.cells.len(), lib.cells().len());
+            for (i, cell) in lib.cells().iter().enumerate() {
+                let pc = p.cell(&cell.name).expect("cell present");
+                assert!(cells_match(cell, pc, 1e-3), "{} mismatch", cell.name);
+                // table lookups agree with the library within print precision
+                let want = lib.gate_delay(CellId(i), CornerId(k), 40.0, 8.0 * cell.drive);
+                let got = pc.delay.eval(40.0, 8.0 * cell.drive);
+                assert!((want - got).abs() < 0.01, "{}: {want} vs {got}", cell.name);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_liberty("cell (X) {").is_err());
+        assert!(parse_liberty("}").is_err());
+        assert!(parse_liberty("/* unterminated").is_err());
+        assert!(parse_liberty("").is_err()); // no library group
+    }
+
+    #[test]
+    fn parse_error_displays() {
+        let e = parse_liberty("}").unwrap_err();
+        assert!(e.to_string().contains("line"));
+    }
+}

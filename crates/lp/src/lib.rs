@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! A linear-programming solver — the optimization substrate behind the
+//! paper's global skew-variation LP (Eqs. (4)–(11)).
+//!
+//! [`Problem`] models `min cᵀx` subject to sparse linear rows
+//! (`≤`, `=`, `≥`) and per-variable bounds (± infinity allowed). [`solve`]
+//! runs a **bounded-variable revised primal simplex** with an explicit
+//! dense basis inverse, two-phase start (artificial variables), Dantzig
+//! pricing and a Bland anti-cycling fallback.
+//!
+//! The dense inverse bounds practical problems to a few thousand rows,
+//! which matches this workspace's scaled testcases (the paper offloads its
+//! LP to a commercial solver; see DESIGN.md §4).
+//!
+//! # Examples
+//!
+//! ```
+//! use clk_lp::{Problem, RowKind};
+//!
+//! // max x + y  s.t. x + 2y <= 4, 3x + y <= 6, x,y >= 0
+//! let mut p = Problem::new();
+//! let x = p.add_var(0.0, f64::INFINITY, -1.0);
+//! let y = p.add_var(0.0, f64::INFINITY, -1.0);
+//! p.add_row(RowKind::Le, 4.0, &[(x, 1.0), (y, 2.0)]);
+//! p.add_row(RowKind::Le, 6.0, &[(x, 3.0), (y, 1.0)]);
+//! let sol = clk_lp::solve(&p)?;
+//! assert!((sol.objective - (-2.8)).abs() < 1e-6); // x = 1.6, y = 1.2
+//! # Ok::<(), clk_lp::LpError>(())
+//! ```
+
+pub mod simplex;
+
+pub use simplex::{solve, LpError, Problem, RowKind, Solution, VarId};

@@ -1,0 +1,767 @@
+//! Bounded-variable revised primal simplex with explicit basis inverse.
+
+/// Handle of a decision variable in a [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+/// Relation of a constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowKind {
+    /// `Σ aᵢxᵢ ≤ rhs`
+    Le,
+    /// `Σ aᵢxᵢ = rhs`
+    Eq,
+    /// `Σ aᵢxᵢ ≥ rhs`
+    Ge,
+}
+
+/// Errors from [`solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below on the feasible set.
+    Unbounded,
+    /// The pivot limit was exceeded (numerical trouble).
+    IterationLimit,
+    /// The problem definition is invalid.
+    BadProblem(String),
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => f.write_str("problem is infeasible"),
+            LpError::Unbounded => f.write_str("objective is unbounded"),
+            LpError::IterationLimit => f.write_str("simplex iteration limit exceeded"),
+            LpError::BadProblem(m) => write!(f, "invalid problem: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// A linear program `min cᵀx` over sparse rows and variable bounds.
+#[derive(Debug, Clone, Default)]
+pub struct Problem {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    cost: Vec<f64>,
+    rows: Vec<(RowKind, f64)>,
+    /// column-major sparse structural matrix
+    cols: Vec<Vec<(usize, f64)>>,
+}
+
+impl Problem {
+    /// An empty problem.
+    pub fn new() -> Self {
+        Problem::default()
+    }
+
+    /// Adds a variable with bounds `[lo, hi]` (±∞ allowed) and objective
+    /// coefficient `cost`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `cost` is not finite.
+    pub fn add_var(&mut self, lo: f64, hi: f64, cost: f64) -> VarId {
+        assert!(lo <= hi, "variable bounds out of order: [{lo}, {hi}]");
+        assert!(cost.is_finite(), "objective coefficient must be finite");
+        self.lo.push(lo);
+        self.hi.push(hi);
+        self.cost.push(cost);
+        self.cols.push(Vec::new());
+        VarId(self.cols.len() - 1)
+    }
+
+    /// Adds a constraint row `Σ coef·var (kind) rhs`. Duplicate variable
+    /// terms are summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` or a coefficient is not finite, or a variable is
+    /// unknown.
+    pub fn add_row(&mut self, kind: RowKind, rhs: f64, terms: &[(VarId, f64)]) {
+        assert!(rhs.is_finite(), "rhs must be finite");
+        let row = self.rows.len();
+        self.rows.push((kind, rhs));
+        let mut merged: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+        for &(v, a) in terms {
+            assert!(a.is_finite(), "coefficient must be finite");
+            assert!(v.0 < self.cols.len(), "unknown variable {v:?}");
+            *merged.entry(v.0).or_insert(0.0) += a;
+        }
+        for (v, a) in merged {
+            if a != 0.0 {
+                self.cols[v].push((row, a));
+            }
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal variable values (structural variables only).
+    pub x: Vec<f64>,
+    /// Optimal objective value `cᵀx`.
+    pub objective: f64,
+    /// Simplex pivots used.
+    pub iterations: usize,
+}
+
+impl Solution {
+    /// The value of `v`.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.x[v.0]
+    }
+}
+
+const TOL: f64 = 1e-7;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Basic,
+    AtLower,
+    AtUpper,
+    /// Free nonbasic variable parked at zero.
+    FreeZero,
+}
+
+struct Tableau {
+    /// per-variable sparse columns (structural + slack + artificial)
+    cols: Vec<Vec<(usize, f64)>>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    cost: Vec<f64>,
+    phase_cost: Vec<f64>,
+    state: Vec<State>,
+    /// variable basic in each row
+    basis: Vec<usize>,
+    /// dense row-major basis inverse, m×m
+    binv: Vec<f64>,
+    /// values of basic variables per row
+    xb: Vec<f64>,
+    m: usize,
+}
+
+impl Tableau {
+    fn nb_value(&self, j: usize) -> f64 {
+        match self.state[j] {
+            State::AtLower => self.lo[j],
+            State::AtUpper => self.hi[j],
+            State::FreeZero => 0.0,
+            State::Basic => unreachable!("nb_value of basic"),
+        }
+    }
+
+    /// w = B⁻¹ · A_j
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let m = self.m;
+        let mut w = vec![0.0; m];
+        for &(r, a) in &self.cols[j] {
+            for i in 0..m {
+                w[i] += self.binv[i * m + r] * a;
+            }
+        }
+        w
+    }
+
+    /// y = B⁻ᵀ · c_B for the given cost vector.
+    fn btran(&self, cost: &[f64]) -> Vec<f64> {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        for i in 0..m {
+            let cb = cost[self.basis[i]];
+            if cb != 0.0 {
+                let row = &self.binv[i * m..(i + 1) * m];
+                for (k, yk) in y.iter_mut().enumerate() {
+                    *yk += cb * row[k];
+                }
+            }
+        }
+        y
+    }
+
+    fn reduced_cost(&self, j: usize, y: &[f64], cost: &[f64]) -> f64 {
+        let mut d = cost[j];
+        for &(r, a) in &self.cols[j] {
+            d -= y[r] * a;
+        }
+        d
+    }
+
+    /// One simplex phase over the given costs. Returns Ok(objective).
+    fn optimize(&mut self, use_phase_cost: bool, max_iters: usize) -> Result<usize, LpError> {
+        let mut iters = 0usize;
+        let mut degen_streak = 0usize;
+        let n = self.cols.len();
+        loop {
+            if iters >= max_iters {
+                return Err(LpError::IterationLimit);
+            }
+            let cost = if use_phase_cost {
+                &self.phase_cost
+            } else {
+                &self.cost
+            };
+            let y = self.btran(cost);
+            // --- pricing ---
+            let bland = degen_streak > 2 * self.m + 20;
+            let mut enter: Option<(usize, f64, f64)> = None; // (var, dir, |d|)
+            for j in 0..n {
+                match self.state[j] {
+                    State::Basic => continue,
+                    _ => {}
+                }
+                if self.lo[j] == self.hi[j] {
+                    continue; // fixed
+                }
+                let d = self.reduced_cost(j, &y, cost);
+                let dir = match self.state[j] {
+                    State::AtLower if d < -TOL => 1.0,
+                    State::AtUpper if d > TOL => -1.0,
+                    State::FreeZero if d < -TOL => 1.0,
+                    State::FreeZero if d > TOL => -1.0,
+                    _ => continue,
+                };
+                if bland {
+                    enter = Some((j, dir, d.abs()));
+                    break;
+                }
+                if enter.map_or(true, |(_, _, best)| d.abs() > best) {
+                    enter = Some((j, dir, d.abs()));
+                }
+            }
+            let Some((j, dir, _)) = enter else {
+                if std::env::var_os("CLK_LP_DEBUG").is_some() {
+                    eprintln!(
+                        "optimal: iters={iters} basis={:?} xb={:?} states={:?}",
+                        self.basis, self.xb, self.state
+                    );
+                }
+                return Ok(iters);
+            };
+            if std::env::var_os("CLK_LP_DEBUG").is_some() {
+                eprintln!(
+                    "enter j={j} dir={dir} basis={:?} xb={:?}",
+                    self.basis, self.xb
+                );
+            }
+            // --- ratio test ---
+            let w = self.ftran(j);
+            // entering may move at most its own range before flipping
+            let own_range = self.hi[j] - self.lo[j]; // may be inf
+            let mut t = if own_range.is_finite() {
+                own_range
+            } else {
+                f64::INFINITY
+            };
+            let mut leave: Option<usize> = None; // row index
+            for (i, &wi) in w.iter().enumerate() {
+                let delta = -dir * wi; // change of x_B[i] per unit t
+                let b = self.basis[i];
+                let ti = if delta < -TOL {
+                    if self.lo[b].is_finite() {
+                        (self.xb[i] - self.lo[b]) / (-delta)
+                    } else {
+                        f64::INFINITY
+                    }
+                } else if delta > TOL {
+                    if self.hi[b].is_finite() {
+                        (self.hi[b] - self.xb[i]) / delta
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    f64::INFINITY
+                };
+                let ti = ti.max(0.0);
+                if ti < t - TOL
+                    || (ti < t + TOL && leave.map_or(false, |r| b < self.basis[r]) && bland)
+                {
+                    t = ti;
+                    leave = Some(i);
+                } else if ti < t {
+                    t = ti;
+                    leave = Some(i);
+                }
+            }
+            if !t.is_finite() {
+                return Err(LpError::Unbounded);
+            }
+            if t < TOL {
+                degen_streak += 1;
+            } else {
+                degen_streak = 0;
+            }
+            let delta_j = dir * t;
+            match leave {
+                None => {
+                    // bound flip: entering runs to its other bound
+                    for (i, &wi) in w.iter().enumerate() {
+                        self.xb[i] -= delta_j * wi;
+                    }
+                    self.state[j] = match self.state[j] {
+                        State::AtLower => State::AtUpper,
+                        State::AtUpper => State::AtLower,
+                        // a free variable can never flip (infinite range)
+                        s => s,
+                    };
+                }
+                Some(r) => {
+                    let entering_val = self.nb_value(j) + delta_j;
+                    let leaving = self.basis[r];
+                    // move all basics
+                    for (i, &wi) in w.iter().enumerate() {
+                        self.xb[i] -= delta_j * wi;
+                    }
+                    // classify the leaving variable at the bound it hit
+                    let hit_upper = {
+                        let delta = -dir * w[r];
+                        delta > 0.0
+                    };
+                    self.state[leaving] = if self.lo[leaving] == self.hi[leaving] {
+                        State::AtLower
+                    } else if hit_upper {
+                        State::AtUpper
+                    } else if self.lo[leaving].is_finite() {
+                        State::AtLower
+                    } else {
+                        State::FreeZero
+                    };
+                    // eta update of B⁻¹ (pivot on row r)
+                    let m = self.m;
+                    let piv = w[r];
+                    debug_assert!(piv.abs() > 1e-12, "pivot too small");
+                    for k in 0..m {
+                        self.binv[r * m + k] /= piv;
+                    }
+                    for i in 0..m {
+                        if i != r {
+                            let f = w[i];
+                            if f != 0.0 {
+                                for k in 0..m {
+                                    self.binv[i * m + k] -= f * self.binv[r * m + k];
+                                }
+                            }
+                        }
+                    }
+                    self.basis[r] = j;
+                    self.state[j] = State::Basic;
+                    self.xb[r] = entering_val;
+                }
+            }
+            iters += 1;
+        }
+    }
+}
+
+/// Solves `p` to optimality.
+///
+/// # Errors
+///
+/// [`LpError::Infeasible`], [`LpError::Unbounded`] or
+/// [`LpError::IterationLimit`]; malformed inputs panic in the builder, not
+/// here.
+pub fn solve(p: &Problem) -> Result<Solution, LpError> {
+    let m = p.num_rows();
+    let n_struct = p.num_vars();
+
+    // --- assemble internal variables: structural + slack (one per row) ---
+    let mut cols = p.cols.clone();
+    let mut lo = p.lo.clone();
+    let mut hi = p.hi.clone();
+    let mut cost = p.cost.clone();
+    for (i, &(kind, _)) in p.rows.iter().enumerate() {
+        cols.push(vec![(i, 1.0)]);
+        let (l, h) = match kind {
+            RowKind::Le => (0.0, f64::INFINITY),
+            RowKind::Ge => (f64::NEG_INFINITY, 0.0),
+            RowKind::Eq => (0.0, 0.0),
+        };
+        lo.push(l);
+        hi.push(h);
+        cost.push(0.0);
+    }
+
+    // --- initial nonbasic point for structural vars ---
+    let mut state = vec![State::AtLower; cols.len()];
+    for j in 0..n_struct {
+        state[j] = if lo[j].is_finite() {
+            State::AtLower
+        } else if hi[j].is_finite() {
+            State::AtUpper
+        } else {
+            State::FreeZero
+        };
+    }
+
+    // residual each row must carry: b − A·x_N (over structural vars)
+    let mut resid: Vec<f64> = p.rows.iter().map(|&(_, b)| b).collect();
+    for j in 0..n_struct {
+        let v = match state[j] {
+            State::AtLower => lo[j],
+            State::AtUpper => hi[j],
+            State::FreeZero => 0.0,
+            State::Basic => unreachable!(),
+        };
+        if v != 0.0 {
+            for &(r, a) in &cols[j] {
+                resid[r] -= a * v;
+            }
+        }
+    }
+
+    // --- choose initial basis: slack where possible, artificial otherwise ---
+    let mut basis = vec![usize::MAX; m];
+    let mut xb = vec![0.0; m];
+    let mut phase_cost = vec![0.0; cols.len()];
+    let mut art_sign: Vec<(usize, f64)> = Vec::new();
+    let mut need_phase1 = false;
+    for i in 0..m {
+        let s = n_struct + i;
+        let v = resid[i];
+        if v >= lo[s] - TOL && v <= hi[s] + TOL {
+            basis[i] = s;
+            state[s] = State::Basic;
+            xb[i] = v;
+        } else {
+            // park the slack at its nearest bound, absorb the rest in an
+            // artificial variable with a sign that makes it nonnegative
+            let sv = v.clamp(lo[s], hi[s]);
+            state[s] = if sv == lo[s] {
+                State::AtLower
+            } else {
+                State::AtUpper
+            };
+            let r = v - sv;
+            let a = cols.len();
+            cols.push(vec![(i, r.signum())]);
+            lo.push(0.0);
+            hi.push(f64::INFINITY);
+            cost.push(0.0);
+            phase_cost.push(1.0);
+            state.push(State::Basic);
+            basis[i] = a;
+            xb[i] = r.abs();
+            art_sign.push((i, r.signum()));
+            need_phase1 = true;
+        }
+    }
+    phase_cost.resize(cols.len(), 0.0);
+    for (j, pc) in phase_cost.iter_mut().enumerate() {
+        if j >= n_struct + m {
+            *pc = 1.0;
+        }
+    }
+
+    // The initial basis is slacks (+1 columns) and artificials (±1
+    // columns); its inverse is diag(σ), not the identity.
+    let mut binv = identity(m);
+    for &(row, sign) in &art_sign {
+        binv[row * m + row] = sign;
+    }
+    let mut t = Tableau {
+        cols,
+        lo,
+        hi,
+        cost,
+        phase_cost,
+        state,
+        basis,
+        binv,
+        xb,
+        m,
+    };
+
+    let budget = 200 + 60 * (t.cols.len() + m);
+    let mut used = 0usize;
+    if need_phase1 {
+        used = t.optimize(true, budget)?;
+        let infeas: f64 = (0..m)
+            .filter(|&i| t.basis[i] >= n_struct + m)
+            .map(|i| t.xb[i])
+            .sum();
+        if infeas > 1e-6 {
+            return Err(LpError::Infeasible);
+        }
+        // pin artificials to zero for phase 2
+        for j in (n_struct + m)..t.cols.len() {
+            t.lo[j] = 0.0;
+            t.hi[j] = 0.0;
+            if t.state[j] != State::Basic {
+                t.state[j] = State::AtLower;
+            }
+        }
+    }
+    let used2 = t.optimize(false, budget.saturating_sub(used).max(budget / 2))?;
+
+    // --- extract ---
+    let mut x = vec![0.0; n_struct];
+    for j in 0..n_struct {
+        x[j] = match t.state[j] {
+            State::Basic => 0.0, // filled below
+            State::AtLower => t.lo[j],
+            State::AtUpper => t.hi[j],
+            State::FreeZero => 0.0,
+        };
+    }
+    for i in 0..m {
+        let b = t.basis[i];
+        if b < n_struct {
+            x[b] = t.xb[i];
+        }
+    }
+    let objective = x.iter().zip(&p.cost).map(|(xi, ci)| xi * ci).sum();
+    Ok(Solution {
+        x,
+        objective,
+        iterations: used + used2,
+    })
+}
+
+fn identity(m: usize) -> Vec<f64> {
+    let mut b = vec![0.0; m * m];
+    for i in 0..m {
+        b[i * m + i] = 1.0;
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INF: f64 = f64::INFINITY;
+
+    fn feasible(p: &Problem, x: &[f64], tol: f64) -> bool {
+        for (j, &xj) in x.iter().enumerate() {
+            if xj < p.lo[j] - tol || xj > p.hi[j] + tol {
+                return false;
+            }
+        }
+        for (i, &(kind, rhs)) in p.rows.iter().enumerate() {
+            let mut lhs = 0.0;
+            for (j, col) in p.cols.iter().enumerate() {
+                for &(r, a) in col {
+                    if r == i {
+                        lhs += a * x[j];
+                    }
+                }
+            }
+            let ok = match kind {
+                RowKind::Le => lhs <= rhs + tol,
+                RowKind::Ge => lhs >= rhs - tol,
+                RowKind::Eq => (lhs - rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn textbook_max_problem() {
+        // max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18 => x=2,y=6, obj=36
+        let mut p = Problem::new();
+        let x = p.add_var(0.0, INF, -3.0);
+        let y = p.add_var(0.0, INF, -5.0);
+        p.add_row(RowKind::Le, 4.0, &[(x, 1.0)]);
+        p.add_row(RowKind::Le, 12.0, &[(y, 2.0)]);
+        p.add_row(RowKind::Le, 18.0, &[(x, 3.0), (y, 2.0)]);
+        let s = solve(&p).unwrap();
+        assert!((s.value(x) - 2.0).abs() < 1e-7, "x = {}", s.value(x));
+        assert!((s.value(y) - 6.0).abs() < 1e-7);
+        assert!((s.objective + 36.0).abs() < 1e-7);
+        assert!(feasible(&p, &s.x, 1e-7));
+    }
+
+    #[test]
+    fn equality_rows_need_phase1() {
+        // min x + y s.t. x + y = 10, x - y = 2 => x=6, y=4
+        let mut p = Problem::new();
+        let x = p.add_var(0.0, INF, 1.0);
+        let y = p.add_var(0.0, INF, 1.0);
+        p.add_row(RowKind::Eq, 10.0, &[(x, 1.0), (y, 1.0)]);
+        p.add_row(RowKind::Eq, 2.0, &[(x, 1.0), (y, -1.0)]);
+        let s = solve(&p).unwrap();
+        assert!((s.value(x) - 6.0).abs() < 1e-7);
+        assert!((s.value(y) - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ge_rows_need_phase1() {
+        // min 2x + 3y s.t. x + y >= 4, x >= 1, y >= 0 => x=4,y=0 obj 8
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, INF, 2.0);
+        let y = p.add_var(0.0, INF, 3.0);
+        p.add_row(RowKind::Ge, 4.0, &[(x, 1.0), (y, 1.0)]);
+        let s = solve(&p).unwrap();
+        assert!((s.objective - 8.0).abs() < 1e-7, "obj {}", s.objective);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::new();
+        let x = p.add_var(0.0, 1.0, 1.0);
+        p.add_row(RowKind::Ge, 5.0, &[(x, 1.0)]);
+        assert_eq!(solve(&p).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn contradictory_equalities_infeasible() {
+        let mut p = Problem::new();
+        let x = p.add_var(-INF, INF, 0.0);
+        p.add_row(RowKind::Eq, 1.0, &[(x, 1.0)]);
+        p.add_row(RowKind::Eq, 2.0, &[(x, 1.0)]);
+        assert_eq!(solve(&p).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::new();
+        let x = p.add_var(0.0, INF, -1.0);
+        p.add_row(RowKind::Ge, 1.0, &[(x, 1.0)]);
+        assert_eq!(solve(&p).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn free_variable_unbounded() {
+        let mut p = Problem::new();
+        let _x = p.add_var(-INF, INF, 1.0);
+        assert_eq!(solve(&p).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn pure_bound_flips_reach_optimum() {
+        // min -x - 2y with 0<=x<=3, 0<=y<=4 and a loose row
+        let mut p = Problem::new();
+        let x = p.add_var(0.0, 3.0, -1.0);
+        let y = p.add_var(0.0, 4.0, -2.0);
+        p.add_row(RowKind::Le, 100.0, &[(x, 1.0), (y, 1.0)]);
+        let s = solve(&p).unwrap();
+        assert!((s.value(x) - 3.0).abs() < 1e-7);
+        assert!((s.value(y) - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn negative_bounds_and_free_vars() {
+        // min x + y, -5<=x<=5, y free, x + y = -2, y >= -3 (via row)
+        let mut p = Problem::new();
+        let x = p.add_var(-5.0, 5.0, 1.0);
+        let y = p.add_var(-INF, INF, 1.0);
+        p.add_row(RowKind::Eq, -2.0, &[(x, 1.0), (y, 1.0)]);
+        p.add_row(RowKind::Ge, -3.0, &[(y, 1.0)]);
+        let s = solve(&p).unwrap();
+        assert!((s.objective + 2.0).abs() < 1e-7);
+        assert!(feasible(&p, &s.x, 1e-7));
+    }
+
+    #[test]
+    fn absolute_value_split_pattern() {
+        // min |t - 7| modeled as t = 7 + pos - neg, min pos + neg, t <= 5
+        let mut p = Problem::new();
+        let t = p.add_var(-INF, 5.0, 0.0);
+        let pos = p.add_var(0.0, INF, 1.0);
+        let neg = p.add_var(0.0, INF, 1.0);
+        p.add_row(RowKind::Eq, 7.0, &[(t, 1.0), (pos, -1.0), (neg, 1.0)]);
+        let s = solve(&p).unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-7, "obj {}", s.objective);
+        assert!((s.value(t) - 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // multiple redundant constraints through the optimum
+        let mut p = Problem::new();
+        let x = p.add_var(0.0, INF, -1.0);
+        let y = p.add_var(0.0, INF, -1.0);
+        for _ in 0..4 {
+            p.add_row(RowKind::Le, 1.0, &[(x, 1.0), (y, 1.0)]);
+        }
+        p.add_row(RowKind::Le, 1.0, &[(x, 1.0)]);
+        p.add_row(RowKind::Le, 1.0, &[(y, 1.0)]);
+        let s = solve(&p).unwrap();
+        assert!((s.objective + 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn duplicate_terms_merge() {
+        let mut p = Problem::new();
+        let x = p.add_var(0.0, INF, -1.0);
+        p.add_row(RowKind::Le, 6.0, &[(x, 1.0), (x, 2.0)]); // 3x <= 6
+        let s = solve(&p).unwrap();
+        assert!((s.value(x) - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn random_lps_satisfy_optimality_spot_checks() {
+        // deterministic xorshift
+        let mut state = 0x243F6A8885A308D3u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for case in 0..20 {
+            let nv = 3 + (case % 4);
+            let nr = 2 + (case % 5);
+            let mut p = Problem::new();
+            let vars: Vec<VarId> = (0..nv)
+                .map(|_| p.add_var(0.0, 1.0 + 4.0 * rnd(), 2.0 * rnd() - 1.0))
+                .collect();
+            for _ in 0..nr {
+                let terms: Vec<(VarId, f64)> =
+                    vars.iter().map(|&v| (v, 2.0 * rnd() - 0.5)).collect();
+                // rhs chosen so x=0 is feasible for Le rows
+                p.add_row(RowKind::Le, 0.5 + 3.0 * rnd(), &terms);
+            }
+            let s = solve(&p).unwrap_or_else(|e| panic!("case {case}: {e}"));
+            assert!(feasible(&p, &s.x, 1e-6), "case {case} infeasible answer");
+            // objective must beat 200 random feasible corners of the box
+            // (rejection-sampled against the rows)
+            let mut best = f64::INFINITY;
+            for _ in 0..400 {
+                let cand: Vec<f64> = (0..nv).map(|j| p.hi[j] * rnd()).collect();
+                if feasible(&p, &cand, 0.0) {
+                    let obj: f64 = cand.iter().zip(&p.cost).map(|(a, b)| a * b).sum();
+                    best = best.min(obj);
+                }
+            }
+            assert!(
+                s.objective <= best + 1e-6,
+                "case {case}: simplex {} vs sampled {}",
+                s.objective,
+                best
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds out of order")]
+    fn bad_bounds_panic() {
+        let mut p = Problem::new();
+        let _ = p.add_var(2.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn unknown_var_panics() {
+        let mut p = Problem::new();
+        let _x = p.add_var(0.0, 1.0, 0.0);
+        p.add_row(RowKind::Le, 1.0, &[(VarId(7), 1.0)]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests of the simplex solver: every returned solution must be
+//! feasible, and on problems with a known structure the optimum must
+//! match a closed form.
+
+use clk_lp::{solve, LpError, Problem, RowKind};
+use proptest::prelude::*;
+
+const INF: f64 = f64::INFINITY;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Box-constrained LPs with no rows: the optimum is the bound the
+    /// cost sign points at.
+    #[test]
+    fn pure_box_lp_solved_in_closed_form(
+        bounds in prop::collection::vec((-50.0f64..50.0, 0.0f64..50.0), 1..8),
+        costs in prop::collection::vec(-2.0f64..2.0, 8),
+    ) {
+        let mut p = Problem::new();
+        let mut expect = 0.0;
+        for (i, &(lo, width)) in bounds.iter().enumerate() {
+            let hi = lo + width;
+            let c = costs[i];
+            p.add_var(lo, hi, c);
+            expect += if c >= 0.0 { c * lo } else { c * hi };
+        }
+        let s = solve(&p).expect("box LPs are always solvable");
+        prop_assert!((s.objective - expect).abs() < 1e-6,
+            "got {} want {expect}", s.objective);
+    }
+
+    /// Knapsack-relaxation LPs: max Σ vᵢxᵢ s.t. Σ wᵢxᵢ ≤ W, 0 ≤ x ≤ 1 has
+    /// the greedy fractional optimum.
+    #[test]
+    fn fractional_knapsack_matches_greedy(
+        items in prop::collection::vec((0.1f64..10.0, 0.1f64..10.0), 1..10),
+        cap_frac in 0.05f64..0.95,
+    ) {
+        let total_w: f64 = items.iter().map(|&(w, _)| w).sum();
+        let cap = total_w * cap_frac;
+        let mut p = Problem::new();
+        for &(w, v) in &items {
+            let _ = (w, v);
+        }
+        let vars: Vec<_> = items.iter().map(|&(_, v)| p.add_var(0.0, 1.0, -v)).collect();
+        let terms: Vec<_> = vars.iter().zip(&items).map(|(&x, &(w, _))| (x, w)).collect();
+        p.add_row(RowKind::Le, cap, &terms);
+        let s = solve(&p).expect("knapsack relaxation is feasible");
+        // greedy fractional optimum
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_by(|&a, &b| {
+            (items[b].1 / items[b].0)
+                .partial_cmp(&(items[a].1 / items[a].0))
+                .expect("finite")
+        });
+        let mut room = cap;
+        let mut best = 0.0;
+        for i in order {
+            let (w, v) = items[i];
+            let take = (room / w).min(1.0).max(0.0);
+            best += take * v;
+            room -= take * w;
+            if room <= 0.0 {
+                break;
+            }
+        }
+        prop_assert!((s.objective + best).abs() < 1e-5,
+            "simplex {} vs greedy {}", -s.objective, best);
+    }
+
+    /// Transportation-like equality LPs stay feasible and balanced.
+    #[test]
+    fn transportation_balance(supply in prop::collection::vec(1.0f64..20.0, 2..4),
+                              demand_frac in prop::collection::vec(0.1f64..1.0, 2..4)) {
+        let total: f64 = supply.iter().sum();
+        let dsum: f64 = demand_frac.iter().sum();
+        let demand: Vec<f64> = demand_frac.iter().map(|f| total * f / dsum).collect();
+        let mut p = Problem::new();
+        let mut x = vec![vec![]; supply.len()];
+        for (i, row) in x.iter_mut().enumerate() {
+            for j in 0..demand.len() {
+                // deterministic pseudo-random cost
+                let cost = 1.0 + ((i * 7 + j * 13) % 5) as f64;
+                row.push(p.add_var(0.0, INF, cost));
+            }
+        }
+        for (i, &s) in supply.iter().enumerate() {
+            let terms: Vec<_> = x[i].iter().map(|&v| (v, 1.0)).collect();
+            p.add_row(RowKind::Eq, s, &terms);
+        }
+        for (j, &d) in demand.iter().enumerate() {
+            let terms: Vec<_> = x.iter().map(|row| (row[j], 1.0)).collect();
+            p.add_row(RowKind::Eq, d, &terms);
+        }
+        let s = solve(&p).expect("balanced transportation is feasible");
+        // shipped amounts are nonnegative and respect supplies
+        for (i, row) in x.iter().enumerate() {
+            let shipped: f64 = row.iter().map(|&v| s.value(v)).sum();
+            prop_assert!((shipped - supply[i]).abs() < 1e-6);
+        }
+    }
+
+    /// Problems made infeasible by construction are reported as such.
+    #[test]
+    fn constructed_infeasibility_detected(gap in 0.1f64..50.0, at in -20.0f64..20.0) {
+        let mut p = Problem::new();
+        let x = p.add_var(-INF, INF, 1.0);
+        p.add_row(RowKind::Le, at, &[(x, 1.0)]);
+        p.add_row(RowKind::Ge, at + gap, &[(x, 1.0)]);
+        prop_assert_eq!(solve(&p).unwrap_err(), LpError::Infeasible);
+    }
+}

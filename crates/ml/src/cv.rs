@@ -1,0 +1,167 @@
+//! Cross-validation splits and regression error metrics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Mean squared error between predictions and targets.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are zero.
+pub fn mse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty metric input");
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Mean absolute percentage error, %. Targets with magnitude below
+/// `floor` are excluded (division blow-up); returns 0 when everything is
+/// excluded.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn mape(pred: &[f64], truth: &[f64], floor: f64) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (p, t) in pred.iter().zip(truth) {
+        if t.abs() >= floor {
+            sum += ((p - t) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        100.0 * sum / n as f64
+    }
+}
+
+/// Coefficient of determination R².
+///
+/// # Panics
+///
+/// Panics if lengths differ or are zero.
+pub fn r_squared(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty metric input");
+    let mean: f64 = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Deterministic shuffled `k`-fold split of `n` samples: returns `k`
+/// disjoint index sets covering `0..n` whose sizes differ by at most 1.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > n`.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k > 0 && k <= n, "k must be in 1..=n");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    let mut folds = vec![Vec::new(); k];
+    for (pos, i) in idx.into_iter().enumerate() {
+        folds[pos % k].push(i);
+    }
+    folds
+}
+
+/// Deterministic shuffled train/validation split; `val_frac` of the
+/// samples (rounded, at least 1 when `n > 1`) go to validation.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `val_frac` not in `(0, 1)`.
+pub fn train_val_split(n: usize, val_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(n > 0, "no samples to split");
+    assert!(val_frac > 0.0 && val_frac < 1.0, "val_frac in (0,1)");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    let n_val = ((n as f64 * val_frac).round() as usize).clamp(1, n - 1);
+    let val = idx.split_off(n - n_val);
+    (idx, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(mse(&[0.0, 0.0], &[3.0, -4.0]), 12.5);
+    }
+
+    #[test]
+    fn mape_skips_small_targets() {
+        let m = mape(&[110.0, 1.0], &[100.0, 0.0001], 0.01);
+        assert!((m - 10.0).abs() < 1e-9);
+        assert_eq!(mape(&[1.0], &[0.0], 0.5), 0.0);
+    }
+
+    #[test]
+    fn r2_perfect_and_mean() {
+        assert_eq!(r_squared(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 1.0);
+        let r = r_squared(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert!(r.abs() < 1e-12); // predicting the mean gives R² = 0
+    }
+
+    #[test]
+    fn kfold_partitions_everything() {
+        let folds = kfold_indices(23, 5, 42);
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        for f in &folds {
+            assert!(f.len() == 4 || f.len() == 5);
+        }
+    }
+
+    #[test]
+    fn kfold_deterministic() {
+        assert_eq!(kfold_indices(10, 3, 7), kfold_indices(10, 3, 7));
+        assert_ne!(kfold_indices(10, 3, 7), kfold_indices(10, 3, 8));
+    }
+
+    #[test]
+    fn split_covers_and_respects_fraction() {
+        let (tr, va) = train_val_split(100, 0.2, 1);
+        assert_eq!(tr.len(), 80);
+        assert_eq!(va.len(), 20);
+        let mut all = tr;
+        all.extend(va);
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_tiny() {
+        let (tr, va) = train_val_split(2, 0.5, 3);
+        assert_eq!(tr.len() + va.len(), 2);
+        assert!(!tr.is_empty() && !va.is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Hybrid Surrogate Modeling: a validation-weighted convex blend of base
+//! regressors (Kahng-Lin-Nath, DATE'13).
+
+use crate::cv::mse;
+use crate::Regressor;
+
+/// A convex combination of base models, with weights chosen to minimize
+/// validation MSE over a simplex grid.
+#[derive(Debug)]
+pub struct Hsm<M> {
+    models: Vec<M>,
+    weights: Vec<f64>,
+}
+
+impl<M: Regressor> Hsm<M> {
+    /// Blends `models` using validation data `(xs_val, ys_val)`.
+    ///
+    /// Weights are searched on the probability simplex with the given
+    /// `step` resolution (e.g. 0.05); ties prefer the earlier model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty, validation data is empty/mismatched,
+    /// or `step` is not in `(0, 1]`.
+    pub fn blend(models: Vec<M>, xs_val: &[Vec<f64>], ys_val: &[f64], step: f64) -> Self {
+        assert!(!models.is_empty(), "need at least one base model");
+        assert!(!xs_val.is_empty(), "need validation samples");
+        assert_eq!(xs_val.len(), ys_val.len(), "validation length mismatch");
+        assert!(step > 0.0 && step <= 1.0, "step must be in (0, 1]");
+        let preds: Vec<Vec<f64>> = models.iter().map(|m| m.predict_batch(xs_val)).collect();
+        let k = models.len();
+        let steps = (1.0 / step).round() as usize;
+        let mut best = (f64::INFINITY, vec![0.0; k]);
+        let mut w = vec![0usize; k];
+        enumerate_simplex(&mut w, 0, steps, &mut |w| {
+            let weights: Vec<f64> = w.iter().map(|&u| u as f64 / steps as f64).collect();
+            let blended: Vec<f64> = (0..xs_val.len())
+                .map(|i| weights.iter().zip(&preds).map(|(wk, pk)| wk * pk[i]).sum())
+                .collect();
+            let e = mse(&blended, ys_val);
+            if e < best.0 - 1e-15 {
+                best = (e, weights);
+            }
+        });
+        Hsm {
+            models,
+            weights: best.1,
+        }
+    }
+
+    /// The blend weights (sum to 1).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The base models.
+    pub fn models(&self) -> &[M] {
+        &self.models
+    }
+}
+
+/// Enumerates all length-`w.len()` compositions of `steps` units.
+fn enumerate_simplex(w: &mut [usize], idx: usize, remaining: usize, f: &mut impl FnMut(&[usize])) {
+    if idx + 1 == w.len() {
+        w[idx] = remaining;
+        f(w);
+        return;
+    }
+    for take in 0..=remaining {
+        w[idx] = take;
+        enumerate_simplex(w, idx + 1, remaining - take, f);
+    }
+}
+
+impl<M: Regressor> Regressor for Hsm<M> {
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.models
+            .iter()
+            .zip(&self.weights)
+            .map(|(m, w)| w * m.predict(x))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fixed affine "model" for testing blends.
+    struct Affine(f64, f64);
+
+    impl Regressor for Affine {
+        fn predict(&self, x: &[f64]) -> f64 {
+            self.0 * x[0] + self.1
+        }
+    }
+
+    #[test]
+    fn picks_the_better_model() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] + 1.0).collect();
+        let good = Affine(2.0, 1.0);
+        let bad = Affine(-1.0, 5.0);
+        let h = Hsm::blend(vec![good, bad], &xs, &ys, 0.1);
+        assert!((h.weights()[0] - 1.0).abs() < 1e-12, "{:?}", h.weights());
+        assert!((h.predict(&[3.0]) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blend_beats_each_base_when_errors_cancel() {
+        // truth = x; model A overshoots by +1, model B undershoots by -1
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        let a = Affine(1.0, 1.0);
+        let b = Affine(1.0, -1.0);
+        let h = Hsm::blend(vec![a, b], &xs, &ys, 0.05);
+        let blended: Vec<f64> = xs.iter().map(|x| h.predict(x)).collect();
+        assert!(mse(&blended, &ys) < 1e-12);
+        assert!((h.weights()[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let ys = vec![0.0; 5];
+        let h = Hsm::blend(
+            vec![Affine(1.0, 0.0), Affine(0.5, 0.2), Affine(0.0, 0.0)],
+            &xs,
+            &ys,
+            0.25,
+        );
+        let s: f64 = h.weights().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(h.models().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one base model")]
+    fn empty_models_panic() {
+        let _: Hsm<Affine> = Hsm::blend(vec![], &[vec![0.0]], &[0.0], 0.5);
+    }
+}

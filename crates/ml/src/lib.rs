@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+
+//! Machine-learning substrate: the MATLAB stand-in behind the paper's
+//! delta-latency predictors.
+//!
+//! The paper trains, per corner, three regression models — an Artificial
+//! Neural Network, an SVM with RBF kernel, and HSM (Hybrid Surrogate
+//! Modeling, a validation-weighted blend \[Kahng-Lin-Nath, DATE'13\]) — on
+//! features extracted from candidate ECO moves. This crate provides those
+//! model classes plus the numerics they need:
+//!
+//! * [`linalg`]: dense matrices, LU and Cholesky solves, polynomial least
+//!   squares ([`polyfit`], also used for the Fig. 2 delay-ratio bounds);
+//! * [`scale::StandardScaler`]: feature standardization;
+//! * [`Mlp`]: feed-forward net (tanh hidden layers, linear output) trained
+//!   with mini-batch SGD + momentum;
+//! * [`LsSvm`]: least-squares SVM regression with an RBF kernel (the
+//!   kernel-machine stand-in for ε-SVR; one linear solve instead of SMO);
+//! * [`Hsm`]: convex blend of base models with weights picked on a
+//!   validation split;
+//! * [`cv`]: k-fold splits and error metrics (MSE, MAPE, R²).
+//!
+//! # Examples
+//!
+//! ```
+//! use clk_ml::{Mlp, MlpConfig, Regressor};
+//!
+//! // learn y = 2a - b on a small grid
+//! let xs: Vec<Vec<f64>> = (0..100)
+//!     .map(|i| vec![(i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0])
+//!     .collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] - x[1]).collect();
+//! let model = Mlp::train(&xs, &ys, &MlpConfig::default());
+//! let err = (model.predict(&[0.55, 0.25]) - 0.85).abs();
+//! assert!(err < 0.15, "err = {err}");
+//! ```
+
+pub mod cv;
+pub mod hsm;
+pub mod linalg;
+pub mod mlp;
+pub mod scale;
+pub mod svm;
+
+pub use cv::{kfold_indices, mape, mse, r_squared, train_val_split};
+pub use hsm::Hsm;
+pub use linalg::{polyfit, polyval, Matrix};
+pub use mlp::{Mlp, MlpConfig};
+pub use scale::StandardScaler;
+pub use svm::LsSvm;
+
+/// A trained regression model mapping a feature vector to a scalar.
+///
+/// Object-safe so heterogeneous models can be blended by [`Hsm`].
+pub trait Regressor: Send + Sync {
+    /// Predicts the target for one feature vector.
+    fn predict(&self, x: &[f64]) -> f64;
+
+    /// Predicts a batch (default: map [`Regressor::predict`]).
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+impl<T: Regressor + ?Sized> Regressor for Box<T> {
+    fn predict(&self, x: &[f64]) -> f64 {
+        (**self).predict(x)
+    }
+
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        (**self).predict_batch(xs)
+    }
+}

@@ -1,0 +1,353 @@
+//! Dense linear algebra: just enough for kernel machines, backprop and
+//! polynomial least squares.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// The identity of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions differ");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let row = &self.data[i * self.cols..(i + 1) * self.cols];
+                row.iter().zip(v).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Solves `self · x = b` by LU decomposition with partial pivoting.
+    ///
+    /// Returns `None` when the matrix is (numerically) singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the matrix is square and `b.len() == rows`.
+    pub fn lu_solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "lu_solve needs a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x: Vec<f64> = b.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            // pivot
+            let (mut best, mut best_abs) = (col, a[perm[col] * n + col].abs());
+            for r in (col + 1)..n {
+                let v = a[perm[r] * n + col].abs();
+                if v > best_abs {
+                    best = r;
+                    best_abs = v;
+                }
+            }
+            if best_abs < 1e-12 {
+                return None;
+            }
+            perm.swap(col, best);
+            let prow = perm[col];
+            let pivot = a[prow * n + col];
+            for r in (col + 1)..n {
+                let row = perm[r];
+                let f = a[row * n + col] / pivot;
+                if f == 0.0 {
+                    continue;
+                }
+                a[row * n + col] = 0.0;
+                for c in (col + 1)..n {
+                    a[row * n + c] -= f * a[prow * n + c];
+                }
+                x[row] -= f * x[prow];
+            }
+        }
+        // back substitution
+        let mut out = vec![0.0; n];
+        for col in (0..n).rev() {
+            let row = perm[col];
+            let mut v = x[row];
+            for c in (col + 1)..n {
+                v -= a[row * n + c] * out[c];
+            }
+            out[col] = v / a[row * n + col];
+        }
+        Some(out)
+    }
+
+    /// Solves a symmetric positive-definite system by Cholesky.
+    ///
+    /// Returns `None` when the matrix is not (numerically) SPD.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless square with matching `b`.
+    pub fn cholesky_solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "cholesky needs a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let n = self.rows;
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return None;
+                    }
+                    l[i * n + i] = s.sqrt();
+                } else {
+                    l[i * n + j] = s / l[j * n + j];
+                }
+            }
+        }
+        // forward then backward
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= l[i * n + k] * y[k];
+            }
+            y[i] = s / l[i * n + i];
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= l[k * n + i] * x[k];
+            }
+            x[i] = s / l[i * n + i];
+        }
+        Some(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Least-squares fit of a degree-`degree` polynomial `y ≈ Σ c_k x^k`.
+/// Returns coefficients lowest power first. Solves the (ridge-stabilized)
+/// normal equations.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != ys.len()` or fewer points than `degree + 1`.
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Vec<f64> {
+    assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+    let k = degree + 1;
+    assert!(xs.len() >= k, "need at least degree+1 points");
+    // scale x into [-1, 1]-ish for conditioning
+    let xmax = xs.iter().fold(1e-300f64, |a, &b| a.max(b.abs()));
+    let mut ata = Matrix::zeros(k, k);
+    let mut aty = vec![0.0; k];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let xs_ = x / xmax;
+        let mut pows = vec![1.0; k];
+        for p in 1..k {
+            pows[p] = pows[p - 1] * xs_;
+        }
+        for i in 0..k {
+            aty[i] += pows[i] * y;
+            for j in 0..k {
+                ata[(i, j)] += pows[i] * pows[j];
+            }
+        }
+    }
+    for i in 0..k {
+        ata[(i, i)] += 1e-10;
+    }
+    let c_scaled = ata
+        .cholesky_solve(&aty)
+        .or_else(|| ata.lu_solve(&aty))
+        .expect("ridge-stabilized normal equations are solvable");
+    // unscale: coefficient of x^p is c_p / xmax^p
+    c_scaled
+        .into_iter()
+        .enumerate()
+        .map(|(p, c)| c / xmax.powi(p as i32))
+        .collect()
+}
+
+/// Evaluates a polynomial given coefficients lowest power first.
+pub fn polyval(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_and_matvec() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_rows(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 58.0);
+        assert_eq!(c[(1, 1)], 154.0);
+        assert_eq!(a.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn lu_solves_known_system() {
+        let a = Matrix::from_rows(3, 3, vec![2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0]);
+        let x = a.lu_solve(&[8.0, -11.0, -3.0]).unwrap();
+        let want = [2.0, 3.0, -1.0];
+        for (got, want) in x.iter().zip(want) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(a.lu_solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn cholesky_matches_lu_on_spd() {
+        // SPD matrix A = MᵀM + I
+        let m = Matrix::from_rows(3, 3, vec![1.0, 2.0, 0.5, -1.0, 0.3, 2.0, 0.0, 1.0, 1.0]);
+        let mut a = m.transpose().matmul(&m);
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        let b = [1.0, -2.0, 3.0];
+        let x1 = a.cholesky_solve(&b).unwrap();
+        let x2 = a.lu_solve(&b).unwrap();
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert!(a.cholesky_solve(&[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn polyfit_recovers_exact_cubic() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.5).collect();
+        let truth = [1.5, -2.0, 0.25, 0.125];
+        let ys: Vec<f64> = xs.iter().map(|&x| polyval(&truth, x)).collect();
+        let c = polyfit(&xs, &ys, 3);
+        for (got, want) in c.iter().zip(truth) {
+            assert!((got - want).abs() < 1e-6, "got {got} want {want}");
+        }
+    }
+
+    #[test]
+    fn polyfit_least_squares_beats_mean() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.1, 0.9, 2.1, 2.9];
+        let c = polyfit(&xs, &ys, 1);
+        let sse: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(&x, y)| (polyval(&c, x) - y).powi(2))
+            .sum();
+        assert!(sse < 0.05);
+    }
+
+    #[test]
+    fn polyval_constant() {
+        assert_eq!(polyval(&[4.0], 100.0), 4.0);
+        assert_eq!(polyval(&[], 1.0), 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests of the ML substrate.
+
+use clk_ml::{kfold_indices, polyfit, polyval, LsSvm, Matrix, Regressor, StandardScaler};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// LU solves random well-conditioned systems to high accuracy.
+    #[test]
+    fn lu_solves_diagonally_dominant(vals in prop::collection::vec(-1.0f64..1.0, 9),
+                                     rhs in prop::collection::vec(-10.0f64..10.0, 3)) {
+        let mut data = vals.clone();
+        // make it diagonally dominant => nonsingular
+        for i in 0..3 {
+            data[i * 3 + i] = 5.0 + vals[i * 3 + i].abs();
+        }
+        let a = Matrix::from_rows(3, 3, data);
+        let x = a.lu_solve(&rhs).expect("dominant matrices are nonsingular");
+        let back = a.matvec(&x);
+        for (b, r) in back.iter().zip(&rhs) {
+            prop_assert!((b - r).abs() < 1e-8);
+        }
+    }
+
+    /// Cholesky agrees with LU on SPD systems built as AᵀA + I.
+    #[test]
+    fn cholesky_matches_lu(vals in prop::collection::vec(-2.0f64..2.0, 9),
+                           rhs in prop::collection::vec(-5.0f64..5.0, 3)) {
+        let m = Matrix::from_rows(3, 3, vals);
+        let mut a = m.transpose().matmul(&m);
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        let x1 = a.cholesky_solve(&rhs).expect("SPD");
+        let x2 = a.lu_solve(&rhs).expect("nonsingular");
+        for (p, q) in x1.iter().zip(&x2) {
+            prop_assert!((p - q).abs() < 1e-7);
+        }
+    }
+
+    /// polyfit recovers polynomials it generated, for any degree ≤ 3.
+    #[test]
+    fn polyfit_recovers(coeffs in prop::collection::vec(-3.0f64..3.0, 1..5)) {
+        let xs: Vec<f64> = (0..25).map(|i| i as f64 * 0.37 - 3.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| polyval(&coeffs, x)).collect();
+        let fit = polyfit(&xs, &ys, coeffs.len() - 1);
+        for (&x, &y) in xs.iter().zip(&ys) {
+            prop_assert!((polyval(&fit, x) - y).abs() < 1e-5);
+        }
+    }
+
+    /// Standardization round-trips arbitrary batches.
+    #[test]
+    fn scaler_roundtrips(rows in prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 3), 2..20)) {
+        let sc = StandardScaler::fit(&rows);
+        for r in &rows {
+            let back = sc.inverse(&sc.transform(r));
+            for (a, b) in back.iter().zip(r) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// k-fold indices partition 0..n for any valid (n, k).
+    #[test]
+    fn kfold_partitions(n in 2usize..60, kseed in 0u64..50) {
+        let k = 2 + (kseed as usize % (n - 1)).min(8);
+        let folds = kfold_indices(n, k, kseed);
+        let mut all: Vec<usize> = folds.concat();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    /// LS-SVM with huge C interpolates any small clean dataset.
+    #[test]
+    fn lssvm_interpolates(ys in prop::collection::vec(-5.0f64..5.0, 3..10)) {
+        let xs: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+        let m = LsSvm::train(&xs, &ys, 1.0, 1e7);
+        for (x, y) in xs.iter().zip(&ys) {
+            prop_assert!((m.predict(x) - y).abs() < 1e-2, "{} vs {}", m.predict(x), y);
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! The arc view of a clock tree and arc-level ECO surgery.
+//!
+//! An **arc** (paper Table 1, `s_j`) is a maximal tree segment without
+//! branching: it runs from a *junction* (the source, a branching node, or
+//! any non-sink node about to end a chain) through a chain of single-fanout
+//! buffers to the next junction (a branching node or a sink). The global LP
+//! optimizes one delay variable per (arc, corner); the ECO engine realizes
+//! the LP answer by rebuilding the buffer chain of whole arcs.
+
+use std::collections::HashMap;
+
+use clk_geom::dbu_to_um;
+use clk_liberty::CellId;
+use clk_route::RoutePath;
+
+use crate::tree::{ClockTree, NodeId, NodeKind, TreeError};
+
+/// Opaque handle of an arc within an [`ArcSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArcId(pub u32);
+
+impl std::fmt::Display for ArcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One arc: junction `from` → chain `interior` → junction `to`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arc {
+    /// Driver-side junction (source or branching node).
+    pub from: NodeId,
+    /// Load-side junction (branching node or sink).
+    pub to: NodeId,
+    /// Single-fanout buffers strictly between, ordered from `from` to `to`.
+    pub interior: Vec<NodeId>,
+}
+
+impl Arc {
+    /// Total routed length of the arc, µm (edges of interior nodes plus the
+    /// final edge into `to`).
+    pub fn length_um(&self, tree: &ClockTree) -> f64 {
+        let mut len = 0;
+        for &n in self.interior.iter().chain(std::iter::once(&self.to)) {
+            if let Some(r) = &tree.node(n).route {
+                len += r.length_dbu();
+            }
+        }
+        dbu_to_um(len)
+    }
+
+    /// Number of interior inverters (buffer instances) on the arc.
+    pub fn inverter_count(&self) -> usize {
+        self.interior.len()
+    }
+}
+
+/// The set of arcs of a tree at a moment in time, with lookup indices.
+/// Tree edits invalidate the set; re-extract after structural changes.
+#[derive(Debug, Clone)]
+pub struct ArcSet {
+    arcs: Vec<Arc>,
+    /// Maps the load-side junction of each arc to the arc id.
+    by_to: HashMap<NodeId, ArcId>,
+}
+
+impl ArcSet {
+    /// Extracts all arcs of `tree`.
+    ///
+    /// Junctions are: the root, every node with `children.len() != 1`, and
+    /// every sink. Chains of single-child buffers form arc interiors.
+    pub fn extract(tree: &ClockTree) -> Self {
+        let is_junction = |id: NodeId| -> bool {
+            id == tree.root()
+                || tree.node(id).kind == NodeKind::Sink
+                || tree.children(id).len() != 1
+        };
+        let mut arcs = Vec::new();
+        let mut by_to = HashMap::new();
+        let mut stack = vec![tree.root()];
+        while let Some(j) = stack.pop() {
+            debug_assert!(is_junction(j));
+            for &c in tree.children(j) {
+                let mut interior = Vec::new();
+                let mut cur = c;
+                while !is_junction(cur) {
+                    interior.push(cur);
+                    cur = tree.children(cur)[0];
+                }
+                let id = ArcId(arcs.len() as u32);
+                by_to.insert(cur, id);
+                arcs.push(Arc {
+                    from: j,
+                    to: cur,
+                    interior,
+                });
+                stack.push(cur);
+            }
+        }
+        ArcSet { arcs, by_to }
+    }
+
+    /// All arcs.
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// Number of arcs.
+    pub fn len(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arcs.is_empty()
+    }
+
+    /// The arc with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn arc(&self, id: ArcId) -> &Arc {
+        &self.arcs[id.0 as usize]
+    }
+
+    /// The arc whose load-side junction is `to`, if any.
+    pub fn arc_ending_at(&self, to: NodeId) -> Option<ArcId> {
+        self.by_to.get(&to).copied()
+    }
+
+    /// The arcs of the clock path from the root to `sink`, root-side first
+    /// — the set `P_i` of the paper.
+    pub fn path_arcs(&self, tree: &ClockTree, sink: NodeId) -> Vec<ArcId> {
+        let mut path = Vec::new();
+        let mut cur = sink;
+        while cur != tree.root() {
+            let id = self
+                .by_to
+                .get(&cur)
+                .copied()
+                .expect("every junction below the root terminates an arc");
+            path.push(id);
+            cur = self.arc(id).from;
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Rebuilds the buffer chain of `arc` in `tree`: removes the old interior
+/// inverters and inserts `n_inverters` new instances of `cell`, placed
+/// uniformly along `path` (which must run from the `from` junction to the
+/// `to` junction and may include a detour). This is the ECO primitive of
+/// the paper's Algorithm 1 (lines 2 and 19).
+///
+/// Positions are **not** legalized here; callers legalize with a
+/// [`crate::Floorplan`] and then, if desired, re-route. Returns the new
+/// interior node ids.
+///
+/// # Errors
+///
+/// [`TreeError::RouteEndpointMismatch`] if `path` endpoints do not match
+/// the junction locations.
+///
+/// # Panics
+///
+/// Panics if `arc` does not describe the current chain between its
+/// junctions (the arc set is stale).
+pub fn rebuild_arc(
+    tree: &mut ClockTree,
+    arc: &Arc,
+    cell: CellId,
+    n_inverters: usize,
+    path: RoutePath,
+) -> Result<Vec<NodeId>, TreeError> {
+    if path.start() != tree.loc(arc.from) || path.end() != tree.loc(arc.to) {
+        return Err(TreeError::RouteEndpointMismatch(arc.to));
+    }
+    // Verify staleness: walking parents from `to` must traverse interior
+    // reversed and stop at `from`.
+    {
+        let mut cur = tree.parent(arc.to).expect("arc end has a parent");
+        for &n in arc.interior.iter().rev() {
+            assert_eq!(cur, n, "stale arc: interior mismatch");
+            cur = tree.parent(n).expect("interior has a parent");
+        }
+        assert_eq!(cur, arc.from, "stale arc: from mismatch");
+    }
+    // Remove the old chain (front interior node detaches from `from`).
+    for &n in &arc.interior {
+        tree.remove_buffer(n)?;
+    }
+    // After splicing removals, `to` hangs directly under `from`.
+    debug_assert_eq!(tree.parent(arc.to), Some(arc.from));
+    // Insert the new chain with exact sub-path routes.
+    let total = path.length_dbu();
+    let n = n_inverters;
+    let mut new_ids = Vec::with_capacity(n);
+    let mut prev = arc.from;
+    let mut prev_d = 0;
+    for k in 1..=n {
+        let d = total * k as i64 / (n as i64 + 1);
+        let pos = path.locate(d);
+        let seg = path.sub_path(prev_d, d);
+        let id = tree.add_node_with_route(NodeKind::Buffer(cell), pos, prev, seg)?;
+        new_ids.push(id);
+        prev = id;
+        prev_d = d;
+    }
+    // Reattach `to` under the last new inverter with the final segment.
+    if prev != arc.from {
+        tree.set_parent(arc.to, prev)?;
+    }
+    tree.set_route(arc.to, path.sub_path(prev_d, total))?;
+    Ok(new_ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clk_geom::Point;
+
+    fn cell() -> CellId {
+        CellId(1)
+    }
+
+    /// root -> a -> b -> branch(c) -> {chain d -> sink1, sink2}
+    fn chain_tree() -> (ClockTree, Vec<NodeId>) {
+        let mut t = ClockTree::new(Point::new(0, 0), cell());
+        let a = t.add_node(NodeKind::Buffer(cell()), Point::new(10_000, 0), t.root());
+        let b = t.add_node(NodeKind::Buffer(cell()), Point::new(20_000, 0), a);
+        let c = t.add_node(NodeKind::Buffer(cell()), Point::new(30_000, 0), b);
+        let d = t.add_node(NodeKind::Buffer(cell()), Point::new(40_000, 5_000), c);
+        let s1 = t.add_node(NodeKind::Sink, Point::new(50_000, 5_000), d);
+        let s2 = t.add_node(NodeKind::Sink, Point::new(40_000, -5_000), c);
+        (t, vec![a, b, c, d, s1, s2])
+    }
+
+    #[test]
+    fn extract_finds_three_arcs() {
+        let (t, n) = chain_tree();
+        let (a, b, c, d, s1, s2) = (n[0], n[1], n[2], n[3], n[4], n[5]);
+        let set = ArcSet::extract(&t);
+        assert_eq!(set.len(), 3);
+        // root -> c with interior a, b
+        let arc0 = set.arc(set.arc_ending_at(c).unwrap());
+        assert_eq!(arc0.from, t.root());
+        assert_eq!(arc0.interior, vec![a, b]);
+        // c -> s1 with interior d
+        let arc1 = set.arc(set.arc_ending_at(s1).unwrap());
+        assert_eq!(arc1.from, c);
+        assert_eq!(arc1.interior, vec![d]);
+        // c -> s2 with no interior
+        let arc2 = set.arc(set.arc_ending_at(s2).unwrap());
+        assert_eq!(arc2.from, c);
+        assert!(arc2.interior.is_empty());
+    }
+
+    #[test]
+    fn path_arcs_orders_root_first() {
+        let (t, n) = chain_tree();
+        let (c, s1) = (n[2], n[4]);
+        let set = ArcSet::extract(&t);
+        let path = set.path_arcs(&t, s1);
+        assert_eq!(path.len(), 2);
+        assert_eq!(set.arc(path[0]).from, t.root());
+        assert_eq!(set.arc(path[0]).to, c);
+        assert_eq!(set.arc(path[1]).to, s1);
+    }
+
+    #[test]
+    fn arc_length_sums_routes() {
+        let (t, n) = chain_tree();
+        let set = ArcSet::extract(&t);
+        let arc0 = set.arc(set.arc_ending_at(n[2]).unwrap());
+        assert!((arc0.length_um(&t) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rebuild_arc_replaces_chain() {
+        let (mut t, n) = chain_tree();
+        let c = n[2];
+        let set = ArcSet::extract(&t);
+        let arc0 = set.arc(set.arc_ending_at(c).unwrap()).clone();
+        let path = RoutePath::with_detour(t.loc(t.root()), t.loc(c), 20.0);
+        let new_cell = CellId(3);
+        let ids = rebuild_arc(&mut t, &arc0, new_cell, 4, path.clone()).unwrap();
+        t.validate().unwrap();
+        assert_eq!(ids.len(), 4);
+        for &id in &ids {
+            assert_eq!(t.cell(id), Some(new_cell));
+        }
+        // old interior removed
+        assert!(!t.is_alive(n[0]));
+        assert!(!t.is_alive(n[1]));
+        // arc re-extraction sees the new chain, with preserved total length
+        let set2 = ArcSet::extract(&t);
+        let arc0b = set2.arc(set2.arc_ending_at(c).unwrap());
+        assert_eq!(arc0b.interior, ids);
+        assert!((arc0b.length_um(&t) - path.length_um()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rebuild_arc_to_zero_inverters() {
+        let (mut t, n) = chain_tree();
+        let c = n[2];
+        let set = ArcSet::extract(&t);
+        let arc0 = set.arc(set.arc_ending_at(c).unwrap()).clone();
+        let path = RoutePath::l_shape(t.loc(t.root()), t.loc(c));
+        let ids = rebuild_arc(&mut t, &arc0, cell(), 0, path).unwrap();
+        assert!(ids.is_empty());
+        t.validate().unwrap();
+        assert_eq!(t.parent(c), Some(t.root()));
+    }
+
+    #[test]
+    fn rebuild_arc_rejects_bad_path() {
+        let (mut t, n) = chain_tree();
+        let c = n[2];
+        let set = ArcSet::extract(&t);
+        let arc0 = set.arc(set.arc_ending_at(c).unwrap()).clone();
+        let bad = RoutePath::l_shape(Point::new(1, 1), t.loc(c));
+        assert!(rebuild_arc(&mut t, &arc0, cell(), 2, bad).is_err());
+    }
+
+    #[test]
+    fn single_sink_tree_has_one_arc() {
+        let mut t = ClockTree::new(Point::new(0, 0), cell());
+        let s = t.add_node(NodeKind::Sink, Point::new(10, 10), t.root());
+        let set = ArcSet::extract(&t);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.arc(ArcId(0)).to, s);
+    }
+}

@@ -1,0 +1,387 @@
+//! Design interchange: a round-trippable `.ctree` text format, a
+//! structural Verilog writer and a DEF-style placement writer.
+//!
+//! The paper's flow lives inside a commercial P&R database and exchanges
+//! data through standard formats; this module is that interface's
+//! stand-in. The `.ctree` dialect is the workspace's own save format
+//! (written by [`write_ctree`], read back by [`parse_ctree`]); Verilog
+//! and DEF output let external tools consume the optimized tree.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use clk_geom::Point;
+use clk_liberty::Library;
+use clk_route::RoutePath;
+
+use crate::pairs::SinkPair;
+use crate::tree::{ClockTree, NodeId, NodeKind};
+
+/// Serializes `tree` as `.ctree` text (one node per line, parents before
+/// children, routes inline, sink pairs at the end).
+///
+/// ```
+/// use clk_geom::Point;
+/// use clk_liberty::{Library, StdCorners};
+/// use clk_netlist::{ClockTree, NodeKind};
+///
+/// let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+/// let x8 = lib.cell_by_name("CLKINV_X8").expect("exists");
+/// let mut t = ClockTree::new(Point::new(0, 0), x8);
+/// let b = t.add_node(NodeKind::Buffer(x8), Point::new(5_000, 0), t.root());
+/// t.add_node(NodeKind::Sink, Point::new(9_000, 4_000), b);
+/// let text = clk_netlist::io::write_ctree(&t, &lib);
+/// let back = clk_netlist::io::parse_ctree(&text, &lib).expect("round trip");
+/// assert_eq!(back.sinks().count(), 1);
+/// ```
+pub fn write_ctree(tree: &ClockTree, lib: &Library) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "ctree 1");
+    let src = tree.root();
+    let _ = writeln!(
+        out,
+        "source n{} {} {} {}",
+        src.0,
+        tree.loc(src).x,
+        tree.loc(src).y,
+        lib.cell(tree.source_cell()).name
+    );
+    // BFS guarantees parents precede children
+    let mut queue = std::collections::VecDeque::from([src]);
+    while let Some(n) = queue.pop_front() {
+        for &c in tree.children(n) {
+            queue.push_back(c);
+            let node = tree.node(c);
+            let kind = match node.kind {
+                NodeKind::Buffer(cell) => format!("buffer {}", lib.cell(cell).name),
+                NodeKind::Sink => "sink".to_string(),
+                NodeKind::Source => unreachable!("source has no parent"),
+            };
+            let route = node
+                .route
+                .as_ref()
+                .expect("non-root has route")
+                .points()
+                .iter()
+                .map(|p| format!("{} {}", p.x, p.y))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(
+                out,
+                "node n{} {kind} {} {} parent n{} route {route}",
+                c.0, node.loc.x, node.loc.y, n.0
+            );
+        }
+    }
+    for p in tree.sink_pairs() {
+        let _ = writeln!(out, "pair n{} n{} weight {}", p.a.0, p.b.0, p.weight);
+    }
+    out
+}
+
+/// Errors from [`parse_ctree`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCtreeError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseCtreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ctree parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseCtreeError {}
+
+/// Parses `.ctree` text back into a [`ClockTree`]. Node ids are remapped;
+/// structure, locations, routes, cells and sink pairs are preserved.
+///
+/// # Errors
+///
+/// [`ParseCtreeError`] on malformed lines, unknown cells, missing
+/// parents or invalid routes.
+pub fn parse_ctree(text: &str, lib: &Library) -> Result<ClockTree, ParseCtreeError> {
+    let fail = |line: usize, m: &str| ParseCtreeError {
+        line,
+        message: m.to_string(),
+    };
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| fail(1, "empty input"))?;
+    if header.trim() != "ctree 1" {
+        return Err(fail(1, "expected header `ctree 1`"));
+    }
+    let mut tree: Option<ClockTree> = None;
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    let mut pairs: Vec<SinkPair> = Vec::new();
+    for (i, raw) in lines {
+        let ln = i + 1;
+        let toks: Vec<&str> = raw.split_whitespace().collect();
+        if toks.is_empty() {
+            continue;
+        }
+        let int = |s: &str| -> Result<i64, ParseCtreeError> {
+            s.parse().map_err(|_| fail(ln, "bad integer"))
+        };
+        match toks[0] {
+            "source" => {
+                if toks.len() != 5 {
+                    return Err(fail(ln, "source needs: name x y cell"));
+                }
+                let cell = lib
+                    .cell_by_name(toks[4])
+                    .ok_or_else(|| fail(ln, "unknown source cell"))?;
+                let loc = Point::new(int(toks[2])?, int(toks[3])?);
+                let t = ClockTree::new(loc, cell);
+                ids.insert(toks[1].to_string(), t.root());
+                tree = Some(t);
+            }
+            "node" => {
+                let tree = tree
+                    .as_mut()
+                    .ok_or_else(|| fail(ln, "node before source"))?;
+                // node nX buffer CELL x y parent nY route ...
+                // node nX sink x y parent nY route ...
+                let (kind, rest) = match toks.get(2) {
+                    Some(&"buffer") => {
+                        let cell = lib
+                            .cell_by_name(toks.get(3).ok_or_else(|| fail(ln, "missing cell"))?)
+                            .ok_or_else(|| fail(ln, "unknown cell"))?;
+                        (NodeKind::Buffer(cell), &toks[4..])
+                    }
+                    Some(&"sink") => (NodeKind::Sink, &toks[3..]),
+                    _ => return Err(fail(ln, "node kind must be buffer|sink")),
+                };
+                if rest.len() < 5 || rest[2] != "parent" || rest[4] != "route" {
+                    return Err(fail(ln, "node needs: x y parent nY route pts..."));
+                }
+                let loc = Point::new(int(rest[0])?, int(rest[1])?);
+                let parent = *ids
+                    .get(rest[3])
+                    .ok_or_else(|| fail(ln, "parent not yet defined"))?;
+                let pts: Vec<i64> = rest[5..].iter().map(|s| int(s)).collect::<Result<_, _>>()?;
+                if pts.len() < 4 || pts.len() % 2 != 0 {
+                    return Err(fail(ln, "route needs >= 2 points"));
+                }
+                let route_pts: Vec<Point> = pts.chunks(2).map(|c| Point::new(c[0], c[1])).collect();
+                if route_pts
+                    .windows(2)
+                    .any(|w| w[0].x != w[1].x && w[0].y != w[1].y)
+                {
+                    return Err(fail(ln, "route not rectilinear"));
+                }
+                let route = RoutePath::from_points(route_pts);
+                let id = tree
+                    .add_node_with_route(kind, loc, parent, route)
+                    .map_err(|e| fail(ln, &e.to_string()))?;
+                ids.insert(toks[1].to_string(), id);
+            }
+            "pair" => {
+                if toks.len() != 5 || toks[3] != "weight" {
+                    return Err(fail(ln, "pair needs: nA nB weight w"));
+                }
+                let a = *ids
+                    .get(toks[1])
+                    .ok_or_else(|| fail(ln, "unknown pair sink"))?;
+                let b = *ids
+                    .get(toks[2])
+                    .ok_or_else(|| fail(ln, "unknown pair sink"))?;
+                let w: f64 = toks[4].parse().map_err(|_| fail(ln, "bad weight"))?;
+                pairs.push(SinkPair::with_weight(a, b, w));
+            }
+            _ => return Err(fail(ln, "unknown record")),
+        }
+    }
+    let mut tree = tree.ok_or_else(|| fail(1, "no source record"))?;
+    tree.set_sink_pairs(pairs);
+    tree.validate()
+        .map_err(|e| fail(0, &format!("invalid tree: {e}")))?;
+    Ok(tree)
+}
+
+/// Writes the tree as a structural Verilog netlist: one inverter instance
+/// per buffer, one wire per net, sinks exported as output ports.
+pub fn write_verilog(tree: &ClockTree, lib: &Library, module: &str) -> String {
+    let mut out = String::new();
+    let sinks: Vec<NodeId> = tree.sinks().collect();
+    let _ = writeln!(out, "// generated by clockvar");
+    let _ = writeln!(out, "module {module} (");
+    let _ = writeln!(out, "  input  wire clk_in,");
+    let ports: Vec<String> = sinks.iter().map(|s| format!("ck_n{}", s.0)).collect();
+    let _ = writeln!(out, "  output wire {}", ports.join(",\n  output wire "));
+    let _ = writeln!(out, ");");
+    // net of a node's output
+    let net_of = |n: NodeId| -> String {
+        if n == tree.root() {
+            "w_src".to_string()
+        } else {
+            format!("w_n{}", n.0)
+        }
+    };
+    for b in tree.buffers().collect::<Vec<_>>() {
+        let _ = writeln!(out, "  wire w_n{};", b.0);
+    }
+    let _ = writeln!(out, "  wire w_src;");
+    let src_cell = lib.cell(tree.source_cell());
+    let _ = writeln!(out, "  {} u_src (.A(clk_in), .Y(w_src));", src_cell.name);
+    for b in tree.buffers().collect::<Vec<_>>() {
+        let parent = tree.parent(b).expect("buffer has a parent");
+        let cell = tree.cell(b).expect("buffer has a cell");
+        let _ = writeln!(
+            out,
+            "  {} u_n{} (.A({}), .Y({}));",
+            lib.cell(cell).name,
+            b.0,
+            net_of(parent),
+            net_of(b)
+        );
+    }
+    for s in &sinks {
+        let parent = tree.parent(*s).expect("sink has a driver");
+        let _ = writeln!(out, "  assign ck_n{} = {};", s.0, net_of(parent));
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+/// Writes a DEF-style snapshot: DIEAREA, COMPONENTS with placements, PINS
+/// for the sinks. Routing is omitted (DEF SPECIALNETS would be overkill
+/// for a clock-tree snapshot; the `.ctree` format carries exact routes).
+pub fn write_def(tree: &ClockTree, lib: &Library, design: &str, die: clk_geom::Rect) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "VERSION 5.8 ;");
+    let _ = writeln!(out, "DESIGN {design} ;");
+    let _ = writeln!(out, "UNITS DISTANCE MICRONS 1000 ;");
+    let _ = writeln!(
+        out,
+        "DIEAREA ( {} {} ) ( {} {} ) ;",
+        die.lo.x, die.lo.y, die.hi.x, die.hi.y
+    );
+    let buffers: Vec<NodeId> = tree.buffers().collect();
+    let _ = writeln!(out, "COMPONENTS {} ;", buffers.len() + 1);
+    let src = tree.root();
+    let _ = writeln!(
+        out,
+        "- u_src {} + PLACED ( {} {} ) N ;",
+        lib.cell(tree.source_cell()).name,
+        tree.loc(src).x,
+        tree.loc(src).y
+    );
+    for b in &buffers {
+        let cell = tree.cell(*b).expect("buffer");
+        let p = tree.loc(*b);
+        let _ = writeln!(
+            out,
+            "- u_n{} {} + PLACED ( {} {} ) N ;",
+            b.0,
+            lib.cell(cell).name,
+            p.x,
+            p.y
+        );
+    }
+    let _ = writeln!(out, "END COMPONENTS");
+    let sinks: Vec<NodeId> = tree.sinks().collect();
+    let _ = writeln!(out, "PINS {} ;", sinks.len());
+    for s in &sinks {
+        let p = tree.loc(*s);
+        let _ = writeln!(
+            out,
+            "- ck_n{} + NET ck_n{} + DIRECTION OUTPUT + PLACED ( {} {} ) N ;",
+            s.0, s.0, p.x, p.y
+        );
+    }
+    let _ = writeln!(out, "END PINS");
+    let _ = writeln!(out, "END DESIGN");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clk_liberty::StdCorners;
+
+    fn fixture() -> (ClockTree, Library) {
+        let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+        let x4 = lib.cell_by_name("CLKINV_X4").unwrap();
+        let x8 = lib.cell_by_name("CLKINV_X8").unwrap();
+        let mut t = ClockTree::new(Point::new(100, 200), x8);
+        let b1 = t.add_node(NodeKind::Buffer(x8), Point::new(10_000, 200), t.root());
+        let b2 = t.add_node(NodeKind::Buffer(x4), Point::new(20_000, 5_000), b1);
+        let s1 = t.add_node(NodeKind::Sink, Point::new(30_000, 5_000), b2);
+        let s2 = t.add_node(NodeKind::Sink, Point::new(20_000, 9_000), b2);
+        // a detoured route survives the round trip
+        let det = RoutePath::with_detour(t.loc(b2), t.loc(s2), 25.0);
+        t.set_route(s2, det).unwrap();
+        t.set_sink_pairs(vec![SinkPair::with_weight(s1, s2, 2.0)]);
+        (t, lib)
+    }
+
+    #[test]
+    fn ctree_round_trip_preserves_everything() {
+        let (t, lib) = fixture();
+        let text = write_ctree(&t, &lib);
+        let back = parse_ctree(&text, &lib).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.sinks().count(), 2);
+        assert_eq!(back.sink_pairs().len(), 1);
+        assert_eq!(back.sink_pairs()[0].weight, 2.0);
+        // total wirelength identical (routes preserved, incl. the detour)
+        let wl = |t: &ClockTree| -> f64 {
+            t.node_ids()
+                .filter_map(|n| t.node(n).route.as_ref().map(|r| r.length_um()))
+                .sum()
+        };
+        assert!((wl(&t) - wl(&back)).abs() < 1e-9);
+        // and a second round trip is byte-identical (canonical form)
+        let text2 = write_ctree(&back, &lib);
+        assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn ctree_parse_rejects_malformed() {
+        let (_, lib) = fixture();
+        assert!(parse_ctree("", &lib).is_err());
+        assert!(parse_ctree("ctree 2\n", &lib).is_err());
+        assert!(parse_ctree("ctree 1\nnode n1 sink 0 0 parent n0 route 0 0 1 1\n", &lib).is_err());
+        let bad_cell = "ctree 1\nsource n0 0 0 NOPE\n";
+        assert!(parse_ctree(bad_cell, &lib).is_err());
+        // diagonal route
+        let diag = "ctree 1\nsource n0 0 0 CLKINV_X16\nnode n1 sink 5 5 parent n0 route 0 0 5 5\n";
+        assert!(parse_ctree(diag, &lib).is_err());
+    }
+
+    #[test]
+    fn verilog_is_structurally_sound() {
+        let (t, lib) = fixture();
+        let v = write_verilog(&t, &lib, "clk_tree");
+        assert!(v.contains("module clk_tree"));
+        assert!(v.contains("endmodule"));
+        // one instance per buffer + the source driver
+        let instances = v.matches("(.A(").count();
+        assert_eq!(instances, t.buffers().count() + 1);
+        // every sink becomes an output assign
+        assert_eq!(v.matches("assign ck_n").count(), 2);
+    }
+
+    #[test]
+    fn def_lists_components_and_pins() {
+        let (t, lib) = fixture();
+        let d = write_def(
+            &t,
+            &lib,
+            "clockvar_demo",
+            clk_geom::Rect::from_um(0.0, 0.0, 100.0, 100.0),
+        );
+        assert!(d.contains("DESIGN clockvar_demo ;"));
+        assert!(d.contains(&format!("COMPONENTS {} ;", t.buffers().count() + 1)));
+        assert!(d.contains("END DESIGN"));
+        assert_eq!(d.matches("+ PLACED (").count(), t.buffers().count() + 1 + 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! Floorplan and legalizer — the stand-in for ECO placement in a P&R tool.
+//!
+//! The paper's flow asks the commercial tool to legalize every inserted or
+//! displaced inverter, which shifts cells off their ideal locations in a
+//! ~60%-utilized block. That displacement is one of the discrepancy sources
+//! between the LP's desired delays and the realized delays. We model it as
+//! (a) snapping to a placement site grid, (b) keeping out of blockages and
+//! the die margin, and (c) a small deterministic pseudo-random jitter that
+//! emulates "the nearest free site was a few sites over".
+
+use clk_geom::{Dbu, Point, Rect};
+
+/// Placement-site width (dbu): 0.2 µm, typical of a 28nm site.
+pub const SITE_W: Dbu = 200;
+/// Row height (dbu): 1.2 µm.
+pub const ROW_H: Dbu = 1_200;
+
+/// A floorplan: die outline, hard blockages, and the legalization rules.
+#[derive(Debug, Clone)]
+pub struct Floorplan {
+    /// Die (placeable) outline.
+    pub die: Rect,
+    /// Hard placement blockages (e.g. macros).
+    pub blockages: Vec<Rect>,
+    /// Maximum legalization jitter in sites (0 disables jitter).
+    pub jitter_sites: i64,
+}
+
+impl Floorplan {
+    /// A jitter-free floorplan over `die` with no blockages.
+    pub fn open(die: Rect) -> Self {
+        Floorplan {
+            die,
+            blockages: Vec::new(),
+            jitter_sites: 0,
+        }
+    }
+
+    /// The production-like floorplan: blockages allowed, jitter of up to
+    /// ±2 sites / ±1 row emulating a 60%-utilized block.
+    pub fn utilized(die: Rect, blockages: Vec<Rect>) -> Self {
+        Floorplan {
+            die,
+            blockages,
+            jitter_sites: 2,
+        }
+    }
+
+    /// Whether `p` is on the site grid, inside the die and outside all
+    /// blockages — i.e. already legal.
+    pub fn is_legal(&self, p: Point) -> bool {
+        p.x % SITE_W == 0
+            && p.y % ROW_H == 0
+            && self.die.contains(p)
+            && !self.blockages.iter().any(|b| b.contains(p))
+    }
+
+    /// Snaps to the nearest site/row intersection.
+    fn snap(p: Point) -> Point {
+        let snap1 = |v: Dbu, g: Dbu| -> Dbu {
+            let q = v.div_euclid(g);
+            let r = v - q * g;
+            if r * 2 >= g {
+                (q + 1) * g
+            } else {
+                q * g
+            }
+        };
+        Point::new(snap1(p.x, SITE_W), snap1(p.y, ROW_H))
+    }
+
+    /// Legalizes `p`: returns a legal location near `p`.
+    ///
+    /// Already-legal inputs are returned unchanged, so legalization is
+    /// idempotent. Otherwise the point is snapped, jittered by a
+    /// deterministic hash of the target (emulating occupied sites), clamped
+    /// into the die and pushed out of blockages.
+    pub fn legalize(&self, p: Point) -> Point {
+        if self.is_legal(p) {
+            return p;
+        }
+        let mut q = Self::snap(p);
+        if self.jitter_sites > 0 {
+            let h = hash2(p.x, p.y);
+            let span = 2 * self.jitter_sites + 1;
+            let dx = (h % span as u64) as i64 - self.jitter_sites;
+            let dy = ((h / span as u64) % 3) as i64 - 1;
+            q = Point::new(q.x + dx * SITE_W, q.y + dy * ROW_H);
+        }
+        q = q.clamp_to(self.die_grid());
+        // Push out of blockages toward the nearest blockage edge.
+        for _ in 0..4 {
+            match self.blockages.iter().find(|b| b.contains(q)) {
+                None => break,
+                Some(b) => {
+                    q = Self::snap(nearest_exit(*b, q));
+                    q = q.clamp_to(self.die_grid());
+                }
+            }
+        }
+        q
+    }
+
+    /// The die outline shrunk onto the site grid so clamped points stay
+    /// snapped.
+    fn die_grid(&self) -> Rect {
+        let lo = Point::new(
+            self.die.lo.x.div_euclid(SITE_W) * SITE_W
+                + ((self.die.lo.x % SITE_W != 0) as Dbu) * SITE_W,
+            self.die.lo.y.div_euclid(ROW_H) * ROW_H + ((self.die.lo.y % ROW_H != 0) as Dbu) * ROW_H,
+        );
+        let hi = Point::new(
+            self.die.hi.x.div_euclid(SITE_W) * SITE_W,
+            self.die.hi.y.div_euclid(ROW_H) * ROW_H,
+        );
+        Rect { lo, hi }
+    }
+}
+
+/// Moves `p` just outside the nearest edge of blockage `b`.
+fn nearest_exit(b: Rect, p: Point) -> Point {
+    let to_left = p.x - b.lo.x;
+    let to_right = b.hi.x - p.x;
+    let to_bot = p.y - b.lo.y;
+    let to_top = b.hi.y - p.y;
+    let min = to_left.min(to_right).min(to_bot).min(to_top);
+    if min == to_left {
+        Point::new(b.lo.x - SITE_W, p.y)
+    } else if min == to_right {
+        Point::new(b.hi.x + SITE_W, p.y)
+    } else if min == to_bot {
+        Point::new(p.x, b.lo.y - ROW_H)
+    } else {
+        Point::new(p.x, b.hi.y + ROW_H)
+    }
+}
+
+/// A small deterministic integer hash (splitmix-style) of two coordinates.
+fn hash2(x: Dbu, y: Dbu) -> u64 {
+    let mut z =
+        (x as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ (y as u64).wrapping_mul(0xBF58476D1CE4E5B9);
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58476D1CE4E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp() -> Floorplan {
+        Floorplan::utilized(
+            Rect::from_um(0.0, 0.0, 650.0, 650.0),
+            vec![Rect::from_um(100.0, 100.0, 200.0, 200.0)],
+        )
+    }
+
+    #[test]
+    fn legalize_is_idempotent() {
+        let f = fp();
+        for &(x, y) in &[
+            (123_456, 77_777),
+            (-50, 649_999),
+            (150_000, 150_000),
+            (1, 1),
+        ] {
+            let p = Point::new(x, y);
+            let l1 = f.legalize(p);
+            let l2 = f.legalize(l1);
+            assert_eq!(l1, l2, "legalize not idempotent at {p}");
+            assert!(f.is_legal(l1), "result not legal at {p} -> {l1}");
+        }
+    }
+
+    #[test]
+    fn legal_points_pass_through() {
+        let f = fp();
+        let p = Point::new(400 * SITE_W, 100 * ROW_H);
+        assert!(f.is_legal(p));
+        assert_eq!(f.legalize(p), p);
+    }
+
+    #[test]
+    fn blockage_interior_is_evacuated() {
+        let f = fp();
+        let inside = Point::new(150_000, 150_000);
+        let out = f.legalize(inside);
+        assert!(!f.blockages[0].contains(out));
+        assert!(f.die.contains(out));
+    }
+
+    #[test]
+    fn out_of_die_is_clamped() {
+        let f = fp();
+        let out = f.legalize(Point::new(-10_000, 700_000));
+        assert!(f.die.contains(out));
+        assert!(f.is_legal(out));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let f = fp();
+        let p = Point::new(333_333, 444_444);
+        let a = f.legalize(p);
+        let b = f.legalize(p);
+        assert_eq!(a, b);
+        // within jitter+snap distance of the request
+        assert!(p.manhattan(a) <= (f.jitter_sites + 1) * SITE_W + ROW_H + ROW_H / 2);
+    }
+
+    #[test]
+    fn open_floorplan_just_snaps() {
+        let f = Floorplan::open(Rect::from_um(0.0, 0.0, 10.0, 10.0));
+        let p = f.legalize(Point::new(290, 550));
+        assert_eq!(p, Point::new(200, 0)); // 290→200 (site 0.2µm), 550→0 (row 1.2µm)
+    }
+}

@@ -1,0 +1,83 @@
+//! Cell / area / wirelength accounting for Table-5-style reports.
+
+use clk_liberty::Library;
+
+use crate::tree::{ClockTree, NodeKind};
+
+/// Aggregate physical statistics of a clock tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TreeStats {
+    /// Number of clock inverters (the "#cells" column of Table 5).
+    pub n_buffers: usize,
+    /// Number of sinks (flip-flop clock pins).
+    pub n_sinks: usize,
+    /// Total area of clock cells, µm².
+    pub buffer_area_um2: f64,
+    /// Total routed clock wirelength, µm.
+    pub wirelength_um: f64,
+    /// Buffer count per library size index.
+    pub per_size: Vec<usize>,
+}
+
+impl TreeStats {
+    /// Computes the statistics of `tree` against `lib`.
+    pub fn compute(tree: &ClockTree, lib: &Library) -> Self {
+        let mut stats = TreeStats {
+            per_size: vec![0; lib.cells().len()],
+            ..TreeStats::default()
+        };
+        for id in tree.node_ids() {
+            let n = tree.node(id);
+            match n.kind {
+                NodeKind::Buffer(c) => {
+                    stats.n_buffers += 1;
+                    stats.buffer_area_um2 += lib.cell(c).area_um2;
+                    stats.per_size[c.0] += 1;
+                }
+                NodeKind::Sink => stats.n_sinks += 1,
+                NodeKind::Source => {}
+            }
+            if let Some(r) = &n.route {
+                stats.wirelength_um += r.length_um();
+            }
+        }
+        stats
+    }
+}
+
+impl std::fmt::Display for TreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} buffers ({:.1} um2), {} sinks, {:.1} um wire",
+            self.n_buffers, self.buffer_area_um2, self.n_sinks, self.wirelength_um
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NodeKind;
+    use clk_geom::Point;
+    use clk_liberty::{Library, StdCorners};
+
+    #[test]
+    fn stats_count_cells_and_wire() {
+        let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+        let x2 = lib.cell_by_name("CLKINV_X2").unwrap();
+        let x8 = lib.cell_by_name("CLKINV_X8").unwrap();
+        let mut t = ClockTree::new(Point::new(0, 0), x8);
+        let b = t.add_node(NodeKind::Buffer(x2), Point::new(10_000, 0), t.root());
+        let b2 = t.add_node(NodeKind::Buffer(x8), Point::new(10_000, 5_000), b);
+        let _s = t.add_node(NodeKind::Sink, Point::new(20_000, 5_000), b2);
+        let s = TreeStats::compute(&t, &lib);
+        assert_eq!(s.n_buffers, 2);
+        assert_eq!(s.n_sinks, 1);
+        assert_eq!(s.per_size[x2.0], 1);
+        assert_eq!(s.per_size[x8.0], 1);
+        assert!((s.wirelength_um - 25.0).abs() < 1e-9);
+        let want_area = lib.cell(x2).area_um2 + lib.cell(x8).area_um2;
+        assert!((s.buffer_area_um2 - want_area).abs() < 1e-9);
+    }
+}

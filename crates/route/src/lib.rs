@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Rectilinear routing substrate: two-pin paths with controllable detours,
+//! wire trees, single-trunk Steiner trees and a FLUTE-class rectilinear
+//! Steiner minimal tree heuristic.
+//!
+//! The DAC'15 flow needs routing in three places:
+//!
+//! 1. the **ECO router** realizes LP-guided buffer chains along arcs,
+//!    including "U"-shaped detours when the LP asks for extra wire delay
+//!    (paper §4.1);
+//! 2. the **delta-latency predictor** estimates the routing pattern of a
+//!    perturbed net with two topologies — a FLUTE tree and a single-trunk
+//!    Steiner tree (paper §4.2);
+//! 3. the baseline **CTS** routes parent→child connections.
+//!
+//! The original FLUTE \[Chu, ICCAD'04\] uses pre-computed potentially-optimal
+//! wirelength-vector tables; those tables are proprietary-free but huge, so
+//! [`rsmt`] substitutes an **iterated 1-Steiner** heuristic (exact for ≤ 3
+//! pins, near-optimal for the ≤ 40-pin nets that occur in clock trees).
+//! DESIGN.md documents this substitution.
+//!
+//! # Examples
+//!
+//! ```
+//! use clk_geom::Point;
+//! use clk_route::RoutePath;
+//!
+//! let p = RoutePath::l_shape(Point::new(0, 0), Point::new(5_000, 2_000));
+//! assert_eq!(p.length_dbu(), 7_000);
+//! let q = RoutePath::with_detour(Point::new(0, 0), Point::new(5_000, 2_000), 10.0);
+//! assert_eq!(q.length_dbu(), 17_000);
+//! ```
+
+pub mod path;
+pub mod steiner;
+pub mod tree;
+
+pub use path::RoutePath;
+pub use steiner::{rsmt, single_trunk};
+pub use tree::WireTree;

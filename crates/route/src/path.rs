@@ -1,0 +1,350 @@
+//! Two-pin rectilinear route paths.
+
+use clk_geom::{um_to_dbu, Dbu, Point};
+
+/// A rectilinear polyline from a driver location to a receiver location.
+///
+/// Invariants (enforced by constructors, checked by [`RoutePath::is_valid`]):
+/// consecutive points differ in exactly one coordinate (or are equal), and
+/// the polyline has at least two points.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RoutePath {
+    pts: Vec<Point>,
+}
+
+impl RoutePath {
+    /// Builds a path from explicit bend points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pts` has fewer than 2 points or any segment is not
+    /// axis-parallel.
+    pub fn from_points(pts: Vec<Point>) -> Self {
+        let p = RoutePath { pts };
+        assert!(p.is_valid(), "route must be a rectilinear polyline");
+        p
+    }
+
+    /// The minimum-length one-bend route from `a` to `b`: horizontal first,
+    /// then vertical ("lower L"). Degenerates gracefully when the points are
+    /// axis-aligned or equal.
+    pub fn l_shape(a: Point, b: Point) -> Self {
+        let bend = Point::new(b.x, a.y);
+        let mut pts = vec![a];
+        if bend != a && bend != b {
+            pts.push(bend);
+        }
+        if b != a {
+            pts.push(b);
+        } else {
+            // zero-length route still needs two points
+            pts.push(b);
+        }
+        RoutePath { pts }
+    }
+
+    /// The vertical-first one-bend route ("upper L").
+    pub fn l_shape_vertical_first(a: Point, b: Point) -> Self {
+        let bend = Point::new(a.x, b.y);
+        let mut pts = vec![a];
+        if bend != a && bend != b {
+            pts.push(bend);
+        }
+        pts.push(b);
+        RoutePath { pts }
+    }
+
+    /// A route from `a` to `b` with `extra_um` micrometres of detour wire
+    /// beyond the Manhattan distance, realized as a "U" shape hanging off
+    /// the first segment — the shape the paper uses when the LP requests a
+    /// wire-delay increase ("We place inverter pairs in a 'U' shape when
+    /// routing detour is required").
+    ///
+    /// The detour depth is `extra_um / 2` perpendicular to the first leg.
+    /// Requests of zero (or negative) extra length return the plain L.
+    pub fn with_detour(a: Point, b: Point, extra_um: f64) -> Self {
+        let extra = um_to_dbu(extra_um.max(0.0));
+        if extra == 0 {
+            return Self::l_shape(a, b);
+        }
+        let depth = extra / 2;
+        let rem = extra - depth * 2; // keep exact total length for odd dbu
+                                     // Hang the U below/above the horizontal leg; if the horizontal leg
+                                     // is degenerate hang it to the side of the vertical leg instead.
+        if a.x != b.x {
+            // U on the horizontal first leg, dipping in -y then returning.
+            let u1 = Point::new(a.x, a.y - depth);
+            let u2 = Point::new(b.x + rem * (if b.x >= a.x { 1 } else { -1 }), a.y - depth);
+            let u3 = Point::new(u2.x, a.y);
+            let bend = Point::new(b.x, a.y);
+            let mut pts = vec![a, u1, u2, u3];
+            if bend != u3 {
+                pts.push(bend);
+            }
+            if b != *pts.last().expect("non-empty") {
+                pts.push(b);
+            }
+            RoutePath { pts }
+        } else {
+            // Vertical (or coincident) pair: U to the +x side.
+            let u1 = Point::new(a.x + depth, a.y);
+            let u2 = Point::new(a.x + depth, b.y + rem * (if b.y >= a.y { 1 } else { -1 }));
+            let u3 = Point::new(a.x, u2.y);
+            let mut pts = vec![a, u1, u2, u3];
+            if b != u3 {
+                pts.push(b);
+            }
+            RoutePath { pts }
+        }
+    }
+
+    /// The bend points of the path (first = driver end, last = load end).
+    pub fn points(&self) -> &[Point] {
+        &self.pts
+    }
+
+    /// The driver-end point.
+    pub fn start(&self) -> Point {
+        self.pts[0]
+    }
+
+    /// The load-end point.
+    pub fn end(&self) -> Point {
+        *self.pts.last().expect("paths have >= 2 points")
+    }
+
+    /// Total routed length in dbu.
+    pub fn length_dbu(&self) -> Dbu {
+        self.pts.windows(2).map(|w| w[0].manhattan(w[1])).sum()
+    }
+
+    /// Total routed length in µm.
+    pub fn length_um(&self) -> f64 {
+        clk_geom::dbu_to_um(self.length_dbu())
+    }
+
+    /// Whether the polyline is rectilinear and has at least 2 points.
+    pub fn is_valid(&self) -> bool {
+        self.pts.len() >= 2
+            && self
+                .pts
+                .windows(2)
+                .all(|w| w[0].x == w[1].x || w[0].y == w[1].y)
+    }
+
+    /// The point at routed distance `dist_dbu` from the driver end, clamped
+    /// to the path ends. Used to place inverter pairs uniformly along an
+    /// arc.
+    pub fn locate(&self, dist_dbu: Dbu) -> Point {
+        if dist_dbu <= 0 {
+            return self.start();
+        }
+        let mut remaining = dist_dbu;
+        for w in self.pts.windows(2) {
+            let seg = w[0].manhattan(w[1]);
+            if remaining <= seg {
+                let dx = (w[1].x - w[0].x).signum();
+                let dy = (w[1].y - w[0].y).signum();
+                return Point::new(w[0].x + dx * remaining, w[0].y + dy * remaining);
+            }
+            remaining -= seg;
+        }
+        self.end()
+    }
+
+    /// Concatenates two paths sharing an endpoint (`self.end() ==
+    /// next.start()`), merging the junction point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints do not meet.
+    pub fn join(&self, next: &RoutePath) -> RoutePath {
+        assert_eq!(self.end(), next.start(), "paths do not meet");
+        let mut pts = self.pts.clone();
+        pts.extend_from_slice(&next.pts[1..]);
+        // drop zero-length duplicates introduced by degenerate pieces
+        pts.dedup();
+        if pts.len() == 1 {
+            pts.push(pts[0]);
+        }
+        RoutePath { pts }
+    }
+
+    /// The contiguous piece of this path between routed distances `d0` and
+    /// `d1` from the driver end (clamped and ordered), as a new path. Used
+    /// to give each repeater of a chain the exact route segment between it
+    /// and its neighbour, so detour length is preserved.
+    pub fn sub_path(&self, d0: Dbu, d1: Dbu) -> RoutePath {
+        let total = self.length_dbu();
+        let (d0, d1) = if d0 <= d1 { (d0, d1) } else { (d1, d0) };
+        let d0 = d0.clamp(0, total);
+        let d1 = d1.clamp(0, total);
+        let start = self.locate(d0);
+        let end = self.locate(d1);
+        let mut pts = vec![start];
+        let mut walked: Dbu = 0;
+        for w in self.pts.windows(2) {
+            let seg = w[0].manhattan(w[1]);
+            let seg_end = walked + seg;
+            // interior bend points strictly inside (d0, d1)
+            if seg_end > d0 && seg_end < d1 && w[1] != start {
+                pts.push(w[1]);
+            }
+            walked = seg_end;
+        }
+        if *pts.last().expect("non-empty") != end || pts.len() == 1 {
+            pts.push(end);
+        }
+        RoutePath { pts }
+    }
+
+    /// Splits the total length into `n` equal intervals and returns the `n`
+    /// interior + end positions `(i+1) * L / (n+1)`... more precisely, the
+    /// positions at `k * L / (n + 1)` for `k = 1..=n` — the uniform
+    /// placement rule for `n` repeaters along an arc.
+    pub fn uniform_positions(&self, n: usize) -> Vec<Point> {
+        let total = self.length_dbu();
+        (1..=n)
+            .map(|k| self.locate(total * k as Dbu / (n as Dbu + 1)))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for RoutePath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "route[{:.2}um, {} bends]",
+            self.length_um(),
+            self.pts.len().saturating_sub(2)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l_shape_length_is_manhattan() {
+        let a = Point::new(0, 0);
+        let b = Point::new(3_000, -4_000);
+        let p = RoutePath::l_shape(a, b);
+        assert_eq!(p.length_dbu(), a.manhattan(b));
+        assert!(p.is_valid());
+        assert_eq!(p.start(), a);
+        assert_eq!(p.end(), b);
+    }
+
+    #[test]
+    fn l_shape_degenerate_cases() {
+        let a = Point::new(5, 5);
+        assert_eq!(RoutePath::l_shape(a, a).length_dbu(), 0);
+        let b = Point::new(5, 9);
+        let p = RoutePath::l_shape(a, b);
+        assert!(p.is_valid());
+        assert_eq!(p.length_dbu(), 4);
+        let q = RoutePath::l_shape_vertical_first(a, Point::new(9, 9));
+        assert_eq!(q.length_dbu(), 8);
+        assert!(q.is_valid());
+    }
+
+    #[test]
+    fn detour_adds_exact_extra_length() {
+        let a = Point::new(0, 0);
+        for &b in &[
+            Point::new(10_000, 4_000),
+            Point::new(-10_000, 4_000),
+            Point::new(0, 8_000),
+            Point::new(0, -8_000),
+        ] {
+            for extra in [0.0, 5.0, 12.5, 33.333] {
+                let p = RoutePath::with_detour(a, b, extra);
+                assert!(p.is_valid(), "b={b:?} extra={extra}");
+                let want = a.manhattan(b) + um_to_dbu(extra);
+                assert!(
+                    (p.length_dbu() - want).abs() <= 1,
+                    "b={b:?} extra={extra}: got {} want {want}",
+                    p.length_dbu()
+                );
+                assert_eq!(p.start(), a);
+                assert_eq!(p.end(), b);
+            }
+        }
+    }
+
+    #[test]
+    fn locate_walks_the_path() {
+        let p = RoutePath::l_shape(Point::new(0, 0), Point::new(10, 10));
+        assert_eq!(p.locate(0), Point::new(0, 0));
+        assert_eq!(p.locate(5), Point::new(5, 0));
+        assert_eq!(p.locate(10), Point::new(10, 0));
+        assert_eq!(p.locate(15), Point::new(10, 5));
+        assert_eq!(p.locate(99), Point::new(10, 10));
+        assert_eq!(p.locate(-3), Point::new(0, 0));
+    }
+
+    #[test]
+    fn uniform_positions_are_evenly_spaced() {
+        let p = RoutePath::l_shape(Point::new(0, 0), Point::new(30, 0));
+        let pos = p.uniform_positions(2);
+        assert_eq!(pos, vec![Point::new(10, 0), Point::new(20, 0)]);
+        assert!(p.uniform_positions(0).is_empty());
+    }
+
+    #[test]
+    fn sub_path_partitions_length() {
+        let p = RoutePath::with_detour(Point::new(0, 0), Point::new(20_000, 6_000), 14.0);
+        let total = p.length_dbu();
+        // cut into 4 pieces at arbitrary distances; lengths must sum back
+        let cuts = [0, total / 5, total / 2, total * 4 / 5, total];
+        let mut sum = 0;
+        for w in cuts.windows(2) {
+            let piece = p.sub_path(w[0], w[1]);
+            assert!(piece.is_valid());
+            assert_eq!(piece.start(), p.locate(w[0]));
+            assert_eq!(piece.end(), p.locate(w[1]));
+            assert_eq!(piece.length_dbu(), w[1] - w[0]);
+            sum += piece.length_dbu();
+        }
+        assert_eq!(sum, total);
+    }
+
+    #[test]
+    fn join_merges_paths() {
+        let a = RoutePath::l_shape(Point::new(0, 0), Point::new(10, 10));
+        let b = RoutePath::l_shape(Point::new(10, 10), Point::new(20, 0));
+        let j = a.join(&b);
+        assert!(j.is_valid());
+        assert_eq!(j.length_dbu(), a.length_dbu() + b.length_dbu());
+        assert_eq!(j.start(), Point::new(0, 0));
+        assert_eq!(j.end(), Point::new(20, 0));
+        // joining a zero-length piece is harmless
+        let z = RoutePath::l_shape(Point::new(20, 0), Point::new(20, 0));
+        assert_eq!(j.join(&z).length_dbu(), j.length_dbu());
+    }
+
+    #[test]
+    #[should_panic(expected = "do not meet")]
+    fn join_checks_endpoints() {
+        let a = RoutePath::l_shape(Point::new(0, 0), Point::new(10, 10));
+        let b = RoutePath::l_shape(Point::new(11, 10), Point::new(20, 0));
+        let _ = a.join(&b);
+    }
+
+    #[test]
+    fn sub_path_degenerate_and_reversed() {
+        let p = RoutePath::l_shape(Point::new(0, 0), Point::new(10, 10));
+        let z = p.sub_path(5, 5);
+        assert_eq!(z.length_dbu(), 0);
+        assert!(z.is_valid());
+        let r = p.sub_path(15, 5);
+        assert_eq!(r.length_dbu(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "rectilinear")]
+    fn from_points_rejects_diagonals() {
+        let _ = RoutePath::from_points(vec![Point::new(0, 0), Point::new(3, 4)]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests of the routing primitives.
+
+use clk_geom::Point;
+use clk_route::{rsmt, single_trunk, RoutePath, WireTree};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0i64..300_000, 0i64..300_000).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    /// `locate` is monotone along the path and consistent with length.
+    #[test]
+    fn locate_is_monotone(a in arb_point(), b in arb_point(), extra in 0.0f64..150.0) {
+        let p = RoutePath::with_detour(a, b, extra);
+        let total = p.length_dbu();
+        let mut walked = 0;
+        let mut prev = p.start();
+        for k in 0..=10 {
+            let d = total * k / 10;
+            let q = p.locate(d);
+            // distance along the path accumulates exactly
+            walked += prev.manhattan(q);
+            prop_assert!(walked <= total + 1);
+            prev = q;
+        }
+        prop_assert_eq!(prev, p.end());
+    }
+
+    /// Uniform positions split the path into equal-length intervals.
+    #[test]
+    fn uniform_positions_partition(a in arb_point(), b in arb_point(), n in 1usize..8) {
+        prop_assume!(a != b);
+        let p = RoutePath::l_shape(a, b);
+        let pos = p.uniform_positions(n);
+        prop_assert_eq!(pos.len(), n);
+        let total = p.length_dbu();
+        // consecutive sub-path pieces have near-equal length
+        let mut ds = vec![0i64];
+        ds.extend((1..=n).map(|k| total * k as i64 / (n as i64 + 1)));
+        ds.push(total);
+        for w in ds.windows(2) {
+            let piece = p.sub_path(w[0], w[1]);
+            prop_assert!(piece.is_valid());
+            prop_assert_eq!(piece.length_dbu(), w[1] - w[0]);
+        }
+    }
+
+    /// Joining a split reproduces the original length.
+    #[test]
+    fn split_join_roundtrip(a in arb_point(), b in arb_point(), extra in 0.0f64..120.0, cut in 0.0f64..1.0) {
+        let p = RoutePath::with_detour(a, b, extra);
+        let total = p.length_dbu();
+        let d = (total as f64 * cut) as i64;
+        let left = p.sub_path(0, d);
+        let right = p.sub_path(d, total);
+        let joined = left.join(&right);
+        prop_assert_eq!(joined.length_dbu(), total);
+        prop_assert_eq!(joined.start(), p.start());
+        prop_assert_eq!(joined.end(), p.end());
+        prop_assert!(joined.is_valid());
+    }
+
+    /// Both Steiner topologies reach every pin and produce trees whose
+    /// node count is bounded (no runaway Steiner-point insertion).
+    #[test]
+    fn steiner_node_counts_bounded(driver in arb_point(), pins in prop::collection::vec(arb_point(), 1..10)) {
+        for t in [rsmt(driver, &pins), single_trunk(driver, &pins)] {
+            for &p in &pins {
+                prop_assert!(t.index_of(p).is_some());
+            }
+            // terminals + at most ~2 Steiner/trunk points per pin
+            prop_assert!(t.node_count() <= 3 * (pins.len() + 1) + 2);
+        }
+    }
+
+    /// WireTree edge lengths always sum to the wirelength.
+    #[test]
+    fn wiretree_lengths_consistent(driver in arb_point(), pins in prop::collection::vec(arb_point(), 1..10)) {
+        let t = rsmt(driver, &pins);
+        let sum: f64 = (0..t.node_count()).map(|i| t.edge_len_um(i)).sum();
+        prop_assert!((sum - t.wirelength_um()).abs() < 1e-9);
+        // children lists are consistent with parent pointers
+        let ch = t.children();
+        for (i, kids) in ch.iter().enumerate() {
+            for &k in kids {
+                prop_assert_eq!(t.parent(k), Some(i));
+            }
+        }
+        let _ = WireTree::ROOT;
+    }
+}

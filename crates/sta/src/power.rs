@@ -1,0 +1,102 @@
+//! Clock-tree power reporting (the PT-PX stand-in).
+
+use clk_liberty::Library;
+use clk_netlist::{ClockTree, NodeKind};
+
+use crate::timer::CornerTiming;
+
+/// Clock-tree power at one corner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    /// Switching power of wires + pins at the clock frequency, mW.
+    pub dynamic_mw: f64,
+    /// Leakage of the clock cells, mW.
+    pub leakage_mw: f64,
+}
+
+impl PowerReport {
+    /// Total power, mW.
+    pub fn total_mw(&self) -> f64 {
+        self.dynamic_mw + self.leakage_mw
+    }
+}
+
+impl std::fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.3} mW (dyn {:.3} + lkg {:.3})",
+            self.total_mw(),
+            self.dynamic_mw,
+            self.leakage_mw
+        )
+    }
+}
+
+/// Computes clock-tree power from an analyzed corner.
+///
+/// Every clock net toggles twice per cycle (rise + fall covers one full
+/// `C·V²` per period), so `P_dyn = f · C_total · V²`; with `f` in GHz and
+/// `C` in fF this is µW, hence the /1000 to mW.
+pub fn clock_power(
+    tree: &ClockTree,
+    lib: &Library,
+    timing: &CornerTiming,
+    freq_ghz: f64,
+) -> PowerReport {
+    let corner = timing.corner();
+    let cap_ff = timing.wire_cap_ff() + timing.pin_cap_ff();
+    let dynamic_mw = freq_ghz * lib.switching_energy_fj(corner, cap_ff) / 1_000.0;
+    let mut leakage_nw = 0.0;
+    for id in tree.node_ids() {
+        if let NodeKind::Buffer(c) = tree.node(id).kind {
+            leakage_nw += lib.cell_leakage_nw(c, corner);
+        }
+    }
+    PowerReport {
+        dynamic_mw,
+        leakage_mw: leakage_nw / 1.0e6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timer::Timer;
+    use clk_geom::Point;
+    use clk_liberty::{CornerId, StdCorners};
+    use clk_netlist::NodeKind;
+
+    #[test]
+    fn power_positive_and_scales_with_frequency() {
+        let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+        let x8 = lib.cell_by_name("CLKINV_X8").unwrap();
+        let mut t = ClockTree::new(Point::new(0, 0), x8);
+        let b = t.add_node(NodeKind::Buffer(x8), Point::new(50_000, 0), t.root());
+        let _s = t.add_node(NodeKind::Sink, Point::new(100_000, 0), b);
+        let timing = Timer::golden().analyze(&t, &lib, CornerId(0));
+        let p1 = clock_power(&t, &lib, &timing, 1.0);
+        let p2 = clock_power(&t, &lib, &timing, 2.0);
+        assert!(p1.total_mw() > 0.0);
+        assert!((p2.dynamic_mw - 2.0 * p1.dynamic_mw).abs() < 1e-12);
+        assert_eq!(p1.leakage_mw, p2.leakage_mw);
+    }
+
+    #[test]
+    fn higher_voltage_corner_burns_more() {
+        let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+        let x8 = lib.cell_by_name("CLKINV_X8").unwrap();
+        let mut t = ClockTree::new(Point::new(0, 0), x8);
+        let b = t.add_node(NodeKind::Buffer(x8), Point::new(50_000, 0), t.root());
+        let _s = t.add_node(NodeKind::Sink, Point::new(100_000, 0), b);
+        let timer = Timer::golden();
+        // corner index 2 in this library is the fast 1.32V corner (c3)
+        let p0 = clock_power(&t, &lib, &timer.analyze(&t, &lib, CornerId(0)), 1.0);
+        let p3 = clock_power(&t, &lib, &timer.analyze(&t, &lib, CornerId(2)), 1.0);
+        // Cmin wire cap is lower but V² wins: compare energy per fF instead
+        assert!(
+            lib.switching_energy_fj(CornerId(2), 1.0) > lib.switching_energy_fj(CornerId(0), 1.0)
+        );
+        assert!(p3.leakage_mw > p0.leakage_mw);
+    }
+}

@@ -1,0 +1,128 @@
+//! Signoff-style text reports: clock-latency paths and per-pair skew
+//! variation tables (the PrimeTime `report_timing` stand-in for clock
+//! networks).
+
+use std::fmt::Write as _;
+
+use clk_liberty::Library;
+use clk_netlist::{ClockTree, NodeId, NodeKind};
+
+use crate::skew::{alpha_factors, pair_skews, variation_report};
+use crate::timer::{CornerTiming, Timer};
+
+/// Writes a clock-path report for one sink at one analyzed corner:
+/// per-stage arrival/slew from the source to the sink.
+pub fn report_clock_path(
+    tree: &ClockTree,
+    lib: &Library,
+    timing: &CornerTiming,
+    sink: NodeId,
+) -> String {
+    let mut out = String::new();
+    let corner = lib.corner(timing.corner());
+    let _ = writeln!(out, "Clock path to {sink} at corner {}", corner.name);
+    let _ = writeln!(
+        out,
+        "{:<10} {:<12} {:>12} {:>10}",
+        "point", "cell", "arrival", "slew"
+    );
+    for n in tree.path_from_root(sink) {
+        let cell = match tree.node(n).kind {
+            NodeKind::Source => lib.cell(tree.source_cell()).name.clone(),
+            NodeKind::Buffer(c) => lib.cell(c).name.clone(),
+            NodeKind::Sink => "(sink)".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<10} {:<12} {:>12.2} {:>10.2}",
+            n.to_string(),
+            cell,
+            timing.arrival_ps(n),
+            timing.slew_ps(n)
+        );
+    }
+    out
+}
+
+/// Writes the top-`n` sink pairs by normalized skew variation with their
+/// per-corner skews — the table a signoff engineer would read before
+/// kicking off the optimization.
+pub fn report_variation(tree: &ClockTree, lib: &Library, n: usize) -> String {
+    let timer = Timer::golden();
+    let analyses: Vec<CornerTiming> = timer.analyze_all(tree, lib);
+    let skews: Vec<Vec<f64>> = analyses
+        .iter()
+        .map(|t| pair_skews(t, tree.sink_pairs()))
+        .collect();
+    let alphas = alpha_factors(&skews);
+    let rep = variation_report(&skews, &alphas, None);
+    let mut order: Vec<usize> = (0..rep.per_pair.len()).collect();
+    order.sort_by(|&a, &b| {
+        rep.per_pair[b]
+            .partial_cmp(&rep.per_pair[a])
+            .expect("finite")
+    });
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Sum of normalized skew variation: {:.1} ps over {} pairs (max {:.1})",
+        rep.sum,
+        rep.per_pair.len(),
+        rep.max
+    );
+    let _ = write!(out, "{:<18} {:>10}", "pair", "V (ps)");
+    for c in lib.corners() {
+        let _ = write!(out, " {:>10}", format!("skew@{}", c.name));
+    }
+    let _ = writeln!(out);
+    for &i in order.iter().take(n) {
+        let p = tree.sink_pairs()[i];
+        let _ = write!(out, "{:<18} {:>10.2}", p.to_string(), rep.per_pair[i]);
+        for sk in &skews {
+            let _ = write!(out, " {:>10.2}", sk[i]);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clk_geom::Point;
+    use clk_liberty::{CornerId, StdCorners};
+    use clk_netlist::SinkPair;
+
+    fn fixture() -> (ClockTree, Library) {
+        let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+        let x8 = lib.cell_by_name("CLKINV_X8").unwrap();
+        let mut t = ClockTree::new(Point::new(0, 0), x8);
+        let b = t.add_node(NodeKind::Buffer(x8), Point::new(50_000, 0), t.root());
+        let s1 = t.add_node(NodeKind::Sink, Point::new(90_000, 20_000), b);
+        let s2 = t.add_node(NodeKind::Sink, Point::new(100_000, -20_000), b);
+        t.set_sink_pairs(vec![SinkPair::new(s1, s2)]);
+        (t, lib)
+    }
+
+    #[test]
+    fn clock_path_lists_every_stage() {
+        let (t, lib) = fixture();
+        let timing = Timer::golden().analyze(&t, &lib, CornerId(0));
+        let sink = t.sinks().next().unwrap();
+        let rep = report_clock_path(&t, &lib, &timing, sink);
+        // source + buffer + sink = 3 data rows + 2 header rows
+        assert_eq!(rep.lines().count(), 5, "{rep}");
+        assert!(rep.contains("(sink)"));
+        assert!(rep.contains("CLKINV_X8"));
+    }
+
+    #[test]
+    fn variation_report_sorts_and_sums() {
+        let (t, lib) = fixture();
+        let rep = report_variation(&t, &lib, 5);
+        assert!(rep.contains("Sum of normalized skew variation"));
+        assert!(rep.contains("skew@c0"));
+        assert!(rep.contains("over 1 pairs"));
+    }
+}

@@ -1,0 +1,403 @@
+//! Per-corner propagation of arrivals and slews through the clock tree.
+
+use clk_delay::{peri_slew, NetTiming, RcTree, WireModel};
+use clk_liberty::{CornerId, Library};
+use clk_netlist::{ArcSet, ClockTree, NodeId, NodeKind};
+use clk_route::WireTree;
+
+/// Timing-analysis configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimerOptions {
+    /// Wire delay metric.
+    pub wire_model: WireModel,
+    /// Maximum RC segment length, µm (small = signoff-accurate, huge =
+    /// lumped fast estimate).
+    pub seg_max_um: f64,
+    /// Transition of the ideal clock at the source input, ps.
+    pub source_slew_ps: f64,
+}
+
+impl Default for TimerOptions {
+    fn default() -> Self {
+        TimerOptions {
+            wire_model: WireModel::D2m,
+            seg_max_um: 5.0,
+            source_slew_ps: 20.0,
+        }
+    }
+}
+
+/// A slew or load design-rule violation found during analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// Input transition at the node exceeded the library limit.
+    MaxSlew {
+        /// Node whose input slew violates.
+        node: NodeId,
+        /// Observed slew, ps.
+        slew_ps: f64,
+        /// Library limit, ps.
+        limit_ps: f64,
+    },
+    /// The driver's load exceeded the cell's max capacitance.
+    MaxCap {
+        /// Driving node.
+        node: NodeId,
+        /// Observed load, fF.
+        load_ff: f64,
+        /// Cell limit, fF.
+        limit_ff: f64,
+    },
+}
+
+/// The result of analyzing one corner: arrivals and slews at every node
+/// input, loads at every driver, and net capacitance totals (for power).
+#[derive(Debug, Clone)]
+pub struct CornerTiming {
+    corner: CornerId,
+    arrival_ps: Vec<f64>,
+    slew_ps: Vec<f64>,
+    load_ff: Vec<f64>,
+    wire_cap_ff: f64,
+    pin_cap_ff: f64,
+    violations: Vec<Violation>,
+}
+
+impl CornerTiming {
+    /// The corner this analysis ran at.
+    pub fn corner(&self) -> CornerId {
+        self.corner
+    }
+
+    /// Arrival time (clock latency) at the node's input pin, ps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was dead or unreachable during analysis.
+    pub fn arrival_ps(&self, id: NodeId) -> f64 {
+        let v = self.arrival_ps[id.0 as usize];
+        assert!(v.is_finite(), "no arrival at {id}");
+        v
+    }
+
+    /// Input transition at the node, ps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was dead or unreachable during analysis.
+    pub fn slew_ps(&self, id: NodeId) -> f64 {
+        let v = self.slew_ps[id.0 as usize];
+        assert!(v.is_finite(), "no slew at {id}");
+        v
+    }
+
+    /// Load capacitance a driving node sees (0 for sinks), fF.
+    pub fn load_ff(&self, id: NodeId) -> f64 {
+        self.load_ff[id.0 as usize]
+    }
+
+    /// Maximum sink latency, ps.
+    pub fn max_latency_ps(&self, tree: &ClockTree) -> f64 {
+        tree.sinks().map(|s| self.arrival_ps(s)).fold(0.0, f64::max)
+    }
+
+    /// Total routed wire capacitance of the tree at this corner, fF.
+    pub fn wire_cap_ff(&self) -> f64 {
+        self.wire_cap_ff
+    }
+
+    /// Total receiver pin capacitance, fF.
+    pub fn pin_cap_ff(&self) -> f64 {
+        self.pin_cap_ff
+    }
+
+    /// Design-rule violations observed during propagation.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+/// The timing engine. Create with [`Timer::golden`] for signoff-accurate
+/// settings or [`Timer::new`] with custom options.
+#[derive(Debug, Clone, Default)]
+pub struct Timer {
+    opts: TimerOptions,
+}
+
+impl Timer {
+    /// A timer with explicit options.
+    pub fn new(opts: TimerOptions) -> Self {
+        Timer { opts }
+    }
+
+    /// The signoff configuration: D2M on 5 µm-segmented parasitics.
+    pub fn golden() -> Self {
+        Timer::default()
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> TimerOptions {
+        self.opts
+    }
+
+    /// Analyzes `tree` at `corner`.
+    pub fn analyze(&self, tree: &ClockTree, lib: &Library, corner: CornerId) -> CornerTiming {
+        let n = tree
+            .node_ids()
+            .map(|id| id.0 as usize + 1)
+            .max()
+            .unwrap_or(1);
+        let mut out = CornerTiming {
+            corner,
+            arrival_ps: vec![f64::NAN; n],
+            slew_ps: vec![f64::NAN; n],
+            load_ff: vec![0.0; n],
+            wire_cap_ff: 0.0,
+            pin_cap_ff: 0.0,
+            violations: Vec::new(),
+        };
+        let root = tree.root();
+        out.arrival_ps[root.0 as usize] = 0.0;
+        out.slew_ps[root.0 as usize] = self.opts.source_slew_ps;
+
+        let wire_rc = lib.wire_rc(corner);
+        let max_slew = lib.max_slew_ps();
+
+        // Preorder walk: parents are timed before children.
+        let mut stack = vec![root];
+        while let Some(d) = stack.pop() {
+            let children = tree.children(d);
+            if children.is_empty() {
+                continue;
+            }
+            let cell = tree.cell(d).expect("drivers are source or buffer");
+            let t_in = out.arrival_ps[d.0 as usize];
+            let s_in = out.slew_ps[d.0 as usize];
+
+            // Build the fanout wire tree from the actual routed paths.
+            let mut wt = WireTree::new(tree.loc(d));
+            let mut ends = Vec::with_capacity(children.len());
+            let mut loads = Vec::with_capacity(children.len());
+            for &c in children {
+                let route = tree.node(c).route.as_ref().expect("non-root has route");
+                let mut prev = WireTree::ROOT;
+                for &p in &route.points()[1..] {
+                    prev = wt.add_child(prev, p);
+                }
+                let pin_cap = match tree.node(c).kind {
+                    NodeKind::Buffer(cc) => lib.cell(cc).input_cap_ff,
+                    NodeKind::Sink => lib.sink_cap_ff(),
+                    NodeKind::Source => unreachable!("source has no parent"),
+                };
+                ends.push((c, prev));
+                loads.push((prev, pin_cap));
+                out.pin_cap_ff += pin_cap;
+            }
+            let rct = RcTree::extract(&wt, wire_rc, &loads, self.opts.seg_max_um);
+            let nt = NetTiming::analyze(&rct);
+            let load = nt.total_cap_ff();
+            out.load_ff[d.0 as usize] = load;
+            out.wire_cap_ff += load - loads.iter().map(|(_, c)| c).sum::<f64>();
+
+            let limit_ff = lib.cell(cell).max_cap_ff;
+            if load > limit_ff {
+                out.violations.push(Violation::MaxCap {
+                    node: d,
+                    load_ff: load,
+                    limit_ff,
+                });
+            }
+
+            let gate_delay = lib.gate_delay(cell, corner, s_in, load);
+            let gate_slew = lib.gate_output_slew(cell, corner, s_in, load);
+
+            for (c, wnode) in ends {
+                let rc_node = rct.rc_node_of_wire_node(wnode);
+                let wire_delay = nt.delay_ps(rc_node, self.opts.wire_model);
+                let wire_slew = nt.wire_slew_ps(rc_node);
+                let t = t_in + gate_delay + wire_delay;
+                let s = peri_slew(gate_slew, wire_slew);
+                out.arrival_ps[c.0 as usize] = t;
+                out.slew_ps[c.0 as usize] = s;
+                if s > max_slew {
+                    out.violations.push(Violation::MaxSlew {
+                        node: c,
+                        slew_ps: s,
+                        limit_ps: max_slew,
+                    });
+                }
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Analyzes every corner of `lib`, in corner order.
+    pub fn analyze_all(&self, tree: &ClockTree, lib: &Library) -> Vec<CornerTiming> {
+        lib.corner_ids()
+            .map(|c| self.analyze(tree, lib, c))
+            .collect()
+    }
+}
+
+/// Per-arc delays `D_j^{c_k}` of Table 1: latency difference between the
+/// arc's two junctions, indexed by [`clk_netlist::ArcId`] position.
+pub fn arc_delays_ps(tree: &ClockTree, arcs: &ArcSet, timing: &CornerTiming) -> Vec<f64> {
+    let _ = tree;
+    arcs.arcs()
+        .iter()
+        .map(|a| timing.arrival_ps(a.to) - timing.arrival_ps(a.from))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clk_geom::Point;
+    use clk_liberty::{CellId, Library, StdCorners};
+    use clk_netlist::SinkPair;
+
+    fn lib() -> Library {
+        Library::synthetic_28nm(StdCorners::c0_c1_c3())
+    }
+
+    /// Symmetric H: root -> b -> {s1, s2} with equal route lengths.
+    fn symmetric(lib: &Library) -> (ClockTree, NodeId, NodeId) {
+        let x8 = lib.cell_by_name("CLKINV_X8").unwrap();
+        let mut t = ClockTree::new(Point::new(0, 0), x8);
+        let b = t.add_node(NodeKind::Buffer(x8), Point::new(60_000, 0), t.root());
+        let s1 = t.add_node(NodeKind::Sink, Point::new(110_000, 25_000), b);
+        let s2 = t.add_node(NodeKind::Sink, Point::new(110_000, -25_000), b);
+        t.set_sink_pairs(vec![SinkPair::new(s1, s2)]);
+        (t, s1, s2)
+    }
+
+    #[test]
+    fn arrival_increases_along_path() {
+        let lib = lib();
+        let (t, s1, _) = symmetric(&lib);
+        let timing = Timer::golden().analyze(&t, &lib, CornerId(0));
+        let path = t.path_from_root(s1);
+        let mut last = -1.0;
+        for n in path {
+            let a = timing.arrival_ps(n);
+            assert!(a > last, "arrival not increasing at {n}");
+            last = a;
+        }
+    }
+
+    #[test]
+    fn symmetric_tree_has_zero_skew() {
+        let lib = lib();
+        let (t, s1, s2) = symmetric(&lib);
+        for corner in lib.corner_ids() {
+            let timing = Timer::golden().analyze(&t, &lib, corner);
+            let d = (timing.arrival_ps(s1) - timing.arrival_ps(s2)).abs();
+            assert!(d < 1e-9, "skew {d} at {corner}");
+        }
+    }
+
+    #[test]
+    fn slow_corner_has_larger_latency() {
+        let lib = lib();
+        let (t, s1, _) = symmetric(&lib);
+        let timer = Timer::golden();
+        let t0 = timer.analyze(&t, &lib, CornerId(0)).arrival_ps(s1);
+        let t1 = timer.analyze(&t, &lib, CornerId(1)).arrival_ps(s1);
+        let t3 = timer.analyze(&t, &lib, CornerId(2)).arrival_ps(s1); // c3 corner
+        assert!(t1 > 1.3 * t0, "c1 {t1} vs c0 {t0}");
+        assert!(t3 < 0.8 * t0, "c3 {t3} vs c0 {t0}");
+    }
+
+    #[test]
+    fn arc_delays_sum_to_sink_latency() {
+        let lib = lib();
+        let (t, s1, _) = symmetric(&lib);
+        let arcs = ArcSet::extract(&t);
+        let timing = Timer::golden().analyze(&t, &lib, CornerId(0));
+        let d = arc_delays_ps(&t, &arcs, &timing);
+        let path = arcs.path_arcs(&t, s1);
+        let sum: f64 = path.iter().map(|a| d[a.0 as usize]).sum();
+        assert!((sum - timing.arrival_ps(s1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overloaded_small_buffer_reports_violations() {
+        let lib = lib();
+        let x1 = lib.cell_by_name("CLKINV_X1").unwrap();
+        let mut t = ClockTree::new(Point::new(0, 0), x1);
+        // X1 driving 600 µm of Cmax wire: both cap and slew blow up
+        let b = t.add_node(NodeKind::Buffer(x1), Point::new(10_000, 0), t.root());
+        let _s = t.add_node(NodeKind::Sink, Point::new(600_000, 0), b);
+        let timing = Timer::golden().analyze(&t, &lib, CornerId(0));
+        assert!(
+            timing
+                .violations()
+                .iter()
+                .any(|v| matches!(v, Violation::MaxCap { .. })),
+            "expected a max-cap violation"
+        );
+        assert!(
+            timing
+                .violations()
+                .iter()
+                .any(|v| matches!(v, Violation::MaxSlew { .. })),
+            "expected a max-slew violation"
+        );
+    }
+
+    #[test]
+    fn lumped_and_golden_are_close_but_not_equal() {
+        let lib = lib();
+        let (t, s1, _) = symmetric(&lib);
+        let golden = Timer::golden().analyze(&t, &lib, CornerId(0));
+        let fast = Timer::new(TimerOptions {
+            seg_max_um: 1e9,
+            ..TimerOptions::default()
+        })
+        .analyze(&t, &lib, CornerId(0));
+        let g = golden.arrival_ps(s1);
+        let f = fast.arrival_ps(s1);
+        assert!((g - f).abs() / g < 0.15, "golden {g} vs fast {f}");
+    }
+
+    #[test]
+    fn elmore_at_least_d2m_latency() {
+        let lib = lib();
+        let (t, s1, _) = symmetric(&lib);
+        let d2m = Timer::golden()
+            .analyze(&t, &lib, CornerId(0))
+            .arrival_ps(s1);
+        let elm = Timer::new(TimerOptions {
+            wire_model: WireModel::Elmore,
+            ..TimerOptions::default()
+        })
+        .analyze(&t, &lib, CornerId(0))
+        .arrival_ps(s1);
+        assert!(elm >= d2m);
+    }
+
+    #[test]
+    fn loads_and_caps_accumulate() {
+        let lib = lib();
+        let (t, ..) = symmetric(&lib);
+        let timing = Timer::golden().analyze(&t, &lib, CornerId(0));
+        assert!(timing.wire_cap_ff() > 0.0);
+        // 2 sinks + 1 buffer input pin
+        let x8 = lib.cell_by_name("CLKINV_X8").unwrap();
+        let want = 2.0 * lib.sink_cap_ff() + lib.cell(x8).input_cap_ff;
+        assert!((timing.pin_cap_ff() - want).abs() < 1e-9);
+        assert!(timing.load_ff(t.root()) > 0.0);
+    }
+
+    #[test]
+    fn dangling_buffer_is_harmless() {
+        let lib = lib();
+        let x2 = CellId(1);
+        let (mut t, s1, _) = symmetric(&lib);
+        let b = t.add_node(NodeKind::Buffer(x2), Point::new(30_000, 9_000), t.root());
+        let timing = Timer::golden().analyze(&t, &lib, CornerId(0));
+        assert!(timing.arrival_ps(s1).is_finite());
+        assert!(timing.arrival_ps(b).is_finite());
+    }
+}

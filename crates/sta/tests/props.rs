@@ -1,0 +1,131 @@
+//! Property tests of the golden timer and the variation metrics.
+
+use clk_geom::Point;
+use clk_liberty::{CellId, CornerId, Library, StdCorners};
+use clk_netlist::{ArcSet, ClockTree, NodeKind, SinkPair};
+use clk_sta::{alpha_factors, arc_delays_ps, pair_skews, variation_report, Timer};
+use proptest::prelude::*;
+
+fn lib() -> Library {
+    Library::synthetic_28nm(StdCorners::c0_c1_c3())
+}
+
+/// A random two-level tree: root driver, `k` mid buffers, sinks under
+/// each.
+fn arb_tree() -> impl Strategy<Value = ClockTree> {
+    prop::collection::vec(
+        (
+            (10_000i64..400_000, 10_000i64..400_000),
+            1usize..5,
+            0usize..5,
+        ),
+        1..6,
+    )
+    .prop_map(|groups| {
+        let mut tree = ClockTree::new(Point::new(0, 0), CellId(4));
+        let top = tree.add_node(
+            NodeKind::Buffer(CellId(4)),
+            Point::new(5_000, 5_000),
+            tree.root(),
+        );
+        for ((x, y), n_sinks, size) in groups {
+            let b = tree.add_node(NodeKind::Buffer(CellId(size)), Point::new(x, y), top);
+            for i in 0..n_sinks {
+                tree.add_node(
+                    NodeKind::Sink,
+                    Point::new(x + 8_000 * (i as i64 + 1), y + 5_000),
+                    b,
+                );
+            }
+        }
+        tree
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arrivals are positive, increase along every path, and arc delays
+    /// decompose each sink latency exactly.
+    #[test]
+    fn latency_decomposition(tree in arb_tree()) {
+        let lib = lib();
+        let timer = Timer::golden();
+        for corner in lib.corner_ids() {
+            let t = timer.analyze(&tree, &lib, corner);
+            let arcs = ArcSet::extract(&tree);
+            let d = arc_delays_ps(&tree, &arcs, &t);
+            prop_assert!(d.iter().all(|&v| v > 0.0), "non-positive arc delay");
+            for s in tree.sinks().collect::<Vec<_>>() {
+                let path = arcs.path_arcs(&tree, s);
+                let sum: f64 = path.iter().map(|a| d[a.0 as usize]).sum();
+                prop_assert!((sum - t.arrival_ps(s)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// The slow 0.75 V corner is strictly slower than nominal at every
+    /// sink; the fast FF corner strictly faster.
+    #[test]
+    fn corner_ordering_holds_everywhere(tree in arb_tree()) {
+        let lib = lib();
+        let timer = Timer::golden();
+        let t0 = timer.analyze(&tree, &lib, CornerId(0));
+        let t1 = timer.analyze(&tree, &lib, CornerId(1));
+        let t3 = timer.analyze(&tree, &lib, CornerId(2));
+        for s in tree.sinks().collect::<Vec<_>>() {
+            prop_assert!(t1.arrival_ps(s) > t0.arrival_ps(s));
+            prop_assert!(t3.arrival_ps(s) < t0.arrival_ps(s));
+        }
+    }
+
+    /// Skews are antisymmetric in the pair orientation and the variation
+    /// report is invariant under flipping every pair.
+    #[test]
+    fn skew_antisymmetry(tree in arb_tree()) {
+        let lib = lib();
+        let sinks: Vec<_> = tree.sinks().collect();
+        prop_assume!(sinks.len() >= 2);
+        let fwd: Vec<SinkPair> = sinks.windows(2).map(|w| SinkPair::new(w[0], w[1])).collect();
+        let rev: Vec<SinkPair> = sinks.windows(2).map(|w| SinkPair::new(w[1], w[0])).collect();
+        let timer = Timer::golden();
+        let t = timer.analyze(&tree, &lib, CornerId(0));
+        let sf = pair_skews(&t, &fwd);
+        let sr = pair_skews(&t, &rev);
+        for (a, b) in sf.iter().zip(&sr) {
+            prop_assert!((a + b).abs() < 1e-12);
+        }
+        // full report invariance
+        let all_f: Vec<Vec<f64>> = lib.corner_ids().map(|c| pair_skews(&timer.analyze(&tree, &lib, c), &fwd)).collect();
+        let all_r: Vec<Vec<f64>> = lib.corner_ids().map(|c| pair_skews(&timer.analyze(&tree, &lib, c), &rev)).collect();
+        let rf = variation_report(&all_f, &alpha_factors(&all_f), None);
+        let rr = variation_report(&all_r, &alpha_factors(&all_r), None);
+        prop_assert!((rf.sum - rr.sum).abs() < 1e-9);
+    }
+
+    /// Adding wire (a detour) to one sink's edge can only increase that
+    /// sink's latency, and leaves other subtrees untouched.
+    #[test]
+    fn detour_monotonicity(tree in arb_tree(), extra in 5.0f64..80.0) {
+        let lib = lib();
+        let timer = Timer::golden();
+        let sinks: Vec<_> = tree.sinks().collect();
+        prop_assume!(sinks.len() >= 2);
+        let victim = sinks[0];
+        let before = timer.analyze(&tree, &lib, CornerId(0));
+        let mut modified = tree.clone();
+        let p = modified.parent(victim).expect("driven");
+        let r = clk_route::RoutePath::with_detour(modified.loc(p), modified.loc(victim), extra);
+        modified.set_route(victim, r).expect("endpoints");
+        let after = timer.analyze(&modified, &lib, CornerId(0));
+        prop_assert!(after.arrival_ps(victim) > before.arrival_ps(victim));
+        // sinks under a different mid buffer are unaffected only if they
+        // do not share the victim's driver; siblings share load changes
+        for &s in &sinks[1..] {
+            if modified.parent(s) != Some(p) {
+                let d = (after.arrival_ps(s) - before.arrival_ps(s)).abs();
+                prop_assert!(d < 1.0, "far sink moved by {d} ps");
+            }
+        }
+    }
+}

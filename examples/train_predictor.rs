@@ -1,0 +1,78 @@
+//! Trains the per-corner delta-latency predictors on artificial
+//! testcases (paper §4.2) and reports held-out accuracy per model class —
+//! ANN, SVM-RBF, and the HSM blend — the data behind Fig. 5.
+//!
+//! ```sh
+//! cargo run --release --example train_predictor -- [n_cases]
+//! ```
+
+use clk_liberty::{CornerId, Library, StdCorners};
+use clk_ml::{mape, mse, r_squared};
+use clk_skewopt::predictor::{build_dataset, CornerData, Dataset};
+use clk_skewopt::{DeltaLatencyModel, ModelKind, TrainConfig};
+
+fn main() {
+    let n_cases: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(24);
+    let lib = Library::synthetic_28nm(StdCorners::all());
+    let cfg = TrainConfig {
+        n_cases,
+        ..TrainConfig::default()
+    };
+    println!("building dataset from {n_cases} artificial testcases...");
+    let ds = build_dataset(&lib, &cfg);
+    for (k, cd) in ds.per_corner.iter().enumerate() {
+        println!(
+            "  corner {}: {} labelled moves",
+            lib.corner(CornerId(k)).name,
+            cd.x.len()
+        );
+    }
+
+    // 80/20 split per corner
+    let split = |cd: &CornerData| -> (CornerData, CornerData) {
+        let cut = cd.x.len() * 4 / 5;
+        (
+            CornerData {
+                x: cd.x[..cut].to_vec(),
+                y: cd.y[..cut].to_vec(),
+                lat: cd.lat[..cut].to_vec(),
+            },
+            CornerData {
+                x: cd.x[cut..].to_vec(),
+                y: cd.y[cut..].to_vec(),
+                lat: cd.lat[cut..].to_vec(),
+            },
+        )
+    };
+    let parts: Vec<(CornerData, CornerData)> = ds.per_corner.iter().map(split).collect();
+    let train = Dataset {
+        per_corner: parts.iter().map(|(t, _)| t.clone()).collect(),
+    };
+
+    println!(
+        "\n{:<8} {:<6} {:>10} {:>10} {:>8}",
+        "corner", "model", "mse(ps^2)", "mape(%)", "r2"
+    );
+    for kind in [ModelKind::Ann, ModelKind::Svm, ModelKind::Hsm] {
+        let model = DeltaLatencyModel::fit(&train, kind, &cfg);
+        for (k, (_, test)) in parts.iter().enumerate() {
+            let pred: Vec<f64> = test
+                .x
+                .iter()
+                .map(|f| model.predict(CornerId(k), f))
+                .collect();
+            println!(
+                "{:<8} {:<6} {:>10.3} {:>10.2} {:>8.3}",
+                lib.corner(CornerId(k)).name,
+                format!("{kind:?}"),
+                mse(&pred, &test.y),
+                mape(&pred, &test.y, 1.0),
+                r_squared(&pred, &test.y),
+            );
+        }
+    }
+    println!("\n(the paper reports ~2.8% average error for its per-corner models)");
+}

@@ -1,0 +1,102 @@
+#![warn(missing_docs)]
+
+//! Workbench helpers shared by the runnable examples and the integration
+//! tests: compact report formatting for [`clk_skewopt::OptReport`] and
+//! scaled default configurations that finish in seconds on a laptop.
+
+use clk_ml::MlpConfig;
+use clk_skewopt::{FlowConfig, GlobalConfig, LocalConfig, OptReport, TrainConfig};
+
+/// A flow configuration scaled for interactive runs (tens of seconds):
+/// fewer LP pairs, a short λ sweep, few local iterations and a small
+/// training set.
+pub fn quick_flow_config() -> FlowConfig {
+    FlowConfig {
+        global: GlobalConfig {
+            max_pairs: 60,
+            lambdas: vec![0.05, 0.3],
+            rounds: 2,
+            ..GlobalConfig::default()
+        },
+        local: LocalConfig {
+            max_iterations: 6,
+            max_batches: 2,
+            ..LocalConfig::default()
+        },
+        train: TrainConfig {
+            n_cases: 10,
+            moves_per_case: 16,
+            mlp: MlpConfig {
+                epochs: 60,
+                ..MlpConfig::default()
+            },
+            ..TrainConfig::default()
+        },
+        ..FlowConfig::default()
+    }
+}
+
+/// Formats one Table-5-style row:
+/// `flow | variation [norm] | skew per corner | #cells | power | area`.
+pub fn table5_row(name: &str, report: &OptReport) -> String {
+    let skews: Vec<String> = report
+        .local_skew_after
+        .iter()
+        .map(|s| format!("{s:6.1}"))
+        .collect();
+    format!(
+        "{name:<14} {:>8.1} [{:.2}]  {}  {:>5}  {:>7.3}  {:>8.1}",
+        report.variation_after,
+        report.variation_ratio(),
+        skews.join(" "),
+        report.cells_after,
+        report.power_after_mw,
+        report.area_after_um2,
+    )
+}
+
+/// The header matching [`table5_row`].
+pub fn table5_header(corner_names: &[String]) -> String {
+    let skews: Vec<String> = corner_names.iter().map(|c| format!("{c:>6}")).collect();
+    format!(
+        "{:<14} {:>8} {:>6}  {}  {:>5}  {:>7}  {:>8}",
+        "flow",
+        "var(ps)",
+        "[norm]",
+        skews.join(" "),
+        "#cell",
+        "mW",
+        "area"
+    )
+}
+
+/// The "orig" baseline row derived from a report's before-metrics.
+pub fn table5_orig_row(report: &OptReport) -> String {
+    let skews: Vec<String> = report
+        .local_skew_before
+        .iter()
+        .map(|s| format!("{s:6.1}"))
+        .collect();
+    format!(
+        "{:<14} {:>8.1} [1.00]  {}  {:>5}  {:>7.3}  {:>8.1}",
+        "orig",
+        report.variation_before,
+        skews.join(" "),
+        report.cells_before,
+        report.power_before_mw,
+        report.area_before_um2,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_is_smaller_than_default() {
+        let q = quick_flow_config();
+        let d = FlowConfig::default();
+        assert!(q.global.max_pairs < d.global.max_pairs);
+        assert!(q.train.n_cases < d.train.n_cases);
+    }
+}

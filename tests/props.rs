@@ -1,0 +1,121 @@
+//! Property-based tests of cross-crate invariants.
+
+use proptest::prelude::*;
+
+use clk_geom::{Point, Rect};
+use clk_liberty::{CellId, Library, StdCorners};
+use clk_netlist::{ClockTree, Floorplan, NodeKind};
+use clk_route::{rsmt, single_trunk, RoutePath};
+use clk_sta::{alpha_factors, variation_report};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0i64..500_000, 0i64..500_000).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any Steiner topology must connect all pins, never beat the HPWL
+    /// lower bound, and never exceed the star upper bound.
+    #[test]
+    fn steiner_trees_are_bounded(driver in arb_point(), pins in prop::collection::vec(arb_point(), 1..9)) {
+        let mut all = vec![driver];
+        all.extend_from_slice(&pins);
+        let bbox = Rect::bounding(&all).unwrap();
+        let hpwl = clk_geom::dbu_to_um(bbox.width() + bbox.height());
+        let star: f64 = pins.iter().map(|&p| driver.manhattan_um(p)).sum();
+        // rsmt is MST-based: never longer than the star topology
+        for (tree, cap) in [(rsmt(driver, &pins), star), (single_trunk(driver, &pins), 2.0 * star)] {
+            for &p in &pins {
+                prop_assert!(tree.index_of(p).is_some());
+            }
+            let len = tree.wirelength_um();
+            prop_assert!(len + 1e-9 >= hpwl, "len {len} < hpwl {hpwl}");
+            // single-trunk may exceed the star on adversarial pin sets
+            // (wire is forced through the median trunk), but never 2x
+            prop_assert!(len <= cap + 1e-6, "len {len} > cap {cap}");
+        }
+    }
+
+    /// Detoured routes deliver exactly the requested extra length.
+    #[test]
+    fn detours_are_exact(a in arb_point(), b in arb_point(), extra_um in 0.0f64..300.0) {
+        let r = RoutePath::with_detour(a, b, extra_um);
+        prop_assert!(r.is_valid());
+        let want = a.manhattan(b) + clk_geom::um_to_dbu(extra_um);
+        prop_assert!((r.length_dbu() - want).abs() <= 1);
+    }
+
+    /// Legalization always produces a legal location and is idempotent.
+    #[test]
+    fn legalizer_contract(p in arb_point()) {
+        let fp = Floorplan::utilized(
+            Rect::from_um(0.0, 0.0, 500.0, 500.0),
+            vec![Rect::from_um(100.0, 100.0, 180.0, 220.0)],
+        );
+        let l = fp.legalize(p);
+        prop_assert!(fp.is_legal(l));
+        prop_assert_eq!(fp.legalize(l), l);
+    }
+
+    /// A random sequence of tree edits preserves structural validity and
+    /// sink polarity parity can only change via buffer insertion/removal.
+    #[test]
+    fn tree_edits_preserve_validity(ops in prop::collection::vec((0u8..4, 0usize..16, arb_point()), 1..30)) {
+        let cell = CellId(2);
+        let mut tree = ClockTree::new(Point::new(0, 0), cell);
+        let b0 = tree.add_node(NodeKind::Buffer(cell), Point::new(10_000, 0), tree.root());
+        let _s = tree.add_node(NodeKind::Sink, Point::new(20_000, 0), b0);
+        for (op, pick, loc) in ops {
+            let buffers: Vec<_> = tree.buffers().collect();
+            let target = buffers[pick % buffers.len()];
+            match op {
+                0 => {
+                    let _ = tree.add_node(NodeKind::Buffer(cell), loc, target);
+                }
+                1 => {
+                    let _ = tree.move_node(target, loc);
+                }
+                2 => {
+                    // surgery to any other buffer that is not a descendant
+                    let cand = buffers[(pick / 2) % buffers.len()];
+                    if cand != target && tree.parent(target).is_some() {
+                        let _ = tree.set_parent(target, cand);
+                    }
+                }
+                _ => {
+                    // never remove the last buffer above the sink
+                    if buffers.len() > 1 && tree.parent(target).is_some() {
+                        let _ = tree.remove_buffer(target);
+                    }
+                }
+            }
+            prop_assert!(tree.validate().is_ok(), "validate failed after op {op}");
+        }
+    }
+
+    /// Scaling one corner's skews by a constant leaves the normalized
+    /// variation report unchanged (the α normalization at work).
+    #[test]
+    fn variation_invariant_under_corner_scaling(
+        base in prop::collection::vec(-200.0f64..200.0, 1..40),
+        scale in 0.2f64..5.0,
+    ) {
+        let skews0 = vec![base.clone(), base.iter().map(|s| s * 2.0).collect::<Vec<_>>()];
+        let skews1 = vec![base.clone(), base.iter().map(|s| s * 2.0 * scale).collect::<Vec<_>>()];
+        let r0 = variation_report(&skews0, &alpha_factors(&skews0), None);
+        let r1 = variation_report(&skews1, &alpha_factors(&skews1), None);
+        prop_assert!((r0.sum - r1.sum).abs() < 1e-6 * (1.0 + r0.sum.abs()));
+    }
+
+    /// NLDM lookups stay finite and positive over a wide query envelope,
+    /// including extrapolation beyond the characterized axes.
+    #[test]
+    fn library_lookups_are_robust(slew in 0.5f64..600.0, load in 0.05f64..120.0, cell in 0usize..5, corner in 0usize..4) {
+        let lib = Library::synthetic_28nm(StdCorners::all());
+        let d = lib.gate_delay(CellId(cell), clk_liberty::CornerId(corner), slew, load);
+        let s = lib.gate_output_slew(CellId(cell), clk_liberty::CornerId(corner), slew, load);
+        prop_assert!(d.is_finite() && d > 0.0);
+        prop_assert!(s.is_finite() && s > 0.0);
+    }
+}
