@@ -53,7 +53,7 @@ fn bench_delay(c: &mut Criterion) {
         c_per_um: 0.2,
     };
     g.bench_function("extract_golden_5um", |b| {
-        b.iter(|| RcTree::extract(&wt, rc, &[(prev, 3.0)], 5.0))
+        b.iter(|| RcTree::extract(&wt, rc, &[(prev, 3.0)], 5.0));
     });
     let fine = RcTree::extract(&wt, rc, &[(prev, 3.0)], 5.0);
     g.bench_function("moments_d2m", |b| b.iter(|| NetTiming::analyze(&fine)));
@@ -66,10 +66,10 @@ fn bench_timer(c: &mut Criterion) {
     let tc = Testcase::generate(TestcaseKind::Cls1v1, 64, 1);
     let timer = Timer::golden();
     g.bench_function("analyze_64sinks_1corner", |b| {
-        b.iter(|| timer.analyze(&tc.tree, &tc.lib, CornerId(0)))
+        b.iter(|| timer.analyze(&tc.tree, &tc.lib, CornerId(0)));
     });
     g.bench_function("analyze_64sinks_3corners", |b| {
-        b.iter(|| timer.analyze_all(&tc.tree, &tc.lib))
+        b.iter(|| timer.analyze_all(&tc.tree, &tc.lib));
     });
     g.finish();
 }
@@ -104,7 +104,7 @@ fn bench_lp(c: &mut Criterion) {
     };
     let p = build();
     g.bench_function("simplex_180x120", |b| {
-        b.iter_batched(|| p.clone(), |p| clk_lp::solve(&p), BatchSize::SmallInput)
+        b.iter_batched(|| p.clone(), |p| clk_lp::solve(&p), BatchSize::SmallInput);
     });
     g.finish();
 }
@@ -118,7 +118,7 @@ fn bench_predictor(c: &mut Criterion) {
     let moves = enumerate_moves(&tc.tree, &tc.lib, &mcfg, None);
     let mv = moves[moves.len() / 2];
     g.bench_function("move_features_one_corner", |b| {
-        b.iter(|| move_features(&tc.tree, &tc.lib, CornerId(0), &timing, &mv, &mcfg))
+        b.iter(|| move_features(&tc.tree, &tc.lib, CornerId(0), &timing, &mv, &mcfg));
     });
     g.finish();
 }
@@ -128,15 +128,15 @@ fn bench_infra(c: &mut Criterion) {
     g.sample_size(30);
     let lib = Library::synthetic_28nm(StdCorners::all());
     g.bench_function("library_characterize", |b| {
-        b.iter(|| Library::synthetic_28nm(StdCorners::all()))
+        b.iter(|| Library::synthetic_28nm(StdCorners::all()));
     });
     let x4 = lib.cell_by_name("CLKINV_X4").unwrap();
     g.bench_function("nldm_lookup", |b| {
-        b.iter(|| lib.gate_delay(x4, CornerId(1), 23.0, 9.5))
+        b.iter(|| lib.gate_delay(x4, CornerId(1), 23.0, 9.5));
     });
     let fp = Floorplan::utilized(Rect::from_um(0.0, 0.0, 1820.0, 1820.0), vec![]);
     g.bench_function("legalize", |b| {
-        b.iter(|| fp.legalize(Point::new(123_456, 777_777)))
+        b.iter(|| fp.legalize(Point::new(123_456, 777_777)));
     });
     g.finish();
 }

@@ -32,8 +32,8 @@ fn main() {
         );
         let n_bins = 8;
         for b in 0..n_bins {
-            let a = lo + (hi - lo) * b as f64 / n_bins as f64;
-            let z = lo + (hi - lo) * (b + 1) as f64 / n_bins as f64;
+            let a = lo + (hi - lo) * f64::from(b) / f64::from(n_bins);
+            let z = lo + (hi - lo) * f64::from(b + 1) / f64::from(n_bins);
             let in_bin: Vec<f64> = scatter
                 .iter()
                 .filter(|p| p.0 >= a && (p.0 < z || b == n_bins - 1))

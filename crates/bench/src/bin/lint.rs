@@ -1,0 +1,52 @@
+//! `clk-lint` driver: generates fresh testcases (or audits every kind)
+//! and runs the full design-rule audit suite over them.
+//!
+//! ```text
+//! cargo run -p clk-bench --bin lint            # CLS1v1 + CLS2v1, full size
+//! cargo run -p clk-bench --bin lint -- --quick # smaller trees, same audits
+//! cargo run -p clk-bench --bin lint -- --json  # machine-readable report
+//! ```
+//!
+//! Exit code 0 when no audit reports an error (warnings are allowed),
+//! 1 otherwise — suitable as a CI gate.
+
+use std::process::ExitCode;
+
+use clk_cts::{Testcase, TestcaseKind};
+use clk_lint::{DesignCtx, LintRunner};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| a.as_str() != "--quick" && a.as_str() != "--json")
+    {
+        eprintln!("unknown argument {bad}; usage: lint [--quick] [--json]");
+        return ExitCode::FAILURE;
+    }
+
+    let n_sinks = if quick { 60 } else { 200 };
+    let runner = LintRunner::with_default_passes();
+    let mut failed = false;
+    for (kind, seed) in [(TestcaseKind::Cls1v1, 11), (TestcaseKind::Cls2v1, 12)] {
+        let tc = Testcase::generate(kind, n_sinks, seed);
+        let report = runner.run(&DesignCtx::with_floorplan(&tc.tree, &tc.lib, &tc.floorplan));
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            println!("== {kind:?} ({n_sinks} sinks, seed {seed}) ==");
+            print!("{}", report.to_text());
+        }
+        failed |= report.has_errors();
+    }
+    if !json {
+        println!("passes: {}", runner.pass_names().join(", "));
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

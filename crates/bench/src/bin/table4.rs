@@ -13,8 +13,8 @@ fn main() {
 
     println!("Table 4: Summary of testcases (scaled; paper sizes in parentheses)");
     println!(
-        "{:<10} {:>8} {:>12} {:>10} {:>6}  {}",
-        "Testcase", "#Cells", "#Flip-flops", "Area", "Util", "Corners"
+        "{:<10} {:>8} {:>12} {:>10} {:>6}  Corners",
+        "Testcase", "#Cells", "#Flip-flops", "Area", "Util"
     );
     for (kind, paper) in [
         (TestcaseKind::Cls1v1, ("0.4M", "36K", "3.3mm2", "62%")),
@@ -55,14 +55,14 @@ fn render_floorplan(tc: &Testcase) -> String {
         (cx.min(w - 1), (h - 1) - cy.min(h - 1))
     };
     for b in &tc.floorplan.blockages {
-        for gy in 0..h {
-            for gx in 0..w {
+        for (gy, row) in grid.iter_mut().enumerate() {
+            for (gx, cell) in row.iter_mut().enumerate() {
                 let p = clk_geom::Point::new(
                     die.lo.x + (gx as i64 * die.width()) / (w as i64 - 1),
                     die.lo.y + ((h - 1 - gy) as i64 * die.height()) / (h as i64 - 1),
                 );
                 if b.contains(p) {
-                    grid[gy][gx] = '#';
+                    *cell = '#';
                 }
             }
         }

@@ -1,7 +1,8 @@
 //! End-to-end flows (`global`, `local`, `global-local`) and the Table-5
 //! report.
 
-use clk_netlist::{ClockTree, TreeStats};
+use clk_lint::{DesignCtx, LintLevel, LintRunner};
+use clk_netlist::{ClockTree, Floorplan, TreeStats};
 use clk_sta::{alpha_factors, clock_power, local_skew_ps, pair_skews, variation_report, Timer};
 
 use clk_cts::Testcase;
@@ -47,6 +48,10 @@ pub struct FlowConfig {
     pub model_kind: ModelKind,
     /// Clock frequency for the power report, GHz.
     pub freq_ghz: f64,
+    /// Design-rule audit level at phase boundaries (input, post-global,
+    /// post-local). Defaults to `ErrorsOnly` in debug builds and `Off` in
+    /// release, where the gates cost nothing.
+    pub lint_level: LintLevel,
 }
 
 impl Default for FlowConfig {
@@ -57,8 +62,34 @@ impl Default for FlowConfig {
             train: TrainConfig::default(),
             model_kind: ModelKind::Hsm,
             freq_ghz: 1.0,
+            lint_level: LintLevel::default(),
         }
     }
+}
+
+/// Runs the full `clk-lint` suite on `tree` and panics with the rendered
+/// report when `level` considers it a failure. A no-op at
+/// [`LintLevel::Off`], so release flows pay nothing.
+///
+/// # Panics
+///
+/// Panics when the audit fails at the configured level.
+pub fn lint_gate(
+    stage: &str,
+    level: LintLevel,
+    tree: &ClockTree,
+    lib: &clk_liberty::Library,
+    fp: &Floorplan,
+) {
+    if !level.enabled() {
+        return;
+    }
+    let report = LintRunner::with_default_passes().run(&DesignCtx::with_floorplan(tree, lib, fp));
+    assert!(
+        !level.fails(&report),
+        "lint gate failed after {stage}:\n{}",
+        report.to_text()
+    );
 }
 
 /// The Table-5 row: metric deltas of one flow on one testcase.
@@ -130,6 +161,13 @@ pub fn optimize_with(
     model: Option<&DeltaLatencyModel>,
 ) -> OptReport {
     let lib = &tc.lib;
+    lint_gate(
+        "CTS (flow input)",
+        cfg.lint_level,
+        &tc.tree,
+        lib,
+        &tc.floorplan,
+    );
     let timer = Timer::golden();
     let skews0: Vec<Vec<f64>> = timer
         .analyze_all(&tc.tree, lib)
@@ -162,6 +200,13 @@ pub fn optimize_with(
         );
         tree = opt;
         global_report = Some(rep);
+        lint_gate(
+            "global optimization",
+            cfg.lint_level,
+            &tree,
+            lib,
+            &tc.floorplan,
+        );
     }
     if matches!(flow, Flow::Local | Flow::GlobalLocal) {
         let model = model.expect("local flows need a trained predictor");
@@ -174,6 +219,13 @@ pub fn optimize_with(
             Some(&local_skew_before),
         );
         local_report = Some(rep);
+        lint_gate(
+            "local optimization",
+            cfg.lint_level,
+            &tree,
+            lib,
+            &tc.floorplan,
+        );
     }
 
     let skews1: Vec<Vec<f64>> = timer

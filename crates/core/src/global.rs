@@ -311,8 +311,18 @@ fn global_round(
             continue;
         }
         trial.validate().expect("ECO preserves tree invariants");
+        #[cfg(debug_assertions)]
+        {
+            let report = clk_lint::LintRunner::structural()
+                .run(&clk_lint::DesignCtx::with_floorplan(&trial, lib, fp));
+            assert!(
+                !report.has_errors(),
+                "post-ECO structural lint failed:\n{}",
+                report.to_text()
+            );
+        }
         point.variation_after = Some(after);
-        if after < variation_before && best.as_ref().map_or(true, |&(_, v, _, _)| after < v) {
+        if after < variation_before && best.as_ref().is_none_or(|&(_, v, _, _)| after < v) {
             point.accepted = true;
             best = Some((trial, after, lambda, changed));
         }
@@ -440,12 +450,12 @@ fn build_and_solve(
             }
         }
         // (7): |S_k(Δ)| ≤ |S_k(0)| at every corner
-        for k in 0..n_corners {
-            let cap = s0[k].abs();
+        for (k, &s0k) in s0.iter().enumerate() {
+            let cap = s0k.abs();
             for sign in [1.0, -1.0] {
                 let mut terms = Vec::new();
                 skew_terms(k, sign, &mut terms);
-                p.add_row(RowKind::Le, cap - sign * s0[k], &terms);
+                p.add_row(RowKind::Le, cap - sign * s0k, &terms);
             }
         }
         // (8): |αk·S_k − α0·S_0| may not grow, k ≠ 0
@@ -463,9 +473,9 @@ fn build_and_solve(
 
     // (9): path latency bound per sink per corner
     for (sink, path) in path_of {
-        for k in 0..n_corners {
-            let lat = timings[k].arrival_ps(*sink);
-            let dmax = timings[k].max_latency_ps(tree) * cfg.latency_slack;
+        for (k, timing) in timings.iter().enumerate().take(n_corners) {
+            let lat = timing.arrival_ps(*sink);
+            let dmax = timing.max_latency_ps(tree) * cfg.latency_slack;
             let terms: Vec<(VarId, f64)> = path
                 .iter()
                 .flat_map(|aid| {
@@ -511,6 +521,26 @@ fn build_and_solve(
     if let LpObjective::UBound(u) = objective {
         let terms: Vec<(VarId, f64)> = v_vars.iter().map(|&v| (v, 1.0)).collect();
         p.add_row(RowKind::Le, u, &terms);
+    }
+
+    // debug-mode model audit: numeric sanity and the Eq.(6)-(11) row
+    // census must match what the loops above were supposed to build
+    #[cfg(debug_assertions)]
+    {
+        let shape = clk_lint::lp::LpShape {
+            n_corners,
+            n_pairs: sel_pairs.len(),
+            n_involved_arcs: involved.len(),
+            n_long_arcs: involved
+                .iter()
+                .filter(|&&aid| arcs.arc(aid).length_um(tree) >= 20.0)
+                .count(),
+            n_latency_sinks: path_of.len(),
+            ubound: matches!(objective, LpObjective::UBound(_)),
+        };
+        let mut diags = clk_lint::lp::audit_problem(&p);
+        diags.extend(clk_lint::lp::audit_shape(&p, &shape));
+        assert!(diags.is_empty(), "LP model audit failed:\n{diags:#?}");
     }
 
     clk_lp::solve(&p).ok().map(|s| (s, vars))
@@ -606,8 +636,7 @@ pub fn u_sweep(
         LpObjective::Scalarized(1e-6),
         cfg,
     )
-    .map(|(sol, _)| sol.objective.max(0.0))
-    .unwrap_or(0.0);
+    .map_or(0.0, |(sol, _)| sol.objective.max(0.0));
 
     let mut out = Vec::with_capacity(n_points);
     for i in 0..n_points.max(2) {
@@ -781,9 +810,8 @@ pub(crate) fn arc_is_current(tree: &ClockTree, arc: &Arc) -> bool {
     if !tree.is_alive(arc.from) || !tree.is_alive(arc.to) {
         return false;
     }
-    let mut cur = match tree.parent(arc.to) {
-        Some(p) => p,
-        None => return false,
+    let Some(mut cur) = tree.parent(arc.to) else {
+        return false;
     };
     for &n in arc.interior.iter().rev() {
         if !tree.is_alive(n) || cur != n {
@@ -895,7 +923,7 @@ fn realize_arc(
             }
         }
         let score = err + cfg.eco_uncertainty_frac * distance;
-        if best.as_ref().map_or(true, |&(e, ..)| score < e) {
+        if best.as_ref().is_none_or(|&(e, ..)| score < e) {
             best = Some((score, p, q, n_inv));
         }
     };
@@ -977,8 +1005,7 @@ fn realize_arc(
     };
     if std::env::var_os("CLOCKVAR_DEBUG_ECO").is_some() {
         eprintln!(
-            "  realize: cur (size {:?}, q {:.1}, n {}), chosen (size {size:?}, q {q:.1}, n {n_inv}), span {span:.1}, len {cur_len:.1}, est_err {best_err:.2}",
-            cur_size, cur_q, cur_n
+            "  realize: cur (size {cur_size:?}, q {cur_q:.1}, n {cur_n}), chosen (size {size:?}, q {q:.1}, n {n_inv}), span {span:.1}, len {cur_len:.1}, est_err {best_err:.2}"
         );
     }
     let route_len = (n_inv + 1) as f64 * q;

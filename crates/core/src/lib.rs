@@ -37,6 +37,7 @@
 //! println!("variation: {:.1} -> {:.1} ps", report.variation_before, report.variation_after);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod baseline;
 pub mod flow;
 pub mod global;
@@ -46,7 +47,7 @@ pub mod moves;
 pub mod predictor;
 
 pub use baseline::{worst_skew_optimize, WorstSkewReport};
-pub use flow::{optimize, optimize_with, Flow, FlowConfig, OptReport};
+pub use flow::{lint_gate, optimize, optimize_with, Flow, FlowConfig, OptReport};
 pub use global::{
     global_optimize, global_optimize_guarded, u_sweep, GlobalConfig, GlobalReport, LpObjective,
     USweepPoint,

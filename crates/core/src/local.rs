@@ -215,43 +215,39 @@ pub fn local_optimize_guarded(
             // gracefully to sequential evaluation).
             let pairs_ref = &pairs;
             let alphas_ref = &alphas;
-            let results: Vec<Option<(f64, Vec<f64>, ClockTree)>> =
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = batch
-                        .iter()
-                        .map(|(_, mv)| {
-                            let tree_ref: &ClockTree = tree;
-                            scope.spawn(move |_| {
-                                let mut trial = tree_ref.clone();
-                                apply_move(&mut trial, lib, fp, &cfg.move_cfg, mv).ok()?;
-                                let analyses = Timer::golden().analyze_all(&trial, lib);
-                                let drc: usize =
-                                    analyses.iter().map(|t| t.violations().len()).sum();
-                                if drc > drc_baseline {
-                                    return None; // would create DRC violations
-                                }
-                                let skews: Vec<Vec<f64>> =
-                                    analyses.iter().map(|t| pair_skews(t, pairs_ref)).collect();
-                                let sum = variation_report(&skews, alphas_ref, None).sum;
-                                let locals: Vec<f64> =
-                                    skews.iter().map(|s| local_skew_ps(s)).collect();
-                                Some((sum, locals, trial))
-                            })
+            let results: Vec<Option<(f64, Vec<f64>, ClockTree)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = batch
+                    .iter()
+                    .map(|(_, mv)| {
+                        let tree_ref: &ClockTree = tree;
+                        scope.spawn(move || {
+                            let mut trial = tree_ref.clone();
+                            apply_move(&mut trial, lib, fp, &cfg.move_cfg, mv).ok()?;
+                            let analyses = Timer::golden().analyze_all(&trial, lib);
+                            let drc: usize = analyses.iter().map(|t| t.violations().len()).sum();
+                            if drc > drc_baseline {
+                                return None; // would create DRC violations
+                            }
+                            let skews: Vec<Vec<f64>> =
+                                analyses.iter().map(|t| pair_skews(t, pairs_ref)).collect();
+                            let sum = variation_report(&skews, alphas_ref, None).sum;
+                            let locals: Vec<f64> = skews.iter().map(|s| local_skew_ps(s)).collect();
+                            Some((sum, locals, trial))
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("worker panicked"))
-                        .collect()
-                })
-                .expect("scope");
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            });
             report.golden_evals += batch.len();
 
             let mut best: Option<(usize, f64)> = None;
             for (i, r) in results.iter().enumerate() {
                 if let Some((sum, locals, _)) = r {
                     let ok = locals.iter().zip(&guard).all(|(l, g)| l <= g);
-                    if ok && *sum < current_sum && best.map_or(true, |(_, b)| *sum < b) {
+                    if ok && *sum < current_sum && best.is_none_or(|(_, b)| *sum < b) {
                         best = Some((i, *sum));
                     }
                 }
@@ -272,6 +268,16 @@ pub fn local_optimize_guarded(
             if let Some((i, sum)) = best {
                 let (_, _, trial) = results.into_iter().nth(i).flatten().expect("best exists");
                 *tree = trial;
+                #[cfg(debug_assertions)]
+                {
+                    let report = clk_lint::LintRunner::structural()
+                        .run(&clk_lint::DesignCtx::with_floorplan(tree, lib, fp));
+                    assert!(
+                        !report.has_errors(),
+                        "post-commit structural lint failed:\n{}",
+                        report.to_text()
+                    );
+                }
                 current_sum = sum;
                 report.variation_after = sum;
                 report.iterations.push(IterationRecord {
@@ -306,9 +312,9 @@ pub fn predict_move_gain(
     let n_corners = timings.len();
     // per-corner impact sets: (subtree root, delta ps)
     let mut impacts: Vec<Vec<(NodeId, f64)>> = Vec::with_capacity(n_corners);
-    for k in 0..n_corners {
+    for (k, timing) in timings.iter().enumerate() {
         let corner = CornerId(k);
-        let (features, detail) = move_features_with_sides(tree, lib, corner, &timings[k], mv, mcfg);
+        let (features, detail) = move_features_with_sides(tree, lib, corner, timing, mv, mcfg);
         let primary = match ranker {
             Ranker::Ml(model) => model.predict(corner, &features),
             Ranker::Analytic(topo, wm) => {

@@ -22,7 +22,7 @@ use clk_sta::Timer;
 
 /// Inter-inverter spacings characterized, µm (paper: 10–200 step 5).
 pub fn spacing_axis() -> Vec<f64> {
-    (0..=38).map(|i| 10.0 + 5.0 * i as f64).collect()
+    (0..=38).map(|i| 10.0 + 5.0 * f64::from(i)).collect()
 }
 
 /// Number of same-size inverters in the characterization chain.

@@ -143,12 +143,12 @@ mod tests {
         let mut sinks = Vec::new();
         for i in 0..30 {
             sinks.push(Point::from_um(
-                40.0 + 11.0 * (i % 6) as f64,
-                40.0 + 13.0 * (i / 6) as f64,
+                40.0 + 11.0 * f64::from(i % 6),
+                40.0 + 13.0 * f64::from(i / 6),
             ));
         }
         for i in 0..6 {
-            sinks.push(Point::from_um(700.0 + 10.0 * i as f64, 720.0));
+            sinks.push(Point::from_um(700.0 + 10.0 * f64::from(i), 720.0));
         }
         let tree = CtsEngine::default().synthesize(&lib, &fp, Point::from_um(0.0, 0.0), &sinks);
         (tree, lib)

@@ -3,7 +3,7 @@
 
 use clk_geom::{um_to_dbu, Point, Rect};
 use clk_liberty::{CellId, CornerId, Library};
-use clk_netlist::{rebuild_arc, Arc, ClockTree, Floorplan, NodeId, NodeKind};
+use clk_netlist::{rebuild_arc_legalized, Arc, ClockTree, Floorplan, NodeId, NodeKind};
 
 /// CTS tuning knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,8 +49,8 @@ impl Cluster {
             match c {
                 Cluster::Leaf(idx) => {
                     for &i in idx {
-                        sum.0 += sinks[i].x as i128;
-                        sum.1 += sinks[i].y as i128;
+                        sum.0 += i128::from(sinks[i].x);
+                        sum.1 += i128::from(sinks[i].y);
                         sum.2 += 1;
                     }
                 }
@@ -65,8 +65,8 @@ impl Cluster {
         accum(self, sinks, &mut sum);
         debug_assert!(sum.2 > 0);
         Point::new(
-            (sum.0 / sum.2 as i128) as i64,
-            (sum.1 / sum.2 as i128) as i64,
+            (sum.0 / i128::from(sum.2)) as i64,
+            (sum.1 / i128::from(sum.2)) as i64,
         )
     }
 }
@@ -143,6 +143,7 @@ impl CtsEngine {
     }
 
     /// Creates the inverter pair of `cluster` under `parent` and recurses.
+    #[allow(clippy::too_many_arguments)]
     fn place_cluster(
         &self,
         tree: &mut ClockTree,
@@ -175,7 +176,7 @@ impl CtsEngine {
 
     /// Splits any too-long edge with repeater pairs (polarity-preserving).
     fn insert_repeaters(&self, tree: &mut ClockTree, lib: &Library, fp: &Floorplan, cell: CellId) {
-        let _ = (lib, fp);
+        let _ = lib;
         let limit = self.cfg.max_unbuffered_um;
         // collect long edges first; insertion adds only short edges
         let long: Vec<NodeId> = tree
@@ -199,7 +200,8 @@ impl CtsEngine {
                 to: child,
                 interior: Vec::new(),
             };
-            rebuild_arc(tree, &arc, cell, 2 * n_pairs, route).expect("route endpoints unchanged");
+            rebuild_arc_legalized(tree, &arc, cell, 2 * n_pairs, route, fp)
+                .expect("route endpoints unchanged");
         }
     }
 
@@ -293,7 +295,7 @@ mod tests {
         let pts = grid_sinks(7, 30.0);
         let groups = bisect((0..pts.len()).collect(), &pts, 6);
         assert!(groups.iter().all(|g| g.len() <= 6 && !g.is_empty()));
-        let total: usize = groups.iter().map(|g| g.len()).sum();
+        let total: usize = groups.iter().map(std::vec::Vec::len).sum();
         assert_eq!(total, 49);
     }
 
@@ -323,7 +325,12 @@ mod tests {
         tree.validate().unwrap();
         let max_edge = tree
             .node_ids()
-            .filter_map(|id| tree.node(id).route.as_ref().map(|r| r.length_um()))
+            .filter_map(|id| {
+                tree.node(id)
+                    .route
+                    .as_ref()
+                    .map(clk_route::RoutePath::length_um)
+            })
             .fold(0.0, f64::max);
         assert!(
             max_edge <= CtsConfig::default().max_unbuffered_um * 1.01,

@@ -31,6 +31,7 @@
 //! tc.tree.validate().expect("CTS produces well-formed trees");
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod balance;
 pub mod builder;
 pub mod testcase;

@@ -122,7 +122,12 @@ impl Testcase {
     /// Block area in mm² (Table 4).
     pub fn area_mm2(&self) -> f64 {
         let die = self.floorplan.die.area_um2();
-        let blocked: f64 = self.floorplan.blockages.iter().map(|b| b.area_um2()).sum();
+        let blocked: f64 = self
+            .floorplan
+            .blockages
+            .iter()
+            .map(clk_geom::Rect::area_um2)
+            .sum();
         (die - blocked) / 1.0e6
     }
 }
@@ -263,8 +268,7 @@ fn generate_pairs(
         regions
             .iter()
             .find(|r| r.rect.contains(p))
-            .map(|r| r.family)
-            .unwrap_or(0)
+            .map_or(0, |r| r.family)
     };
     let mut pairs = Vec::new();
     for (i, &s) in sinks.iter().enumerate() {

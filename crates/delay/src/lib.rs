@@ -34,6 +34,7 @@
 //! assert!(d2m <= elmore, "D2M is never more pessimistic than Elmore");
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod net;
 pub mod rc;
 pub mod spef;

@@ -50,17 +50,9 @@ pub fn write_spef(net: &str, tree: &RcTree) -> String {
         }
     }
     let _ = writeln!(out, "*RES");
-    let mut res_idx = 1usize;
     for i in 1..tree.node_count() {
         let p = tree.parent(i).expect("non-root");
-        let _ = writeln!(
-            out,
-            "{res_idx} {} {} {:.6}",
-            name(p),
-            name(i),
-            tree.res_kohm(i)
-        );
-        res_idx += 1;
+        let _ = writeln!(out, "{i} {} {} {:.6}", name(p), name(i), tree.res_kohm(i));
     }
     let _ = writeln!(out, "*END");
     out

@@ -18,6 +18,7 @@
 //! assert_eq!(r.width(), 10_000);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod point;
 pub mod rect;
 

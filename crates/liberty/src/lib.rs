@@ -33,6 +33,7 @@
 //! assert!(d1 > 1.5 * d0, "low-voltage SS corner must be much slower");
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod cell;
 pub mod corner;
 pub mod library;

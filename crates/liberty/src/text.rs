@@ -274,7 +274,7 @@ fn parse_lut(g: &Group) -> Result<Lut2, ParseLibertyError> {
     if a1.is_empty() || a2.is_empty() || flat.len() != a1.len() * a2.len() {
         return Err(err(0, "table shape mismatch"));
     }
-    let values: Vec<Vec<f64>> = flat.chunks(a2.len()).map(|r| r.to_vec()).collect();
+    let values: Vec<Vec<f64>> = flat.chunks(a2.len()).map(<[f64]>::to_vec).collect();
     Lut2::new(a1, a2, values).map_err(|e| err(0, e.to_string()))
 }
 

@@ -1,0 +1,73 @@
+//! The design snapshot a lint run audits.
+
+use clk_liberty::Library;
+use clk_netlist::{ClockTree, Floorplan, TreeError};
+
+/// Everything a pass may inspect: the tree, its library, and (when
+/// known) the floorplan the tree is placed in.
+#[derive(Debug, Clone, Copy)]
+pub struct DesignCtx<'a> {
+    /// The clock tree under audit.
+    pub tree: &'a ClockTree,
+    /// The multi-corner library the tree is built from.
+    pub lib: &'a Library,
+    /// Floorplan for placement-legality checks; `None` skips them.
+    pub floorplan: Option<&'a Floorplan>,
+}
+
+impl<'a> DesignCtx<'a> {
+    /// A context without placement information.
+    pub fn new(tree: &'a ClockTree, lib: &'a Library) -> Self {
+        DesignCtx {
+            tree,
+            lib,
+            floorplan: None,
+        }
+    }
+
+    /// A context with a floorplan, enabling the placement pass.
+    pub fn with_floorplan(tree: &'a ClockTree, lib: &'a Library, fp: &'a Floorplan) -> Self {
+        DesignCtx {
+            tree,
+            lib,
+            floorplan: Some(fp),
+        }
+    }
+
+    /// Whether the tree's parent/child graph is sound enough for passes
+    /// that *walk* it (arc extraction, timing, parasitics). Route-only
+    /// defects (`RouteEndpointMismatch`) do not count: the graph is still
+    /// a tree and walking it terminates.
+    pub(crate) fn structurally_sound(&self) -> bool {
+        self.tree
+            .validate_all()
+            .iter()
+            .all(|e| matches!(e, TreeError::RouteEndpointMismatch(_)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clk_geom::Point;
+    use clk_liberty::StdCorners;
+    use clk_netlist::NodeKind;
+
+    #[test]
+    fn soundness_ignores_route_defects() {
+        let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+        let x8 = lib.cell_by_name("CLKINV_X8").expect("exists");
+        let mut tree = ClockTree::new(Point::new(0, 0), x8);
+        let b = tree.add_node(NodeKind::Buffer(x8), Point::new(10_000, 0), tree.root());
+        let s = tree.add_node(NodeKind::Sink, Point::new(20_000, 0), b);
+        assert!(DesignCtx::new(&tree, &lib).structurally_sound());
+
+        // stale route endpoints: still walkable
+        tree.debug_set_loc_raw(s, Point::new(21_000, 0));
+        assert!(DesignCtx::new(&tree, &lib).structurally_sound());
+
+        // broken link: not walkable
+        tree.debug_unlink_child(b, s);
+        assert!(!DesignCtx::new(&tree, &lib).structurally_sound());
+    }
+}

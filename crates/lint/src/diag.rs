@@ -1,0 +1,119 @@
+//! Diagnostics: what a lint pass reports.
+
+use clk_netlist::{ArcId, NodeId};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but possibly intended (e.g. a DRC budget overrun on a
+    /// generated testcase).
+    Warning,
+    /// An invariant violation; the database is not safe to optimize.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// Where in the design a finding is anchored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Locus {
+    /// The design as a whole (shape mismatches, global counts).
+    Design,
+    /// A clock-tree node.
+    Node(NodeId),
+    /// An arc of the junction-to-junction arc view.
+    Arc(ArcId),
+    /// A sink pair, by index into `ClockTree::sink_pairs`.
+    Pair(usize),
+    /// An LP decision variable, by index.
+    Var(usize),
+    /// An LP constraint row, by index.
+    Row(usize),
+}
+
+impl std::fmt::Display for Locus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Locus::Design => f.write_str("design"),
+            Locus::Node(n) => write!(f, "{n}"),
+            Locus::Arc(a) => write!(f, "arc{}", a.0),
+            Locus::Pair(i) => write!(f, "pair{i}"),
+            Locus::Var(i) => write!(f, "var{i}"),
+            Locus::Row(i) => write!(f, "row{i}"),
+        }
+    }
+}
+
+/// One lint finding: a stable code, a severity, a locus and a message.
+///
+/// Codes are stable identifiers (`S001`, `G002`, ...) that tests and
+/// tooling may match on; messages are for humans and carry no stability
+/// guarantee.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable diagnostic code, e.g. `"S001"`.
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Anchor in the design.
+    pub locus: Locus,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An `Error`-severity finding.
+    pub fn error(code: &'static str, locus: Locus, message: String) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            locus,
+            message,
+        }
+    }
+
+    /// A `Warning`-severity finding.
+    pub fn warning(code: &'static str, locus: Locus, message: String) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            locus,
+            message,
+        }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}] at {}: {}",
+            self.severity, self.code, self.locus, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact() {
+        let d = Diagnostic::error("S001", Locus::Node(NodeId(3)), "bad link".to_string());
+        assert_eq!(d.to_string(), "error [S001] at n3: bad link");
+        let w = Diagnostic::warning("T002", Locus::Design, "hot".to_string());
+        assert_eq!(w.to_string(), "warning [T002] at design: hot");
+    }
+
+    #[test]
+    fn severity_orders_warning_below_error() {
+        assert!(Severity::Warning < Severity::Error);
+    }
+}

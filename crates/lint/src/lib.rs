@@ -1,0 +1,142 @@
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+//! `clk-lint` — the design-rule and invariant audit engine.
+//!
+//! Every stage of the optimization flow edits the same clock-tree
+//! database; a bug in one stage (a stale route, a detached subtree, a
+//! poisoned LP coefficient) surfaces as a mysterious wrong answer three
+//! stages later. This crate turns the implicit invariants of the
+//! workspace into explicit, individually coded checks:
+//!
+//! * [`Diagnostic`] — one finding, with a stable code (`S001`, `G002`,
+//!   ...), a [`Severity`], a [`Locus`] (node, arc, pair, LP row/var) and
+//!   a human-readable message;
+//! * [`LintPass`] — one audit over a [`DesignCtx`] (tree + library +
+//!   optional floorplan);
+//! * [`LintRunner`] — a pass registry that produces a [`Report`] with
+//!   text and JSON renderings;
+//! * [`lp`] — auditors for [`clk_lp::Problem`] instances (finite
+//!   coefficients, ordered bounds, Eq. (6)–(11) row/variable counts).
+//!
+//! The flow crates call the runner at phase boundaries behind
+//! [`LintLevel`] gates: `Off` in release, `ErrorsOnly` in debug builds,
+//! `Strict` for CI sweeps.
+//!
+//! # Diagnostic code families
+//!
+//! | Family | Pass | Invariant |
+//! |--------|------|-----------|
+//! | `S0xx` | tree-structure | parent/child symmetry, reachability, leaf-ness |
+//! | `A0xx` | arc-cover / arc-chain / polarity | arc view == tree edges, uniform chains, sink parity |
+//! | `G0xx` | route-geometry / placement | rectilinear pin-to-pin routes, legal sites |
+//! | `R0xx` | parasitics / spef | RC matches geometry, nonnegative R/C, SPEF round-trip |
+//! | `T0xx` | timing-sanity / drc | finite latencies, max-cap/max-slew, pair sanity |
+//! | `L0xx` | [`lp`] module | finite LP model, expected shape |
+//!
+//! # Examples
+//!
+//! ```
+//! use clk_geom::Point;
+//! use clk_liberty::{Library, StdCorners};
+//! use clk_netlist::{ClockTree, NodeKind};
+//! use clk_lint::{DesignCtx, LintRunner};
+//!
+//! let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+//! let x8 = lib.cell_by_name("CLKINV_X8").expect("exists");
+//! let mut tree = ClockTree::new(Point::new(0, 0), x8);
+//! let b = tree.add_node(NodeKind::Buffer(x8), Point::new(80_000, 0), tree.root());
+//! let s1 = tree.add_node(NodeKind::Sink, Point::new(160_000, 0), b);
+//! let s2 = tree.add_node(NodeKind::Sink, Point::new(160_000, 1_200), b);
+//! let _ = (s1, s2);
+//! let report = LintRunner::with_default_passes().run(&DesignCtx::new(&tree, &lib));
+//! assert!(!report.has_errors(), "{}", report.to_text());
+//! ```
+
+pub mod context;
+pub mod diag;
+pub mod lp;
+pub mod passes;
+pub mod runner;
+
+pub use context::DesignCtx;
+pub use diag::{Diagnostic, Locus, Severity};
+pub use passes::parasitics::audit_rc_tree;
+pub use runner::{LintPass, LintRunner, Report};
+
+/// How much linting a flow stage performs at its phase gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintLevel {
+    /// No linting; the gates compile to nothing.
+    Off,
+    /// Run the passes and fail on `Error` diagnostics only.
+    ErrorsOnly,
+    /// Fail on any diagnostic, warnings included.
+    Strict,
+}
+
+impl LintLevel {
+    /// Whether the gates should run at all.
+    pub fn enabled(self) -> bool {
+        self != LintLevel::Off
+    }
+
+    /// Whether `report` should fail a gate at this level.
+    pub fn fails(self, report: &Report) -> bool {
+        match self {
+            LintLevel::Off => false,
+            LintLevel::ErrorsOnly => report.has_errors(),
+            LintLevel::Strict => !report.diagnostics().is_empty(),
+        }
+    }
+}
+
+impl Default for LintLevel {
+    /// `ErrorsOnly` in debug builds, `Off` in release — the flow pays
+    /// nothing for the gates at optimized benchmark settings.
+    fn default() -> Self {
+        if cfg!(debug_assertions) {
+            LintLevel::ErrorsOnly
+        } else {
+            LintLevel::Off
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_level_tracks_build_profile() {
+        let lvl = LintLevel::default();
+        if cfg!(debug_assertions) {
+            assert_eq!(lvl, LintLevel::ErrorsOnly);
+        } else {
+            assert_eq!(lvl, LintLevel::Off);
+        }
+    }
+
+    #[test]
+    fn off_never_fails() {
+        let report = Report::from_diagnostics(vec![Diagnostic::error(
+            "S001",
+            Locus::Design,
+            "boom".to_string(),
+        )]);
+        assert!(!LintLevel::Off.fails(&report));
+        assert!(LintLevel::ErrorsOnly.fails(&report));
+        assert!(LintLevel::Strict.fails(&report));
+    }
+
+    #[test]
+    fn strict_fails_on_warnings() {
+        let report = Report::from_diagnostics(vec![Diagnostic::warning(
+            "T002",
+            Locus::Design,
+            "hot".to_string(),
+        )]);
+        assert!(!LintLevel::ErrorsOnly.fails(&report));
+        assert!(LintLevel::Strict.fails(&report));
+    }
+}

@@ -1,0 +1,205 @@
+//! `L0xx` — LP model audits for the paper's global skew-variation
+//! program (Eqs. (4)–(11)).
+//!
+//! Unlike the tree passes these run over a [`clk_lp::Problem`], so they
+//! are standalone functions rather than [`crate::LintPass`]es: the
+//! global optimizer calls [`audit_problem`] + [`audit_shape`] right
+//! after building each LP (in debug builds), and the corruption tests
+//! call them on deliberately poisoned models.
+
+use clk_lp::{Problem, VarId};
+
+use crate::diag::{Diagnostic, Locus};
+
+/// The expected shape of one scalarized (or U-bound) LP instance, in
+/// terms of the design quantities that generate its rows:
+///
+/// * Eq. (6) — `2·C(k,2)` ≥-rows per pair (variation envelope);
+/// * Eq. (7) — `2k` ≤-rows per pair (skew-bound cone);
+/// * Eq. (8) — `2(k−1)` ≤-rows per pair (cross-corner ratio band);
+/// * Eq. (9) — `k` ≤-rows per latency-bounded sink;
+/// * Eq. (11) — `2(k−1)` rows per *long* involved arc (delay-ratio
+///   proportionality, enforced only past the length threshold);
+/// * one extra ≤-row when the objective is the U-bound sweep.
+///
+/// Variables: one `(pos, neg)` delta pair per involved arc per corner,
+/// plus one `V` variable per pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LpShape {
+    /// Corner count `k`.
+    pub n_corners: usize,
+    /// Sink pairs carried into the model.
+    pub n_pairs: usize,
+    /// Arcs with delta variables (arcs on some pair's root path).
+    pub n_involved_arcs: usize,
+    /// Involved arcs long enough for Eq. (11) ratio rows.
+    pub n_long_arcs: usize,
+    /// Sinks with Eq. (9) latency-budget rows.
+    pub n_latency_sinks: usize,
+    /// Whether the objective carries the extra U-bound row.
+    pub ubound: bool,
+}
+
+impl LpShape {
+    /// Number of decision variables the model must have.
+    pub fn expected_vars(&self) -> usize {
+        2 * self.n_corners * self.n_involved_arcs + self.n_pairs
+    }
+
+    /// Number of constraint rows the model must have.
+    pub fn expected_rows(&self) -> usize {
+        let k = self.n_corners;
+        let per_pair = k * (k - 1)          // Eq. (6): 2·C(k,2)
+            + 2 * k                         // Eq. (7)
+            + 2 * (k.saturating_sub(1)); // Eq. (8)
+        self.n_pairs * per_pair
+            + self.n_latency_sinks * k
+            + self.n_long_arcs * 2 * (k.saturating_sub(1))
+            + usize::from(self.ubound)
+    }
+}
+
+/// Audits numeric sanity of a problem: `L001` a NaN bound or non-finite
+/// objective coefficient, `L002` bounds out of order, `L003` a
+/// non-finite structural coefficient or right-hand side.
+pub fn audit_problem(p: &Problem) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for v in 0..p.num_vars() {
+        let var = VarId(v);
+        let (lo, hi) = p.bounds(var);
+        let cost = p.cost(var);
+        if lo.is_nan() || hi.is_nan() {
+            out.push(Diagnostic::error(
+                "L001",
+                Locus::Var(v),
+                format!("variable bound is NaN: [{lo}, {hi}]"),
+            ));
+        } else if lo > hi {
+            out.push(Diagnostic::error(
+                "L002",
+                Locus::Var(v),
+                format!("variable bounds out of order: [{lo}, {hi}]"),
+            ));
+        }
+        if !cost.is_finite() {
+            out.push(Diagnostic::error(
+                "L001",
+                Locus::Var(v),
+                format!("objective coefficient is {cost}"),
+            ));
+        }
+        for &(row, a) in p.col(var) {
+            if !a.is_finite() {
+                out.push(Diagnostic::error(
+                    "L003",
+                    Locus::Row(row),
+                    format!("coefficient of var{v} in row{row} is {a}"),
+                ));
+            }
+        }
+    }
+    for i in 0..p.num_rows() {
+        let (_, rhs) = p.row(i);
+        if !rhs.is_finite() {
+            out.push(Diagnostic::error(
+                "L003",
+                Locus::Row(i),
+                format!("right-hand side of row{i} is {rhs}"),
+            ));
+        }
+    }
+    out
+}
+
+/// Audits the model against its expected shape: `L004` row-count
+/// mismatch, `L005` variable-count mismatch.
+pub fn audit_shape(p: &Problem, shape: &LpShape) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if p.num_rows() != shape.expected_rows() {
+        out.push(Diagnostic::error(
+            "L004",
+            Locus::Design,
+            format!(
+                "LP has {} rows but Eq. (6)-(11) over {} pairs / {} arcs ({} long) / {} sinks at {} corners imply {}",
+                p.num_rows(),
+                shape.n_pairs,
+                shape.n_involved_arcs,
+                shape.n_long_arcs,
+                shape.n_latency_sinks,
+                shape.n_corners,
+                shape.expected_rows()
+            ),
+        ));
+    }
+    if p.num_vars() != shape.expected_vars() {
+        out.push(Diagnostic::error(
+            "L005",
+            Locus::Design,
+            format!(
+                "LP has {} vars but {} involved arcs x {} corners + {} pairs imply {}",
+                p.num_vars(),
+                shape.n_involved_arcs,
+                shape.n_corners,
+                shape.n_pairs,
+                shape.expected_vars()
+            ),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clk_lp::RowKind;
+
+    fn tiny() -> Problem {
+        let mut p = Problem::new();
+        let x = p.add_var(0.0, 10.0, 1.0);
+        let y = p.add_var(0.0, f64::INFINITY, 2.0);
+        p.add_row(RowKind::Le, 4.0, &[(x, 1.0), (y, 2.0)]);
+        p
+    }
+
+    #[test]
+    fn clean_problem_audits_clean() {
+        assert!(audit_problem(&tiny()).is_empty());
+    }
+
+    #[test]
+    fn poisoned_bounds_are_l001_l002() {
+        let mut p = tiny();
+        p.debug_poison_bounds(VarId(0), f64::NAN, 1.0);
+        p.debug_poison_bounds(VarId(1), 5.0, 2.0);
+        let out = audit_problem(&p);
+        assert!(out.iter().any(|d| d.code == "L001"), "{out:?}");
+        assert!(out.iter().any(|d| d.code == "L002"), "{out:?}");
+    }
+
+    #[test]
+    fn poisoned_coeff_and_rhs_are_l003() {
+        let mut p = tiny();
+        p.debug_poison_coeff(VarId(0), 0, f64::NAN);
+        p.debug_poison_rhs(0, f64::INFINITY);
+        let out = audit_problem(&p);
+        assert_eq!(out.iter().filter(|d| d.code == "L003").count(), 2);
+    }
+
+    #[test]
+    fn shape_mismatch_is_l004_l005() {
+        let shape = LpShape {
+            n_corners: 3,
+            n_pairs: 1,
+            n_involved_arcs: 2,
+            n_long_arcs: 1,
+            n_latency_sinks: 2,
+            ubound: false,
+        };
+        // expected: rows = 1*(6+6+4) + 2*3 + 1*4 = 26, vars = 12 + 1 = 13
+        assert_eq!(shape.expected_rows(), 26);
+        assert_eq!(shape.expected_vars(), 13);
+        let out = audit_shape(&tiny(), &shape);
+        assert!(out.iter().any(|d| d.code == "L004"));
+        assert!(out.iter().any(|d| d.code == "L005"));
+    }
+}

@@ -1,0 +1,295 @@
+//! `A0xx` — arc-view consistency: the junction-to-junction arc
+//! decomposition must cover the tree's edges exactly, chains must be
+//! uniform inverter runs with in-library cells, and every sink must see
+//! the same inversion parity.
+
+use std::collections::HashMap;
+
+use clk_netlist::{ArcSet, ClockTree, NodeId, NodeKind};
+
+use crate::context::DesignCtx;
+use crate::diag::{Diagnostic, Locus};
+use crate::runner::LintPass;
+
+/// `A001` — audits that the arc set is a exact edge cover of the tree:
+/// every consecutive pair along every arc is a real parent→child edge,
+/// and every tree edge is covered by exactly one arc.
+///
+/// Public so tests can audit a *stale* arc set against an edited tree
+/// (the staleness bug class the ECO engine guards against).
+pub fn audit_arc_cover(tree: &ClockTree, arcs: &ArcSet) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut covered: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+    for (i, arc) in arcs.arcs().iter().enumerate() {
+        let locus = Locus::Arc(clk_netlist::ArcId(i as u32));
+        let mut chain = Vec::with_capacity(arc.interior.len() + 2);
+        chain.push(arc.from);
+        chain.extend_from_slice(&arc.interior);
+        chain.push(arc.to);
+        for w in chain.windows(2) {
+            let (p, c) = (w[0], w[1]);
+            if !tree.is_alive(c) || !tree.is_alive(p) || tree.parent(c) != Some(p) {
+                out.push(Diagnostic::error(
+                    "A001",
+                    locus,
+                    format!("arc step {p} -> {c} is not a live tree edge"),
+                ));
+                continue;
+            }
+            *covered.entry((p, c)).or_insert(0) += 1;
+        }
+    }
+    for c in tree.node_ids() {
+        let Some(p) = tree.parent(c) else { continue };
+        match covered.get(&(p, c)).copied().unwrap_or(0) {
+            1 => {}
+            0 => out.push(Diagnostic::error(
+                "A001",
+                Locus::Node(c),
+                format!("tree edge {p} -> {c} is covered by no arc"),
+            )),
+            n => out.push(Diagnostic::error(
+                "A001",
+                Locus::Node(c),
+                format!("tree edge {p} -> {c} is covered by {n} arcs"),
+            )),
+        }
+    }
+    out
+}
+
+/// The arc-cover audit pass (`A001`), extracting a fresh arc view.
+pub struct ArcCoverPass;
+
+impl LintPass for ArcCoverPass {
+    fn name(&self) -> &'static str {
+        "arc-cover"
+    }
+
+    fn description(&self) -> &'static str {
+        "the junction-to-junction arc view covers every tree edge exactly once"
+    }
+
+    fn run(&self, ctx: &DesignCtx, out: &mut Vec<Diagnostic>) {
+        if !ctx.structurally_sound() {
+            return;
+        }
+        let arcs = ArcSet::extract(ctx.tree);
+        out.extend(audit_arc_cover(ctx.tree, &arcs));
+    }
+}
+
+/// The chain-uniformity audit pass: `A002` (warning) mixed repeater
+/// cells inside one arc, `A003` out-of-library cell ids, `A004`
+/// (warning) irregular repeater spacing along an arc.
+pub struct ArcChainPass;
+
+impl LintPass for ArcChainPass {
+    fn name(&self) -> &'static str {
+        "arc-chain"
+    }
+
+    fn description(&self) -> &'static str {
+        "arcs are uniform inverter chains with in-library cells and near-uniform spacing"
+    }
+
+    fn run(&self, ctx: &DesignCtx, out: &mut Vec<Diagnostic>) {
+        let n_cells = ctx.lib.cells().len();
+        for id in ctx.tree.node_ids() {
+            if let NodeKind::Buffer(c) = ctx.tree.node(id).kind {
+                if c.0 >= n_cells {
+                    out.push(Diagnostic::error(
+                        "A003",
+                        Locus::Node(id),
+                        format!("cell id {} outside library ({} cells)", c.0, n_cells),
+                    ));
+                }
+            }
+        }
+        if ctx.tree.source_cell().0 >= n_cells {
+            out.push(Diagnostic::error(
+                "A003",
+                Locus::Node(ctx.tree.root()),
+                format!(
+                    "source cell id {} outside library ({} cells)",
+                    ctx.tree.source_cell().0,
+                    n_cells
+                ),
+            ));
+        }
+        if !ctx.structurally_sound() {
+            return;
+        }
+        let arcs = ArcSet::extract(ctx.tree);
+        for (i, arc) in arcs.arcs().iter().enumerate() {
+            let locus = Locus::Arc(clk_netlist::ArcId(i as u32));
+            let mut cells: Vec<usize> = arc
+                .interior
+                .iter()
+                .filter_map(|&n| match ctx.tree.node(n).kind {
+                    NodeKind::Buffer(c) => Some(c.0),
+                    _ => None,
+                })
+                .collect();
+            cells.sort_unstable();
+            cells.dedup();
+            if cells.len() > 1 {
+                // load-aware sizing legitimately mixes cells along a
+                // chain; the ECO rebuilds it uniformly, so only warn
+                out.push(Diagnostic::warning(
+                    "A002",
+                    locus,
+                    format!("arc mixes {} repeater cells {cells:?}", cells.len()),
+                ));
+            }
+            // spacing: route lengths of the chain's consecutive hops
+            if arc.interior.len() >= 2 {
+                let gaps: Vec<f64> = arc
+                    .interior
+                    .iter()
+                    .chain(std::iter::once(&arc.to))
+                    .filter_map(|&n| ctx.tree.node(n).route.as_ref())
+                    .map(clk_route::RoutePath::length_um)
+                    .filter(|&l| l > 0.0)
+                    .collect();
+                if gaps.len() >= 2 {
+                    let max = gaps.iter().copied().fold(0.0, f64::max);
+                    let min = gaps.iter().copied().fold(f64::INFINITY, f64::min);
+                    if max > 4.0 * min {
+                        out.push(Diagnostic::warning(
+                            "A004",
+                            locus,
+                            format!("irregular repeater spacing: hops range {min:.1}-{max:.1} um"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The polarity audit pass: `A005` — every sink must see the same
+/// inversion parity from the source, otherwise half the domain clocks on
+/// the wrong edge.
+pub struct PolarityPass;
+
+impl LintPass for PolarityPass {
+    fn name(&self) -> &'static str {
+        "polarity"
+    }
+
+    fn description(&self) -> &'static str {
+        "all sinks see the same inversion parity from the source"
+    }
+
+    fn run(&self, ctx: &DesignCtx, out: &mut Vec<Diagnostic>) {
+        if !ctx.structurally_sound() {
+            return;
+        }
+        let parities: Vec<(NodeId, usize)> = ctx
+            .tree
+            .sinks()
+            .map(|s| (s, ctx.tree.inversions_to(s) % 2))
+            .collect();
+        let odd = parities.iter().filter(|&&(_, p)| p == 1).count();
+        let even = parities.len() - odd;
+        if odd == 0 || even == 0 {
+            return;
+        }
+        // report the minority side; on a tie, the odd sinks
+        let minority_parity = usize::from(odd <= even);
+        const CAP: usize = 16;
+        let offenders: Vec<NodeId> = parities
+            .iter()
+            .filter(|&&(_, p)| p == minority_parity)
+            .map(|&(s, _)| s)
+            .collect();
+        for &s in offenders.iter().take(CAP) {
+            out.push(Diagnostic::error(
+                "A005",
+                Locus::Node(s),
+                format!(
+                    "sink sees {} inversion parity while {} of {} sinks see the other",
+                    if minority_parity == 1 { "odd" } else { "even" },
+                    parities.len() - offenders.len(),
+                    parities.len()
+                ),
+            ));
+        }
+        if offenders.len() > CAP {
+            out.push(Diagnostic::error(
+                "A005",
+                Locus::Design,
+                format!("... and {} more mixed-parity sinks", offenders.len() - CAP),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clk_geom::Point;
+    use clk_liberty::{CellId, Library, StdCorners};
+
+    fn fixture() -> (Library, ClockTree) {
+        let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+        let x4 = lib.cell_by_name("CLKINV_X4").expect("exists");
+        let mut tree = ClockTree::new(Point::new(0, 0), x4);
+        let a = tree.add_node(NodeKind::Buffer(x4), Point::new(20_000, 0), tree.root());
+        let b = tree.add_node(NodeKind::Buffer(x4), Point::new(40_000, 0), a);
+        tree.add_node(NodeKind::Sink, Point::new(60_000, 0), b);
+        tree.add_node(NodeKind::Sink, Point::new(60_000, 1_200), b);
+        (lib, tree)
+    }
+
+    fn run(pass: &dyn LintPass, lib: &Library, tree: &ClockTree) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        pass.run(&DesignCtx::new(tree, lib), &mut out);
+        out
+    }
+
+    #[test]
+    fn clean_tree_passes_all_arc_audits() {
+        let (lib, tree) = fixture();
+        assert!(run(&ArcCoverPass, &lib, &tree).is_empty());
+        assert!(run(&ArcChainPass, &lib, &tree).is_empty());
+        assert!(run(&PolarityPass, &lib, &tree).is_empty());
+    }
+
+    #[test]
+    fn stale_arc_set_is_a001() {
+        let (lib, tree) = fixture();
+        let mut tree = tree;
+        let arcs = ArcSet::extract(&tree);
+        // edit the tree after extraction: insert a repeater mid-chain
+        let a = tree.children(tree.root())[0];
+        let b = tree.children(a)[0];
+        let x4 = lib.cell_by_name("CLKINV_X4").expect("exists");
+        let mid = tree.add_node(NodeKind::Buffer(x4), Point::new(30_000, 0), a);
+        tree.set_parent(b, mid).expect("reparent");
+        let out = audit_arc_cover(&tree, &arcs);
+        assert!(out.iter().any(|d| d.code == "A001"), "{out:?}");
+    }
+
+    #[test]
+    fn out_of_library_cell_is_a003() {
+        let (lib, tree) = fixture();
+        let mut tree = tree;
+        let a = tree.children(tree.root())[0];
+        tree.set_cell(a, CellId(999)).expect("set cell");
+        let out = run(&ArcChainPass, &lib, &tree);
+        assert!(out.iter().any(|d| d.code == "A003"), "{out:?}");
+    }
+
+    #[test]
+    fn mixed_parity_is_a005() {
+        let (lib, tree) = fixture();
+        let mut tree = tree;
+        // a third sink hanging one level higher has different parity
+        let a = tree.children(tree.root())[0];
+        tree.add_node(NodeKind::Sink, Point::new(40_000, 2_400), a);
+        let out = run(&PolarityPass, &lib, &tree);
+        assert!(out.iter().any(|d| d.code == "A005"), "{out:?}");
+    }
+}

@@ -1,0 +1,198 @@
+//! `G0xx` — geometry audits: routes are rectilinear pin-to-pin
+//! polylines, and instances sit on legal placement sites off blockages.
+
+use clk_netlist::NodeKind;
+
+use crate::context::DesignCtx;
+use crate::diag::{Diagnostic, Locus};
+use crate::runner::LintPass;
+
+/// The route-geometry audit pass: `G001` non-rectilinear polyline,
+/// `G002` route endpoints not at the parent/child pin locations, `G004`
+/// missing route on a non-root node.
+pub struct RouteGeometryPass;
+
+impl LintPass for RouteGeometryPass {
+    fn name(&self) -> &'static str {
+        "route-geometry"
+    }
+
+    fn description(&self) -> &'static str {
+        "every non-root node carries a rectilinear route from its parent's pin to its own"
+    }
+
+    fn run(&self, ctx: &DesignCtx, out: &mut Vec<Diagnostic>) {
+        let tree = ctx.tree;
+        for id in tree.node_ids() {
+            let Some(p) = tree.parent(id) else { continue };
+            if !tree.is_alive(p) {
+                continue; // S004's job
+            }
+            let Some(route) = tree.node(id).route.as_ref() else {
+                out.push(Diagnostic::error(
+                    "G004",
+                    Locus::Node(id),
+                    format!("non-root node {id} has no route"),
+                ));
+                continue;
+            };
+            if !route.is_valid() {
+                out.push(Diagnostic::error(
+                    "G001",
+                    Locus::Node(id),
+                    format!("route of {id} is not a rectilinear polyline"),
+                ));
+            }
+            if route.start() != tree.loc(p) || route.end() != tree.loc(id) {
+                out.push(Diagnostic::error(
+                    "G002",
+                    Locus::Node(id),
+                    format!(
+                        "route of {id} runs ({},{}) -> ({},{}) but pins are at ({},{}) -> ({},{})",
+                        route.start().x,
+                        route.start().y,
+                        route.end().x,
+                        route.end().y,
+                        tree.loc(p).x,
+                        tree.loc(p).y,
+                        tree.loc(id).x,
+                        tree.loc(id).y
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The placement-legality audit pass (skipped when the context carries
+/// no floorplan): `G003` an instance outside the die or on a blockage,
+/// `G005` a buffer off the legal site grid.
+///
+/// Sinks are flip-flop pins placed by the (synthetic) netlist, not by
+/// us, so only die/blockage containment is checked for them; buffers and
+/// the source must additionally sit on legal sites.
+pub struct PlacementPass;
+
+impl LintPass for PlacementPass {
+    fn name(&self) -> &'static str {
+        "placement"
+    }
+
+    fn description(&self) -> &'static str {
+        "instances sit inside the die, off blockages, and buffers on legal sites"
+    }
+
+    fn run(&self, ctx: &DesignCtx, out: &mut Vec<Diagnostic>) {
+        let Some(fp) = ctx.floorplan else { return };
+        for id in ctx.tree.node_ids() {
+            let loc = ctx.tree.loc(id);
+            if !fp.die.contains(loc) {
+                out.push(Diagnostic::error(
+                    "G003",
+                    Locus::Node(id),
+                    format!("instance at ({},{}) is outside the die", loc.x, loc.y),
+                ));
+                continue;
+            }
+            if fp.blockages.iter().any(|b| b.contains(loc)) {
+                out.push(Diagnostic::error(
+                    "G003",
+                    Locus::Node(id),
+                    format!("instance at ({},{}) sits on a blockage", loc.x, loc.y),
+                ));
+                continue;
+            }
+            let is_placeable = !matches!(ctx.tree.node(id).kind, NodeKind::Sink);
+            if is_placeable && !fp.is_legal(loc) {
+                out.push(Diagnostic::error(
+                    "G005",
+                    Locus::Node(id),
+                    format!("buffer at ({},{}) is off the legal site grid", loc.x, loc.y),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clk_geom::{Point, Rect};
+    use clk_liberty::{Library, StdCorners};
+    use clk_netlist::{ClockTree, Floorplan};
+
+    fn fixture() -> (Library, Floorplan, ClockTree) {
+        let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+        let fp = Floorplan::open(Rect::from_um(0.0, 0.0, 500.0, 500.0));
+        let x4 = lib.cell_by_name("CLKINV_X4").expect("exists");
+        let mut tree = ClockTree::new(Point::new(0, 0), x4);
+        let b = tree.add_node(
+            NodeKind::Buffer(x4),
+            fp.legalize(Point::new(100_000, 100_000)),
+            tree.root(),
+        );
+        tree.add_node(NodeKind::Sink, Point::new(200_123, 100_457), b);
+        tree.add_node(NodeKind::Sink, Point::new(200_123, 151_457), b);
+        (lib, fp, tree)
+    }
+
+    fn run(
+        pass: &dyn LintPass,
+        lib: &Library,
+        fp: &Floorplan,
+        tree: &ClockTree,
+    ) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        pass.run(&DesignCtx::with_floorplan(tree, lib, fp), &mut out);
+        out
+    }
+
+    #[test]
+    fn clean_fixture_passes() {
+        let (lib, fp, tree) = fixture();
+        assert!(run(&RouteGeometryPass, &lib, &fp, &tree).is_empty());
+        let placement = run(&PlacementPass, &lib, &fp, &tree);
+        assert!(placement.is_empty(), "{placement:?}");
+    }
+
+    #[test]
+    fn stale_route_is_g002() {
+        let (lib, fp, mut tree) = fixture();
+        let b = tree.children(tree.root())[0];
+        tree.debug_set_loc_raw(b, Point::new(100_200, 100_800));
+        let out = run(&RouteGeometryPass, &lib, &fp, &tree);
+        assert!(out.iter().any(|d| d.code == "G002"), "{out:?}");
+    }
+
+    #[test]
+    fn off_grid_buffer_is_g005() {
+        let (lib, fp, mut tree) = fixture();
+        let b = tree.children(tree.root())[0];
+        // keep routes consistent by moving the node *and* its pins
+        let off = Point::new(100_001, 100_003);
+        tree.move_node(b, off).expect("move");
+        let out = run(&PlacementPass, &lib, &fp, &tree);
+        assert!(out.iter().any(|d| d.code == "G005"), "{out:?}");
+    }
+
+    #[test]
+    fn blockage_hit_is_g003() {
+        let (lib, _fp, tree) = fixture();
+        let fp = Floorplan::utilized(
+            Rect::from_um(0.0, 0.0, 500.0, 500.0),
+            vec![Rect::from_um(90.0, 90.0, 110.0, 110.0)],
+        );
+        let out = run(&PlacementPass, &lib, &fp, &tree);
+        assert!(out.iter().any(|d| d.code == "G003"), "{out:?}");
+    }
+
+    #[test]
+    fn no_floorplan_no_findings() {
+        let (lib, _fp, mut tree) = fixture();
+        let b = tree.children(tree.root())[0];
+        tree.debug_set_loc_raw(b, Point::new(-5, -5));
+        let mut out = Vec::new();
+        PlacementPass.run(&DesignCtx::new(&tree, &lib), &mut out);
+        assert!(out.is_empty());
+    }
+}

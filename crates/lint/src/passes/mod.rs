@@ -1,0 +1,40 @@
+//! The built-in lint passes.
+
+pub mod arcs;
+pub mod geometry;
+pub mod parasitics;
+pub mod structure;
+pub mod timing;
+
+use crate::runner::LintPass;
+
+/// The full default registry, in dependency order: structural audits
+/// first (they decide whether the graph is safe to walk), then the
+/// derived-view, geometry, parasitic and timing audits.
+pub fn default_passes() -> Vec<Box<dyn LintPass>> {
+    vec![
+        Box::new(structure::TreeStructurePass),
+        Box::new(arcs::ArcCoverPass),
+        Box::new(arcs::ArcChainPass),
+        Box::new(arcs::PolarityPass),
+        Box::new(geometry::RouteGeometryPass),
+        Box::new(geometry::PlacementPass),
+        Box::new(parasitics::ParasiticsPass),
+        Box::new(parasitics::SpefRoundTripPass),
+        Box::new(timing::TimingSanityPass),
+        Box::new(timing::DrcPass),
+    ]
+}
+
+/// The cheap structural subset used by inner-loop gates: no extraction,
+/// no timing.
+pub fn structural_passes() -> Vec<Box<dyn LintPass>> {
+    vec![
+        Box::new(structure::TreeStructurePass),
+        Box::new(arcs::ArcCoverPass),
+        Box::new(arcs::ArcChainPass),
+        Box::new(arcs::PolarityPass),
+        Box::new(geometry::RouteGeometryPass),
+        Box::new(geometry::PlacementPass),
+    ]
+}

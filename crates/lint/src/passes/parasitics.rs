@@ -1,0 +1,292 @@
+//! `R0xx` — parasitic audits: the extracted RC tree of every net must
+//! match its route geometry, carry nonnegative finite R/C, and survive a
+//! SPEF write/read-back round trip.
+
+use clk_delay::RcTree;
+use clk_liberty::CornerId;
+use clk_netlist::{ClockTree, NodeId, NodeKind};
+use clk_route::WireTree;
+
+use crate::context::DesignCtx;
+use crate::diag::{Diagnostic, Locus};
+use crate::runner::LintPass;
+
+/// `R002` — audits one RC tree for nonnegative, finite resistance and
+/// capacitance at every node. `driver` anchors the diagnostics.
+///
+/// Public so corruption tests can audit synthetic [`RcTree`]s built with
+/// `RcTree::from_raw`.
+pub fn audit_rc_tree(driver: NodeId, rc: &RcTree) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for i in 0..rc.node_count() {
+        let r = rc.res_kohm(i);
+        let c = rc.cap_ff(i);
+        if !r.is_finite() || r < 0.0 {
+            out.push(Diagnostic::error(
+                "R002",
+                Locus::Node(driver),
+                format!("net of {driver}: RC node {i} has bad resistance {r} kohm"),
+            ));
+        }
+        if !c.is_finite() || c < 0.0 {
+            out.push(Diagnostic::error(
+                "R002",
+                Locus::Node(driver),
+                format!("net of {driver}: RC node {i} has bad capacitance {c} fF"),
+            ));
+        }
+    }
+    out
+}
+
+/// Extracts the fanout net of `driver` exactly like the timer does.
+/// Returns `None` when a child has no route (the route-geometry pass
+/// reports that as `G004`).
+fn extract_net(ctx: &DesignCtx, driver: NodeId, seg_max_um: f64) -> Option<(RcTree, f64, f64)> {
+    let tree = ctx.tree;
+    let children = tree.children(driver);
+    let mut wt = WireTree::new(tree.loc(driver));
+    let mut loads = Vec::with_capacity(children.len());
+    let mut route_len_um = 0.0;
+    let mut pin_cap_ff = 0.0;
+    for &c in children {
+        let route = tree.node(c).route.as_ref()?;
+        route_len_um += route.length_um();
+        let mut prev = WireTree::ROOT;
+        for &p in &route.points()[1..] {
+            prev = wt.add_child(prev, p);
+        }
+        let pin_cap = match tree.node(c).kind {
+            NodeKind::Buffer(cc) => ctx.lib.cell(cc).input_cap_ff,
+            NodeKind::Sink => ctx.lib.sink_cap_ff(),
+            NodeKind::Source => return None,
+        };
+        pin_cap_ff += pin_cap;
+        loads.push((prev, pin_cap));
+    }
+    let wire_rc = ctx.lib.wire_rc(CornerId(0));
+    Some((
+        RcTree::extract(&wt, wire_rc, &loads, seg_max_um),
+        route_len_um,
+        pin_cap_ff,
+    ))
+}
+
+fn drivers(tree: &ClockTree) -> impl Iterator<Item = NodeId> + '_ {
+    tree.node_ids().filter(|&d| !tree.children(d).is_empty())
+}
+
+/// The parasitic-consistency audit pass: `R001` extracted totals diverge
+/// from the route geometry, `R002` negative or non-finite R/C.
+pub struct ParasiticsPass;
+
+impl LintPass for ParasiticsPass {
+    fn name(&self) -> &'static str {
+        "parasitics"
+    }
+
+    fn description(&self) -> &'static str {
+        "per-net RC extraction matches route geometry with nonnegative finite R/C"
+    }
+
+    fn run(&self, ctx: &DesignCtx, out: &mut Vec<Diagnostic>) {
+        if !ctx.structurally_sound() {
+            return;
+        }
+        let wire_rc = ctx.lib.wire_rc(CornerId(0));
+        for d in drivers(ctx.tree) {
+            let Some((rc, route_len_um, pin_cap_ff)) = extract_net(ctx, d, 5.0) else {
+                continue;
+            };
+            out.extend(audit_rc_tree(d, &rc));
+            let want_r: f64 = wire_rc.r_per_um * route_len_um;
+            let got_r: f64 = (0..rc.node_count()).map(|i| rc.res_kohm(i)).sum();
+            let want_c = wire_rc.c_per_um * route_len_um;
+            let got_c = rc.total_cap_ff() - pin_cap_ff;
+            let tol = 1e-6;
+            if (got_r - want_r).abs() > tol * want_r.max(1.0) {
+                out.push(Diagnostic::error(
+                    "R001",
+                    Locus::Node(d),
+                    format!("net of {d}: extracted R {got_r:.6} kohm but routes imply {want_r:.6}"),
+                ));
+            }
+            if (got_c - want_c).abs() > tol * want_c.max(1.0) {
+                out.push(Diagnostic::error(
+                    "R001",
+                    Locus::Node(d),
+                    format!(
+                        "net of {d}: extracted wire C {got_c:.6} fF but routes imply {want_c:.6}"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The SPEF round-trip audit pass: `R003` — writing a net to SPEF and
+/// summing the `*CAP`/`*RES` sections back must reproduce the extracted
+/// totals (and one resistor per non-root RC node).
+pub struct SpefRoundTripPass;
+
+impl LintPass for SpefRoundTripPass {
+    fn name(&self) -> &'static str {
+        "spef-round-trip"
+    }
+
+    fn description(&self) -> &'static str {
+        "SPEF output reproduces extracted RC totals on read-back"
+    }
+
+    fn run(&self, ctx: &DesignCtx, out: &mut Vec<Diagnostic>) {
+        if !ctx.structurally_sound() {
+            return;
+        }
+        for d in drivers(ctx.tree) {
+            // lumped extraction: small, and totals are what SPEF carries
+            let Some((rc, _, _)) = extract_net(ctx, d, 1e9) else {
+                continue;
+            };
+            let spef = clk_delay::spef::write_spef(&format!("net_{}", d.0), &rc);
+            let parsed = parse_spef_totals(&spef);
+            // %.6 fixed-point rounding: half an ulp per printed entry
+            let tol = 1e-6 * rc.node_count() as f64 + 1e-9;
+            if (parsed.cap_sum - rc.total_cap_ff()).abs() > tol {
+                out.push(Diagnostic::error(
+                    "R003",
+                    Locus::Node(d),
+                    format!(
+                        "net of {d}: SPEF caps sum to {:.6} fF, extraction has {:.6}",
+                        parsed.cap_sum,
+                        rc.total_cap_ff()
+                    ),
+                ));
+            }
+            if (parsed.d_net_total - rc.total_cap_ff()).abs() > tol {
+                out.push(Diagnostic::error(
+                    "R003",
+                    Locus::Node(d),
+                    format!(
+                        "net of {d}: *D_NET total {:.6} fF disagrees with extraction {:.6}",
+                        parsed.d_net_total,
+                        rc.total_cap_ff()
+                    ),
+                ));
+            }
+            if parsed.res_count != rc.node_count() - 1 {
+                out.push(Diagnostic::error(
+                    "R003",
+                    Locus::Node(d),
+                    format!(
+                        "net of {d}: SPEF has {} resistors for {} RC nodes",
+                        parsed.res_count,
+                        rc.node_count()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+struct SpefTotals {
+    d_net_total: f64,
+    cap_sum: f64,
+    res_count: usize,
+}
+
+fn parse_spef_totals(spef: &str) -> SpefTotals {
+    let mut totals = SpefTotals {
+        d_net_total: f64::NAN,
+        cap_sum: 0.0,
+        res_count: 0,
+    };
+    #[derive(PartialEq)]
+    enum Sect {
+        None,
+        Cap,
+        Res,
+    }
+    let mut sect = Sect::None;
+    for line in spef.lines() {
+        if line.starts_with("*D_NET") {
+            totals.d_net_total = line
+                .split_whitespace()
+                .nth(2)
+                .and_then(|f| f.parse().ok())
+                .unwrap_or(f64::NAN);
+        } else if line.starts_with("*CAP") {
+            sect = Sect::Cap;
+        } else if line.starts_with("*RES") {
+            sect = Sect::Res;
+        } else if line.starts_with('*') {
+            sect = Sect::None;
+        } else if !line.trim().is_empty() {
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            match sect {
+                Sect::Cap => {
+                    if let Some(v) = fields.last().and_then(|f| f.parse::<f64>().ok()) {
+                        totals.cap_sum += v;
+                    }
+                }
+                Sect::Res => totals.res_count += 1,
+                Sect::None => {}
+            }
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clk_geom::Point;
+    use clk_liberty::{Library, StdCorners};
+
+    fn fixture() -> (Library, ClockTree) {
+        let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+        let x8 = lib.cell_by_name("CLKINV_X8").expect("exists");
+        let mut tree = ClockTree::new(Point::new(0, 0), x8);
+        let b = tree.add_node(NodeKind::Buffer(x8), Point::new(50_000, 0), tree.root());
+        tree.add_node(NodeKind::Sink, Point::new(120_000, 30_000), b);
+        tree.add_node(NodeKind::Sink, Point::new(120_000, -20_000), b);
+        (lib, tree)
+    }
+
+    #[test]
+    fn clean_nets_pass_both_audits() {
+        let (lib, tree) = fixture();
+        let ctx = DesignCtx::new(&tree, &lib);
+        let mut out = Vec::new();
+        ParasiticsPass.run(&ctx, &mut out);
+        SpefRoundTripPass.run(&ctx, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn negative_cap_is_r002() {
+        let rc = RcTree::from_raw(vec![None, Some(0)], vec![0.0, 1.0], vec![0.5, -3.0]);
+        let out = audit_rc_tree(NodeId(7), &rc);
+        assert!(out.iter().any(|d| d.code == "R002"), "{out:?}");
+    }
+
+    #[test]
+    fn nan_resistance_is_r002() {
+        let rc = RcTree::from_raw(vec![None, Some(0)], vec![0.0, f64::NAN], vec![0.5, 3.0]);
+        let out = audit_rc_tree(NodeId(7), &rc);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, "R002");
+    }
+
+    #[test]
+    fn spef_parser_reads_the_writer() {
+        let rc = RcTree::from_raw(
+            vec![None, Some(0), Some(1)],
+            vec![0.0, 0.5, 0.25],
+            vec![0.1, 2.0, 3.5],
+        );
+        let totals = parse_spef_totals(&clk_delay::spef::write_spef("n1", &rc));
+        assert!((totals.cap_sum - rc.total_cap_ff()).abs() < 1e-6);
+        assert!((totals.d_net_total - rc.total_cap_ff()).abs() < 1e-6);
+        assert_eq!(totals.res_count, 2);
+    }
+}

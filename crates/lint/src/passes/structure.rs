@@ -1,0 +1,124 @@
+//! `S0xx` — tree-structure audit: acyclicity, single parenthood, root
+//! reachability, sink leaf-ness.
+//!
+//! The exhaustive violation scan itself lives in
+//! [`clk_netlist::ClockTree::validate_all`] (so the netlist crate stays
+//! self-checking); this pass maps each [`TreeError`] to a stable coded
+//! diagnostic. Route-endpoint mismatches are deliberately *not* reported
+//! here — the route-geometry pass owns them as `G002`.
+
+use clk_netlist::TreeError;
+
+use crate::context::DesignCtx;
+use crate::diag::{Diagnostic, Locus};
+use crate::runner::LintPass;
+
+/// Maps a structural [`TreeError`] to its stable code, or `None` for
+/// errors owned by another pass.
+pub fn structure_code(err: &TreeError) -> Option<&'static str> {
+    match err {
+        TreeError::Inconsistent(_) => Some("S001"),
+        TreeError::Unreachable(_) => Some("S002"),
+        TreeError::SinkHasChildren(_) => Some("S003"),
+        TreeError::DeadNode(_) => Some("S004"),
+        TreeError::WouldCycle(_) | TreeError::NotABuffer(_) => Some("S005"),
+        TreeError::RouteEndpointMismatch(_) => None,
+    }
+}
+
+fn error_node(err: &TreeError) -> Locus {
+    match err {
+        TreeError::DeadNode(n)
+        | TreeError::NotABuffer(n)
+        | TreeError::WouldCycle(n)
+        | TreeError::SinkHasChildren(n)
+        | TreeError::RouteEndpointMismatch(n)
+        | TreeError::Inconsistent(n)
+        | TreeError::Unreachable(n) => Locus::Node(*n),
+    }
+}
+
+/// The tree-structure audit pass.
+pub struct TreeStructurePass;
+
+impl LintPass for TreeStructurePass {
+    fn name(&self) -> &'static str {
+        "tree-structure"
+    }
+
+    fn description(&self) -> &'static str {
+        "parent/child symmetry, acyclic reachability from the root, sinks are leaves, no dead references"
+    }
+
+    fn run(&self, ctx: &DesignCtx, out: &mut Vec<Diagnostic>) {
+        for err in ctx.tree.validate_all() {
+            if let Some(code) = structure_code(&err) {
+                out.push(Diagnostic::error(code, error_node(&err), err.to_string()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clk_geom::Point;
+    use clk_liberty::{Library, StdCorners};
+    use clk_netlist::{ClockTree, NodeKind};
+
+    fn fixture() -> (Library, ClockTree) {
+        let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+        let x8 = lib.cell_by_name("CLKINV_X8").expect("exists");
+        let mut tree = ClockTree::new(Point::new(0, 0), x8);
+        let b = tree.add_node(NodeKind::Buffer(x8), Point::new(10_000, 0), tree.root());
+        tree.add_node(NodeKind::Sink, Point::new(20_000, 0), b);
+        tree.add_node(NodeKind::Sink, Point::new(20_000, 1_200), b);
+        (lib, tree)
+    }
+
+    fn run(lib: &Library, tree: &ClockTree) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        TreeStructurePass.run(&DesignCtx::new(tree, lib), &mut out);
+        out
+    }
+
+    #[test]
+    fn clean_tree_has_no_findings() {
+        let (lib, tree) = fixture();
+        assert!(run(&lib, &tree).is_empty());
+    }
+
+    #[test]
+    fn unlinked_child_is_s001() {
+        let (lib, tree) = fixture();
+        let mut tree = tree;
+        let b = tree.children(tree.root())[0];
+        let s = tree.children(b)[0];
+        tree.debug_unlink_child(b, s);
+        let out = run(&lib, &tree);
+        assert!(out.iter().any(|d| d.code == "S001"), "{out:?}");
+    }
+
+    #[test]
+    fn orphan_is_s002() {
+        let (lib, tree) = fixture();
+        let mut tree = tree;
+        let b = tree.children(tree.root())[0];
+        let s = tree.children(b)[0];
+        tree.debug_unlink_child(b, s);
+        tree.debug_set_parent_raw(s, None);
+        let out = run(&lib, &tree);
+        assert!(out.iter().any(|d| d.code == "S002"), "{out:?}");
+    }
+
+    #[test]
+    fn sink_with_children_is_s003() {
+        let (lib, tree) = fixture();
+        let mut tree = tree;
+        let b = tree.children(tree.root())[0];
+        let sinks: Vec<_> = tree.children(b).to_vec();
+        tree.debug_add_child_raw(sinks[0], sinks[1]);
+        let out = run(&lib, &tree);
+        assert!(out.iter().any(|d| d.code == "S003"), "{out:?}");
+    }
+}

@@ -1,0 +1,215 @@
+//! `T0xx` — timing audits: finite latencies and slews everywhere,
+//! design-rule budgets at every pin, and sane sink pairs.
+
+use clk_netlist::NodeKind;
+use clk_sta::{Timer, Violation};
+
+use crate::context::DesignCtx;
+use crate::diag::{Diagnostic, Locus};
+use crate::runner::LintPass;
+
+/// The timing-sanity audit pass: `T001` a node without a finite arrival
+/// or slew (or a tree the timer cannot analyze at all), `T004` a sink
+/// pair referencing dead or non-sink nodes, or whose skews fail
+/// antisymmetry.
+pub struct TimingSanityPass;
+
+impl LintPass for TimingSanityPass {
+    fn name(&self) -> &'static str {
+        "timing-sanity"
+    }
+
+    fn description(&self) -> &'static str {
+        "finite arrivals/slews at every live node and well-formed sink pairs"
+    }
+
+    fn run(&self, ctx: &DesignCtx, out: &mut Vec<Diagnostic>) {
+        // pair sanity does not need timing
+        for (i, p) in ctx.tree.sink_pairs().iter().enumerate() {
+            for end in [p.a, p.b] {
+                if !ctx.tree.is_alive(end) {
+                    out.push(Diagnostic::error(
+                        "T004",
+                        Locus::Pair(i),
+                        format!("sink pair references dead node {end}"),
+                    ));
+                } else if ctx.tree.node(end).kind != NodeKind::Sink {
+                    out.push(Diagnostic::error(
+                        "T004",
+                        Locus::Pair(i),
+                        format!("sink pair references non-sink {end}"),
+                    ));
+                }
+            }
+            if !p.weight.is_finite() || p.weight <= 0.0 {
+                out.push(Diagnostic::error(
+                    "T004",
+                    Locus::Pair(i),
+                    format!("sink pair weight {} is not positive and finite", p.weight),
+                ));
+            }
+        }
+        if !ctx.structurally_sound() {
+            return;
+        }
+        let per_corner = match Timer::golden().try_analyze_all(ctx.tree, ctx.lib) {
+            Ok(t) => t,
+            Err(e) => {
+                out.push(Diagnostic::error(
+                    "T001",
+                    Locus::Design,
+                    format!("tree cannot be timed: {e}"),
+                ));
+                return;
+            }
+        };
+        for timing in &per_corner {
+            for id in ctx.tree.node_ids() {
+                if timing.try_arrival_ps(id).is_err() || timing.try_slew_ps(id).is_err() {
+                    out.push(Diagnostic::error(
+                        "T001",
+                        Locus::Node(id),
+                        format!(
+                            "no finite arrival/slew at {id} at corner {}",
+                            timing.corner().0
+                        ),
+                    ));
+                }
+            }
+            // per-pair antisymmetry of the signed skew
+            for (i, p) in ctx.tree.sink_pairs().iter().enumerate() {
+                let (Ok(ta), Ok(tb)) = (timing.try_arrival_ps(p.a), timing.try_arrival_ps(p.b))
+                else {
+                    continue; // T001 above
+                };
+                let fwd = ta - tb;
+                let rev = tb - ta;
+                if (fwd + rev).abs() > 1e-9 || !fwd.is_finite() {
+                    out.push(Diagnostic::error(
+                        "T004",
+                        Locus::Pair(i),
+                        format!(
+                            "skew not antisymmetric at corner {}: {fwd} vs {rev}",
+                            timing.corner().0
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// The design-rule audit pass: `T002` (warning) a driver loaded past its
+/// cell's max capacitance, `T003` (warning) an input slew past the
+/// library limit.
+///
+/// Warnings, not errors: generated testcases legitimately carry DRC
+/// overruns that the ECO budget is allowed to trade against — the audit
+/// surfaces them without failing `ErrorsOnly` gates.
+pub struct DrcPass;
+
+impl LintPass for DrcPass {
+    fn name(&self) -> &'static str {
+        "drc"
+    }
+
+    fn description(&self) -> &'static str {
+        "max-cap and max-slew budgets at every pin (warnings)"
+    }
+
+    fn run(&self, ctx: &DesignCtx, out: &mut Vec<Diagnostic>) {
+        if !ctx.structurally_sound() {
+            return;
+        }
+        let Ok(per_corner) = Timer::golden().try_analyze_all(ctx.tree, ctx.lib) else {
+            return; // T001's job
+        };
+        for timing in &per_corner {
+            for v in timing.violations() {
+                match *v {
+                    Violation::MaxCap {
+                        node,
+                        load_ff,
+                        limit_ff,
+                    } => out.push(Diagnostic::warning(
+                        "T002",
+                        Locus::Node(node),
+                        format!(
+                            "corner {}: load {load_ff:.1} fF exceeds max-cap {limit_ff:.1} fF",
+                            timing.corner().0
+                        ),
+                    )),
+                    Violation::MaxSlew {
+                        node,
+                        slew_ps,
+                        limit_ps,
+                    } => out.push(Diagnostic::warning(
+                        "T003",
+                        Locus::Node(node),
+                        format!(
+                            "corner {}: slew {slew_ps:.1} ps exceeds max-slew {limit_ps:.1} ps",
+                            timing.corner().0
+                        ),
+                    )),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clk_geom::Point;
+    use clk_liberty::{Library, StdCorners};
+    use clk_netlist::{ClockTree, SinkPair};
+
+    fn fixture() -> (Library, ClockTree) {
+        let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+        let x8 = lib.cell_by_name("CLKINV_X8").expect("exists");
+        let mut tree = ClockTree::new(Point::new(0, 0), x8);
+        let b = tree.add_node(NodeKind::Buffer(x8), Point::new(50_000, 0), tree.root());
+        let s1 = tree.add_node(NodeKind::Sink, Point::new(100_000, 20_000), b);
+        let s2 = tree.add_node(NodeKind::Sink, Point::new(100_000, -20_000), b);
+        tree.set_sink_pairs(vec![SinkPair::new(s1, s2)]);
+        (lib, tree)
+    }
+
+    #[test]
+    fn clean_tree_is_quiet() {
+        let (lib, tree) = fixture();
+        let mut out = Vec::new();
+        TimingSanityPass.run(&DesignCtx::new(&tree, &lib), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn overloaded_tiny_driver_warns_t002() {
+        let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+        let x1 = lib.cell_by_name("CLKINV_X1").expect("exists");
+        let mut tree = ClockTree::new(Point::new(0, 0), x1);
+        // one X1 inverter driving a brutal fanout of faraway sinks
+        let b = tree.add_node(NodeKind::Buffer(x1), Point::new(10_000, 0), tree.root());
+        for i in 0..40 {
+            tree.add_node(
+                NodeKind::Sink,
+                Point::new(400_000, 12_000 * clk_geom::Dbu::from(i)),
+                b,
+            );
+        }
+        let mut out = Vec::new();
+        DrcPass.run(&DesignCtx::new(&tree, &lib), &mut out);
+        assert!(out.iter().any(|d| d.code == "T002"), "{out:?}");
+        assert!(out.iter().all(|d| d.severity == crate::Severity::Warning));
+    }
+
+    #[test]
+    fn bad_pair_weight_is_t004() {
+        let (lib, mut tree) = fixture();
+        let pair = tree.sink_pairs()[0];
+        tree.set_sink_pairs(vec![SinkPair::with_weight(pair.a, pair.b, f64::NAN)]);
+        let mut out = Vec::new();
+        TimingSanityPass.run(&DesignCtx::new(&tree, &lib), &mut out);
+        assert!(out.iter().any(|d| d.code == "T004"), "{out:?}");
+    }
+}

@@ -1,0 +1,251 @@
+//! The pass registry and the report it produces.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::context::DesignCtx;
+use crate::diag::{Diagnostic, Severity};
+use crate::passes;
+
+/// One audit over a design snapshot. Passes append to the shared
+/// diagnostic list and must not panic on corrupt input — diagnosing
+/// corruption is their job.
+pub trait LintPass {
+    /// Stable pass name (kebab-case), shown in reports.
+    fn name(&self) -> &'static str;
+    /// One-line description of the invariant the pass checks.
+    fn description(&self) -> &'static str;
+    /// Runs the audit, appending findings to `out`.
+    fn run(&self, ctx: &DesignCtx, out: &mut Vec<Diagnostic>);
+}
+
+/// An ordered registry of lint passes.
+#[derive(Default)]
+pub struct LintRunner {
+    passes: Vec<Box<dyn LintPass>>,
+}
+
+impl LintRunner {
+    /// A runner with no passes registered.
+    pub fn empty() -> Self {
+        LintRunner::default()
+    }
+
+    /// A runner with the full default registry: structure, arc view,
+    /// geometry, parasitics and timing audits.
+    pub fn with_default_passes() -> Self {
+        let mut r = LintRunner::empty();
+        for p in passes::default_passes() {
+            r.register(p);
+        }
+        r
+    }
+
+    /// A cheap structural subset (structure, arc view, geometry) for
+    /// inner-loop gates where re-timing the tree would be too slow.
+    pub fn structural() -> Self {
+        let mut r = LintRunner::empty();
+        for p in passes::structural_passes() {
+            r.register(p);
+        }
+        r
+    }
+
+    /// Registers an additional pass at the end of the run order.
+    pub fn register(&mut self, pass: Box<dyn LintPass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// The names of the registered passes, in run order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// `(name, description)` of every registered pass, in run order.
+    pub fn pass_descriptions(&self) -> Vec<(&'static str, &'static str)> {
+        self.passes
+            .iter()
+            .map(|p| (p.name(), p.description()))
+            .collect()
+    }
+
+    /// Runs every pass over `ctx` and collects the findings.
+    pub fn run(&self, ctx: &DesignCtx) -> Report {
+        let mut diags = Vec::new();
+        for pass in &self.passes {
+            pass.run(ctx, &mut diags);
+        }
+        Report::from_diagnostics(diags)
+    }
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Wraps an explicit diagnostic list (used by the runner and by the
+    /// standalone LP auditors).
+    pub fn from_diagnostics(diags: Vec<Diagnostic>) -> Self {
+        Report { diags }
+    }
+
+    /// All findings, in pass order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Number of `Error` findings.
+    pub fn error_count(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of `Warning` findings.
+    pub fn warning_count(&self) -> usize {
+        self.diags.len() - self.error_count()
+    }
+
+    /// Whether any `Error` finding is present.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Whether the run found nothing at all.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// The distinct codes present, with their occurrence counts.
+    pub fn code_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for d in &self.diags {
+            *m.entry(d.code).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Whether a specific code was reported.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diags.iter().any(|d| d.code == code)
+    }
+
+    /// Plain-text rendering: one line per finding plus a summary line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            let _ = writeln!(out, "{d}");
+        }
+        let _ = writeln!(
+            out,
+            "lint: {} error(s), {} warning(s)",
+            self.error_count(),
+            self.warning_count()
+        );
+        out
+    }
+
+    /// JSON rendering (hand-rolled; the workspace carries no serializer
+    /// dependency): an object with `errors`, `warnings` and a
+    /// `diagnostics` array.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"errors\": {},", self.error_count());
+        let _ = writeln!(out, "  \"warnings\": {},", self.warning_count());
+        out.push_str("  \"diagnostics\": [\n");
+        for (i, d) in self.diags.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"code\": \"{}\", \"severity\": \"{}\", \"locus\": \"{}\", \"message\": \"{}\"}}",
+                escape_json(d.code),
+                d.severity,
+                escape_json(&d.locus.to_string()),
+                escape_json(&d.message)
+            );
+            out.push_str(if i + 1 < self.diags.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Locus;
+
+    fn sample() -> Report {
+        Report::from_diagnostics(vec![
+            Diagnostic::error("S001", Locus::Design, "a \"broken\" link".to_string()),
+            Diagnostic::warning("T002", Locus::Pair(2), "hot".to_string()),
+            Diagnostic::error("S001", Locus::Design, "again".to_string()),
+        ])
+    }
+
+    #[test]
+    fn counts_and_codes() {
+        let r = sample();
+        assert_eq!(r.error_count(), 2);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.has_errors());
+        assert!(!r.is_clean());
+        assert_eq!(r.code_counts().get("S001"), Some(&2));
+        assert!(r.has_code("T002"));
+        assert!(!r.has_code("G001"));
+    }
+
+    #[test]
+    fn text_rendering_has_summary() {
+        let text = sample().to_text();
+        assert!(text.contains("error [S001]"));
+        assert!(text.ends_with("lint: 2 error(s), 1 warning(s)\n"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let json = sample().to_json();
+        assert!(json.contains("\"errors\": 2,"));
+        assert!(json.contains("a \\\"broken\\\" link"));
+        assert!(json.contains("\"locus\": \"pair2\""));
+    }
+
+    #[test]
+    fn default_registry_is_populated() {
+        let full = LintRunner::with_default_passes();
+        let names = full.pass_names();
+        assert!(names.len() >= 10, "expected >= 10 passes, got {names:?}");
+        let structural = LintRunner::structural();
+        assert!(structural.pass_names().len() < names.len());
+        for (name, desc) in full.pass_descriptions() {
+            assert!(!name.is_empty() && !desc.is_empty());
+        }
+    }
+}

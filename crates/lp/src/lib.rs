@@ -29,6 +29,7 @@
 //! # Ok::<(), clk_lp::LpError>(())
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod simplex;
 
 pub use simplex::{solve, LpError, Problem, RowKind, Solution, VarId};

@@ -65,13 +65,39 @@ impl Problem {
     ///
     /// Panics if `lo > hi` or `cost` is not finite.
     pub fn add_var(&mut self, lo: f64, hi: f64, cost: f64) -> VarId {
-        assert!(lo <= hi, "variable bounds out of order: [{lo}, {hi}]");
-        assert!(cost.is_finite(), "objective coefficient must be finite");
+        match self.try_add_var(lo, hi, cost) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Problem::add_var`].
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::BadProblem`] if `lo > hi`, a bound is NaN, or `cost` is
+    /// not finite.
+    pub fn try_add_var(&mut self, lo: f64, hi: f64, cost: f64) -> Result<VarId, LpError> {
+        if lo.is_nan() || hi.is_nan() {
+            return Err(LpError::BadProblem(format!(
+                "variable bound is NaN: [{lo}, {hi}]"
+            )));
+        }
+        if lo > hi {
+            return Err(LpError::BadProblem(format!(
+                "variable bounds out of order: [{lo}, {hi}]"
+            )));
+        }
+        if !cost.is_finite() {
+            return Err(LpError::BadProblem(format!(
+                "objective coefficient must be finite, got {cost}"
+            )));
+        }
         self.lo.push(lo);
         self.hi.push(hi);
         self.cost.push(cost);
         self.cols.push(Vec::new());
-        VarId(self.cols.len() - 1)
+        Ok(VarId(self.cols.len() - 1))
     }
 
     /// Adds a constraint row `Σ coef·var (kind) rhs`. Duplicate variable
@@ -82,13 +108,43 @@ impl Problem {
     /// Panics if `rhs` or a coefficient is not finite, or a variable is
     /// unknown.
     pub fn add_row(&mut self, kind: RowKind, rhs: f64, terms: &[(VarId, f64)]) {
-        assert!(rhs.is_finite(), "rhs must be finite");
+        if let Err(e) = self.try_add_row(kind, rhs, terms) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible variant of [`Problem::add_row`]. On error the problem is
+    /// left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::BadProblem`] if `rhs` or a coefficient is not finite, or
+    /// a term references an unknown variable.
+    pub fn try_add_row(
+        &mut self,
+        kind: RowKind,
+        rhs: f64,
+        terms: &[(VarId, f64)],
+    ) -> Result<(), LpError> {
+        if !rhs.is_finite() {
+            return Err(LpError::BadProblem(format!(
+                "rhs must be finite, got {rhs}"
+            )));
+        }
+        for &(v, a) in terms {
+            if !a.is_finite() {
+                return Err(LpError::BadProblem(format!(
+                    "coefficient of {v:?} must be finite, got {a}"
+                )));
+            }
+            if v.0 >= self.cols.len() {
+                return Err(LpError::BadProblem(format!("unknown variable {v:?}")));
+            }
+        }
         let row = self.rows.len();
         self.rows.push((kind, rhs));
         let mut merged: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
         for &(v, a) in terms {
-            assert!(a.is_finite(), "coefficient must be finite");
-            assert!(v.0 < self.cols.len(), "unknown variable {v:?}");
             *merged.entry(v.0).or_insert(0.0) += a;
         }
         for (v, a) in merged {
@@ -96,6 +152,7 @@ impl Problem {
                 self.cols[v].push((row, a));
             }
         }
+        Ok(())
     }
 
     /// Number of variables.
@@ -106,6 +163,81 @@ impl Problem {
     /// Number of rows.
     pub fn num_rows(&self) -> usize {
         self.rows.len()
+    }
+
+    /// The `[lo, hi]` bounds of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is out of range.
+    pub fn bounds(&self, v: VarId) -> (f64, f64) {
+        (self.lo[v.0], self.hi[v.0])
+    }
+
+    /// The objective coefficient of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is out of range.
+    pub fn cost(&self, v: VarId) -> f64 {
+        self.cost[v.0]
+    }
+
+    /// The relation and right-hand side of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is out of range.
+    pub fn row(&self, i: usize) -> (RowKind, f64) {
+        self.rows[i]
+    }
+
+    /// The sparse column of a variable as `(row, coefficient)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is out of range.
+    pub fn col(&self, v: VarId) -> &[(usize, f64)] {
+        &self.cols[v.0]
+    }
+
+    // ---- corruption hooks (lint-engine test support) ------------------
+    //
+    // These bypass `add_var`/`add_row` validation on purpose so the
+    // model-audit tests in `clk-lint` can build numerically poisoned
+    // problems and assert that the auditor diagnoses them. Hidden from
+    // docs; must never be called by flow code.
+
+    /// Overwrites a variable's bounds without validation.
+    #[doc(hidden)]
+    pub fn debug_poison_bounds(&mut self, v: VarId, lo: f64, hi: f64) {
+        self.lo[v.0] = lo;
+        self.hi[v.0] = hi;
+    }
+
+    /// Overwrites a variable's objective coefficient without validation.
+    #[doc(hidden)]
+    pub fn debug_poison_cost(&mut self, v: VarId, cost: f64) {
+        self.cost[v.0] = cost;
+    }
+
+    /// Overwrites a row's right-hand side without validation.
+    #[doc(hidden)]
+    pub fn debug_poison_rhs(&mut self, i: usize, rhs: f64) {
+        self.rows[i].1 = rhs;
+    }
+
+    /// Overwrites one structural coefficient without validation. The term
+    /// `(row, coefficient)` must already exist in the variable's column.
+    #[doc(hidden)]
+    pub fn debug_poison_coeff(&mut self, v: VarId, row: usize, a: f64) {
+        for t in &mut self.cols[v.0] {
+            if t.0 == row {
+                t.1 = a;
+                return;
+            }
+        }
+        panic!("no existing term for {v:?} in row {row}");
     }
 }
 
@@ -170,8 +302,8 @@ impl Tableau {
         let m = self.m;
         let mut w = vec![0.0; m];
         for &(r, a) in &self.cols[j] {
-            for i in 0..m {
-                w[i] += self.binv[i * m + r] * a;
+            for (i, wi) in w.iter_mut().enumerate() {
+                *wi += self.binv[i * m + r] * a;
             }
         }
         w
@@ -220,9 +352,8 @@ impl Tableau {
             let bland = degen_streak > 2 * self.m + 20;
             let mut enter: Option<(usize, f64, f64)> = None; // (var, dir, |d|)
             for j in 0..n {
-                match self.state[j] {
-                    State::Basic => continue,
-                    _ => {}
+                if self.state[j] == State::Basic {
+                    continue;
                 }
                 if self.lo[j] == self.hi[j] {
                     continue; // fixed
@@ -239,7 +370,7 @@ impl Tableau {
                     enter = Some((j, dir, d.abs()));
                     break;
                 }
-                if enter.map_or(true, |(_, _, best)| d.abs() > best) {
+                if enter.is_none_or(|(_, _, best)| d.abs() > best) {
                     enter = Some((j, dir, d.abs()));
                 }
             }
@@ -287,12 +418,7 @@ impl Tableau {
                     f64::INFINITY
                 };
                 let ti = ti.max(0.0);
-                if ti < t - TOL
-                    || (ti < t + TOL && leave.map_or(false, |r| b < self.basis[r]) && bland)
-                {
-                    t = ti;
-                    leave = Some(i);
-                } else if ti < t {
+                if ti < t || (ti < t + TOL && leave.is_some_and(|r| b < self.basis[r]) && bland) {
                     t = ti;
                     leave = Some(i);
                 }
@@ -347,13 +473,10 @@ impl Tableau {
                     for k in 0..m {
                         self.binv[r * m + k] /= piv;
                     }
-                    for i in 0..m {
-                        if i != r {
-                            let f = w[i];
-                            if f != 0.0 {
-                                for k in 0..m {
-                                    self.binv[i * m + k] -= f * self.binv[r * m + k];
-                                }
+                    for (i, &f) in w.iter().enumerate() {
+                        if i != r && f != 0.0 {
+                            for k in 0..m {
+                                self.binv[i * m + k] -= f * self.binv[r * m + k];
                             }
                         }
                     }
@@ -509,8 +632,8 @@ pub fn solve(p: &Problem) -> Result<Solution, LpError> {
 
     // --- extract ---
     let mut x = vec![0.0; n_struct];
-    for j in 0..n_struct {
-        x[j] = match t.state[j] {
+    for (j, xj) in x.iter_mut().enumerate() {
+        *xj = match t.state[j] {
             State::Basic => 0.0, // filled below
             State::AtLower => t.lo[j],
             State::AtUpper => t.hi[j],

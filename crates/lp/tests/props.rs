@@ -58,7 +58,7 @@ proptest! {
         let mut best = 0.0;
         for i in order {
             let (w, v) = items[i];
-            let take = (room / w).min(1.0).max(0.0);
+            let take = (room / w).clamp(0.0, 1.0);
             best += take * v;
             room -= take * w;
             if room <= 0.0 {

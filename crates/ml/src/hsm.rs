@@ -97,7 +97,7 @@ mod tests {
 
     #[test]
     fn picks_the_better_model() {
-        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![f64::from(i)]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] + 1.0).collect();
         let good = Affine(2.0, 1.0);
         let bad = Affine(-1.0, 5.0);
@@ -109,7 +109,7 @@ mod tests {
     #[test]
     fn blend_beats_each_base_when_errors_cancel() {
         // truth = x; model A overshoots by +1, model B undershoots by -1
-        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![f64::from(i)]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
         let a = Affine(1.0, 1.0);
         let b = Affine(1.0, -1.0);
@@ -121,7 +121,7 @@ mod tests {
 
     #[test]
     fn weights_sum_to_one() {
-        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![f64::from(i)]).collect();
         let ys = vec![0.0; 5];
         let h = Hsm::blend(
             vec![Affine(1.0, 0.0), Affine(0.5, 0.2), Affine(0.0, 0.0)],

@@ -35,6 +35,7 @@
 //! assert!(err < 0.15, "err = {err}");
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod cv;
 pub mod hsm;
 pub mod linalg;

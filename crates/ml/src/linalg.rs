@@ -126,8 +126,7 @@ impl Matrix {
             perm.swap(col, best);
             let prow = perm[col];
             let pivot = a[prow * n + col];
-            for r in (col + 1)..n {
-                let row = perm[r];
+            for &row in &perm[(col + 1)..] {
                 let f = a[row * n + col] / pivot;
                 if f == 0.0 {
                     continue;
@@ -323,7 +322,7 @@ mod tests {
 
     #[test]
     fn polyfit_recovers_exact_cubic() {
-        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.5).collect();
+        let xs: Vec<f64> = (0..20).map(|i| f64::from(i) * 0.5).collect();
         let truth = [1.5, -2.0, 0.25, 0.125];
         let ys: Vec<f64> = xs.iter().map(|&x| polyval(&truth, x)).collect();
         let c = polyfit(&xs, &ys, 3);

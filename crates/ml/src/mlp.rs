@@ -196,7 +196,7 @@ mod tests {
 
     fn grid() -> (Vec<Vec<f64>>, Vec<f64>) {
         let xs: Vec<Vec<f64>> = (0..144)
-            .map(|i| vec![(i % 12) as f64 / 12.0, (i / 12) as f64 / 12.0])
+            .map(|i| vec![f64::from(i % 12) / 12.0, f64::from(i / 12) / 12.0])
             .collect();
         let ys = xs.iter().map(|x| 1.0 + 2.0 * x[0] - 3.0 * x[1]).collect();
         (xs, ys)
@@ -212,7 +212,7 @@ mod tests {
 
     #[test]
     fn learns_mild_nonlinearity() {
-        let xs: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 100.0 - 1.0]).collect();
+        let xs: Vec<Vec<f64>> = (0..200).map(|i| vec![f64::from(i) / 100.0 - 1.0]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[0]).collect();
         let cfg = MlpConfig {
             epochs: 400,

@@ -87,7 +87,7 @@ mod tests {
 
     #[test]
     fn interpolates_with_large_c() {
-        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 10.0]).collect();
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![f64::from(i) / 10.0]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| (x[0]).sin()).collect();
         let m = LsSvm::train(&xs, &ys, 2.0, 1e6);
         for (x, y) in xs.iter().zip(&ys) {
@@ -97,11 +97,11 @@ mod tests {
 
     #[test]
     fn generalizes_smooth_function() {
-        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 8.0]).collect();
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![f64::from(i) / 8.0]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| (x[0]).sin() + 0.5 * x[0]).collect();
         let m = LsSvm::train(&xs, &ys, 1.0, 100.0);
         // off-grid points
-        let test_x: Vec<Vec<f64>> = (0..39).map(|i| vec![i as f64 / 8.0 + 0.06]).collect();
+        let test_x: Vec<Vec<f64>> = (0..39).map(|i| vec![f64::from(i) / 8.0 + 0.06]).collect();
         let test_y: Vec<f64> = test_x.iter().map(|x| (x[0]).sin() + 0.5 * x[0]).collect();
         let preds = m.predict_batch(&test_x);
         assert!(mse(&preds, &test_y) < 1e-3, "mse {}", mse(&preds, &test_y));
@@ -120,7 +120,7 @@ mod tests {
     #[test]
     fn multi_dimensional_inputs() {
         let xs: Vec<Vec<f64>> = (0..25)
-            .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
+            .map(|i| vec![f64::from(i % 5), f64::from(i / 5)])
             .collect();
         let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0 - x[1]).collect();
         let m = LsSvm::train(&xs, &ys, 0.3, 1e4);

@@ -42,7 +42,7 @@ proptest! {
     /// polyfit recovers polynomials it generated, for any degree ≤ 3.
     #[test]
     fn polyfit_recovers(coeffs in prop::collection::vec(-3.0f64..3.0, 1..5)) {
-        let xs: Vec<f64> = (0..25).map(|i| i as f64 * 0.37 - 3.0).collect();
+        let xs: Vec<f64> = (0..25).map(|i| f64::from(i) * 0.37 - 3.0).collect();
         let ys: Vec<f64> = xs.iter().map(|&x| polyval(&coeffs, x)).collect();
         let fit = polyfit(&xs, &ys, coeffs.len() - 1);
         for (&x, &y) in xs.iter().zip(&ys) {

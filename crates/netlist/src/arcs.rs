@@ -155,8 +155,8 @@ impl ArcSet {
 /// the paper's Algorithm 1 (lines 2 and 19).
 ///
 /// Positions are **not** legalized here; callers legalize with a
-/// [`crate::Floorplan`] and then, if desired, re-route. Returns the new
-/// interior node ids.
+/// [`crate::Floorplan`] and then, if desired, re-route — or use
+/// [`rebuild_arc_legalized`]. Returns the new interior node ids.
 ///
 /// # Errors
 ///
@@ -173,6 +173,41 @@ pub fn rebuild_arc(
     cell: CellId,
     n_inverters: usize,
     path: RoutePath,
+) -> Result<Vec<NodeId>, TreeError> {
+    rebuild_arc_impl(tree, arc, cell, n_inverters, path, None)
+}
+
+/// [`rebuild_arc`] with placement legalization: every inserted inverter
+/// is snapped to a legal site of `fp`, and the route pieces get small
+/// L-shape jogs so segment endpoints still meet the actual locations.
+///
+/// # Errors
+///
+/// [`TreeError::RouteEndpointMismatch`] if `path` endpoints do not match
+/// the junction locations.
+///
+/// # Panics
+///
+/// Panics if `arc` does not describe the current chain between its
+/// junctions (the arc set is stale).
+pub fn rebuild_arc_legalized(
+    tree: &mut ClockTree,
+    arc: &Arc,
+    cell: CellId,
+    n_inverters: usize,
+    path: RoutePath,
+    fp: &crate::Floorplan,
+) -> Result<Vec<NodeId>, TreeError> {
+    rebuild_arc_impl(tree, arc, cell, n_inverters, path, Some(fp))
+}
+
+fn rebuild_arc_impl(
+    tree: &mut ClockTree,
+    arc: &Arc,
+    cell: CellId,
+    n_inverters: usize,
+    path: RoutePath,
+    fp: Option<&crate::Floorplan>,
 ) -> Result<Vec<NodeId>, TreeError> {
     if path.start() != tree.loc(arc.from) || path.end() != tree.loc(arc.to) {
         return Err(TreeError::RouteEndpointMismatch(arc.to));
@@ -193,27 +228,45 @@ pub fn rebuild_arc(
     }
     // After splicing removals, `to` hangs directly under `from`.
     debug_assert_eq!(tree.parent(arc.to), Some(arc.from));
-    // Insert the new chain with exact sub-path routes.
+    // Insert the new chain: exact sub-path routes at the uniform split
+    // points, jogged to the legal sites when a floorplan is given.
     let total = path.length_dbu();
     let n = n_inverters;
     let mut new_ids = Vec::with_capacity(n);
     let mut prev = arc.from;
     let mut prev_d = 0;
+    let mut prev_loc = tree.loc(arc.from);
     for k in 1..=n {
         let d = total * k as i64 / (n as i64 + 1);
-        let pos = path.locate(d);
-        let seg = path.sub_path(prev_d, d);
+        let ideal = path.locate(d);
+        let pos = fp.map_or(ideal, |f| f.legalize(ideal));
+        let seg = jogged(path.sub_path(prev_d, d), prev_loc, pos);
         let id = tree.add_node_with_route(NodeKind::Buffer(cell), pos, prev, seg)?;
         new_ids.push(id);
         prev = id;
         prev_d = d;
+        prev_loc = pos;
     }
     // Reattach `to` under the last new inverter with the final segment.
     if prev != arc.from {
         tree.set_parent(arc.to, prev)?;
     }
-    tree.set_route(arc.to, path.sub_path(prev_d, total))?;
+    let last = jogged(path.sub_path(prev_d, total), prev_loc, tree.loc(arc.to));
+    tree.set_route(arc.to, last)?;
     Ok(new_ids)
+}
+
+/// `seg` with L-shape jogs patched on either end so it runs exactly from
+/// `start` to `end` (a no-op when the endpoints already match).
+fn jogged(seg: RoutePath, start: clk_geom::Point, end: clk_geom::Point) -> RoutePath {
+    let mut seg = seg;
+    if seg.start() != start {
+        seg = RoutePath::l_shape(start, seg.start()).join(&seg);
+    }
+    if seg.end() != end {
+        seg = seg.join(&RoutePath::l_shape(seg.end(), end));
+    }
+    seg
 }
 
 #[cfg(test)]

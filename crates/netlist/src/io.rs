@@ -166,7 +166,7 @@ pub fn parse_ctree(text: &str, lib: &Library) -> Result<ClockTree, ParseCtreeErr
                     .get(rest[3])
                     .ok_or_else(|| fail(ln, "parent not yet defined"))?;
                 let pts: Vec<i64> = rest[5..].iter().map(|s| int(s)).collect::<Result<_, _>>()?;
-                if pts.len() < 4 || pts.len() % 2 != 0 {
+                if pts.len() < 4 || !pts.len().is_multiple_of(2) {
                     return Err(fail(ln, "route needs >= 2 points"));
                 }
                 let route_pts: Vec<Point> = pts.chunks(2).map(|c| Point::new(c[0], c[1])).collect();
@@ -335,7 +335,12 @@ mod tests {
         // total wirelength identical (routes preserved, incl. the detour)
         let wl = |t: &ClockTree| -> f64 {
             t.node_ids()
-                .filter_map(|n| t.node(n).route.as_ref().map(|r| r.length_um()))
+                .filter_map(|n| {
+                    t.node(n)
+                        .route
+                        .as_ref()
+                        .map(clk_route::RoutePath::length_um)
+                })
                 .sum()
         };
         assert!((wl(&t) - wl(&back)).abs() < 1e-9);

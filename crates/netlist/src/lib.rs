@@ -35,6 +35,7 @@
 //! tree.validate().expect("well-formed tree");
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod arcs;
 pub mod io;
 pub mod pairs;
@@ -42,7 +43,7 @@ pub mod place;
 pub mod stats;
 pub mod tree;
 
-pub use arcs::{rebuild_arc, Arc, ArcId, ArcSet};
+pub use arcs::{rebuild_arc, rebuild_arc_legalized, Arc, ArcId, ArcSet};
 pub use pairs::SinkPair;
 pub use place::Floorplan;
 pub use stats::TreeStats;

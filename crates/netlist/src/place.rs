@@ -106,8 +106,8 @@ impl Floorplan {
     fn die_grid(&self) -> Rect {
         let lo = Point::new(
             self.die.lo.x.div_euclid(SITE_W) * SITE_W
-                + ((self.die.lo.x % SITE_W != 0) as Dbu) * SITE_W,
-            self.die.lo.y.div_euclid(ROW_H) * ROW_H + ((self.die.lo.y % ROW_H != 0) as Dbu) * ROW_H,
+                + Dbu::from(self.die.lo.x % SITE_W != 0) * SITE_W,
+            self.die.lo.y.div_euclid(ROW_H) * ROW_H + Dbu::from(self.die.lo.y % ROW_H != 0) * ROW_H,
         );
         let hi = Point::new(
             self.die.hi.x.div_euclid(SITE_W) * SITE_W,

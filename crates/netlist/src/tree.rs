@@ -424,36 +424,51 @@ impl ClockTree {
 
     /// Structural validation; see [`TreeError`] for the conditions.
     ///
+    /// Thin wrapper over [`ClockTree::validate_all`] kept for the many
+    /// call sites that only care about pass/fail; the full audit (every
+    /// violation, with diagnostic codes) lives in the `clk-lint` crate's
+    /// structural pass, which consumes [`ClockTree::validate_all`].
+    ///
     /// # Errors
     ///
     /// The first violation found.
     pub fn validate(&self) -> Result<(), TreeError> {
+        match self.validate_all().into_iter().next() {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Exhaustive structural validation: every violation, not just the
+    /// first. An empty vector means the tree is well-formed.
+    pub fn validate_all(&self) -> Vec<TreeError> {
+        let mut errs = Vec::new();
         // parent/child symmetry and route endpoints
         for id in self.node_ids() {
             let n = self.node(id);
             if let Some(p) = n.parent {
                 if !self.is_alive(p) {
-                    return Err(TreeError::DeadNode(p));
-                }
-                if !self.node(p).children.contains(&id) {
-                    return Err(TreeError::Inconsistent(id));
-                }
-                match &n.route {
-                    Some(r) if r.start() == self.node(p).loc && r.end() == n.loc => {}
-                    _ => return Err(TreeError::RouteEndpointMismatch(id)),
+                    errs.push(TreeError::DeadNode(p));
+                } else {
+                    if !self.node(p).children.contains(&id) {
+                        errs.push(TreeError::Inconsistent(id));
+                    }
+                    match &n.route {
+                        Some(r) if r.start() == self.node(p).loc && r.end() == n.loc => {}
+                        _ => errs.push(TreeError::RouteEndpointMismatch(id)),
+                    }
                 }
             } else if id != self.root {
-                return Err(TreeError::Unreachable(id));
+                errs.push(TreeError::Unreachable(id));
             }
             if n.kind == NodeKind::Sink && !n.children.is_empty() {
-                return Err(TreeError::SinkHasChildren(id));
+                errs.push(TreeError::SinkHasChildren(id));
             }
             for &c in &n.children {
                 if !self.is_alive(c) {
-                    return Err(TreeError::DeadNode(c));
-                }
-                if self.node(c).parent != Some(id) {
-                    return Err(TreeError::Inconsistent(c));
+                    errs.push(TreeError::DeadNode(c));
+                } else if self.node(c).parent != Some(id) {
+                    errs.push(TreeError::Inconsistent(c));
                 }
             }
         }
@@ -464,20 +479,56 @@ impl ClockTree {
         let mut count = 0usize;
         while let Some(n) = stack.pop() {
             if seen[n.0 as usize] {
-                return Err(TreeError::Inconsistent(n));
+                errs.push(TreeError::Inconsistent(n));
+                continue;
             }
             seen[n.0 as usize] = true;
             count += 1;
             stack.extend_from_slice(&self.node(n).children);
         }
         if count != self.len() {
-            let lost = self
-                .node_ids()
-                .find(|&id| !seen[id.0 as usize])
-                .expect("some node is unreachable");
-            return Err(TreeError::Unreachable(lost));
+            for id in self.node_ids().filter(|&id| !seen[id.0 as usize]) {
+                errs.push(TreeError::Unreachable(id));
+            }
         }
-        Ok(())
+        errs
+    }
+
+    // ---- corruption hooks (lint-engine test support) ------------------
+    //
+    // These bypass the editing API's invariants on purpose so the
+    // corruption-injection tests in `clk-lint` can produce structurally
+    // broken databases and assert that the linter diagnoses them. They
+    // are hidden from docs and must never be called by flow code.
+
+    /// Removes `child` from `parent`'s child list without touching the
+    /// child's parent pointer (creates an Inconsistent link).
+    #[doc(hidden)]
+    pub fn debug_unlink_child(&mut self, parent: NodeId, child: NodeId) {
+        self.nodes[parent.0 as usize]
+            .children
+            .retain(|&c| c != child);
+    }
+
+    /// Overwrites a node's parent pointer directly (can orphan a subtree
+    /// or create a cycle).
+    #[doc(hidden)]
+    pub fn debug_set_parent_raw(&mut self, id: NodeId, parent: Option<NodeId>) {
+        self.nodes[id.0 as usize].parent = parent;
+    }
+
+    /// Appends to a node's child list directly (can duplicate links or
+    /// close a cycle).
+    #[doc(hidden)]
+    pub fn debug_add_child_raw(&mut self, parent: NodeId, child: NodeId) {
+        self.nodes[parent.0 as usize].children.push(child);
+    }
+
+    /// Moves a node without rerouting or legalizing (stale route
+    /// endpoints, off-grid placement).
+    #[doc(hidden)]
+    pub fn debug_set_loc_raw(&mut self, id: NodeId, loc: Point) {
+        self.nodes[id.0 as usize].loc = loc;
     }
 }
 

@@ -32,6 +32,7 @@
 //! assert_eq!(q.length_dbu(), 17_000);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod path;
 pub mod steiner;
 pub mod tree;

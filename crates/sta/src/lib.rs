@@ -33,6 +33,7 @@
 //! assert!(timing.arrival_ps(s) > 0.0);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod power;
 pub mod report;
 pub mod skew;
@@ -42,4 +43,4 @@ pub use power::{clock_power, PowerReport};
 pub use skew::{
     alpha_factors, local_skew_ps, pair_skews, skew_ratios, variation_report, VariationReport,
 };
-pub use timer::{arc_delays_ps, CornerTiming, Timer, TimerOptions, Violation};
+pub use timer::{arc_delays_ps, CornerTiming, Timer, TimerOptions, TimingError, Violation};

@@ -24,8 +24,7 @@ pub fn pair_skews(timing: &CornerTiming, pairs: &[SinkPair]) -> Vec<f64> {
 pub fn alpha_factors(per_corner_skews: &[Vec<f64>]) -> Vec<f64> {
     let base: f64 = per_corner_skews
         .first()
-        .map(|s| s.iter().map(|v| v.abs()).sum())
-        .unwrap_or(0.0);
+        .map_or(0.0, |s| s.iter().map(|v| v.abs()).sum());
     per_corner_skews
         .iter()
         .map(|sk| {
@@ -66,22 +65,24 @@ pub fn variation_report(
 ) -> VariationReport {
     let k = per_corner_skews.len();
     assert_eq!(k, alphas.len(), "one alpha per corner");
-    let n = per_corner_skews.first().map(|v| v.len()).unwrap_or(0);
+    let n = per_corner_skews.first().map_or(0, std::vec::Vec::len);
     for sk in per_corner_skews {
         assert_eq!(sk.len(), n, "equal pair counts per corner");
     }
-    let mut per_pair = Vec::with_capacity(n);
-    for i in 0..n {
-        let mut worst: f64 = 0.0;
-        for a in 0..k {
-            for b in (a + 1)..k {
-                let v =
-                    (alphas[a] * per_corner_skews[a][i] - alphas[b] * per_corner_skews[b][i]).abs();
-                worst = worst.max(v);
+    let per_pair: Vec<f64> = (0..n)
+        .map(|i| {
+            let mut worst: f64 = 0.0;
+            for a in 0..k {
+                for b in (a + 1)..k {
+                    let v = (alphas[a] * per_corner_skews[a][i]
+                        - alphas[b] * per_corner_skews[b][i])
+                        .abs();
+                    worst = worst.max(v);
+                }
             }
-        }
-        per_pair.push(worst);
-    }
+            worst
+        })
+        .collect();
     let sum = per_pair
         .iter()
         .enumerate()

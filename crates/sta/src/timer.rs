@@ -50,6 +50,41 @@ pub enum Violation {
     },
 }
 
+/// Errors from the fallible analysis entry points ([`Timer::try_analyze`],
+/// [`CornerTiming::try_arrival_ps`], ...). The panicking variants keep
+/// their historical behaviour by delegating to these and unwrapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimingError {
+    /// A node with fanout is neither a source nor a buffer, so it has no
+    /// driving cell (structurally corrupt tree).
+    NoDriverCell(NodeId),
+    /// A non-root node carries no route, so its net cannot be extracted.
+    MissingRoute(NodeId),
+    /// A source node appeared as somebody's child.
+    SourceHasParent(NodeId),
+    /// A queried arrival or slew is not finite (dead or unreachable node,
+    /// or a numerically poisoned analysis).
+    NonFinite {
+        /// The node queried.
+        node: NodeId,
+        /// Which quantity was non-finite (`"arrival"` or `"slew"`).
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for TimingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimingError::NoDriverCell(n) => write!(f, "node {n} drives fanout but has no cell"),
+            TimingError::MissingRoute(n) => write!(f, "non-root node {n} has no route"),
+            TimingError::SourceHasParent(n) => write!(f, "source node {n} has a parent"),
+            TimingError::NonFinite { node, what } => write!(f, "no finite {what} at {node}"),
+        }
+    }
+}
+
+impl std::error::Error for TimingError {}
+
 /// The result of analyzing one corner: arrivals and slews at every node
 /// input, loads at every driver, and net capacitance totals (for power).
 #[derive(Debug, Clone)]
@@ -75,9 +110,28 @@ impl CornerTiming {
     ///
     /// Panics if the node was dead or unreachable during analysis.
     pub fn arrival_ps(&self, id: NodeId) -> f64 {
+        match self.try_arrival_ps(id) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`CornerTiming::arrival_ps`].
+    ///
+    /// # Errors
+    ///
+    /// [`TimingError::NonFinite`] if the node was dead or unreachable
+    /// during analysis.
+    pub fn try_arrival_ps(&self, id: NodeId) -> Result<f64, TimingError> {
         let v = self.arrival_ps[id.0 as usize];
-        assert!(v.is_finite(), "no arrival at {id}");
-        v
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(TimingError::NonFinite {
+                node: id,
+                what: "arrival",
+            })
+        }
     }
 
     /// Input transition at the node, ps.
@@ -86,9 +140,28 @@ impl CornerTiming {
     ///
     /// Panics if the node was dead or unreachable during analysis.
     pub fn slew_ps(&self, id: NodeId) -> f64 {
+        match self.try_slew_ps(id) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`CornerTiming::slew_ps`].
+    ///
+    /// # Errors
+    ///
+    /// [`TimingError::NonFinite`] if the node was dead or unreachable
+    /// during analysis.
+    pub fn try_slew_ps(&self, id: NodeId) -> Result<f64, TimingError> {
         let v = self.slew_ps[id.0 as usize];
-        assert!(v.is_finite(), "no slew at {id}");
-        v
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(TimingError::NonFinite {
+                node: id,
+                what: "slew",
+            })
+        }
     }
 
     /// Load capacitance a driving node sees (0 for sinks), fF.
@@ -141,7 +214,32 @@ impl Timer {
     }
 
     /// Analyzes `tree` at `corner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is structurally corrupt (fanout without a
+    /// driving cell, or a non-root node without a route). Use
+    /// [`Timer::try_analyze`] to get a [`TimingError`] instead.
     pub fn analyze(&self, tree: &ClockTree, lib: &Library, corner: CornerId) -> CornerTiming {
+        match self.try_analyze(tree, lib, corner) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Timer::analyze`].
+    ///
+    /// # Errors
+    ///
+    /// [`TimingError`] when the tree cannot be timed: a node with fanout
+    /// has no driving cell, a non-root node carries no route, or a source
+    /// appears as a child.
+    pub fn try_analyze(
+        &self,
+        tree: &ClockTree,
+        lib: &Library,
+        corner: CornerId,
+    ) -> Result<CornerTiming, TimingError> {
         let n = tree
             .node_ids()
             .map(|id| id.0 as usize + 1)
@@ -170,7 +268,7 @@ impl Timer {
             if children.is_empty() {
                 continue;
             }
-            let cell = tree.cell(d).expect("drivers are source or buffer");
+            let cell = tree.cell(d).ok_or(TimingError::NoDriverCell(d))?;
             let t_in = out.arrival_ps[d.0 as usize];
             let s_in = out.slew_ps[d.0 as usize];
 
@@ -179,7 +277,11 @@ impl Timer {
             let mut ends = Vec::with_capacity(children.len());
             let mut loads = Vec::with_capacity(children.len());
             for &c in children {
-                let route = tree.node(c).route.as_ref().expect("non-root has route");
+                let route = tree
+                    .node(c)
+                    .route
+                    .as_ref()
+                    .ok_or(TimingError::MissingRoute(c))?;
                 let mut prev = WireTree::ROOT;
                 for &p in &route.points()[1..] {
                     prev = wt.add_child(prev, p);
@@ -187,7 +289,7 @@ impl Timer {
                 let pin_cap = match tree.node(c).kind {
                     NodeKind::Buffer(cc) => lib.cell(cc).input_cap_ff,
                     NodeKind::Sink => lib.sink_cap_ff(),
-                    NodeKind::Source => unreachable!("source has no parent"),
+                    NodeKind::Source => return Err(TimingError::SourceHasParent(c)),
                 };
                 ends.push((c, prev));
                 loads.push((prev, pin_cap));
@@ -229,13 +331,33 @@ impl Timer {
                 stack.push(c);
             }
         }
-        out
+        Ok(out)
     }
 
     /// Analyzes every corner of `lib`, in corner order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on structurally corrupt trees; see [`Timer::analyze`].
     pub fn analyze_all(&self, tree: &ClockTree, lib: &Library) -> Vec<CornerTiming> {
         lib.corner_ids()
             .map(|c| self.analyze(tree, lib, c))
+            .collect()
+    }
+
+    /// Fallible variant of [`Timer::analyze_all`]: stops at the first
+    /// corner that cannot be timed.
+    ///
+    /// # Errors
+    ///
+    /// The first [`TimingError`] encountered, if any.
+    pub fn try_analyze_all(
+        &self,
+        tree: &ClockTree,
+        lib: &Library,
+    ) -> Result<Vec<CornerTiming>, TimingError> {
+        lib.corner_ids()
+            .map(|c| self.try_analyze(tree, lib, c))
             .collect()
     }
 }

@@ -119,3 +119,144 @@ proptest! {
         prop_assert!(s.is_finite() && s > 0.0);
     }
 }
+
+// ---- corruption injection: the lint engine must catch every planted
+// defect class, and must stay silent on freshly generated designs -------
+
+use clk_cts::{Testcase, TestcaseKind};
+use clk_lint::{audit_rc_tree, DesignCtx, LintRunner};
+use clk_netlist::{NodeId, SinkPair};
+
+/// Picks a buffer that has both a parent and a grandparent.
+fn deep_buffer(tree: &ClockTree) -> NodeId {
+    tree.buffers()
+        .find(|&b| tree.parent(b).and_then(|p| tree.parent(p)).is_some())
+        .expect("CTS trees have multi-level buffers")
+}
+
+/// A planted defect: (expected stable code, injection).
+type Defect = (&'static str, fn(&mut ClockTree));
+
+/// The planted-defect catalogue. Every entry corrupts a clone of a
+/// fresh, clean testcase tree.
+fn defect_catalogue() -> Vec<Defect> {
+    vec![
+        // detached child link: parent loses the child, child keeps parent
+        ("S001", |t| {
+            let b = deep_buffer(t);
+            let p = t.parent(b).expect("deep buffer has parent");
+            t.debug_unlink_child(p, b);
+        }),
+        // orphaned subtree: no parent link at all on a non-root node
+        ("S002", |t| {
+            let b = deep_buffer(t);
+            let p = t.parent(b).expect("deep buffer has parent");
+            t.debug_unlink_child(p, b);
+            t.debug_set_parent_raw(b, None);
+        }),
+        // cycle: a two-node loop cut loose from the root
+        ("S002", |t| {
+            let b = deep_buffer(t);
+            let p = t.parent(b).expect("deep buffer has parent");
+            let g = t.parent(p).expect("deep buffer has grandparent");
+            t.debug_unlink_child(g, p);
+            t.debug_set_parent_raw(p, Some(b));
+            t.debug_add_child_raw(b, p);
+        }),
+        // a sink with fanout
+        ("S003", |t| {
+            let sinks: Vec<NodeId> = t.sinks().collect();
+            t.debug_add_child_raw(sinks[0], sinks[1]);
+        }),
+        // node teleported without rerouting: stale route endpoints
+        ("G002", |t| {
+            let b = deep_buffer(t);
+            let l = t.loc(b);
+            t.debug_set_loc_raw(b, Point::new(l.x + 7_000, l.y + 13_000));
+        }),
+        // node teleported outside the die
+        ("G003", |t| {
+            let b = deep_buffer(t);
+            t.debug_set_loc_raw(b, Point::new(-50_000, -50_000));
+        }),
+        // legal move to an off-grid location (routes stay consistent)
+        ("G005", |t| {
+            let b = deep_buffer(t);
+            let l = t.loc(b);
+            t.move_node(b, Point::new(l.x + 1, l.y + 3)).expect("move");
+        }),
+        // a sink grafted one inverter level up: skipping exactly one
+        // inverter of a real sink's chain flips its parity
+        ("A005", |t| {
+            let s = t.sinks().next().expect("has sinks");
+            let p = t.parent(s).expect("sink has parent");
+            let g = t.parent(p).expect("leaf driver has parent");
+            let l = t.loc(g);
+            t.add_node(NodeKind::Sink, Point::new(l.x + 2_000, l.y + 2_000), g);
+        }),
+        // NaN pair weight
+        ("T004", |t| {
+            let pair = t.sink_pairs()[0];
+            t.set_sink_pairs(vec![SinkPair::with_weight(pair.a, pair.b, f64::NAN)]);
+        }),
+    ]
+}
+
+proptest! {
+    // each case runs full CTS generation; keep the count small
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A fresh testcase lints with zero errors, and every entry of the
+    /// defect catalogue is caught under its stable diagnostic code.
+    #[test]
+    fn lint_catches_planted_defects(seed in 0u64..500, kind in 0u8..2) {
+        let kind = if kind == 0 { TestcaseKind::Cls1v1 } else { TestcaseKind::Cls2v1 };
+        let tc = Testcase::generate(kind, 18, seed);
+        let runner = LintRunner::with_default_passes();
+        let clean = runner.run(&DesignCtx::with_floorplan(&tc.tree, &tc.lib, &tc.floorplan));
+        prop_assert_eq!(clean.error_count(), 0, "fresh design lints dirty:\n{}", clean.to_text());
+
+        let mut caught = std::collections::BTreeSet::new();
+        for (code, inject) in defect_catalogue() {
+            let mut bad = tc.tree.clone();
+            inject(&mut bad);
+            let report = runner.run(&DesignCtx::with_floorplan(&bad, &tc.lib, &tc.floorplan));
+            prop_assert!(
+                report.has_code(code),
+                "planted {code} not caught; report:\n{}",
+                report.to_text()
+            );
+            caught.insert(code);
+        }
+        prop_assert!(caught.len() >= 7, "catalogue covers {caught:?}");
+    }
+
+    /// Poisoned parasitics and LP models are caught by the standalone
+    /// audits (`R0xx`, `L0xx`) — together with the tree catalogue above
+    /// this exercises every diagnostic family.
+    #[test]
+    fn lint_catches_poisoned_models(bad_cap in -50.0f64..-0.01, nan_kind in 0u8..2) {
+        // negative / non-finite parasitics
+        let rc = clk_delay::RcTree::from_raw(
+            vec![None, Some(0)],
+            vec![0.0, 0.4],
+            vec![0.5, bad_cap],
+        );
+        let diags = audit_rc_tree(NodeId(0), &rc);
+        prop_assert!(diags.iter().any(|d| d.code == "R002"), "{diags:?}");
+
+        // poisoned LP: NaN bound (L001) or NaN coefficient / rhs (L003)
+        let mut p = clk_lp::Problem::new();
+        let x = p.add_var(0.0, 10.0, 1.0);
+        p.add_row(clk_lp::RowKind::Le, 5.0, &[(x, 1.0)]);
+        let want = if nan_kind == 0 {
+            p.debug_poison_bounds(x, f64::NAN, 1.0);
+            "L001"
+        } else {
+            p.debug_poison_coeff(x, 0, f64::NAN);
+            "L003"
+        };
+        let out = clk_lint::lp::audit_problem(&p);
+        prop_assert!(out.iter().any(|d| d.code == want), "{out:?}");
+    }
+}
