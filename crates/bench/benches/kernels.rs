@@ -88,7 +88,7 @@ fn bench_lp(c: &mut Criterion) {
         };
         let mut p = Problem::new();
         let vars: Vec<_> = (0..120)
-            .map(|_| p.add_var(0.0, 1.0 + next(), next() - 0.5))
+            .map(|_| p.add_var(0.0, 1.0 + next(), next() - 0.5).unwrap())
             .collect();
         for _ in 0..180 {
             let mut terms = Vec::new();
@@ -98,7 +98,7 @@ fn bench_lp(c: &mut Criterion) {
                 }
             }
             let rhs = 1.0 + 2.0 * next();
-            p.add_row(RowKind::Le, rhs, &terms);
+            p.add_row(RowKind::Le, rhs, &terms).unwrap();
         }
         p
     };

@@ -1,0 +1,132 @@
+//! Deterministic fault-injection harness for the fault-tolerant flow
+//! runtime: arms all four [`FaultSite`] classes from a seeded
+//! [`FaultPlan`], runs the full global-local flow, and asserts the flow
+//! completes with a degraded-but-valid result and a faithful fault log.
+//!
+//! ```sh
+//! cargo run --release -p clk-bench --bin chaos -- --quick --seed 2015
+//! ```
+//!
+//! Exit code 0 when the flow survives every injected fault, returns a
+//! lint-clean tree, and `OptReport::faults` records every injection with
+//! its recovery action — suitable as a CI gate.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use clk_bench::{ExpArgs, Stopwatch};
+use clk_cts::{Testcase, TestcaseKind};
+use clk_lint::{DesignCtx, LintRunner};
+use clk_skewopt::{try_optimize, FaultKind, FaultPlan, FaultSite, Flow};
+
+/// The fault-log kind each injection site must show up as.
+fn expected_kind(site: FaultSite) -> FaultKind {
+    match site {
+        FaultSite::NanArcDelay => FaultKind::NanArcDelay,
+        FaultSite::CorruptLutRow => FaultKind::CorruptDelayModel,
+        FaultSite::InfeasibleLp => FaultKind::LpFailure,
+        FaultSite::WorkerPanic => FaultKind::WorkerPanic,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = ExpArgs::parse();
+    let n = args.sinks.unwrap_or(if args.quick { 40 } else { 120 });
+    let seed = args.seed;
+    let cfg_base = clockvar_workbench::quick_flow_config();
+
+    // Start from the stock seeded plan, then clamp each site's firing
+    // window so every class is guaranteed an opportunity on this size:
+    // the global phase probes NaN injection once per round, the LUT
+    // corruption once per long arc per LP build, the infeasible row once
+    // per λ point, and the worker panic once per spawned candidate.
+    let plan = Arc::new(FaultPlan::seeded(seed));
+    plan.arm(FaultSite::NanArcDelay, 0, 1);
+    plan.arm(FaultSite::CorruptLutRow, (seed % 50) as u32, 1);
+    plan.arm(
+        FaultSite::InfeasibleLp,
+        (seed % cfg_base.global.lambdas.len().max(1) as u64) as u32,
+        1,
+    );
+    plan.arm(FaultSite::WorkerPanic, (seed % 3) as u32, 1);
+
+    let mut cfg = cfg_base;
+    cfg.fault_plan = Some(plan.clone());
+
+    println!("chaos: seed {seed}, {n} sinks, flow global-local");
+    let sw = Stopwatch::start("chaos");
+    let tc = Testcase::generate(TestcaseKind::Cls1v1, n, seed);
+    let report = match try_optimize(&tc, Flow::GlobalLocal, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: flow did not survive injection: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    sw.report();
+
+    println!("\ninjected sites: {:?}", plan.injected());
+    println!("fault log ({} records):", report.faults.len());
+    println!("{}", report.faults.to_text());
+    println!(
+        "\nvariation {:.1} -> {:.1} ps (ratio {:.3}), cells {} -> {}",
+        report.variation_before,
+        report.variation_after,
+        report.variation_ratio(),
+        report.cells_before,
+        report.cells_after,
+    );
+
+    let mut failed = false;
+    let mut check = |ok: bool, what: &str| {
+        if ok {
+            println!("ok: {what}");
+        } else {
+            eprintln!("FAIL: {what}");
+            failed = true;
+        }
+    };
+
+    let injected = plan.injected();
+    for site in FaultSite::ALL {
+        check(
+            injected.contains(&site),
+            &format!("fault class {site} was injected"),
+        );
+    }
+    for site in &injected {
+        let kind = expected_kind(*site);
+        check(
+            report.faults.of_kind(kind).count() >= 1,
+            &format!("injected {site} is logged as {kind} with a recovery action"),
+        );
+    }
+    check(
+        report.tree.validate().is_ok(),
+        "optimized tree is structurally valid",
+    );
+    // release builds default the in-flow gates to Off, so audit explicitly
+    let lint = LintRunner::with_default_passes().run(&DesignCtx::with_floorplan(
+        &report.tree,
+        &tc.lib,
+        &tc.floorplan,
+    ));
+    check(
+        !lint.has_errors(),
+        &format!(
+            "optimized tree is lint-clean ({} errors)",
+            lint.error_count()
+        ),
+    );
+    check(
+        report.variation_ratio() <= 1.0 + 1e-9,
+        "variation did not degrade under injection",
+    );
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("\nchaos: all checks passed");
+        ExitCode::SUCCESS
+    }
+}

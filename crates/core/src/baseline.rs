@@ -21,6 +21,9 @@ use clk_sta::{
 
 use crate::lut::StageLuts;
 
+/// Per-arc (pos, neg) Δ split variables, one pair per corner.
+type DeltaVars = HashMap<ArcId, Vec<(VarId, VarId)>>;
+
 /// Outcome of the worst-skew baseline.
 #[derive(Debug, Clone)]
 pub struct WorstSkewReport {
@@ -85,55 +88,80 @@ pub fn worst_skew_optimize(
     involved.sort_unstable();
 
     // --- the Lung-style LP: min W + λΣ|Δ|, W ≥ ±skew_k(Δ) ---
-    let mut p = Problem::new();
-    let mut delta: HashMap<ArcId, Vec<(VarId, VarId)>> = HashMap::new();
-    for &aid in &involved {
-        let arc = arcs.arc(aid);
-        let len = arc.length_um(tree).max(1.0);
-        let drv = tree.cell(arc.from).unwrap_or(CellId(0));
-        let end_load = match tree.node(arc.to).kind {
-            NodeKind::Buffer(c) => lib.cell(c).input_cap_ff,
-            NodeKind::Sink => lib.sink_cap_ff(),
-            NodeKind::Source => 0.0,
-        };
-        let mut per_corner = Vec::with_capacity(n_corners);
-        for k in 0..n_corners {
-            let d = arc_d[k][aid.0 as usize];
-            let slew = timings[k].slew_ps(arc.from);
-            let dmin = luts.min_arc_delay(lib, CornerId(k), drv, slew, len, end_load);
-            let pos = p.add_var(0.0, (0.2 * d).max(0.0), lambda);
-            let neg = p.add_var(0.0, (d - dmin).max(0.0), lambda);
-            per_corner.push((pos, neg));
+    // Builder failures (non-finite skews or bounds) take the same
+    // graceful no-op path as an unsolvable LP.
+    let built: Option<(Problem, DeltaVars)> = 'lp: {
+        let mut p = Problem::new();
+        let mut delta: DeltaVars = HashMap::new();
+        for &aid in &involved {
+            let arc = arcs.arc(aid);
+            let len = arc.length_um(tree).max(1.0);
+            let drv = tree.cell(arc.from).unwrap_or(CellId(0));
+            let end_load = match tree.node(arc.to).kind {
+                NodeKind::Buffer(c) => lib.cell(c).input_cap_ff,
+                NodeKind::Sink => lib.sink_cap_ff(),
+                NodeKind::Source => 0.0,
+            };
+            let mut per_corner = Vec::with_capacity(n_corners);
+            for k in 0..n_corners {
+                let d = arc_d[k][aid.0 as usize];
+                let slew = timings[k].slew_ps(arc.from);
+                let dmin = luts.min_arc_delay(lib, CornerId(k), drv, slew, len, end_load);
+                let Ok(pos) = p.add_var(0.0, (0.2 * d).max(0.0), lambda) else {
+                    break 'lp None;
+                };
+                let Ok(neg) = p.add_var(0.0, (d - dmin).max(0.0), lambda) else {
+                    break 'lp None;
+                };
+                per_corner.push((pos, neg));
+            }
+            delta.insert(aid, per_corner);
         }
-        delta.insert(aid, per_corner);
-    }
-    let w = p.add_var(0.0, f64::INFINITY, 1.0);
-    for pair in &sel {
-        let pa = &path_of[&pair.a];
-        let pb = &path_of[&pair.b];
-        let set_b: HashSet<ArcId> = pb.iter().copied().collect();
-        let set_a: HashSet<ArcId> = pa.iter().copied().collect();
-        let only_a: Vec<ArcId> = pa.iter().copied().filter(|x| !set_b.contains(x)).collect();
-        let only_b: Vec<ArcId> = pb.iter().copied().filter(|x| !set_a.contains(x)).collect();
-        for k in 0..n_corners {
-            let s0 = timings[k].arrival_ps(pair.a) - timings[k].arrival_ps(pair.b);
-            for sign in [1.0, -1.0] {
-                // W ≥ sign·(s0 + Σ±Δ)  ⇔  W − sign·ΣΔ-terms ≥ sign·s0
-                let mut terms = vec![(w, 1.0)];
-                for &aid in &only_a {
-                    let (pos, neg) = delta[&aid][k];
-                    terms.push((pos, -sign));
-                    terms.push((neg, sign));
+        let Ok(w) = p.add_var(0.0, f64::INFINITY, 1.0) else {
+            break 'lp None;
+        };
+        for pair in &sel {
+            let pa = &path_of[&pair.a];
+            let pb = &path_of[&pair.b];
+            let set_b: HashSet<ArcId> = pb.iter().copied().collect();
+            let set_a: HashSet<ArcId> = pa.iter().copied().collect();
+            let only_a: Vec<ArcId> = pa.iter().copied().filter(|x| !set_b.contains(x)).collect();
+            let only_b: Vec<ArcId> = pb.iter().copied().filter(|x| !set_a.contains(x)).collect();
+            for k in 0..n_corners {
+                let s0 = timings[k].arrival_ps(pair.a) - timings[k].arrival_ps(pair.b);
+                for sign in [1.0, -1.0] {
+                    // W ≥ sign·(s0 + Σ±Δ)  ⇔  W − sign·ΣΔ-terms ≥ sign·s0
+                    let mut terms = vec![(w, 1.0)];
+                    for &aid in &only_a {
+                        let (pos, neg) = delta[&aid][k];
+                        terms.push((pos, -sign));
+                        terms.push((neg, sign));
+                    }
+                    for &aid in &only_b {
+                        let (pos, neg) = delta[&aid][k];
+                        terms.push((pos, sign));
+                        terms.push((neg, -sign));
+                    }
+                    if p.add_row(RowKind::Ge, sign * s0, &terms).is_err() {
+                        break 'lp None;
+                    }
                 }
-                for &aid in &only_b {
-                    let (pos, neg) = delta[&aid][k];
-                    terms.push((pos, sign));
-                    terms.push((neg, -sign));
-                }
-                p.add_row(RowKind::Ge, sign * s0, &terms);
             }
         }
-    }
+        Some((p, delta))
+    };
+    let Some((p, delta)) = built else {
+        return (
+            tree.clone(),
+            WorstSkewReport {
+                worst_before,
+                worst_after: worst_before,
+                variation_before,
+                variation_after: variation_before,
+                arcs_changed: 0,
+            },
+        );
+    };
     let Ok(sol) = clk_lp::solve(&p) else {
         return (
             tree.clone(),

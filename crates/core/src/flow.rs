@@ -1,14 +1,24 @@
 //! End-to-end flows (`global`, `local`, `global-local`) and the Table-5
-//! report.
+//! report, on top of the fault-tolerant runtime of [`crate::fault`]:
+//! every phase runs inside a snapshot transaction under its own budget,
+//! phase failures and lint-gate rejections roll back instead of
+//! propagating, and everything the flow absorbed is listed on
+//! [`OptReport::faults`].
+
+use std::time::Instant;
 
 use clk_lint::{DesignCtx, LintLevel, LintRunner};
 use clk_netlist::{ClockTree, Floorplan, TreeStats};
-use clk_sta::{alpha_factors, clock_power, local_skew_ps, pair_skews, variation_report, Timer};
+use clk_sta::{alpha_factors, clock_power, local_skew_ps, try_pair_skews, variation_report, Timer};
 
 use clk_cts::Testcase;
 
-use crate::global::{global_optimize_guarded, GlobalConfig, GlobalReport};
-use crate::local::{local_optimize_guarded, LocalConfig, LocalReport, Ranker};
+use crate::fault::{
+    Checkpoint, FaultCtx, FaultKind, FaultLog, FaultPlan, FlowBudget, FlowError, RecoveryAction,
+    TreeTxn,
+};
+use crate::global::{global_optimize_checked, GlobalConfig, GlobalReport};
+use crate::local::{local_optimize_checked, LocalConfig, LocalReport, Ranker};
 use crate::lut::StageLuts;
 use crate::predictor::{DeltaLatencyModel, ModelKind, TrainConfig};
 
@@ -52,6 +62,11 @@ pub struct FlowConfig {
     /// post-local). Defaults to `ErrorsOnly` in debug builds and `Off` in
     /// release, where the gates cost nothing.
     pub lint_level: LintLevel,
+    /// Per-phase wall-clock / iteration budgets (unbounded by default).
+    pub budget: FlowBudget,
+    /// Deterministic fault-injection plan, armed by the chaos harness.
+    /// `None` (the default) injects nothing.
+    pub fault_plan: Option<std::sync::Arc<FaultPlan>>,
 }
 
 impl Default for FlowConfig {
@@ -63,13 +78,41 @@ impl Default for FlowConfig {
             model_kind: ModelKind::Hsm,
             freq_ghz: 1.0,
             lint_level: LintLevel::default(),
+            budget: FlowBudget::default(),
+            fault_plan: None,
         }
     }
 }
 
-/// Runs the full `clk-lint` suite on `tree` and panics with the rendered
-/// report when `level` considers it a failure. A no-op at
-/// [`LintLevel::Off`], so release flows pay nothing.
+/// Runs the full `clk-lint` suite on `tree` and returns a typed
+/// [`FlowError::LintGate`] (carrying the stage and the rendered report)
+/// when `level` considers it a failure. A no-op at [`LintLevel::Off`],
+/// so release flows pay nothing.
+///
+/// # Errors
+///
+/// [`FlowError::LintGate`] when the audit fails at the configured level.
+pub fn check_lint_gate(
+    stage: &str,
+    level: LintLevel,
+    tree: &ClockTree,
+    lib: &clk_liberty::Library,
+    fp: &Floorplan,
+) -> Result<(), FlowError> {
+    if !level.enabled() {
+        return Ok(());
+    }
+    let report = LintRunner::with_default_passes().run(&DesignCtx::with_floorplan(tree, lib, fp));
+    if level.fails(&report) {
+        return Err(FlowError::LintGate {
+            stage: stage.to_string(),
+            report: report.to_text(),
+        });
+    }
+    Ok(())
+}
+
+/// [`check_lint_gate`] with the legacy abort-on-failure contract.
 ///
 /// # Panics
 ///
@@ -81,15 +124,9 @@ pub fn lint_gate(
     lib: &clk_liberty::Library,
     fp: &Floorplan,
 ) {
-    if !level.enabled() {
-        return;
+    if let Err(e) = check_lint_gate(stage, level, tree, lib, fp) {
+        panic!("{e}");
     }
-    let report = LintRunner::with_default_passes().run(&DesignCtx::with_floorplan(tree, lib, fp));
-    assert!(
-        !level.fails(&report),
-        "lint gate failed after {stage}:\n{}",
-        report.to_text()
-    );
 }
 
 /// The Table-5 row: metric deltas of one flow on one testcase.
@@ -123,6 +160,9 @@ pub struct OptReport {
     pub global_report: Option<GlobalReport>,
     /// Local-phase details when the flow ran it.
     pub local_report: Option<LocalReport>,
+    /// Every fault the runtime absorbed (injected or organic), with the
+    /// recovery action taken. Empty on a clean run.
+    pub faults: FaultLog,
 }
 
 impl OptReport {
@@ -139,12 +179,29 @@ impl OptReport {
 /// Runs `flow` on the testcase, characterizing LUTs and training the
 /// predictor as needed. For repeated runs share them via
 /// [`optimize_with`].
+///
+/// # Panics
+///
+/// Panics when the flow fails hard (untimeable input, failed input lint
+/// gate); use [`try_optimize`] for a typed error instead.
 pub fn optimize(tc: &Testcase, flow: Flow, cfg: &FlowConfig) -> OptReport {
+    match try_optimize(tc, flow, cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`optimize`] returning a typed [`FlowError`] instead of panicking.
+///
+/// # Errors
+///
+/// See [`try_optimize_with`].
+pub fn try_optimize(tc: &Testcase, flow: Flow, cfg: &FlowConfig) -> Result<OptReport, FlowError> {
     let luts =
         matches!(flow, Flow::Global | Flow::GlobalLocal).then(|| StageLuts::characterize(&tc.lib));
     let model = matches!(flow, Flow::Local | Flow::GlobalLocal)
         .then(|| DeltaLatencyModel::train(&tc.lib, cfg.model_kind, &cfg.train));
-    optimize_with(tc, flow, cfg, luts.as_ref(), model.as_ref())
+    try_optimize_with(tc, flow, cfg, luts.as_ref(), model.as_ref())
 }
 
 /// Runs `flow` with pre-characterized LUTs / a pre-trained model (both
@@ -152,7 +209,8 @@ pub fn optimize(tc: &Testcase, flow: Flow, cfg: &FlowConfig) -> OptReport {
 ///
 /// # Panics
 ///
-/// Panics if the flow needs an artifact that was not provided.
+/// Panics when the flow fails hard; use [`try_optimize_with`] for a
+/// typed error instead.
 pub fn optimize_with(
     tc: &Testcase,
     flow: Flow,
@@ -160,90 +218,184 @@ pub fn optimize_with(
     luts: Option<&StageLuts>,
     model: Option<&DeltaLatencyModel>,
 ) -> OptReport {
+    match try_optimize_with(tc, flow, cfg, luts, model) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The checked flow driver. Fails hard only on problems that make the
+/// run meaningless (untimeable input, failed input lint gate, missing
+/// per-technology artifact); everything downstream — LP failures, ECO
+/// panics, worker panics, phase errors, post-phase lint rejections,
+/// exhausted budgets — is absorbed, rolled back to the last good tree,
+/// and listed on [`OptReport::faults`].
+///
+/// # Errors
+///
+/// * [`FlowError::Timing`] — the *input* tree cannot be timed;
+/// * [`FlowError::LintGate`] — the input tree fails the input gate;
+/// * [`FlowError::MissingArtifact`] — the flow needs LUTs / a model that
+///   were not provided;
+/// * [`FlowError::Ctree`] — a best-so-far checkpoint failed to restore
+///   (never for a valid input tree).
+pub fn try_optimize_with(
+    tc: &Testcase,
+    flow: Flow,
+    cfg: &FlowConfig,
+    luts: Option<&StageLuts>,
+    model: Option<&DeltaLatencyModel>,
+) -> Result<OptReport, FlowError> {
     let lib = &tc.lib;
-    lint_gate(
+    check_lint_gate(
         "CTS (flow input)",
         cfg.lint_level,
         &tc.tree,
         lib,
         &tc.floorplan,
-    );
+    )?;
     let timer = Timer::golden();
-    let skews0: Vec<Vec<f64>> = timer
-        .analyze_all(&tc.tree, lib)
+    let analyses0 = timer.try_analyze_all(&tc.tree, lib)?;
+    let skews0: Vec<Vec<f64>> = analyses0
         .iter()
-        .map(|t| pair_skews(t, tc.tree.sink_pairs()))
-        .collect();
+        .map(|t| try_pair_skews(t, tc.tree.sink_pairs()))
+        .collect::<Result<_, _>>()?;
     let alphas = alpha_factors(&skews0);
     let variation_before = variation_report(&skews0, &alphas, None).sum;
     let local_skew_before: Vec<f64> = skews0.iter().map(|s| local_skew_ps(s)).collect();
     let stats0 = TreeStats::compute(&tc.tree, lib);
-    let power_before = clock_power(
-        &tc.tree,
-        lib,
-        &timer.analyze(&tc.tree, lib, clk_liberty::CornerId(0)),
-        cfg.freq_ghz,
-    );
+    let power_before = clock_power(&tc.tree, lib, &analyses0[0], cfg.freq_ghz);
+    // the deepest rollback target: the input tree is known timeable and
+    // gate-clean, so a flow can always fall back to "did nothing"
+    let input_ckpt = Checkpoint::capture(&tc.tree, lib);
 
+    let plan = cfg.fault_plan.as_deref();
+    let mut faults = FaultLog::new();
     let mut tree = tc.tree.clone();
     let mut global_report = None;
     let mut local_report = None;
+
     if matches!(flow, Flow::Global | Flow::GlobalLocal) {
-        let luts = luts.expect("global flows need characterized stage LUTs");
-        let (opt, rep) = global_optimize_guarded(
+        let luts = luts.ok_or(FlowError::MissingArtifact(
+            "characterized stage LUTs (global phase)",
+        ))?;
+        let phase_start = Instant::now();
+        let mut ctx = FaultCtx::new(plan, cfg.budget.global.deadline_from(phase_start));
+        match global_optimize_checked(
             &tree,
             lib,
             &tc.floorplan,
             luts,
             &cfg.global,
             Some(&local_skew_before),
-        );
-        tree = opt;
-        global_report = Some(rep);
-        lint_gate(
-            "global optimization",
-            cfg.lint_level,
-            &tree,
-            lib,
-            &tc.floorplan,
-        );
+            &mut ctx,
+            &cfg.budget.global,
+        ) {
+            Ok((opt, rep)) => match check_lint_gate(
+                "global optimization",
+                cfg.lint_level,
+                &opt,
+                lib,
+                &tc.floorplan,
+            ) {
+                Ok(()) => {
+                    tree = opt;
+                    global_report = Some(rep);
+                }
+                Err(e) => ctx.record(
+                    "flow",
+                    FaultKind::LintGateFailed,
+                    RecoveryAction::Rollback,
+                    format!("{e}; keeping the pre-phase tree"),
+                ),
+            },
+            Err(e) => ctx.record(
+                "flow",
+                FaultKind::PhaseError,
+                RecoveryAction::Rollback,
+                format!("global phase failed ({e}); keeping the pre-phase tree"),
+            ),
+        }
+        faults.absorb(ctx.log);
     }
     if matches!(flow, Flow::Local | Flow::GlobalLocal) {
-        let model = model.expect("local flows need a trained predictor");
-        let rep = local_optimize_guarded(
+        let model = model.ok_or(FlowError::MissingArtifact(
+            "trained delta-latency predictor (local phase)",
+        ))?;
+        let phase_start = Instant::now();
+        let txn = TreeTxn::begin(&tree);
+        let mut ctx = FaultCtx::new(plan, cfg.budget.local.deadline_from(phase_start));
+        match local_optimize_checked(
             &mut tree,
             lib,
             &tc.floorplan,
             Ranker::Ml(model),
             &cfg.local,
             Some(&local_skew_before),
-        );
-        local_report = Some(rep);
-        lint_gate(
-            "local optimization",
-            cfg.lint_level,
-            &tree,
-            lib,
-            &tc.floorplan,
-        );
+            &mut ctx,
+            &cfg.budget.local,
+        ) {
+            Ok(rep) => {
+                if let Err(e) = check_lint_gate(
+                    "local optimization",
+                    cfg.lint_level,
+                    &tree,
+                    lib,
+                    &tc.floorplan,
+                ) {
+                    ctx.record(
+                        "flow",
+                        FaultKind::LintGateFailed,
+                        RecoveryAction::Rollback,
+                        format!("{e}; rolled back to the pre-phase tree"),
+                    );
+                    txn.rollback(&mut tree);
+                } else {
+                    local_report = Some(rep);
+                    txn.commit();
+                }
+            }
+            Err(e) => {
+                ctx.record(
+                    "flow",
+                    FaultKind::PhaseError,
+                    RecoveryAction::Rollback,
+                    format!("local phase failed ({e}); rolled back to the pre-phase tree"),
+                );
+                txn.rollback(&mut tree);
+            }
+        }
+        faults.absorb(ctx.log);
     }
 
-    let skews1: Vec<Vec<f64>> = timer
-        .analyze_all(&tree, lib)
+    // final scoring; a tree that passed its gates but cannot be re-timed
+    // (possible at LintLevel::Off) falls back to the input checkpoint
+    let (tree, analyses1) = match timer.try_analyze_all(&tree, lib) {
+        Ok(a) => (tree, a),
+        Err(e) => {
+            faults.record(
+                "flow",
+                FaultKind::PhaseError,
+                RecoveryAction::Rollback,
+                format!("optimized tree failed final timing ({e}); restoring the input checkpoint"),
+            );
+            global_report = None;
+            local_report = None;
+            let t = input_ckpt.restore(lib)?;
+            let a = timer.try_analyze_all(&t, lib)?;
+            (t, a)
+        }
+    };
+    let skews1: Vec<Vec<f64>> = analyses1
         .iter()
-        .map(|t| pair_skews(t, tree.sink_pairs()))
-        .collect();
+        .map(|t| try_pair_skews(t, tree.sink_pairs()))
+        .collect::<Result<_, _>>()?;
     let variation_after = variation_report(&skews1, &alphas, None).sum;
     let local_skew_after: Vec<f64> = skews1.iter().map(|s| local_skew_ps(s)).collect();
     let stats1 = TreeStats::compute(&tree, lib);
-    let power_after = clock_power(
-        &tree,
-        lib,
-        &timer.analyze(&tree, lib, clk_liberty::CornerId(0)),
-        cfg.freq_ghz,
-    );
+    let power_after = clock_power(&tree, lib, &analyses1[0], cfg.freq_ghz);
 
-    OptReport {
+    Ok(OptReport {
         flow,
         variation_before,
         variation_after,
@@ -258,12 +410,14 @@ pub fn optimize_with(
         tree,
         global_report,
         local_report,
-    }
+        faults,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultSite;
     use clk_cts::TestcaseKind;
     use clk_ml::MlpConfig;
 
@@ -304,6 +458,7 @@ mod tests {
         assert_eq!(report.local_skew_before.len(), 3);
         assert!(report.power_before_mw > 0.0);
         assert!(report.cells_before > 0);
+        assert!(report.faults.is_empty(), "{}", report.faults.to_text());
         // cell-count overhead stays small (paper: ~1-2%)
         assert!(
             (report.cells_after as f64) < 1.35 * report.cells_before as f64,
@@ -336,5 +491,40 @@ mod tests {
         let report = optimize(&tc, Flow::Local, &quick_cfg());
         assert!(report.global_report.is_none());
         assert!(report.variation_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn missing_artifacts_are_typed_errors() {
+        let tc = clk_cts::Testcase::generate(TestcaseKind::Cls1v1, 24, 35);
+        let e = try_optimize_with(&tc, Flow::Global, &quick_cfg(), None, None).unwrap_err();
+        assert!(matches!(e, FlowError::MissingArtifact(_)), "{e}");
+        let e = try_optimize_with(&tc, Flow::Local, &quick_cfg(), None, None).unwrap_err();
+        assert!(matches!(e, FlowError::MissingArtifact(_)), "{e}");
+    }
+
+    #[test]
+    fn seeded_fault_plan_is_absorbed_and_logged() {
+        let tc = clk_cts::Testcase::generate(TestcaseKind::Cls1v1, 40, 36);
+        let plan = std::sync::Arc::new(FaultPlan::seeded(7));
+        let mut cfg = quick_cfg();
+        cfg.fault_plan = Some(plan.clone());
+        let report = try_optimize(&tc, Flow::GlobalLocal, &cfg).expect("flow absorbs the plan");
+        report.tree.validate().unwrap();
+        assert!(report.variation_ratio() <= 1.0 + 1e-9);
+        let injected = plan.injected();
+        assert!(!injected.is_empty(), "the plan never got to fire");
+        for site in injected {
+            let kind = match site {
+                FaultSite::NanArcDelay => FaultKind::NanArcDelay,
+                FaultSite::CorruptLutRow => FaultKind::CorruptDelayModel,
+                FaultSite::InfeasibleLp => FaultKind::LpFailure,
+                FaultSite::WorkerPanic => FaultKind::WorkerPanic,
+            };
+            assert!(
+                report.faults.of_kind(kind).count() >= 1,
+                "injected {site} has no {kind} record:\n{}",
+                report.faults.to_text()
+            );
+        }
     }
 }

@@ -11,15 +11,18 @@
 //! (7)–(8): no local-skew degradation at any corner.
 
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use clk_liberty::{CellId, CornerId, Library};
-use clk_lp::{Problem, RowKind, Solution, VarId};
+use clk_lp::{LpError, Problem, RowKind, Solution, VarId};
 use clk_netlist::{Arc, ArcId, ArcSet, ClockTree, Floorplan, NodeId, NodeKind, SinkPair};
 use clk_route::RoutePath;
 use clk_sta::{
-    alpha_factors, arc_delays_ps, local_skew_ps, pair_skews, variation_report, CornerTiming, Timer,
+    alpha_factors, arc_delays_ps, local_skew_ps, pair_skews, try_pair_skews, variation_report,
+    CornerTiming, Timer,
 };
 
+use crate::fault::{FaultCtx, FaultKind, FaultSite, FlowError, PhaseBudget, RecoveryAction};
 use crate::lut::{fit_ratio_bounds, ratio_scatter, RatioBounds, StageLuts};
 
 /// Global-optimization knobs.
@@ -140,6 +143,11 @@ pub fn global_optimize(
 /// (ps per corner). `None` computes the baseline from the input tree;
 /// flows pass the *original* tree's skews so that multi-phase guards do
 /// not compound.
+///
+/// # Panics
+///
+/// Panics if the incoming tree cannot be timed; use
+/// [`global_optimize_checked`] for a typed error instead.
 pub fn global_optimize_guarded(
     tree: &ClockTree,
     lib: &Library,
@@ -148,10 +156,76 @@ pub fn global_optimize_guarded(
     cfg: &GlobalConfig,
     guard_baseline: Option<&[f64]>,
 ) -> (ClockTree, GlobalReport) {
+    let mut ctx = FaultCtx::passive();
+    match global_optimize_checked(
+        tree,
+        lib,
+        fp,
+        luts,
+        cfg,
+        guard_baseline,
+        &mut ctx,
+        &PhaseBudget::unlimited(),
+    ) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The checked core of the global phase: runs under a fault context
+/// (injection plan, fault log, deadline) and a phase budget, returning
+/// typed errors instead of panicking.
+///
+/// Robustness properties:
+///
+/// * every LP solve goes through the retry/degradation ladder of
+///   [`solve_with_ladder`] — a sweep point is only abandoned after
+///   relaxed guardbands and a corridor-free formulation both fail;
+/// * each trial ECO runs on a clone under `catch_unwind`, so a panic in
+///   the ECO engine rolls the sweep point back instead of killing the
+///   flow;
+/// * non-finite arc delays are detected before the LP sees them
+///   (recomputed once, then frozen out of the formulation);
+/// * the first round always runs; the wall-clock budget short-circuits
+///   later rounds with the best-so-far tree.
+///
+/// # Errors
+///
+/// [`FlowError::Timing`] when the *incoming* tree cannot be timed —
+/// everything downstream of that baseline is absorbed and degraded.
+#[allow(clippy::too_many_arguments)]
+pub fn global_optimize_checked(
+    tree: &ClockTree,
+    lib: &Library,
+    fp: &Floorplan,
+    luts: &StageLuts,
+    cfg: &GlobalConfig,
+    guard_baseline: Option<&[f64]>,
+    ctx: &mut FaultCtx<'_>,
+    budget: &PhaseBudget,
+) -> Result<(ClockTree, GlobalReport), FlowError> {
     let mut current = tree.clone();
     let mut total: Option<GlobalReport> = None;
-    for _round in 0..cfg.rounds.max(1) {
-        let (next, rep) = global_round(&current, lib, fp, luts, cfg, guard_baseline);
+    let rounds = budget.clamp_iterations(cfg.rounds.max(1)).max(1);
+    if rounds < cfg.rounds.max(1) {
+        ctx.record(
+            "global",
+            FaultKind::IterationBudget,
+            RecoveryAction::Degrade,
+            format!("rounds capped {} -> {rounds}", cfg.rounds.max(1)),
+        );
+    }
+    for round in 0..rounds {
+        if round > 0 && ctx.out_of_time() {
+            ctx.record(
+                "global",
+                FaultKind::PhaseTimeout,
+                RecoveryAction::Degrade,
+                format!("wall-clock budget exhausted after {round} rounds; returning best-so-far"),
+            );
+            break;
+        }
+        let (next, rep) = global_round(&current, lib, fp, luts, cfg, guard_baseline, ctx)?;
         let gained = rep.variation_before - rep.variation_after;
         let enough = gained > 0.002 * rep.variation_before;
         match &mut total {
@@ -171,11 +245,14 @@ pub fn global_optimize_guarded(
             break;
         }
     }
-    let report = total.expect("at least one round ran");
-    (current, report)
+    let Some(report) = total else {
+        unreachable!("at least one round always runs")
+    };
+    Ok((current, report))
 }
 
 /// One solve→ECO→verify round of the global optimization.
+#[allow(clippy::too_many_arguments)]
 fn global_round(
     tree: &ClockTree,
     lib: &Library,
@@ -183,32 +260,49 @@ fn global_round(
     luts: &StageLuts,
     cfg: &GlobalConfig,
     guard_baseline: Option<&[f64]>,
-) -> (ClockTree, GlobalReport) {
+    ctx: &mut FaultCtx<'_>,
+) -> Result<(ClockTree, GlobalReport), FlowError> {
     let timer = Timer::golden();
-    let timings: Vec<CornerTiming> = timer.analyze_all(tree, lib);
+    let timings: Vec<CornerTiming> = timer.try_analyze_all(tree, lib)?;
     let arcs = ArcSet::extract(tree);
-    let arc_d: Vec<Vec<f64>> = timings
+    let mut arc_d: Vec<Vec<f64>> = timings
         .iter()
         .map(|t| arc_delays_ps(tree, &arcs, t))
         .collect();
+    if ctx.fire(FaultSite::NanArcDelay) {
+        if let Some(v) = arc_d.first_mut().and_then(|row| row.first_mut()) {
+            *v = f64::NAN;
+        }
+    }
+    if arc_d.iter().flatten().any(|v| !v.is_finite()) {
+        ctx.record(
+            "global",
+            FaultKind::NanArcDelay,
+            RecoveryAction::Retry,
+            "non-finite arc delay detected; recomputing from the timed tree",
+        );
+        arc_d = timings
+            .iter()
+            .map(|t| arc_delays_ps(tree, &arcs, t))
+            .collect();
+        // arcs that are *still* non-finite are frozen by build_problem
+    }
     let n_corners = lib.corner_count();
 
     // skews + alphas over *all* pairs (alphas are an input parameter fixed
     // before optimization, per the paper)
     let all_pairs = tree.sink_pairs().to_vec();
-    let per_corner_skews: Vec<Vec<f64>> =
-        timings.iter().map(|t| pair_skews(t, &all_pairs)).collect();
+    let per_corner_skews: Vec<Vec<f64>> = timings
+        .iter()
+        .map(|t| try_pair_skews(t, &all_pairs))
+        .collect::<Result<_, _>>()?;
     let alphas = alpha_factors(&per_corner_skews);
     let before_report = variation_report(&per_corner_skews, &alphas, None);
     let variation_before = before_report.sum;
 
     // top-variation pair selection
     let mut order: Vec<usize> = (0..all_pairs.len()).collect();
-    order.sort_by(|&a, &b| {
-        before_report.per_pair[b]
-            .partial_cmp(&before_report.per_pair[a])
-            .expect("finite variation")
-    });
+    order.sort_by(|&a, &b| before_report.per_pair[b].total_cmp(&before_report.per_pair[a]));
     order.truncate(cfg.max_pairs);
     let sel_pairs: Vec<SinkPair> = order.iter().map(|&i| all_pairs[i]).collect();
 
@@ -259,7 +353,7 @@ fn global_round(
             variation_after: None,
             accepted: false,
         };
-        let Some((solution, vars)) = build_and_solve(
+        let Some((solution, vars)) = solve_with_ladder(
             tree,
             lib,
             luts,
@@ -273,6 +367,7 @@ fn global_round(
             &bounds,
             LpObjective::Scalarized(lambda),
             cfg,
+            ctx,
         ) else {
             sweep.push(point);
             continue;
@@ -286,40 +381,72 @@ fn global_round(
             .sum();
 
         // realize with the ECO engine on a clone, arc by arc with golden
-        // accept/rollback (see `execute_eco`)
-        let mut trial = tree.clone();
-        let (changed, after) = execute_eco(
-            &mut trial,
-            lib,
-            fp,
-            luts,
-            &arcs,
-            &arc_d,
-            &timings,
-            &involved,
-            &vars,
-            &solution,
-            &all_pairs,
-            &alphas,
-            &before_local,
-            variation_before,
-            cfg,
-        );
+        // accept/rollback (see `execute_eco`); the whole trial sweep is
+        // panic-isolated — the clone is simply discarded on unwind, the
+        // committed tree is never touched
+        let eco = catch_unwind(AssertUnwindSafe(|| {
+            let mut trial = tree.clone();
+            let (changed, after) = execute_eco(
+                &mut trial,
+                lib,
+                fp,
+                luts,
+                &arcs,
+                &arc_d,
+                &timings,
+                &involved,
+                &vars,
+                &solution,
+                &all_pairs,
+                &alphas,
+                &before_local,
+                variation_before,
+                cfg,
+            );
+            (trial, changed, after)
+        }));
+        let Ok((trial, changed, after)) = eco else {
+            ctx.record(
+                "global",
+                FaultKind::EcoPanic,
+                RecoveryAction::Rollback,
+                format!("ECO sweep at lambda {lambda} panicked; trial discarded"),
+            );
+            sweep.push(point);
+            continue;
+        };
         point.arcs_changed = changed;
         if changed == 0 {
             sweep.push(point);
             continue;
         }
-        trial.validate().expect("ECO preserves tree invariants");
+        if let Err(e) = trial.validate() {
+            ctx.record(
+                "global",
+                FaultKind::PhaseError,
+                RecoveryAction::Rollback,
+                format!("trial ECO at lambda {lambda} broke tree invariants ({e}); discarded"),
+            );
+            sweep.push(point);
+            continue;
+        }
         #[cfg(debug_assertions)]
         {
-            let report = clk_lint::LintRunner::structural()
+            let lint = clk_lint::LintRunner::structural()
                 .run(&clk_lint::DesignCtx::with_floorplan(&trial, lib, fp));
-            assert!(
-                !report.has_errors(),
-                "post-ECO structural lint failed:\n{}",
-                report.to_text()
-            );
+            if lint.has_errors() {
+                ctx.record(
+                    "global",
+                    FaultKind::PhaseError,
+                    RecoveryAction::Rollback,
+                    format!(
+                        "trial ECO at lambda {lambda} failed structural lint; discarded:\n{}",
+                        lint.to_text()
+                    ),
+                );
+                sweep.push(point);
+                continue;
+            }
         }
         point.variation_after = Some(after);
         if after < variation_before && best.as_ref().is_none_or(|&(_, v, _, _)| after < v) {
@@ -329,7 +456,7 @@ fn global_round(
         sweep.push(point);
     }
 
-    match best {
+    Ok(match best {
         Some((t, after, lambda, changed)) => (
             t,
             GlobalReport {
@@ -352,7 +479,7 @@ fn global_round(
                 sweep,
             },
         ),
-    }
+    })
 }
 
 /// Which objective variant the LP is built with.
@@ -364,7 +491,117 @@ pub enum LpObjective {
     UBound(f64),
 }
 
-/// Builds the LP of Eqs. (4)–(11) and solves it.
+/// Guardband relaxation applied along the LP retry/degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Relaxation {
+    /// Additive widening of the Fig. 2 ratio corridor.
+    ratio_widen: f64,
+    /// Scale on the Eq. (10) delay-growth bound `β`.
+    beta_scale: f64,
+    /// Scale on the Eq. (9) latency slack.
+    latency_slack_scale: f64,
+    /// Drop the Eq. (11) corridor rows entirely (last formulation tried).
+    drop_ratio_rows: bool,
+}
+
+impl Relaxation {
+    /// The as-configured formulation.
+    const NONE: Relaxation = Relaxation {
+        ratio_widen: 0.0,
+        beta_scale: 1.0,
+        latency_slack_scale: 1.0,
+        drop_ratio_rows: false,
+    };
+    /// First retry: widened guardbands.
+    const RELAXED: Relaxation = Relaxation {
+        ratio_widen: 0.10,
+        beta_scale: 1.1,
+        latency_slack_scale: 1.05,
+        drop_ratio_rows: false,
+    };
+    /// Last resort: no cross-corner ratio corridor at all.
+    const DEGRADED: Relaxation = Relaxation {
+        ratio_widen: 0.0,
+        beta_scale: 1.1,
+        latency_slack_scale: 1.05,
+        drop_ratio_rows: true,
+    };
+}
+
+/// The LP retry/degradation ladder: as-built → relaxed guardbands →
+/// corridor-free formulation → skip the sweep point. Every rung is
+/// recorded in the fault log; builder rejections (malformed models)
+/// skip directly — re-solving an ill-posed model cannot help.
+#[allow(clippy::too_many_arguments)]
+fn solve_with_ladder(
+    tree: &ClockTree,
+    lib: &Library,
+    luts: &StageLuts,
+    arcs: &ArcSet,
+    arc_d: &[Vec<f64>],
+    timings: &[CornerTiming],
+    sel_pairs: &[SinkPair],
+    path_of: &HashMap<NodeId, Vec<ArcId>>,
+    involved: &[ArcId],
+    alphas: &[f64],
+    bounds: &[Option<RatioBounds>],
+    objective: LpObjective,
+    cfg: &GlobalConfig,
+    ctx: &mut FaultCtx<'_>,
+) -> Option<(Solution, HashMap<ArcId, ArcVars>)> {
+    let attempt = |relax: &Relaxation,
+                   ctx: &mut FaultCtx<'_>|
+     -> Result<(Solution, HashMap<ArcId, ArcVars>), LpError> {
+        let (p, vars) = build_problem(
+            tree, lib, luts, arcs, arc_d, timings, sel_pairs, path_of, involved, alphas, bounds,
+            objective, cfg, relax, ctx,
+        )?;
+        let sol = clk_lp::solve(&p)?;
+        Ok((sol, vars))
+    };
+    match attempt(&Relaxation::NONE, ctx) {
+        Ok(r) => return Some(r),
+        Err(e @ (LpError::BadProblem(_) | LpError::UnknownTerm { .. })) => {
+            ctx.record(
+                "global",
+                FaultKind::LpFailure,
+                RecoveryAction::Skip,
+                format!("LP build rejected ({e}); skipping this sweep point"),
+            );
+            return None;
+        }
+        Err(e) => ctx.record(
+            "global",
+            FaultKind::LpFailure,
+            RecoveryAction::Retry,
+            format!("{e}; retrying with relaxed guardbands"),
+        ),
+    }
+    match attempt(&Relaxation::RELAXED, ctx) {
+        Ok(r) => return Some(r),
+        Err(e) => ctx.record(
+            "global",
+            FaultKind::LpFailure,
+            RecoveryAction::Degrade,
+            format!("{e} under relaxed guardbands; dropping ratio-corridor rows"),
+        ),
+    }
+    match attempt(&Relaxation::DEGRADED, ctx) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            ctx.record(
+                "global",
+                FaultKind::LpFailure,
+                RecoveryAction::Skip,
+                format!("{e} even without ratio rows; skipping this sweep point"),
+            );
+            None
+        }
+    }
+}
+
+/// Builds the LP of Eqs. (4)–(11) and solves it once, with no ladder —
+/// the analysis-path entry (`u_sweep`) that predates the fault runtime.
 #[allow(clippy::too_many_arguments)]
 fn build_and_solve(
     tree: &ClockTree,
@@ -381,6 +618,58 @@ fn build_and_solve(
     objective: LpObjective,
     cfg: &GlobalConfig,
 ) -> Option<(Solution, HashMap<ArcId, ArcVars>)> {
+    let mut ctx = FaultCtx::passive();
+    let (p, vars) = build_problem(
+        tree,
+        lib,
+        luts,
+        arcs,
+        arc_d,
+        timings,
+        sel_pairs,
+        path_of,
+        involved,
+        alphas,
+        bounds,
+        objective,
+        cfg,
+        &Relaxation::NONE,
+        &mut ctx,
+    )
+    .ok()?;
+    clk_lp::solve(&p).ok().map(|s| (s, vars))
+}
+
+/// Builds the LP of Eqs. (4)–(11) under a [`Relaxation`].
+///
+/// Arcs whose timed delay or minimum-delay estimate is non-finite
+/// (corrupt LUT row, poisoned timing) are **frozen**: their Δ variables
+/// get `[0, 0]` bounds and they are excluded from the Eq. (11) corridor,
+/// so one bad delay model degrades that arc instead of poisoning the
+/// whole formulation.
+///
+/// # Errors
+///
+/// Propagates the builder's [`LpError`] (non-finite bound/coefficient,
+/// unknown variable) instead of panicking.
+#[allow(clippy::too_many_arguments)]
+fn build_problem(
+    tree: &ClockTree,
+    lib: &Library,
+    luts: &StageLuts,
+    arcs: &ArcSet,
+    arc_d: &[Vec<f64>],
+    timings: &[CornerTiming],
+    sel_pairs: &[SinkPair],
+    path_of: &HashMap<NodeId, Vec<ArcId>>,
+    involved: &[ArcId],
+    alphas: &[f64],
+    bounds: &[Option<RatioBounds>],
+    objective: LpObjective,
+    cfg: &GlobalConfig,
+    relax: &Relaxation,
+    ctx: &mut FaultCtx<'_>,
+) -> Result<(Problem, HashMap<ArcId, ArcVars>), LpError> {
     let n_corners = arc_d.len();
     let (delta_cost, v_cost) = match objective {
         LpObjective::Scalarized(lambda) => (lambda, 1.0),
@@ -389,29 +678,55 @@ fn build_and_solve(
     let mut p = Problem::new();
     let mut vars: HashMap<ArcId, ArcVars> = HashMap::new();
     let mut v_vars: Vec<VarId> = Vec::with_capacity(sel_pairs.len());
+    let mut frozen: HashSet<ArcId> = HashSet::new();
 
     for &aid in involved {
         let arc = arcs.arc(aid);
         let len = arc.length_um(tree).max(1.0);
         let drv = tree.cell(arc.from).unwrap_or(CellId(0));
         let end_load = end_load_ff(tree, lib, arc);
-        let mut delta = Vec::with_capacity(n_corners);
+        let mut dd: Vec<(f64, f64)> = Vec::with_capacity(n_corners);
         for k in 0..n_corners {
             let d = arc_d[k][aid.0 as usize];
             let slew = timings[k].slew_ps(arc.from);
-            let dmin = luts.min_arc_delay(lib, CornerId(k), drv, slew, len, end_load);
-            let up = ((cfg.beta - 1.0) * d).max(0.0);
-            let down = (d - dmin).max(0.0);
-            let pos = p.add_var(0.0, up, delta_cost);
-            let neg = p.add_var(0.0, down, delta_cost);
-            delta.push((pos, neg));
+            let mut dmin = luts.min_arc_delay(lib, CornerId(k), drv, slew, len, end_load);
+            if ctx.fire(FaultSite::CorruptLutRow) {
+                dmin = f64::NAN;
+            }
+            dd.push((d, dmin));
+        }
+        let mut delta = Vec::with_capacity(n_corners);
+        if dd
+            .iter()
+            .any(|&(d, dmin)| !d.is_finite() || !dmin.is_finite())
+        {
+            frozen.insert(aid);
+            ctx.record(
+                "global",
+                FaultKind::CorruptDelayModel,
+                RecoveryAction::Degrade,
+                format!("arc {aid}: non-finite delay model; freezing its LP variables at 0"),
+            );
+            for _ in 0..n_corners {
+                let pos = p.add_var(0.0, 0.0, delta_cost)?;
+                let neg = p.add_var(0.0, 0.0, delta_cost)?;
+                delta.push((pos, neg));
+            }
+        } else {
+            for (d, dmin) in dd {
+                let up = ((cfg.beta * relax.beta_scale - 1.0) * d).max(0.0);
+                let down = (d - dmin).max(0.0);
+                let pos = p.add_var(0.0, up, delta_cost)?;
+                let neg = p.add_var(0.0, down, delta_cost)?;
+                delta.push((pos, neg));
+            }
         }
         vars.insert(aid, ArcVars { delta });
     }
 
     // Per-pair V variables and constraints (6)–(8).
     for (pi, pair) in sel_pairs.iter().enumerate() {
-        let v = p.add_var(0.0, f64::INFINITY, v_cost);
+        let v = p.add_var(0.0, f64::INFINITY, v_cost)?;
         v_vars.push(v);
         let pa = &path_of[&pair.a];
         let pb = &path_of[&pair.b];
@@ -445,7 +760,7 @@ fn build_and_solve(
                     let mut terms = vec![(v, 1.0)];
                     skew_terms(k, -sign * alphas[k], &mut terms);
                     skew_terms(k2, sign * alphas[k2], &mut terms);
-                    p.add_row(RowKind::Ge, sign * base, &terms);
+                    p.add_row(RowKind::Ge, sign * base, &terms)?;
                 }
             }
         }
@@ -455,7 +770,7 @@ fn build_and_solve(
             for sign in [1.0, -1.0] {
                 let mut terms = Vec::new();
                 skew_terms(k, sign, &mut terms);
-                p.add_row(RowKind::Le, cap - sign * s0k, &terms);
+                p.add_row(RowKind::Le, cap - sign * s0k, &terms)?;
             }
         }
         // (8): |αk·S_k − α0·S_0| may not grow, k ≠ 0
@@ -466,7 +781,7 @@ fn build_and_solve(
                 let mut terms = Vec::new();
                 skew_terms(k, sign * alphas[k], &mut terms);
                 skew_terms(0, -sign * alphas[0], &mut terms);
-                p.add_row(RowKind::Le, cap - sign * base, &terms);
+                p.add_row(RowKind::Le, cap - sign * base, &terms)?;
             }
         }
     }
@@ -475,7 +790,7 @@ fn build_and_solve(
     for (sink, path) in path_of {
         for (k, timing) in timings.iter().enumerate().take(n_corners) {
             let lat = timing.arrival_ps(*sink);
-            let dmax = timing.max_latency_ps(tree) * cfg.latency_slack;
+            let dmax = timing.max_latency_ps(tree) * cfg.latency_slack * relax.latency_slack_scale;
             let terms: Vec<(VarId, f64)> = path
                 .iter()
                 .flat_map(|aid| {
@@ -483,44 +798,50 @@ fn build_and_solve(
                     [(pos, 1.0), (neg, -1.0)]
                 })
                 .collect();
-            p.add_row(RowKind::Le, dmax - lat, &terms);
+            p.add_row(RowKind::Le, dmax - lat, &terms)?;
         }
     }
 
     // (11): cross-corner delay-ratio corridor per arc, k vs 0
-    for &aid in involved {
-        let arc = arcs.arc(aid);
-        let len = arc.length_um(tree);
-        if len < 20.0 {
-            continue; // ratio of a near-zero-length arc is meaningless
-        }
-        let d0 = arc_d[0][aid.0 as usize];
-        let x = d0 / len;
-        let (p0, n0) = vars[&aid].delta[0];
-        for k in 1..n_corners {
-            let Some(b) = &bounds[k] else { continue };
-            let (lo, hi) = b.bounds(x);
-            let dk = arc_d[k][aid.0 as usize];
-            let (pk, nk) = vars[&aid].delta[k];
-            // dk + Δk − hi·(d0 + Δ0) ≤ 0
-            p.add_row(
-                RowKind::Le,
-                hi * d0 - dk,
-                &[(pk, 1.0), (nk, -1.0), (p0, -hi), (n0, hi)],
-            );
-            // dk + Δk − lo·(d0 + Δ0) ≥ 0
-            p.add_row(
-                RowKind::Ge,
-                lo * d0 - dk,
-                &[(pk, 1.0), (nk, -1.0), (p0, -lo), (n0, lo)],
-            );
+    if !relax.drop_ratio_rows {
+        for &aid in involved {
+            if frozen.contains(&aid) {
+                continue; // a frozen arc has no meaningful ratio
+            }
+            let arc = arcs.arc(aid);
+            let len = arc.length_um(tree);
+            if len < 20.0 {
+                continue; // ratio of a near-zero-length arc is meaningless
+            }
+            let d0 = arc_d[0][aid.0 as usize];
+            let x = d0 / len;
+            let (p0, n0) = vars[&aid].delta[0];
+            for k in 1..n_corners {
+                let Some(b) = &bounds[k] else { continue };
+                let (lo, hi) = b.bounds(x);
+                let (lo, hi) = (lo - relax.ratio_widen, hi + relax.ratio_widen);
+                let dk = arc_d[k][aid.0 as usize];
+                let (pk, nk) = vars[&aid].delta[k];
+                // dk + Δk − hi·(d0 + Δ0) ≤ 0
+                p.add_row(
+                    RowKind::Le,
+                    hi * d0 - dk,
+                    &[(pk, 1.0), (nk, -1.0), (p0, -hi), (n0, hi)],
+                )?;
+                // dk + Δk − lo·(d0 + Δ0) ≥ 0
+                p.add_row(
+                    RowKind::Ge,
+                    lo * d0 - dk,
+                    &[(pk, 1.0), (nk, -1.0), (p0, -lo), (n0, lo)],
+                )?;
+            }
         }
     }
 
     // (5): Σ V ≤ U in the paper's literal formulation
     if let LpObjective::UBound(u) = objective {
         let terms: Vec<(VarId, f64)> = v_vars.iter().map(|&v| (v, 1.0)).collect();
-        p.add_row(RowKind::Le, u, &terms);
+        p.add_row(RowKind::Le, u, &terms)?;
     }
 
     // debug-mode model audit: numeric sanity and the Eq.(6)-(11) row
@@ -531,10 +852,14 @@ fn build_and_solve(
             n_corners,
             n_pairs: sel_pairs.len(),
             n_involved_arcs: involved.len(),
-            n_long_arcs: involved
-                .iter()
-                .filter(|&&aid| arcs.arc(aid).length_um(tree) >= 20.0)
-                .count(),
+            n_long_arcs: if relax.drop_ratio_rows {
+                0
+            } else {
+                involved
+                    .iter()
+                    .filter(|&&aid| !frozen.contains(&aid) && arcs.arc(aid).length_um(tree) >= 20.0)
+                    .count()
+            },
             n_latency_sinks: path_of.len(),
             ubound: matches!(objective, LpObjective::UBound(_)),
         };
@@ -543,7 +868,13 @@ fn build_and_solve(
         assert!(diags.is_empty(), "LP model audit failed:\n{diags:#?}");
     }
 
-    clk_lp::solve(&p).ok().map(|s| (s, vars))
+    // chaos hook: a contradictory row (0 ≤ −1) that passes builder
+    // validation but makes the model infeasible, exercising the ladder
+    if ctx.fire(FaultSite::InfeasibleLp) {
+        p.add_row(RowKind::Le, -1.0, &[])?;
+    }
+
+    Ok((p, vars))
 }
 
 /// One point of the paper's U-sweep Pareto curve.
@@ -587,11 +918,7 @@ pub fn u_sweep(
     let alphas = alpha_factors(&per_corner_skews);
     let before_report = variation_report(&per_corner_skews, &alphas, None);
     let mut order: Vec<usize> = (0..all_pairs.len()).collect();
-    order.sort_by(|&a, &b| {
-        before_report.per_pair[b]
-            .partial_cmp(&before_report.per_pair[a])
-            .expect("finite variation")
-    });
+    order.sort_by(|&a, &b| before_report.per_pair[b].total_cmp(&before_report.per_pair[a]));
     order.truncate(cfg.max_pairs);
     let sel_pairs: Vec<SinkPair> = order.iter().map(|&i| all_pairs[i]).collect();
     let sel_sum: f64 = order.iter().map(|&i| before_report.per_pair[i]).sum();
@@ -735,7 +1062,7 @@ fn execute_eco(
             todo.push((worst, aid, deltas));
         }
     }
-    todo.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite deltas"));
+    todo.sort_by(|a, b| b.0.total_cmp(&a.0));
 
     let mut changed = 0usize;
     let mut current = variation_before;
@@ -1091,6 +1418,39 @@ mod tests {
         );
         // must really have done something on a CTS'd tree
         assert!(report.variation_before > 0.0);
+    }
+
+    #[test]
+    fn injected_lp_and_model_faults_are_absorbed() {
+        use crate::fault::FaultPlan;
+        let tc = Testcase::generate(TestcaseKind::Cls1v1, 48, 5);
+        let luts = StageLuts::characterize(&tc.lib);
+        let plan = FaultPlan::inert(3);
+        plan.arm(FaultSite::NanArcDelay, 0, 1);
+        plan.arm(FaultSite::CorruptLutRow, 0, 1);
+        plan.arm(FaultSite::InfeasibleLp, 0, 1);
+        let mut ctx = FaultCtx::new(Some(&plan), None);
+        let (opt, report) = global_optimize_checked(
+            &tc.tree,
+            &tc.lib,
+            &tc.floorplan,
+            &luts,
+            &quick_cfg(),
+            None,
+            &mut ctx,
+            &PhaseBudget::unlimited(),
+        )
+        .expect("flow survives injected faults");
+        opt.validate().unwrap();
+        assert!(report.variation_after <= report.variation_before);
+        assert_eq!(plan.injected().len(), 3, "all three armed sites fired");
+        assert_eq!(ctx.log.of_kind(FaultKind::NanArcDelay).count(), 1);
+        assert_eq!(ctx.log.of_kind(FaultKind::CorruptDelayModel).count(), 1);
+        assert!(
+            ctx.log.of_kind(FaultKind::LpFailure).count() >= 1,
+            "the infeasible solve must show up in the log:\n{}",
+            ctx.log.to_text()
+        );
     }
 
     #[test]

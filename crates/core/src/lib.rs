@@ -39,6 +39,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 pub mod baseline;
+pub mod fault;
 pub mod flow;
 pub mod global;
 pub mod local;
@@ -47,13 +48,21 @@ pub mod moves;
 pub mod predictor;
 
 pub use baseline::{worst_skew_optimize, WorstSkewReport};
-pub use flow::{lint_gate, optimize, optimize_with, Flow, FlowConfig, OptReport};
+pub use fault::{
+    Checkpoint, FaultCtx, FaultKind, FaultLog, FaultPlan, FaultRecord, FaultSite, FlowBudget,
+    FlowError, PhaseBudget, RecoveryAction, TreeTxn,
+};
+pub use flow::{
+    check_lint_gate, lint_gate, optimize, optimize_with, try_optimize, try_optimize_with, Flow,
+    FlowConfig, OptReport,
+};
 pub use global::{
-    global_optimize, global_optimize_guarded, u_sweep, GlobalConfig, GlobalReport, LpObjective,
-    USweepPoint,
+    global_optimize, global_optimize_checked, global_optimize_guarded, u_sweep, GlobalConfig,
+    GlobalReport, LpObjective, USweepPoint,
 };
 pub use local::{
-    local_optimize, local_optimize_guarded, predict_move_gain, LocalConfig, LocalReport, Ranker,
+    local_optimize, local_optimize_checked, local_optimize_guarded, predict_move_gain,
+    CandidateRejects, LocalConfig, LocalReport, Ranker,
 };
 pub use lut::{RatioBounds, StageLuts};
 pub use moves::{apply_move, enumerate_moves, Move, MoveConfig, Resize};

@@ -6,9 +6,15 @@
 use std::collections::HashMap;
 
 use clk_liberty::{CornerId, Library};
-use clk_netlist::{ClockTree, Floorplan, NodeId, SinkPair};
-use clk_sta::{alpha_factors, local_skew_ps, pair_skews, variation_report, CornerTiming, Timer};
+use clk_netlist::{ClockTree, Floorplan, NodeId, SinkPair, TreeError};
+use clk_sta::{
+    alpha_factors, local_skew_ps, try_pair_skews, variation_report, CornerTiming, Timer,
+    TimingError,
+};
 
+use crate::fault::{
+    FaultCtx, FaultKind, FaultSite, FlowError, PhaseBudget, RecoveryAction, TreeTxn,
+};
 use crate::moves::{apply_move, enumerate_moves, Move, MoveConfig};
 use crate::predictor::{move_features_with_sides, DeltaLatencyModel, Topo};
 use clk_delay::WireModel;
@@ -73,6 +79,31 @@ pub struct IterationRecord {
     pub variation_sum: f64,
 }
 
+/// Why a realized candidate was not committed — every worker outcome is
+/// accounted for here instead of being silently dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CandidateRejects {
+    /// The move could not be applied to the trial tree (typed
+    /// [`TreeError`] from the move engine).
+    pub apply_failed: usize,
+    /// The golden timer could not time the trial tree.
+    pub timing_failed: usize,
+    /// The trial would have created new DRC violations.
+    pub drc: usize,
+    /// The worker thread panicked; the candidate was isolated and
+    /// skipped.
+    pub panicked: usize,
+    /// Timed clean but worse (or guard-violating) than the incumbent.
+    pub not_improving: usize,
+}
+
+impl CandidateRejects {
+    /// Total candidates rejected for any reason.
+    pub fn total(&self) -> usize {
+        self.apply_failed + self.timing_failed + self.drc + self.panicked + self.not_improving
+    }
+}
+
 /// Outcome of the local optimization.
 #[derive(Debug, Clone)]
 pub struct LocalReport {
@@ -84,9 +115,24 @@ pub struct LocalReport {
     pub iterations: Vec<IterationRecord>,
     /// Golden-timer evaluations spent.
     pub golden_evals: usize,
+    /// Typed accounting of every rejected candidate.
+    pub rejects: CandidateRejects,
+}
+
+/// A worker's typed failure.
+#[derive(Debug, Clone)]
+enum CandidateFailure {
+    Apply(TreeError),
+    Timing(TimingError),
+    Drc { violations: usize, baseline: usize },
 }
 
 /// Runs Algorithm 2 on `tree` in place.
+///
+/// # Panics
+///
+/// Panics if the incoming tree cannot be timed; use
+/// [`local_optimize_checked`] for a typed error instead.
 pub fn local_optimize(
     tree: &mut ClockTree,
     lib: &Library,
@@ -100,6 +146,11 @@ pub fn local_optimize(
 /// [`local_optimize`] with an explicit local-skew guard baseline
 /// (ps per corner); `None` derives it from the incoming tree. Flows pass
 /// the original tree's skews so per-phase guards do not compound.
+///
+/// # Panics
+///
+/// Panics if the incoming tree cannot be timed; use
+/// [`local_optimize_checked`] for a typed error instead.
 pub fn local_optimize_guarded(
     tree: &mut ClockTree,
     lib: &Library,
@@ -108,14 +159,55 @@ pub fn local_optimize_guarded(
     cfg: &LocalConfig,
     guard_baseline: Option<&[f64]>,
 ) -> LocalReport {
+    let mut ctx = FaultCtx::passive();
+    match local_optimize_checked(
+        tree,
+        lib,
+        fp,
+        ranker,
+        cfg,
+        guard_baseline,
+        &mut ctx,
+        &PhaseBudget::unlimited(),
+    ) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The checked core of Algorithm 2: runs on `tree` in place under a
+/// fault context (injection plan, fault log, deadline) and a phase
+/// budget, returning typed errors instead of panicking.
+///
+/// Worker-thread failures (typed or panics) are isolated per candidate:
+/// a poisoned candidate is counted in [`LocalReport::rejects`] (panics
+/// are also recorded in the fault log) and can never corrupt the
+/// committed tree, which only ever advances through a verified
+/// [`TreeTxn`] commit.
+///
+/// # Errors
+///
+/// [`FlowError::Timing`] when the *incoming* tree cannot be timed —
+/// everything after that baseline is absorbed and degraded.
+#[allow(clippy::too_many_arguments)]
+pub fn local_optimize_checked(
+    tree: &mut ClockTree,
+    lib: &Library,
+    fp: &Floorplan,
+    ranker: Ranker<'_>,
+    cfg: &LocalConfig,
+    guard_baseline: Option<&[f64]>,
+    ctx: &mut FaultCtx<'_>,
+    budget: &PhaseBudget,
+) -> Result<LocalReport, FlowError> {
     let timer = Timer::golden();
     let pairs: Vec<SinkPair> = tree.sink_pairs().to_vec();
     // alphas are an input parameter fixed on the incoming tree
-    let skews0: Vec<Vec<f64>> = timer
-        .analyze_all(tree, lib)
+    let analyses0 = timer.try_analyze_all(tree, lib)?;
+    let skews0 = analyses0
         .iter()
-        .map(|t| pair_skews(t, &pairs))
-        .collect();
+        .map(|t| try_pair_skews(t, &pairs))
+        .collect::<Result<Vec<_>, _>>()?;
     let alphas = alpha_factors(&skews0);
     let variation_before = variation_report(&skews0, &alphas, None).sum;
     let guard: Vec<f64> = match guard_baseline {
@@ -145,20 +237,42 @@ pub fn local_optimize_guarded(
         variation_after: variation_before,
         iterations: Vec::new(),
         golden_evals: 0,
+        rejects: CandidateRejects::default(),
     };
     let mut current_sum = variation_before;
     // the paper's guarantee: no new max-cap / max-transition violations
-    let drc_baseline: usize = timer
-        .analyze_all(tree, lib)
-        .iter()
-        .map(|t| t.violations().len())
-        .sum();
+    let drc_baseline: usize = analyses0.iter().map(|t| t.violations().len()).sum();
 
-    'outer: for _iter in 0..cfg.max_iterations {
+    let max_iterations = budget.clamp_iterations(cfg.max_iterations);
+    if max_iterations < cfg.max_iterations {
+        ctx.record(
+            "local",
+            FaultKind::IterationBudget,
+            RecoveryAction::Degrade,
+            format!(
+                "iterations capped {} -> {max_iterations}",
+                cfg.max_iterations
+            ),
+        );
+    }
+
+    'outer: for _iter in 0..max_iterations {
+        if ctx.out_of_time() {
+            ctx.record(
+                "local",
+                FaultKind::PhaseTimeout,
+                RecoveryAction::Degrade,
+                format!(
+                    "wall-clock budget exhausted after {} accepted moves; returning best-so-far",
+                    report.iterations.len()
+                ),
+            );
+            break;
+        }
         if report.golden_evals >= cfg.max_golden_evals {
             break;
         }
-        let timings: Vec<CornerTiming> = timer.analyze_all(tree, lib);
+        let timings: Vec<CornerTiming> = timer.try_analyze_all(tree, lib)?;
         let moves = enumerate_moves(tree, lib, &cfg.move_cfg, None);
         if moves.is_empty() {
             break;
@@ -191,7 +305,7 @@ pub fn local_optimize_guarded(
             }
             break;
         }
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite gains"));
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
         if std::env::var_os("CLOCKVAR_DEBUG_LOCAL").is_some() {
             let top: Vec<String> = scored
                 .iter()
@@ -212,43 +326,82 @@ pub fn local_optimize_guarded(
         {
             // Realize and golden-time each candidate in a worker thread
             // (the paper uses R threads; on one core this degrades
-            // gracefully to sequential evaluation).
+            // gracefully to sequential evaluation). A worker that fails
+            // returns its typed reason; a worker that panics is caught
+            // at join and counted — either way the committed tree is
+            // untouched, because workers only ever mutate their private
+            // clone.
             let pairs_ref = &pairs;
             let alphas_ref = &alphas;
-            let results: Vec<Option<(f64, Vec<f64>, ClockTree)>> = std::thread::scope(|scope| {
+            let plan = ctx.plan;
+            type CandidateResult = Result<(f64, Vec<f64>, ClockTree), CandidateFailure>;
+            let results: Vec<Option<CandidateResult>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = batch
                     .iter()
                     .map(|(_, mv)| {
                         let tree_ref: &ClockTree = tree;
-                        scope.spawn(move || {
+                        scope.spawn(move || -> CandidateResult {
+                            if plan.is_some_and(|p| p.fire(FaultSite::WorkerPanic)) {
+                                panic!("chaos: injected worker panic");
+                            }
                             let mut trial = tree_ref.clone();
-                            apply_move(&mut trial, lib, fp, &cfg.move_cfg, mv).ok()?;
-                            let analyses = Timer::golden().analyze_all(&trial, lib);
+                            apply_move(&mut trial, lib, fp, &cfg.move_cfg, mv)
+                                .map_err(CandidateFailure::Apply)?;
+                            let analyses = Timer::golden()
+                                .try_analyze_all(&trial, lib)
+                                .map_err(CandidateFailure::Timing)?;
                             let drc: usize = analyses.iter().map(|t| t.violations().len()).sum();
                             if drc > drc_baseline {
-                                return None; // would create DRC violations
+                                return Err(CandidateFailure::Drc {
+                                    violations: drc,
+                                    baseline: drc_baseline,
+                                });
                             }
-                            let skews: Vec<Vec<f64>> =
-                                analyses.iter().map(|t| pair_skews(t, pairs_ref)).collect();
+                            let skews = analyses
+                                .iter()
+                                .map(|t| try_pair_skews(t, pairs_ref))
+                                .collect::<Result<Vec<_>, _>>()
+                                .map_err(CandidateFailure::Timing)?;
                             let sum = variation_report(&skews, alphas_ref, None).sum;
                             let locals: Vec<f64> = skews.iter().map(|s| local_skew_ps(s)).collect();
-                            Some((sum, locals, trial))
+                            Ok((sum, locals, trial))
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
+                // a panicked worker yields Err from join(): map to None
+                // so the candidate is skipped, not the phase
+                handles.into_iter().map(|h| h.join().ok()).collect()
             });
             report.golden_evals += batch.len();
 
             let mut best: Option<(usize, f64)> = None;
             for (i, r) in results.iter().enumerate() {
-                if let Some((sum, locals, _)) = r {
-                    let ok = locals.iter().zip(&guard).all(|(l, g)| l <= g);
-                    if ok && *sum < current_sum && best.is_none_or(|(_, b)| *sum < b) {
-                        best = Some((i, *sum));
+                match r {
+                    None => {
+                        report.rejects.panicked += 1;
+                        ctx.record(
+                            "local",
+                            FaultKind::WorkerPanic,
+                            RecoveryAction::Skip,
+                            format!("candidate {} ({}) isolated", i, batch[i].1),
+                        );
+                    }
+                    Some(Err(CandidateFailure::Apply(e))) => {
+                        report.rejects.apply_failed += 1;
+                        let _ = e;
+                    }
+                    Some(Err(CandidateFailure::Timing(e))) => {
+                        report.rejects.timing_failed += 1;
+                        let _ = e;
+                    }
+                    Some(Err(CandidateFailure::Drc { .. })) => report.rejects.drc += 1,
+                    Some(Ok((sum, locals, _))) => {
+                        let ok = locals.iter().zip(&guard).all(|(l, g)| l <= g);
+                        if ok && *sum < current_sum && best.is_none_or(|(_, b)| *sum < b) {
+                            best = Some((i, *sum));
+                        } else {
+                            report.rejects.not_improving += 1;
+                        }
                     }
                 }
             }
@@ -256,8 +409,14 @@ pub fn local_optimize_guarded(
                 let outs: Vec<String> = results
                     .iter()
                     .map(|r| match r {
-                        Some((s, _, _)) => format!("{s:.1}"),
-                        None => "x".to_string(),
+                        Some(Ok((s, _, _))) => format!("{s:.1}"),
+                        Some(Err(CandidateFailure::Drc {
+                            violations,
+                            baseline,
+                        })) => format!("drc:{violations}>{baseline}"),
+                        Some(Err(CandidateFailure::Apply(_))) => "apply!".to_string(),
+                        Some(Err(CandidateFailure::Timing(_))) => "time!".to_string(),
+                        None => "panic!".to_string(),
                     })
                     .collect();
                 eprintln!(
@@ -266,18 +425,40 @@ pub fn local_optimize_guarded(
                 );
             }
             if let Some((i, sum)) = best {
-                let (_, _, trial) = results.into_iter().nth(i).flatten().expect("best exists");
+                let Some(Some(Ok((_, _, trial)))) = results.into_iter().nth(i) else {
+                    unreachable!("best index points at an Ok result");
+                };
+                // transactional commit: the verified trial replaces the
+                // tree only if it holds up structurally; otherwise the
+                // exact pre-batch tree is restored
+                let txn = TreeTxn::begin(tree);
                 *tree = trial;
+                if let Err(e) = tree.validate() {
+                    txn.rollback(tree);
+                    ctx.record(
+                        "local",
+                        FaultKind::PhaseError,
+                        RecoveryAction::Rollback,
+                        format!("verified candidate failed validation: {e}"),
+                    );
+                    continue;
+                }
                 #[cfg(debug_assertions)]
                 {
                     let report = clk_lint::LintRunner::structural()
                         .run(&clk_lint::DesignCtx::with_floorplan(tree, lib, fp));
-                    assert!(
-                        !report.has_errors(),
-                        "post-commit structural lint failed:\n{}",
-                        report.to_text()
-                    );
+                    if report.has_errors() {
+                        txn.rollback(tree);
+                        ctx.record(
+                            "local",
+                            FaultKind::PhaseError,
+                            RecoveryAction::Rollback,
+                            format!("post-commit structural lint failed:\n{}", report.to_text()),
+                        );
+                        continue;
+                    }
                 }
+                txn.commit();
                 current_sum = sum;
                 report.variation_after = sum;
                 report.iterations.push(IterationRecord {
@@ -290,7 +471,7 @@ pub fn local_optimize_guarded(
         // every batch failed golden verification: terminate
         break;
     }
-    report
+    Ok(report)
 }
 
 /// Predicted reduction of the variation sum for one move: apply the
@@ -392,6 +573,7 @@ pub fn predict_move_gain(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use crate::predictor::{DeltaLatencyModel, ModelKind, TrainConfig};
     use clk_cts::{Testcase, TestcaseKind};
     use clk_ml::MlpConfig;
@@ -461,5 +643,60 @@ mod tests {
         );
         // the golden gate rejects bad random moves
         assert!(report.variation_after <= report.variation_before);
+    }
+
+    #[test]
+    fn injected_worker_panic_is_isolated_and_logged() {
+        let tc = Testcase::generate(TestcaseKind::Cls1v1, 32, 24);
+        let plan = FaultPlan::inert(5);
+        plan.arm(FaultSite::WorkerPanic, 0, 2);
+        let mut ctx = FaultCtx::new(Some(&plan), None);
+        let mut tree = tc.tree.clone();
+        let report = local_optimize_checked(
+            &mut tree,
+            &tc.lib,
+            &tc.floorplan,
+            Ranker::Analytic(Topo::Flute, WireModel::D2m),
+            &quick_local(),
+            None,
+            &mut ctx,
+            &PhaseBudget::unlimited(),
+        )
+        .expect("flow survives worker panics");
+        tree.validate().unwrap();
+        assert!(report.variation_after <= report.variation_before);
+        assert_eq!(report.rejects.panicked, plan.injected().len());
+        assert_eq!(
+            ctx.log.of_kind(FaultKind::WorkerPanic).count(),
+            plan.injected().len()
+        );
+        assert!(
+            !plan.injected().is_empty(),
+            "plan never got an opportunity to fire"
+        );
+    }
+
+    #[test]
+    fn iteration_budget_degrades_and_is_logged() {
+        let tc = Testcase::generate(TestcaseKind::Cls1v1, 32, 25);
+        let mut ctx = FaultCtx::passive();
+        let mut tree = tc.tree.clone();
+        let budget = PhaseBudget {
+            wall_clock: None,
+            max_iterations: Some(1),
+        };
+        let report = local_optimize_checked(
+            &mut tree,
+            &tc.lib,
+            &tc.floorplan,
+            Ranker::Analytic(Topo::Flute, WireModel::D2m),
+            &quick_local(),
+            None,
+            &mut ctx,
+            &budget,
+        )
+        .expect("budgeted run completes");
+        assert!(report.iterations.len() <= 1);
+        assert_eq!(ctx.log.of_kind(FaultKind::IterationBudget).count(), 1);
     }
 }

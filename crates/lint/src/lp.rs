@@ -155,9 +155,9 @@ mod tests {
 
     fn tiny() -> Problem {
         let mut p = Problem::new();
-        let x = p.add_var(0.0, 10.0, 1.0);
-        let y = p.add_var(0.0, f64::INFINITY, 2.0);
-        p.add_row(RowKind::Le, 4.0, &[(x, 1.0), (y, 2.0)]);
+        let x = p.add_var(0.0, 10.0, 1.0).unwrap();
+        let y = p.add_var(0.0, f64::INFINITY, 2.0).unwrap();
+        p.add_row(RowKind::Le, 4.0, &[(x, 1.0), (y, 2.0)]).unwrap();
         p
     }
 
@@ -179,7 +179,7 @@ mod tests {
     #[test]
     fn poisoned_coeff_and_rhs_are_l003() {
         let mut p = tiny();
-        p.debug_poison_coeff(VarId(0), 0, f64::NAN);
+        p.debug_poison_coeff(VarId(0), 0, f64::NAN).unwrap();
         p.debug_poison_rhs(0, f64::INFINITY);
         let out = audit_problem(&p);
         assert_eq!(out.iter().filter(|d| d.code == "L003").count(), 2);

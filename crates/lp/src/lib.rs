@@ -20,16 +20,17 @@
 //!
 //! // max x + y  s.t. x + 2y <= 4, 3x + y <= 6, x,y >= 0
 //! let mut p = Problem::new();
-//! let x = p.add_var(0.0, f64::INFINITY, -1.0);
-//! let y = p.add_var(0.0, f64::INFINITY, -1.0);
-//! p.add_row(RowKind::Le, 4.0, &[(x, 1.0), (y, 2.0)]);
-//! p.add_row(RowKind::Le, 6.0, &[(x, 3.0), (y, 1.0)]);
+//! let x = p.add_var(0.0, f64::INFINITY, -1.0)?;
+//! let y = p.add_var(0.0, f64::INFINITY, -1.0)?;
+//! p.add_row(RowKind::Le, 4.0, &[(x, 1.0), (y, 2.0)])?;
+//! p.add_row(RowKind::Le, 6.0, &[(x, 3.0), (y, 1.0)])?;
 //! let sol = clk_lp::solve(&p)?;
 //! assert!((sol.objective - (-2.8)).abs() < 1e-6); // x = 1.6, y = 1.2
 //! # Ok::<(), clk_lp::LpError>(())
 //! ```
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::panic, clippy::expect_used))]
 pub mod simplex;
 
 pub use simplex::{solve, LpError, Problem, RowKind, Solution, VarId};

@@ -15,7 +15,7 @@ pub enum RowKind {
     Ge,
 }
 
-/// Errors from [`solve`].
+/// Errors from the [`Problem`] builders and from [`solve`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum LpError {
     /// No feasible point exists.
@@ -26,6 +26,13 @@ pub enum LpError {
     IterationLimit,
     /// The problem definition is invalid.
     BadProblem(String),
+    /// A referenced `(variable, row)` structural term does not exist.
+    UnknownTerm {
+        /// The variable whose column was searched.
+        var: VarId,
+        /// The row the term was expected in.
+        row: usize,
+    },
 }
 
 impl std::fmt::Display for LpError {
@@ -35,6 +42,9 @@ impl std::fmt::Display for LpError {
             LpError::Unbounded => f.write_str("objective is unbounded"),
             LpError::IterationLimit => f.write_str("simplex iteration limit exceeded"),
             LpError::BadProblem(m) => write!(f, "invalid problem: {m}"),
+            LpError::UnknownTerm { var, row } => {
+                write!(f, "no existing term for {var:?} in row {row}")
+            }
         }
     }
 }
@@ -61,23 +71,11 @@ impl Problem {
     /// Adds a variable with bounds `[lo, hi]` (±∞ allowed) and objective
     /// coefficient `cost`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `lo > hi` or `cost` is not finite.
-    pub fn add_var(&mut self, lo: f64, hi: f64, cost: f64) -> VarId {
-        match self.try_add_var(lo, hi, cost) {
-            Ok(v) => v,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible variant of [`Problem::add_var`].
-    ///
     /// # Errors
     ///
     /// [`LpError::BadProblem`] if `lo > hi`, a bound is NaN, or `cost` is
     /// not finite.
-    pub fn try_add_var(&mut self, lo: f64, hi: f64, cost: f64) -> Result<VarId, LpError> {
+    pub fn add_var(&mut self, lo: f64, hi: f64, cost: f64) -> Result<VarId, LpError> {
         if lo.is_nan() || hi.is_nan() {
             return Err(LpError::BadProblem(format!(
                 "variable bound is NaN: [{lo}, {hi}]"
@@ -101,26 +99,13 @@ impl Problem {
     }
 
     /// Adds a constraint row `Σ coef·var (kind) rhs`. Duplicate variable
-    /// terms are summed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `rhs` or a coefficient is not finite, or a variable is
-    /// unknown.
-    pub fn add_row(&mut self, kind: RowKind, rhs: f64, terms: &[(VarId, f64)]) {
-        if let Err(e) = self.try_add_row(kind, rhs, terms) {
-            panic!("{e}");
-        }
-    }
-
-    /// Fallible variant of [`Problem::add_row`]. On error the problem is
-    /// left unchanged.
+    /// terms are summed. On error the problem is left unchanged.
     ///
     /// # Errors
     ///
     /// [`LpError::BadProblem`] if `rhs` or a coefficient is not finite, or
     /// a term references an unknown variable.
-    pub fn try_add_row(
+    pub fn add_row(
         &mut self,
         kind: RowKind,
         rhs: f64,
@@ -229,15 +214,20 @@ impl Problem {
 
     /// Overwrites one structural coefficient without validation. The term
     /// `(row, coefficient)` must already exist in the variable's column.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::UnknownTerm`] if the variable has no structural term in
+    /// `row` (the poison hooks never create structure, only corrupt it).
     #[doc(hidden)]
-    pub fn debug_poison_coeff(&mut self, v: VarId, row: usize, a: f64) {
+    pub fn debug_poison_coeff(&mut self, v: VarId, row: usize, a: f64) -> Result<(), LpError> {
         for t in &mut self.cols[v.0] {
             if t.0 == row {
                 t.1 = a;
-                return;
+                return Ok(());
             }
         }
-        panic!("no existing term for {v:?} in row {row}");
+        Err(LpError::UnknownTerm { var: v, row })
     }
 }
 
@@ -699,11 +689,11 @@ mod tests {
     fn textbook_max_problem() {
         // max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18 => x=2,y=6, obj=36
         let mut p = Problem::new();
-        let x = p.add_var(0.0, INF, -3.0);
-        let y = p.add_var(0.0, INF, -5.0);
-        p.add_row(RowKind::Le, 4.0, &[(x, 1.0)]);
-        p.add_row(RowKind::Le, 12.0, &[(y, 2.0)]);
-        p.add_row(RowKind::Le, 18.0, &[(x, 3.0), (y, 2.0)]);
+        let x = p.add_var(0.0, INF, -3.0).unwrap();
+        let y = p.add_var(0.0, INF, -5.0).unwrap();
+        p.add_row(RowKind::Le, 4.0, &[(x, 1.0)]).unwrap();
+        p.add_row(RowKind::Le, 12.0, &[(y, 2.0)]).unwrap();
+        p.add_row(RowKind::Le, 18.0, &[(x, 3.0), (y, 2.0)]).unwrap();
         let s = solve(&p).unwrap();
         assert!((s.value(x) - 2.0).abs() < 1e-7, "x = {}", s.value(x));
         assert!((s.value(y) - 6.0).abs() < 1e-7);
@@ -715,10 +705,10 @@ mod tests {
     fn equality_rows_need_phase1() {
         // min x + y s.t. x + y = 10, x - y = 2 => x=6, y=4
         let mut p = Problem::new();
-        let x = p.add_var(0.0, INF, 1.0);
-        let y = p.add_var(0.0, INF, 1.0);
-        p.add_row(RowKind::Eq, 10.0, &[(x, 1.0), (y, 1.0)]);
-        p.add_row(RowKind::Eq, 2.0, &[(x, 1.0), (y, -1.0)]);
+        let x = p.add_var(0.0, INF, 1.0).unwrap();
+        let y = p.add_var(0.0, INF, 1.0).unwrap();
+        p.add_row(RowKind::Eq, 10.0, &[(x, 1.0), (y, 1.0)]).unwrap();
+        p.add_row(RowKind::Eq, 2.0, &[(x, 1.0), (y, -1.0)]).unwrap();
         let s = solve(&p).unwrap();
         assert!((s.value(x) - 6.0).abs() < 1e-7);
         assert!((s.value(y) - 4.0).abs() < 1e-7);
@@ -728,9 +718,9 @@ mod tests {
     fn ge_rows_need_phase1() {
         // min 2x + 3y s.t. x + y >= 4, x >= 1, y >= 0 => x=4,y=0 obj 8
         let mut p = Problem::new();
-        let x = p.add_var(1.0, INF, 2.0);
-        let y = p.add_var(0.0, INF, 3.0);
-        p.add_row(RowKind::Ge, 4.0, &[(x, 1.0), (y, 1.0)]);
+        let x = p.add_var(1.0, INF, 2.0).unwrap();
+        let y = p.add_var(0.0, INF, 3.0).unwrap();
+        p.add_row(RowKind::Ge, 4.0, &[(x, 1.0), (y, 1.0)]).unwrap();
         let s = solve(&p).unwrap();
         assert!((s.objective - 8.0).abs() < 1e-7, "obj {}", s.objective);
     }
@@ -738,32 +728,32 @@ mod tests {
     #[test]
     fn infeasible_detected() {
         let mut p = Problem::new();
-        let x = p.add_var(0.0, 1.0, 1.0);
-        p.add_row(RowKind::Ge, 5.0, &[(x, 1.0)]);
+        let x = p.add_var(0.0, 1.0, 1.0).unwrap();
+        p.add_row(RowKind::Ge, 5.0, &[(x, 1.0)]).unwrap();
         assert_eq!(solve(&p).unwrap_err(), LpError::Infeasible);
     }
 
     #[test]
     fn contradictory_equalities_infeasible() {
         let mut p = Problem::new();
-        let x = p.add_var(-INF, INF, 0.0);
-        p.add_row(RowKind::Eq, 1.0, &[(x, 1.0)]);
-        p.add_row(RowKind::Eq, 2.0, &[(x, 1.0)]);
+        let x = p.add_var(-INF, INF, 0.0).unwrap();
+        p.add_row(RowKind::Eq, 1.0, &[(x, 1.0)]).unwrap();
+        p.add_row(RowKind::Eq, 2.0, &[(x, 1.0)]).unwrap();
         assert_eq!(solve(&p).unwrap_err(), LpError::Infeasible);
     }
 
     #[test]
     fn unbounded_detected() {
         let mut p = Problem::new();
-        let x = p.add_var(0.0, INF, -1.0);
-        p.add_row(RowKind::Ge, 1.0, &[(x, 1.0)]);
+        let x = p.add_var(0.0, INF, -1.0).unwrap();
+        p.add_row(RowKind::Ge, 1.0, &[(x, 1.0)]).unwrap();
         assert_eq!(solve(&p).unwrap_err(), LpError::Unbounded);
     }
 
     #[test]
     fn free_variable_unbounded() {
         let mut p = Problem::new();
-        let _x = p.add_var(-INF, INF, 1.0);
+        let _x = p.add_var(-INF, INF, 1.0).unwrap();
         assert_eq!(solve(&p).unwrap_err(), LpError::Unbounded);
     }
 
@@ -771,9 +761,10 @@ mod tests {
     fn pure_bound_flips_reach_optimum() {
         // min -x - 2y with 0<=x<=3, 0<=y<=4 and a loose row
         let mut p = Problem::new();
-        let x = p.add_var(0.0, 3.0, -1.0);
-        let y = p.add_var(0.0, 4.0, -2.0);
-        p.add_row(RowKind::Le, 100.0, &[(x, 1.0), (y, 1.0)]);
+        let x = p.add_var(0.0, 3.0, -1.0).unwrap();
+        let y = p.add_var(0.0, 4.0, -2.0).unwrap();
+        p.add_row(RowKind::Le, 100.0, &[(x, 1.0), (y, 1.0)])
+            .unwrap();
         let s = solve(&p).unwrap();
         assert!((s.value(x) - 3.0).abs() < 1e-7);
         assert!((s.value(y) - 4.0).abs() < 1e-7);
@@ -783,10 +774,10 @@ mod tests {
     fn negative_bounds_and_free_vars() {
         // min x + y, -5<=x<=5, y free, x + y = -2, y >= -3 (via row)
         let mut p = Problem::new();
-        let x = p.add_var(-5.0, 5.0, 1.0);
-        let y = p.add_var(-INF, INF, 1.0);
-        p.add_row(RowKind::Eq, -2.0, &[(x, 1.0), (y, 1.0)]);
-        p.add_row(RowKind::Ge, -3.0, &[(y, 1.0)]);
+        let x = p.add_var(-5.0, 5.0, 1.0).unwrap();
+        let y = p.add_var(-INF, INF, 1.0).unwrap();
+        p.add_row(RowKind::Eq, -2.0, &[(x, 1.0), (y, 1.0)]).unwrap();
+        p.add_row(RowKind::Ge, -3.0, &[(y, 1.0)]).unwrap();
         let s = solve(&p).unwrap();
         assert!((s.objective + 2.0).abs() < 1e-7);
         assert!(feasible(&p, &s.x, 1e-7));
@@ -796,10 +787,11 @@ mod tests {
     fn absolute_value_split_pattern() {
         // min |t - 7| modeled as t = 7 + pos - neg, min pos + neg, t <= 5
         let mut p = Problem::new();
-        let t = p.add_var(-INF, 5.0, 0.0);
-        let pos = p.add_var(0.0, INF, 1.0);
-        let neg = p.add_var(0.0, INF, 1.0);
-        p.add_row(RowKind::Eq, 7.0, &[(t, 1.0), (pos, -1.0), (neg, 1.0)]);
+        let t = p.add_var(-INF, 5.0, 0.0).unwrap();
+        let pos = p.add_var(0.0, INF, 1.0).unwrap();
+        let neg = p.add_var(0.0, INF, 1.0).unwrap();
+        p.add_row(RowKind::Eq, 7.0, &[(t, 1.0), (pos, -1.0), (neg, 1.0)])
+            .unwrap();
         let s = solve(&p).unwrap();
         assert!((s.objective - 2.0).abs() < 1e-7, "obj {}", s.objective);
         assert!((s.value(t) - 5.0).abs() < 1e-7);
@@ -809,13 +801,13 @@ mod tests {
     fn degenerate_problem_terminates() {
         // multiple redundant constraints through the optimum
         let mut p = Problem::new();
-        let x = p.add_var(0.0, INF, -1.0);
-        let y = p.add_var(0.0, INF, -1.0);
+        let x = p.add_var(0.0, INF, -1.0).unwrap();
+        let y = p.add_var(0.0, INF, -1.0).unwrap();
         for _ in 0..4 {
-            p.add_row(RowKind::Le, 1.0, &[(x, 1.0), (y, 1.0)]);
+            p.add_row(RowKind::Le, 1.0, &[(x, 1.0), (y, 1.0)]).unwrap();
         }
-        p.add_row(RowKind::Le, 1.0, &[(x, 1.0)]);
-        p.add_row(RowKind::Le, 1.0, &[(y, 1.0)]);
+        p.add_row(RowKind::Le, 1.0, &[(x, 1.0)]).unwrap();
+        p.add_row(RowKind::Le, 1.0, &[(y, 1.0)]).unwrap();
         let s = solve(&p).unwrap();
         assert!((s.objective + 1.0).abs() < 1e-7);
     }
@@ -823,8 +815,8 @@ mod tests {
     #[test]
     fn duplicate_terms_merge() {
         let mut p = Problem::new();
-        let x = p.add_var(0.0, INF, -1.0);
-        p.add_row(RowKind::Le, 6.0, &[(x, 1.0), (x, 2.0)]); // 3x <= 6
+        let x = p.add_var(0.0, INF, -1.0).unwrap();
+        p.add_row(RowKind::Le, 6.0, &[(x, 1.0), (x, 2.0)]).unwrap(); // 3x <= 6
         let s = solve(&p).unwrap();
         assert!((s.value(x) - 2.0).abs() < 1e-7);
     }
@@ -844,13 +836,16 @@ mod tests {
             let nr = 2 + (case % 5);
             let mut p = Problem::new();
             let vars: Vec<VarId> = (0..nv)
-                .map(|_| p.add_var(0.0, 1.0 + 4.0 * rnd(), 2.0 * rnd() - 1.0))
+                .map(|_| {
+                    p.add_var(0.0, 1.0 + 4.0 * rnd(), 2.0 * rnd() - 1.0)
+                        .unwrap()
+                })
                 .collect();
             for _ in 0..nr {
                 let terms: Vec<(VarId, f64)> =
                     vars.iter().map(|&v| (v, 2.0 * rnd() - 0.5)).collect();
                 // rhs chosen so x=0 is feasible for Le rows
-                p.add_row(RowKind::Le, 0.5 + 3.0 * rnd(), &terms);
+                p.add_row(RowKind::Le, 0.5 + 3.0 * rnd(), &terms).unwrap();
             }
             let s = solve(&p).unwrap_or_else(|e| panic!("case {case}: {e}"));
             assert!(feasible(&p, &s.x, 1e-6), "case {case} infeasible answer");
@@ -874,17 +869,56 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bounds out of order")]
-    fn bad_bounds_panic() {
+    fn bad_bounds_rejected() {
         let mut p = Problem::new();
-        let _ = p.add_var(2.0, 1.0, 0.0);
+        let e = p.add_var(2.0, 1.0, 0.0).unwrap_err();
+        assert!(
+            matches!(e, LpError::BadProblem(ref m) if m.contains("out of order")),
+            "{e}"
+        );
+        let e = p.add_var(f64::NAN, 1.0, 0.0).unwrap_err();
+        assert!(
+            matches!(e, LpError::BadProblem(ref m) if m.contains("NaN")),
+            "{e}"
+        );
+        let e = p.add_var(0.0, 1.0, f64::INFINITY).unwrap_err();
+        assert!(
+            matches!(e, LpError::BadProblem(ref m) if m.contains("finite")),
+            "{e}"
+        );
+        assert_eq!(
+            p.num_vars(),
+            0,
+            "failed add_var must not mutate the problem"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "unknown variable")]
-    fn unknown_var_panics() {
+    fn unknown_var_rejected() {
         let mut p = Problem::new();
-        let _x = p.add_var(0.0, 1.0, 0.0);
-        p.add_row(RowKind::Le, 1.0, &[(VarId(7), 1.0)]);
+        let _x = p.add_var(0.0, 1.0, 0.0).unwrap();
+        let e = p.add_row(RowKind::Le, 1.0, &[(VarId(7), 1.0)]).unwrap_err();
+        assert!(
+            matches!(e, LpError::BadProblem(ref m) if m.contains("unknown variable")),
+            "{e}"
+        );
+        let e = p.add_row(RowKind::Le, f64::NAN, &[]).unwrap_err();
+        assert!(
+            matches!(e, LpError::BadProblem(ref m) if m.contains("rhs")),
+            "{e}"
+        );
+        assert_eq!(
+            p.num_rows(),
+            0,
+            "failed add_row must not mutate the problem"
+        );
+    }
+
+    #[test]
+    fn poison_coeff_unknown_term() {
+        let mut p = Problem::new();
+        let x = p.add_var(0.0, 1.0, 0.0).unwrap();
+        let e = p.debug_poison_coeff(x, 3, 1.0).unwrap_err();
+        assert_eq!(e, LpError::UnknownTerm { var: x, row: 3 });
     }
 }

@@ -22,7 +22,7 @@ proptest! {
         for (i, &(lo, width)) in bounds.iter().enumerate() {
             let hi = lo + width;
             let c = costs[i];
-            p.add_var(lo, hi, c);
+            p.add_var(lo, hi, c).unwrap();
             expect += if c >= 0.0 { c * lo } else { c * hi };
         }
         let s = solve(&p).expect("box LPs are always solvable");
@@ -43,9 +43,9 @@ proptest! {
         for &(w, v) in &items {
             let _ = (w, v);
         }
-        let vars: Vec<_> = items.iter().map(|&(_, v)| p.add_var(0.0, 1.0, -v)).collect();
+        let vars: Vec<_> = items.iter().map(|&(_, v)| p.add_var(0.0, 1.0, -v).unwrap()).collect();
         let terms: Vec<_> = vars.iter().zip(&items).map(|(&x, &(w, _))| (x, w)).collect();
-        p.add_row(RowKind::Le, cap, &terms);
+        p.add_row(RowKind::Le, cap, &terms).unwrap();
         let s = solve(&p).expect("knapsack relaxation is feasible");
         // greedy fractional optimum
         let mut order: Vec<usize> = (0..items.len()).collect();
@@ -82,16 +82,16 @@ proptest! {
             for j in 0..demand.len() {
                 // deterministic pseudo-random cost
                 let cost = 1.0 + ((i * 7 + j * 13) % 5) as f64;
-                row.push(p.add_var(0.0, INF, cost));
+                row.push(p.add_var(0.0, INF, cost).unwrap());
             }
         }
         for (i, &s) in supply.iter().enumerate() {
             let terms: Vec<_> = x[i].iter().map(|&v| (v, 1.0)).collect();
-            p.add_row(RowKind::Eq, s, &terms);
+            p.add_row(RowKind::Eq, s, &terms).unwrap();
         }
         for (j, &d) in demand.iter().enumerate() {
             let terms: Vec<_> = x.iter().map(|row| (row[j], 1.0)).collect();
-            p.add_row(RowKind::Eq, d, &terms);
+            p.add_row(RowKind::Eq, d, &terms).unwrap();
         }
         let s = solve(&p).expect("balanced transportation is feasible");
         // shipped amounts are nonnegative and respect supplies
@@ -105,9 +105,80 @@ proptest! {
     #[test]
     fn constructed_infeasibility_detected(gap in 0.1f64..50.0, at in -20.0f64..20.0) {
         let mut p = Problem::new();
-        let x = p.add_var(-INF, INF, 1.0);
-        p.add_row(RowKind::Le, at, &[(x, 1.0)]);
-        p.add_row(RowKind::Ge, at + gap, &[(x, 1.0)]);
+        let x = p.add_var(-INF, INF, 1.0).unwrap();
+        p.add_row(RowKind::Le, at, &[(x, 1.0)]).unwrap();
+        p.add_row(RowKind::Ge, at + gap, &[(x, 1.0)]).unwrap();
         prop_assert_eq!(solve(&p).unwrap_err(), LpError::Infeasible);
+    }
+
+    /// The Result-based builders plus `solve` never panic on arbitrary
+    /// finite inputs: every outcome — optimal, infeasible, iteration
+    /// limit — comes back as a typed `Result`.
+    #[test]
+    fn solver_never_panics_on_finite_inputs(
+        vars in prop::collection::vec((-1e6f64..1e6, 0.0f64..1e6, -1e3f64..1e3), 1..12),
+        rows in prop::collection::vec(
+            (0u8..3, -1e6f64..1e6, prop::collection::vec((0usize..12, -1e3f64..1e3), 0..8)),
+            0..12),
+    ) {
+        let mut p = Problem::new();
+        let ids: Vec<_> = vars
+            .iter()
+            .map(|&(lo, w, c)| p.add_var(lo, lo + w, c).unwrap())
+            .collect();
+        for (kind, rhs, terms) in rows {
+            let kind = match kind { 0 => RowKind::Le, 1 => RowKind::Ge, _ => RowKind::Eq };
+            let terms: Vec<_> = terms
+                .into_iter()
+                .filter(|&(i, _)| i < ids.len())
+                .map(|(i, a)| (ids[i], a))
+                .collect();
+            p.add_row(kind, rhs, &terms).unwrap();
+        }
+        // any Err is fine: typed failure is the contract, panicking is not
+        if let Ok(s) = solve(&p) {
+            // box-bounded vars: an optimum, if one exists, is finite
+            prop_assert!(s.objective.is_finite(), "non-finite optimum {}", s.objective);
+        }
+    }
+
+    /// The builders reject non-finite inputs with a typed error instead
+    /// of panicking or silently accepting a poisoned model.
+    #[test]
+    fn builders_reject_non_finite_without_panicking(
+        idx in prop::collection::vec(0u8..6, 5),
+        scale in 0.1f64..1e6,
+    ) {
+        // palette mixing ordinary values with every non-finite special
+        let weird = |i: u8| -> f64 {
+            match i % 6 {
+                0 => f64::NAN,
+                1 => INF,
+                2 => -INF,
+                3 => 0.0,
+                4 => scale,
+                _ => -scale,
+            }
+        };
+        let (lo, hi, cost, rhs, coeff) =
+            (weird(idx[0]), weird(idx[1]), weird(idx[2]), weird(idx[3]), weird(idx[4]));
+        let mut p = Problem::new();
+        match p.add_var(lo, hi, cost) {
+            Ok(v) => {
+                // accepted: the inputs were a well-formed column
+                prop_assert!(!lo.is_nan() && !hi.is_nan() && cost.is_finite() && lo <= hi);
+                match p.add_row(RowKind::Le, rhs, &[(v, coeff)]) {
+                    Ok(()) => prop_assert!(rhs.is_finite() && coeff.is_finite()),
+                    Err(LpError::BadProblem(_)) => {
+                        prop_assert!(!rhs.is_finite() || !coeff.is_finite());
+                    }
+                    Err(e) => prop_assert!(false, "unexpected error {e}"),
+                }
+            }
+            Err(LpError::BadProblem(_)) => {
+                prop_assert!(lo.is_nan() || hi.is_nan() || !cost.is_finite() || lo > hi);
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
     }
 }

@@ -34,6 +34,7 @@
 //! ```
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::panic))]
 pub mod power;
 pub mod report;
 pub mod skew;
@@ -41,6 +42,7 @@ pub mod timer;
 
 pub use power::{clock_power, PowerReport};
 pub use skew::{
-    alpha_factors, local_skew_ps, pair_skews, skew_ratios, variation_report, VariationReport,
+    alpha_factors, local_skew_ps, pair_skews, skew_ratios, try_pair_skews, variation_report,
+    VariationReport,
 };
 pub use timer::{arc_delays_ps, CornerTiming, Timer, TimerOptions, TimingError, Violation};

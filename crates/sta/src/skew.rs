@@ -3,14 +3,32 @@
 
 use clk_netlist::SinkPair;
 
-use crate::timer::CornerTiming;
+use crate::timer::{CornerTiming, TimingError};
 
 /// Signed skew of every pair at one corner:
 /// `skew = arrival(a) − arrival(b)` with the pair's normalized orientation.
+///
+/// # Panics
+///
+/// Panics if a pair endpoint has no finite arrival; use
+/// [`try_pair_skews`] to get a [`TimingError`] instead.
 pub fn pair_skews(timing: &CornerTiming, pairs: &[SinkPair]) -> Vec<f64> {
     pairs
         .iter()
         .map(|p| timing.arrival_ps(p.a) - timing.arrival_ps(p.b))
+        .collect()
+}
+
+/// Fallible variant of [`pair_skews`]: stops at the first pair endpoint
+/// without a finite arrival.
+///
+/// # Errors
+///
+/// [`TimingError::NonFinite`] naming the offending endpoint.
+pub fn try_pair_skews(timing: &CornerTiming, pairs: &[SinkPair]) -> Result<Vec<f64>, TimingError> {
+    pairs
+        .iter()
+        .map(|p| Ok(timing.try_arrival_ps(p.a)? - timing.try_arrival_ps(p.b)?))
         .collect()
 }
 

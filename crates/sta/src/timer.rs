@@ -5,6 +5,14 @@ use clk_liberty::{CornerId, Library};
 use clk_netlist::{ArcSet, ClockTree, NodeId, NodeKind};
 use clk_route::WireTree;
 
+/// The single place the documented panicking wrappers are allowed to
+/// abort from; everything else in the crate must return [`TimingError`].
+#[cold]
+#[allow(clippy::panic)]
+fn die(e: TimingError) -> ! {
+    panic!("{e}")
+}
+
 /// Timing-analysis configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimerOptions {
@@ -112,7 +120,7 @@ impl CornerTiming {
     pub fn arrival_ps(&self, id: NodeId) -> f64 {
         match self.try_arrival_ps(id) {
             Ok(v) => v,
-            Err(e) => panic!("{e}"),
+            Err(e) => die(e),
         }
     }
 
@@ -142,7 +150,7 @@ impl CornerTiming {
     pub fn slew_ps(&self, id: NodeId) -> f64 {
         match self.try_slew_ps(id) {
             Ok(v) => v,
-            Err(e) => panic!("{e}"),
+            Err(e) => die(e),
         }
     }
 
@@ -223,7 +231,7 @@ impl Timer {
     pub fn analyze(&self, tree: &ClockTree, lib: &Library, corner: CornerId) -> CornerTiming {
         match self.try_analyze(tree, lib, corner) {
             Ok(t) => t,
-            Err(e) => panic!("{e}"),
+            Err(e) => die(e),
         }
     }
 

@@ -1,0 +1,193 @@
+//! Integration tests of the fault-tolerant flow runtime: rollback
+//! byte-identity under injected faults and raw corruption, and
+//! panic-freedom of the checked flow entry points on corrupted
+//! testcases (the gate-or-typed-error contract).
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use clk_delay::WireModel;
+use clk_geom::Point;
+use clk_lint::LintLevel;
+use clk_netlist::io::write_ctree;
+use clk_netlist::{ClockTree, NodeId, SinkPair};
+use clk_skewopt::predictor::Topo;
+use clk_skewopt::{
+    local_optimize_checked, try_optimize_with, FaultCtx, FaultPlan, FaultSite, Flow, FlowConfig,
+    GlobalConfig, LocalConfig, PhaseBudget, Ranker, StageLuts, TreeTxn,
+};
+
+use clk_cts::{Testcase, TestcaseKind};
+
+fn quick_cfg() -> FlowConfig {
+    FlowConfig {
+        global: GlobalConfig {
+            max_pairs: 30,
+            lambdas: vec![0.05, 0.3],
+            rounds: 1,
+            ..GlobalConfig::default()
+        },
+        local: LocalConfig {
+            max_iterations: 1,
+            max_batches: 1,
+            ..LocalConfig::default()
+        },
+        ..FlowConfig::default()
+    }
+}
+
+/// Per-technology LUTs shared across cases (all Cls1v1 testcases use the
+/// same synthetic library).
+fn luts() -> &'static StageLuts {
+    static LUTS: OnceLock<StageLuts> = OnceLock::new();
+    LUTS.get_or_init(|| {
+        let tc = Testcase::generate(TestcaseKind::Cls1v1, 8, 1);
+        StageLuts::characterize(&tc.lib)
+    })
+}
+
+/// Picks a buffer that has both a parent and a grandparent.
+fn deep_buffer(tree: &ClockTree) -> NodeId {
+    tree.buffers()
+        .find(|&b| tree.parent(b).and_then(|p| tree.parent(p)).is_some())
+        .expect("CTS trees have multi-level buffers")
+}
+
+/// A local phase whose every candidate worker panics must absorb every
+/// panic and leave the tree byte-identical to the pre-phase snapshot.
+#[test]
+fn all_panicking_workers_leave_tree_byte_identical() {
+    let tc = Testcase::generate(TestcaseKind::Cls1v1, 18, 5);
+    let plan = FaultPlan::inert(5);
+    plan.arm(FaultSite::WorkerPanic, 0, u32::MAX);
+    let mut tree = tc.tree.clone();
+    let before = write_ctree(&tree, &tc.lib);
+    let mut ctx = FaultCtx::new(Some(&plan), None);
+    let rep = local_optimize_checked(
+        &mut tree,
+        &tc.lib,
+        &tc.floorplan,
+        Ranker::Analytic(Topo::Flute, WireModel::D2m),
+        &quick_cfg().local,
+        None,
+        &mut ctx,
+        &PhaseBudget::unlimited(),
+    )
+    .expect("the phase absorbs worker panics");
+    assert!(rep.rejects.panicked > 0, "no worker ever panicked");
+    assert_eq!(rep.rejects.panicked, plan.injected().len());
+    assert_eq!(
+        ctx.log.of_kind(clk_skewopt::FaultKind::WorkerPanic).count(),
+        rep.rejects.panicked
+    );
+    assert_eq!(
+        write_ctree(&tree, &tc.lib),
+        before,
+        "tree drifted from the pre-phase snapshot"
+    );
+}
+
+/// A rolled-back transaction restores the exact pre-transaction bytes
+/// even after raw (invariant-breaking) corruption of the working tree.
+#[test]
+fn txn_rollback_is_byte_identical_after_raw_corruption() {
+    let tc = Testcase::generate(TestcaseKind::Cls1v1, 18, 6);
+    let mut tree = tc.tree.clone();
+    let before = write_ctree(&tree, &tc.lib);
+    let txn = TreeTxn::begin(&tree);
+
+    let b = deep_buffer(&tree);
+    let p = tree.parent(b).expect("deep buffer has parent");
+    tree.debug_unlink_child(p, b);
+    let s = tree.sinks().next().expect("has sinks");
+    let l = tree.loc(s);
+    tree.debug_set_loc_raw(s, Point::new(l.x - 70_000, l.y - 70_000));
+    let pair = tree.sink_pairs()[0];
+    tree.set_sink_pairs(vec![SinkPair::with_weight(pair.a, pair.b, f64::NAN)]);
+    assert!(tree.validate().is_err(), "corruption was not corrupting");
+
+    txn.rollback(&mut tree);
+    assert_eq!(
+        write_ctree(&tree, &tc.lib),
+        before,
+        "rollback is not byte-identical"
+    );
+    tree.validate().expect("rolled-back tree is valid again");
+}
+
+/// A NaN pair weight sailing past disabled gates still flows through
+/// typed error paths (frozen LP variables, skipped λ points) — never a
+/// panic.
+#[test]
+fn nan_pair_weight_with_gates_off_does_not_panic() {
+    let mut tc = Testcase::generate(TestcaseKind::Cls1v1, 18, 7);
+    let pair = tc.tree.sink_pairs()[0];
+    tc.tree
+        .set_sink_pairs(vec![SinkPair::with_weight(pair.a, pair.b, f64::NAN)]);
+    let mut cfg = quick_cfg();
+    cfg.lint_level = LintLevel::Off;
+    // any Result is the contract; panicking is not
+    match try_optimize_with(&tc, Flow::Global, &cfg, Some(luts()), None) {
+        Ok(rep) => rep.tree.validate().expect("surviving tree is valid"),
+        Err(e) => {
+            let _ = e.to_string();
+        }
+    }
+}
+
+/// A planted corruption: raw edit applied to a fresh testcase tree.
+fn corrupt(tree: &mut ClockTree, defect: usize) {
+    match defect {
+        // detached child link
+        0 => {
+            let b = deep_buffer(tree);
+            let p = tree.parent(b).expect("deep buffer has parent");
+            tree.debug_unlink_child(p, b);
+        }
+        // orphaned subtree
+        1 => {
+            let b = deep_buffer(tree);
+            let p = tree.parent(b).expect("deep buffer has parent");
+            tree.debug_unlink_child(p, b);
+            tree.debug_set_parent_raw(b, None);
+        }
+        // a sink with fanout
+        2 => {
+            let sinks: Vec<NodeId> = tree.sinks().collect();
+            tree.debug_add_child_raw(sinks[0], sinks[1]);
+        }
+        // node teleported outside the die
+        3 => {
+            let b = deep_buffer(tree);
+            tree.debug_set_loc_raw(b, Point::new(-50_000, -50_000));
+        }
+        // NaN pair weight
+        _ => {
+            let pair = tree.sink_pairs()[0];
+            tree.set_sink_pairs(vec![SinkPair::with_weight(pair.a, pair.b, f64::NAN)]);
+        }
+    }
+}
+
+proptest! {
+    // each case runs full CTS generation; keep the count small
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The checked flow driver never panics on corrupted testcases: the
+    /// input gate (on in debug test builds) rejects them with a typed
+    /// `FlowError`, and anything that survives comes back as a valid
+    /// report.
+    #[test]
+    fn corrupted_testcases_yield_typed_results(seed in 0u64..200, defect in 0usize..5) {
+        let mut tc = Testcase::generate(TestcaseKind::Cls1v1, 16, seed);
+        corrupt(&mut tc.tree, defect);
+        match try_optimize_with(&tc, Flow::Global, &quick_cfg(), Some(luts()), None) {
+            Ok(rep) => prop_assert!(rep.tree.validate().is_ok()),
+            Err(e) => {
+                // typed failure is the contract; panicking is not
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+}

@@ -247,13 +247,13 @@ proptest! {
 
         // poisoned LP: NaN bound (L001) or NaN coefficient / rhs (L003)
         let mut p = clk_lp::Problem::new();
-        let x = p.add_var(0.0, 10.0, 1.0);
-        p.add_row(clk_lp::RowKind::Le, 5.0, &[(x, 1.0)]);
+        let x = p.add_var(0.0, 10.0, 1.0).unwrap();
+        p.add_row(clk_lp::RowKind::Le, 5.0, &[(x, 1.0)]).unwrap();
         let want = if nan_kind == 0 {
             p.debug_poison_bounds(x, f64::NAN, 1.0);
             "L001"
         } else {
-            p.debug_poison_coeff(x, 0, f64::NAN);
+            p.debug_poison_coeff(x, 0, f64::NAN).unwrap();
             "L003"
         };
         let out = clk_lint::lp::audit_problem(&p);
