@@ -11,6 +11,7 @@ use clk_geom::{Point, Rect};
 use clk_liberty::{CornerId, Library, StdCorners, WireRc};
 use clk_lp::{Problem, RowKind};
 use clk_netlist::Floorplan;
+use clk_obs::{Level, Obs, ObsConfig};
 use clk_route::{rsmt, single_trunk, WireTree};
 use clk_skewopt::predictor::move_features;
 use clk_skewopt::{enumerate_moves, MoveConfig};
@@ -74,37 +75,82 @@ fn bench_timer(c: &mut Criterion) {
     g.finish();
 }
 
+/// A dense-ish random LP of ~180 rows x 120 vars.
+fn random_lp() -> Problem {
+    let mut seed = 7u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut p = Problem::new();
+    let vars: Vec<_> = (0..120)
+        .map(|_| p.add_var(0.0, 1.0 + next(), next() - 0.5).unwrap())
+        .collect();
+    for _ in 0..180 {
+        let mut terms = Vec::new();
+        for &v in &vars {
+            if next() < 0.12 {
+                terms.push((v, next() - 0.3));
+            }
+        }
+        let rhs = 1.0 + 2.0 * next();
+        p.add_row(RowKind::Le, rhs, &terms).unwrap();
+    }
+    p
+}
+
 fn bench_lp(c: &mut Criterion) {
     let mut g = c.benchmark_group("lp");
     g.sample_size(10);
-    // a dense-ish random LP of ~180 rows x 120 vars
-    let build = || {
-        let mut seed = 7u64;
-        let mut next = move || {
-            seed ^= seed << 13;
-            seed ^= seed >> 7;
-            seed ^= seed << 17;
-            (seed >> 11) as f64 / (1u64 << 53) as f64
-        };
-        let mut p = Problem::new();
-        let vars: Vec<_> = (0..120)
-            .map(|_| p.add_var(0.0, 1.0 + next(), next() - 0.5).unwrap())
-            .collect();
-        for _ in 0..180 {
-            let mut terms = Vec::new();
-            for &v in &vars {
-                if next() < 0.12 {
-                    terms.push((v, next() - 0.3));
-                }
-            }
-            let rhs = 1.0 + 2.0 * next();
-            p.add_row(RowKind::Le, rhs, &terms).unwrap();
-        }
-        p
-    };
-    let p = build();
+    let p = random_lp();
     g.bench_function("simplex_180x120", |b| {
         b.iter_batched(|| p.clone(), |p| clk_lp::solve(&p), BatchSize::SmallInput);
+    });
+    g.finish();
+}
+
+/// Instrumentation overhead: the disabled pipeline must be free (a single
+/// `Option` branch on the hot paths — the <2% budget of DESIGN.md §8), and
+/// an enabled sink-less pipeline must stay cheap enough for Debug-level
+/// flow tracing.
+fn bench_obs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs");
+    g.sample_size(30);
+    let disabled = Obs::disabled();
+    g.bench_function("span_disabled", |b| {
+        b.iter(|| disabled.span("bench.span"));
+    });
+    g.bench_function("count_disabled", |b| {
+        b.iter(|| disabled.count("bench.ctr", 1));
+    });
+    let quiet = Obs::new(ObsConfig {
+        verbosity: Level::Debug,
+        ..ObsConfig::default()
+    });
+    g.bench_function("span_enabled_no_sinks", |b| {
+        b.iter(|| quiet.span("bench.span"));
+    });
+    g.bench_function("histogram_observe", |b| {
+        b.iter(|| quiet.observe("bench.hist", 3.25));
+    });
+    // head-to-head on the LP kernel: the instrumented entry point with a
+    // disabled pipeline must track `simplex_180x120` within noise
+    let p = random_lp();
+    g.bench_function("simplex_180x120_obs_disabled", |b| {
+        b.iter_batched(
+            || p.clone(),
+            |p| clk_lp::solve_with_obs(&p, &disabled),
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("simplex_180x120_obs_quiet", |b| {
+        b.iter_batched(
+            || p.clone(),
+            |p| clk_lp::solve_with_obs(&p, &quiet),
+            BatchSize::SmallInput,
+        );
     });
     g.finish();
 }
@@ -148,6 +194,7 @@ criterion_group!(
     bench_timer,
     bench_lp,
     bench_predictor,
-    bench_infra
+    bench_infra,
+    bench_obs
 );
 criterion_main!(benches);

@@ -8,8 +8,10 @@
 //! ```
 //!
 //! Exit code 0 when the flow survives every injected fault, returns a
-//! lint-clean tree, and `OptReport::faults` records every injection with
-//! its recovery action — suitable as a CI gate.
+//! lint-clean tree, `OptReport::faults` records every injection with its
+//! recovery action, and the `clk-obs` trace mirrors the fault log — every
+//! absorbed fault has a JSONL fault event and a non-empty flight-recorder
+//! dump — suitable as a CI gate.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -17,6 +19,7 @@ use std::sync::Arc;
 use clk_bench::{ExpArgs, Stopwatch};
 use clk_cts::{Testcase, TestcaseKind};
 use clk_lint::{DesignCtx, LintRunner};
+use clk_obs::{json, Level, Obs, ObsConfig, SharedBuf, Value};
 use clk_skewopt::{try_optimize, FaultKind, FaultPlan, FaultSite, Flow};
 
 /// The fault-log kind each injection site must show up as.
@@ -52,6 +55,14 @@ fn main() -> ExitCode {
 
     let mut cfg = cfg_base;
     cfg.fault_plan = Some(plan.clone());
+    // mirror every absorbed fault into a JSONL trace we can audit after
+    let obs = Obs::new(ObsConfig {
+        verbosity: Level::Debug,
+        ..ObsConfig::default()
+    });
+    let trace = SharedBuf::new();
+    obs.add_jsonl_buffer(&trace);
+    cfg.obs = obs.clone();
 
     println!("chaos: seed {seed}, {n} sinks, flow global-local");
     let sw = Stopwatch::start("chaos");
@@ -121,6 +132,42 @@ fn main() -> ExitCode {
     check(
         report.variation_ratio() <= 1.0 + 1e-9,
         "variation did not degrade under injection",
+    );
+
+    // ---- the obs trace must mirror the fault log ----
+    obs.flush();
+    let fault_seqs: Vec<u64> = trace
+        .contents()
+        .lines()
+        .filter_map(|l| json::parse(l).ok())
+        .filter(|v| v.get("t").and_then(Value::as_str) == Some("fault"))
+        .filter_map(|v| {
+            v.get("fields")
+                .and_then(|f| f.get("fault_seq"))
+                .and_then(Value::as_u64)
+        })
+        .collect();
+    for f in report.faults.records() {
+        check(
+            fault_seqs.contains(&f.seq),
+            &format!(
+                "fault #{} ({}) has a matching JSONL fault event",
+                f.seq, f.fault
+            ),
+        );
+    }
+    let dumps = obs.flight_dumps();
+    check(
+        dumps.len() == report.faults.len(),
+        &format!(
+            "one flight-recorder dump per absorbed fault ({} dumps, {} faults)",
+            dumps.len(),
+            report.faults.len()
+        ),
+    );
+    check(
+        dumps.iter().all(|d| !d.events.is_empty()),
+        "every flight-recorder dump is non-empty",
     );
 
     if failed {

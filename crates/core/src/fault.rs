@@ -30,6 +30,7 @@ use clk_liberty::Library;
 use clk_lp::LpError;
 use clk_netlist::io::{parse_ctree, write_ctree};
 use clk_netlist::{ClockTree, TreeError};
+use clk_obs::{kv, Obs};
 use clk_sta::TimingError;
 
 // ---------------------------------------------------------------------
@@ -167,6 +168,12 @@ impl std::fmt::Display for RecoveryAction {
 /// One absorbed fault: where, what, and how the flow recovered.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultRecord {
+    /// Monotonic sequence number, unique across one flow run (phase
+    /// logs are seq-based so numbers stay globally ordered; see
+    /// [`FaultLog::with_seq_base`]).
+    pub seq: u64,
+    /// Milliseconds between flow start and absorption.
+    pub elapsed_ms: f64,
     /// The phase that hit the fault (`"global"`, `"local"`, `"flow"`).
     pub phase: &'static str,
     /// The fault class.
@@ -181,38 +188,89 @@ impl std::fmt::Display for FaultRecord {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "[{}] {} -> {}: {}",
-            self.phase, self.fault, self.action, self.detail
+            "#{} +{:.1}ms [{}] {} -> {}: {}",
+            self.seq, self.elapsed_ms, self.phase, self.fault, self.action, self.detail
         )
     }
 }
 
 /// The ordered log of every fault a flow absorbed.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct FaultLog {
     records: Vec<FaultRecord>,
+    /// The flow start each record's `elapsed_ms` is measured from.
+    origin: Instant,
+    /// Next sequence number to stamp.
+    next: u64,
+}
+
+impl Default for FaultLog {
+    fn default() -> Self {
+        FaultLog {
+            records: Vec::new(),
+            origin: Instant::now(),
+            next: 0,
+        }
+    }
+}
+
+impl PartialEq for FaultLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.records == other.records
+    }
 }
 
 impl FaultLog {
-    /// An empty log.
+    /// An empty log with its origin at "now".
     pub fn new() -> Self {
         FaultLog::default()
     }
 
-    /// Appends a record.
+    /// Rebases `elapsed_ms` stamps on `origin` (the flow start).
+    pub fn with_origin(mut self, origin: Instant) -> Self {
+        self.origin = origin;
+        self
+    }
+
+    /// Starts sequence numbering at `base`. Phase logs are built with
+    /// the flow log's [`next_seq`](Self::next_seq) as base so that
+    /// after [`absorb`](Self::absorb) all records stay globally
+    /// monotonic.
+    pub fn with_seq_base(mut self, base: u64) -> Self {
+        self.next = base;
+        self
+    }
+
+    /// The sequence number the next record will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next
+    }
+
+    /// The instant `elapsed_ms` stamps are measured from.
+    pub fn origin(&self) -> Instant {
+        self.origin
+    }
+
+    /// Appends a record, stamping its sequence number and elapsed time.
+    /// Returns the assigned sequence number.
     pub fn record(
         &mut self,
         phase: &'static str,
         fault: FaultKind,
         action: RecoveryAction,
         detail: impl Into<String>,
-    ) {
+    ) -> u64 {
+        let seq = self.next;
+        self.next += 1;
         self.records.push(FaultRecord {
+            seq,
+            elapsed_ms: self.origin.elapsed().as_secs_f64() * 1e3,
             phase,
             fault,
             action,
             detail: detail.into(),
         });
+        seq
     }
 
     /// All records, in the order they were absorbed.
@@ -235,8 +293,10 @@ impl FaultLog {
         self.records.iter().filter(move |r| r.fault == kind)
     }
 
-    /// Merges another log into this one (phase logs into the flow log).
+    /// Merges another log into this one (phase logs into the flow log),
+    /// advancing the sequence counter past the absorbed records.
     pub fn absorb(&mut self, other: FaultLog) {
+        self.next = self.next.max(other.next);
         self.records.extend(other.records);
     }
 
@@ -453,7 +513,8 @@ pub struct FlowBudget {
 // ---------------------------------------------------------------------
 
 /// Mutable fault-handling context one phase runs under: the (optional)
-/// injection plan, the fault log being built, and the phase deadline.
+/// injection plan, the fault log being built, the phase deadline, and
+/// the observability pipeline faults are mirrored into.
 #[derive(Debug)]
 pub struct FaultCtx<'p> {
     /// Armed injection plan, if any.
@@ -462,6 +523,9 @@ pub struct FaultCtx<'p> {
     pub log: FaultLog,
     /// Wall-clock deadline of the phase.
     pub deadline: Option<Instant>,
+    /// Pipeline each absorbed fault is emitted through (fault event +
+    /// flight-recorder dump). Disabled by default.
+    pub obs: Obs,
 }
 
 impl<'p> FaultCtx<'p> {
@@ -471,6 +535,7 @@ impl<'p> FaultCtx<'p> {
             plan: None,
             log: FaultLog::new(),
             deadline: None,
+            obs: Obs::disabled(),
         }
     }
 
@@ -480,7 +545,28 @@ impl<'p> FaultCtx<'p> {
             plan,
             log: FaultLog::new(),
             deadline,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Mirrors every absorbed fault into `obs`.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Rebases this context's fault log on the flow start; see
+    /// [`FaultLog::with_origin`].
+    pub fn with_origin(mut self, origin: Instant) -> Self {
+        self.log = std::mem::take(&mut self.log).with_origin(origin);
+        self
+    }
+
+    /// Starts this context's sequence numbering at `base`; see
+    /// [`FaultLog::with_seq_base`].
+    pub fn with_seq_base(mut self, base: u64) -> Self {
+        self.log = std::mem::take(&mut self.log).with_seq_base(base);
+        self
     }
 
     /// Probes the injection plan (no-op without one).
@@ -488,7 +574,8 @@ impl<'p> FaultCtx<'p> {
         self.plan.is_some_and(|p| p.fire(site))
     }
 
-    /// Appends to the fault log.
+    /// Appends to the fault log and mirrors the record into the obs
+    /// pipeline (fault event + flight-recorder dump).
     pub fn record(
         &mut self,
         phase: &'static str,
@@ -496,12 +583,40 @@ impl<'p> FaultCtx<'p> {
         action: RecoveryAction,
         detail: impl Into<String>,
     ) {
-        self.log.record(phase, fault, action, detail);
+        let detail = detail.into();
+        let seq = self.log.record(phase, fault, action, detail.clone());
+        emit_fault(&self.obs, seq, phase, fault, action, &detail);
     }
 
     /// Whether the phase deadline has passed.
     pub fn out_of_time(&self) -> bool {
         self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// Emits one absorbed fault through the obs pipeline: an `Error`-level
+/// fault event carrying the fault-log sequence number, followed by a
+/// flight-recorder dump. Used by [`FaultCtx::record`] and by flow-level
+/// code that appends directly to the flow [`FaultLog`].
+pub fn emit_fault(
+    obs: &Obs,
+    seq: u64,
+    phase: &'static str,
+    fault: FaultKind,
+    action: RecoveryAction,
+    detail: &str,
+) {
+    if obs.enabled() {
+        obs.fault(
+            &fault.to_string(),
+            seq,
+            vec![
+                kv("phase", phase),
+                kv("action", action.to_string()),
+                kv("detail", detail),
+            ],
+        );
+        obs.count("fault.absorbed", 1);
     }
 }
 
@@ -650,6 +765,49 @@ mod tests {
         let text = log.to_text();
         assert!(text.contains("[global] lp-failure -> retry"), "{text}");
         assert!(text.contains("[local] worker-panic -> skip"), "{text}");
+        // seq stamps are monotonic and elapsed stamps non-negative
+        assert_eq!(log.records()[0].seq, 0);
+        assert_eq!(log.records()[1].seq, 1);
+        assert!(log.records().iter().all(|r| r.elapsed_ms >= 0.0));
+    }
+
+    #[test]
+    fn seq_base_keeps_absorbed_logs_globally_monotonic() {
+        let origin = Instant::now();
+        let mut flow = FaultLog::new().with_origin(origin);
+        flow.record("flow", FaultKind::PhaseError, RecoveryAction::Skip, "a");
+        let mut phase = FaultLog::new()
+            .with_origin(origin)
+            .with_seq_base(flow.next_seq());
+        phase.record("global", FaultKind::LpFailure, RecoveryAction::Retry, "b");
+        phase.record("global", FaultKind::LpFailure, RecoveryAction::Degrade, "c");
+        flow.absorb(phase);
+        let seqs: Vec<u64> = flow.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(flow.next_seq(), 3);
+    }
+
+    #[test]
+    fn ctx_record_mirrors_into_obs() {
+        use clk_obs::{Level, ObsConfig, SharedBuf};
+        let obs = Obs::new(ObsConfig::default());
+        let buf = SharedBuf::new();
+        obs.add_jsonl_buffer(&buf);
+        let mut ctx = FaultCtx::passive().with_obs(obs.clone()).with_seq_base(5);
+        let _ = Level::Error; // keep the import honest
+        ctx.record(
+            "global",
+            FaultKind::LpFailure,
+            RecoveryAction::Retry,
+            "injected",
+        );
+        obs.flush();
+        assert_eq!(ctx.log.records()[0].seq, 5);
+        let text = buf.contents();
+        assert!(text.contains("\"fault\""), "{text}");
+        assert!(text.contains("\"fault_seq\":5"), "{text}");
+        assert!(text.contains("\"flight_dump\""), "{text}");
+        assert_eq!(obs.flight_dumps().len(), 1);
     }
 
     #[test]

@@ -9,13 +9,14 @@ use std::time::Instant;
 
 use clk_lint::{DesignCtx, LintLevel, LintRunner};
 use clk_netlist::{ClockTree, Floorplan, TreeStats};
+use clk_obs::{kv, Level, Obs};
 use clk_sta::{alpha_factors, clock_power, local_skew_ps, try_pair_skews, variation_report, Timer};
 
 use clk_cts::Testcase;
 
 use crate::fault::{
-    Checkpoint, FaultCtx, FaultKind, FaultLog, FaultPlan, FlowBudget, FlowError, RecoveryAction,
-    TreeTxn,
+    emit_fault, Checkpoint, FaultCtx, FaultKind, FaultLog, FaultPlan, FlowBudget, FlowError,
+    RecoveryAction, TreeTxn,
 };
 use crate::global::{global_optimize_checked, GlobalConfig, GlobalReport};
 use crate::local::{local_optimize_checked, LocalConfig, LocalReport, Ranker};
@@ -67,6 +68,11 @@ pub struct FlowConfig {
     /// Deterministic fault-injection plan, armed by the chaos harness.
     /// `None` (the default) injects nothing.
     pub fault_plan: Option<std::sync::Arc<FaultPlan>>,
+    /// Observability pipeline: spans, metrics, event sinks, and the
+    /// flight recorder. Disabled by default (one branch per
+    /// instrumentation point); see `clk_obs::Obs::from_env` for the
+    /// `CLOCKVAR_OBS` / `CLOCKVAR_OBS_JSONL` environment hookup.
+    pub obs: Obs,
 }
 
 impl Default for FlowConfig {
@@ -80,6 +86,7 @@ impl Default for FlowConfig {
             lint_level: LintLevel::default(),
             budget: FlowBudget::default(),
             fault_plan: None,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -247,6 +254,18 @@ pub fn try_optimize_with(
     model: Option<&DeltaLatencyModel>,
 ) -> Result<OptReport, FlowError> {
     let lib = &tc.lib;
+    let obs = &cfg.obs;
+    let flow_start = Instant::now();
+    let mut flow_span = obs.span_at(
+        Level::Info,
+        "flow",
+        vec![
+            kv("flow", flow.to_string()),
+            kv("sinks", tc.tree.sinks().count()),
+        ],
+    );
+
+    let init_span = obs.span("phase.init");
     check_lint_gate(
         "CTS (flow input)",
         cfg.lint_level,
@@ -254,7 +273,7 @@ pub fn try_optimize_with(
         lib,
         &tc.floorplan,
     )?;
-    let timer = Timer::golden();
+    let timer = Timer::golden().with_obs(obs.clone());
     let analyses0 = timer.try_analyze_all(&tc.tree, lib)?;
     let skews0: Vec<Vec<f64>> = analyses0
         .iter()
@@ -268,9 +287,10 @@ pub fn try_optimize_with(
     // the deepest rollback target: the input tree is known timeable and
     // gate-clean, so a flow can always fall back to "did nothing"
     let input_ckpt = Checkpoint::capture(&tc.tree, lib);
+    drop(init_span);
 
     let plan = cfg.fault_plan.as_deref();
-    let mut faults = FaultLog::new();
+    let mut faults = FaultLog::new().with_origin(flow_start);
     let mut tree = tc.tree.clone();
     let mut global_report = None;
     let mut local_report = None;
@@ -280,7 +300,21 @@ pub fn try_optimize_with(
             "characterized stage LUTs (global phase)",
         ))?;
         let phase_start = Instant::now();
-        let mut ctx = FaultCtx::new(plan, cfg.budget.global.deadline_from(phase_start));
+        let mut phase_span = obs.span_at(
+            Level::Info,
+            "phase.global",
+            vec![kv(
+                "budget_ms",
+                cfg.budget
+                    .global
+                    .wall_clock
+                    .map_or(-1.0, |d| d.as_secs_f64() * 1e3),
+            )],
+        );
+        let mut ctx = FaultCtx::new(plan, cfg.budget.global.deadline_from(phase_start))
+            .with_obs(obs.clone())
+            .with_origin(flow_start)
+            .with_seq_base(faults.next_seq());
         match global_optimize_checked(
             &tree,
             lib,
@@ -299,6 +333,8 @@ pub fn try_optimize_with(
                 &tc.floorplan,
             ) {
                 Ok(()) => {
+                    phase_span.record("lp_iterations", rep.lp_iterations);
+                    phase_span.record("arcs_changed", rep.arcs_changed);
                     tree = opt;
                     global_report = Some(rep);
                 }
@@ -316,15 +352,31 @@ pub fn try_optimize_with(
                 format!("global phase failed ({e}); keeping the pre-phase tree"),
             ),
         }
+        phase_span.record("faults", ctx.log.len());
         faults.absorb(ctx.log);
+        drop(phase_span);
     }
     if matches!(flow, Flow::Local | Flow::GlobalLocal) {
         let model = model.ok_or(FlowError::MissingArtifact(
             "trained delta-latency predictor (local phase)",
         ))?;
         let phase_start = Instant::now();
+        let mut phase_span = obs.span_at(
+            Level::Info,
+            "phase.local",
+            vec![kv(
+                "budget_ms",
+                cfg.budget
+                    .local
+                    .wall_clock
+                    .map_or(-1.0, |d| d.as_secs_f64() * 1e3),
+            )],
+        );
         let txn = TreeTxn::begin(&tree);
-        let mut ctx = FaultCtx::new(plan, cfg.budget.local.deadline_from(phase_start));
+        let mut ctx = FaultCtx::new(plan, cfg.budget.local.deadline_from(phase_start))
+            .with_obs(obs.clone())
+            .with_origin(flow_start)
+            .with_seq_base(faults.next_seq());
         match local_optimize_checked(
             &mut tree,
             lib,
@@ -351,6 +403,8 @@ pub fn try_optimize_with(
                     );
                     txn.rollback(&mut tree);
                 } else {
+                    phase_span.record("accepted_moves", rep.iterations.len());
+                    phase_span.record("golden_evals", rep.golden_evals);
                     local_report = Some(rep);
                     txn.commit();
                 }
@@ -365,19 +419,30 @@ pub fn try_optimize_with(
                 txn.rollback(&mut tree);
             }
         }
+        phase_span.record("faults", ctx.log.len());
         faults.absorb(ctx.log);
+        drop(phase_span);
     }
 
+    let scoring_span = obs.span("phase.scoring");
     // final scoring; a tree that passed its gates but cannot be re-timed
     // (possible at LintLevel::Off) falls back to the input checkpoint
     let (tree, analyses1) = match timer.try_analyze_all(&tree, lib) {
         Ok(a) => (tree, a),
         Err(e) => {
-            faults.record(
+            let seq = faults.record(
                 "flow",
                 FaultKind::PhaseError,
                 RecoveryAction::Rollback,
                 format!("optimized tree failed final timing ({e}); restoring the input checkpoint"),
+            );
+            emit_fault(
+                obs,
+                seq,
+                "flow",
+                FaultKind::PhaseError,
+                RecoveryAction::Rollback,
+                "optimized tree failed final timing; restoring the input checkpoint",
             );
             global_report = None;
             local_report = None;
@@ -394,6 +459,13 @@ pub fn try_optimize_with(
     let local_skew_after: Vec<f64> = skews1.iter().map(|s| local_skew_ps(s)).collect();
     let stats1 = TreeStats::compute(&tree, lib);
     let power_after = clock_power(&tree, lib, &analyses1[0], cfg.freq_ghz);
+    drop(scoring_span);
+
+    flow_span.record("variation_before", variation_before);
+    flow_span.record("variation_after", variation_after);
+    flow_span.record("faults", faults.len());
+    drop(flow_span);
+    obs.flush();
 
     Ok(OptReport {
         flow,

@@ -16,6 +16,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use clk_liberty::{CellId, CornerId, Library};
 use clk_lp::{LpError, Problem, RowKind, Solution, VarId};
 use clk_netlist::{Arc, ArcId, ArcSet, ClockTree, Floorplan, NodeId, NodeKind, SinkPair};
+use clk_obs::{kv, Level, Obs};
 use clk_route::RoutePath;
 use clk_sta::{
     alpha_factors, arc_delays_ps, local_skew_ps, pair_skews, try_pair_skews, variation_report,
@@ -206,6 +207,7 @@ pub fn global_optimize_checked(
 ) -> Result<(ClockTree, GlobalReport), FlowError> {
     let mut current = tree.clone();
     let mut total: Option<GlobalReport> = None;
+    let obs = ctx.obs.clone();
     let rounds = budget.clamp_iterations(cfg.rounds.max(1)).max(1);
     if rounds < cfg.rounds.max(1) {
         ctx.record(
@@ -225,7 +227,18 @@ pub fn global_optimize_checked(
             );
             break;
         }
+        let mut round_span = obs.span_at(
+            Level::Debug,
+            "global.round",
+            vec![kv("round", round as u64)],
+        );
         let (next, rep) = global_round(&current, lib, fp, luts, cfg, guard_baseline, ctx)?;
+        obs.count("global.rounds", 1);
+        round_span.record("variation_before", rep.variation_before);
+        round_span.record("variation_after", rep.variation_after);
+        round_span.record("arcs_changed", rep.arcs_changed as u64);
+        round_span.record("lp_iterations", rep.lp_iterations as u64);
+        drop(round_span);
         let gained = rep.variation_before - rep.variation_after;
         let enough = gained > 0.002 * rep.variation_before;
         match &mut total {
@@ -344,7 +357,10 @@ fn global_round(
         None => per_corner_skews.iter().map(|s| local_skew_ps(s)).collect(),
     };
 
+    let obs = ctx.obs.clone();
     for &lambda in &cfg.lambdas {
+        let mut lambda_span =
+            obs.span_at(Level::Debug, "global.lambda", vec![kv("lambda", lambda)]);
         let mut point = SweepPoint {
             lambda,
             lp_objective: f64::NAN,
@@ -369,10 +385,13 @@ fn global_round(
             cfg,
             ctx,
         ) else {
+            lambda_span.record("outcome", "lp_skipped");
             sweep.push(point);
             continue;
         };
         lp_iterations += solution.iterations;
+        lambda_span.record("lp_iterations", solution.iterations as u64);
+        lambda_span.record("lp_objective", solution.objective);
         point.lp_objective = solution.objective;
         point.lp_total_delta = vars
             .values()
@@ -402,6 +421,7 @@ fn global_round(
                 &before_local,
                 variation_before,
                 cfg,
+                &obs,
             );
             (trial, changed, after)
         }));
@@ -412,11 +432,14 @@ fn global_round(
                 RecoveryAction::Rollback,
                 format!("ECO sweep at lambda {lambda} panicked; trial discarded"),
             );
+            lambda_span.record("outcome", "eco_panic");
             sweep.push(point);
             continue;
         };
         point.arcs_changed = changed;
+        lambda_span.record("arcs_changed", changed as u64);
         if changed == 0 {
+            lambda_span.record("outcome", "no_change");
             sweep.push(point);
             continue;
         }
@@ -427,6 +450,7 @@ fn global_round(
                 RecoveryAction::Rollback,
                 format!("trial ECO at lambda {lambda} broke tree invariants ({e}); discarded"),
             );
+            lambda_span.record("outcome", "invalid_tree");
             sweep.push(point);
             continue;
         }
@@ -444,15 +468,25 @@ fn global_round(
                         lint.to_text()
                     ),
                 );
+                lambda_span.record("outcome", "lint_reject");
                 sweep.push(point);
                 continue;
             }
         }
         point.variation_after = Some(after);
+        lambda_span.record("variation_after", after);
         if after < variation_before && best.as_ref().is_none_or(|&(_, v, _, _)| after < v) {
             point.accepted = true;
             best = Some((trial, after, lambda, changed));
         }
+        lambda_span.record(
+            "outcome",
+            if point.accepted {
+                "accepted"
+            } else {
+                "rejected"
+            },
+        );
         sweep.push(point);
     }
 
@@ -549,6 +583,7 @@ fn solve_with_ladder(
     cfg: &GlobalConfig,
     ctx: &mut FaultCtx<'_>,
 ) -> Option<(Solution, HashMap<ArcId, ArcVars>)> {
+    let obs = ctx.obs.clone();
     let attempt = |relax: &Relaxation,
                    ctx: &mut FaultCtx<'_>|
      -> Result<(Solution, HashMap<ArcId, ArcVars>), LpError> {
@@ -556,11 +591,19 @@ fn solve_with_ladder(
             tree, lib, luts, arcs, arc_d, timings, sel_pairs, path_of, involved, alphas, bounds,
             objective, cfg, relax, ctx,
         )?;
-        let sol = clk_lp::solve(&p)?;
+        ctx.obs.count("global.lp_rows_built", p.num_rows() as u64);
+        let sol = clk_lp::solve_with_obs(&p, &ctx.obs)?;
         Ok((sol, vars))
     };
+    let rung_taken = |rung: &str| {
+        obs.event(Level::Debug, "global.ladder", vec![kv("rung", rung)]);
+        obs.count(&format!("global.ladder.{rung}"), 1);
+    };
     match attempt(&Relaxation::NONE, ctx) {
-        Ok(r) => return Some(r),
+        Ok(r) => {
+            rung_taken("none");
+            return Some(r);
+        }
         Err(e @ (LpError::BadProblem(_) | LpError::UnknownTerm { .. })) => {
             ctx.record(
                 "global",
@@ -568,6 +611,7 @@ fn solve_with_ladder(
                 RecoveryAction::Skip,
                 format!("LP build rejected ({e}); skipping this sweep point"),
             );
+            rung_taken("skipped");
             return None;
         }
         Err(e) => ctx.record(
@@ -578,7 +622,10 @@ fn solve_with_ladder(
         ),
     }
     match attempt(&Relaxation::RELAXED, ctx) {
-        Ok(r) => return Some(r),
+        Ok(r) => {
+            rung_taken("relaxed");
+            return Some(r);
+        }
         Err(e) => ctx.record(
             "global",
             FaultKind::LpFailure,
@@ -587,7 +634,10 @@ fn solve_with_ladder(
         ),
     }
     match attempt(&Relaxation::DEGRADED, ctx) {
-        Ok(r) => Some(r),
+        Ok(r) => {
+            rung_taken("degraded");
+            Some(r)
+        }
         Err(e) => {
             ctx.record(
                 "global",
@@ -595,6 +645,7 @@ fn solve_with_ladder(
                 RecoveryAction::Skip,
                 format!("{e} even without ratio rows; skipping this sweep point"),
             );
+            rung_taken("skipped");
             None
         }
     }
@@ -1044,6 +1095,7 @@ fn execute_eco(
     guard_local: &[f64],
     variation_before: f64,
     cfg: &GlobalConfig,
+    obs: &Obs,
 ) -> (usize, f64) {
     let n_corners = arc_d.len();
     let timer = Timer::golden();
@@ -1064,6 +1116,11 @@ fn execute_eco(
     }
     todo.sort_by(|a, b| b.0.total_cmp(&a.0));
 
+    let mut eco_span = obs.span_at(
+        Level::Debug,
+        "global.eco",
+        vec![kv("arcs_todo", todo.len() as u64)],
+    );
     let mut changed = 0usize;
     let mut current = variation_before;
     // the paper's guarantee: no new max-cap / max-transition violations
@@ -1084,8 +1141,9 @@ fn execute_eco(
             .collect();
         let d_now: Vec<f64> = (0..n_corners).map(|k| arc_d[k][aid.0 as usize]).collect();
         let backup = tree.clone();
-        if !realize_arc(tree, lib, fp, luts, timings, &arc, &d_lp, &d_now, cfg) {
+        if !realize_arc(tree, lib, fp, luts, timings, &arc, &d_lp, &d_now, cfg, obs) {
             *tree = backup;
+            obs.count("global.eco_unrealizable", 1);
             continue;
         }
         // golden re-timing: fidelity of the realized arc delta vs the LP
@@ -1106,12 +1164,26 @@ fn execute_eco(
         }
         let fid_ok =
             fid_err <= cfg.fidelity_tol_frac * target_norm + cfg.fidelity_tol_ps * n_corners as f64;
-        if std::env::var_os("CLOCKVAR_DEBUG_ECO").is_some() {
-            eprintln!(
-                "eco arc {aid}: now {:?} -> target {:?}, realized {:?}, fid_err {fid_err:.2} (ok {fid_ok})",
-                d_now.iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>(),
-                d_lp.iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>(),
-                realized.iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>(),
+        if obs.at(Level::Trace) {
+            let round1 = |v: &[f64]| {
+                format!(
+                    "{:?}",
+                    v.iter()
+                        .map(|x| (x * 10.0).round() / 10.0)
+                        .collect::<Vec<_>>()
+                )
+            };
+            obs.event(
+                Level::Trace,
+                "eco.arc",
+                vec![
+                    kv("arc", aid.to_string()),
+                    kv("now_ps", round1(&d_now)),
+                    kv("target_ps", round1(&d_lp)),
+                    kv("realized_ps", round1(&realized)),
+                    kv("fid_err", fid_err),
+                    kv("fid_ok", fid_ok),
+                ],
             );
         }
         let skews: Vec<Vec<f64>> = t_after.iter().map(|t| pair_skews(t, all_pairs)).collect();
@@ -1125,10 +1197,14 @@ fn execute_eco(
             drc_budget = drc;
             current = after;
             changed += 1;
+            obs.count("global.eco_accepted", 1);
         } else {
             *tree = backup;
+            obs.count("global.eco_rollback", 1);
         }
     }
+    eco_span.record("arcs_kept", changed as u64);
+    drop(eco_span);
     (changed, current)
 }
 
@@ -1182,6 +1258,7 @@ pub(crate) fn realize_arc_for_baseline(
         d_lp,
         d_now,
         &GlobalConfig::default(),
+        &Obs::disabled(),
     )
 }
 
@@ -1196,6 +1273,7 @@ fn realize_arc(
     d_lp: &[f64],
     d_now: &[f64],
     cfg: &GlobalConfig,
+    obs: &Obs,
 ) -> bool {
     let n_corners = d_lp.len();
     let from_loc = tree.loc(arc.from);
@@ -1330,9 +1408,17 @@ fn realize_arc(
     let Some((best_err, size, q, n_inv)) = best else {
         return false;
     };
-    if std::env::var_os("CLOCKVAR_DEBUG_ECO").is_some() {
-        eprintln!(
-            "  realize: cur (size {cur_size:?}, q {cur_q:.1}, n {cur_n}), chosen (size {size:?}, q {q:.1}, n {n_inv}), span {span:.1}, len {cur_len:.1}, est_err {best_err:.2}"
+    if obs.at(Level::Trace) {
+        obs.event(
+            Level::Trace,
+            "eco.realize",
+            vec![
+                kv("cur", format!("size {cur_size:?}, q {cur_q:.1}, n {cur_n}")),
+                kv("chosen", format!("size {size:?}, q {q:.1}, n {n_inv}")),
+                kv("span_um", span),
+                kv("len_um", cur_len),
+                kv("est_err", best_err),
+            ],
         );
     }
     let route_len = (n_inv + 1) as f64 * q;

@@ -49,8 +49,8 @@ pub mod predictor;
 
 pub use baseline::{worst_skew_optimize, WorstSkewReport};
 pub use fault::{
-    Checkpoint, FaultCtx, FaultKind, FaultLog, FaultPlan, FaultRecord, FaultSite, FlowBudget,
-    FlowError, PhaseBudget, RecoveryAction, TreeTxn,
+    emit_fault, Checkpoint, FaultCtx, FaultKind, FaultLog, FaultPlan, FaultRecord, FaultSite,
+    FlowBudget, FlowError, PhaseBudget, RecoveryAction, TreeTxn,
 };
 pub use flow::{
     check_lint_gate, lint_gate, optimize, optimize_with, try_optimize, try_optimize_with, Flow,

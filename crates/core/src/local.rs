@@ -7,6 +7,7 @@ use std::collections::HashMap;
 
 use clk_liberty::{CornerId, Library};
 use clk_netlist::{ClockTree, Floorplan, NodeId, SinkPair, TreeError};
+use clk_obs::{kv, Level};
 use clk_sta::{
     alpha_factors, local_skew_ps, try_pair_skews, variation_report, CornerTiming, Timer,
     TimingError,
@@ -240,6 +241,7 @@ pub fn local_optimize_checked(
         rejects: CandidateRejects::default(),
     };
     let mut current_sum = variation_before;
+    let obs = ctx.obs.clone();
     // the paper's guarantee: no new max-cap / max-transition violations
     let drc_baseline: usize = analyses0.iter().map(|t| t.violations().len()).sum();
 
@@ -256,7 +258,8 @@ pub fn local_optimize_checked(
         );
     }
 
-    'outer: for _iter in 0..max_iterations {
+    'outer: for iter in 0..max_iterations {
+        let mut iter_span = obs.span_at(Level::Debug, "local.iter", vec![kv("iter", iter as u64)]);
         if ctx.out_of_time() {
             ctx.record(
                 "local",
@@ -299,31 +302,41 @@ pub fn local_optimize_checked(
                 scored.push((gain, mv));
             }
         }
+        iter_span.record("predicted_positive", scored.len() as u64);
+        obs.count("local.predicted_positive", scored.len() as u64);
         if scored.is_empty() {
-            if std::env::var_os("CLOCKVAR_DEBUG_LOCAL").is_some() {
-                eprintln!("local: no predicted-positive moves");
-            }
+            obs.event(Level::Debug, "local.no_candidates", Vec::new());
+            iter_span.record("outcome", "no_candidates");
             break;
         }
         scored.sort_by(|a, b| b.0.total_cmp(&a.0));
-        if std::env::var_os("CLOCKVAR_DEBUG_LOCAL").is_some() {
+        if obs.at(Level::Trace) {
             let top: Vec<String> = scored
                 .iter()
                 .take(5)
                 .map(|(g, m)| format!("{m} (+{g:.2})"))
                 .collect();
-            eprintln!(
-                "local: {} candidates, top: {}",
-                scored.len(),
-                top.join(" | ")
+            obs.event(
+                Level::Trace,
+                "local.candidates",
+                vec![kv("count", scored.len() as u64), kv("top", top.join(" | "))],
             );
         }
 
         // ---- realize batches of R moves until one verifies ----
-        for batch in scored
+        for (batch_no, batch) in scored
             .chunks(cfg.moves_per_round.max(1))
             .take(cfg.max_batches)
+            .enumerate()
         {
+            let mut batch_span = obs.span_at(
+                Level::Debug,
+                "local.batch",
+                vec![
+                    kv("batch", batch_no as u64),
+                    kv("candidates", batch.len() as u64),
+                ],
+            );
             // Realize and golden-time each candidate in a worker thread
             // (the paper uses R threads; on one core this degrades
             // gracefully to sequential evaluation). A worker that fails
@@ -373,12 +386,14 @@ pub fn local_optimize_checked(
                 handles.into_iter().map(|h| h.join().ok()).collect()
             });
             report.golden_evals += batch.len();
+            obs.count("local.golden_evals", batch.len() as u64);
 
             let mut best: Option<(usize, f64)> = None;
             for (i, r) in results.iter().enumerate() {
                 match r {
                     None => {
                         report.rejects.panicked += 1;
+                        obs.count("local.reject.panicked", 1);
                         ctx.record(
                             "local",
                             FaultKind::WorkerPanic,
@@ -388,24 +403,30 @@ pub fn local_optimize_checked(
                     }
                     Some(Err(CandidateFailure::Apply(e))) => {
                         report.rejects.apply_failed += 1;
+                        obs.count("local.reject.apply_failed", 1);
                         let _ = e;
                     }
                     Some(Err(CandidateFailure::Timing(e))) => {
                         report.rejects.timing_failed += 1;
+                        obs.count("local.reject.timing_failed", 1);
                         let _ = e;
                     }
-                    Some(Err(CandidateFailure::Drc { .. })) => report.rejects.drc += 1,
+                    Some(Err(CandidateFailure::Drc { .. })) => {
+                        report.rejects.drc += 1;
+                        obs.count("local.reject.drc", 1);
+                    }
                     Some(Ok((sum, locals, _))) => {
                         let ok = locals.iter().zip(&guard).all(|(l, g)| l <= g);
                         if ok && *sum < current_sum && best.is_none_or(|(_, b)| *sum < b) {
                             best = Some((i, *sum));
                         } else {
                             report.rejects.not_improving += 1;
+                            obs.count("local.reject.not_improving", 1);
                         }
                     }
                 }
             }
-            if std::env::var_os("CLOCKVAR_DEBUG_LOCAL").is_some() {
+            if obs.at(Level::Trace) {
                 let outs: Vec<String> = results
                     .iter()
                     .map(|r| match r {
@@ -419,9 +440,10 @@ pub fn local_optimize_checked(
                         None => "panic!".to_string(),
                     })
                     .collect();
-                eprintln!(
-                    "  batch golden sums (current {current_sum:.1}): {}",
-                    outs.join(" ")
+                obs.event(
+                    Level::Trace,
+                    "local.batch_sums",
+                    vec![kv("current", current_sum), kv("sums", outs.join(" "))],
                 );
             }
             if let Some((i, sum)) = best {
@@ -441,6 +463,8 @@ pub fn local_optimize_checked(
                         RecoveryAction::Rollback,
                         format!("verified candidate failed validation: {e}"),
                     );
+                    batch_span.record("outcome", "rollback");
+                    obs.count("local.rollback", 1);
                     continue;
                 }
                 #[cfg(debug_assertions)]
@@ -455,6 +479,8 @@ pub fn local_optimize_checked(
                             RecoveryAction::Rollback,
                             format!("post-commit structural lint failed:\n{}", report.to_text()),
                         );
+                        batch_span.record("outcome", "rollback");
+                        obs.count("local.rollback", 1);
                         continue;
                     }
                 }
@@ -465,11 +491,37 @@ pub fn local_optimize_checked(
                     move_type: batch[i].1.move_type(),
                     variation_sum: sum,
                 });
+                batch_span.record("outcome", "accepted");
+                batch_span.record("variation_sum", sum);
+                obs.count("local.accepted", 1);
+                iter_span.record("outcome", "accepted");
                 continue 'outer;
             }
+            batch_span.record("outcome", "no_winner");
         }
         // every batch failed golden verification: terminate
+        iter_span.record("outcome", "exhausted");
         break;
+    }
+    if obs.enabled() {
+        let accepted = report.iterations.len();
+        obs.event(
+            Level::Debug,
+            "local.summary",
+            vec![
+                kv("accepted", accepted as u64),
+                kv("golden_evals", report.golden_evals as u64),
+                kv("rejected", report.rejects.total() as u64),
+                kv(
+                    "predictor_precision",
+                    if report.golden_evals > 0 {
+                        accepted as f64 / report.golden_evals as f64
+                    } else {
+                        0.0
+                    },
+                ),
+            ],
+        );
     }
     Ok(report)
 }

@@ -33,4 +33,4 @@
 #![cfg_attr(not(test), deny(clippy::panic, clippy::expect_used))]
 pub mod simplex;
 
-pub use simplex::{solve, LpError, Problem, RowKind, Solution, VarId};
+pub use simplex::{solve, solve_with_obs, LpError, Problem, RowKind, Solution, VarId};

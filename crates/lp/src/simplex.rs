@@ -1,5 +1,7 @@
 //! Bounded-variable revised primal simplex with explicit basis inverse.
 
+use clk_obs::{kv, Level, Obs};
+
 /// Handle of a decision variable in a [`Problem`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VarId(pub usize);
@@ -251,6 +253,14 @@ impl Solution {
 
 const TOL: f64 = 1e-7;
 
+/// Pivot-level statistics from one simplex phase.
+#[derive(Debug, Default, Clone, Copy)]
+struct PhaseStats {
+    iters: usize,
+    bound_flips: usize,
+    degenerate: usize,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum State {
     Basic,
@@ -323,13 +333,18 @@ impl Tableau {
         d
     }
 
-    /// One simplex phase over the given costs. Returns Ok(objective).
-    fn optimize(&mut self, use_phase_cost: bool, max_iters: usize) -> Result<usize, LpError> {
-        let mut iters = 0usize;
+    /// One simplex phase over the given costs. Returns the pivot stats.
+    fn optimize(
+        &mut self,
+        use_phase_cost: bool,
+        max_iters: usize,
+        obs: &Obs,
+    ) -> Result<PhaseStats, LpError> {
+        let mut stats = PhaseStats::default();
         let mut degen_streak = 0usize;
         let n = self.cols.len();
         loop {
-            if iters >= max_iters {
+            if stats.iters >= max_iters {
                 return Err(LpError::IterationLimit);
             }
             let cost = if use_phase_cost {
@@ -365,18 +380,23 @@ impl Tableau {
                 }
             }
             let Some((j, dir, _)) = enter else {
-                if std::env::var_os("CLK_LP_DEBUG").is_some() {
-                    eprintln!(
-                        "optimal: iters={iters} basis={:?} xb={:?} states={:?}",
-                        self.basis, self.xb, self.state
+                if obs.at(Level::Trace) {
+                    obs.event(
+                        Level::Trace,
+                        "lp.optimal",
+                        vec![
+                            kv("iters", stats.iters),
+                            kv("basis", format!("{:?}", self.basis)),
+                        ],
                     );
                 }
-                return Ok(iters);
+                return Ok(stats);
             };
-            if std::env::var_os("CLK_LP_DEBUG").is_some() {
-                eprintln!(
-                    "enter j={j} dir={dir} basis={:?} xb={:?}",
-                    self.basis, self.xb
+            if obs.at(Level::Trace) {
+                obs.event(
+                    Level::Trace,
+                    "lp.pivot",
+                    vec![kv("enter", j), kv("dir", dir), kv("iter", stats.iters)],
                 );
             }
             // --- ratio test ---
@@ -418,6 +438,7 @@ impl Tableau {
             }
             if t < TOL {
                 degen_streak += 1;
+                stats.degenerate += 1;
             } else {
                 degen_streak = 0;
             }
@@ -425,6 +446,7 @@ impl Tableau {
             match leave {
                 None => {
                     // bound flip: entering runs to its other bound
+                    stats.bound_flips += 1;
                     for (i, &wi) in w.iter().enumerate() {
                         self.xb[i] -= delta_j * wi;
                     }
@@ -475,7 +497,7 @@ impl Tableau {
                     self.xb[r] = entering_val;
                 }
             }
-            iters += 1;
+            stats.iters += 1;
         }
     }
 }
@@ -488,6 +510,52 @@ impl Tableau {
 /// [`LpError::IterationLimit`]; malformed inputs panic in the builder, not
 /// here.
 pub fn solve(p: &Problem) -> Result<Solution, LpError> {
+    solve_with_obs(p, &Obs::disabled())
+}
+
+/// [`solve`] with pivot-level instrumentation.
+///
+/// When `obs` is enabled, each solve updates the `lp.*` metrics
+/// (`lp.solves`, `lp.pivots`, `lp.bound_flips`, `lp.degenerate_pivots`,
+/// the `lp.iters` histogram, and a failure counter per [`LpError`]
+/// variant) and, at `Trace` verbosity, emits one `lp.solve` span plus
+/// per-pivot `lp.pivot` events.
+///
+/// # Errors
+///
+/// Same contract as [`solve`].
+pub fn solve_with_obs(p: &Problem, obs: &Obs) -> Result<Solution, LpError> {
+    let mut span = obs.span_at(
+        Level::Trace,
+        "lp.solve",
+        vec![kv("vars", p.num_vars()), kv("rows", p.num_rows())],
+    );
+    let result = solve_inner(p, obs);
+    if obs.enabled() {
+        obs.count("lp.solves", 1);
+        match &result {
+            Ok(sol) => {
+                obs.count("lp.pivots", sol.iterations as u64);
+                obs.observe("lp.iters", sol.iterations as f64);
+                span.record("iters", sol.iterations);
+                span.record("objective", sol.objective);
+            }
+            Err(e) => {
+                let key = match e {
+                    LpError::Infeasible => "lp.infeasible",
+                    LpError::Unbounded => "lp.unbounded",
+                    LpError::IterationLimit => "lp.iteration_limit",
+                    LpError::BadProblem(_) | LpError::UnknownTerm { .. } => "lp.bad_problem",
+                };
+                obs.count(key, 1);
+                span.record("error", format!("{e}"));
+            }
+        }
+    }
+    result
+}
+
+fn solve_inner(p: &Problem, obs: &Obs) -> Result<Solution, LpError> {
     let m = p.num_rows();
     let n_struct = p.num_vars();
 
@@ -599,9 +667,9 @@ pub fn solve(p: &Problem) -> Result<Solution, LpError> {
     };
 
     let budget = 200 + 60 * (t.cols.len() + m);
-    let mut used = 0usize;
+    let mut phase1 = PhaseStats::default();
     if need_phase1 {
-        used = t.optimize(true, budget)?;
+        phase1 = t.optimize(true, budget, obs)?;
         let infeas: f64 = (0..m)
             .filter(|&i| t.basis[i] >= n_struct + m)
             .map(|i| t.xb[i])
@@ -618,7 +686,21 @@ pub fn solve(p: &Problem) -> Result<Solution, LpError> {
             }
         }
     }
-    let used2 = t.optimize(false, budget.saturating_sub(used).max(budget / 2))?;
+    let phase2 = t.optimize(
+        false,
+        budget.saturating_sub(phase1.iters).max(budget / 2),
+        obs,
+    )?;
+    if obs.enabled() {
+        obs.count(
+            "lp.bound_flips",
+            (phase1.bound_flips + phase2.bound_flips) as u64,
+        );
+        obs.count(
+            "lp.degenerate_pivots",
+            (phase1.degenerate + phase2.degenerate) as u64,
+        );
+    }
 
     // --- extract ---
     let mut x = vec![0.0; n_struct];
@@ -640,7 +722,7 @@ pub fn solve(p: &Problem) -> Result<Solution, LpError> {
     Ok(Solution {
         x,
         objective,
-        iterations: used + used2,
+        iterations: phase1.iters + phase2.iters,
     })
 }
 

@@ -1,0 +1,209 @@
+//! Event records — the unit of data flowing from instrumentation
+//! points to sinks and the flight recorder.
+
+use crate::json::Value;
+
+/// Severity / verbosity level of an event or span.
+///
+/// Ordered so that `level <= verbosity` means "emit": `Error` is always
+/// emitted by an enabled pipeline, `Trace` only at maximum verbosity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Level {
+    /// Unrecoverable or absorbed-fault conditions.
+    Error,
+    /// Suspicious conditions the flow worked around.
+    Warn,
+    /// Phase/round milestones. The default verbosity.
+    #[default]
+    Info,
+    /// Per-lambda / per-batch detail.
+    Debug,
+    /// Per-candidate / per-pivot detail.
+    Trace,
+}
+
+impl Level {
+    /// Short lowercase name used in sink output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a level name (case-insensitive); `None` for unknown.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+/// What kind of record this is — the `t` key in the JSONL schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened.
+    SpanStart,
+    /// A span closed (carries `elapsed_ms`).
+    SpanEnd,
+    /// A point event.
+    Event,
+    /// An absorbed fault (mirrors a `FaultLog` record).
+    Fault,
+    /// A flight-recorder dump triggered by a fault.
+    FlightDump,
+    /// A full metrics snapshot.
+    Metrics,
+}
+
+impl EventKind {
+    /// The `t` tag used in JSONL output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Event => "event",
+            EventKind::Fault => "fault",
+            EventKind::FlightDump => "flight_dump",
+            EventKind::Metrics => "metrics",
+        }
+    }
+}
+
+/// One fully-resolved record handed to every sink.
+#[derive(Debug, Clone)]
+pub struct EventRecord {
+    /// Record kind (`t` in JSONL).
+    pub kind: EventKind,
+    /// Globally monotonic sequence number within one `Obs` pipeline.
+    pub seq: u64,
+    /// Milliseconds since the pipeline epoch (flow start).
+    pub ts_ms: f64,
+    /// Id of the span this record belongs to, if any.
+    pub span: Option<u64>,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Severity.
+    pub level: Level,
+    /// Dotted event/span name, e.g. `global.round`.
+    pub name: String,
+    /// Wall-clock duration for `SpanEnd` records.
+    pub elapsed_ms: Option<f64>,
+    /// Free-form key=value payload.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl EventRecord {
+    /// Renders the record as one compact JSON object (no trailing
+    /// newline).
+    pub fn to_json(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> = vec![
+            ("t".to_string(), Value::from(self.kind.as_str())),
+            ("seq".to_string(), Value::from(self.seq)),
+            (
+                "ts_ms".to_string(),
+                Value::Num((self.ts_ms * 1000.0).round() / 1000.0),
+            ),
+        ];
+        if let Some(id) = self.span {
+            pairs.push(("span".to_string(), Value::from(id)));
+        }
+        if let Some(id) = self.parent {
+            pairs.push(("parent".to_string(), Value::from(id)));
+        }
+        pairs.push(("level".to_string(), Value::from(self.level.as_str())));
+        pairs.push(("name".to_string(), Value::from(self.name.as_str())));
+        if let Some(ms) = self.elapsed_ms {
+            pairs.push((
+                "elapsed_ms".to_string(),
+                Value::Num((ms * 1000.0).round() / 1000.0),
+            ));
+        }
+        if !self.fields.is_empty() {
+            pairs.push(("fields".to_string(), Value::Obj(self.fields.clone())));
+        }
+        Value::Obj(pairs)
+    }
+
+    /// Renders the record as one human-readable line (no trailing
+    /// newline), e.g.
+    /// `[  12.345ms info ] global.round end (87.2ms) round=1 lambdas=5`.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut line = format!(
+            "[{:>10.3}ms {:>5}] {}",
+            self.ts_ms,
+            self.level.as_str(),
+            self.name
+        );
+        match self.kind {
+            EventKind::SpanStart => line.push_str(" start"),
+            EventKind::SpanEnd => {
+                let _ = write!(line, " end ({:.3}ms)", self.elapsed_ms.unwrap_or(0.0));
+            }
+            EventKind::Fault => line.push_str(" FAULT"),
+            EventKind::FlightDump => line.push_str(" flight-dump"),
+            EventKind::Metrics | EventKind::Event => {}
+        }
+        for (k, v) in &self.fields {
+            match v {
+                Value::Str(s) => {
+                    let _ = write!(line, " {k}={s}");
+                }
+                other => {
+                    let _ = write!(line, " {k}={}", other.to_json());
+                }
+            }
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_by_verbosity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Trace);
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+    }
+
+    #[test]
+    fn json_rendering_includes_schema_keys() {
+        let rec = EventRecord {
+            kind: EventKind::SpanEnd,
+            seq: 7,
+            ts_ms: 1.23456,
+            span: Some(3),
+            parent: Some(1),
+            level: Level::Debug,
+            name: "global.round".to_string(),
+            elapsed_ms: Some(88.5),
+            fields: vec![("round".to_string(), Value::from(2u64))],
+        };
+        let v = rec.to_json();
+        assert_eq!(v.get("t").and_then(Value::as_str), Some("span_end"));
+        assert_eq!(v.get("seq").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("span").and_then(Value::as_u64), Some(3));
+        assert_eq!(
+            v.get("fields")
+                .and_then(|f| f.get("round"))
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+        let text = rec.to_text();
+        assert!(text.contains("global.round end"), "{text}");
+        assert!(text.contains("round=2"), "{text}");
+    }
+}

@@ -1,0 +1,508 @@
+//! `clk-obs`: zero-dependency structured tracing, metrics, and a
+//! flight recorder for the clockvar global-local flow.
+//!
+//! The crate provides one handle type, [`Obs`], designed so a disabled
+//! pipeline (the default) costs a single branch per instrumentation
+//! point:
+//!
+//! - **Spans** ([`SpanGuard`]) — hierarchical scoped timers emitting
+//!   `span_start`/`span_end` records and a `span.{name}.ms` histogram.
+//! - **Metrics** ([`Registry`]) — thread-safe counters, gauges, and
+//!   log-linear histograms with p50/p95/p99 quantiles.
+//! - **Sinks** ([`TextSink`], [`JsonlSink`]) — human-readable text at a
+//!   configurable verbosity, and a JSONL event stream for machines.
+//! - **Flight recorder** ([`FlightRecorder`]) — a bounded ring of the
+//!   most recent events, dumped when the fault runtime absorbs a fault
+//!   so post-mortems can see what led up to it.
+//!
+//! ```
+//! use clk_obs::{Obs, ObsConfig, Level, SharedBuf};
+//!
+//! let obs = Obs::new(ObsConfig { verbosity: Level::Debug, ..ObsConfig::default() });
+//! let buf = SharedBuf::new();
+//! obs.add_jsonl_buffer(&buf);
+//! {
+//!     let mut span = obs.span("flow");
+//!     span.record("phases", 4u64);
+//!     obs.event(Level::Info, "phase.init", vec![clk_obs::kv("sinks", 1u64)]);
+//! }
+//! obs.flush();
+//! assert!(buf.contents().lines().count() >= 3); // start, event, end
+//! ```
+
+mod event;
+mod recorder;
+mod sink;
+mod span;
+
+pub mod json;
+pub mod metrics;
+
+pub use event::{EventKind, EventRecord, Level};
+pub use json::Value;
+pub use metrics::{
+    Counter, Gauge, HistSnapshot, Histogram, MetricValue, MetricsSnapshot, Registry,
+};
+pub use recorder::{FlightDump, FlightRecorder, DEFAULT_RECORDER_CAPACITY};
+pub use sink::{JsonlSink, SharedBuf, Sink, TextSink};
+pub use span::SpanGuard;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Convenience constructor for one event/span field.
+pub fn kv(key: &str, value: impl Into<Value>) -> (String, Value) {
+    (key.to_string(), value.into())
+}
+
+/// Configuration for an enabled pipeline.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Events above this level are dropped before reaching any sink.
+    pub verbosity: Level,
+    /// Flight-recorder ring depth.
+    pub recorder_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            verbosity: Level::Info,
+            recorder_capacity: DEFAULT_RECORDER_CAPACITY,
+        }
+    }
+}
+
+struct ObsInner {
+    verbosity: Level,
+    sinks: Mutex<Vec<Box<dyn Sink>>>,
+    metrics: Registry,
+    recorder: FlightRecorder,
+    seq: AtomicU64,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for ObsInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsInner")
+            .field("verbosity", &self.verbosity)
+            .field("metrics", &self.metrics)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Handle to an observability pipeline.
+///
+/// Cheap to clone and share across threads. The default handle is
+/// *disabled*: every instrumentation method short-circuits on one
+/// `Option` check, which keeps overhead well under the 2% budget on
+/// the hot kernels.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl Obs {
+    /// A disabled pipeline (same as `Obs::default()`).
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled pipeline with no sinks attached yet.
+    ///
+    /// Metrics and the flight recorder are live immediately; attach
+    /// sinks with [`add_sink`](Self::add_sink) and friends to stream
+    /// events out.
+    pub fn new(config: ObsConfig) -> Self {
+        Self {
+            inner: Some(Arc::new(ObsInner {
+                verbosity: config.verbosity,
+                sinks: Mutex::new(Vec::new()),
+                metrics: Registry::default(),
+                recorder: FlightRecorder::new(config.recorder_capacity),
+                seq: AtomicU64::new(0),
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// Builds a pipeline from the environment.
+    ///
+    /// `CLOCKVAR_OBS=<level>` enables a stderr text sink at that level;
+    /// `CLOCKVAR_OBS_JSONL=<path>` adds a JSONL file sink. With neither
+    /// variable set the pipeline is disabled.
+    pub fn from_env() -> Self {
+        let text_level = std::env::var("CLOCKVAR_OBS")
+            .ok()
+            .and_then(|s| Level::parse(&s));
+        let jsonl_path = std::env::var("CLOCKVAR_OBS_JSONL").ok();
+        if text_level.is_none() && jsonl_path.is_none() {
+            return Self::disabled();
+        }
+        let verbosity = text_level.unwrap_or(Level::Trace);
+        let obs = Self::new(ObsConfig {
+            // the JSONL sink wants everything the text level allows or more
+            verbosity: verbosity.max(if jsonl_path.is_some() {
+                Level::Debug
+            } else {
+                verbosity
+            }),
+            ..ObsConfig::default()
+        });
+        if let Some(level) = text_level {
+            obs.add_sink(Box::new(TextSink::stderr(level)));
+        }
+        if let Some(path) = jsonl_path {
+            if let Ok(sink) = JsonlSink::file(std::path::Path::new(&path)) {
+                obs.add_sink(Box::new(sink));
+            }
+        }
+        obs
+    }
+
+    /// Whether the pipeline is enabled at all.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether records at `level` would be emitted. Use this to guard
+    /// expensive field construction at call sites.
+    #[inline]
+    pub fn at(&self, level: Level) -> bool {
+        match &self.inner {
+            Some(inner) => level <= inner.verbosity,
+            None => false,
+        }
+    }
+
+    /// Attaches a sink.
+    pub fn add_sink(&self, sink: Box<dyn Sink>) {
+        if let Some(inner) = &self.inner {
+            inner
+                .sinks
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(sink);
+        }
+    }
+
+    /// Attaches a JSONL sink writing into `buf`.
+    pub fn add_jsonl_buffer(&self, buf: &SharedBuf) {
+        self.add_sink(Box::new(JsonlSink::new(Box::new(buf.clone()))));
+    }
+
+    /// Flushes every sink (best-effort).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            for sink in inner
+                .sinks
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .iter_mut()
+            {
+                sink.flush();
+            }
+        }
+    }
+
+    /// Milliseconds since the pipeline was created (the flow epoch).
+    pub fn elapsed_ms(&self) -> f64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_secs_f64() * 1e3,
+            None => 0.0,
+        }
+    }
+
+    pub(crate) fn next_seq(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.seq.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    pub(crate) fn emit_record(&self, rec: EventRecord) {
+        let Some(inner) = &self.inner else { return };
+        inner.recorder.record(&rec);
+        for sink in inner
+            .sinks
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter_mut()
+        {
+            sink.emit(&rec);
+        }
+    }
+
+    /// Opens an `Info`-level span.
+    #[inline]
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.span_at(Level::Info, name, Vec::new())
+    }
+
+    /// Opens a span at `level` with start fields.
+    pub fn span_at(&self, level: Level, name: &str, fields: Vec<(String, Value)>) -> SpanGuard {
+        if self.at(level) {
+            SpanGuard::open(self, name, level, fields)
+        } else {
+            SpanGuard::noop()
+        }
+    }
+
+    /// Emits a point event.
+    pub fn event(&self, level: Level, name: &str, fields: Vec<(String, Value)>) {
+        if !self.at(level) {
+            return;
+        }
+        let seq = self.next_seq();
+        self.emit_record(EventRecord {
+            kind: EventKind::Event,
+            seq,
+            ts_ms: self.elapsed_ms(),
+            span: span::current_span(),
+            parent: None,
+            level,
+            name: name.to_string(),
+            elapsed_ms: None,
+            fields,
+        });
+    }
+
+    /// Emits an absorbed-fault event and dumps the flight recorder.
+    ///
+    /// `fault_seq` is the fault log's own sequence number; it is echoed
+    /// in the event fields and in the dump so chaos runs can join the
+    /// three records. Fault events are `Error` level and therefore pass
+    /// any enabled verbosity.
+    pub fn fault(&self, name: &str, fault_seq: u64, mut fields: Vec<(String, Value)>) {
+        let Some(inner) = &self.inner else { return };
+        fields.insert(0, kv("fault_seq", fault_seq));
+        let seq = self.next_seq();
+        self.emit_record(EventRecord {
+            kind: EventKind::Fault,
+            seq,
+            ts_ms: self.elapsed_ms(),
+            span: span::current_span(),
+            parent: None,
+            level: Level::Error,
+            name: name.to_string(),
+            elapsed_ms: None,
+            fields,
+        });
+        let dump = inner.recorder.dump(&format!("fault:{name}"), fault_seq);
+        let dump_seq = self.next_seq();
+        self.emit_record(EventRecord {
+            kind: EventKind::FlightDump,
+            seq: dump_seq,
+            ts_ms: self.elapsed_ms(),
+            span: span::current_span(),
+            parent: None,
+            level: Level::Error,
+            name: "flight_dump".to_string(),
+            elapsed_ms: None,
+            fields: match dump.to_json() {
+                Value::Obj(pairs) => pairs,
+                _ => Vec::new(),
+            },
+        });
+    }
+
+    /// The counter `name`, or `None` when disabled.
+    #[inline]
+    pub fn counter(&self, name: &str) -> Option<Arc<Counter>> {
+        self.inner.as_ref().map(|i| i.metrics.counter(name))
+    }
+
+    /// The gauge `name`, or `None` when disabled.
+    #[inline]
+    pub fn gauge(&self, name: &str) -> Option<Arc<Gauge>> {
+        self.inner.as_ref().map(|i| i.metrics.gauge(name))
+    }
+
+    /// The histogram `name`, or `None` when disabled.
+    #[inline]
+    pub fn histogram(&self, name: &str) -> Option<Arc<Histogram>> {
+        self.inner.as_ref().map(|i| i.metrics.histogram(name))
+    }
+
+    /// Adds `n` to counter `name` (no-op when disabled).
+    #[inline]
+    pub fn count(&self, name: &str, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.counter(name).add(n);
+        }
+    }
+
+    /// Records `v` into histogram `name` (no-op when disabled).
+    #[inline]
+    pub fn observe(&self, name: &str, v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.histogram(name).observe(v);
+        }
+    }
+
+    /// Sets gauge `name` to `v` (no-op when disabled).
+    #[inline]
+    pub fn gauge_set(&self, name: &str, v: i64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.gauge(name).set(v);
+        }
+    }
+
+    /// A snapshot of every metric, or `None` when disabled.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.inner.as_ref().map(|i| i.metrics.snapshot())
+    }
+
+    /// Emits a `metrics` record carrying the full snapshot.
+    pub fn emit_metrics(&self) {
+        let Some(snap) = self.metrics_snapshot() else {
+            return;
+        };
+        let fields = match metrics::snapshot_to_json(&snap) {
+            Value::Obj(pairs) => pairs,
+            _ => Vec::new(),
+        };
+        let seq = self.next_seq();
+        self.emit_record(EventRecord {
+            kind: EventKind::Metrics,
+            seq,
+            ts_ms: self.elapsed_ms(),
+            span: None,
+            parent: None,
+            level: Level::Info,
+            name: "metrics".to_string(),
+            elapsed_ms: None,
+            fields,
+        });
+    }
+
+    /// Every flight-recorder dump captured so far.
+    pub fn flight_dumps(&self) -> Vec<FlightDump> {
+        match &self.inner {
+            Some(inner) => inner.recorder.dumps(),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn debug_obs() -> (Obs, SharedBuf) {
+        let obs = Obs::new(ObsConfig {
+            verbosity: Level::Trace,
+            ..ObsConfig::default()
+        });
+        let buf = SharedBuf::new();
+        obs.add_jsonl_buffer(&buf);
+        (obs, buf)
+    }
+
+    #[test]
+    fn disabled_pipeline_is_inert() {
+        let obs = Obs::default();
+        assert!(!obs.enabled());
+        assert!(!obs.at(Level::Error));
+        let mut span = obs.span("nothing");
+        span.record("k", 1u64);
+        assert!(!span.is_active());
+        obs.count("c", 1);
+        assert!(obs.metrics_snapshot().is_none());
+        obs.fault("x", 0, vec![]);
+        assert!(obs.flight_dumps().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_emit_paired_records() {
+        let (obs, buf) = debug_obs();
+        {
+            let _outer = obs.span("flow");
+            let mut inner = obs.span("phase.global");
+            inner.record("rounds", 3u64);
+        }
+        obs.flush();
+        let lines: Vec<Value> = buf
+            .contents()
+            .lines()
+            .map(|l| json::parse(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 4);
+        let inner_start = &lines[1];
+        assert_eq!(
+            inner_start.get("t").and_then(Value::as_str),
+            Some("span_start")
+        );
+        assert_eq!(
+            inner_start.get("parent").and_then(Value::as_u64),
+            lines[0].get("span").and_then(Value::as_u64)
+        );
+        let inner_end = &lines[2];
+        assert_eq!(inner_end.get("t").and_then(Value::as_str), Some("span_end"));
+        assert!(inner_end
+            .get("elapsed_ms")
+            .and_then(Value::as_f64)
+            .is_some());
+        assert_eq!(
+            inner_end
+                .get("fields")
+                .and_then(|f| f.get("rounds"))
+                .and_then(Value::as_u64),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn span_durations_feed_histograms() {
+        let (obs, _buf) = debug_obs();
+        drop(obs.span("phase.init"));
+        let snap = obs.metrics_snapshot().unwrap();
+        match snap.get("span.phase.init.ms") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_emits_event_and_flight_dump() {
+        let (obs, buf) = debug_obs();
+        obs.event(Level::Info, "before", vec![]);
+        obs.fault("lp_infeasible", 42, vec![kv("phase", "global")]);
+        obs.flush();
+        let dumps = obs.flight_dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].fault_seq, 42);
+        assert!(!dumps[0].events.is_empty());
+        let text = buf.contents();
+        let fault_line = text
+            .lines()
+            .find(|l| l.contains("\"fault\""))
+            .expect("fault event present");
+        let v = json::parse(fault_line).unwrap();
+        assert_eq!(
+            v.get("fields")
+                .and_then(|f| f.get("fault_seq"))
+                .and_then(Value::as_u64),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn verbosity_filters_spans_and_events() {
+        let obs = Obs::new(ObsConfig {
+            verbosity: Level::Info,
+            ..ObsConfig::default()
+        });
+        let buf = SharedBuf::new();
+        obs.add_jsonl_buffer(&buf);
+        obs.event(Level::Debug, "hidden", vec![]);
+        drop(obs.span_at(Level::Trace, "hidden_span", vec![]));
+        obs.event(Level::Info, "shown", vec![]);
+        obs.flush();
+        let text = buf.contents();
+        assert!(!text.contains("hidden"));
+        assert!(text.contains("shown"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Flight recorder: a bounded ring buffer of the most recent events,
+//! dumped when a fault is absorbed so the fault can be correlated with
+//! what the flow was doing just before it.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::event::EventRecord;
+use crate::json::Value;
+
+/// Default ring capacity — deep enough to span a full global round on
+/// the bench testcases.
+pub const DEFAULT_RECORDER_CAPACITY: usize = 256;
+
+/// One captured dump: the ring contents at the moment a fault was
+/// absorbed.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// Why the dump was taken, e.g. `fault:lp_infeasible`.
+    pub reason: String,
+    /// Sequence number of the fault event that triggered the dump.
+    pub fault_seq: u64,
+    /// The buffered events, oldest first, rendered as JSONL lines.
+    pub events: Vec<String>,
+}
+
+impl FlightDump {
+    /// Renders the dump as a JSON object (used as the `fields` payload
+    /// of a `flight_dump` event).
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("reason".to_string(), Value::from(self.reason.as_str())),
+            ("fault_seq".to_string(), Value::from(self.fault_seq)),
+            ("depth".to_string(), Value::from(self.events.len())),
+        ])
+    }
+}
+
+/// Bounded ring of recent event lines plus the dumps taken so far.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<VecDeque<String>>,
+    dumps: Mutex<Vec<FlightDump>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
+            dumps: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Appends one event to the ring, evicting the oldest if full.
+    pub fn record(&self, rec: &EventRecord) {
+        let mut ring = self
+            .ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(rec.to_json().to_json());
+    }
+
+    /// Captures the current ring as a dump and stores it.
+    pub fn dump(&self, reason: &str, fault_seq: u64) -> FlightDump {
+        let ring = self
+            .ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let dump = FlightDump {
+            reason: reason.to_string(),
+            fault_seq,
+            events: ring.iter().cloned().collect(),
+        };
+        drop(ring);
+        self.dumps
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(dump.clone());
+        dump
+    }
+
+    /// All dumps captured so far, in order.
+    pub fn dumps(&self) -> Vec<FlightDump> {
+        self.dumps
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new(DEFAULT_RECORDER_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Level};
+
+    fn rec(seq: u64) -> EventRecord {
+        EventRecord {
+            kind: EventKind::Event,
+            seq,
+            ts_ms: seq as f64,
+            span: None,
+            parent: None,
+            level: Level::Info,
+            name: format!("e{seq}"),
+            elapsed_ms: None,
+            fields: vec![],
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_dump_preserves_order() {
+        let r = FlightRecorder::new(3);
+        for seq in 0..5 {
+            r.record(&rec(seq));
+        }
+        let d = r.dump("fault:test", 99);
+        assert_eq!(d.events.len(), 3);
+        assert!(d.events[0].contains("\"e2\""));
+        assert!(d.events[2].contains("\"e4\""));
+        assert_eq!(r.dumps().len(), 1);
+        assert_eq!(r.dumps()[0].fault_seq, 99);
+    }
+}

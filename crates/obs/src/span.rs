@@ -1,0 +1,120 @@
+//! Hierarchical spans with scoped wall-clock timers.
+//!
+//! Span nesting is tracked per thread: a span started on a worker
+//! thread parents to whatever span is open on *that* thread, so
+//! cross-thread work (e.g. the local-move batch workers) shows up as
+//! independent roots unless the worker opens its own spans.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::event::{EventKind, EventRecord, Level};
+use crate::json::Value;
+use crate::Obs;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The span currently open on this thread, if any.
+pub(crate) fn current_span() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// RAII guard for an open span.
+///
+/// Emits `span_start` on creation and `span_end` (with `elapsed_ms`
+/// and any [`record`](Self::record)ed end-fields) on drop, and feeds
+/// the duration into the `span.{name}.ms` histogram. A guard from a
+/// disabled pipeline is a pure no-op.
+#[must_use = "dropping the guard immediately closes the span"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    obs: Obs,
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    level: Level,
+    start: Instant,
+    end_fields: Vec<(String, Value)>,
+}
+
+impl SpanGuard {
+    /// A guard that does nothing (disabled pipeline or filtered level).
+    pub(crate) fn noop() -> Self {
+        Self { active: None }
+    }
+
+    pub(crate) fn open(obs: &Obs, name: &str, level: Level, fields: Vec<(String, Value)>) -> Self {
+        let id = obs.next_seq();
+        let parent = current_span();
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        obs.emit_record(EventRecord {
+            kind: EventKind::SpanStart,
+            seq: id,
+            ts_ms: obs.elapsed_ms(),
+            span: Some(id),
+            parent,
+            level,
+            name: name.to_string(),
+            elapsed_ms: None,
+            fields,
+        });
+        Self {
+            active: Some(ActiveSpan {
+                obs: obs.clone(),
+                id,
+                parent,
+                name: name.to_string(),
+                level,
+                start: Instant::now(),
+                end_fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Attaches a key=value field to the eventual `span_end` record.
+    pub fn record(&mut self, key: &str, value: impl Into<Value>) {
+        if let Some(a) = &mut self.active {
+            a.end_fields.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Whether this guard belongs to an enabled pipeline.
+    pub fn is_active(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // spans are scoped so drops are LIFO; tolerate misuse anyway
+            if let Some(pos) = stack.iter().rposition(|&id| id == a.id) {
+                stack.remove(pos);
+            }
+        });
+        let elapsed_ms = a.start.elapsed().as_secs_f64() * 1e3;
+        if let Some(h) = a.obs.histogram(&format!("span.{}.ms", a.name)) {
+            h.observe(elapsed_ms);
+        }
+        a.obs.emit_record(EventRecord {
+            kind: EventKind::SpanEnd,
+            seq: a.obs.next_seq(),
+            ts_ms: a.obs.elapsed_ms(),
+            span: Some(a.id),
+            parent: a.parent,
+            level: a.level,
+            name: a.name,
+            elapsed_ms: Some(elapsed_ms),
+            fields: a.end_fields,
+        });
+    }
+}

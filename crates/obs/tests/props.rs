@@ -1,0 +1,172 @@
+//! Property and concurrency tests for the `clk-obs` primitives:
+//! histogram quantiles against a sorted-vec oracle, counter updates
+//! from racing threads, and JSONL sink round-trip parsing.
+
+use clk_obs::{json, kv, Level, Obs, ObsConfig, SharedBuf, Value};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile over a sample set — the oracle the
+/// log-linear histogram is checked against.
+fn oracle_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    fn histogram_quantiles_track_oracle(
+        samples in prop::collection::vec(1e-6f64..1e6, 1..400),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = clk_obs::Histogram::default();
+        for &s in &samples {
+            h.observe(s);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let exact = oracle_quantile(&sorted, q);
+        let est = snap.quantile(q);
+        // log-linear buckets are ~9% wide; allow 15% relative slack
+        prop_assert!(
+            (est - exact).abs() <= exact.abs() * 0.15 + 1e-9,
+            "q={} est={} exact={}", q, est, exact
+        );
+
+        let exact_sum: f64 = samples.iter().sum();
+        prop_assert!((snap.sum - exact_sum).abs() <= exact_sum.abs() * 1e-9 + 1e-9);
+        prop_assert_eq!(snap.min, sorted[0]);
+        prop_assert_eq!(snap.max, sorted[sorted.len() - 1]);
+    }
+
+    fn histogram_handles_zero_and_negative(
+        samples in prop::collection::vec(-100.0f64..100.0, 1..100),
+    ) {
+        let h = clk_obs::Histogram::default();
+        for &s in &samples {
+            h.observe(s);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        // quantiles stay inside the observed range
+        for &q in &[0.0, 0.5, 1.0] {
+            let est = snap.quantile(q);
+            prop_assert!(est >= snap.min - 1e-12 && est <= snap.max + 1e-12);
+        }
+    }
+
+    fn jsonl_round_trips_arbitrary_fields(
+        n in 0u64..1_000_000,
+        x in -1e9f64..1e9,
+        s in prop::collection::vec(0u8..128, 0..32),
+    ) {
+        let text: String = s.into_iter().map(|b| b as char).collect();
+        let obs = Obs::new(ObsConfig { verbosity: Level::Trace, ..ObsConfig::default() });
+        let buf = SharedBuf::new();
+        obs.add_jsonl_buffer(&buf);
+        obs.event(
+            Level::Debug,
+            "prop.event",
+            vec![kv("n", n), kv("x", x), kv("s", text.as_str())],
+        );
+        obs.flush();
+        let line = buf.contents();
+        let v = json::parse(line.trim()).expect("emitted line parses");
+        let fields = v.get("fields").expect("fields present");
+        prop_assert_eq!(fields.get("n").and_then(Value::as_u64), Some(n));
+        let got_x = fields.get("x").and_then(Value::as_f64).expect("x");
+        prop_assert!((got_x - x).abs() <= x.abs() * 1e-12 + 1e-12);
+        prop_assert_eq!(fields.get("s").and_then(Value::as_str), Some(text.as_str()));
+    }
+}
+
+#[test]
+fn counters_survive_racing_threads() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let obs = Obs::new(ObsConfig::default());
+    let counter = obs.counter("race.hits").expect("enabled");
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let counter = std::sync::Arc::clone(&counter);
+            let obs = obs.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    // exercise the by-name path concurrently too
+                    if i % 100 == 0 {
+                        obs.count("race.named", 1);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+    let snap = obs.metrics_snapshot().expect("enabled");
+    match snap.get("race.named") {
+        Some(clk_obs::MetricValue::Counter(n)) => {
+            assert_eq!(*n, (THREADS as u64) * (PER_THREAD / 100));
+        }
+        other => panic!("expected counter, got {other:?}"),
+    }
+}
+
+#[test]
+fn histogram_observe_is_thread_safe() {
+    let obs = Obs::new(ObsConfig::default());
+    let hist = obs.histogram("race.ms").expect("enabled");
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let hist = std::sync::Arc::clone(&hist);
+            scope.spawn(move || {
+                for i in 1..=1000u32 {
+                    hist.observe(f64::from(i + t * 1000));
+                }
+            });
+        }
+    });
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, 4000);
+    assert_eq!(snap.min, 1.0);
+    assert_eq!(snap.max, 4000.0);
+}
+
+#[test]
+fn jsonl_stream_of_full_run_parses_line_by_line() {
+    let obs = Obs::new(ObsConfig {
+        verbosity: Level::Trace,
+        ..ObsConfig::default()
+    });
+    let buf = SharedBuf::new();
+    obs.add_jsonl_buffer(&buf);
+    {
+        let mut flow = obs.span("flow");
+        for round in 0..3u64 {
+            let mut span = obs.span_at(Level::Debug, "global.round", vec![kv("round", round)]);
+            span.record("lp_iters", round * 7);
+        }
+        obs.fault("timer_timeout", 0, vec![kv("phase", "local")]);
+        flow.record("rounds", 3u64);
+    }
+    obs.emit_metrics();
+    obs.flush();
+    let contents = buf.contents();
+    let mut kinds = std::collections::BTreeMap::new();
+    for line in contents.lines() {
+        let v = json::parse(line).expect("line parses");
+        let t = v
+            .get("t")
+            .and_then(Value::as_str)
+            .expect("t present")
+            .to_string();
+        *kinds.entry(t).or_insert(0u32) += 1;
+    }
+    assert_eq!(kinds.get("span_start"), Some(&4));
+    assert_eq!(kinds.get("span_end"), Some(&4));
+    assert_eq!(kinds.get("fault"), Some(&1));
+    assert_eq!(kinds.get("flight_dump"), Some(&1));
+    assert_eq!(kinds.get("metrics"), Some(&1));
+}

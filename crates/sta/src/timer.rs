@@ -3,6 +3,7 @@
 use clk_delay::{peri_slew, NetTiming, RcTree, WireModel};
 use clk_liberty::{CornerId, Library};
 use clk_netlist::{ArcSet, ClockTree, NodeId, NodeKind};
+use clk_obs::Obs;
 use clk_route::WireTree;
 
 /// The single place the documented panicking wrappers are allowed to
@@ -203,17 +204,30 @@ impl CornerTiming {
 #[derive(Debug, Clone, Default)]
 pub struct Timer {
     opts: TimerOptions,
+    obs: Obs,
 }
 
 impl Timer {
     /// A timer with explicit options.
     pub fn new(opts: TimerOptions) -> Self {
-        Timer { opts }
+        Timer {
+            opts,
+            obs: Obs::disabled(),
+        }
     }
 
     /// The signoff configuration: D2M on 5 µm-segmented parasitics.
     pub fn golden() -> Self {
         Timer::default()
+    }
+
+    /// Attaches an observability pipeline: every analysis then updates
+    /// the `sta.analyze.count` / `sta.analyze.us` / `sta.violations`
+    /// metrics. A disabled pipeline (the default) costs one branch per
+    /// analysis.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The options in use.
@@ -243,6 +257,31 @@ impl Timer {
     /// has no driving cell, a non-root node carries no route, or a source
     /// appears as a child.
     pub fn try_analyze(
+        &self,
+        tree: &ClockTree,
+        lib: &Library,
+        corner: CornerId,
+    ) -> Result<CornerTiming, TimingError> {
+        if !self.obs.enabled() {
+            return self.analyze_inner(tree, lib, corner);
+        }
+        let start = std::time::Instant::now();
+        let result = self.analyze_inner(tree, lib, corner);
+        self.obs.count("sta.analyze.count", 1);
+        self.obs
+            .observe("sta.analyze.us", start.elapsed().as_secs_f64() * 1e6);
+        match &result {
+            Ok(t) => {
+                if !t.violations.is_empty() {
+                    self.obs.count("sta.violations", t.violations.len() as u64);
+                }
+            }
+            Err(_) => self.obs.count("sta.analyze.errors", 1),
+        }
+        result
+    }
+
+    fn analyze_inner(
         &self,
         tree: &ClockTree,
         lib: &Library,
