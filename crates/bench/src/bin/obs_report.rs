@@ -3,13 +3,18 @@
 //! the stream back and renders a per-phase / per-round summary table.
 //!
 //! ```sh
-//! cargo run --release -p clk-bench --bin obs-report -- --quick --seed 2015 [--out trace.jsonl]
+//! cargo run --release -p clk-bench --bin obs-report -- --quick --seed 2015 \
+//!     [--out trace.jsonl] [--trace-out trace.json] [--tile-tol PCT]
 //! ```
 //!
 //! Exit code 0 only when the trace is structurally complete: every line
 //! parses, every flow phase / global round / local batch has a span, the
-//! per-phase wall-clock totals tile the flow span within ±5%, and every
-//! absorbed fault in `OptReport::faults` has a matching JSONL fault event.
+//! per-phase wall-clock totals tile the flow span within `--tile-tol`
+//! percent (default 5; CI passes a looser value since a loaded machine
+//! can stall between spans), and every absorbed fault in
+//! `OptReport::faults` has a matching JSONL fault event. `--trace-out`
+//! additionally exports the stream as Chrome trace-event JSON for
+//! `about://tracing` / Perfetto.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -43,12 +48,20 @@ fn field_str<'a>(v: &'a Value, key: &str) -> Option<&'a str> {
 
 fn main() -> ExitCode {
     let args = ExpArgs::parse();
-    let out_path = {
-        let argv: Vec<String> = std::env::args().collect();
+    let argv: Vec<String> = std::env::args().collect();
+    let flag_val = |name: &str| -> Option<String> {
         argv.iter()
-            .position(|a| a == "--out")
+            .position(|a| a == name)
             .and_then(|i| argv.get(i + 1).cloned())
     };
+    let out_path = flag_val("--out");
+    let trace_out = flag_val("--trace-out");
+    // phase-tiling tolerance, percent; a hard-coded 5% flakes on loaded
+    // CI machines, so the workflow passes a looser bound
+    let tile_tol = flag_val("--tile-tol")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(5.0)
+        / 100.0;
     let n = args.sinks.unwrap_or(if args.quick { 40 } else { 120 });
     let seed = args.seed;
 
@@ -83,6 +96,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("trace written to {path}");
+    }
+    if let Some(path) = &trace_out {
+        match clk_obs::chrome::chrome_trace_from_jsonl(&text) {
+            Ok(doc) => {
+                if let Err(e) = std::fs::write(path, doc) {
+                    eprintln!("FAIL: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("chrome trace written to {path} (load at ui.perfetto.dev)");
+            }
+            Err(e) => {
+                eprintln!("FAIL: chrome trace conversion: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     // ---- parse the stream back through the same JSON module ----
@@ -238,10 +266,11 @@ fn main() -> ExitCode {
     check(phases_seen == 4, "all four flow phases have spans");
     let tile = (phase_sum - flow_ms).abs() / flow_ms.max(1e-9);
     check(
-        tile <= 0.05,
+        tile <= tile_tol,
         &format!(
-            "phase wall-clock tiles the flow span ({:.1}% off)",
-            100.0 * tile
+            "phase wall-clock tiles the flow span ({:.1}% off, tolerance {:.1}%)",
+            100.0 * tile,
+            100.0 * tile_tol
         ),
     );
     let rounds_reported = report

@@ -2,7 +2,7 @@
 //! Corners) for the scaled CLS1v1 / CLS1v2 / CLS2v1 generators, plus an
 //! optional `--floorplan` ASCII rendering of Fig. 7.
 
-use clk_bench::ExpArgs;
+use clk_bench::{suite_cases, ExpArgs};
 use clk_cts::{Testcase, TestcaseKind};
 use clk_geom::Rect;
 
@@ -16,12 +16,14 @@ fn main() {
         "{:<10} {:>8} {:>12} {:>10} {:>6}  Corners",
         "Testcase", "#Cells", "#Flip-flops", "Area", "Util"
     );
-    for (kind, paper) in [
-        (TestcaseKind::Cls1v1, ("0.4M", "36K", "3.3mm2", "62%")),
-        (TestcaseKind::Cls1v2, ("0.4M", "35K", "3.4mm2", "60%")),
-        (TestcaseKind::Cls2v1, ("1.79M", "270K", "4.5mm2", "58%")),
-    ] {
-        let tc = Testcase::generate(kind, n, args.seed);
+    let paper_of = |kind: TestcaseKind| match kind {
+        TestcaseKind::Cls1v1 => ("0.4M", "36K", "3.3mm2", "62%"),
+        TestcaseKind::Cls1v2 => ("0.4M", "35K", "3.4mm2", "60%"),
+        TestcaseKind::Cls2v1 => ("1.79M", "270K", "4.5mm2", "58%"),
+    };
+    for case in suite_cases(args.seed) {
+        let (kind, paper) = (case.kind, paper_of(case.kind));
+        let tc = Testcase::generate(kind, n, case.seed);
         let corners: Vec<&str> = tc.lib.corners().iter().map(|c| c.name.as_str()).collect();
         println!(
             "{:<10} {:>8} {:>12} {:>10} {:>6}  {}",

@@ -12,9 +12,8 @@
 //! cargo run --release -p clk-bench --bin table5 -- [--sinks N] [--quick]
 //! ```
 
-use clk_bench::{ExpArgs, Stopwatch};
-use clk_cts::{Testcase, TestcaseKind};
-use clk_skewopt::{optimize_with, DeltaLatencyModel, Flow, StageLuts};
+use clk_bench::{suite_cases, ExpArgs, PreparedCase, Stopwatch};
+use clk_skewopt::Flow;
 
 fn main() {
     let args = ExpArgs::parse();
@@ -31,22 +30,22 @@ fn main() {
         cfg
     };
 
+    let flows = [Flow::Global, Flow::Local, Flow::GlobalLocal];
     println!("Table 5: Experimental results ({n} sinks per testcase, scaled)");
-    for (kind, seed) in [
-        (TestcaseKind::Cls1v1, args.seed),
-        (TestcaseKind::Cls1v2, args.seed + 1),
-        (TestcaseKind::Cls2v1, args.seed + 2),
-    ] {
-        let sw = Stopwatch::start(kind.name());
-        let tc = Testcase::generate(kind, n, seed);
-        let luts = StageLuts::characterize(&tc.lib);
-        let model = DeltaLatencyModel::train(&tc.lib, cfg.model_kind, &cfg.train);
-        let corner_names: Vec<String> = tc.lib.corners().iter().map(|c| c.name.clone()).collect();
-        println!("\n--- {} ---", kind.name());
-        println!("{}", clockvar_workbench::table5_header(&corner_names));
+    for case in suite_cases(args.seed) {
+        let sw = Stopwatch::start(case.kind.name());
+        let prep = PreparedCase::generate(case, n, &cfg, &flows);
+        println!("\n--- {} ---", case.kind.name());
+        println!(
+            "{}",
+            clockvar_workbench::table5_header(&prep.corner_names())
+        );
         let mut printed = false;
-        for flow in [Flow::Global, Flow::Local, Flow::GlobalLocal] {
-            let report = optimize_with(&tc, flow, &cfg, Some(&luts), Some(&model));
+        for flow in flows {
+            let (report, _ms) = match prep.run(flow, &cfg) {
+                Ok(r) => r,
+                Err(e) => panic!("{e}"),
+            };
             if !printed {
                 println!("{}", clockvar_workbench::table5_orig_row(&report));
                 printed = true;

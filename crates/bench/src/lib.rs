@@ -6,6 +6,10 @@
 //! counterparts. See DESIGN.md §5 for the experiment index and
 //! EXPERIMENTS.md for recorded paper-vs-measured results.
 
+pub mod suite;
+
+pub use suite::{suite_cases, PreparedCase, SuiteCase};
+
 use std::time::Instant;
 
 /// Simple elapsed-time scope guard used by the experiment binaries.

@@ -1,0 +1,386 @@
+//! Chrome trace-event exporter.
+//!
+//! Converts the JSONL event stream produced by [`JsonlSink`] into the
+//! Chrome trace-event JSON format understood by `about://tracing` and
+//! [Perfetto](https://ui.perfetto.dev): spans become `ph: "B"` / `ph:
+//! "E"` duration pairs, point events and faults become `ph: "i"`
+//! instants. Timestamps are microseconds since the pipeline epoch, as
+//! the format requires.
+//!
+//! The JSONL stream does not record thread ids, so spans are assigned
+//! to synthetic tracks (`tid`) greedily such that within one track the
+//! `B`/`E` pairs nest properly — concurrent sibling spans land on
+//! separate tracks instead of producing a malformed stack.
+//!
+//! [`JsonlSink`]: crate::JsonlSink
+
+use crate::json::{self, Value};
+
+/// One span reconstructed from its `span_start` / `span_end` records.
+struct SpanRec {
+    id: u64,
+    name: String,
+    start_us: f64,
+    end_us: f64,
+    start_fields: Vec<(String, Value)>,
+    end_fields: Vec<(String, Value)>,
+}
+
+/// One instant (point event or fault).
+struct InstantRec {
+    name: String,
+    ts_us: f64,
+    cat: &'static str,
+    span: Option<u64>,
+    fields: Vec<(String, Value)>,
+}
+
+fn fields_of(v: &Value) -> Vec<(String, Value)> {
+    match v.get("fields") {
+        Some(Value::Obj(pairs)) => pairs.clone(),
+        _ => Vec::new(),
+    }
+}
+
+/// Converts one JSONL trace into a list of Chrome trace events.
+///
+/// `pid` is stamped on every event, so multiple independent traces
+/// (e.g. one flow run per testcase) can be merged into a single file
+/// as separate processes.
+///
+/// # Errors
+///
+/// The 1-based line number and message of the first JSONL line that
+/// does not parse.
+pub fn trace_events_from_jsonl(jsonl: &str, pid: u64) -> Result<Vec<Value>, String> {
+    let mut spans: Vec<SpanRec> = Vec::new();
+    let mut open: Vec<usize> = Vec::new(); // indices of spans awaiting an end
+    let mut instants: Vec<InstantRec> = Vec::new();
+    let mut max_us: f64 = 0.0;
+
+    for (i, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let kind = v.get("t").and_then(Value::as_str).unwrap_or("");
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        let ts_us = v.get("ts_ms").and_then(Value::as_f64).unwrap_or(0.0) * 1e3;
+        max_us = max_us.max(ts_us);
+        match kind {
+            "span_start" => {
+                let Some(id) = v.get("span").and_then(Value::as_u64) else {
+                    continue;
+                };
+                open.push(spans.len());
+                spans.push(SpanRec {
+                    id,
+                    name,
+                    start_us: ts_us,
+                    end_us: f64::NAN, // patched by the matching span_end
+                    start_fields: fields_of(&v),
+                    end_fields: Vec::new(),
+                });
+            }
+            "span_end" => {
+                let id = v.get("span").and_then(Value::as_u64);
+                if let Some(pos) = open.iter().rposition(|&s| Some(spans[s].id) == id) {
+                    let s = open.remove(pos);
+                    spans[s].end_us = ts_us;
+                    spans[s].end_fields = fields_of(&v);
+                }
+            }
+            "event" | "fault" => {
+                instants.push(InstantRec {
+                    name,
+                    ts_us,
+                    cat: if kind == "fault" { "fault" } else { "event" },
+                    span: v.get("span").and_then(Value::as_u64),
+                    fields: fields_of(&v),
+                });
+            }
+            // metrics / flight_dump records carry no timeline shape
+            _ => {}
+        }
+    }
+    // close dangling spans (e.g. a truncated stream) at the last
+    // timestamp so every B still has an E
+    for s in &mut spans {
+        if !s.end_us.is_finite() {
+            s.end_us = max_us.max(s.start_us);
+        }
+    }
+
+    // assign spans to tracks so B/E nest properly per tid: sort outer
+    // spans first, then place each span on the first track whose open
+    // top still contains it
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by(|&a, &b| {
+        spans[a]
+            .start_us
+            .total_cmp(&spans[b].start_us)
+            .then(spans[b].end_us.total_cmp(&spans[a].end_us))
+    });
+    let mut tracks: Vec<Vec<usize>> = Vec::new(); // per-track open stacks
+    let mut tid_of: Vec<u64> = vec![0; spans.len()];
+    let mut depth_of: Vec<usize> = vec![0; spans.len()];
+    for &s in &order {
+        let (start, end) = (spans[s].start_us, spans[s].end_us);
+        let mut chosen = None;
+        for (t, stack) in tracks.iter_mut().enumerate() {
+            while let Some(&top) = stack.last() {
+                if spans[top].end_us <= start {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            let fits = stack.last().is_none_or(|&top| spans[top].end_us >= end);
+            if fits {
+                chosen = Some(t);
+                break;
+            }
+        }
+        let t = chosen.unwrap_or_else(|| {
+            tracks.push(Vec::new());
+            tracks.len() - 1
+        });
+        depth_of[s] = tracks[t].len();
+        tracks[t].push(s);
+        tid_of[s] = t as u64 + 1;
+    }
+
+    // sort key: at equal ts, E before B (a sibling must close before the
+    // next opens); among Es deeper spans close first, among Bs shallower
+    // spans open first; instants come last
+    #[derive(Clone)]
+    struct Keyed {
+        ts: f64,
+        rank: u8,
+        depth: i64,
+        ev: Value,
+    }
+    let mut events: Vec<Keyed> = Vec::new();
+    let mut push = |ts: f64, rank: u8, depth: i64, ev: Value| {
+        events.push(Keyed {
+            ts,
+            rank,
+            depth,
+            ev,
+        });
+    };
+    let trace_event =
+        |name: &str, cat: &str, ph: &str, ts: f64, tid: u64, args: &[(String, Value)]| {
+            let mut pairs = vec![
+                ("name".to_string(), Value::from(name)),
+                ("cat".to_string(), Value::from(cat)),
+                ("ph".to_string(), Value::from(ph)),
+                ("ts".to_string(), Value::Num((ts * 1e3).round() / 1e3)),
+                ("pid".to_string(), Value::from(pid)),
+                ("tid".to_string(), Value::from(tid)),
+            ];
+            if ph == "i" {
+                pairs.push(("s".to_string(), Value::from("t")));
+            }
+            if !args.is_empty() {
+                pairs.push(("args".to_string(), Value::Obj(args.to_vec())));
+            }
+            Value::Obj(pairs)
+        };
+    for (i, s) in spans.iter().enumerate() {
+        let tid = tid_of[i];
+        let d = depth_of[i] as i64;
+        push(
+            s.start_us,
+            1,
+            d,
+            trace_event(&s.name, "span", "B", s.start_us, tid, &s.start_fields),
+        );
+        push(
+            s.end_us,
+            0,
+            -d,
+            trace_event(&s.name, "span", "E", s.end_us, tid, &s.end_fields),
+        );
+    }
+    let tid_of_span = |id: Option<u64>| -> u64 {
+        id.and_then(|id| spans.iter().position(|s| s.id == id))
+            .map_or(0, |i| tid_of[i])
+    };
+    for inst in &instants {
+        let tid = tid_of_span(inst.span);
+        push(
+            inst.ts_us,
+            2,
+            0,
+            trace_event(&inst.name, inst.cat, "i", inst.ts_us, tid, &inst.fields),
+        );
+    }
+    events.sort_by(|a, b| {
+        a.ts.total_cmp(&b.ts)
+            .then(a.rank.cmp(&b.rank))
+            .then(a.depth.cmp(&b.depth))
+    });
+    Ok(events.into_iter().map(|k| k.ev).collect())
+}
+
+/// Wraps trace events into a complete Chrome trace document
+/// (`{"traceEvents": [...], "displayTimeUnit": "ms"}`).
+pub fn trace_document(events: Vec<Value>) -> Value {
+    Value::Obj(vec![
+        ("traceEvents".to_string(), Value::Arr(events)),
+        ("displayTimeUnit".to_string(), Value::from("ms")),
+    ])
+}
+
+/// One-shot: JSONL trace text in, Chrome trace JSON text out.
+///
+/// # Errors
+///
+/// See [`trace_events_from_jsonl`].
+pub fn chrome_trace_from_jsonl(jsonl: &str) -> Result<String, String> {
+    Ok(trace_document(trace_events_from_jsonl(jsonl, 1)?).to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Level, Obs, ObsConfig, SharedBuf};
+
+    fn traced_run() -> String {
+        let obs = Obs::new(ObsConfig {
+            verbosity: Level::Trace,
+            ..ObsConfig::default()
+        });
+        let buf = SharedBuf::new();
+        obs.add_jsonl_buffer(&buf);
+        {
+            let _flow = obs.span("flow");
+            {
+                let mut g = obs.span("phase.global");
+                g.record("rounds", 2u64);
+                obs.event(Level::Debug, "global.retry", vec![crate::kv("step", 1u64)]);
+            }
+            let _l = obs.span("phase.local");
+        }
+        obs.flush();
+        buf.contents()
+    }
+
+    /// Walks every track's B/E records checking stack discipline.
+    fn assert_be_paired(events: &[Value]) {
+        use std::collections::HashMap;
+        let mut stacks: HashMap<u64, Vec<String>> = HashMap::new();
+        for ev in events {
+            let ph = ev.get("ph").and_then(Value::as_str).unwrap();
+            let tid = ev.get("tid").and_then(Value::as_u64).unwrap();
+            let name = ev.get("name").and_then(Value::as_str).unwrap().to_string();
+            match ph {
+                "B" => stacks.entry(tid).or_default().push(name),
+                "E" => {
+                    let top = stacks.get_mut(&tid).and_then(std::vec::Vec::pop);
+                    assert_eq!(top.as_deref(), Some(name.as_str()), "unbalanced E");
+                }
+                _ => {}
+            }
+        }
+        for (tid, stack) in stacks {
+            assert!(stack.is_empty(), "unclosed spans on tid {tid}: {stack:?}");
+        }
+    }
+
+    #[test]
+    fn spans_become_paired_b_e_events() {
+        let text = chrome_trace_from_jsonl(&traced_run()).unwrap();
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
+        let b = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("B"))
+            .count();
+        let e = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("E"))
+            .count();
+        assert_eq!(b, 3);
+        assert_eq!(b, e);
+        assert_be_paired(events);
+        // span end-fields survive on the E record
+        let global_end = events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(Value::as_str) == Some("E")
+                    && e.get("name").and_then(Value::as_str) == Some("phase.global")
+            })
+            .unwrap();
+        assert_eq!(
+            global_end
+                .get("args")
+                .and_then(|a| a.get("rounds"))
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn events_become_thread_scoped_instants() {
+        let events = trace_events_from_jsonl(&traced_run(), 7).unwrap();
+        let inst = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("i"))
+            .unwrap();
+        assert_eq!(
+            inst.get("name").and_then(Value::as_str),
+            Some("global.retry")
+        );
+        assert_eq!(inst.get("s").and_then(Value::as_str), Some("t"));
+        assert_eq!(inst.get("pid").and_then(Value::as_u64), Some(7));
+        // the instant rides on the same track as its enclosing span
+        let tid = inst.get("tid").and_then(Value::as_u64).unwrap();
+        assert!(tid >= 1);
+    }
+
+    #[test]
+    fn overlapping_spans_get_separate_tracks() {
+        // hand-written stream: two spans overlap without nesting, which
+        // a single B/E track cannot represent
+        let jsonl = concat!(
+            "{\"t\":\"span_start\",\"seq\":0,\"ts_ms\":0.0,\"span\":0,\"level\":\"info\",\"name\":\"a\"}\n",
+            "{\"t\":\"span_start\",\"seq\":1,\"ts_ms\":1.0,\"span\":1,\"level\":\"info\",\"name\":\"b\"}\n",
+            "{\"t\":\"span_end\",\"seq\":2,\"ts_ms\":2.0,\"span\":0,\"level\":\"info\",\"name\":\"a\",\"elapsed_ms\":2.0}\n",
+            "{\"t\":\"span_end\",\"seq\":3,\"ts_ms\":3.0,\"span\":1,\"level\":\"info\",\"name\":\"b\",\"elapsed_ms\":2.0}\n",
+        );
+        let events = trace_events_from_jsonl(jsonl, 1).unwrap();
+        assert_be_paired(&events);
+        let tids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter_map(|e| e.get("tid").and_then(Value::as_u64))
+            .collect();
+        assert_eq!(tids.len(), 2, "overlap must split tracks");
+    }
+
+    #[test]
+    fn dangling_span_is_closed_at_last_ts() {
+        let jsonl = concat!(
+            "{\"t\":\"span_start\",\"seq\":0,\"ts_ms\":0.0,\"span\":0,\"level\":\"info\",\"name\":\"flow\"}\n",
+            "{\"t\":\"event\",\"seq\":1,\"ts_ms\":5.5,\"level\":\"info\",\"name\":\"tick\"}\n",
+        );
+        let events = trace_events_from_jsonl(jsonl, 1).unwrap();
+        assert_be_paired(&events);
+        let end = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("E"))
+            .unwrap();
+        assert!((end.get("ts").and_then(Value::as_f64).unwrap() - 5500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bad_jsonl_reports_line_number() {
+        let err = trace_events_from_jsonl("{\"t\":\"event\"}\nnot json\n", 1).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+}

@@ -35,6 +35,7 @@ mod recorder;
 mod sink;
 mod span;
 
+pub mod chrome;
 pub mod json;
 pub mod metrics;
 

@@ -159,7 +159,7 @@ impl Histogram {
 }
 
 /// A consistent snapshot of one histogram.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct HistSnapshot {
     /// Total number of samples.
     pub count: u64,
@@ -181,6 +181,45 @@ impl HistSnapshot {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Merges `other` into `self`, bucket-wise.
+    ///
+    /// Both snapshots must come from histograms using the same bucket
+    /// boundaries. Boundaries are a compile-time property of this
+    /// module (`SUB_BITS`), so that holds for any two `clk-obs`
+    /// snapshots; the assertion guards against feeding in buckets from
+    /// a foreign or corrupted source (e.g. a deserialized snapshot with
+    /// out-of-range indices). This is the aggregation primitive for
+    /// per-thread histograms once the flow parallelizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `other` holds a bucket index outside this module's
+    /// bucket space (a boundary mismatch).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for &(idx, _) in &other.buckets {
+            assert!(
+                (idx as usize) < NUM_BUCKETS,
+                "bucket index {idx} out of range: mismatched histogram boundaries"
+            );
+        }
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let mut merged: BTreeMap<u32, u64> = self.buckets.iter().copied().collect();
+        for &(idx, n) in &other.buckets {
+            *merged.entry(idx).or_insert(0) += n;
+        }
+        self.buckets = merged.into_iter().collect();
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// Estimates the `q`-quantile (`0.0 ..= 1.0`).
@@ -390,6 +429,56 @@ mod tests {
         assert!((s.min - 1.0).abs() < 1e-12);
         assert!((s.max - 9.0).abs() < 1e-12);
         assert!((s.mean() - 14.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_bucket_wise_sum() {
+        let (a, b) = (Histogram::default(), Histogram::default());
+        for v in [1.0, 2.0, 400.0] {
+            a.observe(v);
+        }
+        for v in [0.5, 2.0, 2.0] {
+            b.observe(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        // reference: one histogram fed all six samples
+        let all = Histogram::default();
+        for v in [1.0, 2.0, 400.0, 0.5, 2.0, 2.0] {
+            all.observe(v);
+        }
+        assert_eq!(m, all.snapshot());
+        assert_eq!(m.count, 6);
+        assert!((m.sum - 407.5).abs() < 1e-12);
+        assert!((m.min - 0.5).abs() < 1e-12);
+        assert!((m.max - 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let h = Histogram::default();
+        h.observe(3.0);
+        let snap = h.snapshot();
+        let mut a = snap.clone();
+        a.merge(&HistSnapshot::default());
+        assert_eq!(a, snap);
+        let mut b = HistSnapshot::default();
+        b.merge(&snap);
+        assert_eq!(b, snap);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched histogram boundaries")]
+    fn merge_rejects_foreign_boundaries() {
+        let mut a = HistSnapshot::default();
+        let foreign = HistSnapshot {
+            count: 1,
+            sum: 1.0,
+            min: 1.0,
+            max: 1.0,
+            buckets: vec![(u32::MAX, 1)],
+        };
+        a.merge(&foreign);
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Edge-case coverage for the hand-rolled `clk_obs::json` parser:
+//! escape sequences, deep nesting, and rejection of the non-JSON
+//! number literals (`NaN` / `Infinity`) that `f64` formatting could
+//! otherwise smuggle in.
+
+use clk_obs::json::{parse, Value};
+
+#[test]
+fn all_escape_sequences_round_trip() {
+    let v = parse(r#""a\"b\\c\/d\ne\rf\tg\bh\fi""#).unwrap();
+    assert_eq!(
+        v.as_str(),
+        Some("a\"b\\c/d\ne\rf\tg\u{8}h\u{c}i"),
+        "every escape in the JSON grammar decodes"
+    );
+}
+
+#[test]
+fn unicode_escapes_decode_and_lone_surrogates_are_replaced() {
+    assert_eq!(parse(r#""Aé☃""#).unwrap().as_str(), Some("Aé☃"));
+    // control characters written by the sink as \u00XX come back intact
+    let v = Value::Str("\u{1}\u{1f}".to_string());
+    assert_eq!(parse(&v.to_json()).unwrap(), v);
+    // a lone surrogate is not a char; the parser substitutes U+FFFD
+    // rather than erroring out mid-stream
+    assert_eq!(parse(r#""\ud800""#).unwrap().as_str(), Some("\u{fffd}"));
+}
+
+#[test]
+fn rejects_malformed_escapes() {
+    assert!(parse(r#""\q""#).is_err(), "unknown escape letter");
+    assert!(parse(r#""\u12""#).is_err(), "truncated \\u escape");
+    assert!(parse(r#""\u12zz""#).is_err(), "non-hex \\u escape");
+    assert!(parse(r#""\"#).is_err(), "dangling backslash");
+}
+
+#[test]
+fn deeply_nested_arrays_round_trip() {
+    const DEPTH: usize = 300;
+    let mut text = String::new();
+    text.push_str(&"[".repeat(DEPTH));
+    text.push('7');
+    text.push_str(&"]".repeat(DEPTH));
+    let mut v = parse(&text).unwrap();
+    for _ in 0..DEPTH {
+        let arr = v.as_arr().expect("still an array");
+        assert_eq!(arr.len(), 1);
+        v = arr[0].clone();
+    }
+    assert_eq!(v.as_f64(), Some(7.0));
+}
+
+#[test]
+fn deeply_nested_objects_round_trip() {
+    const DEPTH: usize = 200;
+    let mut text = String::new();
+    for _ in 0..DEPTH {
+        text.push_str("{\"k\":");
+    }
+    text.push_str("true");
+    text.push_str(&"}".repeat(DEPTH));
+    let mut v = parse(&text).unwrap();
+    for _ in 0..DEPTH {
+        v = v.get("k").expect("key present").clone();
+    }
+    assert_eq!(v, Value::Bool(true));
+}
+
+#[test]
+fn rejects_nan_and_infinity_literals() {
+    for bad in [
+        "NaN",
+        "nan",
+        "-NaN",
+        "Infinity",
+        "-Infinity",
+        "inf",
+        "-inf",
+        "1e",
+        "--1",
+        "0x10",
+        "1.2.3",
+    ] {
+        assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        let wrapped = format!("{{\"v\":{bad}}}");
+        assert!(parse(&wrapped).is_err(), "{wrapped:?} must not parse");
+    }
+    // the writer turns non-finite numbers into null, so a round trip
+    // never produces those literals in the first place
+    assert_eq!(Value::Num(f64::NAN).to_json(), "null");
+    assert_eq!(Value::Num(f64::NEG_INFINITY).to_json(), "null");
+}
+
+#[test]
+fn number_edge_values_survive() {
+    for n in [
+        0.0,
+        -0.0,
+        1e-300,
+        1e300,
+        f64::MAX,
+        f64::MIN_POSITIVE,
+        -123456789.123456,
+    ] {
+        let text = Value::Num(n).to_json();
+        let back = parse(&text).unwrap().as_f64().unwrap();
+        assert_eq!(back, n, "{n} via {text}");
+    }
+}
+
+#[test]
+fn rejects_structural_garbage() {
+    for bad in [
+        "",
+        "   ",
+        "[1 2]",
+        "{\"a\" 1}",
+        "{\"a\":1,}",
+        "[,1]",
+        "{,}",
+        "[1]]",
+        "\u{7f}",
+        "{\"a\":}",
+        "tru",
+    ] {
+        assert!(parse(bad).is_err(), "{bad:?} must not parse");
+    }
+}

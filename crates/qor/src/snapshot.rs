@@ -1,0 +1,495 @@
+//! The versioned QoR snapshot schema and its JSON (de)serialization.
+//!
+//! A [`QorSnapshot`] is one run of the bench suite: provenance
+//! (`schema_version`, git rev, seed), then one [`TestcaseQor`] per
+//! (testcase, flow) with the Table-5 metrics (variation sum, per-corner
+//! local skew, inverter count/area, power, wirelength) and the
+//! performance telemetry scraped from the `clk-obs` metrics registry
+//! (per-phase wall clock, LP rounds/iterations, ECO and local-move
+//! accept/reject tallies, absorbed-fault counts).
+
+use clk_obs::json::{self, Value};
+use clk_obs::{MetricValue, MetricsSnapshot};
+use clk_skewopt::OptReport;
+
+/// Version stamped into every snapshot; bump on breaking schema change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Per-corner skew figures of one testcase run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CornerQor {
+    /// Corner name (e.g. `c0`).
+    pub name: String,
+    /// Local skew before optimization, ps.
+    pub skew_before_ps: f64,
+    /// Local skew after optimization, ps.
+    pub skew_after_ps: f64,
+}
+
+/// Wall clock of one flow phase, scraped from the `span.{phase}.ms`
+/// histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseQor {
+    /// Phase span name (e.g. `phase.global`).
+    pub name: String,
+    /// Total wall clock spent in the phase, ms.
+    pub wall_ms: f64,
+}
+
+/// QoR and performance record of one (testcase, flow) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestcaseQor {
+    /// Testcase id (e.g. `CLS1v1`).
+    pub id: String,
+    /// Flow row (`global`, `local`, `global-local`).
+    pub flow: String,
+    /// Σ normalized skew variation before, ps.
+    pub variation_before_ps: f64,
+    /// Σ normalized skew variation after, ps.
+    pub variation_after_ps: f64,
+    /// Per-corner local skews.
+    pub corners: Vec<CornerQor>,
+    /// Clock inverters before.
+    pub cells_before: u64,
+    /// Clock inverters after.
+    pub cells_after: u64,
+    /// Clock-cell area before, µm².
+    pub area_before_um2: f64,
+    /// Clock-cell area after, µm².
+    pub area_after_um2: f64,
+    /// Clock-tree power before (corner 0), mW.
+    pub power_before_mw: f64,
+    /// Clock-tree power after, mW.
+    pub power_after_mw: f64,
+    /// Routed clock wirelength after optimization, µm.
+    pub wirelength_um: f64,
+    /// End-to-end flow wall clock, ms.
+    pub runtime_ms: f64,
+    /// Per-phase wall clock.
+    pub phases: Vec<PhaseQor>,
+    /// Global λ-sweep points attempted.
+    pub lp_rounds: u64,
+    /// Simplex iterations spent across the sweep.
+    pub lp_iterations: u64,
+    /// Sweep points whose trial ECO was accepted.
+    pub eco_accepts: u64,
+    /// Sweep points rejected by the guard / fidelity gate.
+    pub eco_rejects: u64,
+    /// Local moves committed.
+    pub local_accepts: u64,
+    /// Local candidates rejected (all typed reasons).
+    pub local_rejects: u64,
+    /// Golden-timer evaluations spent by the local phase.
+    pub golden_evals: u64,
+    /// Faults the runtime absorbed during the run.
+    pub faults_absorbed: u64,
+    /// Raw `clk-obs` counters (sorted by name) for drill-down; never
+    /// gated, purely informational.
+    pub counters: Vec<(String, f64)>,
+}
+
+/// One run of the bench suite: provenance plus per-testcase records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QorSnapshot {
+    /// Schema version ([`SCHEMA_VERSION`] when produced by this crate).
+    pub schema_version: u64,
+    /// Git revision of the producing tree (`unknown` outside a repo).
+    pub git_rev: String,
+    /// Generator seed the suite ran with.
+    pub seed: u64,
+    /// Suite preset (`quick` / `full`).
+    pub suite: String,
+    /// One record per (testcase, flow).
+    pub testcases: Vec<TestcaseQor>,
+}
+
+impl QorSnapshot {
+    /// An empty snapshot with provenance filled in.
+    pub fn new(git_rev: impl Into<String>, seed: u64, suite: impl Into<String>) -> Self {
+        QorSnapshot {
+            schema_version: SCHEMA_VERSION,
+            git_rev: git_rev.into(),
+            seed,
+            suite: suite.into(),
+            testcases: Vec::new(),
+        }
+    }
+}
+
+impl TestcaseQor {
+    /// Builds the record for one run from the flow's [`OptReport`], the
+    /// run's metrics snapshot (when observability was enabled), the
+    /// measured wall clock and the post-optimization wirelength.
+    pub fn from_report(
+        id: impl Into<String>,
+        corner_names: &[String],
+        report: &OptReport,
+        metrics: Option<&MetricsSnapshot>,
+        runtime_ms: f64,
+        wirelength_um: f64,
+    ) -> Self {
+        let corners = corner_names
+            .iter()
+            .enumerate()
+            .map(|(k, name)| CornerQor {
+                name: name.clone(),
+                skew_before_ps: report.local_skew_before.get(k).copied().unwrap_or(0.0),
+                skew_after_ps: report.local_skew_after.get(k).copied().unwrap_or(0.0),
+            })
+            .collect();
+        let (eco_accepts, eco_rejects, lp_rounds, lp_iterations) =
+            report.global_report.as_ref().map_or((0, 0, 0, 0), |g| {
+                let acc = g.sweep.iter().filter(|p| p.accepted).count() as u64;
+                (
+                    acc,
+                    g.sweep.len() as u64 - acc,
+                    g.sweep.len() as u64,
+                    g.lp_iterations as u64,
+                )
+            });
+        let (local_accepts, local_rejects, golden_evals) =
+            report.local_report.as_ref().map_or((0, 0, 0), |l| {
+                (
+                    l.iterations.len() as u64,
+                    l.rejects.total() as u64,
+                    l.golden_evals as u64,
+                )
+            });
+        let mut phases = Vec::new();
+        let mut counters = Vec::new();
+        if let Some(snap) = metrics {
+            for phase in ["phase.init", "phase.global", "phase.local", "phase.scoring"] {
+                if let Some(MetricValue::Histogram(h)) = snap.get(&format!("span.{phase}.ms")) {
+                    phases.push(PhaseQor {
+                        name: phase.to_string(),
+                        wall_ms: h.sum,
+                    });
+                }
+            }
+            for (name, v) in snap {
+                if let MetricValue::Counter(c) = v {
+                    counters.push((name.clone(), *c as f64));
+                }
+            }
+        }
+        TestcaseQor {
+            id: id.into(),
+            flow: report.flow.to_string(),
+            variation_before_ps: report.variation_before,
+            variation_after_ps: report.variation_after,
+            corners,
+            cells_before: report.cells_before as u64,
+            cells_after: report.cells_after as u64,
+            area_before_um2: report.area_before_um2,
+            area_after_um2: report.area_after_um2,
+            power_before_mw: report.power_before_mw,
+            power_after_mw: report.power_after_mw,
+            wirelength_um,
+            runtime_ms,
+            phases,
+            lp_rounds,
+            lp_iterations,
+            eco_accepts,
+            eco_rejects,
+            local_accepts,
+            local_rejects,
+            golden_evals,
+            faults_absorbed: report.faults.len() as u64,
+            counters,
+        }
+    }
+}
+
+// ---- JSON serialization -------------------------------------------------
+
+fn num(v: f64) -> Value {
+    // keep committed baselines diff-friendly: microsecond/µm²-level
+    // precision is far below every tolerance band
+    Value::Num((v * 1e6).round() / 1e6)
+}
+
+impl CornerQor {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("name".to_string(), Value::from(self.name.as_str())),
+            ("skew_before_ps".to_string(), num(self.skew_before_ps)),
+            ("skew_after_ps".to_string(), num(self.skew_after_ps)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(CornerQor {
+            name: req_str(v, "name")?,
+            skew_before_ps: req_f64(v, "skew_before_ps")?,
+            skew_after_ps: req_f64(v, "skew_after_ps")?,
+        })
+    }
+}
+
+impl PhaseQor {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("name".to_string(), Value::from(self.name.as_str())),
+            ("wall_ms".to_string(), num(self.wall_ms)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(PhaseQor {
+            name: req_str(v, "name")?,
+            wall_ms: req_f64(v, "wall_ms")?,
+        })
+    }
+}
+
+impl TestcaseQor {
+    /// Renders the record as a JSON object.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("id".to_string(), Value::from(self.id.as_str())),
+            ("flow".to_string(), Value::from(self.flow.as_str())),
+            (
+                "variation_before_ps".to_string(),
+                num(self.variation_before_ps),
+            ),
+            (
+                "variation_after_ps".to_string(),
+                num(self.variation_after_ps),
+            ),
+            (
+                "corners".to_string(),
+                Value::Arr(self.corners.iter().map(CornerQor::to_value).collect()),
+            ),
+            ("cells_before".to_string(), Value::from(self.cells_before)),
+            ("cells_after".to_string(), Value::from(self.cells_after)),
+            ("area_before_um2".to_string(), num(self.area_before_um2)),
+            ("area_after_um2".to_string(), num(self.area_after_um2)),
+            ("power_before_mw".to_string(), num(self.power_before_mw)),
+            ("power_after_mw".to_string(), num(self.power_after_mw)),
+            ("wirelength_um".to_string(), num(self.wirelength_um)),
+            ("runtime_ms".to_string(), num(self.runtime_ms)),
+            (
+                "phases".to_string(),
+                Value::Arr(self.phases.iter().map(PhaseQor::to_value).collect()),
+            ),
+            ("lp_rounds".to_string(), Value::from(self.lp_rounds)),
+            ("lp_iterations".to_string(), Value::from(self.lp_iterations)),
+            ("eco_accepts".to_string(), Value::from(self.eco_accepts)),
+            ("eco_rejects".to_string(), Value::from(self.eco_rejects)),
+            ("local_accepts".to_string(), Value::from(self.local_accepts)),
+            ("local_rejects".to_string(), Value::from(self.local_rejects)),
+            ("golden_evals".to_string(), Value::from(self.golden_evals)),
+            (
+                "faults_absorbed".to_string(),
+                Value::from(self.faults_absorbed),
+            ),
+            (
+                "counters".to_string(),
+                Value::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a record from its JSON object.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first missing or mistyped key.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let corners = req_arr(v, "corners")?
+            .iter()
+            .map(CornerQor::from_value)
+            .collect::<Result<_, _>>()?;
+        let phases = req_arr(v, "phases")?
+            .iter()
+            .map(PhaseQor::from_value)
+            .collect::<Result<_, _>>()?;
+        let counters = match v.get("counters") {
+            Some(Value::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, cv)| {
+                    cv.as_f64()
+                        .map(|c| (k.clone(), c))
+                        .ok_or_else(|| format!("counter {k}: not a number"))
+                })
+                .collect::<Result<_, _>>()?,
+            _ => return Err("missing object key 'counters'".to_string()),
+        };
+        Ok(TestcaseQor {
+            id: req_str(v, "id")?,
+            flow: req_str(v, "flow")?,
+            variation_before_ps: req_f64(v, "variation_before_ps")?,
+            variation_after_ps: req_f64(v, "variation_after_ps")?,
+            corners,
+            cells_before: req_u64(v, "cells_before")?,
+            cells_after: req_u64(v, "cells_after")?,
+            area_before_um2: req_f64(v, "area_before_um2")?,
+            area_after_um2: req_f64(v, "area_after_um2")?,
+            power_before_mw: req_f64(v, "power_before_mw")?,
+            power_after_mw: req_f64(v, "power_after_mw")?,
+            wirelength_um: req_f64(v, "wirelength_um")?,
+            runtime_ms: req_f64(v, "runtime_ms")?,
+            phases,
+            lp_rounds: req_u64(v, "lp_rounds")?,
+            lp_iterations: req_u64(v, "lp_iterations")?,
+            eco_accepts: req_u64(v, "eco_accepts")?,
+            eco_rejects: req_u64(v, "eco_rejects")?,
+            local_accepts: req_u64(v, "local_accepts")?,
+            local_rejects: req_u64(v, "local_rejects")?,
+            golden_evals: req_u64(v, "golden_evals")?,
+            faults_absorbed: req_u64(v, "faults_absorbed")?,
+            counters,
+        })
+    }
+}
+
+impl QorSnapshot {
+    /// Renders the snapshot as a JSON object.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "schema_version".to_string(),
+                Value::from(self.schema_version),
+            ),
+            ("git_rev".to_string(), Value::from(self.git_rev.as_str())),
+            ("seed".to_string(), Value::from(self.seed)),
+            ("suite".to_string(), Value::from(self.suite.as_str())),
+            (
+                "testcases".to_string(),
+                Value::Arr(self.testcases.iter().map(TestcaseQor::to_value).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a snapshot from its JSON object.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first missing or mistyped key. An unknown
+    /// `schema_version` is *not* an error here — the differ reports it
+    /// as a gate failure with context instead.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(QorSnapshot {
+            schema_version: req_u64(v, "schema_version")?,
+            git_rev: req_str(v, "git_rev")?,
+            seed: req_u64(v, "seed")?,
+            suite: req_str(v, "suite")?,
+            testcases: req_arr(v, "testcases")?
+                .iter()
+                .map(TestcaseQor::from_value)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Parses a snapshot from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// JSON syntax errors or schema-shape errors, as a message.
+    pub fn parse_str(text: &str) -> Result<Self, String> {
+        Self::from_value(&json::parse(text)?)
+    }
+
+    /// Renders the snapshot as indented JSON (diff-friendly for the
+    /// committed baseline; one scalar per line).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        write_pretty(&self.to_value(), 0, &mut out);
+        out.push('\n');
+        out
+    }
+}
+
+fn req_f64(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing numeric key '{key}'"))
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing integer key '{key}'"))
+}
+
+fn req_str(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string key '{key}'"))
+}
+
+fn req_arr<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    v.get(key)
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("missing array key '{key}'"))
+}
+
+/// Minimal two-space pretty printer over the `clk_obs::json` model (the
+/// model itself only renders compactly).
+fn write_pretty(v: &Value, depth: usize, out: &mut String) {
+    const PAD: &str = "  ";
+    match v {
+        Value::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&PAD.repeat(depth + 1));
+                write_pretty(item, depth + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&PAD.repeat(depth));
+            out.push(']');
+        }
+        Value::Obj(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                out.push_str(&PAD.repeat(depth + 1));
+                out.push_str(&Value::from(k.as_str()).to_json());
+                out.push_str(": ");
+                write_pretty(item, depth + 1, out);
+                if i + 1 < pairs.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&PAD.repeat(depth));
+            out.push('}');
+        }
+        other => out.push_str(&other.to_json()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let s = QorSnapshot::new("abc123", 7, "quick");
+        assert_eq!(s.schema_version, SCHEMA_VERSION);
+        let back = QorSnapshot::parse_str(&s.to_json_pretty()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn missing_keys_are_named() {
+        let e = QorSnapshot::parse_str("{\"schema_version\":1}").unwrap_err();
+        assert!(e.contains("git_rev"), "{e}");
+    }
+
+    #[test]
+    fn pretty_output_is_one_scalar_per_line() {
+        let s = QorSnapshot::new("abc123", 7, "quick");
+        let text = s.to_json_pretty();
+        assert!(text.lines().count() >= 6, "{text}");
+        assert!(text.contains("\"schema_version\": 1"), "{text}");
+    }
+}
