@@ -1,0 +1,317 @@
+//! Exact LP-certificate gate: replays the table-4/5 flow suite with
+//! certificate checking armed and then feeds the checker a battery of
+//! poisoned LPs and mutated certificates that must all be rejected.
+//!
+//! ```sh
+//! cargo run --release -p clk-bench --bin cert -- --quick --seed 2015
+//! ```
+//!
+//! Exit code 0 when every honest solve in CLS1v1/CLS1v2/CLS2v1
+//! certifies (`cert.checks > 0`, `cert.violations == 0`) **and** every
+//! poisoned problem or mutated certificate is rejected; 1 otherwise. A
+//! machine-readable `cert-report.json` is written either way (override
+//! with `--out PATH`) so CI can archive the violation evidence.
+
+// float arithmetic is the domain here; the workspace lint exists for
+// exact-arithmetic code (clk-cert escalates it to deny)
+#![allow(clippy::float_arithmetic)]
+
+use std::process::ExitCode;
+
+use clk_bench::{suite_cases, ExpArgs, PreparedCase, Stopwatch};
+use clk_cert::{check, check_infeasible, Report};
+use clk_lp::{solve, solve_certified, Certified, Problem, RowKind};
+use clk_obs::{Level, MetricValue, Obs, ObsConfig, Value};
+use clk_skewopt::Flow;
+
+/// Outcome of one adversarial case: the checker must reject.
+struct PoisonOutcome {
+    name: &'static str,
+    rejected: bool,
+    violations: Vec<String>,
+}
+
+fn violations_of(r: &Report) -> Vec<String> {
+    r.violations.iter().map(ToString::to_string).collect()
+}
+
+/// A small LP with a tight equality row and a nonzero optimum, so every
+/// poison below lands on an active part of the certificate: minimize
+/// `-x - y` over `x ∈ [0, 5]`, `y ∈ [0, 4]` with `x + y = 3` and
+/// `x - y ≤ 2`.
+fn seed_problem() -> Option<Problem> {
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, 5.0, -1.0).ok()?;
+    let y = p.add_var(0.0, 4.0, -1.0).ok()?;
+    p.add_row(RowKind::Eq, 3.0, &[(x, 1.0), (y, 1.0)]).ok()?;
+    p.add_row(RowKind::Le, 2.0, &[(x, 1.0), (y, -1.0)]).ok()?;
+    Some(p)
+}
+
+/// An LP that is infeasible by construction: `x ∈ [0, 1]` with
+/// `2x ≥ 5`.
+fn infeasible_problem() -> Option<Problem> {
+    let mut p = Problem::new();
+    let x = p.add_var(0.0, 1.0, 1.0).ok()?;
+    p.add_row(RowKind::Ge, 5.0, &[(x, 2.0)]).ok()?;
+    Some(p)
+}
+
+/// Runs the adversarial battery: solve honestly, then poison the
+/// problem (the certificate no longer matches) or mutate the
+/// certificate (the problem no longer backs it). Every case must come
+/// back rejected.
+fn poison_battery() -> Option<Vec<PoisonOutcome>> {
+    let p = seed_problem()?;
+    let sol = solve(&p).ok()?;
+    let honest = check(&p, &sol);
+    let mut out = vec![PoisonOutcome {
+        name: "honest-solve-accepted",
+        // inverted sense: the honest baseline must PASS
+        rejected: !honest.ok(),
+        violations: violations_of(&honest),
+    }];
+
+    let mut against = |name: &'static str, poisoned: &Problem| {
+        let r = check(poisoned, &sol);
+        out.push(PoisonOutcome {
+            name,
+            rejected: !r.ok(),
+            violations: violations_of(&r),
+        });
+    };
+
+    let mut q = p.clone();
+    q.debug_poison_rhs(0, f64::NAN);
+    against("nan-rhs", &q);
+
+    let mut q = p.clone();
+    q.debug_poison_rhs(0, 4.0); // equality row shifted after the solve
+    against("shifted-eq-rhs", &q);
+
+    let mut q = p.clone();
+    q.debug_poison_cost(clk_lp::VarId(0), 1.0); // was -1.0
+    against("flipped-cost", &q);
+
+    let mut q = p.clone();
+    if q.debug_poison_coeff(clk_lp::VarId(0), 0, 2.0).is_err() {
+        return None;
+    }
+    against("doubled-coeff", &q);
+
+    let mut q = p.clone();
+    q.debug_poison_bounds(clk_lp::VarId(1), f64::NAN, 4.0);
+    against("nan-bound", &q);
+
+    // mutated certificates against the honest problem
+    let mut s = sol.clone();
+    if let Some(y0) = s.certificate.y.first_mut() {
+        *y0 += 1.0;
+    }
+    let r = check(&p, &s);
+    out.push(PoisonOutcome {
+        name: "perturbed-dual",
+        rejected: !r.ok(),
+        violations: violations_of(&r),
+    });
+
+    let mut s = sol.clone();
+    s.certificate.basis.pop();
+    let r = check(&p, &s);
+    out.push(PoisonOutcome {
+        name: "dropped-basis-column",
+        rejected: !r.ok(),
+        violations: violations_of(&r),
+    });
+
+    // Farkas side: an honest infeasibility witness must verify, and its
+    // sign-flip or erasure must not
+    let ip = infeasible_problem()?;
+    let Ok(Certified::Infeasible { ray }) = solve_certified(&ip) else {
+        return None;
+    };
+    let honest_ray = check_infeasible(&ip, &ray);
+    out.push(PoisonOutcome {
+        name: "honest-farkas-accepted",
+        rejected: !honest_ray.ok(), // inverted sense, as above
+        violations: violations_of(&honest_ray),
+    });
+    let mut flipped = ray.clone();
+    for v in &mut flipped.y {
+        *v = -*v;
+    }
+    let r = check_infeasible(&ip, &flipped);
+    out.push(PoisonOutcome {
+        name: "flipped-farkas-ray",
+        rejected: !r.ok(),
+        violations: violations_of(&r),
+    });
+    let mut zeroed = ray.clone();
+    for v in &mut zeroed.y {
+        *v = 0.0;
+    }
+    let r = check_infeasible(&ip, &zeroed);
+    out.push(PoisonOutcome {
+        name: "zeroed-farkas-ray",
+        rejected: !r.ok(),
+        violations: violations_of(&r),
+    });
+    Some(out)
+}
+
+/// Per-testcase tallies scraped from the run's metrics registry.
+struct SuiteOutcome {
+    id: String,
+    checks: u64,
+    violations: u64,
+    max_resid: f64,
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().collect();
+    let out_path = argv
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| argv.get(i + 1).cloned())
+        .unwrap_or_else(|| "cert-report.json".to_string());
+    let args = ExpArgs::parse();
+    let n = args.sinks.unwrap_or(if args.quick { 48 } else { 128 });
+    let seed = args.seed;
+    let cfg_base = clockvar_workbench::quick_flow_config();
+
+    println!("cert: suite seed {seed}, {n} sinks/testcase, flow global-local");
+    let sw = Stopwatch::start("cert");
+    let mut failed = false;
+    let mut check_line = |ok: bool, what: &str| {
+        if ok {
+            println!("ok: {what}");
+        } else {
+            eprintln!("FAIL: {what}");
+            failed = true;
+        }
+    };
+
+    // ---- phase A: every honest LP solve in the suite must certify ----
+    let mut suite_out: Vec<SuiteOutcome> = Vec::new();
+    for case in suite_cases(seed) {
+        let obs = Obs::new(ObsConfig {
+            verbosity: Level::Debug,
+            ..ObsConfig::default()
+        });
+        let mut cfg = cfg_base.clone();
+        cfg.obs = obs.clone();
+        let prep = PreparedCase::generate(case, n, &cfg, &[Flow::GlobalLocal]);
+        if let Err(e) = prep.run(Flow::GlobalLocal, &cfg) {
+            eprintln!("FAIL: {} flow failed: {e}", case.kind.name());
+            return ExitCode::FAILURE;
+        }
+        obs.flush();
+        let (mut checks, mut violations, mut max_resid) = (0, 0, 0.0);
+        if let Some(snap) = obs.metrics_snapshot() {
+            if let Some(MetricValue::Counter(c)) = snap.get("cert.checks") {
+                checks = *c;
+            }
+            if let Some(MetricValue::Counter(c)) = snap.get("cert.violations") {
+                violations = *c;
+            }
+            if let Some(MetricValue::Histogram(h)) = snap.get("cert.max_resid") {
+                max_resid = h.max;
+            }
+        }
+        let id = case.kind.name().to_string();
+        check_line(
+            checks > 0,
+            &format!("{id}: certificate checking armed ({checks} checks)"),
+        );
+        check_line(
+            violations == 0,
+            &format!("{id}: zero certificate violations (max residual {max_resid:.3e})"),
+        );
+        suite_out.push(SuiteOutcome {
+            id,
+            checks,
+            violations,
+            max_resid,
+        });
+    }
+
+    // ---- phase B: poisoned problems and mutated certificates ----
+    let Some(battery) = poison_battery() else {
+        eprintln!("FAIL: poison battery could not be constructed");
+        return ExitCode::FAILURE;
+    };
+    for case in &battery {
+        let verdict = if case.name.ends_with("accepted") {
+            // inverted-sense rows: rejected==false means the honest
+            // artifact verified, which is the pass condition
+            !case.rejected
+        } else {
+            case.rejected
+        };
+        let detail = if case.violations.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", case.violations.join("; "))
+        };
+        check_line(verdict, &format!("poison case {}{detail}", case.name));
+    }
+    sw.report();
+
+    // ---- artifact ----
+    let report = Value::Obj(vec![
+        ("seed".to_string(), Value::from(seed)),
+        (
+            "suite".to_string(),
+            Value::Arr(
+                suite_out
+                    .iter()
+                    .map(|s| {
+                        Value::Obj(vec![
+                            ("id".to_string(), Value::from(s.id.as_str())),
+                            ("cert_checks".to_string(), Value::from(s.checks)),
+                            ("cert_violations".to_string(), Value::from(s.violations)),
+                            ("cert_max_resid".to_string(), Value::Num(s.max_resid)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "poison".to_string(),
+            Value::Arr(
+                battery
+                    .iter()
+                    .map(|c| {
+                        Value::Obj(vec![
+                            ("name".to_string(), Value::from(c.name)),
+                            ("rejected".to_string(), Value::Bool(c.rejected)),
+                            (
+                                "violations".to_string(),
+                                Value::Arr(
+                                    c.violations
+                                        .iter()
+                                        .map(|v| Value::from(v.as_str()))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("gate_clean".to_string(), Value::Bool(!failed)),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("FAIL: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("report written to {out_path}");
+
+    if failed {
+        eprintln!("FAIL: certificate gate found violations");
+        ExitCode::FAILURE
+    } else {
+        println!("cert: gate clean");
+        ExitCode::SUCCESS
+    }
+}

@@ -2,6 +2,10 @@
 //! as functions of stage delay per unit distance at c0, with the fitted
 //! polynomial W_min / W_max feasibility bounds (red curves of the paper).
 
+// float arithmetic is the domain here; the workspace lint exists for
+// exact-arithmetic code (clk-cert escalates it to deny)
+#![allow(clippy::float_arithmetic)]
+
 use clk_liberty::{CornerId, Library, StdCorners};
 use clk_skewopt::lut::{fit_ratio_bounds, ratio_scatter, StageLuts};
 

@@ -1,5 +1,9 @@
 //! Developer probe: why does the global phase accept / reject sweeps?
 
+// float arithmetic is the domain here; the workspace lint exists for
+// exact-arithmetic code (clk-cert escalates it to deny)
+#![allow(clippy::float_arithmetic)]
+
 use clk_cts::{Testcase, TestcaseKind};
 use clk_skewopt::{global_optimize, GlobalConfig, StageLuts};
 

@@ -1,0 +1,493 @@
+//! [`BigRat`]: a zero-dependency arbitrary-precision rational built for
+//! exact verification of floating-point LP certificates.
+//!
+//! Every finite `f64` is exactly `(-1)^s · m · 2^e` with `m < 2^53`, so
+//! every number the checker ever constructs is a *dyadic* rational:
+//! sign + arbitrary-precision magnitude (`Vec<u64>` limbs) + a power-of-
+//! two scale. Dyadic rationals are closed under addition, subtraction
+//! and multiplication — and the certificate checks need nothing else
+//! (no division appears in primal/dual feasibility, complementary
+//! slackness, or Farkas-gap arithmetic). The denominator is therefore
+//! always a power of two and is carried as the `exp` field instead of a
+//! second magnitude, which makes normalization a shift instead of a gcd.
+//!
+//! No `f64` arithmetic or comparison appears anywhere in this module
+//! except the clearly-marked [`BigRat::approx_f64`] telemetry exporter;
+//! conversion *from* `f64` goes through [`f64::to_bits`] only.
+
+use std::cmp::Ordering;
+
+/// An exact dyadic rational `(-1)^neg · mag · 2^exp`.
+///
+/// Invariants (maintained by [`BigRat::normalize`]):
+/// * `mag` has no trailing (most-significant) zero limbs;
+/// * the low bit of `mag` is set (odd magnitude) unless the value is 0;
+/// * zero is `{ neg: false, mag: [], exp: 0 }`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BigRat {
+    neg: bool,
+    /// Little-endian base-2⁶⁴ limbs of the magnitude.
+    mag: Vec<u64>,
+    /// Power-of-two scale (the negated dyadic denominator exponent).
+    exp: i64,
+}
+
+impl BigRat {
+    /// Exact zero.
+    pub fn zero() -> Self {
+        BigRat {
+            neg: false,
+            mag: Vec::new(),
+            exp: 0,
+        }
+    }
+
+    /// Exact one.
+    pub fn one() -> Self {
+        BigRat {
+            neg: false,
+            mag: vec![1],
+            exp: 0,
+        }
+    }
+
+    /// Exactly `2^e` (e.g. `two_pow(-17)` is the checker tolerance unit).
+    pub fn two_pow(e: i64) -> Self {
+        BigRat {
+            neg: false,
+            mag: vec![1],
+            exp: e,
+        }
+    }
+
+    /// Exactly `v`.
+    pub fn from_i64(v: i64) -> Self {
+        let neg = v < 0;
+        let mag = v.unsigned_abs();
+        let mut r = BigRat {
+            neg,
+            mag: if mag == 0 { Vec::new() } else { vec![mag] },
+            exp: 0,
+        };
+        r.normalize();
+        r
+    }
+
+    /// The exact value of a finite `f64`, decoded from its bit pattern
+    /// (sign, biased exponent, mantissa — subnormals included).
+    /// `None` for NaN and ±∞.
+    pub fn from_f64_exact(v: f64) -> Option<Self> {
+        let bits = v.to_bits();
+        let neg = (bits >> 63) != 0;
+        let biased = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        if biased == 0x7ff {
+            return None; // NaN or infinity
+        }
+        let (mant, exp) = if biased == 0 {
+            (frac, -1074) // subnormal (or zero)
+        } else {
+            (frac | (1u64 << 52), biased - 1075)
+        };
+        let mut r = BigRat {
+            neg: neg && mant != 0,
+            mag: if mant == 0 { Vec::new() } else { vec![mant] },
+            exp,
+        };
+        r.normalize();
+        Some(r)
+    }
+
+    /// Whether the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_empty()
+    }
+
+    /// Whether the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.neg
+    }
+
+    /// Whether the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        !self.neg && !self.is_zero()
+    }
+
+    /// Exact negation.
+    pub fn negate(&self) -> Self {
+        let mut r = self.clone();
+        if !r.is_zero() {
+            r.neg = !r.neg;
+        }
+        r
+    }
+
+    /// Exact absolute value.
+    pub fn abs(&self) -> Self {
+        let mut r = self.clone();
+        r.neg = false;
+        r
+    }
+
+    /// Exact sum.
+    pub fn add(&self, other: &Self) -> Self {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        // align the scales: both magnitudes shifted up to the smaller exp
+        let exp = self.exp.min(other.exp);
+        let a = mag_shl(&self.mag, (self.exp - exp) as u64);
+        let b = mag_shl(&other.mag, (other.exp - exp) as u64);
+        let mut r = if self.neg == other.neg {
+            BigRat {
+                neg: self.neg,
+                mag: mag_add(&a, &b),
+                exp,
+            }
+        } else {
+            match mag_cmp(&a, &b) {
+                Ordering::Equal => BigRat::zero(),
+                Ordering::Greater => BigRat {
+                    neg: self.neg,
+                    mag: mag_sub(&a, &b),
+                    exp,
+                },
+                Ordering::Less => BigRat {
+                    neg: other.neg,
+                    mag: mag_sub(&b, &a),
+                    exp,
+                },
+            }
+        };
+        r.normalize();
+        r
+    }
+
+    /// Exact difference `self - other`.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.negate())
+    }
+
+    /// Exact product.
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return BigRat::zero();
+        }
+        let mut r = BigRat {
+            neg: self.neg != other.neg,
+            mag: mag_mul(&self.mag, &other.mag),
+            exp: self.exp + other.exp,
+        };
+        r.normalize();
+        r
+    }
+
+    /// Exact maximum.
+    pub fn max(&self, other: &Self) -> Self {
+        if self.cmp_exact(other) == Ordering::Less {
+            other.clone()
+        } else {
+            self.clone()
+        }
+    }
+
+    /// Exact total order.
+    pub fn cmp_exact(&self, other: &Self) -> Ordering {
+        let d = self.sub(other);
+        if d.is_zero() {
+            Ordering::Equal
+        } else if d.neg {
+            Ordering::Less
+        } else {
+            Ordering::Greater
+        }
+    }
+
+    /// Whether `|self| <= tol` (exact comparison).
+    pub fn within(&self, tol: &Self) -> bool {
+        self.abs().cmp_exact(tol) != Ordering::Greater
+    }
+
+    fn normalize(&mut self) {
+        while self.mag.last() == Some(&0) {
+            self.mag.pop();
+        }
+        if self.mag.is_empty() {
+            self.neg = false;
+            self.exp = 0;
+            return;
+        }
+        // shift out trailing zero bits into the exponent so magnitudes
+        // stay minimal across long dot products
+        let mut tz: u64 = 0;
+        for &limb in &self.mag {
+            if limb == 0 {
+                tz += 64;
+            } else {
+                tz += u64::from(limb.trailing_zeros());
+                break;
+            }
+        }
+        if tz > 0 {
+            self.mag = mag_shr(&self.mag, tz);
+            self.exp += tz as i64;
+        }
+    }
+
+    /// A lossy `f64` approximation — **telemetry only**; never used in
+    /// any acceptance decision (the checker compares exact rationals).
+    #[allow(
+        clippy::float_arithmetic,
+        clippy::float_cmp,
+        clippy::cast_precision_loss,
+        clippy::indexing_slicing
+    )]
+    pub fn approx_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        // take the top <= 64 bits of the magnitude and rescale
+        let nlimbs = self.mag.len();
+        let top = self.mag[nlimbs - 1];
+        let mut v = top as f64;
+        if nlimbs > 1 {
+            v += self.mag[nlimbs - 2] as f64 / 1.8446744073709552e19; // 2^64
+        }
+        let scale = self.exp + 64 * (nlimbs as i64 - 1);
+        let mut out = v;
+        // apply the power-of-two scale in clamped steps so intermediate
+        // values neither overflow nor flush to zero prematurely
+        let mut s = scale;
+        while s != 0 {
+            let step = s.clamp(-512, 512);
+            out *= f64::powi(2.0, step as i32);
+            s -= step;
+            if out == 0.0 || out.is_infinite() {
+                break;
+            }
+        }
+        if self.neg {
+            -out
+        } else {
+            out
+        }
+    }
+}
+
+impl std::fmt::Display for BigRat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:e}", self.approx_f64())
+    }
+}
+
+// ---- limb arithmetic ----------------------------------------------------
+
+fn mag_cmp(a: &[u64], b: &[u64]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Equal => {}
+            o => return o,
+        }
+    }
+    Ordering::Equal
+}
+
+// every index below is bounded by the iteration limit of its own loop
+#[allow(clippy::indexing_slicing)]
+fn mag_add(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for (i, &li) in long.iter().enumerate() {
+        let s = u128::from(li) + u128::from(short.get(i).copied().unwrap_or(0)) + u128::from(carry);
+        out.push(s as u64);
+        carry = (s >> 64) as u64;
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// `a - b`; callers guarantee `a >= b`.
+#[allow(clippy::indexing_slicing)]
+fn mag_sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert!(mag_cmp(a, b) != Ordering::Less);
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0u64;
+    for (i, &ai) in a.iter().enumerate() {
+        let bi = b.get(i).copied().unwrap_or(0);
+        let (d1, o1) = ai.overflowing_sub(bi);
+        let (d2, o2) = d1.overflowing_sub(borrow);
+        out.push(d2);
+        borrow = u64::from(o1) + u64::from(o2);
+    }
+    debug_assert_eq!(borrow, 0);
+    out
+}
+
+// `out` is sized `a.len() + b.len()` up front, which bounds `i + j` and
+// the carry walk (the product of an i-limb and j-limb number fits)
+#[allow(clippy::indexing_slicing)]
+fn mag_mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = u128::from(out[i + j]) + u128::from(ai) * u128::from(bj) + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = u128::from(out[k]) + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+fn mag_shl(a: &[u64], bits: u64) -> Vec<u64> {
+    if a.is_empty() || bits == 0 {
+        return a.to_vec();
+    }
+    let limbs = (bits / 64) as usize;
+    let rem = bits % 64;
+    let mut out = vec![0u64; limbs];
+    if rem == 0 {
+        out.extend_from_slice(a);
+        return out;
+    }
+    let mut carry = 0u64;
+    for &limb in a {
+        out.push((limb << rem) | carry);
+        carry = limb >> (64 - rem);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// `a >> bits`; callers guarantee the shifted-out bits are zero.
+#[allow(clippy::indexing_slicing)]
+fn mag_shr(a: &[u64], bits: u64) -> Vec<u64> {
+    let limbs = (bits / 64) as usize;
+    let rem = bits % 64;
+    let kept = &a[limbs.min(a.len())..];
+    if rem == 0 {
+        return kept.to_vec();
+    }
+    let mut out = Vec::with_capacity(kept.len());
+    for i in 0..kept.len() {
+        let hi = kept.get(i + 1).copied().unwrap_or(0);
+        out.push((kept[i] >> rem) | (hi << (64 - rem)));
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+// tests exercise float decode on purpose
+#[allow(clippy::float_arithmetic, clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    fn r(v: f64) -> BigRat {
+        BigRat::from_f64_exact(v).unwrap()
+    }
+
+    #[test]
+    fn f64_decode_is_exact() {
+        assert!(r(0.0).is_zero());
+        assert!(r(-0.0).is_zero());
+        assert_eq!(r(1.0), BigRat::one());
+        assert_eq!(r(-2.0), BigRat::from_i64(-2));
+        assert_eq!(r(0.5), BigRat::two_pow(-1));
+        // 0.1 is NOT 1/10 in binary; the decode must capture the real value
+        let tenth = r(0.1);
+        let ten = BigRat::from_i64(10);
+        assert_ne!(tenth.mul(&ten), BigRat::one());
+        // but the decode round-trips through the approximation
+        assert_eq!(tenth.approx_f64(), 0.1);
+        assert!(BigRat::from_f64_exact(f64::NAN).is_none());
+        assert!(BigRat::from_f64_exact(f64::INFINITY).is_none());
+        assert!(BigRat::from_f64_exact(f64::NEG_INFINITY).is_none());
+    }
+
+    #[test]
+    fn subnormals_and_extremes_decode() {
+        let tiny = r(f64::MIN_POSITIVE / 4.0); // subnormal
+        assert!(tiny.is_positive());
+        assert_eq!(tiny.approx_f64(), f64::MIN_POSITIVE / 4.0);
+        let huge = r(f64::MAX);
+        assert_eq!(huge.approx_f64(), f64::MAX);
+        // product of extremes stays exact (overflows f64, not BigRat)
+        let sq = huge.mul(&huge);
+        assert!(sq.is_positive());
+        assert!(sq.mul(&tiny).is_positive());
+    }
+
+    #[test]
+    fn point_one_plus_point_two_is_not_point_three() {
+        // the classic: the exact sum of the f64s 0.1 and 0.2 is the
+        // unrounded 10808639105689191·2⁻⁵⁵, strictly between 0.3 and the
+        // float-rounded 0.30000000000000004 — exact arithmetic keeps what
+        // f64 addition throws away
+        let sum = r(0.1).add(&r(0.2));
+        assert_ne!(sum, r(0.3));
+        assert_eq!(sum.cmp_exact(&r(0.3)), Ordering::Greater);
+        assert_ne!(sum, r(0.30000000000000004));
+        assert_eq!(sum.cmp_exact(&r(0.30000000000000004)), Ordering::Less);
+        // and the gap is exactly one unit in the 55th binary place
+        assert_eq!(r(0.30000000000000004).sub(&sum), BigRat::two_pow(-55));
+    }
+
+    #[test]
+    fn ring_identities_hold() {
+        let a = r(3.75);
+        let b = r(-1.2109375);
+        let c = r(1e-9);
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.sub(&a), BigRat::zero());
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        assert_eq!(a.negate().negate(), a);
+        assert_eq!(a.add(&b).approx_f64(), 3.75 + -1.2109375);
+    }
+
+    #[test]
+    fn ordering_and_tolerance() {
+        assert_eq!(r(1.5).cmp_exact(&r(1.5)), Ordering::Equal);
+        assert_eq!(r(-3.0).cmp_exact(&r(2.0)), Ordering::Less);
+        assert_eq!(r(1e300).cmp_exact(&r(1e-300)), Ordering::Greater);
+        let tol = BigRat::two_pow(-20);
+        assert!(r(0.0).within(&tol));
+        assert!(r(1e-7).within(&tol));
+        assert!(!r(1e-5).within(&tol));
+        assert!(r(-1e-7).within(&tol));
+        assert_eq!(r(2.0).max(&r(3.0)), r(3.0));
+    }
+
+    #[test]
+    fn long_alignment_chains_stay_exact() {
+        // 2^-1074 + 2^1000 - 2^1000 == 2^-1074 requires ~2100-bit alignment
+        let tiny = BigRat::two_pow(-1074);
+        let big = BigRat::two_pow(1000);
+        let back = tiny.add(&big).sub(&big);
+        assert_eq!(back, tiny);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests of the certificate checker: every certificate the
+//! solver emits on a random small LP must verify, and mutated
+//! certificates (perturbed dual, dropped basis column, flipped Farkas
+//! ray) must always be rejected.
+
+// float arithmetic is the domain here; the workspace lint exists for
+// exact-arithmetic code (clk-cert escalates it to deny)
+#![allow(clippy::float_arithmetic)]
+
+use clk_cert::{check, check_infeasible, Violation};
+use clk_lp::{solve_certified, Certified, FarkasRay, Problem, RowKind, Solution};
+use proptest::prelude::*;
+
+/// Builds a box-bounded LP from generated data; always well-formed, may
+/// be feasible or infeasible depending on the rows.
+fn build_lp(vars: &[(f64, f64, f64)], rows: &[(u8, f64, Vec<f64>)]) -> Problem {
+    let mut p = Problem::new();
+    let ids: Vec<_> = vars
+        .iter()
+        .map(|&(lo, w, c)| p.add_var(lo, lo + w, c).expect("finite bounds"))
+        .collect();
+    for (kind, rhs, coefs) in rows {
+        let kind = match kind {
+            0 => RowKind::Le,
+            1 => RowKind::Ge,
+            _ => RowKind::Eq,
+        };
+        let terms: Vec<_> = ids
+            .iter()
+            .zip(coefs)
+            .filter(|&(_, &a)| a.abs() > 0.05)
+            .map(|(&v, &a)| (v, a))
+            .collect();
+        p.add_row(kind, *rhs, &terms).expect("finite row");
+    }
+    p
+}
+
+/// Solves and splits the outcome; `None` when the solver hit its pivot
+/// budget (no certificate is emitted in that case).
+fn certified(p: &Problem) -> Option<Result<Solution, FarkasRay>> {
+    match solve_certified(p) {
+        Ok(Certified::Optimal(s)) => Some(Ok(s)),
+        Ok(Certified::Infeasible { ray }) => Some(Err(ray)),
+        Err(_) => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Accept path: whatever the solver claims on a random small LP —
+    /// optimum or infeasibility — the exact checker agrees.
+    #[test]
+    fn random_small_lps_always_certify(
+        vars in prop::collection::vec((-5.0f64..5.0, 0.1f64..10.0, -5.0f64..5.0), 1..8),
+        rows in prop::collection::vec(
+            (0u8..3, -10.0f64..10.0, prop::collection::vec(-3.0f64..3.0, 8)),
+            0..8),
+    ) {
+        let p = build_lp(&vars, &rows);
+        match certified(&p) {
+            Some(Ok(s)) => {
+                let r = check(&p, &s);
+                prop_assert!(r.ok(), "honest optimum rejected: {:?}", r.violations);
+            }
+            Some(Err(ray)) => {
+                let r = check_infeasible(&p, &ray);
+                prop_assert!(r.ok(), "honest Farkas ray rejected: {:?}", r.violations);
+            }
+            None => {} // pivot budget exhausted: nothing to certify
+        }
+    }
+
+    /// Reject path 1: perturbing one dual value beyond the tolerance band
+    /// always surfaces as a reduced-cost mismatch (the slack column of
+    /// the perturbed row ties `y_i` to its recorded reduced cost).
+    #[test]
+    fn perturbed_dual_always_rejected(
+        vars in prop::collection::vec((-5.0f64..5.0, 0.1f64..10.0, -5.0f64..5.0), 1..8),
+        rows in prop::collection::vec(
+            (0u8..2, -10.0f64..10.0, prop::collection::vec(-3.0f64..3.0, 8)),
+            1..8),
+        pick in 0usize..64,
+        frac in 0.01f64..1.0,
+        flip in 0u8..2,
+    ) {
+        let p = build_lp(&vars, &rows);
+        let Some(Ok(mut s)) = certified(&p) else { return Ok(()); };
+        let i = pick % s.certificate.y.len();
+        // scale the nudge with the dual so it always clears the
+        // magnitude-scaled tolerance band
+        let delta = (1.0 + s.certificate.y[i].abs()) * frac;
+        s.certificate.y[i] += if flip == 1 { -delta } else { delta };
+        let r = check(&p, &s);
+        prop_assert!(!r.ok(), "perturbed dual y[{i}] still verified");
+        prop_assert!(
+            r.violations.iter().any(|v| matches!(
+                v,
+                Violation::ReducedCostMismatch { .. } | Violation::DualInfeasible { .. }
+            )),
+            "unexpected violation mix: {:?}", r.violations
+        );
+    }
+
+    /// Reject path 2: dropping a basis column is a shape violation, never
+    /// a silent pass.
+    #[test]
+    fn dropped_basis_column_always_rejected(
+        vars in prop::collection::vec((-5.0f64..5.0, 0.1f64..10.0, -5.0f64..5.0), 1..8),
+        rows in prop::collection::vec(
+            (0u8..2, -10.0f64..10.0, prop::collection::vec(-3.0f64..3.0, 8)),
+            1..8),
+    ) {
+        let p = build_lp(&vars, &rows);
+        let Some(Ok(mut s)) = certified(&p) else { return Ok(()); };
+        s.certificate.basis.pop();
+        let r = check(&p, &s);
+        prop_assert!(!r.ok(), "truncated basis still verified");
+        prop_assert!(
+            r.violations.iter().any(|v| matches!(v, Violation::Shape { .. })),
+            "expected a shape violation, got {:?}", r.violations
+        );
+    }
+
+    /// Reject path 3: negating an honest Farkas ray makes its gap
+    /// non-positive (or leaks weight into an unbounded direction); it
+    /// must never verify.
+    #[test]
+    fn flipped_farkas_sign_always_rejected(
+        lo in -5.0f64..5.0,
+        width in 0.1f64..10.0,
+        gap in 0.5f64..10.0,
+        coef in 0.2f64..3.0,
+    ) {
+        // x ∈ [lo, lo+width] with coef·x ≥ coef·(lo+width) + gap is
+        // infeasible by construction
+        let mut p = Problem::new();
+        let x = p.add_var(lo, lo + width, 1.0).expect("finite");
+        p.add_row(RowKind::Ge, coef * (lo + width) + gap, &[(x, coef)])
+            .expect("finite");
+        let Some(Err(mut ray)) = certified(&p) else {
+            return Err(TestCaseError::fail("expected infeasibility"));
+        };
+        prop_assert!(check_infeasible(&p, &ray).ok(), "honest ray rejected");
+        for v in &mut ray.y {
+            *v = -*v;
+        }
+        let r = check_infeasible(&p, &ray);
+        prop_assert!(!r.ok(), "sign-flipped ray still verified");
+    }
+}

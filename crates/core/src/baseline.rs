@@ -186,7 +186,7 @@ pub fn worst_skew_optimize(
             let deltas: Vec<f64> = (0..n_corners)
                 .map(|k| {
                     let (pos, neg) = delta[&aid][k];
-                    sol.value(pos) - sol.value(neg)
+                    sol.value(pos).unwrap_or(f64::NAN) - sol.value(neg).unwrap_or(f64::NAN)
                 })
                 .collect();
             let worst = deltas.iter().map(|d| d.abs()).fold(0.0, f64::max);

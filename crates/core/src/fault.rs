@@ -59,6 +59,14 @@ pub enum FlowError {
     MissingArtifact(&'static str),
     /// A `.ctree` checkpoint failed to restore.
     Ctree(String),
+    /// An LP solve returned, but its optimality certificate failed exact
+    /// re-verification — the answer cannot be trusted.
+    CertViolation {
+        /// The λ-round / solve site that produced the bad certificate.
+        site: String,
+        /// Rendered list of the violated checks.
+        report: String,
+    },
 }
 
 impl std::fmt::Display for FlowError {
@@ -72,6 +80,9 @@ impl std::fmt::Display for FlowError {
             }
             FlowError::MissingArtifact(what) => write!(f, "missing artifact: {what}"),
             FlowError::Ctree(m) => write!(f, "checkpoint restore failed: {m}"),
+            FlowError::CertViolation { site, report } => {
+                write!(f, "LP certificate rejected at {site}: {report}")
+            }
         }
     }
 }
@@ -123,6 +134,8 @@ pub enum FaultKind {
     IterationBudget,
     /// A phase returned a typed error absorbed by the flow.
     PhaseError,
+    /// An LP certificate failed exact re-verification.
+    CertViolation,
 }
 
 impl std::fmt::Display for FaultKind {
@@ -137,6 +150,7 @@ impl std::fmt::Display for FaultKind {
             FaultKind::PhaseTimeout => "phase-timeout",
             FaultKind::IterationBudget => "iteration-budget",
             FaultKind::PhaseError => "phase-error",
+            FaultKind::CertViolation => "cert-violation",
         })
     }
 }

@@ -396,7 +396,9 @@ fn global_round(
         point.lp_total_delta = vars
             .values()
             .flat_map(|av| av.delta.iter())
-            .map(|&(p, n)| solution.value(p) + solution.value(n))
+            .map(|&(p, n)| {
+                solution.value(p).unwrap_or(f64::NAN) + solution.value(n).unwrap_or(f64::NAN)
+            })
             .sum();
 
         // realize with the ECO engine on a clone, arc by arc with golden
@@ -562,10 +564,77 @@ impl Relaxation {
     };
 }
 
+/// Why one rung of the LP ladder failed: the solver itself, or a solve
+/// that *returned* but whose certificate failed exact re-verification.
+enum LadderFault {
+    Lp(LpError),
+    Cert(FlowError),
+}
+
+impl std::fmt::Display for LadderFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LadderFault::Lp(e) => write!(f, "{e}"),
+            LadderFault::Cert(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl LadderFault {
+    fn kind(&self) -> FaultKind {
+        match self {
+            LadderFault::Lp(_) => FaultKind::LpFailure,
+            LadderFault::Cert(_) => FaultKind::CertViolation,
+        }
+    }
+}
+
+/// Re-verifies a solve's optimality certificate in exact arithmetic,
+/// recording check latency, residual, and outcome counters under
+/// `cert.*`.
+///
+/// # Errors
+///
+/// [`FlowError::CertViolation`] with the rendered violation list when
+/// the certificate does not verify — the solution must not be used.
+pub(crate) fn verify_certificate(
+    p: &Problem,
+    sol: &Solution,
+    obs: &Obs,
+    site: &str,
+) -> Result<(), FlowError> {
+    let t0 = std::time::Instant::now();
+    let report = clk_cert::check(p, sol);
+    obs.count("cert.checks", 1);
+    obs.observe("cert.check_ms", t0.elapsed().as_secs_f64() * 1e3);
+    obs.observe("cert.max_resid", report.max_resid);
+    if report.ok() {
+        return Ok(());
+    }
+    obs.count("cert.violations", 1);
+    let rendered = report
+        .violations
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("; ");
+    obs.event(
+        Level::Warn,
+        "cert.violation",
+        vec![kv("site", site), kv("report", rendered.clone())],
+    );
+    Err(FlowError::CertViolation {
+        site: site.to_owned(),
+        report: rendered,
+    })
+}
+
 /// The LP retry/degradation ladder: as-built → relaxed guardbands →
 /// corridor-free formulation → skip the sweep point. Every rung is
 /// recorded in the fault log; builder rejections (malformed models)
-/// skip directly — re-solving an ill-posed model cannot help.
+/// skip directly — re-solving an ill-posed model cannot help. A solve
+/// whose certificate fails exact re-verification is treated like a
+/// failed solve: the answer is discarded and the next rung runs.
 #[allow(clippy::too_many_arguments)]
 fn solve_with_ladder(
     tree: &ClockTree,
@@ -585,26 +654,30 @@ fn solve_with_ladder(
 ) -> Option<(Solution, HashMap<ArcId, ArcVars>)> {
     let obs = ctx.obs.clone();
     let attempt = |relax: &Relaxation,
+                   rung: &str,
                    ctx: &mut FaultCtx<'_>|
-     -> Result<(Solution, HashMap<ArcId, ArcVars>), LpError> {
+     -> Result<(Solution, HashMap<ArcId, ArcVars>), LadderFault> {
         let (p, vars) = build_problem(
             tree, lib, luts, arcs, arc_d, timings, sel_pairs, path_of, involved, alphas, bounds,
             objective, cfg, relax, ctx,
-        )?;
+        )
+        .map_err(LadderFault::Lp)?;
         ctx.obs.count("global.lp_rows_built", p.num_rows() as u64);
-        let sol = clk_lp::solve_with_obs(&p, &ctx.obs)?;
+        let sol = clk_lp::solve_with_obs(&p, &ctx.obs).map_err(LadderFault::Lp)?;
+        let site = format!("{objective:?} rung={rung}");
+        verify_certificate(&p, &sol, &ctx.obs, &site).map_err(LadderFault::Cert)?;
         Ok((sol, vars))
     };
     let rung_taken = |rung: &str| {
         obs.event(Level::Debug, "global.ladder", vec![kv("rung", rung)]);
         obs.count(&format!("global.ladder.{rung}"), 1);
     };
-    match attempt(&Relaxation::NONE, ctx) {
+    match attempt(&Relaxation::NONE, "none", ctx) {
         Ok(r) => {
             rung_taken("none");
             return Some(r);
         }
-        Err(e @ (LpError::BadProblem(_) | LpError::UnknownTerm { .. })) => {
+        Err(LadderFault::Lp(e @ (LpError::BadProblem(_) | LpError::UnknownTerm { .. }))) => {
             ctx.record(
                 "global",
                 FaultKind::LpFailure,
@@ -616,24 +689,24 @@ fn solve_with_ladder(
         }
         Err(e) => ctx.record(
             "global",
-            FaultKind::LpFailure,
+            e.kind(),
             RecoveryAction::Retry,
             format!("{e}; retrying with relaxed guardbands"),
         ),
     }
-    match attempt(&Relaxation::RELAXED, ctx) {
+    match attempt(&Relaxation::RELAXED, "relaxed", ctx) {
         Ok(r) => {
             rung_taken("relaxed");
             return Some(r);
         }
         Err(e) => ctx.record(
             "global",
-            FaultKind::LpFailure,
+            e.kind(),
             RecoveryAction::Degrade,
             format!("{e} under relaxed guardbands; dropping ratio-corridor rows"),
         ),
     }
-    match attempt(&Relaxation::DEGRADED, ctx) {
+    match attempt(&Relaxation::DEGRADED, "degraded", ctx) {
         Ok(r) => {
             rung_taken("degraded");
             Some(r)
@@ -641,7 +714,7 @@ fn solve_with_ladder(
         Err(e) => {
             ctx.record(
                 "global",
-                FaultKind::LpFailure,
+                e.kind(),
                 RecoveryAction::Skip,
                 format!("{e} even without ratio rows; skipping this sweep point"),
             );
@@ -688,7 +761,10 @@ fn build_and_solve(
         &mut ctx,
     )
     .ok()?;
-    clk_lp::solve(&p).ok().map(|s| (s, vars))
+    let sol = clk_lp::solve(&p).ok()?;
+    let site = format!("{objective:?} u_sweep");
+    verify_certificate(&p, &sol, &ctx.obs, &site).ok()?;
+    Some((sol, vars))
 }
 
 /// Builds the LP of Eqs. (4)–(11) under a [`Relaxation`].
@@ -1041,7 +1117,9 @@ pub fn u_sweep(
                 let total_delta: f64 = vars
                     .values()
                     .flat_map(|av| av.delta.iter())
-                    .map(|&(p, n)| sol.value(p) + sol.value(n))
+                    .map(|&(p, n)| {
+                        sol.value(p).unwrap_or(f64::NAN) + sol.value(n).unwrap_or(f64::NAN)
+                    })
                     .sum();
                 out.push(USweepPoint {
                     u,
@@ -1106,7 +1184,7 @@ fn execute_eco(
         let deltas: Vec<f64> = (0..n_corners)
             .map(|k| {
                 let (pos, neg) = av.delta[k];
-                sol.value(pos) - sol.value(neg)
+                sol.value(pos).unwrap_or(f64::NAN) - sol.value(neg).unwrap_or(f64::NAN)
             })
             .collect();
         let worst = deltas.iter().map(|d| d.abs()).fold(0.0, f64::max);

@@ -742,6 +742,8 @@ fn train_svm(xs: &[Vec<f64>], ys: &[f64], cfg: &TrainConfig) -> LsSvm {
 }
 
 #[cfg(test)]
+// tests pin exact expected values on purpose
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use clk_liberty::StdCorners;

@@ -399,6 +399,8 @@ pub fn artificial(lib: &Library, seed: u64, last_stage: bool) -> ArtificialCase 
 }
 
 #[cfg(test)]
+// tests pin exact expected values on purpose
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

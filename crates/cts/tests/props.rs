@@ -1,5 +1,9 @@
 //! Property tests of the CTS baseline and the testcase generators.
 
+// float arithmetic is the domain here; the workspace lint exists for
+// exact-arithmetic code (clk-cert escalates it to deny)
+#![allow(clippy::float_arithmetic)]
+
 use clk_cts::{CtsConfig, CtsEngine, Testcase, TestcaseKind};
 use clk_geom::{Point, Rect};
 use clk_liberty::{Library, StdCorners};

@@ -116,6 +116,8 @@ pub fn peri_slew(gate_slew_ps: f64, wire_slew_ps: f64) -> f64 {
 }
 
 #[cfg(test)]
+// tests pin exact expected values on purpose
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use clk_geom::Point;

@@ -136,6 +136,8 @@ impl RcTree {
 }
 
 #[cfg(test)]
+// tests pin exact expected values on purpose
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use clk_geom::Point;

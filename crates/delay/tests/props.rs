@@ -1,5 +1,9 @@
 //! Property tests of the RC/delay substrate.
 
+// float arithmetic is the domain here; the workspace lint exists for
+// exact-arithmetic code (clk-cert escalates it to deny)
+#![allow(clippy::float_arithmetic)]
+
 use clk_delay::{peri_slew, NetTiming, RcTree, WireModel};
 use clk_geom::Point;
 use clk_liberty::WireRc;

@@ -150,6 +150,8 @@ impl std::fmt::Display for Rect {
 }
 
 #[cfg(test)]
+// tests pin exact expected values on purpose
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -66,8 +66,11 @@ pub fn audit_problem(p: &Problem) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for v in 0..p.num_vars() {
         let var = VarId(v);
-        let (lo, hi) = p.bounds(var);
-        let cost = p.cost(var);
+        // the accessors are fallible now, but v < num_vars by construction
+        let Ok((lo, hi)) = p.bounds(var) else {
+            continue;
+        };
+        let Ok(cost) = p.cost(var) else { continue };
         if lo.is_nan() || hi.is_nan() {
             out.push(Diagnostic::error(
                 "L001",
@@ -88,7 +91,7 @@ pub fn audit_problem(p: &Problem) -> Vec<Diagnostic> {
                 format!("objective coefficient is {cost}"),
             ));
         }
-        for &(row, a) in p.col(var) {
+        for &(row, a) in p.col(var).unwrap_or_default() {
             if !a.is_finite() {
                 out.push(Diagnostic::error(
                     "L003",
@@ -99,7 +102,7 @@ pub fn audit_problem(p: &Problem) -> Vec<Diagnostic> {
         }
     }
     for i in 0..p.num_rows() {
-        let (_, rhs) = p.row(i);
+        let Ok((_, rhs)) = p.row(i) else { continue };
         if !rhs.is_finite() {
             out.push(Diagnostic::error(
                 "L003",
@@ -148,9 +151,59 @@ pub fn audit_shape(p: &Problem, shape: &LpShape) -> Vec<Diagnostic> {
     out
 }
 
+/// Audits a solve certificate against the Eq. (6)–(11) row census:
+/// `L006` certificate basis does not cover the model's rows, `L007`
+/// certificate status vector does not cover the model's variables plus
+/// one slack per row, `L008` (warning) a certified-redundant row — the
+/// census generated a row the final basis proved linearly dependent.
+pub fn audit_certificate(
+    p: &Problem,
+    shape: &LpShape,
+    cert: &clk_lp::Certificate,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let rows = shape.expected_rows();
+    let vars = shape.expected_vars();
+    if cert.basis.len() != rows || p.num_rows() != rows {
+        out.push(Diagnostic::error(
+            "L006",
+            Locus::Design,
+            format!(
+                "certified basis covers {} rows, model has {}, Eq. (6)-(11) census implies {}",
+                cert.basis.len(),
+                p.num_rows(),
+                rows
+            ),
+        ));
+    }
+    if cert.status.len() != vars + rows || p.num_vars() != vars {
+        out.push(Diagnostic::error(
+            "L007",
+            Locus::Design,
+            format!(
+                "certificate tracks {} internal vars, census implies {} structural + {} slack",
+                cert.status.len(),
+                vars,
+                rows
+            ),
+        ));
+    }
+    for (i, &b) in cert.basis.iter().enumerate() {
+        if b == clk_lp::REDUNDANT_ROW {
+            out.push(Diagnostic::warning(
+                "L008",
+                Locus::Row(i),
+                format!("row {i} of the Eq. (6)-(11) census is certified linearly redundant"),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::diag::Severity;
     use clk_lp::RowKind;
 
     fn tiny() -> Problem {
@@ -183,6 +236,63 @@ mod tests {
         p.debug_poison_rhs(0, f64::INFINITY);
         let out = audit_problem(&p);
         assert_eq!(out.iter().filter(|d| d.code == "L003").count(), 2);
+    }
+
+    #[test]
+    fn honest_certificate_passes_census() {
+        // tiny(): 2 vars, 1 row — matched by k=1, 1 arc, 1 latency sink
+        let p = tiny();
+        let shape = LpShape {
+            n_corners: 1,
+            n_pairs: 0,
+            n_involved_arcs: 1,
+            n_long_arcs: 0,
+            n_latency_sinks: 1,
+            ubound: false,
+        };
+        assert_eq!(shape.expected_vars(), 2);
+        assert_eq!(shape.expected_rows(), 1);
+        let sol = clk_lp::solve(&p).unwrap();
+        let out = audit_certificate(&p, &shape, &sol.certificate);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn certificate_census_mismatch_is_l006_l007() {
+        let p = tiny();
+        let sol = clk_lp::solve(&p).unwrap();
+        let shape = LpShape {
+            n_corners: 3,
+            n_pairs: 1,
+            n_involved_arcs: 2,
+            n_long_arcs: 1,
+            n_latency_sinks: 2,
+            ubound: false,
+        };
+        let out = audit_certificate(&p, &shape, &sol.certificate);
+        assert!(out.iter().any(|d| d.code == "L006"), "{out:?}");
+        assert!(out.iter().any(|d| d.code == "L007"), "{out:?}");
+    }
+
+    #[test]
+    fn redundant_basis_row_is_l008() {
+        let p = tiny();
+        let shape = LpShape {
+            n_corners: 1,
+            n_pairs: 0,
+            n_involved_arcs: 1,
+            n_long_arcs: 0,
+            n_latency_sinks: 1,
+            ubound: false,
+        };
+        let mut sol = clk_lp::solve(&p).unwrap();
+        sol.certificate.basis[0] = clk_lp::REDUNDANT_ROW;
+        let out = audit_certificate(&p, &shape, &sol.certificate);
+        assert!(
+            out.iter()
+                .any(|d| d.code == "L008" && d.severity == Severity::Warning),
+            "{out:?}"
+        );
     }
 
     #[test]

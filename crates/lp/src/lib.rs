@@ -1,3 +1,6 @@
+// float arithmetic is the domain here; the workspace lint exists for
+// exact-arithmetic code (clk-cert escalates it to deny)
+#![allow(clippy::float_arithmetic)]
 #![warn(missing_docs)]
 
 //! A linear-programming solver — the optimization substrate behind the
@@ -31,6 +34,10 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 #![cfg_attr(not(test), deny(clippy::panic, clippy::expect_used))]
+#![cfg_attr(not(test), deny(clippy::indexing_slicing))]
 pub mod simplex;
 
-pub use simplex::{solve, solve_with_obs, LpError, Problem, RowKind, Solution, VarId};
+pub use simplex::{
+    solve, solve_certified, solve_certified_with_obs, solve_with_obs, Certificate, Certified,
+    FarkasRay, LpError, Problem, RowKind, Solution, VarId, VarStatus, REDUNDANT_ROW,
+};

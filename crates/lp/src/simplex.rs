@@ -35,6 +35,10 @@ pub enum LpError {
         /// The row the term was expected in.
         row: usize,
     },
+    /// A value lookup referenced a variable that does not exist.
+    VarOutOfRange(VarId),
+    /// A row lookup referenced a row that does not exist.
+    RowOutOfRange(usize),
 }
 
 impl std::fmt::Display for LpError {
@@ -47,6 +51,8 @@ impl std::fmt::Display for LpError {
             LpError::UnknownTerm { var, row } => {
                 write!(f, "no existing term for {var:?} in row {row}")
             }
+            LpError::VarOutOfRange(v) => write!(f, "variable {v:?} is out of range"),
+            LpError::RowOutOfRange(i) => write!(f, "row {i} is out of range"),
         }
     }
 }
@@ -136,7 +142,9 @@ impl Problem {
         }
         for (v, a) in merged {
             if a != 0.0 {
-                self.cols[v].push((row, a));
+                if let Some(col) = self.cols.get_mut(v) {
+                    col.push((row, a));
+                }
             }
         }
         Ok(())
@@ -154,49 +162,60 @@ impl Problem {
 
     /// The `[lo, hi]` bounds of a variable.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the variable is out of range.
-    pub fn bounds(&self, v: VarId) -> (f64, f64) {
-        (self.lo[v.0], self.hi[v.0])
+    /// [`LpError::VarOutOfRange`] if the variable does not exist.
+    pub fn bounds(&self, v: VarId) -> Result<(f64, f64), LpError> {
+        match (self.lo.get(v.0), self.hi.get(v.0)) {
+            (Some(&l), Some(&h)) => Ok((l, h)),
+            _ => Err(LpError::VarOutOfRange(v)),
+        }
     }
 
     /// The objective coefficient of a variable.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the variable is out of range.
-    pub fn cost(&self, v: VarId) -> f64 {
-        self.cost[v.0]
+    /// [`LpError::VarOutOfRange`] if the variable does not exist.
+    pub fn cost(&self, v: VarId) -> Result<f64, LpError> {
+        self.cost.get(v.0).copied().ok_or(LpError::VarOutOfRange(v))
     }
 
     /// The relation and right-hand side of row `i`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the row is out of range.
-    pub fn row(&self, i: usize) -> (RowKind, f64) {
-        self.rows[i]
+    /// [`LpError::RowOutOfRange`] if the row does not exist.
+    pub fn row(&self, i: usize) -> Result<(RowKind, f64), LpError> {
+        self.rows.get(i).copied().ok_or(LpError::RowOutOfRange(i))
     }
 
     /// The sparse column of a variable as `(row, coefficient)` pairs.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the variable is out of range.
-    pub fn col(&self, v: VarId) -> &[(usize, f64)] {
-        &self.cols[v.0]
+    /// [`LpError::VarOutOfRange`] if the variable does not exist.
+    pub fn col(&self, v: VarId) -> Result<&[(usize, f64)], LpError> {
+        self.cols
+            .get(v.0)
+            .map(Vec::as_slice)
+            .ok_or(LpError::VarOutOfRange(v))
     }
 
-    // ---- corruption hooks (lint-engine test support) ------------------
+    // ---- corruption hooks (fault-injection test support) --------------
     //
     // These bypass `add_var`/`add_row` validation on purpose so the
-    // model-audit tests in `clk-lint` can build numerically poisoned
-    // problems and assert that the auditor diagnoses them. Hidden from
-    // docs; must never be called by flow code.
+    // model-audit tests in `clk-lint`, the chaos harness, and the
+    // certificate gate can build numerically poisoned problems and assert
+    // that the auditors diagnose them. Hidden from docs and gated behind
+    // the `debug-poison` cargo feature so the fault-injection surface is
+    // absent from the default release API; must never be called by flow
+    // code.
 
     /// Overwrites a variable's bounds without validation.
     #[doc(hidden)]
+    #[cfg(any(test, feature = "debug-poison"))]
+    #[allow(clippy::indexing_slicing)] // poison hooks assume valid ids
     pub fn debug_poison_bounds(&mut self, v: VarId, lo: f64, hi: f64) {
         self.lo[v.0] = lo;
         self.hi[v.0] = hi;
@@ -204,12 +223,16 @@ impl Problem {
 
     /// Overwrites a variable's objective coefficient without validation.
     #[doc(hidden)]
+    #[cfg(any(test, feature = "debug-poison"))]
+    #[allow(clippy::indexing_slicing)] // poison hooks assume valid ids
     pub fn debug_poison_cost(&mut self, v: VarId, cost: f64) {
         self.cost[v.0] = cost;
     }
 
     /// Overwrites a row's right-hand side without validation.
     #[doc(hidden)]
+    #[cfg(any(test, feature = "debug-poison"))]
+    #[allow(clippy::indexing_slicing)] // poison hooks assume valid ids
     pub fn debug_poison_rhs(&mut self, i: usize, rhs: f64) {
         self.rows[i].1 = rhs;
     }
@@ -222,6 +245,8 @@ impl Problem {
     /// [`LpError::UnknownTerm`] if the variable has no structural term in
     /// `row` (the poison hooks never create structure, only corrupt it).
     #[doc(hidden)]
+    #[cfg(any(test, feature = "debug-poison"))]
+    #[allow(clippy::indexing_slicing)] // poison hooks assume valid ids
     pub fn debug_poison_coeff(&mut self, v: VarId, row: usize, a: f64) -> Result<(), LpError> {
         for t in &mut self.cols[v.0] {
             if t.0 == row {
@@ -233,6 +258,65 @@ impl Problem {
     }
 }
 
+/// Sentinel basis entry for a row whose basic variable is an artificial
+/// left at value zero after phase 1 (a numerically redundant row).
+pub const REDUNDANT_ROW: usize = usize::MAX;
+
+/// Status of one internal variable (structural or slack) at the final
+/// simplex vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarStatus {
+    /// In the basis; value determined by `B⁻¹b`.
+    Basic,
+    /// Nonbasic, parked at its lower bound.
+    AtLower,
+    /// Nonbasic, parked at its upper bound.
+    AtUpper,
+    /// Free nonbasic variable parked at zero.
+    Free,
+}
+
+/// A proof sketch of optimality, emitted with every successful solve and
+/// re-verifiable in exact arithmetic by `clk-cert`.
+///
+/// Indices refer to the solver's *internal* variable space: the `n`
+/// structural variables first, then one slack per row (`n + i` for row
+/// `i`, with bounds `Le → [0, ∞)`, `Ge → (−∞, 0]`, `Eq → [0, 0]`).
+/// Artificial variables never appear; a row whose artificial stayed basic
+/// at zero is recorded as [`REDUNDANT_ROW`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Certificate {
+    /// Internal variable basic in each row (or [`REDUNDANT_ROW`]).
+    pub basis: Vec<usize>,
+    /// Status of each of the `n + m` internal variables.
+    pub status: Vec<VarStatus>,
+    /// Row duals `y = B⁻ᵀ c_B` under the phase-2 objective.
+    pub y: Vec<f64>,
+    /// Reduced cost `d_j = c_j − yᵀA_j` of each internal variable.
+    pub reduced: Vec<f64>,
+}
+
+/// A Farkas-style infeasibility witness: row multipliers `y` such that
+/// `yᵀb` exceeds the maximum of `yᵀAx` over the variable bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FarkasRay {
+    /// Row multipliers (the phase-1 duals at the infeasible optimum).
+    pub y: Vec<f64>,
+}
+
+/// Outcome of a certified solve: either an optimum with its certificate
+/// or a proof of infeasibility.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Certified {
+    /// The problem was solved to optimality.
+    Optimal(Solution),
+    /// No feasible point exists; `ray` witnesses the contradiction.
+    Infeasible {
+        /// The infeasibility witness.
+        ray: FarkasRay,
+    },
+}
+
 /// An optimal solution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Solution {
@@ -242,12 +326,19 @@ pub struct Solution {
     pub objective: f64,
     /// Simplex pivots used.
     pub iterations: usize,
+    /// Optimality certificate for independent exact re-verification.
+    pub certificate: Certificate,
 }
 
 impl Solution {
     /// The value of `v`.
-    pub fn value(&self, v: VarId) -> f64 {
-        self.x[v.0]
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::VarOutOfRange`] if `v` does not exist in the solved
+    /// problem.
+    pub fn value(&self, v: VarId) -> Result<f64, LpError> {
+        self.x.get(v.0).copied().ok_or(LpError::VarOutOfRange(v))
     }
 }
 
@@ -287,6 +378,10 @@ struct Tableau {
     m: usize,
 }
 
+// indices inside the tableau are constructed by the solver itself and are
+// in-range by construction; bounds checks in the pivot loops would only
+// hide logic bugs that the debug asserts already catch
+#[allow(clippy::indexing_slicing)]
 impl Tableau {
     fn nb_value(&self, j: usize) -> f64 {
         match self.state[j] {
@@ -334,6 +429,9 @@ impl Tableau {
     }
 
     /// One simplex phase over the given costs. Returns the pivot stats.
+    // `lo == hi` is an exact fixed-variable test: equal bounds are set
+    // bit-identically at construction, never computed
+    #[allow(clippy::float_cmp)]
     fn optimize(
         &mut self,
         use_phase_cost: bool,
@@ -525,6 +623,32 @@ pub fn solve(p: &Problem) -> Result<Solution, LpError> {
 ///
 /// Same contract as [`solve`].
 pub fn solve_with_obs(p: &Problem, obs: &Obs) -> Result<Solution, LpError> {
+    match solve_certified_with_obs(p, obs)? {
+        Certified::Optimal(s) => Ok(s),
+        Certified::Infeasible { .. } => Err(LpError::Infeasible),
+    }
+}
+
+/// Solves `p`, returning either an optimum carrying its certificate or a
+/// Farkas-style infeasibility witness instead of a bare
+/// [`LpError::Infeasible`].
+///
+/// # Errors
+///
+/// [`LpError::Unbounded`] or [`LpError::IterationLimit`]; infeasibility is
+/// a successful [`Certified::Infeasible`] outcome here.
+pub fn solve_certified(p: &Problem) -> Result<Certified, LpError> {
+    solve_certified_with_obs(p, &Obs::disabled())
+}
+
+/// [`solve_certified`] with pivot-level instrumentation (same metrics
+/// contract as [`solve_with_obs`]; a [`Certified::Infeasible`] outcome
+/// counts under `lp.infeasible`).
+///
+/// # Errors
+///
+/// Same contract as [`solve_certified`].
+pub fn solve_certified_with_obs(p: &Problem, obs: &Obs) -> Result<Certified, LpError> {
     let mut span = obs.span_at(
         Level::Trace,
         "lp.solve",
@@ -534,18 +658,25 @@ pub fn solve_with_obs(p: &Problem, obs: &Obs) -> Result<Solution, LpError> {
     if obs.enabled() {
         obs.count("lp.solves", 1);
         match &result {
-            Ok(sol) => {
+            Ok(Certified::Optimal(sol)) => {
                 obs.count("lp.pivots", sol.iterations as u64);
                 obs.observe("lp.iters", sol.iterations as f64);
                 span.record("iters", sol.iterations);
                 span.record("objective", sol.objective);
+            }
+            Ok(Certified::Infeasible { .. }) => {
+                obs.count("lp.infeasible", 1);
+                span.record("error", format!("{}", LpError::Infeasible));
             }
             Err(e) => {
                 let key = match e {
                     LpError::Infeasible => "lp.infeasible",
                     LpError::Unbounded => "lp.unbounded",
                     LpError::IterationLimit => "lp.iteration_limit",
-                    LpError::BadProblem(_) | LpError::UnknownTerm { .. } => "lp.bad_problem",
+                    LpError::BadProblem(_)
+                    | LpError::UnknownTerm { .. }
+                    | LpError::VarOutOfRange(_)
+                    | LpError::RowOutOfRange(_) => "lp.bad_problem",
                 };
                 obs.count(key, 1);
                 span.record("error", format!("{e}"));
@@ -555,7 +686,11 @@ pub fn solve_with_obs(p: &Problem, obs: &Obs) -> Result<Solution, LpError> {
     result
 }
 
-fn solve_inner(p: &Problem, obs: &Obs) -> Result<Solution, LpError> {
+// all indices below are derived from the problem's own dimensions; the
+// `sv == lo` comparison is exact on purpose (`clamp` returns the bound
+// itself, bit-identically)
+#[allow(clippy::indexing_slicing, clippy::float_cmp)]
+fn solve_inner(p: &Problem, obs: &Obs) -> Result<Certified, LpError> {
     let m = p.num_rows();
     let n_struct = p.num_vars();
 
@@ -675,7 +810,13 @@ fn solve_inner(p: &Problem, obs: &Obs) -> Result<Solution, LpError> {
             .map(|i| t.xb[i])
             .sum();
         if infeas > 1e-6 {
-            return Err(LpError::Infeasible);
+            // phase-1 optimum with positive artificial mass: the phase-1
+            // duals witness the contradiction (yᵀb exceeds the maximum of
+            // yᵀAx over the bounds by exactly the residual infeasibility)
+            let y = t.btran(&t.phase_cost);
+            return Ok(Certified::Infeasible {
+                ray: FarkasRay { y },
+            });
         }
         // pin artificials to zero for phase 2
         for j in (n_struct + m)..t.cols.len() {
@@ -719,13 +860,44 @@ fn solve_inner(p: &Problem, obs: &Obs) -> Result<Solution, LpError> {
         }
     }
     let objective = x.iter().zip(&p.cost).map(|(xi, ci)| xi * ci).sum();
-    Ok(Solution {
+
+    // --- certificate: duals, reduced costs, and basis over the internal
+    // (structural + slack) variable space; artificials are excluded and
+    // rows still carrying a basic artificial (at value zero, i.e.
+    // numerically redundant) are recorded with the REDUNDANT_ROW sentinel
+    let n_internal = n_struct + m;
+    let y = t.btran(&t.cost);
+    let reduced: Vec<f64> = (0..n_internal)
+        .map(|j| t.reduced_cost(j, &y, &t.cost))
+        .collect();
+    let status: Vec<VarStatus> = t.state[..n_internal]
+        .iter()
+        .map(|s| match s {
+            State::Basic => VarStatus::Basic,
+            State::AtLower => VarStatus::AtLower,
+            State::AtUpper => VarStatus::AtUpper,
+            State::FreeZero => VarStatus::Free,
+        })
+        .collect();
+    let cert_basis: Vec<usize> = t
+        .basis
+        .iter()
+        .map(|&b| if b < n_internal { b } else { REDUNDANT_ROW })
+        .collect();
+    Ok(Certified::Optimal(Solution {
         x,
         objective,
         iterations: phase1.iters + phase2.iters,
-    })
+        certificate: Certificate {
+            basis: cert_basis,
+            status,
+            y,
+            reduced,
+        },
+    }))
 }
 
+#[allow(clippy::indexing_slicing)] // m*m buffer indexed by i < m
 fn identity(m: usize) -> Vec<f64> {
     let mut b = vec![0.0; m * m];
     for i in 0..m {
@@ -777,8 +949,12 @@ mod tests {
         p.add_row(RowKind::Le, 12.0, &[(y, 2.0)]).unwrap();
         p.add_row(RowKind::Le, 18.0, &[(x, 3.0), (y, 2.0)]).unwrap();
         let s = solve(&p).unwrap();
-        assert!((s.value(x) - 2.0).abs() < 1e-7, "x = {}", s.value(x));
-        assert!((s.value(y) - 6.0).abs() < 1e-7);
+        assert!(
+            (s.value(x).unwrap() - 2.0).abs() < 1e-7,
+            "x = {}",
+            s.value(x).unwrap()
+        );
+        assert!((s.value(y).unwrap() - 6.0).abs() < 1e-7);
         assert!((s.objective + 36.0).abs() < 1e-7);
         assert!(feasible(&p, &s.x, 1e-7));
     }
@@ -792,8 +968,8 @@ mod tests {
         p.add_row(RowKind::Eq, 10.0, &[(x, 1.0), (y, 1.0)]).unwrap();
         p.add_row(RowKind::Eq, 2.0, &[(x, 1.0), (y, -1.0)]).unwrap();
         let s = solve(&p).unwrap();
-        assert!((s.value(x) - 6.0).abs() < 1e-7);
-        assert!((s.value(y) - 4.0).abs() < 1e-7);
+        assert!((s.value(x).unwrap() - 6.0).abs() < 1e-7);
+        assert!((s.value(y).unwrap() - 4.0).abs() < 1e-7);
     }
 
     #[test]
@@ -848,8 +1024,8 @@ mod tests {
         p.add_row(RowKind::Le, 100.0, &[(x, 1.0), (y, 1.0)])
             .unwrap();
         let s = solve(&p).unwrap();
-        assert!((s.value(x) - 3.0).abs() < 1e-7);
-        assert!((s.value(y) - 4.0).abs() < 1e-7);
+        assert!((s.value(x).unwrap() - 3.0).abs() < 1e-7);
+        assert!((s.value(y).unwrap() - 4.0).abs() < 1e-7);
     }
 
     #[test]
@@ -876,7 +1052,7 @@ mod tests {
             .unwrap();
         let s = solve(&p).unwrap();
         assert!((s.objective - 2.0).abs() < 1e-7, "obj {}", s.objective);
-        assert!((s.value(t) - 5.0).abs() < 1e-7);
+        assert!((s.value(t).unwrap() - 5.0).abs() < 1e-7);
     }
 
     #[test]
@@ -900,7 +1076,7 @@ mod tests {
         let x = p.add_var(0.0, INF, -1.0).unwrap();
         p.add_row(RowKind::Le, 6.0, &[(x, 1.0), (x, 2.0)]).unwrap(); // 3x <= 6
         let s = solve(&p).unwrap();
-        assert!((s.value(x) - 2.0).abs() < 1e-7);
+        assert!((s.value(x).unwrap() - 2.0).abs() < 1e-7);
     }
 
     #[test]

@@ -106,6 +106,8 @@ pub fn train_val_split(n: usize, val_frac: f64, seed: u64) -> (Vec<usize>, Vec<u
 }
 
 #[cfg(test)]
+// tests pin exact expected values on purpose
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -263,6 +263,8 @@ pub fn polyval(coeffs: &[f64], x: f64) -> f64 {
 }
 
 #[cfg(test)]
+// tests pin exact expected values on purpose
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

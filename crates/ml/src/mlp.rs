@@ -190,6 +190,8 @@ impl Regressor for Mlp {
 }
 
 #[cfg(test)]
+// tests pin exact expected values on purpose
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::{mse, Regressor};

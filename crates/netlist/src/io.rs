@@ -302,6 +302,8 @@ pub fn write_def(tree: &ClockTree, lib: &Library, design: &str, die: clk_geom::R
 }
 
 #[cfg(test)]
+// tests pin exact expected values on purpose
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use clk_liberty::StdCorners;

@@ -50,6 +50,8 @@ impl std::fmt::Display for SinkPair {
 }
 
 #[cfg(test)]
+// tests pin exact expected values on purpose
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -1,6 +1,10 @@
 //! Property tests of the clock-tree database: random CTS-like builds,
 //! arc-extraction invariants, `.ctree` round trips.
 
+// float arithmetic is the domain here; the workspace lint exists for
+// exact-arithmetic code (clk-cert escalates it to deny)
+#![allow(clippy::float_arithmetic)]
+
 use clk_geom::Point;
 use clk_liberty::{CellId, Library, StdCorners};
 use clk_netlist::{io, ArcSet, ClockTree, NodeId, NodeKind, SinkPair, TreeStats};

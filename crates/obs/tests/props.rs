@@ -2,6 +2,10 @@
 //! histogram quantiles against a sorted-vec oracle, counter updates
 //! from racing threads, and JSONL sink round-trip parsing.
 
+// float arithmetic is the domain here; the workspace lint exists for
+// exact-arithmetic code (clk-cert escalates it to deny)
+#![allow(clippy::float_arithmetic, clippy::float_cmp)]
+
 use clk_obs::{json, kv, Level, Obs, ObsConfig, SharedBuf, Value};
 use proptest::prelude::*;
 

@@ -247,6 +247,8 @@ fn metrics_of(tc: &TestcaseQor) -> Vec<(String, f64)> {
         ("local_rejects".to_string(), tc.local_rejects as f64),
         ("golden_evals".to_string(), tc.golden_evals as f64),
         ("faults_absorbed".to_string(), tc.faults_absorbed as f64),
+        ("cert_checked".to_string(), tc.cert_checked as f64),
+        ("cert_max_resid".to_string(), tc.cert_max_resid),
     ];
     for c in &tc.corners {
         m.push((format!("skew_before_ps[{}]", c.name), c.skew_before_ps));
@@ -386,6 +388,8 @@ mod tests {
             local_rejects: 9,
             golden_evals: 12,
             faults_absorbed: 0,
+            cert_checked: 4,
+            cert_max_resid: 1e-9,
             counters: vec![("lp.solves".to_string(), 4.0)],
         }
     }

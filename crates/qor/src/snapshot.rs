@@ -83,6 +83,12 @@ pub struct TestcaseQor {
     pub golden_evals: u64,
     /// Faults the runtime absorbed during the run.
     pub faults_absorbed: u64,
+    /// LP certificates re-verified in exact arithmetic during the run
+    /// (`cert.checks` counter); informational, never gated.
+    pub cert_checked: u64,
+    /// Largest exact certificate residual observed across all checks
+    /// (`cert.max_resid` histogram max); informational, never gated.
+    pub cert_max_resid: f64,
     /// Raw `clk-obs` counters (sorted by name) for drill-down; never
     /// gated, purely informational.
     pub counters: Vec<(String, f64)>,
@@ -157,6 +163,8 @@ impl TestcaseQor {
             });
         let mut phases = Vec::new();
         let mut counters = Vec::new();
+        let mut cert_checked = 0;
+        let mut cert_max_resid = 0.0;
         if let Some(snap) = metrics {
             for phase in ["phase.init", "phase.global", "phase.local", "phase.scoring"] {
                 if let Some(MetricValue::Histogram(h)) = snap.get(&format!("span.{phase}.ms")) {
@@ -165,6 +173,12 @@ impl TestcaseQor {
                         wall_ms: h.sum,
                     });
                 }
+            }
+            if let Some(MetricValue::Counter(c)) = snap.get("cert.checks") {
+                cert_checked = *c;
+            }
+            if let Some(MetricValue::Histogram(h)) = snap.get("cert.max_resid") {
+                cert_max_resid = h.max;
             }
             for (name, v) in snap {
                 if let MetricValue::Counter(c) = v {
@@ -195,6 +209,8 @@ impl TestcaseQor {
             local_rejects,
             golden_evals,
             faults_absorbed: report.faults.len() as u64,
+            cert_checked,
+            cert_max_resid,
             counters,
         }
     }
@@ -283,6 +299,8 @@ impl TestcaseQor {
                 "faults_absorbed".to_string(),
                 Value::from(self.faults_absorbed),
             ),
+            ("cert_checked".to_string(), Value::from(self.cert_checked)),
+            ("cert_max_resid".to_string(), num(self.cert_max_resid)),
             (
                 "counters".to_string(),
                 Value::Obj(
@@ -343,6 +361,13 @@ impl TestcaseQor {
             local_rejects: req_u64(v, "local_rejects")?,
             golden_evals: req_u64(v, "golden_evals")?,
             faults_absorbed: req_u64(v, "faults_absorbed")?,
+            // absent from pre-certificate baselines; default rather
+            // than fail so old snapshots keep parsing
+            cert_checked: v.get("cert_checked").and_then(Value::as_u64).unwrap_or(0),
+            cert_max_resid: v
+                .get("cert_max_resid")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
             counters,
         })
     }

@@ -278,6 +278,8 @@ fn mst_length_pruned(pts: &[Point], n_terms: usize) -> Dbu {
 }
 
 #[cfg(test)]
+// tests pin exact expected values on purpose
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -1,5 +1,9 @@
 //! Property tests of the routing primitives.
 
+// float arithmetic is the domain here; the workspace lint exists for
+// exact-arithmetic code (clk-cert escalates it to deny)
+#![allow(clippy::float_arithmetic)]
+
 use clk_geom::Point;
 use clk_route::{rsmt, single_trunk, RoutePath, WireTree};
 use proptest::prelude::*;

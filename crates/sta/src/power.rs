@@ -60,6 +60,8 @@ pub fn clock_power(
 }
 
 #[cfg(test)]
+// tests pin exact expected values on purpose
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::timer::Timer;

@@ -1,5 +1,9 @@
 //! Property tests of the golden timer and the variation metrics.
 
+// float arithmetic is the domain here; the workspace lint exists for
+// exact-arithmetic code (clk-cert escalates it to deny)
+#![allow(clippy::float_arithmetic)]
+
 use clk_geom::Point;
 use clk_liberty::{CellId, CornerId, Library, StdCorners};
 use clk_netlist::{ArcSet, ClockTree, NodeKind, SinkPair};

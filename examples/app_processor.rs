@@ -6,6 +6,10 @@
 //! cargo run --release --example app_processor -- [n_sinks]
 //! ```
 
+// float arithmetic is the domain here; the workspace lint exists for
+// exact-arithmetic code (clk-cert escalates it to deny)
+#![allow(clippy::float_arithmetic)]
+
 use clk_cts::{Testcase, TestcaseKind};
 use clk_skewopt::{optimize_with, DeltaLatencyModel, Flow, StageLuts};
 use clockvar_workbench::{quick_flow_config, table5_header, table5_orig_row, table5_row};

@@ -6,6 +6,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// float arithmetic is the domain here; the workspace lint exists for
+// exact-arithmetic code (clk-cert escalates it to deny)
+#![allow(clippy::float_arithmetic)]
+
 use clk_cts::{Testcase, TestcaseKind};
 use clk_skewopt::{optimize, Flow};
 use clockvar_workbench::{quick_flow_config, table5_header, table5_orig_row, table5_row};

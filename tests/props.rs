@@ -1,5 +1,9 @@
 //! Property-based tests of cross-crate invariants.
 
+// float arithmetic is the domain here; the workspace lint exists for
+// exact-arithmetic code (clk-cert escalates it to deny)
+#![allow(clippy::float_arithmetic)]
+
 use proptest::prelude::*;
 
 use clk_geom::{Point, Rect};

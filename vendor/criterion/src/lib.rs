@@ -4,6 +4,10 @@
 //! registry access. It times benchmarks with plain `std::time::Instant`
 //! and prints min/median/mean per-iteration wall-clock times.
 
+// float arithmetic is the domain here; the workspace lint exists for
+// exact-arithmetic code (clk-cert escalates it to deny)
+#![allow(clippy::float_arithmetic)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
