@@ -1,0 +1,215 @@
+//! Findings: what an analysis pass reports.
+//!
+//! Codes are stable identifiers in the `A0xx` space (distinct from the
+//! design-database lints of `clk-lint`, which audit *data*; these audit
+//! *source*). Tests, the baseline file, and suppression comments all
+//! match on them.
+
+/// Stable diagnostic code of one analysis pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// Iteration over `HashMap`/`HashSet`: order is nondeterministic.
+    A001,
+    /// Float accumulation inside an A001-flagged loop: the result
+    /// depends on iteration order.
+    A002,
+    /// Wall-clock read (`Instant::now`/`SystemTime`) outside `clk-obs`
+    /// and the explicitly allowed timing modules.
+    A003,
+    /// Parallel-safety hazard (`static mut`, `thread_local!`, or
+    /// `Cell`/`RefCell` in a flow/global/local hot path).
+    A004,
+    /// `unwrap`/`expect`/`panic!` in library-crate non-test code.
+    A005,
+    /// Suppression hygiene: a `clk-analyze: allow(...)` comment that
+    /// suppresses nothing (stale) or carries no reason.
+    A006,
+}
+
+impl Code {
+    /// All pass codes that a suppression may name (A006 findings are
+    /// about suppressions themselves and cannot be suppressed).
+    pub const SUPPRESSIBLE: [Code; 5] =
+        [Code::A001, Code::A002, Code::A003, Code::A004, Code::A005];
+
+    /// Parses `"A001"` etc.
+    pub fn parse(s: &str) -> Option<Code> {
+        match s.trim() {
+            "A001" => Some(Code::A001),
+            "A002" => Some(Code::A002),
+            "A003" => Some(Code::A003),
+            "A004" => Some(Code::A004),
+            "A005" => Some(Code::A005),
+            "A006" => Some(Code::A006),
+            _ => None,
+        }
+    }
+
+    /// The stable string form (`"A001"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::A001 => "A001",
+            Code::A002 => "A002",
+            Code::A003 => "A003",
+            Code::A004 => "A004",
+            Code::A005 => "A005",
+            Code::A006 => "A006",
+        }
+    }
+
+    /// One-line description used in reports.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::A001 => "nondeterministic HashMap/HashSet iteration order",
+            Code::A002 => "float accumulation over a nondeterministically-ordered loop",
+            Code::A003 => "wall-clock read outside the sanctioned clk-obs timing API",
+            Code::A004 => "parallel-safety hazard ahead of the scoped-thread local phase",
+            Code::A005 => "panic path (unwrap/expect/panic!) in library code",
+            Code::A006 => "stale or reasonless clk-analyze suppression",
+        }
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Hygiene or order-dependence that today's code happens to
+    /// tolerate (A002 heuristics, stale suppressions).
+    Warning,
+    /// Breaks the determinism/parallel-safety invariant the gate
+    /// protects; must be fixed or explicitly suppressed with a reason.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One analysis finding, anchored to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable code.
+    pub code: Code,
+    /// Severity class.
+    pub severity: Severity,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// The trimmed source line the finding anchors to.
+    pub snippet: String,
+    /// Human-readable explanation; no stability guarantee.
+    pub message: String,
+}
+
+impl Finding {
+    /// Baseline identity of a finding: code, file, and snippet — but
+    /// *not* the line number, so unrelated edits that shift code up or
+    /// down don't churn the committed baseline. Two identical snippets
+    /// in one file compare as a multiset in the differ.
+    pub fn key(&self) -> String {
+        format!("{}|{}|{}", self.code, self.file, self.snippet)
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}:{}: {}\n    | {}",
+            self.severity, self.code, self.file, self.line, self.message, self.snippet
+        )
+    }
+}
+
+/// Multiset diff of current findings against a baseline of
+/// [`Finding::key`] strings: the findings whose key occurs more often
+/// now than in the baseline (each extra occurrence reported once), and
+/// the baseline keys no longer produced (stale entries).
+pub fn diff_against_baseline<'a>(
+    findings: &'a [Finding],
+    baseline: &[String],
+) -> (Vec<&'a Finding>, Vec<String>) {
+    let mut budget: std::collections::BTreeMap<&str, i64> = std::collections::BTreeMap::new();
+    for k in baseline {
+        *budget.entry(k.as_str()).or_insert(0) += 1;
+    }
+    let mut new = Vec::new();
+    let mut keys = Vec::with_capacity(findings.len());
+    for f in findings {
+        keys.push(f.key());
+    }
+    for (f, k) in findings.iter().zip(&keys) {
+        let slot = budget.entry(k.as_str()).or_insert(0);
+        if *slot > 0 {
+            *slot -= 1;
+        } else {
+            new.push(f);
+        }
+    }
+    let stale: Vec<String> = budget
+        .into_iter()
+        .filter(|&(_, n)| n > 0)
+        .flat_map(|(k, n)| {
+            std::iter::repeat_with(move || k.to_string()).take(usize::try_from(n).unwrap_or(0))
+        })
+        .collect();
+    (new, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(code: Code, file: &str, snippet: &str) -> Finding {
+        Finding {
+            code,
+            severity: Severity::Error,
+            file: file.to_string(),
+            line: 1,
+            snippet: snippet.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for c in Code::SUPPRESSIBLE.into_iter().chain([Code::A006]) {
+            assert_eq!(Code::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(Code::parse("A999"), None);
+    }
+
+    #[test]
+    fn baseline_diff_is_a_multiset() {
+        let f1 = finding(Code::A001, "a.rs", "for x in m {");
+        let f2 = finding(Code::A001, "a.rs", "for x in m {"); // same key
+        let f3 = finding(Code::A003, "b.rs", "Instant::now()");
+        let baseline = vec![f1.key(), f3.key(), "A005|gone.rs|x.unwrap()".to_string()];
+        let findings = vec![f1.clone(), f2.clone(), f3];
+        let (new, stale) = diff_against_baseline(&findings, &baseline);
+        // one of the two duplicate keys is new, the A003 is covered
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].key(), f2.key());
+        assert_eq!(stale, vec!["A005|gone.rs|x.unwrap()".to_string()]);
+    }
+
+    #[test]
+    fn display_carries_location_and_snippet() {
+        let f = finding(Code::A004, "c.rs", "static mut X: u32 = 0;");
+        let s = f.to_string();
+        assert!(s.contains("[A004] c.rs:1"));
+        assert!(s.contains("static mut X"));
+    }
+}

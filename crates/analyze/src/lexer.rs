@@ -1,0 +1,455 @@
+//! A lightweight, panic-free Rust tokenizer.
+//!
+//! The analysis passes are *lexical*: they work on a token stream with
+//! line numbers, not on a parsed AST. The lexer therefore only has to
+//! get the things right that would otherwise corrupt the stream —
+//! comments, string/char/lifetime literals (including raw and byte
+//! strings), and numbers — and can treat everything else as identifier
+//! or punctuation tokens. It must never panic, whatever bytes it is
+//! fed; `tests/props.rs` drives it with arbitrary input.
+
+/// Token classification, deliberately coarse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `HashMap`, `unwrap`, ...).
+    Ident,
+    /// Punctuation; multi-character operators from [`MULTI_PUNCT`] are
+    /// kept as one token (`::`, `+=`, `->`, ...).
+    Punct,
+    /// Numeric literal (integer or float, suffix included).
+    Num,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`) or loop label (`'outer`).
+    Lifetime,
+}
+
+/// One token with its 1-indexed source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Literal text, e.g. `"HashMap"` or `"+="`. String/char tokens
+    /// keep only their delimiters' first character to stay small.
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block) with the line its text starts on.
+///
+/// Comments are stripped from the token stream but retained separately
+/// because suppression directives (`// clk-analyze: allow(...)`) live
+/// in them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-indexed line the comment starts on.
+    pub line: u32,
+    /// Comment body without the `//` / `/*` markers, first line only
+    /// for block comments (directives must fit on one line).
+    pub text: String,
+}
+
+/// Multi-character operators the passes care about. Longest match wins;
+/// anything else becomes a single-character `Punct`.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "::", "->", "=>", "..", "&&", "||", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=",
+    "%=", "^=", "|=", "&=", "<<", ">>",
+];
+
+/// Tokenizes `src`, returning the token stream and the comments.
+///
+/// Invalid or truncated input never panics; the lexer simply does its
+/// best (an unterminated string swallows the rest of the file, which is
+/// exactly what rustc would refuse to compile anyway).
+pub fn tokenize(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // byte-level helpers; multi-byte UTF-8 continuation bytes are >= 0x80
+    // and simply fall through to the "other punct" arm, which is fine —
+    // non-ASCII identifiers do not occur in codes the passes match on.
+    let is_ident_start = |b: u8| b.is_ascii_alphabetic() || b == b'_';
+    let is_ident_cont = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: String::from_utf8_lossy(&bytes[start..j]).into_owned(),
+                });
+                i = j; // the newline itself is handled above
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let start = i + 2;
+                let mut j = start;
+                let mut depth = 1u32;
+                let mut first_line_end = None;
+                while j < bytes.len() && depth > 0 {
+                    match bytes[j] {
+                        b'\n' => {
+                            if first_line_end.is_none() {
+                                first_line_end = Some(j);
+                            }
+                            line += 1;
+                            j += 1;
+                        }
+                        b'/' if bytes.get(j + 1) == Some(&b'*') => {
+                            depth += 1;
+                            j += 2;
+                        }
+                        b'*' if bytes.get(j + 1) == Some(&b'/') => {
+                            depth -= 1;
+                            j += 2;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                let text_end = first_line_end.unwrap_or_else(|| j.saturating_sub(2).max(start));
+                comments.push(Comment {
+                    line: start_line,
+                    text: String::from_utf8_lossy(&bytes[start..text_end.min(bytes.len())])
+                        .into_owned(),
+                });
+                i = j;
+            }
+            b'"' => {
+                let tok_line = line;
+                i = skip_string(bytes, i + 1, &mut line);
+                toks.push(Token {
+                    kind: TokKind::Str,
+                    text: "\"".to_string(),
+                    line: tok_line,
+                });
+            }
+            b'r' | b'b' if raw_string_hashes(bytes, i).is_some() => {
+                // r"...", r#"..."#, br#"..."#, b"..."
+                let tok_line = line;
+                let (hashes, body_start) = match raw_string_hashes(bytes, i) {
+                    Some(h) => h,
+                    None => (0, i + 1), // unreachable; keeps the lexer total
+                };
+                i = skip_raw_string(bytes, body_start, hashes, &mut line);
+                toks.push(Token {
+                    kind: TokKind::Str,
+                    text: "\"".to_string(),
+                    line: tok_line,
+                });
+            }
+            b'\'' => {
+                // lifetime/label vs char literal
+                let tok_line = line;
+                let next = bytes.get(i + 1).copied();
+                if next.is_some_and(is_ident_start) && bytes.get(i + 2) != Some(&b'\'') {
+                    // 'ident not closed by a quote -> lifetime/label
+                    let mut j = i + 1;
+                    while j < bytes.len() && is_ident_cont(bytes[j]) {
+                        j += 1;
+                    }
+                    toks.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: String::from_utf8_lossy(&bytes[i..j]).into_owned(),
+                        line: tok_line,
+                    });
+                    i = j;
+                } else {
+                    i = skip_char_literal(bytes, i + 1, &mut line);
+                    toks.push(Token {
+                        kind: TokKind::Char,
+                        text: "'".to_string(),
+                        line: tok_line,
+                    });
+                }
+            }
+            _ if is_ident_start(b) => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && is_ident_cont(bytes[j]) {
+                    j += 1;
+                }
+                // b'x' / b"s" are handled above via the b-prefix checks;
+                // a lone `b` followed by a quote that was not raw falls
+                // back here and the quote lexes as its own token, which
+                // is harmless for the passes.
+                toks.push(Token {
+                    kind: TokKind::Ident,
+                    text: String::from_utf8_lossy(&bytes[start..j]).into_owned(),
+                    line,
+                });
+                i = j;
+            }
+            _ if b.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                let mut seen_dot = false;
+                while j < bytes.len() {
+                    let c = bytes[j];
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        j += 1;
+                    } else if c == b'.'
+                        && !seen_dot
+                        && bytes.get(j + 1).is_some_and(u8::is_ascii_digit)
+                    {
+                        // 1.5 but not 1..2 and not 1.method()
+                        seen_dot = true;
+                        j += 1;
+                    } else if (c == b'+' || c == b'-')
+                        && j > start
+                        && matches!(bytes[j - 1], b'e' | b'E')
+                        && bytes.get(j + 1).is_some_and(u8::is_ascii_digit)
+                    {
+                        j += 1; // exponent sign: 1e-9
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Token {
+                    kind: TokKind::Num,
+                    text: String::from_utf8_lossy(&bytes[start..j]).into_owned(),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                // punctuation: longest multi-char operator first
+                let rest = &bytes[i..];
+                let mut matched = None;
+                for op in MULTI_PUNCT {
+                    if rest.starts_with(op.as_bytes()) {
+                        matched = Some(*op);
+                        break;
+                    }
+                }
+                if let Some(op) = matched {
+                    toks.push(Token {
+                        kind: TokKind::Punct,
+                        text: op.to_string(),
+                        line,
+                    });
+                    i += op.len();
+                } else {
+                    toks.push(Token {
+                        kind: TokKind::Punct,
+                        text: String::from_utf8_lossy(&bytes[i..i + 1]).into_owned(),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    (toks, comments)
+}
+
+/// Detects a raw/byte string opener at `i` (`r`, `br`, `b` followed by
+/// `#*"`); returns `(hash_count, index just past the opening quote)`.
+fn raw_string_hashes(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        let mut hashes = 0usize;
+        while bytes.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if bytes.get(j) == Some(&b'"') {
+            return Some((hashes, j + 1));
+        }
+        return None;
+    }
+    // plain byte string b"..."
+    if j > i && bytes.get(j) == Some(&b'"') {
+        return Some((0, j + 1));
+    }
+    None
+}
+
+/// Skips a cooked string body starting just after the opening `"`.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i = (i + 2).min(bytes.len()),
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw string body until `"` followed by `hashes` `#`s.
+fn skip_raw_string(bytes: &[u8], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut h = 0usize;
+            while h < hashes && bytes.get(j) == Some(&b'#') {
+                h += 1;
+                j += 1;
+            }
+            if h == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skips a char/byte literal body starting just after the opening `'`.
+fn skip_char_literal(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    // at most a handful of bytes: escape or single char, then closing '
+    let mut budget = 12usize; // '\u{10FFFF}' is the longest legal form
+    while i < bytes.len() && budget > 0 {
+        match bytes[i] {
+            b'\\' => i = (i + 2).min(bytes.len()),
+            b'\'' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                return i + 1; // unterminated; don't swallow the file
+            }
+            _ => i += 1,
+        }
+        budget -= 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .0
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_stripped_and_kept() {
+        let (toks, comments) = tokenize("let x = 1; // trailing\n/* block */ let y = 2;");
+        assert!(toks
+            .iter()
+            .all(|t| t.text != "trailing" && t.text != "block"));
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].text, " trailing");
+        assert_eq!(comments[0].line, 1);
+        assert_eq!(comments[1].line, 2);
+    }
+
+    #[test]
+    fn strings_do_not_leak_idents() {
+        assert_eq!(
+            idents(r#"let s = "HashMap in a string";"#),
+            vec!["let", "s"]
+        );
+        assert_eq!(
+            idents(r##"let s = r#"raw "quoted" HashMap"#;"##),
+            vec!["let", "s"]
+        );
+        assert_eq!(idents(r#"let b = b"bytes HashMap";"#), vec!["let", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let (toks, _) = tokenize("fn f<'a>(x: &'a str) { let c = 'x'; let l = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn loop_labels_lex_as_lifetimes() {
+        let (toks, _) = tokenize("'outer: for x in y { break 'outer; }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn multi_char_operators_stay_whole() {
+        let (toks, _) = tokenize("a += b; c::d; e -> f; g ..= h;");
+        let punct: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(punct.contains(&"+="));
+        assert!(punct.contains(&"::"));
+        assert!(punct.contains(&"->"));
+        assert!(punct.contains(&"..="));
+    }
+
+    #[test]
+    fn float_literals_keep_method_calls_separate() {
+        let (toks, _) = tokenize("let x = 1.5e-3.max(0.0);");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1.5e-3", "0.0"]);
+        assert!(toks.iter().any(|t| t.text == "max"));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_literals() {
+        let (toks, _) = tokenize("a\n\"two\nlines\"\nb");
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn never_panics_on_garbage() {
+        for src in [
+            "\"unterminated",
+            "r#\"unterminated",
+            "'",
+            "'\\",
+            "/* unterminated",
+            "b",
+            "0.",
+            "1e+",
+            "\u{FFFD}\u{1F600}",
+        ] {
+            let _ = tokenize(src);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! `clk-analyze`: determinism & parallel-safety static analysis over
+//! the workspace sources.
+//!
+//! The ROADMAP's parallel-local-phase arc rests on one invariant: the
+//! flow is deterministic per seed ("parallel evaluation, sequential
+//! commit"), so QoR snapshots stay byte-stable and benchmark
+//! comparisons mean something. This crate finds the hazards that
+//! silently break that invariant — and the ones that would turn into
+//! data races once the local phase goes multi-threaded — by lexing
+//! every `.rs` file in the workspace and running five source-level
+//! passes with stable diagnostic codes:
+//!
+//! | code | finds |
+//! |------|-------|
+//! | A001 | iteration over `HashMap`/`HashSet` (order nondeterminism)  |
+//! | A002 | float accumulation inside an A001 loop (order-dependent rounding) |
+//! | A003 | `Instant::now`/`SystemTime` outside `clk-obs`/allowed timing modules |
+//! | A004 | `static mut`, `thread_local!`, `Cell`/`RefCell` in hot paths |
+//! | A005 | `unwrap`/`expect`/`panic!` in library non-test code |
+//! | A006 | stale or reasonless suppression (emitted by the framework) |
+//!
+//! False positives are silenced in-source with
+//! `// clk-analyze: allow(A001) <reason>` on the finding's line or the
+//! line above; the reason is mandatory and a suppression that stops
+//! matching anything becomes an A006 finding itself, so the allow-list
+//! can never rot. `clk-bench --bin analyze` runs the crate over the
+//! workspace and gates CI against a committed findings baseline.
+//!
+//! ```
+//! use clk_analyze::{analyze_str, AnalyzeConfig, Code};
+//!
+//! let report = analyze_str(
+//!     "crates/x/src/lib.rs",
+//!     "fn f(m: &std::collections::HashMap<u32, u32>) { for k in m.keys() { let _ = k; } }",
+//!     &AnalyzeConfig::default(),
+//! );
+//! assert_eq!(report.findings[0].code, Code::A001);
+//! ```
+
+mod finding;
+mod lexer;
+mod passes;
+mod suppress;
+mod workspace;
+
+pub use finding::{diff_against_baseline, Code, Finding, Severity};
+pub use lexer::{tokenize, Comment, TokKind, Token};
+pub use suppress::{Suppressed, Suppression};
+pub use workspace::collect_sources;
+
+/// What kind of compilation unit a file belongs to; determines which
+/// passes apply (A005 is library-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library source (`crates/*/src`, the workspace `src/`).
+    Lib,
+    /// Binary target (`src/bin/*`).
+    Bin,
+    /// Integration test (`tests/`).
+    Test,
+    /// Criterion bench (`benches/`).
+    Bench,
+    /// Example (`examples/`).
+    Example,
+}
+
+/// One tokenized source file ready for analysis.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Compilation-unit class.
+    pub class: FileClass,
+    /// Raw source lines (for snippets).
+    pub lines: Vec<String>,
+    /// Token stream.
+    pub tokens: Vec<Token>,
+    /// Comments (for suppressions).
+    pub comments: Vec<Comment>,
+}
+
+/// Analyzer configuration: which paths are exempt from which checks.
+#[derive(Debug, Clone)]
+pub struct AnalyzeConfig {
+    /// Path prefixes where A003 does not apply (the sanctioned timing
+    /// implementation itself).
+    pub wall_clock_allowed: Vec<String>,
+    /// Path prefixes whose files count as flow hot paths for the
+    /// `Cell`/`RefCell` part of A004.
+    pub hot_paths: Vec<String>,
+    /// Path prefixes excluded from collection entirely (vendored shims,
+    /// build output).
+    pub skip: Vec<String>,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> Self {
+        AnalyzeConfig {
+            wall_clock_allowed: vec!["crates/obs/src".to_string()],
+            hot_paths: vec![
+                "crates/core/src/flow.rs".to_string(),
+                "crates/core/src/global.rs".to_string(),
+                "crates/core/src/local.rs".to_string(),
+                "crates/lp/src".to_string(),
+                "crates/sta/src".to_string(),
+            ],
+            skip: vec![
+                "vendor/".to_string(),
+                "target/".to_string(),
+                ".git/".to_string(),
+            ],
+        }
+    }
+}
+
+/// Result of analyzing a set of files: surviving findings (sorted by
+/// file, line, code) plus the honored suppressions for reporting.
+#[derive(Debug, Default)]
+pub struct AnalyzeReport {
+    /// Findings that were not suppressed (includes A006).
+    pub findings: Vec<Finding>,
+    /// Suppressions that matched at least one finding.
+    pub suppressed: Vec<Suppressed>,
+    /// Number of files analyzed.
+    pub files: usize,
+}
+
+impl AnalyzeReport {
+    /// Findings of one code.
+    pub fn with_code(&self, code: Code) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.code == code)
+    }
+}
+
+/// Classifies a workspace-relative path.
+pub fn classify(path: &str) -> FileClass {
+    if path.contains("/src/bin/") {
+        FileClass::Bin
+    } else if path.contains("/tests/") || path.starts_with("tests/") {
+        FileClass::Test
+    } else if path.contains("/benches/") || path.starts_with("benches/") {
+        FileClass::Bench
+    } else if path.contains("/examples/") || path.starts_with("examples/") {
+        FileClass::Example
+    } else {
+        FileClass::Lib
+    }
+}
+
+/// Builds a [`SourceFile`] from in-memory text (used by tests and by
+/// [`analyze_str`]).
+pub fn source_from_str(path: &str, src: &str) -> SourceFile {
+    let (tokens, comments) = tokenize(src);
+    SourceFile {
+        path: path.to_string(),
+        class: classify(path),
+        lines: src.lines().map(str::to_string).collect(),
+        tokens,
+        comments,
+    }
+}
+
+/// Analyzes one in-memory file: passes + suppression resolution.
+pub fn analyze_str(path: &str, src: &str, cfg: &AnalyzeConfig) -> AnalyzeReport {
+    analyze_files(std::iter::once(source_from_str(path, src)), cfg)
+}
+
+/// Analyzes an iterator of files: runs every pass on each, resolves
+/// suppressions, and turns suppression-hygiene violations into A006
+/// findings.
+pub fn analyze_files(
+    files: impl IntoIterator<Item = SourceFile>,
+    cfg: &AnalyzeConfig,
+) -> AnalyzeReport {
+    let mut report = AnalyzeReport::default();
+    for file in files {
+        report.files += 1;
+        let raw = passes::run_passes(&file, cfg);
+        let (kept, suppressed, hygiene) = suppress::apply(&file, raw);
+        report.findings.extend(kept);
+        report.findings.extend(hygiene);
+        report.suppressed.extend(suppressed);
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.code).cmp(&(&b.file, b.line, b.code)));
+    report
+}
+
+/// Analyzes the workspace rooted at `root`: collects sources per the
+/// config's skip list and runs [`analyze_files`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from the directory walk; unreadable individual
+/// files are skipped.
+pub fn analyze_workspace(
+    root: &std::path::Path,
+    cfg: &AnalyzeConfig,
+) -> std::io::Result<AnalyzeReport> {
+    let files = collect_sources(root, cfg)?;
+    Ok(analyze_files(files, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_covers_all_layouts() {
+        assert_eq!(classify("crates/lp/src/simplex.rs"), FileClass::Lib);
+        assert_eq!(classify("crates/bench/src/bin/qor.rs"), FileClass::Bin);
+        assert_eq!(classify("crates/lp/tests/props.rs"), FileClass::Test);
+        assert_eq!(classify("tests/fault.rs"), FileClass::Test);
+        assert_eq!(
+            classify("crates/bench/benches/kernels.rs"),
+            FileClass::Bench
+        );
+        assert_eq!(classify("examples/flow.rs"), FileClass::Example);
+        assert_eq!(classify("src/lib.rs"), FileClass::Lib);
+    }
+
+    #[test]
+    fn end_to_end_suppression_flow() {
+        let src = "fn f() {\n\
+                   // clk-analyze: allow(A003) telemetry only, feeds a histogram\n\
+                   let t = Instant::now();\n\
+                   }";
+        let r = analyze_str("crates/core/src/flow.rs", src, &AnalyzeConfig::default());
+        assert!(r.findings.is_empty(), "findings: {:?}", r.findings);
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].code, Code::A003);
+    }
+
+    #[test]
+    fn stale_suppression_becomes_a006() {
+        let src = "// clk-analyze: allow(A001) this map is long gone\nfn f() {}\n";
+        let r = analyze_str("crates/core/src/flow.rs", src, &AnalyzeConfig::default());
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].code, Code::A006);
+    }
+}

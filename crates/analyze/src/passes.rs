@@ -1,0 +1,750 @@
+//! The analysis passes (A001–A005) over one tokenized source file.
+//!
+//! Everything here is *lexical*: bindings whose `let` statement, field,
+//! or parameter declaration mentions `HashMap`/`HashSet` are tracked by
+//! name, with no scope or flow analysis. That is deliberately simple —
+//! the false-positive escape hatch is a `// clk-analyze: allow(A00x)
+//! reason` suppression, and the sorted-collect idiom
+//! (`map.into_iter().collect()` + `sort`) is exempted from A001 outside
+//! `for`-expressions so deterministic drains don't need one.
+
+use crate::finding::{Code, Finding, Severity};
+use crate::lexer::{TokKind, Token};
+use crate::{AnalyzeConfig, FileClass, SourceFile};
+
+/// Iteration methods whose order is the map's internal order.
+const ITER_METHODS: &[&str] = &["iter", "iter_mut", "keys", "values", "values_mut", "drain"];
+
+/// Additionally order-sensitive when used directly in a `for` expression
+/// (outside one, `into_iter().collect()` into a sorted container is the
+/// sanctioned deterministic drain).
+const FOR_ONLY_METHODS: &[&str] = &["into_iter", "into_keys", "into_values"];
+
+/// Runs every pass over `file`, returning raw (unsuppressed) findings.
+pub fn run_passes(file: &SourceFile, cfg: &AnalyzeConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let tracked = tracked_map_names(&file.tokens);
+    let loops = pass_a001(file, &tracked, &mut out);
+    pass_a002(file, &loops, &mut out);
+    pass_a003(file, cfg, &mut out);
+    pass_a004(file, cfg, &mut out);
+    pass_a005(file, &mut out);
+    // passes can overlap (for-scan + method-scan); one finding per
+    // (code, line) is enough
+    out.sort_by_key(|a| (a.line, a.code));
+    out.dedup_by(|a, b| a.code == b.code && a.line == b.line);
+    out
+}
+
+fn finding(
+    file: &SourceFile,
+    code: Code,
+    severity: Severity,
+    line: u32,
+    message: String,
+) -> Finding {
+    let snippet = file
+        .lines
+        .get(line.saturating_sub(1) as usize)
+        .map(|l| l.trim().to_string())
+        .unwrap_or_default();
+    Finding {
+        code,
+        severity,
+        file: file.path.clone(),
+        line,
+        snippet,
+        message,
+    }
+}
+
+/// Names lexically bound to a `HashMap`/`HashSet`: `let` statements
+/// whose window mentions one, and `name: ... Hash{Map,Set}` annotations
+/// (struct fields, fn parameters, `let` with type ascription).
+fn tracked_map_names(toks: &[Token]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    let is_map =
+        |t: &Token| t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet");
+    let mut track = |name: &str| {
+        if !names.iter().any(|n| n == name) {
+            names.push(name.to_string());
+        }
+    };
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && t.text == "let" {
+            // let [mut] NAME ... ; — track NAME if the statement window
+            // mentions a hash container
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.text == "mut") {
+                j += 1;
+            }
+            if let Some(name_tok) = toks.get(j) {
+                if name_tok.kind == TokKind::Ident {
+                    let mut depth = 0i32;
+                    let mut k = j + 1;
+                    let mut saw_map = false;
+                    while k < toks.len() && k < j + 200 {
+                        let tk = &toks[k];
+                        match tk.text.as_str() {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => {
+                                depth -= 1;
+                                if depth < 0 {
+                                    break;
+                                }
+                            }
+                            ";" if depth == 0 => break,
+                            _ => {}
+                        }
+                        if is_map(tk) {
+                            saw_map = true;
+                        }
+                        k += 1;
+                    }
+                    if saw_map {
+                        track(&name_tok.text);
+                    }
+                }
+            }
+        } else if t.kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|n| n.text == ":")
+            && t.text != "let"
+        {
+            // NAME : [&] [mut] [path ::] Hash{Map,Set} < ... — struct
+            // field or fn parameter annotation; stop the window at a
+            // comma/terminator outside angle brackets
+            let mut angle = 0i32;
+            let mut k = i + 2;
+            while k < toks.len() && k < i + 40 {
+                let tk = &toks[k];
+                match tk.text.as_str() {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    ">>" => angle -= 2,
+                    "," | ";" | ")" | "{" | "=" if angle <= 0 => break,
+                    _ => {}
+                }
+                if is_map(tk) {
+                    track(&t.text);
+                    break;
+                }
+                // annotations are types; an expression token means this
+                // was a struct literal / match arm, where only a direct
+                // Hash{Map,Set} constructor counts and is caught above
+                if tk.kind == TokKind::Str || tk.kind == TokKind::Char {
+                    break;
+                }
+                k += 1;
+            }
+        }
+        i += 1;
+    }
+    names
+}
+
+/// Token index span of a flagged loop body (exclusive of the braces).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LoopSpan {
+    body_start: usize,
+    body_end: usize,
+    line: u32,
+}
+
+/// A001: iteration whose order is a hash map's internal order.
+fn pass_a001(file: &SourceFile, tracked: &[String], out: &mut Vec<Finding>) -> Vec<LoopSpan> {
+    let toks = &file.tokens;
+    let is_tracked = |t: &Token| t.kind == TokKind::Ident && tracked.contains(&t.text);
+    let mut loops = Vec::new();
+
+    // for-loop scan
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].kind == TokKind::Ident && toks[i].text == "for") {
+            i += 1;
+            continue;
+        }
+        // find `in` at bracket depth 0, bailing on `{`/`;` (impl-for,
+        // HRTB `for<'a>`, macro fragments)
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        let mut in_idx = None;
+        while j < toks.len() && j < i + 64 {
+            match toks[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" | ";" if depth == 0 => break,
+                "in" if depth == 0 && toks[j].kind == TokKind::Ident => {
+                    in_idx = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(in_idx) = in_idx else {
+            i += 1;
+            continue;
+        };
+        // expression: from after `in` to the body `{` at depth 0
+        let mut k = in_idx + 1;
+        let mut depth = 0i32;
+        let expr_start = k;
+        let mut body_open = None;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" => {
+                    if depth == 0 {
+                        body_open = Some(k);
+                        break;
+                    }
+                    depth += 1;
+                }
+                "}" => depth -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(body_open) = body_open else {
+            i = in_idx + 1;
+            continue;
+        };
+        let expr = &toks[expr_start..body_open];
+        if let Some(name) = for_expr_iterates_map(expr, &is_tracked) {
+            out.push(finding(
+                file,
+                Code::A001,
+                Severity::Error,
+                toks[i].line,
+                format!(
+                    "`for` iterates hash container `{name}` directly; its order is \
+                     nondeterministic — use a BTreeMap/BTreeSet or collect-and-sort first"
+                ),
+            ));
+            let body_end = match_brace(toks, body_open);
+            loops.push(LoopSpan {
+                body_start: body_open + 1,
+                body_end,
+                line: toks[i].line,
+            });
+        }
+        i = body_open + 1;
+    }
+
+    // method-call scan: tracked.iter()/keys()/values()/drain() anywhere
+    for w in 0..toks.len().saturating_sub(3) {
+        if is_tracked(&toks[w])
+            && toks[w + 1].text == "."
+            && toks[w + 2].kind == TokKind::Ident
+            && ITER_METHODS.contains(&toks[w + 2].text.as_str())
+            && toks[w + 3].text == "("
+        {
+            out.push(finding(
+                file,
+                Code::A001,
+                Severity::Error,
+                toks[w].line,
+                format!(
+                    "`.{}()` on hash container `{}` yields nondeterministic order — use a \
+                     BTreeMap/BTreeSet, or `.into_iter().collect()` into a sorted Vec",
+                    toks[w + 2].text,
+                    toks[w].text
+                ),
+            ));
+        }
+    }
+    loops
+}
+
+/// Does a `for … in <expr>` expression iterate a tracked container?
+/// Returns the container name when it does.
+fn for_expr_iterates_map<'a>(
+    expr: &'a [Token],
+    is_tracked: &dyn Fn(&Token) -> bool,
+) -> Option<&'a str> {
+    // strip leading `&` / `&&` / `mut`
+    let mut s = 0usize;
+    while s < expr.len() && (expr[s].text == "&" || expr[s].text == "&&" || expr[s].text == "mut") {
+        s += 1;
+    }
+    let head = expr.get(s)?;
+    if !is_tracked(head) {
+        return None;
+    }
+    if expr.len() == s + 1 {
+        return Some(&head.text); // for x in map / &map
+    }
+    if expr.get(s + 1).is_some_and(|t| t.text == ".") {
+        let m = expr.get(s + 2)?;
+        if m.kind == TokKind::Ident
+            && (ITER_METHODS.contains(&m.text.as_str())
+                || FOR_ONLY_METHODS.contains(&m.text.as_str()))
+        {
+            return Some(&head.text);
+        }
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+fn match_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// A002: float accumulation inside an A001-flagged loop body.
+fn pass_a002(file: &SourceFile, loops: &[LoopSpan], out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    let float_names = float_var_names(toks);
+    for lp in loops {
+        let body = &toks[lp.body_start.min(toks.len())..lp.body_end.min(toks.len())];
+        for (k, t) in body.iter().enumerate() {
+            let hit = if t.text == "+=" {
+                // float evidence: a float literal in the statement, or a
+                // known-float accumulation target right before the `+=`
+                statement_has_float(body, k, &float_names)
+            } else {
+                t.text == "."
+                    && body
+                        .get(k + 1)
+                        .is_some_and(|m| m.text == "sum" || m.text == "product")
+                    && body
+                        .get(k + 2)
+                        .is_some_and(|p| p.text == "(" || p.text == "::")
+            };
+            if hit {
+                out.push(finding(
+                    file,
+                    Code::A002,
+                    Severity::Warning,
+                    t.line,
+                    format!(
+                        "float accumulation inside the hash-ordered loop at line {}: the \
+                         rounded result depends on iteration order",
+                        lp.line
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Names lexically bound to `f64`/`f32` or initialized from a float
+/// literal.
+fn float_var_names(toks: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident || toks[i].text != "let" {
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.text == "mut") {
+            j += 1;
+        }
+        let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        let mut saw_float = false;
+        let mut k = j + 1;
+        while k < toks.len() && k < j + 60 {
+            match toks[k].text.as_str() {
+                ";" => break,
+                "f64" | "f32" => saw_float = true,
+                _ => {
+                    if toks[k].kind == TokKind::Num && is_float_literal(&toks[k].text) {
+                        saw_float = true;
+                    }
+                }
+            }
+            k += 1;
+        }
+        if saw_float && !names.contains(&name.text) {
+            names.push(name.text.clone());
+        }
+    }
+    names
+}
+
+fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o") {
+        return false;
+    }
+    if text.contains('.') {
+        return true;
+    }
+    // exponent form (1e9, 2E-5) — but not the `e` of a `usize` suffix
+    if let Some(pos) = text.find(['e', 'E']) {
+        let rest = &text[pos + 1..];
+        let rest = rest.strip_prefix(['+', '-']).unwrap_or(rest);
+        return !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit() || b == b'_');
+    }
+    false
+}
+
+/// Does the statement containing the `+=` at `at` touch floats?
+fn statement_has_float(body: &[Token], at: usize, float_names: &[String]) -> bool {
+    let start = body[..at]
+        .iter()
+        .rposition(|t| t.text == ";" || t.text == "{" || t.text == "}")
+        .map_or(0, |p| p + 1);
+    let end = body[at..]
+        .iter()
+        .position(|t| t.text == ";")
+        .map_or(body.len(), |p| at + p);
+    body[start..end].iter().any(|t| {
+        (t.kind == TokKind::Num && is_float_literal(&t.text))
+            || t.text == "f64"
+            || t.text == "f32"
+            || (t.kind == TokKind::Ident && float_names.contains(&t.text))
+    })
+}
+
+/// A003: wall-clock reads outside the sanctioned timing modules.
+fn pass_a003(file: &SourceFile, cfg: &AnalyzeConfig, out: &mut Vec<Finding>) {
+    if cfg
+        .wall_clock_allowed
+        .iter()
+        .any(|p| file.path.starts_with(p.as_str()))
+    {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "Instant"
+            && toks.get(i + 1).is_some_and(|n| n.text == "::")
+            && toks.get(i + 2).is_some_and(|n| n.text == "now")
+        {
+            out.push(finding(
+                file,
+                Code::A003,
+                Severity::Error,
+                t.line,
+                "raw `Instant::now()` — route wall-clock reads through `clk_obs::wall_now()` \
+                 (or a span) so timing stays observable and auditable"
+                    .to_string(),
+            ));
+        } else if t.text == "SystemTime" {
+            out.push(finding(
+                file,
+                Code::A003,
+                Severity::Error,
+                t.line,
+                "`SystemTime` in flow code — wall-clock time must not feed algorithmic \
+                 decisions; use `clk_obs::wall_now()` for telemetry"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// A004: parallel-safety hazards ahead of the scoped-thread local phase.
+fn pass_a004(file: &SourceFile, cfg: &AnalyzeConfig, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    let hot = cfg
+        .hot_paths
+        .iter()
+        .any(|p| file.path.starts_with(p.as_str()));
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "static" if toks.get(i + 1).is_some_and(|n| n.text == "mut") => {
+                out.push(finding(
+                    file,
+                    Code::A004,
+                    Severity::Error,
+                    t.line,
+                    "`static mut` is a data race waiting for the parallel local phase".to_string(),
+                ));
+            }
+            "thread_local" if toks.get(i + 1).is_some_and(|n| n.text == "!") => {
+                out.push(finding(
+                    file,
+                    Code::A004,
+                    Severity::Error,
+                    t.line,
+                    "`thread_local!` state diverges across the worker pool — results must \
+                     not depend on which thread ran"
+                        .to_string(),
+                ));
+            }
+            "Cell" | "RefCell" if hot => {
+                let nxt = toks.get(i + 1).map(|n| n.text.as_str());
+                if matches!(nxt, Some("<") | Some("::")) {
+                    out.push(finding(
+                        file,
+                        Code::A004,
+                        Severity::Error,
+                        t.line,
+                        format!(
+                            "`{}` in a flow/global/local hot path is not Sync; the scoped-\
+                             thread local phase cannot share it",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A005: panic paths in library-crate non-test code. A lexical backstop
+/// behind the clippy `unwrap_used` deny: it also sees `expect`,
+/// `panic!`, `unreachable!`, `todo!`, and `unimplemented!`.
+fn pass_a005(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.class != FileClass::Lib {
+        return;
+    }
+    let toks = &file.tokens;
+    let excluded = cfg_test_spans(toks);
+    let in_test = |idx: usize| excluded.iter().any(|&(s, e)| idx >= s && idx <= e);
+    for i in 0..toks.len() {
+        if in_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            "unwrap" | "expect" => {
+                i > 0
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).is_some_and(|n| n.text == "(")
+                    && !call_followed_by_question(toks, i + 1)
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" => {
+                toks.get(i + 1).is_some_and(|n| n.text == "!")
+            }
+            _ => false,
+        };
+        if flagged {
+            out.push(finding(
+                file,
+                Code::A005,
+                Severity::Error,
+                t.line,
+                format!(
+                    "`{}` in library code can take the whole flow down — return a typed \
+                     error (the fault runtime knows how to absorb those)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Whether the call whose `(` sits at `open` is immediately followed by
+/// `?`. `Option::expect`/`unwrap` return the bare value, so `.expect(…)?`
+/// can only be a user-defined fallible method (e.g. a parser's
+/// `expect(b'{')?`), not a panic path.
+fn call_followed_by_question(toks: &[Token], open: usize) -> bool {
+    let mut depth = 0i32;
+    for (off, t) in toks[open..].iter().enumerate() {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return toks.get(open + off + 1).is_some_and(|n| n.text == "?");
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Token spans covered by `#[cfg(test)]`-gated blocks.
+fn cfg_test_spans(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < toks.len() {
+        let attr = toks[i].text == "#"
+            && toks[i + 1].text == "["
+            && toks[i + 2].text == "cfg"
+            && toks[i + 3].text == "("
+            && toks[i + 4].text == "test"
+            && toks[i + 5].text == ")"
+            && toks[i + 6].text == "]";
+        if attr {
+            // the next brace-delimited block is the gated item
+            if let Some(open) = toks[i + 7..].iter().position(|t| t.text == "{") {
+                let open = i + 7 + open;
+                let close = match_brace(toks, open);
+                spans.push((i, close));
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_from_str;
+
+    fn cfg() -> AnalyzeConfig {
+        AnalyzeConfig::default()
+    }
+
+    fn run(src: &str, path: &str) -> Vec<Finding> {
+        let file = source_from_str(path, src);
+        run_passes(&file, &cfg())
+    }
+
+    #[test]
+    fn a001_tracks_let_bindings() {
+        let f = run(
+            "fn f() { let mut m: HashMap<u32, f64> = HashMap::new(); for (k, v) in m { g(k, v); } }",
+            "crates/x/src/lib.rs",
+        );
+        assert_eq!(f.iter().filter(|d| d.code == Code::A001).count(), 1);
+    }
+
+    #[test]
+    fn a001_tracks_fn_params_and_methods() {
+        let f = run(
+            "fn f(cache: &mut HashMap<u32, Vec<u32>>) { for k in cache.keys() { g(k); } }",
+            "crates/x/src/lib.rs",
+        );
+        assert!(f.iter().any(|d| d.code == Code::A001));
+    }
+
+    #[test]
+    fn a001_exempts_sorted_collect_outside_for() {
+        let f = run(
+            "fn f() { let s: HashSet<u32> = HashSet::new(); \
+             let mut v: Vec<u32> = s.into_iter().collect(); v.sort_unstable(); }",
+            "crates/x/src/lib.rs",
+        );
+        assert!(f.iter().all(|d| d.code != Code::A001));
+    }
+
+    #[test]
+    fn a001_ignores_vec_iteration() {
+        let f = run(
+            "fn f() { let v: Vec<u32> = Vec::new(); for x in &v { g(x); } for y in v.iter() {} }",
+            "crates/x/src/lib.rs",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn a002_fires_on_float_accumulation_in_flagged_loop() {
+        let f = run(
+            "fn f() { let m: HashMap<u32, f64> = HashMap::new(); let mut acc = 0.0; \
+             for (_, v) in &m { acc += v; } }",
+            "crates/x/src/lib.rs",
+        );
+        assert!(f.iter().any(|d| d.code == Code::A002));
+    }
+
+    #[test]
+    fn a002_silent_on_integer_counting() {
+        let f = run(
+            "fn f() { let m: HashMap<u32, u64> = HashMap::new(); let mut n = 0usize; \
+             for k in m.keys() { n += 1; } }",
+            "crates/x/src/lib.rs",
+        );
+        assert!(f.iter().all(|d| d.code != Code::A002));
+    }
+
+    #[test]
+    fn a003_fires_outside_allowed_paths_only() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert!(run(src, "crates/core/src/flow.rs")
+            .iter()
+            .any(|d| d.code == Code::A003));
+        assert!(run(src, "crates/obs/src/span.rs")
+            .iter()
+            .all(|d| d.code != Code::A003));
+    }
+
+    #[test]
+    fn a004_static_mut_and_thread_local() {
+        let f = run(
+            "static mut COUNTER: u32 = 0;\nthread_local! { static S: u32 = 0; }",
+            "crates/x/src/lib.rs",
+        );
+        assert_eq!(f.iter().filter(|d| d.code == Code::A004).count(), 2);
+    }
+
+    #[test]
+    fn a004_refcell_only_in_hot_paths() {
+        let src = "struct S { c: RefCell<u32> }";
+        assert!(run(src, "crates/core/src/local.rs")
+            .iter()
+            .any(|d| d.code == Code::A004));
+        assert!(run(src, "crates/qor/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn a005_lib_only_and_test_mods_excluded() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   #[cfg(test)]\nmod tests { #[test] fn t() { None::<u32>.unwrap(); } }";
+        let f = run(src, "crates/x/src/lib.rs");
+        assert_eq!(f.iter().filter(|d| d.code == Code::A005).count(), 1);
+        assert!(run(src, "crates/bench/src/bin/table3.rs").is_empty());
+    }
+
+    #[test]
+    fn a005_sees_panic_macros_but_not_asserts() {
+        let f = run(
+            "fn f(b: bool) { if b { panic!(\"boom\") } assert!(b); debug_assert!(b); }",
+            "crates/x/src/lib.rs",
+        );
+        assert_eq!(f.iter().filter(|d| d.code == Code::A005).count(), 1);
+    }
+
+    #[test]
+    fn a005_skips_user_defined_fallible_expect() {
+        // a parser's own `expect(b'{')?` is not Option::expect — the `?`
+        // proves it returns a Result
+        let f = run(
+            "fn p(&mut self) -> Result<(), E> { self.expect(b'{')?; Ok(()) }",
+            "crates/x/src/lib.rs",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // without the `?` the same shape is flagged
+        let f = run(
+            "fn p(o: Option<u8>) { o.expect(\"x\"); }",
+            "crates/x/src/lib.rs",
+        );
+        assert_eq!(f.iter().filter(|d| d.code == Code::A005).count(), 1);
+    }
+
+    #[test]
+    fn strings_and_comments_never_trigger() {
+        let f = run(
+            "// Instant::now() in a comment\nfn f() { let s = \"Instant::now() unwrap()\"; }",
+            "crates/x/src/lib.rs",
+        );
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,236 @@
+//! In-source suppressions: `// clk-analyze: allow(A001) <reason>`.
+//!
+//! A suppression silences matching findings on its own line or the line
+//! directly below (the comment-above idiom). The reason text after the
+//! `allow(...)` group is mandatory, and a suppression that matches no
+//! finding is *stale* — both hygiene violations surface as A006
+//! findings so the allow-list stays honest.
+
+use crate::finding::{Code, Finding, Severity};
+use crate::SourceFile;
+
+/// One parsed suppression directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// 1-indexed line of the comment.
+    pub line: u32,
+    /// Codes the directive names (`allow(A001, A003)` lists two).
+    pub codes: Vec<Code>,
+    /// Free-text justification after the `allow(...)` group.
+    pub reason: String,
+}
+
+/// A finding that was silenced, for reporting.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    /// Code of the silenced finding.
+    pub code: Code,
+    /// File it was silenced in.
+    pub file: String,
+    /// Line of the silenced finding.
+    pub line: u32,
+    /// The justification given.
+    pub reason: String,
+}
+
+/// The directive marker inside a comment.
+const MARKER: &str = "clk-analyze:";
+
+/// Parses the suppression directives out of a file's comments.
+pub fn parse(file: &SourceFile) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in &file.comments {
+        // doc comments (`//!`, `///`, `/*!`, `/**`) are documentation,
+        // not directives — the crate's own docs describe the grammar
+        if c.text.starts_with('!') || c.text.starts_with('/') || c.text.starts_with('*') {
+            continue;
+        }
+        let Some(pos) = c.text.find(MARKER) else {
+            continue;
+        };
+        let rest = &c.text[pos + MARKER.len()..];
+        let mut codes = Vec::new();
+        let mut cursor = rest;
+        let mut tail_start = 0usize;
+        while let Some(a) = cursor.find("allow(") {
+            let after = &cursor[a + "allow(".len()..];
+            let Some(close) = after.find(')') else { break };
+            for part in after[..close].split(',') {
+                if let Some(code) = Code::parse(part) {
+                    if Code::SUPPRESSIBLE.contains(&code) && !codes.contains(&code) {
+                        codes.push(code);
+                    }
+                }
+            }
+            let consumed = a + "allow(".len() + close + 1;
+            tail_start += consumed;
+            cursor = &cursor[consumed..];
+        }
+        let reason = rest[tail_start.min(rest.len())..].trim().to_string();
+        // a marker with no parsable allow-group is itself suspicious but
+        // may be prose mentioning the tool; only treat it as a directive
+        // when at least one code parsed
+        if !codes.is_empty() {
+            out.push(Suppression {
+                line: c.line,
+                codes,
+                reason,
+            });
+        }
+    }
+    out
+}
+
+/// Applies suppressions to `raw` findings. Returns the surviving
+/// findings, the suppressed ones, and the A006 hygiene findings for
+/// stale or reasonless directives.
+pub fn apply(
+    file: &SourceFile,
+    raw: Vec<Finding>,
+) -> (Vec<Finding>, Vec<Suppressed>, Vec<Finding>) {
+    let sups = parse(file);
+    let mut used = vec![false; sups.len()];
+    let mut kept = Vec::new();
+    let mut silenced = Vec::new();
+    for f in raw {
+        let hit = sups
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.codes.contains(&f.code) && (s.line == f.line || s.line + 1 == f.line));
+        match hit {
+            Some((i, s)) if !s.reason.is_empty() => {
+                used[i] = true;
+                silenced.push(Suppressed {
+                    code: f.code,
+                    file: file.path.clone(),
+                    line: f.line,
+                    reason: s.reason.clone(),
+                });
+            }
+            Some((i, _)) => {
+                // reasonless: the directive still matched (so it is not
+                // stale) but the finding stands, plus a hygiene finding
+                used[i] = true;
+                kept.push(f);
+            }
+            None => kept.push(f),
+        }
+    }
+    let mut hygiene = Vec::new();
+    for (i, s) in sups.iter().enumerate() {
+        if s.reason.is_empty() {
+            hygiene.push(hygiene_finding(
+                file,
+                s,
+                format!(
+                    "suppression of {} has no reason — say why the finding is acceptable",
+                    codes_list(&s.codes)
+                ),
+            ));
+        } else if !used[i] {
+            hygiene.push(hygiene_finding(
+                file,
+                s,
+                format!(
+                    "stale suppression: nothing on line {} or {} triggers {} anymore — delete it",
+                    s.line,
+                    s.line + 1,
+                    codes_list(&s.codes)
+                ),
+            ));
+        }
+    }
+    (kept, silenced, hygiene)
+}
+
+fn codes_list(codes: &[Code]) -> String {
+    codes
+        .iter()
+        .map(|c| c.as_str())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn hygiene_finding(file: &SourceFile, s: &Suppression, message: String) -> Finding {
+    Finding {
+        code: Code::A006,
+        severity: Severity::Warning,
+        file: file.path.clone(),
+        line: s.line,
+        snippet: file
+            .lines
+            .get(s.line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default(),
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_from_str;
+
+    #[test]
+    fn parses_multi_code_directives() {
+        let f = source_from_str(
+            "x.rs",
+            "// clk-analyze: allow(A001, A002) sorted right after collection\n",
+        );
+        let s = parse(&f);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].codes, vec![Code::A001, Code::A002]);
+        assert_eq!(s[0].reason, "sorted right after collection");
+    }
+
+    #[test]
+    fn prose_mentioning_the_tool_is_not_a_directive() {
+        let f = source_from_str(
+            "x.rs",
+            "// clk-analyze: the analyzer described in DESIGN.md\n",
+        );
+        assert!(parse(&f).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_are_never_directives() {
+        let src = "//! grammar: `// clk-analyze: allow(A001) <reason>`\n\
+                   /// same in item docs: clk-analyze: allow(A003) why\n\
+                   fn f() {}\n";
+        assert!(parse(&source_from_str("x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn a006_is_not_suppressible() {
+        let f = source_from_str("x.rs", "// clk-analyze: allow(A006) nice try\n");
+        assert!(parse(&f).is_empty());
+    }
+
+    #[test]
+    fn same_line_and_line_above_both_work() {
+        let src = "fn f() {\n\
+                   let a = Instant::now(); // clk-analyze: allow(A003) telemetry\n\
+                   // clk-analyze: allow(A003) telemetry again\n\
+                   let b = Instant::now();\n\
+                   }";
+        let file = source_from_str("crates/core/src/x.rs", src);
+        let raw = crate::passes::run_passes(&file, &crate::AnalyzeConfig::default());
+        assert_eq!(raw.len(), 2);
+        let (kept, silenced, hygiene) = apply(&file, raw);
+        assert!(kept.is_empty());
+        assert_eq!(silenced.len(), 2);
+        assert!(hygiene.is_empty());
+    }
+
+    #[test]
+    fn reasonless_suppression_keeps_finding_and_reports_a006() {
+        let src = "// clk-analyze: allow(A003)\nlet b = Instant::now();\n";
+        let file = source_from_str("crates/core/src/x.rs", src);
+        let raw = crate::passes::run_passes(&file, &crate::AnalyzeConfig::default());
+        let (kept, silenced, hygiene) = apply(&file, raw);
+        assert_eq!(kept.len(), 1, "finding must survive");
+        assert!(silenced.is_empty());
+        assert_eq!(hygiene.len(), 1);
+        assert_eq!(hygiene[0].code, Code::A006);
+    }
+}

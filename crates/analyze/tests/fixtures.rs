@@ -1,0 +1,192 @@
+//! Seeded-defect fixtures in the clk-cert poison-battery style: every
+//! snippet plants exactly one hazard and the analyzer must catch it
+//! with exactly the expected code; the clean twin of each snippet must
+//! come back empty.
+
+use clk_analyze::{analyze_str, AnalyzeConfig, Code};
+
+const LIB: &str = "crates/fixture/src/lib.rs";
+const HOT: &str = "crates/core/src/local.rs";
+
+struct Defect {
+    name: &'static str,
+    path: &'static str,
+    src: &'static str,
+    expect: Code,
+}
+
+/// One planted defect per pass, plus the suppression-hygiene cases.
+fn battery() -> Vec<Defect> {
+    vec![
+        Defect {
+            name: "a001-for-over-map",
+            path: LIB,
+            src: "use std::collections::HashMap;\n\
+                  fn rows(m: HashMap<usize, f64>, out: &mut Vec<(usize, f64)>) {\n\
+                      for (k, v) in m {\n\
+                          out.push((k, v));\n\
+                      }\n\
+                  }\n",
+            expect: Code::A001,
+        },
+        Defect {
+            name: "a001-keys-chain",
+            path: LIB,
+            src: "use std::collections::HashSet;\n\
+                  fn first(s: &HashSet<u32>) -> Vec<u32> {\n\
+                      let set: &HashSet<u32> = s;\n\
+                      set.iter().take(3).copied().collect()\n\
+                  }\n",
+            expect: Code::A001,
+        },
+        Defect {
+            name: "a002-float-sum-in-map-order",
+            path: LIB,
+            src: "use std::collections::HashMap;\n\
+                  fn total(m: &HashMap<u32, f64>) -> f64 {\n\
+                      let mut acc = 0.0;\n\
+                      // clk-analyze: allow(A001) fixture isolates the A002 signal\n\
+                      for v in m.values() {\n\
+                          acc += *v;\n\
+                      }\n\
+                      acc\n\
+                  }\n",
+            expect: Code::A002,
+        },
+        Defect {
+            name: "a003-raw-instant",
+            path: "crates/core/src/global.rs",
+            src: "fn stamp() -> std::time::Instant {\n\
+                      std::time::Instant::now()\n\
+                  }\n",
+            expect: Code::A003,
+        },
+        Defect {
+            name: "a004-thread-local-cache",
+            path: HOT,
+            src: "thread_local! {\n\
+                      static SCRATCH: Vec<f64> = Vec::new();\n\
+                  }\n",
+            expect: Code::A004,
+        },
+        Defect {
+            name: "a004-refcell-in-hot-path",
+            path: HOT,
+            src: "struct Cache {\n\
+                      inner: std::cell::RefCell<Vec<f64>>,\n\
+                  }\n",
+            expect: Code::A004,
+        },
+        Defect {
+            name: "a005-unwrap-in-library",
+            path: LIB,
+            src: "fn pick(v: &[f64]) -> f64 {\n\
+                      *v.first().unwrap()\n\
+                  }\n",
+            expect: Code::A005,
+        },
+        Defect {
+            name: "a006-stale-suppression",
+            path: LIB,
+            src: "// clk-analyze: allow(A001) there used to be a map walk here\n\
+                  fn nothing() {}\n",
+            expect: Code::A006,
+        },
+    ]
+}
+
+#[test]
+fn every_seeded_defect_is_caught() {
+    let cfg = AnalyzeConfig::default();
+    for d in battery() {
+        let report = analyze_str(d.path, d.src, &cfg);
+        assert_eq!(
+            report.findings.len(),
+            1,
+            "{}: expected exactly one finding, got {:?}",
+            d.name,
+            report.findings
+        );
+        assert_eq!(
+            report.findings[0].code, d.expect,
+            "{}: wrong code: {:?}",
+            d.name, report.findings
+        );
+        assert!(
+            !report.findings[0].snippet.is_empty(),
+            "{}: snippet must anchor the finding",
+            d.name
+        );
+    }
+}
+
+#[test]
+fn clean_twins_produce_no_findings() {
+    let cfg = AnalyzeConfig::default();
+    let clean: &[(&str, &str)] = &[
+        // the A001 twin: BTreeMap iterates in key order
+        (
+            LIB,
+            "use std::collections::BTreeMap;\n\
+             fn rows(m: BTreeMap<usize, f64>, out: &mut Vec<(usize, f64)>) {\n\
+                 for (k, v) in m {\n\
+                 out.push((k, v));\n\
+             }\n\
+             }\n",
+        ),
+        // the sorted-drain idiom: into_iter + sort outside a for-expr
+        (
+            LIB,
+            "use std::collections::HashMap;\n\
+             fn rows(m: HashMap<usize, f64>) -> Vec<(usize, f64)> {\n\
+                 let mut v: Vec<(usize, f64)> = m.into_iter().collect();\n\
+                 v.sort_by(|a, b| a.0.cmp(&b.0));\n\
+                 v\n\
+             }\n",
+        ),
+        // the A003 twin: the obs crate may read the clock
+        (
+            "crates/obs/src/span.rs",
+            "fn t() { let _ = std::time::Instant::now(); }\n",
+        ),
+        // the A004 twin: RefCell outside a hot path is fine
+        (
+            "crates/qor/src/lib.rs",
+            "struct C { x: std::cell::RefCell<u32> }\n",
+        ),
+        // the A005 twin: unwrap in a bin target is allowed
+        (
+            "crates/bench/src/bin/fig1.rs",
+            "fn f(v: &[u32]) -> u32 { *v.first().unwrap() }\n",
+        ),
+        // a justified suppression is honored and not stale
+        (
+            "crates/core/src/flow.rs",
+            "// clk-analyze: allow(A003) telemetry: feeds the span histogram only\n\
+             fn stamp() -> std::time::Instant { std::time::Instant::now() }\n",
+        ),
+    ];
+    for (path, src) in clean {
+        let report = analyze_str(path, src, &cfg);
+        assert!(
+            report.findings.is_empty(),
+            "{path}: expected clean, got {:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn suppression_scope_is_one_line() {
+    // the allow on line 2 must not leak to the second hazard on line 4
+    let src = "fn f() {\n\
+               // clk-analyze: allow(A003) telemetry\n\
+               let a = std::time::Instant::now();\n\
+               let b = std::time::Instant::now();\n\
+               }\n";
+    let report = analyze_str("crates/core/src/flow.rs", src, &AnalyzeConfig::default());
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].code, Code::A003);
+    assert_eq!(report.findings[0].line, 4);
+    assert_eq!(report.suppressed.len(), 1);
+}

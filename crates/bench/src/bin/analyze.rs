@@ -1,0 +1,254 @@
+//! Determinism & parallel-safety gate: runs the `clk-analyze` source
+//! passes (A001–A006) over the whole workspace, writes a
+//! machine-readable `analyze-report.json`, and diffs the findings
+//! against the committed `analyze-baseline.json`.
+//!
+//! ```sh
+//! cargo run --release -p clk-bench --bin analyze
+//! ```
+//!
+//! Exit code 0 when no finding is new relative to the baseline; 1 on
+//! any new finding (the baseline is committed empty — the workspace is
+//! analyzer-clean — so in practice any unsuppressed finding fails the
+//! gate). Stale baseline entries are reported but do not fail. Flags:
+//!
+//! * `--root PATH` — workspace root (default: inferred from the build);
+//! * `--out PATH` — report output (default `analyze-report.json`);
+//! * `--baseline PATH` — baseline (default `analyze-baseline.json`);
+//! * `--write-baseline` — refresh the baseline from this run and exit.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use clk_analyze::{analyze_workspace, diff_against_baseline, AnalyzeConfig, Code, Finding};
+use clk_obs::json::{self, Value};
+
+struct Args {
+    root: PathBuf,
+    out: String,
+    baseline: String,
+    write_baseline: bool,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let flag_val = |name: &str| -> Option<String> {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1).cloned())
+    };
+    // the bin lives at crates/bench; the workspace root is two up
+    let default_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf);
+    Args {
+        root: flag_val("--root").map_or(default_root, PathBuf::from),
+        out: flag_val("--out").unwrap_or_else(|| "analyze-report.json".to_string()),
+        baseline: flag_val("--baseline").unwrap_or_else(|| "analyze-baseline.json".to_string()),
+        write_baseline: argv.iter().any(|a| a == "--write-baseline"),
+    }
+}
+
+/// Baseline schema: an array of `{code, file, snippet}` identity
+/// objects (no line numbers, so pure code motion does not churn it).
+fn baseline_to_json(findings: &[Finding]) -> Value {
+    Value::Obj(vec![
+        ("schema_version".to_string(), Value::from(1u64)),
+        (
+            "findings".to_string(),
+            Value::Arr(
+                findings
+                    .iter()
+                    .map(|f| {
+                        Value::Obj(vec![
+                            ("code".to_string(), Value::from(f.code.as_str())),
+                            ("file".to_string(), Value::from(f.file.as_str())),
+                            ("snippet".to_string(), Value::from(f.snippet.as_str())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses a baseline document into [`Finding::key`] strings.
+fn parse_baseline(text: &str) -> Result<Vec<String>, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let Some(Value::Arr(items)) = doc.get("findings") else {
+        return Err("baseline has no `findings` array".to_string());
+    };
+    let mut keys = Vec::with_capacity(items.len());
+    for item in items {
+        let get = |k: &str| -> Result<String, String> {
+            item.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("baseline entry missing `{k}`"))
+        };
+        keys.push(format!(
+            "{}|{}|{}",
+            get("code")?,
+            get("file")?,
+            get("snippet")?
+        ));
+    }
+    Ok(keys)
+}
+
+fn finding_to_json(f: &Finding) -> Value {
+    Value::Obj(vec![
+        ("code".to_string(), Value::from(f.code.as_str())),
+        (
+            "severity".to_string(),
+            Value::from(f.severity.to_string().as_str()),
+        ),
+        ("file".to_string(), Value::from(f.file.as_str())),
+        ("line".to_string(), Value::from(u64::from(f.line))),
+        ("snippet".to_string(), Value::from(f.snippet.as_str())),
+        ("message".to_string(), Value::from(f.message.as_str())),
+    ])
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let cfg = AnalyzeConfig::default();
+    println!(
+        "analyze: workspace {} (passes A001-A006)",
+        args.root.display()
+    );
+    let report = match analyze_workspace(&args.root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: cannot walk {}: {e}", args.root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // per-code tally for the console and the report
+    let mut tally: Vec<(Code, usize)> = Vec::new();
+    for code in [
+        Code::A001,
+        Code::A002,
+        Code::A003,
+        Code::A004,
+        Code::A005,
+        Code::A006,
+    ] {
+        tally.push((code, report.with_code(code).count()));
+    }
+    println!(
+        "{} files analyzed, {} findings, {} suppressed (with reasons)",
+        report.files,
+        report.findings.len(),
+        report.suppressed.len()
+    );
+    for (code, n) in &tally {
+        if *n > 0 {
+            println!("  {code} {:<62} {n}", code.title());
+        }
+    }
+    for f in &report.findings {
+        println!("{f}");
+    }
+
+    if args.write_baseline {
+        let path = args.root.join(&args.baseline);
+        if let Err(e) = std::fs::write(&path, baseline_to_json(&report.findings).to_json()) {
+            eprintln!("FAIL: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("baseline refreshed at {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    // gate: diff against the committed baseline (missing == empty, so a
+    // fresh checkout still gates at full strictness)
+    let baseline_path = args.root.join(&args.baseline);
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match parse_baseline(&text) {
+            Ok(keys) => keys,
+            Err(e) => {
+                eprintln!(
+                    "FAIL: baseline {} does not parse: {e}",
+                    baseline_path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => {
+            println!(
+                "no baseline at {}; gating against empty",
+                baseline_path.display()
+            );
+            Vec::new()
+        }
+    };
+    let (new, stale) = diff_against_baseline(&report.findings, &baseline);
+    for key in &stale {
+        println!("note: stale baseline entry (fixed since committed): {key}");
+    }
+
+    // artifact
+    let doc = Value::Obj(vec![
+        ("schema_version".to_string(), Value::from(1u64)),
+        ("files".to_string(), Value::from(report.files as u64)),
+        (
+            "summary".to_string(),
+            Value::Obj(
+                tally
+                    .iter()
+                    .map(|(c, n)| (c.as_str().to_string(), Value::from(*n as u64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "findings".to_string(),
+            Value::Arr(report.findings.iter().map(finding_to_json).collect()),
+        ),
+        (
+            "suppressed".to_string(),
+            Value::Arr(
+                report
+                    .suppressed
+                    .iter()
+                    .map(|s| {
+                        Value::Obj(vec![
+                            ("code".to_string(), Value::from(s.code.as_str())),
+                            ("file".to_string(), Value::from(s.file.as_str())),
+                            ("line".to_string(), Value::from(u64::from(s.line))),
+                            ("reason".to_string(), Value::from(s.reason.as_str())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "new_findings".to_string(),
+            Value::Arr(new.iter().map(|f| finding_to_json(f)).collect()),
+        ),
+        (
+            "stale_baseline".to_string(),
+            Value::Arr(stale.iter().map(|k| Value::from(k.as_str())).collect()),
+        ),
+        ("gate_clean".to_string(), Value::Bool(new.is_empty())),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, doc.to_json()) {
+        eprintln!("FAIL: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("report written to {}", args.out);
+
+    if new.is_empty() {
+        println!("analyze: gate clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "FAIL: {} new finding(s) vs baseline — fix them or add a \
+             `// clk-analyze: allow(A00x) <reason>` with justification",
+            new.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -8,7 +8,7 @@
 // exact-arithmetic code (clk-cert escalates it to deny)
 #![allow(clippy::float_arithmetic)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use clk_bench::{ExpArgs, Stopwatch};
 use clk_cts::{Testcase, TestcaseKind};
@@ -48,7 +48,7 @@ fn main() {
     let mcfg = MoveConfig::default();
 
     // group candidate moves per buffer
-    let mut per_buffer: HashMap<NodeId, Vec<Move>> = HashMap::new();
+    let mut per_buffer: BTreeMap<NodeId, Vec<Move>> = BTreeMap::new();
     for mv in enumerate_moves(&tc.tree, &tc.lib, &mcfg, None) {
         per_buffer.entry(mv.primary_node()).or_default().push(mv);
     }
@@ -120,7 +120,7 @@ fn main() {
         let mut per_case = Vec::new();
         for (b, _, _) in &cases {
             let moves = &per_buffer[b];
-            let mut cache = HashMap::new();
+            let mut cache = BTreeMap::new();
             let mut scored: Vec<(f64, usize)> = moves
                 .iter()
                 .enumerate()

@@ -26,7 +26,7 @@ impl Stopwatch {
     pub fn start(label: impl Into<String>) -> Self {
         Stopwatch {
             label: label.into(),
-            start: Instant::now(),
+            start: clk_obs::wall_now(),
         }
     }
 
@@ -100,7 +100,7 @@ pub fn ascii_histogram(values: &[f64], n_bins: usize, width: usize) -> String {
         let b = (((v - lo) / span) * n_bins as f64) as usize;
         bins[b.min(n_bins - 1)] += 1;
     }
-    let peak = *bins.iter().max().expect("bins non-empty") as f64;
+    let peak = bins.iter().copied().max().unwrap_or(1).max(1) as f64;
     let mut out = String::new();
     for (i, &count) in bins.iter().enumerate() {
         let a = lo + span * i as f64 / n_bins as f64;

@@ -80,7 +80,7 @@ impl PreparedCase {
     /// The flow's own hard failures (see
     /// [`clk_skewopt::try_optimize_with`]).
     pub fn run(&self, flow: Flow, cfg: &FlowConfig) -> Result<(OptReport, f64), FlowError> {
-        let start = std::time::Instant::now();
+        let start = clk_obs::wall_now();
         let report =
             try_optimize_with(&self.tc, flow, cfg, self.luts.as_ref(), self.model.as_ref())?;
         Ok((report, start.elapsed().as_secs_f64() * 1e3))

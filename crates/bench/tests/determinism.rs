@@ -1,0 +1,47 @@
+//! Twice-run determinism gate (ISSUE 6, satellite 1): the same seed
+//! must reproduce the exact same QoR snapshot bytes. Wall clock is the
+//! only sanctioned difference between reruns, and
+//! [`QorSnapshot::canonical_json`] zeroes it out — everything else
+//! (variation sums, per-corner skews, LP iteration counts, accept and
+//! reject tallies, obs counters) must match to the last byte.
+
+use clk_bench::{suite_cases, PreparedCase};
+use clk_netlist::TreeStats;
+use clk_obs::{Level, Obs, ObsConfig};
+use clk_qor::{QorSnapshot, TestcaseQor};
+use clk_skewopt::Flow;
+
+/// Runs the first suite testcase end to end (global + local) and
+/// returns the canonicalized snapshot text.
+fn run_once(seed: u64) -> String {
+    let case = suite_cases(seed)[0];
+    let obs = Obs::new(ObsConfig {
+        verbosity: Level::Warn,
+        ..ObsConfig::default()
+    });
+    let mut cfg = clockvar_workbench::quick_flow_config();
+    cfg.obs = obs.clone();
+    let prep = PreparedCase::generate(case, 32, &cfg, &[Flow::GlobalLocal]);
+    let (report, runtime_ms) = prep.run(Flow::GlobalLocal, &cfg).expect("quick flow runs");
+    let wirelength = TreeStats::compute(&report.tree, &prep.tc.lib).wirelength_um;
+    let mut snap = QorSnapshot::new("determinism-test", seed, "quick");
+    snap.testcases.push(TestcaseQor::from_report(
+        case.kind.name(),
+        &prep.corner_names(),
+        &report,
+        obs.metrics_snapshot().as_ref(),
+        runtime_ms,
+        wirelength,
+    ));
+    snap.canonical_json()
+}
+
+#[test]
+fn same_seed_runs_are_byte_identical() {
+    let a = run_once(41);
+    let b = run_once(41);
+    assert_eq!(
+        a, b,
+        "same-seed reruns must produce byte-identical canonical QoR snapshots"
+    );
+}

@@ -10,7 +10,7 @@
 //! minimizing the worst skew tends to *not* fix cross-corner disagreement
 //! between matched pairs, which is exactly the paper's motivation.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use clk_liberty::{CellId, CornerId, Library};
 use clk_lp::{Problem, RowKind, VarId};
@@ -22,7 +22,7 @@ use clk_sta::{
 use crate::lut::StageLuts;
 
 /// Per-arc (pos, neg) Δ split variables, one pair per corner.
-type DeltaVars = HashMap<ArcId, Vec<(VarId, VarId)>>;
+type DeltaVars = BTreeMap<ArcId, Vec<(VarId, VarId)>>;
 
 /// Outcome of the worst-skew baseline.
 #[derive(Debug, Clone)]
@@ -69,11 +69,11 @@ pub fn worst_skew_optimize(
     // select the pairs with the largest worst-corner |skew|
     let mut order: Vec<usize> = (0..all_pairs.len()).collect();
     let worst_of = |i: usize| -> f64 { skews.iter().map(|s| s[i].abs()).fold(0.0f64, f64::max) };
-    order.sort_by(|&a, &b| worst_of(b).partial_cmp(&worst_of(a)).expect("finite"));
+    order.sort_by(|&a, &b| worst_of(b).total_cmp(&worst_of(a)));
     order.truncate(max_pairs);
     let sel: Vec<SinkPair> = order.iter().map(|&i| all_pairs[i]).collect();
 
-    let mut path_of: HashMap<NodeId, Vec<ArcId>> = HashMap::new();
+    let mut path_of: BTreeMap<NodeId, Vec<ArcId>> = BTreeMap::new();
     let mut involved_set: HashSet<ArcId> = HashSet::new();
     for p in &sel {
         for s in [p.a, p.b] {
@@ -92,7 +92,7 @@ pub fn worst_skew_optimize(
     // graceful no-op path as an unsolvable LP.
     let built: Option<(Problem, DeltaVars)> = 'lp: {
         let mut p = Problem::new();
-        let mut delta: DeltaVars = HashMap::new();
+        let mut delta: DeltaVars = BTreeMap::new();
         for &aid in &involved {
             let arc = arcs.arc(aid);
             let len = arc.length_um(tree).max(1.0);
@@ -194,7 +194,7 @@ pub fn worst_skew_optimize(
         })
         .filter(|(wst, ..)| *wst > 0.8)
         .collect();
-    todo.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+    todo.sort_by(|a, b| b.0.total_cmp(&a.0));
     for (_, aid, deltas) in todo {
         let arc = arcs.arc(aid).clone();
         if !crate::global::arc_is_current(&out, &arc) {

@@ -222,7 +222,7 @@ impl Default for FaultLog {
     fn default() -> Self {
         FaultLog {
             records: Vec::new(),
-            origin: Instant::now(),
+            origin: clk_obs::wall_now(),
             next: 0,
         }
     }
@@ -604,7 +604,7 @@ impl<'p> FaultCtx<'p> {
 
     /// Whether the phase deadline has passed.
     pub fn out_of_time(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.deadline.is_some_and(|d| clk_obs::wall_now() >= d)
     }
 }
 
@@ -787,7 +787,7 @@ mod tests {
 
     #[test]
     fn seq_base_keeps_absorbed_logs_globally_monotonic() {
-        let origin = Instant::now();
+        let origin = clk_obs::wall_now();
         let mut flow = FaultLog::new().with_origin(origin);
         flow.record("flow", FaultKind::PhaseError, RecoveryAction::Skip, "a");
         let mut phase = FaultLog::new()
@@ -881,7 +881,7 @@ mod tests {
         };
         assert_eq!(b.clamp_iterations(10), 2);
         assert_eq!(PhaseBudget::unlimited().clamp_iterations(10), 10);
-        let start = Instant::now();
+        let start = clk_obs::wall_now();
         let dl = b.deadline_from(start).expect("bounded");
         assert!(dl > start);
         let ctx = FaultCtx::new(None, Some(start));

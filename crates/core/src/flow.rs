@@ -5,8 +5,6 @@
 //! propagating, and everything the flow absorbed is listed on
 //! [`OptReport::faults`].
 
-use std::time::Instant;
-
 use clk_lint::{DesignCtx, LintLevel, LintRunner};
 use clk_netlist::{ClockTree, Floorplan, TreeStats};
 use clk_obs::{kv, Level, Obs};
@@ -132,6 +130,7 @@ pub fn lint_gate(
     fp: &Floorplan,
 ) {
     if let Err(e) = check_lint_gate(stage, level, tree, lib, fp) {
+        // clk-analyze: allow(A005) documented panicking facade; the _checked variant returns typed errors
         panic!("{e}");
     }
 }
@@ -194,6 +193,7 @@ impl OptReport {
 pub fn optimize(tc: &Testcase, flow: Flow, cfg: &FlowConfig) -> OptReport {
     match try_optimize(tc, flow, cfg) {
         Ok(r) => r,
+        // clk-analyze: allow(A005) documented panicking facade; the _checked variant returns typed errors
         Err(e) => panic!("{e}"),
     }
 }
@@ -227,6 +227,7 @@ pub fn optimize_with(
 ) -> OptReport {
     match try_optimize_with(tc, flow, cfg, luts, model) {
         Ok(r) => r,
+        // clk-analyze: allow(A005) documented panicking facade; the _checked variant returns typed errors
         Err(e) => panic!("{e}"),
     }
 }
@@ -255,7 +256,7 @@ pub fn try_optimize_with(
 ) -> Result<OptReport, FlowError> {
     let lib = &tc.lib;
     let obs = &cfg.obs;
-    let flow_start = Instant::now();
+    let flow_start = clk_obs::wall_now();
     let mut flow_span = obs.span_at(
         Level::Info,
         "flow",
@@ -299,7 +300,7 @@ pub fn try_optimize_with(
         let luts = luts.ok_or(FlowError::MissingArtifact(
             "characterized stage LUTs (global phase)",
         ))?;
-        let phase_start = Instant::now();
+        let phase_start = clk_obs::wall_now();
         let mut phase_span = obs.span_at(
             Level::Info,
             "phase.global",
@@ -360,7 +361,7 @@ pub fn try_optimize_with(
         let model = model.ok_or(FlowError::MissingArtifact(
             "trained delta-latency predictor (local phase)",
         ))?;
-        let phase_start = Instant::now();
+        let phase_start = clk_obs::wall_now();
         let mut phase_span = obs.span_at(
             Level::Info,
             "phase.local",

@@ -3,7 +3,7 @@
 //! top `R` in parallel worker threads, accept what the golden timer
 //! confirms, repeat until the predictor sees no improving move.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use clk_liberty::{CornerId, Library};
 use clk_netlist::{ClockTree, Floorplan, NodeId, SinkPair, TreeError};
@@ -172,6 +172,7 @@ pub fn local_optimize_guarded(
         &PhaseBudget::unlimited(),
     ) {
         Ok(r) => r,
+        // clk-analyze: allow(A005) documented panicking facade; the _checked variant returns typed errors
         Err(e) => panic!("{e}"),
     }
 }
@@ -282,7 +283,7 @@ pub fn local_optimize_checked(
         }
         // ---- rank all candidates by predicted variation reduction ----
         let mut scored: Vec<(f64, Move)> = Vec::with_capacity(moves.len());
-        let mut subtree_cache: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut subtree_cache: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
         for mv in moves {
             let gain = match ranker {
                 Ranker::Random(_) => (xorshift() % 1_000) as f64,
@@ -355,6 +356,7 @@ pub fn local_optimize_checked(
                         let tree_ref: &ClockTree = tree;
                         scope.spawn(move || -> CandidateResult {
                             if plan.is_some_and(|p| p.fire(FaultSite::WorkerPanic)) {
+                                // clk-analyze: allow(A005) deliberate chaos-injection panic, absorbed by the phase transaction
                                 panic!("chaos: injected worker panic");
                             }
                             let mut trial = tree_ref.clone();
@@ -448,6 +450,7 @@ pub fn local_optimize_checked(
             }
             if let Some((i, sum)) = best {
                 let Some(Some(Ok((_, _, trial)))) = results.into_iter().nth(i) else {
+                    // clk-analyze: allow(A005) unreachable by construction: best index points at an Ok result
                     unreachable!("best index points at an Ok result");
                 };
                 // transactional commit: the verified trial replaces the
@@ -540,7 +543,7 @@ pub fn predict_move_gain(
     mv: &Move,
     mcfg: &MoveConfig,
     ranker: Ranker<'_>,
-    subtree_cache: &mut HashMap<NodeId, Vec<NodeId>>,
+    subtree_cache: &mut BTreeMap<NodeId, Vec<NodeId>>,
 ) -> f64 {
     let n_corners = timings.len();
     // per-corner impact sets: (subtree root, delta ps)
@@ -559,6 +562,7 @@ pub fn predict_move_gain(
                 };
                 features[idx]
             }
+            // clk-analyze: allow(A005) unreachable by construction: random never predicts
             Ranker::Random(_) => unreachable!("random never predicts"),
         };
         // keep the analytical *differential* structure between the
@@ -577,7 +581,7 @@ pub fn predict_move_gain(
         impacts.push(imp);
     }
     // resolve to per-sink deltas
-    let mut sink_delta: HashMap<NodeId, Vec<f64>> = HashMap::new();
+    let mut sink_delta: BTreeMap<NodeId, Vec<f64>> = BTreeMap::new();
     for (k, imp) in impacts.iter().enumerate() {
         for &(root, delta) in imp {
             if delta == 0.0 {

@@ -52,7 +52,7 @@ fn check_axis(axis: &[f64]) -> Result<(), BuildLutError> {
 /// that out-of-range points use the first/last segment (linear
 /// extrapolation).
 fn segment(axis: &[f64], x: f64) -> usize {
-    match axis.binary_search_by(|a| a.partial_cmp(&x).expect("finite axis")) {
+    match axis.binary_search_by(|a| a.total_cmp(&x)) {
         Ok(i) => i.min(axis.len() - 2),
         Err(0) => 0,
         Err(i) => (i - 1).min(axis.len() - 2),

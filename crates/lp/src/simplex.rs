@@ -136,7 +136,10 @@ impl Problem {
         }
         let row = self.rows.len();
         self.rows.push((kind, rhs));
-        let mut merged: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+        // BTreeMap so duplicate-term merging emits column entries in
+        // variable order — HashMap order here leaked into the pivot
+        // sequence and made same-seed runs diverge
+        let mut merged: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
         for &(v, a) in terms {
             *merged.entry(v.0).or_insert(0.0) += a;
         }
@@ -388,6 +391,7 @@ impl Tableau {
             State::AtLower => self.lo[j],
             State::AtUpper => self.hi[j],
             State::FreeZero => 0.0,
+            // clk-analyze: allow(A005) unreachable by construction: nb_value of basic
             State::Basic => unreachable!("nb_value of basic"),
         }
     }
@@ -730,6 +734,7 @@ fn solve_inner(p: &Problem, obs: &Obs) -> Result<Certified, LpError> {
             State::AtLower => lo[j],
             State::AtUpper => hi[j],
             State::FreeZero => 0.0,
+            // clk-analyze: allow(A005) caller only asks for nonbasic columns
             State::Basic => unreachable!(),
         };
         if v != 0.0 {

@@ -55,11 +55,13 @@ pub fn write_ctree(tree: &ClockTree, lib: &Library) -> String {
             let kind = match node.kind {
                 NodeKind::Buffer(cell) => format!("buffer {}", lib.cell(cell).name),
                 NodeKind::Sink => "sink".to_string(),
+                // clk-analyze: allow(A005) unreachable by construction: source has no parent
                 NodeKind::Source => unreachable!("source has no parent"),
             };
             let route = node
                 .route
                 .as_ref()
+                // clk-analyze: allow(A005) invariant upheld by construction: non-root has route
                 .expect("non-root has route")
                 .points()
                 .iter()
@@ -231,7 +233,9 @@ pub fn write_verilog(tree: &ClockTree, lib: &Library, module: &str) -> String {
     let src_cell = lib.cell(tree.source_cell());
     let _ = writeln!(out, "  {} u_src (.A(clk_in), .Y(w_src));", src_cell.name);
     for b in tree.buffers().collect::<Vec<_>>() {
+        // clk-analyze: allow(A005) invariant upheld by construction: buffer has a parent
         let parent = tree.parent(b).expect("buffer has a parent");
+        // clk-analyze: allow(A005) invariant upheld by construction: buffer has a cell
         let cell = tree.cell(b).expect("buffer has a cell");
         let _ = writeln!(
             out,
@@ -243,6 +247,7 @@ pub fn write_verilog(tree: &ClockTree, lib: &Library, module: &str) -> String {
         );
     }
     for s in &sinks {
+        // clk-analyze: allow(A005) invariant upheld by construction: sink has a driver
         let parent = tree.parent(*s).expect("sink has a driver");
         let _ = writeln!(out, "  assign ck_n{} = {};", s.0, net_of(parent));
     }
@@ -274,6 +279,7 @@ pub fn write_def(tree: &ClockTree, lib: &Library, design: &str, die: clk_geom::R
         tree.loc(src).y
     );
     for b in &buffers {
+        // clk-analyze: allow(A005) invariant upheld by construction: buffer
         let cell = tree.cell(*b).expect("buffer");
         let p = tree.loc(*b);
         let _ = writeln!(

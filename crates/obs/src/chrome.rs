@@ -273,8 +273,8 @@ mod tests {
 
     /// Walks every track's B/E records checking stack discipline.
     fn assert_be_paired(events: &[Value]) {
-        use std::collections::HashMap;
-        let mut stacks: HashMap<u64, Vec<String>> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
         for ev in events {
             let ph = ev.get("ph").and_then(Value::as_str).unwrap();
             let tid = ev.get("tid").and_then(Value::as_u64).unwrap();

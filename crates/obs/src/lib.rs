@@ -61,6 +61,18 @@ pub fn kv(key: &str, value: impl Into<Value>) -> (String, Value) {
     (key.to_string(), value.into())
 }
 
+/// The sanctioned wall-clock read.
+///
+/// Every timing read outside this crate goes through here (enforced by
+/// the clk-analyze A003 pass), so there is exactly one place to audit
+/// when asking "can the wall clock influence an algorithmic decision?" —
+/// and one seam to instrument if runs ever need a virtual clock. The
+/// returned [`Instant`] is ordinary; only the *read* is funneled.
+#[must_use]
+pub fn wall_now() -> Instant {
+    Instant::now()
+}
+
 /// Configuration for an enabled pipeline.
 #[derive(Debug, Clone)]
 pub struct ObsConfig {

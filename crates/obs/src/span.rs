@@ -12,6 +12,7 @@ use crate::event::{EventKind, EventRecord, Level};
 use crate::json::Value;
 use crate::Obs;
 
+// clk-analyze: allow(A004) spans nest per thread by design; the parent link is telemetry, never an algorithmic input
 thread_local! {
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
 }

@@ -428,6 +428,25 @@ impl QorSnapshot {
         out.push('\n');
         out
     }
+
+    /// [`to_json_pretty`](Self::to_json_pretty) with every wall-clock
+    /// field (`runtime_ms`, per-phase `wall_ms`) zeroed out.
+    ///
+    /// Two same-seed runs must produce byte-identical canonical JSON —
+    /// that is the determinism invariant the parallel local phase rests
+    /// on ("parallel evaluation, sequential commit"). Wall-clock times
+    /// are the only fields legitimately allowed to differ between such
+    /// runs, so the comparison strips exactly those.
+    pub fn canonical_json(&self) -> String {
+        let mut canon = self.clone();
+        for tc in &mut canon.testcases {
+            tc.runtime_ms = 0.0;
+            for ph in &mut tc.phases {
+                ph.wall_ms = 0.0;
+            }
+        }
+        canon.to_json_pretty()
+    }
 }
 
 fn req_f64(v: &Value, key: &str) -> Result<f64, String> {
@@ -508,6 +527,54 @@ mod tests {
     fn missing_keys_are_named() {
         let e = QorSnapshot::parse_str("{\"schema_version\":1}").unwrap_err();
         assert!(e.contains("git_rev"), "{e}");
+    }
+
+    #[test]
+    fn canonical_json_ignores_wall_clock_only() {
+        let mut a = QorSnapshot::new("abc123", 7, "quick");
+        a.testcases.push(TestcaseQor {
+            id: "CLS1v1".to_string(),
+            flow: "global-local".to_string(),
+            variation_before_ps: 100.0,
+            variation_after_ps: 40.0,
+            corners: vec![CornerQor {
+                name: "c0".to_string(),
+                skew_before_ps: 12.0,
+                skew_after_ps: 5.0,
+            }],
+            cells_before: 10,
+            cells_after: 12,
+            area_before_um2: 1.0,
+            area_after_um2: 1.2,
+            power_before_mw: 0.5,
+            power_after_mw: 0.6,
+            wirelength_um: 900.0,
+            runtime_ms: 1234.5,
+            phases: vec![PhaseQor {
+                name: "phase.global".to_string(),
+                wall_ms: 456.7,
+            }],
+            lp_rounds: 3,
+            lp_iterations: 30,
+            eco_accepts: 2,
+            eco_rejects: 1,
+            local_accepts: 5,
+            local_rejects: 4,
+            golden_evals: 9,
+            faults_absorbed: 0,
+            cert_checked: 0,
+            cert_max_resid: 0.0,
+            counters: vec![("lp.pivots".to_string(), 30.0)],
+        });
+        // A rerun differing only in wall clock must canonicalize identically.
+        let mut b = a.clone();
+        b.testcases[0].runtime_ms = 9999.0;
+        b.testcases[0].phases[0].wall_ms = 1.0;
+        assert_ne!(a.to_json_pretty(), b.to_json_pretty());
+        assert_eq!(a.canonical_json(), b.canonical_json());
+        // ...but any QoR difference must still show.
+        b.testcases[0].lp_iterations = 31;
+        assert_ne!(a.canonical_json(), b.canonical_json());
     }
 
     #[test]

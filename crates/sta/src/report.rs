@@ -57,11 +57,7 @@ pub fn report_variation(tree: &ClockTree, lib: &Library, n: usize) -> String {
     let alphas = alpha_factors(&skews);
     let rep = variation_report(&skews, &alphas, None);
     let mut order: Vec<usize> = (0..rep.per_pair.len()).collect();
-    order.sort_by(|&a, &b| {
-        rep.per_pair[b]
-            .partial_cmp(&rep.per_pair[a])
-            .expect("finite")
-    });
+    order.sort_by(|&a, &b| rep.per_pair[b].total_cmp(&rep.per_pair[a]));
 
     let mut out = String::new();
     let _ = writeln!(

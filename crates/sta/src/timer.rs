@@ -11,6 +11,7 @@ use clk_route::WireTree;
 #[cold]
 #[allow(clippy::panic)]
 fn die(e: TimingError) -> ! {
+    // clk-analyze: allow(A005) documented panicking facade; the _checked variant returns typed errors
     panic!("{e}")
 }
 
@@ -265,7 +266,7 @@ impl Timer {
         if !self.obs.enabled() {
             return self.analyze_inner(tree, lib, corner);
         }
-        let start = std::time::Instant::now();
+        let start = clk_obs::wall_now();
         let result = self.analyze_inner(tree, lib, corner);
         self.obs.count("sta.analyze.count", 1);
         self.obs
