@@ -20,11 +20,16 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use std::time::Duration;
+
 use clk_bench::{ExpArgs, Stopwatch};
 use clk_cts::{Testcase, TestcaseKind};
 use clk_lint::{DesignCtx, LintRunner};
-use clk_obs::{json, Level, Obs, ObsConfig, SharedBuf, Value};
-use clk_skewopt::{try_optimize, FaultKind, FaultPlan, FaultSite, Flow};
+use clk_obs::{json, Level, MetricValue, Obs, ObsConfig, SharedBuf, Value};
+use clk_skewopt::{
+    try_optimize, try_optimize_with, CancelToken, DeltaLatencyModel, FaultKind, FaultPlan,
+    FaultSite, Flow, StageLuts,
+};
 
 /// The fault-log kind each injection site must show up as.
 fn expected_kind(site: FaultSite) -> FaultKind {
@@ -174,10 +179,164 @@ fn main() -> ExitCode {
         "every flight-recorder dump is non-empty",
     );
 
+    // ---- deadline / cancellation battery ----
+    if !cancellation_battery(&tc, args.quick) {
+        failed = true;
+    }
+
     if failed {
         ExitCode::FAILURE
     } else {
         println!("\nchaos: all checks passed");
         ExitCode::SUCCESS
     }
+}
+
+/// Sweeps deterministic cancellation cut points (token poll counts)
+/// across the global-local flow and asserts the anytime contract at
+/// every cut: the flow returns either a best-so-far `OptReport` with
+/// `partial: true`, a valid lint-clean tree and an interrupted progress
+/// marker, or — when cut before any baseline exists — a typed
+/// interrupt error. Also covers the wall-clock trigger with a zero
+/// budget and checks the simplex cancellation-ack metric stays within
+/// the ≤64-pivot contract.
+fn cancellation_battery(tc: &Testcase, quick: bool) -> bool {
+    let mut failed = false;
+    let mut check = |ok: bool, what: &str| {
+        if ok {
+            println!("ok: {what}");
+        } else {
+            eprintln!("FAIL: {what}");
+            failed = true;
+        }
+    };
+    println!("\ncancellation battery:");
+    // per-technology artifacts shared across the sweep
+    let luts = StageLuts::characterize(&tc.lib);
+    let base = clockvar_workbench::quick_flow_config();
+    let model = DeltaLatencyModel::train(&tc.lib, base.model_kind, &base.train);
+
+    // calibration: a passive token counts the flow's total poll count
+    let calib = CancelToken::new();
+    let mut cfg = base.clone();
+    cfg.cancel = calib.clone();
+    let total = match try_optimize_with(tc, Flow::GlobalLocal, &cfg, Some(&luts), Some(&model)) {
+        Ok(rep) => {
+            check(!rep.partial, "calibration run completes (not partial)");
+            calib.polls()
+        }
+        Err(e) => {
+            check(false, &format!("calibration run failed: {e}"));
+            return false;
+        }
+    };
+    check(
+        total > 0,
+        &format!("flow polls its deadline ({total} polls)"),
+    );
+
+    // cut points spread across all phases (same seed + config ⇒ the
+    // poll sequence matches the calibration run up to the trip)
+    let mut cuts: Vec<u64> = if quick {
+        vec![1, total / 2, total.saturating_sub(2)]
+    } else {
+        vec![
+            1,
+            total / 10,
+            total / 4,
+            total / 2,
+            (3 * total) / 4,
+            total.saturating_sub(2),
+        ]
+    };
+    cuts.retain(|&c| c > 0 && c < total);
+    cuts.dedup();
+    for &cut in &cuts {
+        let token = CancelToken::new();
+        token.trip_after_polls(cut);
+        let obs = Obs::new(ObsConfig::default());
+        let mut cfg = base.clone();
+        cfg.cancel = token.clone();
+        cfg.obs = obs.clone();
+        match try_optimize_with(tc, Flow::GlobalLocal, &cfg, Some(&luts), Some(&model)) {
+            Ok(rep) => {
+                check(rep.partial, &format!("cut@{cut}: report is partial"));
+                check(
+                    rep.progress.iter().any(|p| p.interrupted),
+                    &format!("cut@{cut}: an interrupted progress marker is recorded"),
+                );
+                check(
+                    rep.tree.validate().is_ok(),
+                    &format!("cut@{cut}: best-so-far tree is structurally valid"),
+                );
+                let lint = LintRunner::with_default_passes().run(&DesignCtx::with_floorplan(
+                    &rep.tree,
+                    &tc.lib,
+                    &tc.floorplan,
+                ));
+                check(
+                    !lint.has_errors(),
+                    &format!(
+                        "cut@{cut}: best-so-far tree is lint-clean ({} errors)",
+                        lint.error_count()
+                    ),
+                );
+            }
+            Err(e) => check(
+                e.is_interrupt(),
+                &format!("cut@{cut}: pre-baseline cut returns a typed interrupt ({e})"),
+            ),
+        }
+        if let Some(MetricValue::Histogram(h)) = obs
+            .metrics_snapshot()
+            .as_ref()
+            .and_then(|s| s.get("lp.cancel.ack_pivots"))
+        {
+            check(
+                h.max <= 64.0,
+                &format!(
+                    "cut@{cut}: simplex acknowledged cancellation within 64 pivots (max {})",
+                    h.max
+                ),
+            );
+        }
+    }
+
+    // the wall-clock trigger: a zero global budget cuts the global
+    // phase on its first poll and records trigger "wall"
+    let obs = Obs::new(ObsConfig::default());
+    let mut cfg = base.clone();
+    cfg.budget.global.wall_clock = Some(Duration::ZERO);
+    cfg.obs = obs.clone();
+    match try_optimize_with(tc, Flow::GlobalLocal, &cfg, Some(&luts), Some(&model)) {
+        Ok(rep) => {
+            check(rep.partial, "zero wall budget: report is partial");
+            check(
+                rep.progress
+                    .iter()
+                    .any(|p| p.interrupted && p.trigger == Some("wall")),
+                "zero wall budget: progress records the wall trigger",
+            );
+            check(
+                rep.tree.validate().is_ok(),
+                "zero wall budget: tree is structurally valid",
+            );
+        }
+        Err(e) => check(
+            e.is_interrupt(),
+            &format!("zero wall budget: typed interrupt ({e})"),
+        ),
+    }
+    if let Some(MetricValue::Histogram(h)) = obs
+        .metrics_snapshot()
+        .as_ref()
+        .and_then(|s| s.get("cancel.ack.ms"))
+    {
+        check(
+            h.count > 0,
+            "zero wall budget: cancellation ack latency was measured",
+        );
+    }
+
+    !failed
 }

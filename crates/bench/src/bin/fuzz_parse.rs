@@ -1,0 +1,251 @@
+//! Seeded structure-aware mutational fuzzer for the two text readers
+//! that accept untrusted input: the Liberty subset reader
+//! (`clk_liberty::text::parse_liberty_with_limits`) and the `.ctree`
+//! reader (`clk_netlist::io::parse_ctree_with_limits`).
+//!
+//! ```sh
+//! cargo run --release -p clk-bench --bin fuzz-parse -- --seed 2015 --iters 10000
+//! ```
+//!
+//! Starts from well-formed corpus entries (the workspace's own writer
+//! output), applies 1–4 random structure-aware mutations per iteration
+//! (bit flips, truncation, chunk splices, line shuffles, brace and
+//! deep-nest injection, long tokens, huge numbers), and asserts for
+//! every mutant, under the strict [`ParseLimits`] policy:
+//!
+//! * **no panic** — every input returns `Ok` or a typed error;
+//! * **bounded input** — mutants stay within the byte budget the limits
+//!   enforce, so allocation is bounded by the policy, not the attacker;
+//! * **deterministic results** — parsing the same mutant twice yields
+//!   identical values and identical errors (line, byte offset, message).
+//!
+//! Exit code 0 when every iteration satisfies all three; a JSON report
+//! (`fuzz-parse-report.json`) records the tally for CI artifacts.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use clk_cts::{Testcase, TestcaseKind};
+use clk_liberty::text::{parse_liberty_with_limits, write_liberty};
+use clk_liberty::{Library, ParseLimits};
+use clk_netlist::io::{parse_ctree_with_limits, write_ctree};
+
+/// Which reader a corpus entry exercises.
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Liberty,
+    Ctree,
+}
+
+/// One structure-aware mutation. Operates on raw bytes so bit-level
+/// damage (invalid UTF-8 included) is part of the input space; the
+/// parsers take `&str`, so mutants are materialized lossily.
+fn mutate(rng: &mut StdRng, data: &mut Vec<u8>) {
+    if data.is_empty() {
+        data.extend_from_slice(b"{");
+        return;
+    }
+    match rng.gen_range(0..10u32) {
+        // bit flip
+        0 => {
+            let i = rng.gen_range(0..data.len());
+            data[i] ^= 1 << rng.gen_range(0..8u32);
+        }
+        // truncate
+        1 => {
+            let i = rng.gen_range(0..data.len());
+            data.truncate(i);
+        }
+        // duplicate a chunk in place
+        2 => {
+            let a = rng.gen_range(0..data.len());
+            let b = (a + rng.gen_range(1..256usize)).min(data.len());
+            let chunk: Vec<u8> = data[a..b].to_vec();
+            let at = rng.gen_range(0..=data.len());
+            data.splice(at..at, chunk);
+        }
+        // delete a chunk
+        3 => {
+            let a = rng.gen_range(0..data.len());
+            let b = (a + rng.gen_range(1..256usize)).min(data.len());
+            data.drain(a..b);
+        }
+        // swap two whole lines
+        4 => {
+            let mut lines: Vec<Vec<u8>> = data.split(|&b| b == b'\n').map(<[u8]>::to_vec).collect();
+            if lines.len() >= 2 {
+                let i = rng.gen_range(0..lines.len());
+                let j = rng.gen_range(0..lines.len());
+                lines.swap(i, j);
+                *data = lines.join(&b'\n');
+            }
+        }
+        // stray brace
+        5 => {
+            let at = rng.gen_range(0..=data.len());
+            let brace = if rng.gen_bool(0.5) { b"{\n" } else { b"}\n" };
+            data.splice(at..at, brace.iter().copied());
+        }
+        // deep-nest injection (pressure on the depth limit)
+        6 => {
+            let depth = rng.gen_range(8..96usize);
+            let mut nest = Vec::new();
+            for _ in 0..depth {
+                nest.extend_from_slice(b"g (x) {\n");
+            }
+            let at = rng.gen_range(0..=data.len());
+            data.splice(at..at, nest);
+        }
+        // long-token injection (pressure on the token-length limit)
+        7 => {
+            let len = rng.gen_range(1024..200_000usize);
+            let at = rng.gen_range(0..=data.len());
+            data.splice(at..at, std::iter::repeat_n(b'x', len));
+        }
+        // huge / malformed number in place of a digit
+        8 => {
+            if let Some(i) = data.iter().position(u8::is_ascii_digit) {
+                let bad: &[u8] = match rng.gen_range(0..4u32) {
+                    0 => b"99999999999999999999999",
+                    1 => b"NaN",
+                    2 => b"-",
+                    _ => b"1e999",
+                };
+                data.splice(i..i + 1, bad.iter().copied());
+            }
+        }
+        // record spam (pressure on the record-count limit)
+        _ => {
+            let n = rng.gen_range(16..512usize);
+            let mut spam = Vec::new();
+            for k in 0..n {
+                spam.extend_from_slice(format!("pair n{k} n{k} weight 1\n").as_bytes());
+            }
+            let at = rng.gen_range(0..=data.len());
+            data.splice(at..at, spam);
+        }
+    }
+}
+
+/// Parses one mutant and returns a canonical summary of the outcome:
+/// `Ok(digest)` or `Err(rendered typed error)`. Panics escape to the
+/// caller's `catch_unwind`.
+fn run_one(kind: Kind, text: &str, lib: &Library, limits: &ParseLimits) -> Result<String, String> {
+    match kind {
+        Kind::Liberty => parse_liberty_with_limits(text, limits)
+            .map(|p| format!("lib {} cells {}", p.name, p.cells.len()))
+            .map_err(|e| e.to_string()),
+        Kind::Ctree => parse_ctree_with_limits(text, lib, limits)
+            .map(|t| write_ctree(&t, lib))
+            .map_err(|e| e.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut seed = 2015u64;
+    let mut iters = 10_000usize;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    seed = v;
+                    i += 1;
+                }
+            }
+            "--iters" => {
+                if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    iters = v;
+                    i += 1;
+                }
+            }
+            "--quick" => iters = 2_000,
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // corpus: the workspace's own writer output, one library + two trees
+    let tc_small = Testcase::generate(TestcaseKind::Cls1v1, 12, seed);
+    let tc_big = Testcase::generate(TestcaseKind::Cls1v1, 28, seed.wrapping_add(1));
+    let lib = tc_small.lib.clone();
+    let mut corpus: Vec<(Kind, Vec<u8>)> = lib
+        .corner_ids()
+        .map(|c| (Kind::Liberty, write_liberty(&lib, c).into_bytes()))
+        .collect();
+    corpus.push((Kind::Ctree, write_ctree(&tc_small.tree, &lib).into_bytes()));
+    corpus.push((
+        Kind::Ctree,
+        write_ctree(&tc_big.tree, &tc_big.lib).into_bytes(),
+    ));
+
+    let limits = ParseLimits::strict();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut n_ok, mut n_err, mut n_panic, mut n_nondet) = (0u64, 0u64, 0u64, 0u64);
+    let mut max_len = 0usize;
+    println!(
+        "fuzz-parse: seed {seed}, {iters} iterations, {} corpus entries",
+        corpus.len()
+    );
+
+    for it in 0..iters {
+        let (kind, base) = &corpus[rng.gen_range(0..corpus.len())];
+        let parse_lib = if *kind == Kind::Ctree && it % 2 == 1 {
+            &tc_big.lib
+        } else {
+            &lib
+        };
+        let mut data = base.clone();
+        for _ in 0..rng.gen_range(1..=4u32) {
+            mutate(&mut rng, &mut data);
+        }
+        max_len = max_len.max(data.len());
+        let text = String::from_utf8_lossy(&data).into_owned();
+
+        let first = catch_unwind(AssertUnwindSafe(|| {
+            run_one(*kind, &text, parse_lib, &limits)
+        }));
+        let second = catch_unwind(AssertUnwindSafe(|| {
+            run_one(*kind, &text, parse_lib, &limits)
+        }));
+        match (first, second) {
+            (Ok(a), Ok(b)) => {
+                if a != b {
+                    n_nondet += 1;
+                    eprintln!("NONDETERMINISTIC at iteration {it}: {a:?} vs {b:?}");
+                }
+                match a {
+                    Ok(_) => n_ok += 1,
+                    Err(_) => n_err += 1,
+                }
+            }
+            _ => {
+                n_panic += 1;
+                eprintln!(
+                    "PANIC at iteration {it} (seed {seed}), input {} bytes",
+                    data.len()
+                );
+            }
+        }
+    }
+
+    let report = format!(
+        "{{\n  \"schema_version\": 1,\n  \"seed\": {seed},\n  \"iterations\": {iters},\n  \"parsed_ok\": {n_ok},\n  \"typed_errors\": {n_err},\n  \"panics\": {n_panic},\n  \"nondeterministic\": {n_nondet},\n  \"max_input_bytes\": {max_len}\n}}\n"
+    );
+    let _ = std::fs::write("fuzz-parse-report.json", &report);
+    println!(
+        "fuzz-parse: {n_ok} ok, {n_err} typed errors, {n_panic} panics, {n_nondet} nondeterministic (max input {max_len} B)"
+    );
+    println!("report written to fuzz-parse-report.json");
+    if n_panic == 0 && n_nondet == 0 {
+        println!("fuzz-parse: gate clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAIL: fuzz-parse found panics or nondeterminism");
+        ExitCode::FAILURE
+    }
+}

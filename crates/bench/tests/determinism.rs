@@ -9,7 +9,7 @@ use clk_bench::{suite_cases, PreparedCase};
 use clk_netlist::TreeStats;
 use clk_obs::{Level, Obs, ObsConfig};
 use clk_qor::{QorSnapshot, TestcaseQor};
-use clk_skewopt::Flow;
+use clk_skewopt::{CancelToken, Flow};
 
 /// Runs the first suite testcase end to end (global + local) and
 /// returns the canonicalized snapshot text.
@@ -43,5 +43,56 @@ fn same_seed_runs_are_byte_identical() {
     assert_eq!(
         a, b,
         "same-seed reruns must produce byte-identical canonical QoR snapshots"
+    );
+}
+
+/// Like [`run_once`], but cancels the flow at a deterministic cut point
+/// (token poll count). Returns the canonical snapshot and whether the
+/// report was partial.
+fn run_cancelled(seed: u64, cut: u64) -> (String, bool) {
+    let case = suite_cases(seed)[0];
+    let obs = Obs::new(ObsConfig {
+        verbosity: Level::Warn,
+        ..ObsConfig::default()
+    });
+    let token = CancelToken::new();
+    token.trip_after_polls(cut);
+    let mut cfg = clockvar_workbench::quick_flow_config();
+    cfg.obs = obs.clone();
+    cfg.cancel = token;
+    let prep = PreparedCase::generate(case, 32, &cfg, &[Flow::GlobalLocal]);
+    let (report, runtime_ms) = prep
+        .run(Flow::GlobalLocal, &cfg)
+        .expect("a mid-flow cut yields a best-so-far report");
+    let wirelength = TreeStats::compute(&report.tree, &prep.tc.lib).wirelength_um;
+    let partial = report.partial;
+    let mut snap = QorSnapshot::new("determinism-test", seed, "quick");
+    snap.testcases.push(TestcaseQor::from_report(
+        case.kind.name(),
+        &prep.corner_names(),
+        &report,
+        obs.metrics_snapshot().as_ref(),
+        runtime_ms,
+        wirelength,
+    ));
+    (snap.canonical_json(), partial)
+}
+
+/// The anytime contract is itself deterministic: cancelling the same
+/// seeded flow at the same poll-count cut point twice must yield
+/// byte-identical canonical QoR snapshots of the best-so-far result.
+#[test]
+fn same_cut_cancelled_runs_are_byte_identical() {
+    // a cut deep enough that a baseline exists, well before completion
+    let cut = 1_500;
+    let (a, a_partial) = run_cancelled(41, cut);
+    let (b, b_partial) = run_cancelled(41, cut);
+    assert!(
+        a_partial && b_partial,
+        "the cut must actually interrupt the flow"
+    );
+    assert_eq!(
+        a, b,
+        "same-seed same-cut cancelled reruns must produce byte-identical snapshots"
     );
 }

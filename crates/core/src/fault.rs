@@ -19,12 +19,20 @@
 //!   legal result;
 //! * [`PhaseBudget`]/[`FlowBudget`] bound each phase's wall clock and
 //!   iterations;
+//! * [`Deadline`]/[`CancelToken`] (re-exported from `clk_obs::cancel`,
+//!   where the leaf crates can reach them) make every inner loop
+//!   interruptible: phases build one [`Deadline`] per run combining
+//!   the budget's wall clock with the flow's [`CancelToken`], and the
+//!   simplex pivot loop, STA propagation, ECO sweeps and candidate
+//!   evals all poll it at their safe points;
 //! * [`FaultPlan`] is the seeded injection hook ([`FaultSite`] lists
 //!   the four fault classes) the chaos harness arms via
 //!   `FlowConfig::fault_plan`.
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+pub use clk_obs::{CancelToken, Deadline};
 
 use clk_liberty::Library;
 use clk_lp::LpError;
@@ -67,6 +75,16 @@ pub enum FlowError {
         /// Rendered list of the violated checks.
         report: String,
     },
+    /// The flow was cancelled (or ran out of wall clock) before it
+    /// could produce even a baseline result — there is no best-so-far
+    /// tree to fall back to. Interruptions *after* the baseline is
+    /// established never surface as this error; they yield an
+    /// `OptReport { partial: true, .. }` instead.
+    Interrupted {
+        /// The phase that was cut (`"init"`, or a pure-`Global` flow cut
+        /// before round 0 finished).
+        phase: &'static str,
+    },
 }
 
 impl std::fmt::Display for FlowError {
@@ -83,7 +101,25 @@ impl std::fmt::Display for FlowError {
             FlowError::CertViolation { site, report } => {
                 write!(f, "LP certificate rejected at {site}: {report}")
             }
+            FlowError::Interrupted { phase } => {
+                write!(f, "flow interrupted during {phase} before a result existed")
+            }
         }
+    }
+}
+
+impl FlowError {
+    /// Whether this error is a cooperative-cancellation cut (deadline
+    /// expiry or token cancel) rather than a genuine failure. Phases use
+    /// this to distinguish "stop and keep the best-so-far tree" from
+    /// "abandon the result".
+    pub fn is_interrupt(&self) -> bool {
+        matches!(
+            self,
+            FlowError::Lp(LpError::Interrupted)
+                | FlowError::Timing(TimingError::Interrupted)
+                | FlowError::Interrupted { .. }
+        )
     }
 }
 
@@ -130,6 +166,9 @@ pub enum FaultKind {
     LintGateFailed,
     /// A phase exhausted its wall-clock budget.
     PhaseTimeout,
+    /// The flow's [`CancelToken`] was cancelled (externally or by an
+    /// armed deterministic trip) and the phase stopped at a safe point.
+    Cancelled,
     /// A phase exhausted its iteration budget.
     IterationBudget,
     /// A phase returned a typed error absorbed by the flow.
@@ -148,6 +187,7 @@ impl std::fmt::Display for FaultKind {
             FaultKind::EcoPanic => "eco-panic",
             FaultKind::LintGateFailed => "lint-gate-failed",
             FaultKind::PhaseTimeout => "phase-timeout",
+            FaultKind::Cancelled => "cancelled",
             FaultKind::IterationBudget => "iteration-budget",
             FaultKind::PhaseError => "phase-error",
             FaultKind::CertViolation => "cert-violation",
@@ -499,9 +539,11 @@ impl PhaseBudget {
         PhaseBudget::default()
     }
 
-    /// The deadline implied by the wall-clock bound, from `start`.
-    pub fn deadline_from(&self, start: Instant) -> Option<Instant> {
-        self.wall_clock.map(|d| start + d)
+    /// The [`Deadline`] this budget implies from `start`, combined with
+    /// the flow's cancellation token. An unbounded budget with no token
+    /// yields the inert deadline (free to poll).
+    pub fn deadline(&self, start: Instant, cancel: Option<&CancelToken>) -> Deadline {
+        Deadline::new(self.wall_clock.map(|d| start + d), cancel.cloned())
     }
 
     /// Clamps an iteration count to the budget.
@@ -522,6 +564,62 @@ pub struct FlowBudget {
     pub local: PhaseBudget,
 }
 
+/// How far one phase got before finishing or being cut — the per-phase
+/// progress markers on `OptReport::progress`. The unit is the phase's
+/// natural outer step: global rounds, local iterations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseProgress {
+    /// The phase (`"global"`, `"local"`).
+    pub phase: &'static str,
+    /// Outer steps fully completed (and committed).
+    pub done: usize,
+    /// Outer steps the configuration planned.
+    pub planned: usize,
+    /// Whether the phase was stopped early by its deadline.
+    pub interrupted: bool,
+    /// What stopped it (`"wall"`, `"cancel"`), when interrupted.
+    pub trigger: Option<&'static str>,
+}
+
+impl PhaseProgress {
+    /// A marker for a phase that ran to completion.
+    pub fn complete(phase: &'static str, done: usize, planned: usize) -> Self {
+        PhaseProgress {
+            phase,
+            done,
+            planned,
+            interrupted: false,
+            trigger: None,
+        }
+    }
+
+    /// A marker for a phase cut at `done` of `planned` steps.
+    pub fn interrupted(
+        phase: &'static str,
+        done: usize,
+        planned: usize,
+        trigger: Option<&'static str>,
+    ) -> Self {
+        PhaseProgress {
+            phase,
+            done,
+            planned,
+            interrupted: true,
+            trigger,
+        }
+    }
+}
+
+impl std::fmt::Display for PhaseProgress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}/{}", self.phase, self.done, self.planned)?;
+        if self.interrupted {
+            write!(f, " (cut: {})", self.trigger.unwrap_or("deadline"))?;
+        }
+        Ok(())
+    }
+}
+
 // ---------------------------------------------------------------------
 // Fault context: what checked entry points thread through
 // ---------------------------------------------------------------------
@@ -535,11 +633,16 @@ pub struct FaultCtx<'p> {
     pub plan: Option<&'p FaultPlan>,
     /// The log this phase appends to.
     pub log: FaultLog,
-    /// Wall-clock deadline of the phase.
-    pub deadline: Option<Instant>,
+    /// The phase deadline (wall clock and/or cancellation), polled at
+    /// every safe point and threaded into the LP and STA inner loops.
+    pub deadline: Deadline,
     /// Pipeline each absorbed fault is emitted through (fault event +
     /// flight-recorder dump). Disabled by default.
     pub obs: Obs,
+    /// Progress marker the phase leaves behind (how far it got, and
+    /// whether it was cut). Flows collect these into
+    /// `OptReport::progress`.
+    pub progress: Option<PhaseProgress>,
 }
 
 impl<'p> FaultCtx<'p> {
@@ -548,18 +651,20 @@ impl<'p> FaultCtx<'p> {
         FaultCtx {
             plan: None,
             log: FaultLog::new(),
-            deadline: None,
+            deadline: Deadline::none(),
             obs: Obs::disabled(),
+            progress: None,
         }
     }
 
     /// A context running `plan` under `deadline`.
-    pub fn new(plan: Option<&'p FaultPlan>, deadline: Option<Instant>) -> Self {
+    pub fn new(plan: Option<&'p FaultPlan>, deadline: Deadline) -> Self {
         FaultCtx {
             plan,
             log: FaultLog::new(),
             deadline,
             obs: Obs::disabled(),
+            progress: None,
         }
     }
 
@@ -602,9 +707,37 @@ impl<'p> FaultCtx<'p> {
         emit_fault(&self.obs, seq, phase, fault, action, &detail);
     }
 
-    /// Whether the phase deadline has passed.
+    /// Polls the phase deadline at a safe point (counts the poll).
     pub fn out_of_time(&self) -> bool {
-        self.deadline.is_some_and(|d| clk_obs::wall_now() >= d)
+        self.deadline.expired()
+    }
+
+    /// The fault class an observed expiry should be logged as: external
+    /// cancellation (or an armed trip) is [`FaultKind::Cancelled`], a
+    /// wall-clock expiry is [`FaultKind::PhaseTimeout`].
+    pub fn interrupt_kind(&self) -> FaultKind {
+        match self.deadline.trigger() {
+            Some("cancel") => FaultKind::Cancelled,
+            _ => FaultKind::PhaseTimeout,
+        }
+    }
+
+    /// Records an observed interruption: one fault-log record with the
+    /// rollback/degrade action taken, plus the cancellation-latency
+    /// metrics (`cancel.ack.ms` histogram, `cancel.interrupts.{phase}`
+    /// counter).
+    pub fn record_interrupt(
+        &mut self,
+        phase: &'static str,
+        action: RecoveryAction,
+        detail: impl Into<String>,
+    ) {
+        let kind = self.interrupt_kind();
+        self.record(phase, kind, action, detail);
+        if let Some(ms) = self.deadline.ack_latency_ms() {
+            self.obs.observe("cancel.ack.ms", ms);
+        }
+        self.obs.count(&format!("cancel.interrupts.{phase}"), 1);
     }
 }
 
@@ -882,10 +1015,43 @@ mod tests {
         assert_eq!(b.clamp_iterations(10), 2);
         assert_eq!(PhaseBudget::unlimited().clamp_iterations(10), 10);
         let start = clk_obs::wall_now();
-        let dl = b.deadline_from(start).expect("bounded");
-        assert!(dl > start);
-        let ctx = FaultCtx::new(None, Some(start));
+        let dl = b.deadline(start, None);
+        assert!(dl.is_active());
+        assert!(dl.wall().expect("bounded") > start);
+        // a deadline already in the past expires on the first poll
+        let ctx = FaultCtx::new(None, Deadline::at(start));
         assert!(ctx.out_of_time());
         assert!(!FaultCtx::passive().out_of_time());
+        // an unbounded budget without a token is inert
+        assert!(!PhaseBudget::unlimited().deadline(start, None).is_active());
+    }
+
+    #[test]
+    fn budget_deadline_carries_the_cancel_token() {
+        let tok = CancelToken::new();
+        let dl = PhaseBudget::unlimited().deadline(clk_obs::wall_now(), Some(&tok));
+        let mut ctx = FaultCtx::new(None, dl);
+        assert!(!ctx.out_of_time());
+        tok.cancel();
+        assert!(ctx.out_of_time());
+        assert_eq!(ctx.interrupt_kind(), FaultKind::Cancelled);
+        ctx.record_interrupt("global", RecoveryAction::Rollback, "test cut");
+        assert_eq!(ctx.log.of_kind(FaultKind::Cancelled).count(), 1);
+    }
+
+    #[test]
+    fn wall_expiry_is_a_phase_timeout() {
+        let ctx = FaultCtx::new(None, Deadline::at(clk_obs::wall_now()));
+        assert!(ctx.out_of_time());
+        assert_eq!(ctx.interrupt_kind(), FaultKind::PhaseTimeout);
+    }
+
+    #[test]
+    fn progress_markers_render() {
+        let p = PhaseProgress::complete("global", 2, 2);
+        assert_eq!(p.to_string(), "global: 2/2");
+        let p = PhaseProgress::interrupted("local", 1, 6, Some("cancel"));
+        assert!(p.interrupted);
+        assert_eq!(p.to_string(), "local: 1/6 (cut: cancel)");
     }
 }

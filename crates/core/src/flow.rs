@@ -8,13 +8,15 @@
 use clk_lint::{DesignCtx, LintLevel, LintRunner};
 use clk_netlist::{ClockTree, Floorplan, TreeStats};
 use clk_obs::{kv, Level, Obs};
-use clk_sta::{alpha_factors, clock_power, local_skew_ps, try_pair_skews, variation_report, Timer};
+use clk_sta::{
+    alpha_factors, clock_power, local_skew_ps, try_pair_skews, variation_report, Timer, TimingError,
+};
 
 use clk_cts::Testcase;
 
 use crate::fault::{
-    emit_fault, Checkpoint, FaultCtx, FaultKind, FaultLog, FaultPlan, FlowBudget, FlowError,
-    RecoveryAction, TreeTxn,
+    emit_fault, CancelToken, Checkpoint, Deadline, FaultCtx, FaultKind, FaultLog, FaultPlan,
+    FlowBudget, FlowError, PhaseProgress, RecoveryAction, TreeTxn,
 };
 use crate::global::{global_optimize_checked, GlobalConfig, GlobalReport};
 use crate::local::{local_optimize_checked, LocalConfig, LocalReport, Ranker};
@@ -66,6 +68,13 @@ pub struct FlowConfig {
     /// Deterministic fault-injection plan, armed by the chaos harness.
     /// `None` (the default) injects nothing.
     pub fault_plan: Option<std::sync::Arc<FaultPlan>>,
+    /// Cooperative cancellation handle. Clone it before starting the
+    /// flow and call [`CancelToken::cancel`] from any thread (or arm
+    /// [`CancelToken::trip_after_polls`] for a deterministic cut): the
+    /// flow stops at the next safe point, rolls back uncommitted work,
+    /// and returns the best-so-far result with
+    /// [`OptReport::partial`] set. The default token never fires.
+    pub cancel: CancelToken,
     /// Observability pipeline: spans, metrics, event sinks, and the
     /// flight recorder. Disabled by default (one branch per
     /// instrumentation point); see `clk_obs::Obs::from_env` for the
@@ -84,6 +93,7 @@ impl Default for FlowConfig {
             lint_level: LintLevel::default(),
             budget: FlowBudget::default(),
             fault_plan: None,
+            cancel: CancelToken::new(),
             obs: Obs::disabled(),
         }
     }
@@ -169,6 +179,14 @@ pub struct OptReport {
     /// Every fault the runtime absorbed (injected or organic), with the
     /// recovery action taken. Empty on a clean run.
     pub faults: FaultLog,
+    /// Whether the flow was cut (deadline expiry or cancellation) and
+    /// this report carries a best-so-far result rather than the full
+    /// optimization. The tree is still valid, lint-clean at the
+    /// configured level, and fully re-timed.
+    pub partial: bool,
+    /// Per-phase progress markers: how far each phase got and, when cut,
+    /// what stopped it.
+    pub progress: Vec<PhaseProgress>,
 }
 
 impl OptReport {
@@ -267,6 +285,11 @@ pub fn try_optimize_with(
     );
 
     let init_span = obs.span("phase.init");
+    // structural validity is a precondition, not a lint: even at
+    // LintLevel::Off a corrupt database (dangling links, mismatched
+    // route endpoints) is rejected with a typed error rather than
+    // optimized into a corrupt result
+    tc.tree.validate().map_err(FlowError::Tree)?;
     check_lint_gate(
         "CTS (flow input)",
         cfg.lint_level,
@@ -274,8 +297,21 @@ pub fn try_optimize_with(
         lib,
         &tc.floorplan,
     )?;
+    // the baseline STA polls the cancel token (no wall budget: wall
+    // clocks are per-phase); a cut here happens before any result
+    // exists, so it is the one place the flow surfaces a typed
+    // `Interrupted` error instead of a partial report
+    let init_timer = Timer::golden()
+        .with_obs(obs.clone())
+        .with_deadline(Deadline::new(None, Some(cfg.cancel.clone())));
+    let analyses0 = match init_timer.try_analyze_all(&tc.tree, lib) {
+        Ok(a) => a,
+        Err(TimingError::Interrupted) => return Err(FlowError::Interrupted { phase: "init" }),
+        Err(e) => return Err(e.into()),
+    };
+    // final scoring runs deadline-free: once a best-so-far tree exists,
+    // even a cancelled flow re-times it fully so the report is complete
     let timer = Timer::golden().with_obs(obs.clone());
-    let analyses0 = timer.try_analyze_all(&tc.tree, lib)?;
     let skews0: Vec<Vec<f64>> = analyses0
         .iter()
         .map(|t| try_pair_skews(t, tc.tree.sink_pairs()))
@@ -295,6 +331,7 @@ pub fn try_optimize_with(
     let mut tree = tc.tree.clone();
     let mut global_report = None;
     let mut local_report = None;
+    let mut progress: Vec<PhaseProgress> = Vec::new();
 
     if matches!(flow, Flow::Global | Flow::GlobalLocal) {
         let luts = luts.ok_or(FlowError::MissingArtifact(
@@ -312,10 +349,13 @@ pub fn try_optimize_with(
                     .map_or(-1.0, |d| d.as_secs_f64() * 1e3),
             )],
         );
-        let mut ctx = FaultCtx::new(plan, cfg.budget.global.deadline_from(phase_start))
-            .with_obs(obs.clone())
-            .with_origin(flow_start)
-            .with_seq_base(faults.next_seq());
+        let mut ctx = FaultCtx::new(
+            plan,
+            cfg.budget.global.deadline(phase_start, Some(&cfg.cancel)),
+        )
+        .with_obs(obs.clone())
+        .with_origin(flow_start)
+        .with_seq_base(faults.next_seq());
         match global_optimize_checked(
             &tree,
             lib,
@@ -346,12 +386,23 @@ pub fn try_optimize_with(
                     format!("{e}; keeping the pre-phase tree"),
                 ),
             },
-            Err(e) => ctx.record(
-                "flow",
-                FaultKind::PhaseError,
-                RecoveryAction::Rollback,
-                format!("global phase failed ({e}); keeping the pre-phase tree"),
-            ),
+            Err(e) => {
+                let kind = if e.is_interrupt() {
+                    ctx.interrupt_kind()
+                } else {
+                    FaultKind::PhaseError
+                };
+                ctx.record(
+                    "flow",
+                    kind,
+                    RecoveryAction::Rollback,
+                    format!("global phase failed ({e}); keeping the pre-phase tree"),
+                );
+            }
+        }
+        if let Some(p) = ctx.progress.take() {
+            phase_span.record("progress", p.to_string());
+            progress.push(p);
         }
         phase_span.record("faults", ctx.log.len());
         faults.absorb(ctx.log);
@@ -374,10 +425,13 @@ pub fn try_optimize_with(
             )],
         );
         let txn = TreeTxn::begin(&tree);
-        let mut ctx = FaultCtx::new(plan, cfg.budget.local.deadline_from(phase_start))
-            .with_obs(obs.clone())
-            .with_origin(flow_start)
-            .with_seq_base(faults.next_seq());
+        let mut ctx = FaultCtx::new(
+            plan,
+            cfg.budget.local.deadline(phase_start, Some(&cfg.cancel)),
+        )
+        .with_obs(obs.clone())
+        .with_origin(flow_start)
+        .with_seq_base(faults.next_seq());
         match local_optimize_checked(
             &mut tree,
             lib,
@@ -411,14 +465,33 @@ pub fn try_optimize_with(
                 }
             }
             Err(e) => {
+                let kind = if e.is_interrupt() {
+                    // cut before the phase's own baseline STA finished:
+                    // there is nothing to keep, only to roll back
+                    if ctx.progress.is_none() {
+                        ctx.progress = Some(PhaseProgress::interrupted(
+                            "local",
+                            0,
+                            cfg.local.max_iterations,
+                            ctx.deadline.trigger(),
+                        ));
+                    }
+                    ctx.interrupt_kind()
+                } else {
+                    FaultKind::PhaseError
+                };
                 ctx.record(
                     "flow",
-                    FaultKind::PhaseError,
+                    kind,
                     RecoveryAction::Rollback,
                     format!("local phase failed ({e}); rolled back to the pre-phase tree"),
                 );
                 txn.rollback(&mut tree);
             }
+        }
+        if let Some(p) = ctx.progress.take() {
+            phase_span.record("progress", p.to_string());
+            progress.push(p);
         }
         phase_span.record("faults", ctx.log.len());
         faults.absorb(ctx.log);
@@ -462,9 +535,11 @@ pub fn try_optimize_with(
     let power_after = clock_power(&tree, lib, &analyses1[0], cfg.freq_ghz);
     drop(scoring_span);
 
+    let partial = progress.iter().any(|p| p.interrupted);
     flow_span.record("variation_before", variation_before);
     flow_span.record("variation_after", variation_after);
     flow_span.record("faults", faults.len());
+    flow_span.record("partial", partial);
     drop(flow_span);
     obs.flush();
 
@@ -484,6 +559,8 @@ pub fn try_optimize_with(
         global_report,
         local_report,
         faults,
+        partial,
+        progress,
     })
 }
 
@@ -573,6 +650,44 @@ mod tests {
         assert!(matches!(e, FlowError::MissingArtifact(_)), "{e}");
         let e = try_optimize_with(&tc, Flow::Local, &quick_cfg(), None, None).unwrap_err();
         assert!(matches!(e, FlowError::MissingArtifact(_)), "{e}");
+    }
+
+    #[test]
+    fn cancelled_flow_returns_partial_best_so_far() {
+        let tc = clk_cts::Testcase::generate(TestcaseKind::Cls1v1, 24, 37);
+        let luts = crate::lut::StageLuts::characterize(&tc.lib);
+        let model = DeltaLatencyModel::train(&tc.lib, quick_cfg().model_kind, &quick_cfg().train);
+
+        // calibrate: count the flow's total deadline polls
+        let calib = CancelToken::new();
+        let mut cfg = quick_cfg();
+        cfg.cancel = calib.clone();
+        let full = try_optimize_with(&tc, Flow::GlobalLocal, &cfg, Some(&luts), Some(&model))
+            .expect("uncancelled run completes");
+        assert!(!full.partial);
+        assert!(full.progress.iter().all(|p| !p.interrupted));
+        let total = calib.polls();
+        assert!(total > 0, "flow never polled its deadline");
+
+        // cut mid-flow: the report is partial, the tree still valid
+        let token = CancelToken::new();
+        token.trip_after_polls(total / 2);
+        let mut cfg = quick_cfg();
+        cfg.cancel = token;
+        let rep = try_optimize_with(&tc, Flow::GlobalLocal, &cfg, Some(&luts), Some(&model))
+            .expect("mid-flow cut yields best-so-far");
+        assert!(rep.partial, "cut at {}/{total} was not partial", total / 2);
+        assert!(rep.progress.iter().any(|p| p.interrupted));
+        rep.tree.validate().unwrap();
+
+        // cut before anything exists: a typed interrupt error
+        let token = CancelToken::new();
+        token.trip_after_polls(1);
+        let mut cfg = quick_cfg();
+        cfg.cancel = token;
+        let e = try_optimize_with(&tc, Flow::GlobalLocal, &cfg, Some(&luts), Some(&model))
+            .expect_err("cut during init has no best-so-far");
+        assert!(e.is_interrupt(), "{e}");
     }
 
     #[test]

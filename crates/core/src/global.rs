@@ -16,14 +16,16 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use clk_liberty::{CellId, CornerId, Library};
 use clk_lp::{LpError, Problem, RowKind, Solution, VarId};
 use clk_netlist::{Arc, ArcId, ArcSet, ClockTree, Floorplan, NodeId, NodeKind, SinkPair};
-use clk_obs::{kv, Level, Obs};
+use clk_obs::{kv, Deadline, Level, Obs};
 use clk_route::RoutePath;
 use clk_sta::{
     alpha_factors, arc_delays_ps, local_skew_ps, pair_skews, try_pair_skews, variation_report,
     CornerTiming, Timer,
 };
 
-use crate::fault::{FaultCtx, FaultKind, FaultSite, FlowError, PhaseBudget, RecoveryAction};
+use crate::fault::{
+    FaultCtx, FaultKind, FaultSite, FlowError, PhaseBudget, PhaseProgress, RecoveryAction,
+};
 use crate::lut::{fit_ratio_bounds, ratio_scatter, RatioBounds, StageLuts};
 
 /// Global-optimization knobs.
@@ -125,6 +127,10 @@ struct ArcVars {
     delta: Vec<(VarId, VarId)>,
 }
 
+/// A solved sweep point: the LP solution plus the per-arc variable map
+/// needed to read the Δ targets back out.
+type SolvedPoint = (Solution, BTreeMap<ArcId, ArcVars>);
+
 /// Runs the global optimization and returns the optimized tree plus a
 /// report. The input tree is not modified.
 ///
@@ -218,13 +224,15 @@ pub fn global_optimize_checked(
             format!("rounds capped {} -> {rounds}", cfg.rounds.max(1)),
         );
     }
+    let mut rounds_done = 0usize;
+    let mut cut: Option<Option<&'static str>> = None;
     for round in 0..rounds {
-        if round > 0 && ctx.out_of_time() {
-            ctx.record(
+        if ctx.out_of_time() {
+            cut = Some(ctx.deadline.trigger());
+            ctx.record_interrupt(
                 "global",
-                FaultKind::PhaseTimeout,
                 RecoveryAction::Degrade,
-                format!("wall-clock budget exhausted after {round} rounds; returning best-so-far"),
+                format!("deadline cut before round {round} of {rounds}; returning best-so-far"),
             );
             break;
         }
@@ -233,7 +241,23 @@ pub fn global_optimize_checked(
             "global.round",
             vec![kv("round", round as u64)],
         );
-        let (next, rep) = global_round(&current, lib, fp, luts, cfg, guard_baseline, ctx)?;
+        let (next, rep) = match global_round(&current, lib, fp, luts, cfg, guard_baseline, ctx) {
+            Ok(r) => r,
+            // a cut mid-round discards only that round's uncommitted
+            // trial; the last committed tree stays the result
+            Err(e) if e.is_interrupt() => {
+                cut = Some(ctx.deadline.trigger());
+                ctx.record_interrupt(
+                    "global",
+                    RecoveryAction::Rollback,
+                    format!("round {round} cut mid-flight ({e}); trial discarded, returning best-so-far"),
+                );
+                round_span.record("outcome", "interrupted");
+                drop(round_span);
+                break;
+            }
+            Err(e) => return Err(e),
+        };
         obs.count("global.rounds", 1);
         round_span.record("variation_before", rep.variation_before);
         round_span.record("variation_after", rep.variation_after);
@@ -255,13 +279,33 @@ pub fn global_optimize_checked(
             }
         }
         current = next;
+        rounds_done += 1;
+        // a round cut mid-λ-sweep returns its committed best-so-far; the
+        // re-poll here turns the quiet break into a recorded interrupt
+        if ctx.out_of_time() {
+            cut = Some(ctx.deadline.trigger());
+            ctx.record_interrupt(
+                "global",
+                RecoveryAction::Degrade,
+                format!(
+                    "deadline cut after {} of {rounds} rounds; returning best-so-far",
+                    round + 1
+                ),
+            );
+            break;
+        }
         if !enough {
             break;
         }
     }
+    ctx.progress = Some(match cut {
+        Some(trigger) => PhaseProgress::interrupted("global", rounds_done, rounds, trigger),
+        None => PhaseProgress::complete("global", rounds_done, rounds),
+    });
     let Some(report) = total else {
-        // clk-analyze: allow(A005) unreachable by construction: at least one round always runs
-        unreachable!("at least one round always runs")
+        // only reachable when the deadline cut the flow before round 0
+        // finished — there is no baseline global result to fall back to
+        return Err(FlowError::Interrupted { phase: "global" });
     };
     Ok((current, report))
 }
@@ -277,7 +321,10 @@ fn global_round(
     guard_baseline: Option<&[f64]>,
     ctx: &mut FaultCtx<'_>,
 ) -> Result<(ClockTree, GlobalReport), FlowError> {
-    let timer = Timer::golden();
+    // the round runs single-threaded, so its golden timer can observe
+    // the phase deadline directly (workers inside `execute_eco` re-time
+    // deterministically without one)
+    let timer = Timer::golden().with_deadline(ctx.deadline.clone());
     let timings: Vec<CornerTiming> = timer.try_analyze_all(tree, lib)?;
     let arcs = ArcSet::extract(tree);
     let mut arc_d: Vec<Vec<f64>> = timings
@@ -362,6 +409,11 @@ fn global_round(
 
     let obs = ctx.obs.clone();
     for &lambda in &cfg.lambdas {
+        // cut mid-sweep: keep the best already-realized λ point; the
+        // caller re-polls and records the interruption
+        if ctx.out_of_time() {
+            break;
+        }
         let mut lambda_span =
             obs.span_at(Level::Debug, "global.lambda", vec![kv("lambda", lambda)]);
         let mut point = SweepPoint {
@@ -372,7 +424,7 @@ fn global_round(
             variation_after: None,
             accepted: false,
         };
-        let Some((solution, vars)) = solve_with_ladder(
+        let solved = match solve_with_ladder(
             tree,
             lib,
             luts,
@@ -387,7 +439,18 @@ fn global_round(
             LpObjective::Scalarized(lambda),
             cfg,
             ctx,
-        ) else {
+        ) {
+            Ok(s) => s,
+            // an interrupted solve carries no certificate: drop this λ
+            // point, keep the sweep's best-so-far, stop sweeping
+            Err(e) if e.is_interrupt() => {
+                lambda_span.record("outcome", "interrupted");
+                sweep.push(point);
+                break;
+            }
+            Err(e) => return Err(e),
+        };
+        let Some((solution, vars)) = solved else {
             lambda_span.record("outcome", "lp_skipped");
             sweep.push(point);
             continue;
@@ -408,6 +471,7 @@ fn global_round(
         // accept/rollback (see `execute_eco`); the whole trial sweep is
         // panic-isolated — the clone is simply discarded on unwind, the
         // committed tree is never touched
+        let deadline = ctx.deadline.clone();
         let eco = catch_unwind(AssertUnwindSafe(|| {
             let mut trial = tree.clone();
             let (changed, after) = execute_eco(
@@ -427,6 +491,7 @@ fn global_round(
                 variation_before,
                 cfg,
                 &obs,
+                &deadline,
             );
             (trial, changed, after)
         }));
@@ -638,6 +703,14 @@ pub(crate) fn verify_certificate(
 /// skip directly — re-solving an ill-posed model cannot help. A solve
 /// whose certificate fails exact re-verification is treated like a
 /// failed solve: the answer is discarded and the next rung runs.
+///
+/// # Errors
+///
+/// `Err` only for cooperative interruption
+/// ([`LpError::Interrupted`], surfaced as [`FlowError::Lp`]): a
+/// cancelled solve must not be retried on a lower rung — the ladder is
+/// for *broken* solves, not abandoned ones. Every genuine failure
+/// degrades to `Ok(None)` (skip the sweep point).
 #[allow(clippy::too_many_arguments)]
 fn solve_with_ladder(
     tree: &ClockTree,
@@ -654,19 +727,20 @@ fn solve_with_ladder(
     objective: LpObjective,
     cfg: &GlobalConfig,
     ctx: &mut FaultCtx<'_>,
-) -> Option<(Solution, BTreeMap<ArcId, ArcVars>)> {
+) -> Result<Option<SolvedPoint>, FlowError> {
     let obs = ctx.obs.clone();
     let attempt = |relax: &Relaxation,
                    rung: &str,
                    ctx: &mut FaultCtx<'_>|
-     -> Result<(Solution, BTreeMap<ArcId, ArcVars>), LadderFault> {
+     -> Result<SolvedPoint, LadderFault> {
         let (p, vars) = build_problem(
             tree, lib, luts, arcs, arc_d, timings, sel_pairs, path_of, involved, alphas, bounds,
             objective, cfg, relax, ctx,
         )
         .map_err(LadderFault::Lp)?;
         ctx.obs.count("global.lp_rows_built", p.num_rows() as u64);
-        let sol = clk_lp::solve_with_obs(&p, &ctx.obs).map_err(LadderFault::Lp)?;
+        let sol =
+            clk_lp::solve_with_deadline(&p, &ctx.obs, &ctx.deadline).map_err(LadderFault::Lp)?;
         let site = format!("{objective:?} rung={rung}");
         verify_certificate(&p, &sol, &ctx.obs, &site).map_err(LadderFault::Cert)?;
         Ok((sol, vars))
@@ -678,7 +752,11 @@ fn solve_with_ladder(
     match attempt(&Relaxation::NONE, "none", ctx) {
         Ok(r) => {
             rung_taken("none");
-            return Some(r);
+            return Ok(Some(r));
+        }
+        Err(LadderFault::Lp(LpError::Interrupted)) => {
+            rung_taken("interrupted");
+            return Err(FlowError::Lp(LpError::Interrupted));
         }
         Err(LadderFault::Lp(e @ (LpError::BadProblem(_) | LpError::UnknownTerm { .. }))) => {
             ctx.record(
@@ -688,7 +766,7 @@ fn solve_with_ladder(
                 format!("LP build rejected ({e}); skipping this sweep point"),
             );
             rung_taken("skipped");
-            return None;
+            return Ok(None);
         }
         Err(e) => ctx.record(
             "global",
@@ -700,7 +778,11 @@ fn solve_with_ladder(
     match attempt(&Relaxation::RELAXED, "relaxed", ctx) {
         Ok(r) => {
             rung_taken("relaxed");
-            return Some(r);
+            return Ok(Some(r));
+        }
+        Err(LadderFault::Lp(LpError::Interrupted)) => {
+            rung_taken("interrupted");
+            return Err(FlowError::Lp(LpError::Interrupted));
         }
         Err(e) => ctx.record(
             "global",
@@ -712,7 +794,11 @@ fn solve_with_ladder(
     match attempt(&Relaxation::DEGRADED, "degraded", ctx) {
         Ok(r) => {
             rung_taken("degraded");
-            Some(r)
+            Ok(Some(r))
+        }
+        Err(LadderFault::Lp(LpError::Interrupted)) => {
+            rung_taken("interrupted");
+            Err(FlowError::Lp(LpError::Interrupted))
         }
         Err(e) => {
             ctx.record(
@@ -722,7 +808,7 @@ fn solve_with_ladder(
                 format!("{e} even without ratio rows; skipping this sweep point"),
             );
             rung_taken("skipped");
-            None
+            Ok(None)
         }
     }
 }
@@ -744,7 +830,7 @@ fn build_and_solve(
     bounds: &[Option<RatioBounds>],
     objective: LpObjective,
     cfg: &GlobalConfig,
-) -> Option<(Solution, BTreeMap<ArcId, ArcVars>)> {
+) -> Option<SolvedPoint> {
     let mut ctx = FaultCtx::passive();
     let (p, vars) = build_problem(
         tree,
@@ -1177,6 +1263,7 @@ fn execute_eco(
     variation_before: f64,
     cfg: &GlobalConfig,
     obs: &Obs,
+    deadline: &Deadline,
 ) -> (usize, f64) {
     let n_corners = arc_d.len();
     let timer = Timer::golden();
@@ -1211,6 +1298,12 @@ fn execute_eco(
         .map(|t| t.violations().len())
         .sum();
     for (_, aid, deltas) in todo {
+        // cut mid-ECO: every accepted arc left the trial timed and
+        // consistent, so stopping here yields a valid partial trial
+        if deadline.expired() {
+            obs.count("global.eco_interrupted", 1);
+            break;
+        }
         let arc = arcs.arc(aid).clone();
         // the arc set was extracted from the original tree; skip arcs whose
         // neighbourhood a previous accepted rebuild restructured
@@ -1600,7 +1693,7 @@ mod tests {
         plan.arm(FaultSite::NanArcDelay, 0, 1);
         plan.arm(FaultSite::CorruptLutRow, 0, 1);
         plan.arm(FaultSite::InfeasibleLp, 0, 1);
-        let mut ctx = FaultCtx::new(Some(&plan), None);
+        let mut ctx = FaultCtx::new(Some(&plan), Deadline::none());
         let (opt, report) = global_optimize_checked(
             &tc.tree,
             &tc.lib,

@@ -52,8 +52,9 @@ pub mod predictor;
 
 pub use baseline::{worst_skew_optimize, WorstSkewReport};
 pub use fault::{
-    emit_fault, Checkpoint, FaultCtx, FaultKind, FaultLog, FaultPlan, FaultRecord, FaultSite,
-    FlowBudget, FlowError, PhaseBudget, RecoveryAction, TreeTxn,
+    emit_fault, CancelToken, Checkpoint, Deadline, FaultCtx, FaultKind, FaultLog, FaultPlan,
+    FaultRecord, FaultSite, FlowBudget, FlowError, PhaseBudget, PhaseProgress, RecoveryAction,
+    TreeTxn,
 };
 pub use flow::{
     check_lint_gate, lint_gate, optimize, optimize_with, try_optimize, try_optimize_with, Flow,

@@ -14,7 +14,7 @@ use clk_sta::{
 };
 
 use crate::fault::{
-    FaultCtx, FaultKind, FaultSite, FlowError, PhaseBudget, RecoveryAction, TreeTxn,
+    FaultCtx, FaultKind, FaultSite, FlowError, PhaseBudget, PhaseProgress, RecoveryAction, TreeTxn,
 };
 use crate::moves::{apply_move, enumerate_moves, Move, MoveConfig};
 use crate::predictor::{move_features_with_sides, DeltaLatencyModel, Topo};
@@ -202,7 +202,12 @@ pub fn local_optimize_checked(
     ctx: &mut FaultCtx<'_>,
     budget: &PhaseBudget,
 ) -> Result<LocalReport, FlowError> {
-    let timer = Timer::golden();
+    // the coordinator's timer observes the phase deadline; candidate
+    // workers deliberately do NOT (a shared deadline observed from
+    // racing threads would make the accepted-move sequence depend on
+    // scheduling). Cancellation is acknowledged at coordinator safe
+    // points: iteration top, candidate-scoring stride, batch boundary.
+    let timer = Timer::golden().with_deadline(ctx.deadline.clone());
     let pairs: Vec<SinkPair> = tree.sink_pairs().to_vec();
     // alphas are an input parameter fixed on the incoming tree
     let analyses0 = timer.try_analyze_all(tree, lib)?;
@@ -259,24 +264,44 @@ pub fn local_optimize_checked(
         );
     }
 
+    let mut interrupted = false;
     'outer: for iter in 0..max_iterations {
         let mut iter_span = obs.span_at(Level::Debug, "local.iter", vec![kv("iter", iter as u64)]);
         if ctx.out_of_time() {
-            ctx.record(
+            ctx.record_interrupt(
                 "local",
-                FaultKind::PhaseTimeout,
                 RecoveryAction::Degrade,
                 format!(
-                    "wall-clock budget exhausted after {} accepted moves; returning best-so-far",
+                    "deadline cut after {} accepted moves; returning best-so-far",
                     report.iterations.len()
                 ),
             );
+            iter_span.record("outcome", "interrupted");
+            interrupted = true;
             break;
         }
         if report.golden_evals >= cfg.max_golden_evals {
             break;
         }
-        let timings: Vec<CornerTiming> = timer.try_analyze_all(tree, lib)?;
+        // the committed tree is always re-timeable, so an interrupt here
+        // is the deadline cutting the walk, not a broken tree
+        let timings: Vec<CornerTiming> = match timer.try_analyze_all(tree, lib) {
+            Ok(t) => t,
+            Err(TimingError::Interrupted) => {
+                ctx.record_interrupt(
+                    "local",
+                    RecoveryAction::Degrade,
+                    format!(
+                        "deadline cut re-timing at iteration {iter}; returning best-so-far ({} accepted moves)",
+                        report.iterations.len()
+                    ),
+                );
+                iter_span.record("outcome", "interrupted");
+                interrupted = true;
+                break;
+            }
+            Err(e) => return Err(e.into()),
+        };
         let moves = enumerate_moves(tree, lib, &cfg.move_cfg, None);
         if moves.is_empty() {
             break;
@@ -284,7 +309,19 @@ pub fn local_optimize_checked(
         // ---- rank all candidates by predicted variation reduction ----
         let mut scored: Vec<(f64, Move)> = Vec::with_capacity(moves.len());
         let mut subtree_cache: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
-        for mv in moves {
+        for (mv_no, mv) in moves.into_iter().enumerate() {
+            if mv_no % 64 == 0 && mv_no > 0 && ctx.out_of_time() {
+                ctx.record_interrupt(
+                    "local",
+                    RecoveryAction::Degrade,
+                    format!(
+                        "deadline cut scoring candidate {mv_no} at iteration {iter}; returning best-so-far"
+                    ),
+                );
+                iter_span.record("outcome", "interrupted");
+                interrupted = true;
+                break 'outer;
+            }
             let gain = match ranker {
                 Ranker::Random(_) => (xorshift() % 1_000) as f64,
                 _ => predict_move_gain(
@@ -330,6 +367,21 @@ pub fn local_optimize_checked(
             .take(cfg.max_batches)
             .enumerate()
         {
+            // batch boundary: the last committed tree is the result, so a
+            // cut here costs at most one in-flight batch of evaluations
+            if ctx.out_of_time() {
+                ctx.record_interrupt(
+                    "local",
+                    RecoveryAction::Degrade,
+                    format!(
+                        "deadline cut before batch {batch_no} at iteration {iter}; returning best-so-far ({} accepted moves)",
+                        report.iterations.len()
+                    ),
+                );
+                iter_span.record("outcome", "interrupted");
+                interrupted = true;
+                break 'outer;
+            }
             let mut batch_span = obs.span_at(
                 Level::Debug,
                 "local.batch",
@@ -506,6 +558,16 @@ pub fn local_optimize_checked(
         iter_span.record("outcome", "exhausted");
         break;
     }
+    ctx.progress = Some(if interrupted {
+        PhaseProgress::interrupted(
+            "local",
+            report.iterations.len(),
+            max_iterations,
+            ctx.deadline.trigger(),
+        )
+    } else {
+        PhaseProgress::complete("local", report.iterations.len(), max_iterations)
+    });
     if obs.enabled() {
         let accepted = report.iterations.len();
         obs.event(
@@ -629,7 +691,7 @@ pub fn predict_move_gain(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::FaultPlan;
+    use crate::fault::{Deadline, FaultPlan};
     use crate::predictor::{DeltaLatencyModel, ModelKind, TrainConfig};
     use clk_cts::{Testcase, TestcaseKind};
     use clk_ml::MlpConfig;
@@ -706,7 +768,7 @@ mod tests {
         let tc = Testcase::generate(TestcaseKind::Cls1v1, 32, 24);
         let plan = FaultPlan::inert(5);
         plan.arm(FaultSite::WorkerPanic, 0, 2);
-        let mut ctx = FaultCtx::new(Some(&plan), None);
+        let mut ctx = FaultCtx::new(Some(&plan), Deadline::none());
         let mut tree = tc.tree.clone();
         let report = local_optimize_checked(
             &mut tree,

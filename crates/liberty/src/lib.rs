@@ -40,6 +40,7 @@
 pub mod cell;
 pub mod corner;
 pub mod library;
+pub mod limits;
 pub mod lut;
 pub mod text;
 
@@ -47,4 +48,5 @@ pub use cell::{Cell, CellId};
 pub use corner::{Beol, Corner, CornerId, Process, StdCorners, WireRc};
 pub use library::Library;
 pub use library::{analytic_gate_delay, analytic_output_slew, INVERTER_DRIVES};
+pub use limits::{LimitExceeded, ParseLimits};
 pub use lut::{BuildLutError, Lut1, Lut2};

@@ -1,0 +1,126 @@
+//! Resource limits for parsing untrusted text inputs.
+//!
+//! Both text readers of the workspace — the Liberty subset reader in
+//! [`crate::text`] and the `.ctree` reader in `clk-netlist` — accept
+//! input that may come from outside the process (checkpoint files,
+//! exchanged characterization data). [`ParseLimits`] is the shared
+//! policy bounding what a parse is allowed to consume *before* it
+//! consumes it: input size, record counts, nesting depth, table
+//! dimensions and token lengths. Exceeding a limit is a typed parse
+//! error at a byte offset, never a panic and never unbounded memory.
+//!
+//! The module lives here (not in an IO crate) because `clk-liberty` is
+//! dependency-free and sits below every parser in the crate graph.
+
+/// Bounds enforced while parsing untrusted input.
+///
+/// The defaults are far above anything the workspace writes itself, so
+/// round-tripping own output never trips them, while adversarial input
+/// (a 10 GiB file, a million-deep group nest, a `values()` table with
+/// 10^9 entries) is rejected early with a typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum input size in bytes.
+    pub max_bytes: usize,
+    /// Maximum number of records (nodes / pairs in `.ctree`, groups in
+    /// Liberty) before the parse is aborted.
+    pub max_records: usize,
+    /// Maximum group-nesting depth (Liberty `{ ... }` blocks).
+    pub max_depth: usize,
+    /// Maximum entries along one LUT axis (`index_1` / `index_2`), and
+    /// an upper bound on `values()` cells via the axis product.
+    pub max_lut_dim: usize,
+    /// Maximum points in one `.ctree` route polyline.
+    pub max_route_points: usize,
+    /// Maximum length of one token / attribute value, bytes.
+    pub max_token_len: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_bytes: 256 << 20,
+            max_records: 4_000_000,
+            max_depth: 64,
+            max_lut_dim: 1024,
+            max_route_points: 65_536,
+            max_token_len: 1 << 20,
+        }
+    }
+}
+
+impl ParseLimits {
+    /// Tight limits for fuzzing and for callers that know their inputs
+    /// are small (unit-test fixtures, sub-megabyte checkpoints).
+    pub fn strict() -> Self {
+        ParseLimits {
+            max_bytes: 8 << 20,
+            max_records: 100_000,
+            max_depth: 16,
+            max_lut_dim: 64,
+            max_route_points: 4_096,
+            max_token_len: 64 << 10,
+        }
+    }
+
+    /// Checks the total input size; the first limit every parse applies.
+    pub fn check_bytes(&self, len: usize) -> Result<(), LimitExceeded> {
+        if len > self.max_bytes {
+            Err(LimitExceeded {
+                what: "input bytes",
+                actual: len,
+                limit: self.max_bytes,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A limit violation: which bound, what the input wanted, what was
+/// allowed. Parsers wrap this into their own error type with position
+/// information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LimitExceeded {
+    /// Which bound was exceeded (e.g. `"input bytes"`, `"nesting depth"`).
+    pub what: &'static str,
+    /// The offending size.
+    pub actual: usize,
+    /// The configured maximum.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for LimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {} exceeds the limit of {}",
+            self.what, self.actual, self.limit
+        )
+    }
+}
+
+impl std::error::Error for LimitExceeded {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_generous_and_strict_is_not() {
+        let d = ParseLimits::default();
+        let s = ParseLimits::strict();
+        assert!(d.max_bytes > s.max_bytes);
+        assert!(d.max_depth > s.max_depth);
+        assert!(d.check_bytes(1 << 20).is_ok());
+        assert!(s.check_bytes((8 << 20) + 1).is_err());
+    }
+
+    #[test]
+    fn limit_errors_render_both_numbers() {
+        let e = ParseLimits::strict().check_bytes(usize::MAX).unwrap_err();
+        let s = e.to_string();
+        assert!(s.contains("input bytes"), "{s}");
+        assert!(s.contains("exceeds the limit"), "{s}");
+    }
+}

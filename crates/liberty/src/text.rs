@@ -14,6 +14,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+use crate::limits::{LimitExceeded, ParseLimits};
 use crate::{Cell, CellId, Corner, CornerId, Library, Lut2};
 
 /// Writes one corner of the library as Liberty text.
@@ -44,8 +45,15 @@ pub fn write_liberty(lib: &Library, corner: CornerId) -> String {
 
     for (idx, cell) in lib.cells().iter().enumerate() {
         let id = CellId(idx);
-        let delay = sample_table(lib, id, corner, true);
-        let slew = sample_table(lib, id, corner, false);
+        let (Some(delay), Some(slew)) = (
+            sample_table(lib, id, corner, true),
+            sample_table(lib, id, corner, false),
+        ) else {
+            // the fixed sampling axes cannot fail to tabulate; if they
+            // somehow do, emit the rest of the library without this cell
+            debug_assert!(false, "fixed sampling axes failed to tabulate");
+            continue;
+        };
         let _ = writeln!(out, "  cell ({}) {{", cell.name);
         let _ = writeln!(out, "    area : {:.4};", cell.area_um2);
         let _ = writeln!(
@@ -75,8 +83,9 @@ pub fn write_liberty(lib: &Library, corner: CornerId) -> String {
 }
 
 /// Samples the library's (interpolating) tables back onto a fixed grid so
-/// the emitted Liberty is self-contained.
-fn sample_table(lib: &Library, cell: CellId, corner: CornerId, delay: bool) -> Lut2 {
+/// the emitted Liberty is self-contained. `None` only if the fixed axes
+/// were somehow rejected (callers skip the cell rather than panic).
+fn sample_table(lib: &Library, cell: CellId, corner: CornerId, delay: bool) -> Option<Lut2> {
     let slews = vec![2.0, 10.0, 40.0, 160.0, 320.0];
     let loads: Vec<f64> = [0.5, 2.0, 8.0, 16.0, 30.0]
         .iter()
@@ -89,8 +98,7 @@ fn sample_table(lib: &Library, cell: CellId, corner: CornerId, delay: bool) -> L
             lib.gate_output_slew(cell, corner, s, c)
         }
     })
-    // clk-analyze: allow(A005) invariant upheld by construction: fixed axes are valid
-    .expect("fixed axes are valid")
+    .ok()
 }
 
 fn write_lut(out: &mut String, group: &str, t: &Lut2) {
@@ -155,8 +163,12 @@ impl ParsedLiberty {
 /// Errors from [`parse_liberty`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseLibertyError {
-    /// Offending line (1-based) where parsing stopped.
+    /// Offending line (1-based) where parsing stopped; 0 when the error
+    /// is structural (detected after tokenizing) rather than positional.
     pub line: usize,
+    /// Byte offset into the input where the offending construct starts
+    /// (0 for structural errors).
+    pub offset: usize,
     /// What went wrong.
     pub message: String,
 }
@@ -165,8 +177,8 @@ impl std::fmt::Display for ParseLibertyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "liberty parse error at line {}: {}",
-            self.line, self.message
+            "liberty parse error at line {} (byte {}): {}",
+            self.line, self.offset, self.message
         )
     }
 }
@@ -182,19 +194,31 @@ struct Group {
     children: Vec<Group>,
 }
 
-/// Parses the dialect emitted by [`write_liberty`].
+/// Parses the dialect emitted by [`write_liberty`] under the default
+/// [`ParseLimits`].
 ///
 /// # Errors
 ///
 /// [`ParseLibertyError`] on structural problems (unbalanced braces,
-/// missing required attributes, malformed tables).
+/// missing required attributes, malformed tables) or exceeded limits.
 pub fn parse_liberty(text: &str) -> Result<ParsedLiberty, ParseLibertyError> {
-    let root = parse_groups(text)?;
+    parse_liberty_with_limits(text, &ParseLimits::default())
+}
+
+/// [`parse_liberty`] with an explicit resource-limit policy for
+/// untrusted input. Every limit violation is a typed error carrying the
+/// byte offset where the offending construct starts — never a panic,
+/// never unbounded allocation.
+pub fn parse_liberty_with_limits(
+    text: &str,
+    limits: &ParseLimits,
+) -> Result<ParsedLiberty, ParseLibertyError> {
+    let root = parse_groups(text, limits)?;
     let lib = root
         .children
         .iter()
         .find(|g| g.kind == "library")
-        .ok_or_else(|| err(1, "no library group"))?;
+        .ok_or_else(|| err(1, 0, "no library group"))?;
     let mut cells = Vec::new();
     for cg in lib.children.iter().filter(|g| g.kind == "cell") {
         let area = attr_f64(cg, "area")?;
@@ -212,8 +236,8 @@ pub fn parse_liberty(text: &str) -> Result<ParsedLiberty, ParseLibertyError> {
             for timing in pin.children.iter().filter(|g| g.kind == "timing") {
                 for t in &timing.children {
                     match t.kind.as_str() {
-                        "cell_rise" => delay = Some(parse_lut(t)?),
-                        "rise_transition" => slew = Some(parse_lut(t)?),
+                        "cell_rise" => delay = Some(parse_lut(t, limits)?),
+                        "rise_transition" => slew = Some(parse_lut(t, limits)?),
                         _ => {}
                     }
                 }
@@ -224,8 +248,8 @@ pub fn parse_liberty(text: &str) -> Result<ParsedLiberty, ParseLibertyError> {
             area_um2: area,
             input_cap_ff: input_cap,
             max_cap_ff: max_cap,
-            delay: delay.ok_or_else(|| err(0, "cell without cell_rise table"))?,
-            slew: slew.ok_or_else(|| err(0, "cell without rise_transition table"))?,
+            delay: delay.ok_or_else(|| err(0, 0, "cell without cell_rise table"))?,
+            slew: slew.ok_or_else(|| err(0, 0, "cell without rise_transition table"))?,
         });
     }
     Ok(ParsedLiberty {
@@ -236,33 +260,38 @@ pub fn parse_liberty(text: &str) -> Result<ParsedLiberty, ParseLibertyError> {
     })
 }
 
-fn err(line: usize, m: impl Into<String>) -> ParseLibertyError {
+fn err(line: usize, offset: usize, m: impl Into<String>) -> ParseLibertyError {
     ParseLibertyError {
         line,
+        offset,
         message: m.into(),
     }
+}
+
+fn limit_err(line: usize, offset: usize, e: LimitExceeded) -> ParseLibertyError {
+    err(line, offset, e.to_string())
 }
 
 fn parse_f64(s: &str) -> Result<f64, ParseLibertyError> {
     s.trim()
         .parse()
-        .map_err(|_| err(0, format!("bad number: {s:?}")))
+        .map_err(|_| err(0, 0, format!("bad number: {s:?}")))
 }
 
 fn attr_f64(g: &Group, key: &str) -> Result<f64, ParseLibertyError> {
     parse_f64(
         g.attrs
             .get(key)
-            .ok_or_else(|| err(0, format!("missing attribute {key}")))?,
+            .ok_or_else(|| err(0, 0, format!("missing attribute {key}")))?,
     )
 }
 
-fn parse_lut(g: &Group) -> Result<Lut2, ParseLibertyError> {
+fn parse_lut(g: &Group, limits: &ParseLimits) -> Result<Lut2, ParseLibertyError> {
     let nums = |key: &str| -> Result<Vec<f64>, ParseLibertyError> {
         let raw = g
             .attrs
             .get(key)
-            .ok_or_else(|| err(0, format!("missing {key}")))?;
+            .ok_or_else(|| err(0, 0, format!("missing {key}")))?;
         raw.replace(['(', ')', '"', '\\'], " ")
             .split(',')
             .filter(|s| !s.trim().is_empty())
@@ -271,50 +300,171 @@ fn parse_lut(g: &Group) -> Result<Lut2, ParseLibertyError> {
     };
     let a1 = nums("index_1")?;
     let a2 = nums("index_2")?;
+    let dim = a1.len().max(a2.len());
+    if dim > limits.max_lut_dim {
+        return Err(limit_err(
+            0,
+            0,
+            LimitExceeded {
+                what: "LUT axis entries",
+                actual: dim,
+                limit: limits.max_lut_dim,
+            },
+        ));
+    }
     let flat = nums("values")?;
-    if a1.is_empty() || a2.is_empty() || flat.len() != a1.len() * a2.len() {
-        return Err(err(0, "table shape mismatch"));
+    // checked_mul: adversarial axes must not overflow the shape check
+    if a1.is_empty() || a2.is_empty() || a1.len().checked_mul(a2.len()) != Some(flat.len()) {
+        return Err(err(0, 0, "table shape mismatch"));
     }
     let values: Vec<Vec<f64>> = flat.chunks(a2.len()).map(<[f64]>::to_vec).collect();
-    Lut2::new(a1, a2, values).map_err(|e| err(0, e.to_string()))
+    Lut2::new(a1, a2, values).map_err(|e| err(0, 0, e.to_string()))
+}
+
+/// 1-based line number of a byte offset.
+fn line_of(text: &str, offset: usize) -> usize {
+    text.as_bytes()[..offset.min(text.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// Blanks `/* */` comments to spaces, preserving every byte position and
+/// newline so downstream line numbers and byte offsets stay exact.
+fn blank_comments(text: &str) -> Result<String, ParseLibertyError> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let close = text[i + 2..]
+                .find("*/")
+                .ok_or_else(|| err(line_of(text, i), i, "unterminated comment"))?;
+            let end = i + 2 + close + 2;
+            out.extend(
+                bytes[i..end]
+                    .iter()
+                    .map(|&b| if b == b'\n' { b'\n' } else { b' ' }),
+            );
+            i = end;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    // comment bytes became ASCII spaces and everything else is copied
+    // verbatim in order, so the result is valid UTF-8 whenever the
+    // input was
+    String::from_utf8(out).map_err(|_| err(0, 0, "input is not valid utf-8"))
 }
 
 /// Tokenizes `text` into a group tree. Handles `/* */` comments,
-/// `key : value;`, `key (args...);`-style complex attributes (stored with
-/// the parenthesized body as the value) and nested `kind (name) { ... }`.
-fn parse_groups(text: &str) -> Result<Group, ParseLibertyError> {
-    // strip comments
-    let mut src = String::with_capacity(text.len());
-    let mut rest = text;
-    while let Some(i) = rest.find("/*") {
-        src.push_str(&rest[..i]);
-        match rest[i..].find("*/") {
-            Some(j) => rest = &rest[i + j + 2..],
-            None => return Err(err(0, "unterminated comment")),
-        }
-    }
-    src.push_str(rest);
-    // join continuation lines
-    let src = src.replace("\\\n", " ");
+/// `\`-continued lines, `key : value;`, `key (args...);`-style complex
+/// attributes (stored with the parenthesized body as the value) and
+/// nested `kind (name) { ... }`. Enforces `limits` on nesting depth,
+/// group count and token length; every violation reports the byte
+/// offset where the offending construct starts.
+fn parse_groups(text: &str, limits: &ParseLimits) -> Result<Group, ParseLibertyError> {
+    limits
+        .check_bytes(text.len())
+        .map_err(|e| limit_err(1, 0, e))?;
+    let src = blank_comments(text)?;
 
     let mut root = Group::default();
     let mut stack: Vec<Group> = vec![];
     let mut cur = std::mem::take(&mut root);
-    for (ln, raw) in src.lines().enumerate() {
-        let line = raw.trim();
+    let mut records = 0usize;
+
+    // `\`-continued statements accumulate here, pinned to the byte
+    // offset and line where the statement started
+    let mut pending = String::new();
+    let mut pending_line = 0usize;
+    let mut pending_off = 0usize;
+
+    let mut offset = 0usize;
+    for (ln0, raw) in src.lines().enumerate() {
+        let raw_off = offset;
+        offset += raw.len() + 1; // + the newline lines() swallowed
+        let ln = ln0 + 1;
+
+        if let Some(head) = raw.trim_end().strip_suffix('\\') {
+            if pending.is_empty() {
+                pending_line = ln;
+                pending_off = raw_off;
+            }
+            pending.push_str(head);
+            pending.push(' ');
+            if pending.len() > limits.max_token_len {
+                return Err(limit_err(
+                    pending_line,
+                    pending_off,
+                    LimitExceeded {
+                        what: "token length",
+                        actual: pending.len(),
+                        limit: limits.max_token_len,
+                    },
+                ));
+            }
+            continue;
+        }
+        let joined: Option<String> = if pending.is_empty() {
+            None
+        } else {
+            pending.push_str(raw);
+            Some(std::mem::take(&mut pending))
+        };
+        let (line, ln, line_off) = match &joined {
+            Some(s) => (s.trim(), pending_line, pending_off),
+            None => (raw.trim(), ln, raw_off),
+        };
         if line.is_empty() {
             continue;
+        }
+        if line.len() > limits.max_token_len {
+            return Err(limit_err(
+                ln,
+                line_off,
+                LimitExceeded {
+                    what: "token length",
+                    actual: line.len(),
+                    limit: limits.max_token_len,
+                },
+            ));
         }
         if line == "}" {
             let done = cur;
             cur = stack
                 .pop()
-                .ok_or_else(|| err(ln + 1, "unbalanced closing brace"))?;
+                .ok_or_else(|| err(ln, line_off, "unbalanced closing brace"))?;
             cur.children.push(done);
             continue;
         }
         if let Some(body) = line.strip_suffix('{') {
             // `kind (name) {`
+            if stack.len() + 1 > limits.max_depth {
+                return Err(limit_err(
+                    ln,
+                    line_off,
+                    LimitExceeded {
+                        what: "nesting depth",
+                        actual: stack.len() + 1,
+                        limit: limits.max_depth,
+                    },
+                ));
+            }
+            records += 1;
+            if records > limits.max_records {
+                return Err(limit_err(
+                    ln,
+                    line_off,
+                    LimitExceeded {
+                        what: "group records",
+                        actual: records,
+                        limit: limits.max_records,
+                    },
+                ));
+            }
             let body = body.trim();
             let (kind, name) = match body.split_once('(') {
                 Some((k, n)) => (
@@ -345,8 +495,19 @@ fn parse_groups(text: &str) -> Result<Group, ParseLibertyError> {
             );
         }
     }
+    if !pending.is_empty() {
+        return Err(err(
+            pending_line,
+            pending_off,
+            "continuation at end of input",
+        ));
+    }
     if !stack.is_empty() {
-        return Err(err(src.lines().count(), "unbalanced open brace"));
+        return Err(err(
+            line_of(&src, src.len()),
+            src.len(),
+            "unbalanced open brace",
+        ));
     }
     Ok(Group {
         children: vec![cur]
@@ -431,5 +592,86 @@ mod tests {
     fn parse_error_displays() {
         let e = parse_liberty("}").unwrap_err();
         assert!(e.to_string().contains("line"));
+        assert!(e.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn errors_carry_exact_byte_offsets() {
+        // line 1 is 16 bytes ("/* a comment */\n"); the stray closing
+        // brace statement starts at byte 16, line 2
+        let e = parse_liberty("/* a comment */\n }\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.offset, 16);
+        assert!(e.message.contains("unbalanced closing brace"));
+    }
+
+    #[test]
+    fn limits_reject_adversarial_input() {
+        let strict = ParseLimits::strict();
+
+        // nesting depth
+        let mut deep = String::new();
+        for _ in 0..strict.max_depth + 4 {
+            deep.push_str("g (x) {\n");
+        }
+        let e = parse_liberty_with_limits(&deep, &strict).unwrap_err();
+        assert!(e.message.contains("nesting depth"), "{e}");
+        assert!(e.offset > 0);
+
+        // byte budget
+        let tiny = ParseLimits {
+            max_bytes: 8,
+            ..strict.clone()
+        };
+        let e = parse_liberty_with_limits("library (x) { }", &tiny).unwrap_err();
+        assert!(e.message.contains("input bytes"), "{e}");
+
+        // token length, including `\`-continued accumulation
+        let short = ParseLimits {
+            max_token_len: 16,
+            ..strict.clone()
+        };
+        let long = format!("library (l) {{\n  key : \"{}\";\n}}\n", "x".repeat(64));
+        let e = parse_liberty_with_limits(&long, &short).unwrap_err();
+        assert!(e.message.contains("token length"), "{e}");
+        let continued = format!(
+            "library (l) {{\n  values ( \\\n\"{}\" \\\n",
+            "1, ".repeat(32)
+        );
+        let e = parse_liberty_with_limits(&continued, &short).unwrap_err();
+        assert!(e.message.contains("token length"), "{e}");
+
+        // group records
+        let few = ParseLimits {
+            max_records: 2,
+            ..strict.clone()
+        };
+        let many = "library (l) {\n  cell (a) {\n  }\n  cell (b) {\n  }\n}\n";
+        let e = parse_liberty_with_limits(many, &few).unwrap_err();
+        assert!(e.message.contains("group records"), "{e}");
+    }
+
+    #[test]
+    fn lut_axis_limit_is_enforced() {
+        let limits = ParseLimits {
+            max_lut_dim: 4,
+            ..ParseLimits::strict()
+        };
+        let axis: String = (0..8)
+            .map(|i| format!("{i}.0"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let text = format!(
+            "library (l) {{\n  cell (c) {{\n    area : 1.0;\n    pin (Y) {{\n      timing () {{\n        cell_rise (t) {{\n          index_1 (\"{axis}\");\n          index_2 (\"1.0\");\n          values (\"{axis}\");\n        }}\n      }}\n    }}\n  }}\n}}\n"
+        );
+        let e = parse_liberty_with_limits(&text, &limits).unwrap_err();
+        assert!(e.message.contains("LUT axis entries"), "{e}");
+    }
+
+    #[test]
+    fn round_trip_is_well_within_default_limits() {
+        let lib = Library::synthetic_28nm(StdCorners::c0_c1_c3());
+        let text = write_liberty(&lib, CornerId(0));
+        parse_liberty_with_limits(&text, &ParseLimits::strict()).expect("own output fits strict");
     }
 }

@@ -1,6 +1,6 @@
 //! Bounded-variable revised primal simplex with explicit basis inverse.
 
-use clk_obs::{kv, Level, Obs};
+use clk_obs::{kv, Deadline, Level, Obs, SIMPLEX_POLL_STRIDE};
 
 /// Handle of a decision variable in a [`Problem`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -39,6 +39,11 @@ pub enum LpError {
     VarOutOfRange(VarId),
     /// A row lookup referenced a row that does not exist.
     RowOutOfRange(usize),
+    /// The solve was cut by its [`Deadline`] (wall-clock expiry or
+    /// cooperative cancel) before reaching optimality. Deliberately a
+    /// typed error, not a partial [`Solution`]: an interrupted basis
+    /// carries no certificate and must not be mistaken for an optimum.
+    Interrupted,
 }
 
 impl std::fmt::Display for LpError {
@@ -53,6 +58,7 @@ impl std::fmt::Display for LpError {
             }
             LpError::VarOutOfRange(v) => write!(f, "variable {v:?} is out of range"),
             LpError::RowOutOfRange(i) => write!(f, "row {i} is out of range"),
+            LpError::Interrupted => f.write_str("solve interrupted by deadline or cancellation"),
         }
     }
 }
@@ -441,6 +447,7 @@ impl Tableau {
         use_phase_cost: bool,
         max_iters: usize,
         obs: &Obs,
+        deadline: &Deadline,
     ) -> Result<PhaseStats, LpError> {
         let mut stats = PhaseStats::default();
         let mut degen_streak = 0usize;
@@ -448,6 +455,16 @@ impl Tableau {
         loop {
             if stats.iters >= max_iters {
                 return Err(LpError::IterationLimit);
+            }
+            // cooperative cancellation: poll every SIMPLEX_POLL_STRIDE
+            // pivots, so an expiry is acknowledged within one stride
+            // (well inside the ≤64-pivot contract of the chaos battery)
+            if (stats.iters as u64).is_multiple_of(SIMPLEX_POLL_STRIDE) && deadline.expired() {
+                obs.observe(
+                    "lp.cancel.ack_pivots",
+                    (stats.iters as u64).min(SIMPLEX_POLL_STRIDE) as f64,
+                );
+                return Err(LpError::Interrupted);
             }
             let cost = if use_phase_cost {
                 &self.phase_cost
@@ -633,6 +650,26 @@ pub fn solve_with_obs(p: &Problem, obs: &Obs) -> Result<Solution, LpError> {
     }
 }
 
+/// [`solve_with_obs`] under a [`Deadline`]: the pivot loop polls the
+/// deadline every [`SIMPLEX_POLL_STRIDE`] pivots and returns
+/// [`LpError::Interrupted`] when it has expired, so a multi-thousand
+/// pivot solve acknowledges cancellation within one stride instead of
+/// running to completion.
+///
+/// # Errors
+///
+/// [`LpError::Interrupted`] on expiry, plus the [`solve`] contract.
+pub fn solve_with_deadline(
+    p: &Problem,
+    obs: &Obs,
+    deadline: &Deadline,
+) -> Result<Solution, LpError> {
+    match solve_certified_with_deadline(p, obs, deadline)? {
+        Certified::Optimal(s) => Ok(s),
+        Certified::Infeasible { .. } => Err(LpError::Infeasible),
+    }
+}
+
 /// Solves `p`, returning either an optimum carrying its certificate or a
 /// Farkas-style infeasibility witness instead of a bare
 /// [`LpError::Infeasible`].
@@ -653,12 +690,27 @@ pub fn solve_certified(p: &Problem) -> Result<Certified, LpError> {
 ///
 /// Same contract as [`solve_certified`].
 pub fn solve_certified_with_obs(p: &Problem, obs: &Obs) -> Result<Certified, LpError> {
+    solve_certified_with_deadline(p, obs, &Deadline::none())
+}
+
+/// [`solve_certified_with_obs`] under a [`Deadline`]; see
+/// [`solve_with_deadline`] for the interruption contract.
+///
+/// # Errors
+///
+/// [`LpError::Interrupted`] on expiry, plus the [`solve_certified`]
+/// contract.
+pub fn solve_certified_with_deadline(
+    p: &Problem,
+    obs: &Obs,
+    deadline: &Deadline,
+) -> Result<Certified, LpError> {
     let mut span = obs.span_at(
         Level::Trace,
         "lp.solve",
         vec![kv("vars", p.num_vars()), kv("rows", p.num_rows())],
     );
-    let result = solve_inner(p, obs);
+    let result = solve_inner(p, obs, deadline);
     if obs.enabled() {
         obs.count("lp.solves", 1);
         match &result {
@@ -677,6 +729,7 @@ pub fn solve_certified_with_obs(p: &Problem, obs: &Obs) -> Result<Certified, LpE
                     LpError::Infeasible => "lp.infeasible",
                     LpError::Unbounded => "lp.unbounded",
                     LpError::IterationLimit => "lp.iteration_limit",
+                    LpError::Interrupted => "lp.interrupted",
                     LpError::BadProblem(_)
                     | LpError::UnknownTerm { .. }
                     | LpError::VarOutOfRange(_)
@@ -694,7 +747,7 @@ pub fn solve_certified_with_obs(p: &Problem, obs: &Obs) -> Result<Certified, LpE
 // `sv == lo` comparison is exact on purpose (`clamp` returns the bound
 // itself, bit-identically)
 #[allow(clippy::indexing_slicing, clippy::float_cmp)]
-fn solve_inner(p: &Problem, obs: &Obs) -> Result<Certified, LpError> {
+fn solve_inner(p: &Problem, obs: &Obs, deadline: &Deadline) -> Result<Certified, LpError> {
     let m = p.num_rows();
     let n_struct = p.num_vars();
 
@@ -809,7 +862,7 @@ fn solve_inner(p: &Problem, obs: &Obs) -> Result<Certified, LpError> {
     let budget = 200 + 60 * (t.cols.len() + m);
     let mut phase1 = PhaseStats::default();
     if need_phase1 {
-        phase1 = t.optimize(true, budget, obs)?;
+        phase1 = t.optimize(true, budget, obs, deadline)?;
         let infeas: f64 = (0..m)
             .filter(|&i| t.basis[i] >= n_struct + m)
             .map(|i| t.xb[i])
@@ -836,6 +889,7 @@ fn solve_inner(p: &Problem, obs: &Obs) -> Result<Certified, LpError> {
         false,
         budget.saturating_sub(phase1.iters).max(budget / 2),
         obs,
+        deadline,
     )?;
     if obs.enabled() {
         obs.count(
@@ -942,6 +996,48 @@ mod tests {
             }
         }
         true
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_before_any_pivot() {
+        use clk_obs::CancelToken;
+        let mut p = Problem::new();
+        let x = p.add_var(0.0, INF, -3.0).unwrap();
+        let y = p.add_var(0.0, INF, -5.0).unwrap();
+        p.add_row(RowKind::Le, 4.0, &[(x, 1.0)]).unwrap();
+        p.add_row(RowKind::Le, 12.0, &[(y, 2.0)]).unwrap();
+        let tok = CancelToken::new();
+        tok.cancel();
+        let dl = Deadline::from_token(&tok);
+        let e = solve_with_deadline(&p, &Obs::disabled(), &dl).unwrap_err();
+        assert_eq!(e, LpError::Interrupted);
+        // an inert deadline leaves the solve untouched
+        let s = solve_with_deadline(&p, &Obs::disabled(), &Deadline::none()).unwrap();
+        assert!(feasible(&p, &s.x, 1e-7));
+    }
+
+    #[test]
+    fn trip_mid_solve_interrupts_within_one_stride() {
+        use clk_obs::CancelToken;
+        // a problem with enough pivots that a mid-solve trip lands
+        // between polls rather than before the first one
+        let mut p = Problem::new();
+        let n = 24;
+        let vars: Vec<VarId> = (0..n)
+            .map(|i| p.add_var(0.0, 10.0, -(1.0 + i as f64)).unwrap())
+            .collect();
+        for i in 0..n {
+            let a = vars[i];
+            let b = vars[(i + 1) % n];
+            p.add_row(RowKind::Le, 12.0, &[(a, 1.0), (b, 1.0)]).unwrap();
+        }
+        let baseline = solve(&p).expect("solvable without a deadline");
+        assert!(baseline.iterations > 1);
+        let tok = CancelToken::new();
+        tok.trip_after_polls(2); // expire on the second poll
+        let dl = Deadline::from_token(&tok);
+        let e = solve_with_deadline(&p, &Obs::disabled(), &dl).unwrap_err();
+        assert_eq!(e, LpError::Interrupted);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use clk_geom::Point;
-use clk_liberty::Library;
+use clk_liberty::{Library, LimitExceeded, ParseLimits};
 use clk_route::RoutePath;
 
 use crate::pairs::SinkPair;
@@ -55,19 +55,24 @@ pub fn write_ctree(tree: &ClockTree, lib: &Library) -> String {
             let kind = match node.kind {
                 NodeKind::Buffer(cell) => format!("buffer {}", lib.cell(cell).name),
                 NodeKind::Sink => "sink".to_string(),
-                // clk-analyze: allow(A005) unreachable by construction: source has no parent
-                NodeKind::Source => unreachable!("source has no parent"),
+                // a child with Source kind means the tree is corrupt;
+                // skip the record so the output fails to re-parse
+                // (missing parent) instead of panicking mid-write
+                NodeKind::Source => continue,
             };
+            // likewise: a non-root without a route writes an empty
+            // polyline, which the reader rejects with a typed error
             let route = node
                 .route
                 .as_ref()
-                // clk-analyze: allow(A005) invariant upheld by construction: non-root has route
-                .expect("non-root has route")
-                .points()
-                .iter()
-                .map(|p| format!("{} {}", p.x, p.y))
-                .collect::<Vec<_>>()
-                .join(" ");
+                .map(|r| {
+                    r.points()
+                        .iter()
+                        .map(|p| format!("{} {}", p.x, p.y))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .unwrap_or_default();
             let _ = writeln!(
                 out,
                 "node n{} {kind} {} {} parent n{} route {route}",
@@ -84,8 +89,11 @@ pub fn write_ctree(tree: &ClockTree, lib: &Library) -> String {
 /// Errors from [`parse_ctree`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseCtreeError {
-    /// 1-based source line.
+    /// 1-based source line (0 for whole-input errors found after
+    /// reading, e.g. the final validation).
     pub line: usize,
+    /// Byte offset into the input where the offending line starts.
+    pub offset: usize,
     /// What went wrong.
     pub message: String,
 }
@@ -94,51 +102,103 @@ impl std::fmt::Display for ParseCtreeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "ctree parse error at line {}: {}",
-            self.line, self.message
+            "ctree parse error at line {} (byte {}): {}",
+            self.line, self.offset, self.message
         )
     }
 }
 
 impl std::error::Error for ParseCtreeError {}
 
-/// Parses `.ctree` text back into a [`ClockTree`]. Node ids are remapped;
-/// structure, locations, routes, cells and sink pairs are preserved.
+/// Parses `.ctree` text back into a [`ClockTree`] under the default
+/// [`ParseLimits`]. Node ids are remapped; structure, locations, routes,
+/// cells and sink pairs are preserved.
 ///
 /// # Errors
 ///
 /// [`ParseCtreeError`] on malformed lines, unknown cells, missing
-/// parents or invalid routes.
+/// parents, invalid routes or exceeded limits.
 pub fn parse_ctree(text: &str, lib: &Library) -> Result<ClockTree, ParseCtreeError> {
-    let fail = |line: usize, m: &str| ParseCtreeError {
+    parse_ctree_with_limits(text, lib, &ParseLimits::default())
+}
+
+/// [`parse_ctree`] with an explicit resource-limit policy for untrusted
+/// input. Every limit violation is a typed error carrying the byte
+/// offset of the offending line — never a panic, never unbounded
+/// allocation.
+pub fn parse_ctree_with_limits(
+    text: &str,
+    lib: &Library,
+    limits: &ParseLimits,
+) -> Result<ClockTree, ParseCtreeError> {
+    let fail = |line: usize, offset: usize, m: &str| ParseCtreeError {
         line,
+        offset,
         message: m.to_string(),
     };
-    let mut lines = text.lines().enumerate();
-    let (_, header) = lines.next().ok_or_else(|| fail(1, "empty input"))?;
+    let over = |line: usize, offset: usize, e: LimitExceeded| ParseCtreeError {
+        line,
+        offset,
+        message: e.to_string(),
+    };
+    limits.check_bytes(text.len()).map_err(|e| over(1, 0, e))?;
+    // (line number, byte offset of line start, line content)
+    let mut lines = text
+        .split_inclusive('\n')
+        .scan(0usize, |off, seg| {
+            let start = *off;
+            *off += seg.len();
+            Some((start, seg.trim_end_matches(['\n', '\r'])))
+        })
+        .enumerate()
+        .map(|(i, (off, s))| (i + 1, off, s));
+    let (_, _, header) = lines.next().ok_or_else(|| fail(1, 0, "empty input"))?;
     if header.trim() != "ctree 1" {
-        return Err(fail(1, "expected header `ctree 1`"));
+        return Err(fail(1, 0, "expected header `ctree 1`"));
     }
     let mut tree: Option<ClockTree> = None;
     let mut ids: HashMap<String, NodeId> = HashMap::new();
     let mut pairs: Vec<SinkPair> = Vec::new();
-    for (i, raw) in lines {
-        let ln = i + 1;
+    let mut records = 0usize;
+    for (ln, off, raw) in lines {
+        if raw.len() > limits.max_token_len {
+            return Err(over(
+                ln,
+                off,
+                LimitExceeded {
+                    what: "line length",
+                    actual: raw.len(),
+                    limit: limits.max_token_len,
+                },
+            ));
+        }
         let toks: Vec<&str> = raw.split_whitespace().collect();
         if toks.is_empty() {
             continue;
         }
+        records += 1;
+        if records > limits.max_records {
+            return Err(over(
+                ln,
+                off,
+                LimitExceeded {
+                    what: "records",
+                    actual: records,
+                    limit: limits.max_records,
+                },
+            ));
+        }
         let int = |s: &str| -> Result<i64, ParseCtreeError> {
-            s.parse().map_err(|_| fail(ln, "bad integer"))
+            s.parse().map_err(|_| fail(ln, off, "bad integer"))
         };
         match toks[0] {
             "source" => {
                 if toks.len() != 5 {
-                    return Err(fail(ln, "source needs: name x y cell"));
+                    return Err(fail(ln, off, "source needs: name x y cell"));
                 }
                 let cell = lib
                     .cell_by_name(toks[4])
-                    .ok_or_else(|| fail(ln, "unknown source cell"))?;
+                    .ok_or_else(|| fail(ln, off, "unknown source cell"))?;
                 let loc = Point::new(int(toks[2])?, int(toks[3])?);
                 let t = ClockTree::new(loc, cell);
                 ids.insert(toks[1].to_string(), t.root());
@@ -147,63 +207,76 @@ pub fn parse_ctree(text: &str, lib: &Library) -> Result<ClockTree, ParseCtreeErr
             "node" => {
                 let tree = tree
                     .as_mut()
-                    .ok_or_else(|| fail(ln, "node before source"))?;
+                    .ok_or_else(|| fail(ln, off, "node before source"))?;
                 // node nX buffer CELL x y parent nY route ...
                 // node nX sink x y parent nY route ...
                 let (kind, rest) = match toks.get(2) {
                     Some(&"buffer") => {
                         let cell = lib
-                            .cell_by_name(toks.get(3).ok_or_else(|| fail(ln, "missing cell"))?)
-                            .ok_or_else(|| fail(ln, "unknown cell"))?;
+                            .cell_by_name(toks.get(3).ok_or_else(|| fail(ln, off, "missing cell"))?)
+                            .ok_or_else(|| fail(ln, off, "unknown cell"))?;
                         (NodeKind::Buffer(cell), &toks[4..])
                     }
                     Some(&"sink") => (NodeKind::Sink, &toks[3..]),
-                    _ => return Err(fail(ln, "node kind must be buffer|sink")),
+                    _ => return Err(fail(ln, off, "node kind must be buffer|sink")),
                 };
                 if rest.len() < 5 || rest[2] != "parent" || rest[4] != "route" {
-                    return Err(fail(ln, "node needs: x y parent nY route pts..."));
+                    return Err(fail(ln, off, "node needs: x y parent nY route pts..."));
                 }
                 let loc = Point::new(int(rest[0])?, int(rest[1])?);
                 let parent = *ids
                     .get(rest[3])
-                    .ok_or_else(|| fail(ln, "parent not yet defined"))?;
+                    .ok_or_else(|| fail(ln, off, "parent not yet defined"))?;
+                // bound the point count before parsing a single number
+                let n_coords = rest[5..].len();
+                if n_coords / 2 > limits.max_route_points {
+                    return Err(over(
+                        ln,
+                        off,
+                        LimitExceeded {
+                            what: "route points",
+                            actual: n_coords / 2,
+                            limit: limits.max_route_points,
+                        },
+                    ));
+                }
                 let pts: Vec<i64> = rest[5..].iter().map(|s| int(s)).collect::<Result<_, _>>()?;
                 if pts.len() < 4 || !pts.len().is_multiple_of(2) {
-                    return Err(fail(ln, "route needs >= 2 points"));
+                    return Err(fail(ln, off, "route needs >= 2 points"));
                 }
                 let route_pts: Vec<Point> = pts.chunks(2).map(|c| Point::new(c[0], c[1])).collect();
                 if route_pts
                     .windows(2)
                     .any(|w| w[0].x != w[1].x && w[0].y != w[1].y)
                 {
-                    return Err(fail(ln, "route not rectilinear"));
+                    return Err(fail(ln, off, "route not rectilinear"));
                 }
                 let route = RoutePath::from_points(route_pts);
                 let id = tree
                     .add_node_with_route(kind, loc, parent, route)
-                    .map_err(|e| fail(ln, &e.to_string()))?;
+                    .map_err(|e| fail(ln, off, &e.to_string()))?;
                 ids.insert(toks[1].to_string(), id);
             }
             "pair" => {
                 if toks.len() != 5 || toks[3] != "weight" {
-                    return Err(fail(ln, "pair needs: nA nB weight w"));
+                    return Err(fail(ln, off, "pair needs: nA nB weight w"));
                 }
                 let a = *ids
                     .get(toks[1])
-                    .ok_or_else(|| fail(ln, "unknown pair sink"))?;
+                    .ok_or_else(|| fail(ln, off, "unknown pair sink"))?;
                 let b = *ids
                     .get(toks[2])
-                    .ok_or_else(|| fail(ln, "unknown pair sink"))?;
-                let w: f64 = toks[4].parse().map_err(|_| fail(ln, "bad weight"))?;
+                    .ok_or_else(|| fail(ln, off, "unknown pair sink"))?;
+                let w: f64 = toks[4].parse().map_err(|_| fail(ln, off, "bad weight"))?;
                 pairs.push(SinkPair::with_weight(a, b, w));
             }
-            _ => return Err(fail(ln, "unknown record")),
+            _ => return Err(fail(ln, off, "unknown record")),
         }
     }
-    let mut tree = tree.ok_or_else(|| fail(1, "no source record"))?;
+    let mut tree = tree.ok_or_else(|| fail(1, 0, "no source record"))?;
     tree.set_sink_pairs(pairs);
     tree.validate()
-        .map_err(|e| fail(0, &format!("invalid tree: {e}")))?;
+        .map_err(|e| fail(0, 0, &format!("invalid tree: {e}")))?;
     Ok(tree)
 }
 
@@ -233,10 +306,12 @@ pub fn write_verilog(tree: &ClockTree, lib: &Library, module: &str) -> String {
     let src_cell = lib.cell(tree.source_cell());
     let _ = writeln!(out, "  {} u_src (.A(clk_in), .Y(w_src));", src_cell.name);
     for b in tree.buffers().collect::<Vec<_>>() {
-        // clk-analyze: allow(A005) invariant upheld by construction: buffer has a parent
-        let parent = tree.parent(b).expect("buffer has a parent");
-        // clk-analyze: allow(A005) invariant upheld by construction: buffer has a cell
-        let cell = tree.cell(b).expect("buffer has a cell");
+        // a buffer without a parent or cell means the tree is corrupt;
+        // omit its instance rather than panic mid-write (the resulting
+        // netlist has a dangling wire an external linter will flag)
+        let (Some(parent), Some(cell)) = (tree.parent(b), tree.cell(b)) else {
+            continue;
+        };
         let _ = writeln!(
             out,
             "  {} u_n{} (.A({}), .Y({}));",
@@ -247,8 +322,10 @@ pub fn write_verilog(tree: &ClockTree, lib: &Library, module: &str) -> String {
         );
     }
     for s in &sinks {
-        // clk-analyze: allow(A005) invariant upheld by construction: sink has a driver
-        let parent = tree.parent(*s).expect("sink has a driver");
+        // same policy: a driverless sink port is left unassigned
+        let Some(parent) = tree.parent(*s) else {
+            continue;
+        };
         let _ = writeln!(out, "  assign ck_n{} = {};", s.0, net_of(parent));
     }
     let _ = writeln!(out, "endmodule");
@@ -279,8 +356,10 @@ pub fn write_def(tree: &ClockTree, lib: &Library, design: &str, die: clk_geom::R
         tree.loc(src).y
     );
     for b in &buffers {
-        // clk-analyze: allow(A005) invariant upheld by construction: buffer
-        let cell = tree.cell(*b).expect("buffer");
+        // a cell-less buffer means the tree is corrupt; omit the
+        // component (the COMPONENTS count above will disagree, which
+        // external DEF checkers flag) rather than panic mid-write
+        let Some(cell) = tree.cell(*b) else { continue };
         let p = tree.loc(*b);
         let _ = writeln!(
             out,
@@ -368,6 +447,44 @@ mod tests {
         // diagonal route
         let diag = "ctree 1\nsource n0 0 0 CLKINV_X16\nnode n1 sink 5 5 parent n0 route 0 0 5 5\n";
         assert!(parse_ctree(diag, &lib).is_err());
+    }
+
+    #[test]
+    fn ctree_limits_reject_adversarial_input() {
+        let (t, lib) = fixture();
+        let text = write_ctree(&t, &lib);
+        let tiny = ParseLimits {
+            max_bytes: 16,
+            ..ParseLimits::strict()
+        };
+        let e = parse_ctree_with_limits(&text, &lib, &tiny).unwrap_err();
+        assert!(e.message.contains("input bytes"), "{e}");
+        let few = ParseLimits {
+            max_records: 2,
+            ..ParseLimits::strict()
+        };
+        let e = parse_ctree_with_limits(&text, &lib, &few).unwrap_err();
+        assert!(e.message.contains("records"), "{e}");
+        assert!(e.offset > 0);
+        let skinny = ParseLimits {
+            max_route_points: 1,
+            ..ParseLimits::strict()
+        };
+        let e = parse_ctree_with_limits(&text, &lib, &skinny).unwrap_err();
+        assert!(e.message.contains("route points"), "{e}");
+        // own output passes even the strict policy
+        parse_ctree_with_limits(&text, &lib, &ParseLimits::strict()).unwrap();
+    }
+
+    #[test]
+    fn ctree_errors_carry_byte_offsets() {
+        let (_, lib) = fixture();
+        let text = "ctree 1\nsource n0 0 0 CLKINV_X16\nbogus record\n";
+        let e = parse_ctree(text, &lib).unwrap_err();
+        assert_eq!(e.line, 3);
+        // "ctree 1\n" is 8 bytes, the source line is 25: line 3 starts at 33
+        assert_eq!(e.offset, 33);
+        assert!(e.to_string().contains("byte 33"));
     }
 
     #[test]

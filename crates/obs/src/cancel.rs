@@ -1,0 +1,401 @@
+//! Cooperative cancellation: [`CancelToken`] and [`Deadline`].
+//!
+//! The anytime property of the flow rests on two zero-dependency
+//! primitives built from std atomics:
+//!
+//! * [`CancelToken`] — a shared flag another thread (or a test harness)
+//!   flips to request cancellation. Tokens also carry the flow-global
+//!   *poll counter*: every deadline poll anywhere in the flow advances
+//!   it, which gives chaos runs a deterministic, wall-clock-free way to
+//!   express a cut point ("trip on the N-th poll").
+//! * [`Deadline`] — what inner loops actually poll. It combines an
+//!   optional wall-clock expiry with an optional token and answers one
+//!   question, [`Deadline::expired`], cheaply enough to ask every few
+//!   simplex pivots.
+//!
+//! The module lives in `clk-obs` (rather than the fault runtime in
+//! `clk-skewopt`) because the leaf crates that host the hot loops —
+//! `clk-lp`, `clk-sta` — depend on `clk-obs` only, and because expiry
+//! is the one algorithmic decision the wall clock is allowed to make,
+//! so it belongs next to [`wall_now`](crate::wall_now). `clk-skewopt`
+//! re-exports both types from its `fault` module.
+//!
+//! ```
+//! use clk_obs::{CancelToken, Deadline};
+//!
+//! let token = CancelToken::new();
+//! let dl = Deadline::from_token(&token);
+//! assert!(!dl.expired());
+//! token.cancel();
+//! assert!(dl.expired());
+//! assert!(dl.ack_latency_ms().is_some());
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Sentinel for "not yet" in the µs-since-epoch atomics below.
+const UNSET: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct TokenInner {
+    /// Set by [`CancelToken::cancel`]; checked by every poll.
+    cancelled: AtomicBool,
+    /// Flow-global poll counter (advanced by [`Deadline::expired`]).
+    polls: AtomicU64,
+    /// Deterministic trip: expire once `polls` reaches this. `UNSET`
+    /// disables the trip.
+    trip_at: AtomicU64,
+    /// µs after `epoch` when `cancel()` ran (for ack latency).
+    cancelled_at_us: AtomicU64,
+    /// Creation instant; the zero point of the µs stamps.
+    epoch: Instant,
+}
+
+/// A shared cooperative-cancellation handle.
+///
+/// Clones share one flag: any clone's [`cancel`](CancelToken::cancel)
+/// is visible to every poller. The token never interrupts anything by
+/// itself — loops observe it through a [`Deadline`] at their own safe
+/// points, which is what makes any cut point leave a legal tree.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                polls: AtomicU64::new(0),
+                trip_at: AtomicU64::new(UNSET),
+                cancelled_at_us: AtomicU64::new(UNSET),
+                epoch: crate::wall_now(),
+            }),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; the first call stamps the
+    /// request time so ack latency can be measured.
+    pub fn cancel(&self) {
+        let us = elapsed_us(self.inner.epoch);
+        let _ = self.inner.cancelled_at_us.compare_exchange(
+            UNSET,
+            us,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation was requested (does not count as a poll).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Arms a deterministic trip: every [`Deadline`] carrying this
+    /// token reports expiry from the `n`-th poll on. Because polls
+    /// advance in the deterministic order the (single-threaded) flow
+    /// reaches its safe points, `n` is a reproducible cut point —
+    /// the chaos battery sweeps it across phases.
+    pub fn trip_after_polls(&self, n: u64) {
+        self.inner.trip_at.store(n, Ordering::Relaxed);
+    }
+
+    /// How many deadline polls this token has absorbed.
+    pub fn polls(&self) -> u64 {
+        self.inner.polls.load(Ordering::Relaxed)
+    }
+
+    /// Counts one poll; returns `true` when the token demands a stop
+    /// (external cancel or armed trip reached).
+    fn poll(&self) -> bool {
+        let n = self.inner.polls.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        let trip = self.inner.trip_at.load(Ordering::Relaxed);
+        if n >= trip {
+            // a trip is a cancellation requested by the poll counter
+            let us = elapsed_us(self.inner.epoch);
+            let _ = self.inner.cancelled_at_us.compare_exchange(
+                UNSET,
+                us,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            self.inner.cancelled.store(true, Ordering::Release);
+            return true;
+        }
+        false
+    }
+
+    /// µs after the token's epoch when cancellation was requested.
+    fn cancelled_at_us(&self) -> Option<u64> {
+        match self.inner.cancelled_at_us.load(Ordering::Relaxed) {
+            UNSET => None,
+            us => Some(us),
+        }
+    }
+}
+
+fn elapsed_us(epoch: Instant) -> u64 {
+    // saturate rather than wrap; UNSET stays reserved
+    u64::try_from(crate::wall_now().duration_since(epoch).as_micros())
+        .unwrap_or(UNSET - 1)
+        .min(UNSET - 1)
+}
+
+#[derive(Debug)]
+struct DeadlineInner {
+    /// Wall-clock expiry, if bounded.
+    wall: Option<Instant>,
+    /// External cancellation source, if attached.
+    token: Option<CancelToken>,
+    /// Polls absorbed by this deadline (wall-only deadlines have no
+    /// token counter to lean on).
+    polls: AtomicU64,
+    /// µs after `epoch` when a poll first observed expiry.
+    acked_at_us: AtomicU64,
+    /// Creation instant; zero point for `acked_at_us`.
+    epoch: Instant,
+}
+
+/// What inner loops poll: wall-clock expiry and/or cooperative cancel.
+///
+/// `Deadline::none()` is inert and free to poll (one `Option` check),
+/// so hot loops take a `&Deadline` unconditionally. Clones share state:
+/// the first clone to observe expiry stamps the ack for all of them.
+///
+/// The polling contract that keeps the flow *anytime*: every loop that
+/// can run longer than a few milliseconds polls [`expired`]
+/// (Deadline::expired) at its safe points — the simplex pivot loop
+/// every [`SIMPLEX_POLL_STRIDE`] pivots, STA once per driver net, the
+/// global phase per λ-trial and per ECO arc, the local phase per
+/// candidate eval — and on `true` abandons the unit of work in
+/// progress, restores the last committed state, and returns a typed
+/// `Interrupted` error to its caller.
+#[derive(Debug, Clone, Default)]
+pub struct Deadline {
+    inner: Option<Arc<DeadlineInner>>,
+}
+
+/// The simplex pivot loop polls its deadline every this many pivots;
+/// the acceptance bound of the chaos battery (≤ 64 pivots to ack).
+pub const SIMPLEX_POLL_STRIDE: u64 = 16;
+
+impl Deadline {
+    /// The inert deadline: never expires, costs one branch to poll.
+    pub fn none() -> Self {
+        Deadline { inner: None }
+    }
+
+    /// Expires at `wall`.
+    pub fn at(wall: Instant) -> Self {
+        Deadline::new(Some(wall), None)
+    }
+
+    /// Expires when `token` is cancelled (or its armed trip fires).
+    pub fn from_token(token: &CancelToken) -> Self {
+        Deadline::new(None, Some(token.clone()))
+    }
+
+    /// Combines an optional wall expiry with an optional token. Both
+    /// `None` yields the inert deadline.
+    pub fn new(wall: Option<Instant>, token: Option<CancelToken>) -> Self {
+        if wall.is_none() && token.is_none() {
+            return Deadline::none();
+        }
+        Deadline {
+            inner: Some(Arc::new(DeadlineInner {
+                wall,
+                token,
+                polls: AtomicU64::new(0),
+                acked_at_us: AtomicU64::new(UNSET),
+                epoch: crate::wall_now(),
+            })),
+        }
+    }
+
+    /// Whether polling can ever return `true`.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The wall-clock expiry, if one is set.
+    pub fn wall(&self) -> Option<Instant> {
+        self.inner.as_ref().and_then(|i| i.wall)
+    }
+
+    /// Polls the deadline at a safe point. Counts the poll (on the
+    /// token's flow-global counter when one is attached) and stamps
+    /// the ack on the first `true`.
+    pub fn expired(&self) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        inner.polls.fetch_add(1, Ordering::Relaxed);
+        let hit = inner.token.as_ref().is_some_and(CancelToken::poll)
+            || inner.wall.is_some_and(|w| crate::wall_now() >= w);
+        if hit {
+            let us = elapsed_us(inner.epoch);
+            let _ =
+                inner
+                    .acked_at_us
+                    .compare_exchange(UNSET, us, Ordering::Relaxed, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Polls absorbed by this deadline handle (all clones).
+    pub fn polls(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.polls.load(Ordering::Relaxed))
+    }
+
+    /// Wall time between the expiry trigger (wall instant passing,
+    /// `cancel()` running, or an armed trip firing) and the first poll
+    /// that observed it — the cancellation ack latency. `None` until a
+    /// poll has observed expiry.
+    pub fn ack_latency_ms(&self) -> Option<f64> {
+        let inner = self.inner.as_ref()?;
+        let acked_us = match inner.acked_at_us.load(Ordering::Relaxed) {
+            UNSET => return None,
+            us => us,
+        };
+        let acked = inner.epoch + Duration::from_micros(acked_us);
+        // the earliest trigger that could have caused the ack
+        let mut trigger = acked;
+        if let Some(w) = inner.wall {
+            if w < trigger {
+                trigger = w;
+            }
+        }
+        if let Some(tok) = &inner.token {
+            if let Some(c_us) = tok.cancelled_at_us() {
+                let c = tok.inner.epoch + Duration::from_micros(c_us);
+                if c < trigger {
+                    trigger = c;
+                }
+            }
+        }
+        Some(acked.duration_since(trigger).as_secs_f64() * 1e3)
+    }
+
+    /// What caused expiry: `"cancel"`, `"wall"`, or `None` while live.
+    /// Trips report `"cancel"` — a trip *is* a (counter-requested)
+    /// cancellation.
+    pub fn trigger(&self) -> Option<&'static str> {
+        let inner = self.inner.as_ref()?;
+        if inner.token.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some("cancel");
+        }
+        if inner.wall.is_some_and(|w| crate::wall_now() >= w) {
+            return Some("wall");
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_deadline_never_expires() {
+        let dl = Deadline::none();
+        assert!(!dl.is_active());
+        for _ in 0..1000 {
+            assert!(!dl.expired());
+        }
+        assert_eq!(dl.polls(), 0);
+        assert!(dl.ack_latency_ms().is_none());
+        assert!(dl.trigger().is_none());
+    }
+
+    #[test]
+    fn token_cancel_is_observed_and_stamped() {
+        let tok = CancelToken::new();
+        let dl = Deadline::from_token(&tok);
+        assert!(!dl.expired());
+        assert!(!tok.is_cancelled());
+        tok.cancel();
+        assert!(tok.is_cancelled());
+        assert!(dl.expired());
+        assert_eq!(dl.trigger(), Some("cancel"));
+        let lat = dl.ack_latency_ms().expect("acked");
+        assert!(lat >= 0.0);
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let tok = CancelToken::new();
+        let other = tok.clone();
+        other.cancel();
+        assert!(tok.is_cancelled());
+    }
+
+    #[test]
+    fn wall_deadline_expires() {
+        let now = crate::wall_now();
+        let dl = Deadline::at(now); // already past by poll time
+        assert!(dl.expired());
+        assert_eq!(dl.trigger(), Some("wall"));
+        assert!(dl.ack_latency_ms().expect("acked") >= 0.0);
+        let far = Deadline::at(now + Duration::from_secs(3600));
+        assert!(!far.expired());
+    }
+
+    #[test]
+    fn armed_trip_fires_on_exact_poll_and_is_deterministic() {
+        for _ in 0..2 {
+            let tok = CancelToken::new();
+            tok.trip_after_polls(5);
+            let dl = Deadline::from_token(&tok);
+            let mut fired_at = None;
+            for i in 1..=10u64 {
+                if dl.expired() && fired_at.is_none() {
+                    fired_at = Some(i);
+                }
+            }
+            assert_eq!(fired_at, Some(5), "trip is an exact cut point");
+            assert!(tok.is_cancelled(), "a trip is a cancellation");
+        }
+    }
+
+    #[test]
+    fn token_counter_is_shared_across_deadlines() {
+        let tok = CancelToken::new();
+        tok.trip_after_polls(4);
+        let phase1 = Deadline::from_token(&tok);
+        let phase2 = Deadline::from_token(&tok);
+        assert!(!phase1.expired()); // poll 1
+        assert!(!phase1.expired()); // poll 2
+        assert!(!phase2.expired()); // poll 3
+        assert!(phase2.expired()); // poll 4: trips on the shared count
+        assert_eq!(tok.polls(), 4);
+    }
+
+    #[test]
+    fn combined_wall_and_token() {
+        let tok = CancelToken::new();
+        let dl = Deadline::new(
+            Some(crate::wall_now() + Duration::from_secs(3600)),
+            Some(tok.clone()),
+        );
+        assert!(!dl.expired());
+        tok.cancel();
+        assert!(dl.expired());
+        assert_eq!(dl.trigger(), Some("cancel"));
+    }
+}

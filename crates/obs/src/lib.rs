@@ -39,10 +39,12 @@ mod recorder;
 mod sink;
 mod span;
 
+pub mod cancel;
 pub mod chrome;
 pub mod json;
 pub mod metrics;
 
+pub use cancel::{CancelToken, Deadline, SIMPLEX_POLL_STRIDE};
 pub use event::{EventKind, EventRecord, Level};
 pub use json::Value;
 pub use metrics::{

@@ -3,7 +3,7 @@
 use clk_delay::{peri_slew, NetTiming, RcTree, WireModel};
 use clk_liberty::{CornerId, Library};
 use clk_netlist::{ArcSet, ClockTree, NodeId, NodeKind};
-use clk_obs::Obs;
+use clk_obs::{Deadline, Obs};
 use clk_route::WireTree;
 
 /// The single place the documented panicking wrappers are allowed to
@@ -80,6 +80,9 @@ pub enum TimingError {
         /// Which quantity was non-finite (`"arrival"` or `"slew"`).
         what: &'static str,
     },
+    /// Propagation was cut by the timer's [`Deadline`] (see
+    /// [`Timer::with_deadline`]); the partial analysis is discarded.
+    Interrupted,
 }
 
 impl std::fmt::Display for TimingError {
@@ -89,6 +92,9 @@ impl std::fmt::Display for TimingError {
             TimingError::MissingRoute(n) => write!(f, "non-root node {n} has no route"),
             TimingError::SourceHasParent(n) => write!(f, "source node {n} has a parent"),
             TimingError::NonFinite { node, what } => write!(f, "no finite {what} at {node}"),
+            TimingError::Interrupted => {
+                f.write_str("timing analysis interrupted by deadline or cancellation")
+            }
         }
     }
 }
@@ -206,6 +212,7 @@ impl CornerTiming {
 pub struct Timer {
     opts: TimerOptions,
     obs: Obs,
+    deadline: Deadline,
 }
 
 impl Timer {
@@ -214,6 +221,7 @@ impl Timer {
         Timer {
             opts,
             obs: Obs::disabled(),
+            deadline: Deadline::none(),
         }
     }
 
@@ -228,6 +236,18 @@ impl Timer {
     /// analysis.
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Makes every analysis interruptible: propagation polls `deadline`
+    /// once per driver net and returns [`TimingError::Interrupted`] on
+    /// expiry, discarding the partial corner. The default timer carries
+    /// the inert deadline (polling costs one branch). Callers that need
+    /// reproducible results across runs (e.g. parallel candidate
+    /// workers) should keep the default rather than share a deadline
+    /// whose observation order is racy.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
         self
     }
 
@@ -312,6 +332,11 @@ impl Timer {
         // Preorder walk: parents are timed before children.
         let mut stack = vec![root];
         while let Some(d) = stack.pop() {
+            // cooperative cancellation: one poll per driver net bounds
+            // the ack latency to a single net's extraction + analysis
+            if self.deadline.expired() {
+                return Err(TimingError::Interrupted);
+            }
             let children = tree.children(d);
             if children.is_empty() {
                 continue;
@@ -558,6 +583,24 @@ mod tests {
         let want = 2.0 * lib.sink_cap_ff() + lib.cell(x8).input_cap_ff;
         assert!((timing.pin_cap_ff() - want).abs() < 1e-9);
         assert!(timing.load_ff(t.root()) > 0.0);
+    }
+
+    #[test]
+    fn cancelled_timer_returns_interrupted() {
+        use clk_obs::CancelToken;
+        let lib = lib();
+        let (t, ..) = symmetric(&lib);
+        let tok = CancelToken::new();
+        tok.cancel();
+        let timer = Timer::golden().with_deadline(Deadline::from_token(&tok));
+        let e = timer.try_analyze(&t, &lib, CornerId(0)).unwrap_err();
+        assert_eq!(e, TimingError::Interrupted);
+        let e = timer.try_analyze_all(&t, &lib).unwrap_err();
+        assert_eq!(e, TimingError::Interrupted);
+        // a live token leaves the analysis untouched
+        let tok = CancelToken::new();
+        let timer = Timer::golden().with_deadline(Deadline::from_token(&tok));
+        assert!(timer.try_analyze(&t, &lib, CornerId(0)).is_ok());
     }
 
     #[test]

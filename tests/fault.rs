@@ -14,8 +14,8 @@ use clk_netlist::io::write_ctree;
 use clk_netlist::{ClockTree, NodeId, SinkPair};
 use clk_skewopt::predictor::Topo;
 use clk_skewopt::{
-    local_optimize_checked, try_optimize_with, FaultCtx, FaultPlan, FaultSite, Flow, FlowConfig,
-    GlobalConfig, LocalConfig, PhaseBudget, Ranker, StageLuts, TreeTxn,
+    local_optimize_checked, try_optimize_with, Deadline, FaultCtx, FaultPlan, FaultSite, Flow,
+    FlowConfig, GlobalConfig, LocalConfig, PhaseBudget, Ranker, StageLuts, TreeTxn,
 };
 
 use clk_cts::{Testcase, TestcaseKind};
@@ -63,7 +63,7 @@ fn all_panicking_workers_leave_tree_byte_identical() {
     plan.arm(FaultSite::WorkerPanic, 0, u32::MAX);
     let mut tree = tc.tree.clone();
     let before = write_ctree(&tree, &tc.lib);
-    let mut ctx = FaultCtx::new(Some(&plan), None);
+    let mut ctx = FaultCtx::new(Some(&plan), Deadline::none());
     let rep = local_optimize_checked(
         &mut tree,
         &tc.lib,
@@ -167,6 +167,19 @@ fn corrupt(tree: &mut ClockTree, defect: usize) {
             let pair = tree.sink_pairs()[0];
             tree.set_sink_pairs(vec![SinkPair::with_weight(pair.a, pair.b, f64::NAN)]);
         }
+    }
+}
+
+/// Regression: a buffer teleported outside the die (seed 136 of the
+/// proptest below) must come back as a typed error or a valid report,
+/// never a panic.
+#[test]
+fn teleported_buffer_yields_typed_result() {
+    let mut tc = Testcase::generate(TestcaseKind::Cls1v1, 16, 136);
+    corrupt(&mut tc.tree, 3);
+    match try_optimize_with(&tc, Flow::Global, &quick_cfg(), Some(luts()), None) {
+        Ok(rep) => assert!(rep.tree.validate().is_ok()),
+        Err(e) => assert!(!e.to_string().is_empty()),
     }
 }
 

@@ -264,3 +264,78 @@ proptest! {
         prop_assert!(out.iter().any(|d| d.code == want), "{out:?}");
     }
 }
+
+// ---- untrusted-input hardening: the text readers must return typed
+// errors (never panic) on damaged input, deterministically, and must
+// reject limit-exceeding input outright -------------------------------
+
+use std::sync::OnceLock;
+
+use clk_liberty::text::{parse_liberty, parse_liberty_with_limits, write_liberty};
+use clk_liberty::ParseLimits;
+use clk_netlist::io::{parse_ctree, parse_ctree_with_limits, write_ctree};
+
+/// Shared well-formed corpus: one Liberty corner and one `.ctree` dump.
+fn parser_fixture() -> &'static (String, String, Library) {
+    static FIX: OnceLock<(String, String, Library)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let tc = Testcase::generate(TestcaseKind::Cls1v1, 10, 7);
+        let liberty = write_liberty(&tc.lib, clk_liberty::CornerId(0));
+        let ctree = write_ctree(&tc.tree, &tc.lib);
+        (liberty, ctree, tc.lib.clone())
+    })
+}
+
+/// Flips one bit and truncates, returning a parseable `&str` mutant.
+fn damage(base: &str, flip: usize, bit: u8, cut: usize) -> String {
+    let mut bytes = base.as_bytes().to_vec();
+    let i = flip % bytes.len();
+    bytes[i] ^= 1 << (bit % 8);
+    bytes.truncate(1 + cut % bytes.len());
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bit-flipped and truncated Liberty input parses to `Ok` or a
+    /// typed error — never a panic — and the outcome is deterministic
+    /// (identical value or identical error, byte offset included).
+    #[test]
+    fn damaged_liberty_never_panics(flip in 0usize..1_000_000, bit in 0u8..8, cut in 0usize..1_000_000) {
+        let (liberty, _, _) = parser_fixture();
+        let mutant = damage(liberty, flip, bit, cut);
+        let r1 = parse_liberty(&mutant);
+        let r2 = parse_liberty(&mutant);
+        prop_assert_eq!(r1, r2);
+    }
+
+    /// Same contract for `.ctree` input.
+    #[test]
+    fn damaged_ctree_never_panics(flip in 0usize..1_000_000, bit in 0u8..8, cut in 0usize..1_000_000) {
+        let (_, ctree, lib) = parser_fixture();
+        let mutant = damage(ctree, flip, bit, cut);
+        let r1 = parse_ctree(&mutant, lib);
+        let r2 = parse_ctree(&mutant, lib);
+        match (r1, r2) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(write_ctree(&a, lib), write_ctree(&b, lib)),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "nondeterministic: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+
+    /// Input exceeding any configured limit is always a typed error,
+    /// never a panic and never a partial parse.
+    #[test]
+    fn limit_exceeding_input_is_always_rejected(max_bytes in 1usize..64, which in 0u8..2) {
+        let (liberty, ctree, lib) = parser_fixture();
+        let limits = ParseLimits { max_bytes, ..ParseLimits::strict() };
+        if which == 0 {
+            let e = parse_liberty_with_limits(liberty, &limits);
+            prop_assert!(e.is_err());
+        } else {
+            let e = parse_ctree_with_limits(ctree, lib, &limits);
+            prop_assert!(e.is_err());
+        }
+    }
+}
