@@ -240,7 +240,7 @@ fn main() -> ExitCode {
             "lp.solves",
             "lp.iters",
             "lp.pivots",
-            "sta.analyze.count",
+            "sta.analyzes",
             "global.rounds",
             "global.eco_accepted",
             "global.eco_rollback",

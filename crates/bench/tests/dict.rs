@@ -1,0 +1,186 @@
+//! Lexical metrics-dictionary gate: every metric name emitted anywhere
+//! in the workspace must be declared in `clk_obs::dict::DICTIONARY`,
+//! and every dictionary entry must still have an emission site (no
+//! stale declarations). Names built with `format!` count with their
+//! `{..}` holes normalized to the dictionary's `*` wildcard.
+
+use std::path::{Path, PathBuf};
+
+use clk_obs::dict;
+
+/// Extracts the metric-name literal at `text[at..]` (just past an
+/// emission-call needle), if the first argument is a string literal,
+/// optionally via `&format!("..")`. Names passed through variables are
+/// out of lexical reach and intentionally skipped; the stale check
+/// falls back to a quoted-literal search for those.
+fn extract_name(text: &str, at: usize) -> Option<String> {
+    let mut rest = text[at..].trim_start();
+    rest = rest.strip_prefix("&format!(").unwrap_or(rest).trim_start();
+    let lit = rest.strip_prefix('"')?;
+    let end = lit.find('"')?;
+    Some(normalize(&lit[..end]))
+}
+
+/// Replaces every `{...}` format hole with the dictionary wildcard.
+fn normalize(name: &str) -> String {
+    let mut out = String::new();
+    let mut depth = 0usize;
+    for ch in name.chars() {
+        match ch {
+            '{' => {
+                if depth == 0 {
+                    out.push('*');
+                }
+                depth += 1;
+            }
+            '}' => depth = depth.saturating_sub(1),
+            c if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Production (pre-`#[cfg(test)]`) prefix of one source file:
+/// test-only metric names are not part of the emission surface.
+fn production_text(path: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let cut = text
+        .lines()
+        .scan(0usize, |off, line| {
+            let at = *off;
+            *off += line.len() + 1;
+            Some((at, line))
+        })
+        .find(|(_, line)| line.trim_start() == "#[cfg(test)]")
+        .map_or(text.len(), |(at, _)| at);
+    Some(text[..cut].to_string())
+}
+
+/// Collects `(file, line_no, normalized name)` emission sites from one
+/// source file.
+fn scan_text(path: &Path, text: &str, out: &mut Vec<(PathBuf, usize, String)>) {
+    const NEEDLES: [&str; 6] = [
+        ".count(",
+        ".observe(",
+        ".gauge_set(",
+        ".counter(",
+        ".histogram(",
+        ".gauge(",
+    ];
+    for needle in NEEDLES {
+        let mut from = 0;
+        while let Some(hit) = text[from..].find(needle) {
+            let at = from + hit + needle.len();
+            from = at;
+            if let Some(name) = extract_name(text, at) {
+                if !name.is_empty() {
+                    let line = text[..at].lines().count();
+                    out.push((path.to_path_buf(), line, name));
+                }
+            }
+        }
+    }
+}
+
+fn scan_dir(dir: &Path, sites: &mut Vec<(PathBuf, usize, String)>, corpus: &mut String) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            scan_dir(&p, sites, corpus);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            if let Some(text) = production_text(&p) {
+                scan_text(&p, &text, sites);
+                // the dictionary's own declaration literals must not
+                // satisfy the quoted-literal fallback
+                if !p.ends_with("obs/src/dict.rs") {
+                    corpus.push_str(&text);
+                }
+            }
+        }
+    }
+}
+
+/// All production emission sites in the workspace — every crate's
+/// `src` and `benches`, plus the root crate's `src` — and the scanned
+/// text itself (for the quoted-literal fallback). Vendored shims and
+/// integration tests are out of scope.
+fn scan_workspace() -> (Vec<(PathBuf, usize, String)>, String) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let mut sites = Vec::new();
+    let mut corpus = String::new();
+    scan_dir(&root.join("src"), &mut sites, &mut corpus);
+    let crates = root.join("crates");
+    let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)
+        .expect("crates dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    members.sort();
+    for m in members {
+        scan_dir(&m.join("src"), &mut sites, &mut corpus);
+        scan_dir(&m.join("benches"), &mut sites, &mut corpus);
+    }
+    (sites, corpus)
+}
+
+#[test]
+fn every_emitted_metric_is_declared() {
+    let (sites, _) = scan_workspace();
+    assert!(
+        sites.len() >= 30,
+        "scanner found only {} emission sites; the lexical patterns broke",
+        sites.len()
+    );
+    let undeclared: Vec<String> = sites
+        .iter()
+        .filter(|(_, _, name)| {
+            let wildcard_declared = dict::DICTIONARY.iter().any(|d| d.name == name.as_str());
+            !wildcard_declared && (name.contains('*') || dict::lookup(name).is_none())
+        })
+        .map(|(f, l, n)| format!("{}:{l}: `{n}`", f.display()))
+        .collect();
+    assert!(
+        undeclared.is_empty(),
+        "metric names emitted but not in clk_obs::dict::DICTIONARY:\n  {}",
+        undeclared.join("\n  ")
+    );
+}
+
+#[test]
+fn every_dictionary_entry_has_an_emission_site() {
+    let (sites, corpus) = scan_workspace();
+    let emitted: Vec<String> = sites.into_iter().map(|(_, _, n)| n).collect();
+    let stale: Vec<&str> = dict::DICTIONARY
+        .iter()
+        .map(|d| d.name)
+        .filter(|decl| {
+            let by_site = emitted
+                .iter()
+                .any(|n| n == decl || dict::pattern_matches(decl, n));
+            // names routed through a variable (e.g. a match over error
+            // kinds picking the counter) still appear as quoted
+            // literals in production source
+            let by_literal = corpus.contains(&format!("\"{decl}\""));
+            !by_site && !by_literal
+        })
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "dictionary entries with no emission site (stale):\n  {}",
+        stale.join("\n  ")
+    );
+}
+
+#[test]
+fn dictionary_is_internally_consistent() {
+    let problems = dict::check_dictionary();
+    assert!(problems.is_empty(), "{}", problems.join("\n"));
+}

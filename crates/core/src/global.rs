@@ -674,7 +674,7 @@ pub(crate) fn verify_certificate(
     let t0 = clk_obs::wall_now();
     let report = clk_cert::check(p, sol);
     obs.count("cert.checks", 1);
-    obs.observe("cert.check_ms", t0.elapsed().as_secs_f64() * 1e3);
+    obs.observe("cert.check.ms", t0.elapsed().as_secs_f64() * 1e3);
     obs.observe("cert.max_resid", report.max_resid);
     if report.ok() {
         return Ok(());

@@ -307,6 +307,7 @@ pub fn local_optimize_checked(
             break;
         }
         // ---- rank all candidates by predicted variation reduction ----
+        let predict_prof = obs.prof_scope("local.predict");
         let mut scored: Vec<(f64, Move)> = Vec::with_capacity(moves.len());
         let mut subtree_cache: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
         for (mv_no, mv) in moves.into_iter().enumerate() {
@@ -340,6 +341,7 @@ pub fn local_optimize_checked(
                 scored.push((gain, mv));
             }
         }
+        drop(predict_prof);
         iter_span.record("predicted_positive", scored.len() as u64);
         obs.count("local.predicted_positive", scored.len() as u64);
         if scored.is_empty() {
@@ -390,6 +392,7 @@ pub fn local_optimize_checked(
                     kv("candidates", batch.len() as u64),
                 ],
             );
+            let _batch_prof = obs.prof_scope("local.batch");
             // Realize and golden-time each candidate in a worker thread
             // (the paper uses R threads; on one core this degrades
             // gracefully to sequential evaluation). A worker that fails
@@ -400,23 +403,35 @@ pub fn local_optimize_checked(
             let pairs_ref = &pairs;
             let alphas_ref = &alphas;
             let plan = ctx.plan;
+            let prof = obs.profiler();
             type CandidateResult = Result<(f64, Vec<f64>, ClockTree), CandidateFailure>;
             let results: Vec<Option<CandidateResult>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = batch
                     .iter()
                     .map(|(_, mv)| {
                         let tree_ref: &ClockTree = tree;
+                        let prof = prof.clone();
                         scope.spawn(move || -> CandidateResult {
+                            // workers root their own attribution subtree
+                            // (thread-scoped nesting); golden-eval cost
+                            // splits into apply / STA / scoring below
+                            let _eval_prof = prof.scope("local.eval");
                             if plan.is_some_and(|p| p.fire(FaultSite::WorkerPanic)) {
                                 // clk-analyze: allow(A005) deliberate chaos-injection panic, absorbed by the phase transaction
                                 panic!("chaos: injected worker panic");
                             }
                             let mut trial = tree_ref.clone();
-                            apply_move(&mut trial, lib, fp, &cfg.move_cfg, mv)
-                                .map_err(CandidateFailure::Apply)?;
+                            {
+                                let _g = prof.scope("apply");
+                                apply_move(&mut trial, lib, fp, &cfg.move_cfg, mv)
+                                    .map_err(CandidateFailure::Apply)?;
+                            }
+                            let sta_prof = prof.scope("golden_sta");
                             let analyses = Timer::golden()
                                 .try_analyze_all(&trial, lib)
                                 .map_err(CandidateFailure::Timing)?;
+                            drop(sta_prof);
+                            let _score_prof = prof.scope("score");
                             let drc: usize = analyses.iter().map(|t| t.violations().len()).sum();
                             if drc > drc_baseline {
                                 return Err(CandidateFailure::Drc {

@@ -471,6 +471,7 @@ impl Tableau {
             } else {
                 &self.cost
             };
+            let pricing_prof = obs.prof_scope("pricing");
             let y = self.btran(cost);
             // --- pricing ---
             let bland = degen_streak > 2 * self.m + 20;
@@ -511,6 +512,7 @@ impl Tableau {
                 }
                 return Ok(stats);
             };
+            drop(pricing_prof);
             if obs.at(Level::Trace) {
                 obs.event(
                     Level::Trace,
@@ -519,6 +521,7 @@ impl Tableau {
                 );
             }
             // --- ratio test ---
+            let ratio_prof = obs.prof_scope("ratio_test");
             let w = self.ftran(j);
             // entering may move at most its own range before flipping
             let own_range = self.hi[j] - self.lo[j]; // may be inf
@@ -552,6 +555,7 @@ impl Tableau {
                     leave = Some(i);
                 }
             }
+            drop(ratio_prof);
             if !t.is_finite() {
                 return Err(LpError::Unbounded);
             }
@@ -561,6 +565,14 @@ impl Tableau {
             } else {
                 degen_streak = 0;
             }
+            // basis-update attribution, split by pivot kind so the
+            // degenerate-vs-productive cost ratio is readable per run
+            let update_prof = obs.prof_scope("basis_update");
+            let kind_prof = obs.prof_scope(match (&leave, t < TOL) {
+                (None, _) => "bound_flip",
+                (Some(_), true) => "degenerate",
+                (Some(_), false) => "productive",
+            });
             let delta_j = dir * t;
             match leave {
                 None => {
@@ -616,6 +628,8 @@ impl Tableau {
                     self.xb[r] = entering_val;
                 }
             }
+            drop(kind_prof);
+            drop(update_prof);
             stats.iters += 1;
         }
     }
@@ -705,6 +719,7 @@ pub fn solve_certified_with_deadline(
     obs: &Obs,
     deadline: &Deadline,
 ) -> Result<Certified, LpError> {
+    let _prof = obs.prof_scope("lp.solve");
     let mut span = obs.span_at(
         Level::Trace,
         "lp.solve",
@@ -751,6 +766,7 @@ fn solve_inner(p: &Problem, obs: &Obs, deadline: &Deadline) -> Result<Certified,
     let m = p.num_rows();
     let n_struct = p.num_vars();
 
+    let setup_prof = obs.prof_scope("setup");
     // --- assemble internal variables: structural + slack (one per row) ---
     let mut cols = p.cols.clone();
     let mut lo = p.lo.clone();
@@ -841,11 +857,17 @@ fn solve_inner(p: &Problem, obs: &Obs, deadline: &Deadline) -> Result<Certified,
     }
 
     // The initial basis is slacks (+1 columns) and artificials (±1
-    // columns); its inverse is diag(σ), not the identity.
+    // columns); its inverse is diag(σ), not the identity. This is the
+    // (for now trivial) "refactor" bucket: the cost of materializing a
+    // basis inverse from scratch, which the sparse-LU rewrite will
+    // re-pay periodically instead of once.
+    drop(setup_prof);
+    let refactor_prof = obs.prof_scope("refactor");
     let mut binv = identity(m);
     for &(row, sign) in &art_sign {
         binv[row * m + row] = sign;
     }
+    drop(refactor_prof);
     let mut t = Tableau {
         cols,
         lo,
@@ -903,6 +925,7 @@ fn solve_inner(p: &Problem, obs: &Obs, deadline: &Deadline) -> Result<Certified,
     }
 
     // --- extract ---
+    let _extract_prof = obs.prof_scope("extract");
     let mut x = vec![0.0; n_struct];
     for (j, xj) in x.iter_mut().enumerate() {
         *xj = match t.state[j] {

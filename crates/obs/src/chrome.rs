@@ -115,9 +115,15 @@ pub fn trace_events_from_jsonl(jsonl: &str, pid: u64) -> Result<Vec<Value>, Stri
         }
     }
 
-    // assign spans to tracks so B/E nest properly per tid: sort outer
+    // Assign spans to tracks so B/E nest properly per tid: sort outer
     // spans first, then place each span on the first track whose open
-    // top still contains it
+    // top still contains it. Each track's B/E record sequence is
+    // emitted *during* the assignment walk (a pop is an E, a placement
+    // is a B, leftovers flush as Es in LIFO order), so every track is
+    // stack-disciplined by construction. A global (ts, E-before-B,
+    // depth) sort — the previous scheme — breaks on zero-length spans
+    // (e.g. a dangling span force-closed at its own start timestamp):
+    // at a shared timestamp it ordered such a span's E before its B.
     let mut order: Vec<usize> = (0..spans.len()).collect();
     order.sort_by(|&a, &b| {
         spans[a]
@@ -125,15 +131,20 @@ pub fn trace_events_from_jsonl(jsonl: &str, pid: u64) -> Result<Vec<Value>, Stri
             .total_cmp(&spans[b].start_us)
             .then(spans[b].end_us.total_cmp(&spans[a].end_us))
     });
+    enum TrackEv {
+        Begin(usize),
+        End(usize),
+    }
     let mut tracks: Vec<Vec<usize>> = Vec::new(); // per-track open stacks
+    let mut track_events: Vec<Vec<TrackEv>> = Vec::new();
     let mut tid_of: Vec<u64> = vec![0; spans.len()];
-    let mut depth_of: Vec<usize> = vec![0; spans.len()];
     for &s in &order {
         let (start, end) = (spans[s].start_us, spans[s].end_us);
         let mut chosen = None;
         for (t, stack) in tracks.iter_mut().enumerate() {
             while let Some(&top) = stack.last() {
                 if spans[top].end_us <= start {
+                    track_events[t].push(TrackEv::End(top));
                     stack.pop();
                 } else {
                     break;
@@ -147,32 +158,20 @@ pub fn trace_events_from_jsonl(jsonl: &str, pid: u64) -> Result<Vec<Value>, Stri
         }
         let t = chosen.unwrap_or_else(|| {
             tracks.push(Vec::new());
+            track_events.push(Vec::new());
             tracks.len() - 1
         });
-        depth_of[s] = tracks[t].len();
+        track_events[t].push(TrackEv::Begin(s));
         tracks[t].push(s);
         tid_of[s] = t as u64 + 1;
     }
-
-    // sort key: at equal ts, E before B (a sibling must close before the
-    // next opens); among Es deeper spans close first, among Bs shallower
-    // spans open first; instants come last
-    #[derive(Clone)]
-    struct Keyed {
-        ts: f64,
-        rank: u8,
-        depth: i64,
-        ev: Value,
+    // close whatever is still open, innermost first
+    for (t, stack) in tracks.iter().enumerate() {
+        for &s in stack.iter().rev() {
+            track_events[t].push(TrackEv::End(s));
+        }
     }
-    let mut events: Vec<Keyed> = Vec::new();
-    let mut push = |ts: f64, rank: u8, depth: i64, ev: Value| {
-        events.push(Keyed {
-            ts,
-            rank,
-            depth,
-            ev,
-        });
-    };
+
     let trace_event =
         |name: &str, cat: &str, ph: &str, ts: f64, tid: u64, args: &[(String, Value)]| {
             let mut pairs = vec![
@@ -191,40 +190,58 @@ pub fn trace_events_from_jsonl(jsonl: &str, pid: u64) -> Result<Vec<Value>, Stri
             }
             Value::Obj(pairs)
         };
-    for (i, s) in spans.iter().enumerate() {
-        let tid = tid_of[i];
-        let d = depth_of[i] as i64;
-        push(
-            s.start_us,
-            1,
-            d,
-            trace_event(&s.name, "span", "B", s.start_us, tid, &s.start_fields),
-        );
-        push(
-            s.end_us,
-            0,
-            -d,
-            trace_event(&s.name, "span", "E", s.end_us, tid, &s.end_fields),
-        );
+    // merge the per-track sequences by timestamp. Each track's sequence
+    // is ts-nondecreasing by construction, and the sort is stable, so
+    // within-track order (the part Perfetto's stack rendering depends
+    // on) survives the merge; cross-track order at equal ts is free.
+    struct Keyed {
+        ts: f64,
+        ev: Value,
+    }
+    let mut events: Vec<Keyed> = Vec::new();
+    for (t, evs) in track_events.iter().enumerate() {
+        let tid = t as u64 + 1;
+        for e in evs {
+            events.push(match *e {
+                TrackEv::Begin(s) => Keyed {
+                    ts: spans[s].start_us,
+                    ev: trace_event(
+                        &spans[s].name,
+                        "span",
+                        "B",
+                        spans[s].start_us,
+                        tid,
+                        &spans[s].start_fields,
+                    ),
+                },
+                TrackEv::End(s) => Keyed {
+                    ts: spans[s].end_us,
+                    ev: trace_event(
+                        &spans[s].name,
+                        "span",
+                        "E",
+                        spans[s].end_us,
+                        tid,
+                        &spans[s].end_fields,
+                    ),
+                },
+            });
+        }
     }
     let tid_of_span = |id: Option<u64>| -> u64 {
         id.and_then(|id| spans.iter().position(|s| s.id == id))
             .map_or(0, |i| tid_of[i])
     };
+    // instants are pushed after all span events so at a shared
+    // timestamp they render after the span transition
     for inst in &instants {
         let tid = tid_of_span(inst.span);
-        push(
-            inst.ts_us,
-            2,
-            0,
-            trace_event(&inst.name, inst.cat, "i", inst.ts_us, tid, &inst.fields),
-        );
+        events.push(Keyed {
+            ts: inst.ts_us,
+            ev: trace_event(&inst.name, inst.cat, "i", inst.ts_us, tid, &inst.fields),
+        });
     }
-    events.sort_by(|a, b| {
-        a.ts.total_cmp(&b.ts)
-            .then(a.rank.cmp(&b.rank))
-            .then(a.depth.cmp(&b.depth))
-    });
+    events.sort_by(|a, b| a.ts.total_cmp(&b.ts));
     Ok(events.into_iter().map(|k| k.ev).collect())
 }
 
@@ -376,6 +393,50 @@ mod tests {
             .find(|e| e.get("ph").and_then(Value::as_str) == Some("E"))
             .unwrap();
         assert!((end.get("ts").and_then(Value::as_f64).unwrap() - 5500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_length_dangling_span_stays_stack_disciplined() {
+        // a span that *starts* at the trace's last timestamp gets
+        // force-closed at its own start, producing a zero-length span;
+        // the old global (ts, E-before-B) sort emitted its E first
+        let jsonl = concat!(
+            "{\"t\":\"span_start\",\"seq\":0,\"ts_ms\":0.0,\"span\":0,\"level\":\"info\",\"name\":\"flow\"}\n",
+            "{\"t\":\"span_end\",\"seq\":1,\"ts_ms\":2.0,\"span\":0,\"level\":\"info\",\"name\":\"flow\",\"elapsed_ms\":2.0}\n",
+            "{\"t\":\"span_start\",\"seq\":2,\"ts_ms\":2.0,\"span\":1,\"level\":\"info\",\"name\":\"late\"}\n",
+        );
+        let events = trace_events_from_jsonl(jsonl, 1).unwrap();
+        assert_be_paired(&events);
+        let late: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("late"))
+            .collect();
+        assert_eq!(late.len(), 2, "late must have both B and E");
+        assert_eq!(late[0].get("ph").and_then(Value::as_str), Some("B"));
+        assert_eq!(late[1].get("ph").and_then(Value::as_str), Some("E"));
+    }
+
+    #[test]
+    fn equal_ts_close_open_and_zero_length_spans_interleave_cleanly() {
+        // a closes at exactly the instant z (zero-length) and c open;
+        // per-track sequencing must keep every track balanced
+        let jsonl = concat!(
+            "{\"t\":\"span_start\",\"seq\":0,\"ts_ms\":0.0,\"span\":0,\"level\":\"info\",\"name\":\"a\"}\n",
+            "{\"t\":\"span_end\",\"seq\":1,\"ts_ms\":2.0,\"span\":0,\"level\":\"info\",\"name\":\"a\",\"elapsed_ms\":2.0}\n",
+            "{\"t\":\"span_start\",\"seq\":2,\"ts_ms\":2.0,\"span\":1,\"level\":\"info\",\"name\":\"z\"}\n",
+            "{\"t\":\"span_end\",\"seq\":3,\"ts_ms\":2.0,\"span\":1,\"level\":\"info\",\"name\":\"z\",\"elapsed_ms\":0.0}\n",
+            "{\"t\":\"span_start\",\"seq\":4,\"ts_ms\":2.0,\"span\":2,\"level\":\"info\",\"name\":\"c\"}\n",
+            "{\"t\":\"span_end\",\"seq\":5,\"ts_ms\":4.0,\"span\":2,\"level\":\"info\",\"name\":\"c\",\"elapsed_ms\":2.0}\n",
+        );
+        let events = trace_events_from_jsonl(jsonl, 1).unwrap();
+        assert_be_paired(&events);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Value::as_str) == Some("B"))
+                .count(),
+            3
+        );
     }
 
     #[test]

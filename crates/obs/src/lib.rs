@@ -41,15 +41,19 @@ mod span;
 
 pub mod cancel;
 pub mod chrome;
+pub mod dict;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 
 pub use cancel::{CancelToken, Deadline, SIMPLEX_POLL_STRIDE};
+pub use dict::{MetricDef, MetricKind, Unit};
 pub use event::{EventKind, EventRecord, Level};
 pub use json::Value;
 pub use metrics::{
     Counter, Gauge, HistSnapshot, Histogram, MetricValue, MetricsSnapshot, Registry,
 };
+pub use profile::{AttrNode, ProfGuard, Profiler};
 pub use recorder::{FlightDump, FlightRecorder, DEFAULT_RECORDER_CAPACITY};
 pub use sink::{JsonlSink, SharedBuf, Sink, TextSink};
 pub use span::SpanGuard;
@@ -82,6 +86,9 @@ pub struct ObsConfig {
     pub verbosity: Level,
     /// Flight-recorder ring depth.
     pub recorder_capacity: usize,
+    /// Enable the attribution profiler ([`Profiler`]); off by default
+    /// so the hot-loop micro-timers stay a single branch.
+    pub profile: bool,
 }
 
 impl Default for ObsConfig {
@@ -89,6 +96,7 @@ impl Default for ObsConfig {
         Self {
             verbosity: Level::Info,
             recorder_capacity: DEFAULT_RECORDER_CAPACITY,
+            profile: false,
         }
     }
 }
@@ -98,6 +106,7 @@ struct ObsInner {
     sinks: Mutex<Vec<Box<dyn Sink>>>,
     metrics: Registry,
     recorder: FlightRecorder,
+    profiler: Profiler,
     seq: AtomicU64,
     epoch: Instant,
 }
@@ -140,6 +149,11 @@ impl Obs {
                 sinks: Mutex::new(Vec::new()),
                 metrics: Registry::default(),
                 recorder: FlightRecorder::new(config.recorder_capacity),
+                profiler: if config.profile {
+                    Profiler::enabled()
+                } else {
+                    Profiler::disabled()
+                },
                 seq: AtomicU64::new(0),
                 epoch: Instant::now(),
             })),
@@ -149,14 +163,16 @@ impl Obs {
     /// Builds a pipeline from the environment.
     ///
     /// `CLOCKVAR_OBS=<level>` enables a stderr text sink at that level;
-    /// `CLOCKVAR_OBS_JSONL=<path>` adds a JSONL file sink. With neither
-    /// variable set the pipeline is disabled.
+    /// `CLOCKVAR_OBS_JSONL=<path>` adds a JSONL file sink;
+    /// `CLOCKVAR_PROFILE=1` turns on the attribution profiler. With
+    /// none of the variables set the pipeline is disabled.
     pub fn from_env() -> Self {
         let text_level = std::env::var("CLOCKVAR_OBS")
             .ok()
             .and_then(|s| Level::parse(&s));
         let jsonl_path = std::env::var("CLOCKVAR_OBS_JSONL").ok();
-        if text_level.is_none() && jsonl_path.is_none() {
+        let profile = std::env::var("CLOCKVAR_PROFILE").is_ok_and(|v| v == "1");
+        if text_level.is_none() && jsonl_path.is_none() && !profile {
             return Self::disabled();
         }
         let verbosity = text_level.unwrap_or(Level::Trace);
@@ -167,6 +183,7 @@ impl Obs {
             } else {
                 verbosity
             }),
+            profile,
             ..ObsConfig::default()
         });
         if let Some(level) = text_level {
@@ -395,6 +412,33 @@ impl Obs {
             elapsed_ms: None,
             fields,
         });
+    }
+
+    /// Opens an attribution-profiler scope (no-op unless the pipeline
+    /// was built with [`ObsConfig::profile`]). Far cheaper than a span:
+    /// no event records, just in-memory aggregation — suitable for
+    /// per-pivot hot loops.
+    #[inline]
+    pub fn prof_scope(&self, name: &str) -> ProfGuard {
+        match &self.inner {
+            Some(inner) => inner.profiler.scope(name),
+            None => ProfGuard::noop(),
+        }
+    }
+
+    /// Whether the attribution profiler is recording.
+    #[inline]
+    pub fn profiling(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.profiler.is_enabled())
+    }
+
+    /// A clone of the pipeline's profiler handle (disabled when the
+    /// pipeline is disabled or was built without profiling).
+    pub fn profiler(&self) -> Profiler {
+        self.inner
+            .as_ref()
+            .map(|i| i.profiler.clone())
+            .unwrap_or_default()
     }
 
     /// Every flight-recorder dump captured so far.

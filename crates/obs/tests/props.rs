@@ -1,12 +1,14 @@
 //! Property and concurrency tests for the `clk-obs` primitives:
-//! histogram quantiles against a sorted-vec oracle, counter updates
-//! from racing threads, and JSONL sink round-trip parsing.
+//! histogram quantiles against a sorted-vec oracle, histogram-snapshot
+//! merging, the folded-stack exporter, counter updates from racing
+//! threads, and JSONL sink round-trip parsing.
 
 // float arithmetic is the domain here; the workspace lint exists for
 // exact-arithmetic code (clk-cert escalates it to deny)
 #![allow(clippy::float_arithmetic, clippy::float_cmp)]
 
-use clk_obs::{json, kv, Level, Obs, ObsConfig, SharedBuf, Value};
+use clk_obs::profile::{from_folded, to_folded};
+use clk_obs::{json, kv, AttrNode, HistSnapshot, Level, Obs, ObsConfig, SharedBuf, Value};
 use proptest::prelude::*;
 
 /// Exact nearest-rank quantile over a sample set — the oracle the
@@ -85,6 +87,159 @@ proptest! {
         prop_assert!((got_x - x).abs() <= x.abs() * 1e-12 + 1e-12);
         prop_assert_eq!(fields.get("s").and_then(Value::as_str), Some(text.as_str()));
     }
+}
+
+/// Builds an attribution tree from `(path, self_us)` leaves with
+/// whole-microsecond self times, the unit the folded format carries
+/// exactly.
+fn tree_from_paths(paths: &[(Vec<String>, u64)]) -> AttrNode {
+    fn insert(node: &mut AttrNode, path: &[String], self_us: u64) {
+        node.total_ns += self_us * 1000;
+        let Some((head, rest)) = path.split_first() else {
+            return;
+        };
+        let at = match node.children.iter().position(|c| &c.name == head) {
+            Some(i) => i,
+            None => {
+                let mut fresh = AttrNode::root();
+                fresh.name = head.clone();
+                node.children.push(fresh);
+                node.children.len() - 1
+            }
+        };
+        node.children[at].count += 1;
+        insert(&mut node.children[at], rest, self_us);
+    }
+    fn sort(node: &mut AttrNode) {
+        node.children.sort_by(|a, b| a.name.cmp(&b.name));
+        for c in &mut node.children {
+            sort(c);
+        }
+    }
+    let mut root = AttrNode::root();
+    for (path, self_us) in paths {
+        insert(&mut root, path, *self_us);
+    }
+    sort(&mut root);
+    root
+}
+
+/// Total folded weight (µs) of a folded-stack document.
+fn folded_weight(s: &str) -> u64 {
+    s.lines()
+        .filter_map(|l| l.rsplit_once(' '))
+        .filter_map(|(_, w)| w.parse::<u64>().ok())
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `to_folded` → `from_folded` → `to_folded` is a fixpoint, and
+    /// the total self-time weight survives the round trip.
+    fn folded_stack_round_trips(
+        raw in prop::collection::vec(
+            (prop::collection::vec(0usize..4, 1..4), 0u64..5000),
+            1..24,
+        ),
+    ) {
+        const FRAMES: [&str; 4] = ["lp.solve", "pricing", "ratio_test", "basis_update"];
+        let paths: Vec<(Vec<String>, u64)> = raw
+            .into_iter()
+            .map(|(segs, w)| (segs.into_iter().map(|i| FRAMES[i].to_string()).collect(), w))
+            .collect();
+        let tree = tree_from_paths(&paths);
+        let folded = to_folded(&tree);
+        let back = from_folded(&folded);
+        let folded2 = to_folded(&back);
+        prop_assert_eq!(&folded, &folded2, "round trip must be a fixpoint");
+        // every whole-µs self weight is representable, so nothing is
+        // lost to truncation and the totals must agree exactly
+        let total_us: u64 = paths.iter().map(|(_, w)| *w).sum();
+        prop_assert_eq!(folded_weight(&folded), total_us);
+        prop_assert_eq!(folded_weight(&folded2), total_us);
+    }
+
+    /// Merging two snapshots equals snapshotting one histogram fed
+    /// both sample sets (modulo float summation order).
+    fn hist_merge_matches_combined_histogram(
+        a in prop::collection::vec(1e-3f64..1e4, 0..80),
+        b in prop::collection::vec(1e-3f64..1e4, 0..80),
+    ) {
+        let (ha, hb, hab) = (
+            clk_obs::Histogram::default(),
+            clk_obs::Histogram::default(),
+            clk_obs::Histogram::default(),
+        );
+        for &v in &a { ha.observe(v); hab.observe(v); }
+        for &v in &b { hb.observe(v); hab.observe(v); }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        let combined = hab.snapshot();
+        prop_assert_eq!(merged.count, combined.count);
+        prop_assert_eq!(merged.min, combined.min);
+        prop_assert_eq!(merged.max, combined.max);
+        prop_assert_eq!(&merged.buckets, &combined.buckets);
+        prop_assert!((merged.sum - combined.sum).abs() <= combined.sum.abs() * 1e-12 + 1e-12);
+    }
+}
+
+#[test]
+fn hist_merge_of_two_empties_is_empty() {
+    let mut a = HistSnapshot::default();
+    a.merge(&HistSnapshot::default());
+    assert_eq!(a.count, 0);
+    assert_eq!(a.sum, 0.0);
+    assert!(a.buckets.is_empty());
+    assert_eq!(a.quantile(0.5), 0.0);
+}
+
+#[test]
+fn hist_merge_into_empty_clones_the_other_side() {
+    let h = clk_obs::Histogram::default();
+    h.observe(3.5);
+    h.observe(7.0);
+    let other = h.snapshot();
+    let mut empty = HistSnapshot::default();
+    empty.merge(&other);
+    assert_eq!(empty, other);
+    // and the reverse direction leaves the populated side unchanged
+    let mut populated = other.clone();
+    populated.merge(&HistSnapshot::default());
+    assert_eq!(populated, other);
+}
+
+#[test]
+fn hist_merge_single_bucket_accumulates() {
+    // identical samples land in one bucket; merging adds counts there
+    let (h1, h2) = (clk_obs::Histogram::default(), clk_obs::Histogram::default());
+    for _ in 0..3 {
+        h1.observe(42.0);
+    }
+    for _ in 0..5 {
+        h2.observe(42.0);
+    }
+    let mut s = h1.snapshot();
+    s.merge(&h2.snapshot());
+    assert_eq!(s.count, 8);
+    assert_eq!(s.buckets.len(), 1);
+    assert_eq!(s.buckets[0].1, 8);
+    assert_eq!(s.min, 42.0);
+    assert_eq!(s.max, 42.0);
+}
+
+#[test]
+#[should_panic(expected = "mismatched histogram boundaries")]
+fn hist_merge_rejects_foreign_bucket_ranges() {
+    let mut a = HistSnapshot::default();
+    let foreign = HistSnapshot {
+        count: 1,
+        sum: 1.0,
+        min: 1.0,
+        max: 1.0,
+        buckets: vec![(u32::MAX, 1)],
+    };
+    a.merge(&foreign);
 }
 
 #[test]

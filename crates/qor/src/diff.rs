@@ -249,6 +249,13 @@ fn metrics_of(tc: &TestcaseQor) -> Vec<(String, f64)> {
         ("faults_absorbed".to_string(), tc.faults_absorbed as f64),
         ("cert_checked".to_string(), tc.cert_checked as f64),
         ("cert_max_resid".to_string(), tc.cert_max_resid),
+        ("lp_pivots".to_string(), tc.lp_pivots as f64),
+        ("lp_bound_flips".to_string(), tc.lp_bound_flips as f64),
+        (
+            "lp_degenerate_pivots".to_string(),
+            tc.lp_degenerate_pivots as f64,
+        ),
+        ("lp_degenerate_ratio".to_string(), tc.lp_degenerate_ratio),
     ];
     for c in &tc.corners {
         m.push((format!("skew_before_ps[{}]", c.name), c.skew_before_ps));
@@ -390,6 +397,10 @@ mod tests {
             faults_absorbed: 0,
             cert_checked: 4,
             cert_max_resid: 1e-9,
+            lp_pivots: 120,
+            lp_bound_flips: 6,
+            lp_degenerate_pivots: 30,
+            lp_degenerate_ratio: 0.25,
             counters: vec![("lp.solves".to_string(), 4.0)],
         }
     }

@@ -89,6 +89,19 @@ pub struct TestcaseQor {
     /// Largest exact certificate residual observed across all checks
     /// (`cert.max_resid` histogram max); informational, never gated.
     pub cert_max_resid: f64,
+    /// Simplex pivots spent across all solves (`lp.pivots` counter);
+    /// informational, never gated.
+    pub lp_pivots: u64,
+    /// Nonbasic bound-flip iterations (`lp.bound_flips` counter);
+    /// informational, never gated.
+    pub lp_bound_flips: u64,
+    /// Pivots with zero primal step (`lp.degenerate_pivots` counter);
+    /// informational, never gated.
+    pub lp_degenerate_pivots: u64,
+    /// `lp_degenerate_pivots / lp_pivots` (0 when no pivots ran);
+    /// the number the coming simplex rewrite must drive down.
+    /// Informational, never gated.
+    pub lp_degenerate_ratio: f64,
     /// Raw `clk-obs` counters (sorted by name) for drill-down; never
     /// gated, purely informational.
     pub counters: Vec<(String, f64)>,
@@ -165,6 +178,9 @@ impl TestcaseQor {
         let mut counters = Vec::new();
         let mut cert_checked = 0;
         let mut cert_max_resid = 0.0;
+        let mut lp_pivots = 0;
+        let mut lp_bound_flips = 0;
+        let mut lp_degenerate_pivots = 0;
         if let Some(snap) = metrics {
             for phase in ["phase.init", "phase.global", "phase.local", "phase.scoring"] {
                 if let Some(MetricValue::Histogram(h)) = snap.get(&format!("span.{phase}.ms")) {
@@ -180,6 +196,13 @@ impl TestcaseQor {
             if let Some(MetricValue::Histogram(h)) = snap.get("cert.max_resid") {
                 cert_max_resid = h.max;
             }
+            let ctr = |name: &str| match snap.get(name) {
+                Some(MetricValue::Counter(c)) => *c,
+                _ => 0,
+            };
+            lp_pivots = ctr("lp.pivots");
+            lp_bound_flips = ctr("lp.bound_flips");
+            lp_degenerate_pivots = ctr("lp.degenerate_pivots");
             for (name, v) in snap {
                 if let MetricValue::Counter(c) = v {
                     counters.push((name.clone(), *c as f64));
@@ -211,6 +234,14 @@ impl TestcaseQor {
             faults_absorbed: report.faults.len() as u64,
             cert_checked,
             cert_max_resid,
+            lp_pivots,
+            lp_bound_flips,
+            lp_degenerate_pivots,
+            lp_degenerate_ratio: if lp_pivots > 0 {
+                lp_degenerate_pivots as f64 / lp_pivots as f64
+            } else {
+                0.0
+            },
             counters,
         }
     }
@@ -301,6 +332,19 @@ impl TestcaseQor {
             ),
             ("cert_checked".to_string(), Value::from(self.cert_checked)),
             ("cert_max_resid".to_string(), num(self.cert_max_resid)),
+            ("lp_pivots".to_string(), Value::from(self.lp_pivots)),
+            (
+                "lp_bound_flips".to_string(),
+                Value::from(self.lp_bound_flips),
+            ),
+            (
+                "lp_degenerate_pivots".to_string(),
+                Value::from(self.lp_degenerate_pivots),
+            ),
+            (
+                "lp_degenerate_ratio".to_string(),
+                num(self.lp_degenerate_ratio),
+            ),
             (
                 "counters".to_string(),
                 Value::Obj(
@@ -366,6 +410,17 @@ impl TestcaseQor {
             cert_checked: v.get("cert_checked").and_then(Value::as_u64).unwrap_or(0),
             cert_max_resid: v
                 .get("cert_max_resid")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+            // absent from pre-profiler baselines; same lenient default
+            lp_pivots: v.get("lp_pivots").and_then(Value::as_u64).unwrap_or(0),
+            lp_bound_flips: v.get("lp_bound_flips").and_then(Value::as_u64).unwrap_or(0),
+            lp_degenerate_pivots: v
+                .get("lp_degenerate_pivots")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            lp_degenerate_ratio: v
+                .get("lp_degenerate_ratio")
                 .and_then(Value::as_f64)
                 .unwrap_or(0.0),
             counters,
@@ -564,6 +619,10 @@ mod tests {
             faults_absorbed: 0,
             cert_checked: 0,
             cert_max_resid: 0.0,
+            lp_pivots: 30,
+            lp_bound_flips: 2,
+            lp_degenerate_pivots: 7,
+            lp_degenerate_ratio: 7.0 / 30.0,
             counters: vec![("lp.pivots".to_string(), 30.0)],
         });
         // A rerun differing only in wall clock must canonicalize identically.

@@ -286,16 +286,25 @@ impl Timer {
         if !self.obs.enabled() {
             return self.analyze_inner(tree, lib, corner);
         }
+        let _prof = self.obs.prof_scope("sta.analyze");
         let start = clk_obs::wall_now();
         let result = self.analyze_inner(tree, lib, corner);
-        self.obs.count("sta.analyze.count", 1);
+        self.obs.count("sta.analyzes", 1);
         self.obs
-            .observe("sta.analyze.us", start.elapsed().as_secs_f64() * 1e6);
+            .observe("sta.analyze.ms", start.elapsed().as_secs_f64() * 1e3);
         match &result {
             Ok(t) => {
                 if !t.violations.is_empty() {
                     self.obs.count("sta.violations", t.violations.len() as u64);
                 }
+                // per-eval propagation stats: how much of the tree this
+                // corner's walk re-timed (full re-propagation today;
+                // the denominator the incremental rewrite must shrink)
+                let nodes_timed = t.arrival_ps.iter().filter(|a| a.is_finite()).count() as u64;
+                self.obs.count("sta.nodes_timed", nodes_timed);
+                self.obs
+                    .count(&format!("sta.corner.{}.nodes_timed", corner.0), nodes_timed);
+                self.obs.observe("sta.eval.nodes", nodes_timed as f64);
             }
             Err(_) => self.obs.count("sta.analyze.errors", 1),
         }
