@@ -129,6 +129,17 @@ fn bench_obs(c: &mut Criterion) {
     g.bench_function("count_disabled", |b| {
         b.iter(|| disabled.count("bench.ctr", 1));
     });
+    // decision-ledger gate: every flow decision site asks `ledgering()`
+    // before building a record, so the off path must be the same single
+    // `Option` branch as the rest of the disabled pipeline — both on a
+    // disabled Obs and on an enabled Obs with the ledger off (default)
+    g.bench_function("ledger_gate_disabled", |b| {
+        b.iter(|| disabled.ledgering());
+    });
+    let no_ledger = Obs::new(ObsConfig::default());
+    g.bench_function("ledger_gate_off_enabled_obs", |b| {
+        b.iter(|| no_ledger.ledgering());
+    });
     let quiet = Obs::new(ObsConfig {
         verbosity: Level::Debug,
         ..ObsConfig::default()

@@ -254,6 +254,21 @@ fn main() -> ExitCode {
         }
     }
 
+    // ---- predictor precision ----
+    let predict_err = recs
+        .iter()
+        .find(|r| r.kind == "metrics")
+        .and_then(|m| m.value.get("fields").cloned())
+        .and_then(|f| f.get("local.predict.err_ps").cloned());
+    if let Some(h) = &predict_err {
+        println!("\npredictor precision (predicted − golden gain, ps):");
+        for key in ["count", "mean", "p50", "p95", "min", "max"] {
+            if let Some(v) = h.get(key) {
+                println!("  {key:<6} {}", v.to_json());
+            }
+        }
+    }
+
     // ---- structural checks ----
     let mut failed = false;
     let mut check = |ok: bool, what: &str| {
@@ -297,6 +312,15 @@ fn main() -> ExitCode {
         "every global round contains lambda spans",
     );
     check(!iter_ends.is_empty(), "local phase has iteration spans");
+    check(
+        iter_ends.is_empty()
+            || predict_err
+                .as_ref()
+                .and_then(|h| h.get("count"))
+                .and_then(Value::as_u64)
+                .is_some_and(|c| c > 0),
+        "predictor error histogram (local.predict.err_ps) is populated",
+    );
     let accepted_reported = report
         .local_report
         .as_ref()

@@ -20,6 +20,11 @@
 //! * `--write-baseline` — refresh the baseline from this run and exit;
 //! * `--self-diff` — diff this run against itself (sanity check of the
 //!   gate plumbing; always exits 0);
+//! * `--trajectory PATH` — append-only per-run QoR history (default
+//!   `BENCH_trajectory.jsonl`); each run appends one JSONL line keyed
+//!   by git revision and seed (no wall-clock timestamps — provenance
+//!   is the revision), and the bin prints the variation trend across
+//!   the recorded runs of the same suite/seed;
 //! * `--verbose` — include neutral/informational rows in the report.
 
 // float arithmetic is the domain here; the workspace lint exists for
@@ -30,7 +35,7 @@ use std::process::ExitCode;
 
 use clk_bench::{suite_cases, ExpArgs, PreparedCase};
 use clk_netlist::TreeStats;
-use clk_obs::{chrome, Level, Obs, ObsConfig, SharedBuf, Value};
+use clk_obs::{chrome, json, Level, Obs, ObsConfig, SharedBuf, Value};
 use clk_qor::{diff_snapshots, QorSnapshot, TestcaseQor, TolerancePolicy};
 use clk_skewopt::Flow;
 
@@ -39,6 +44,7 @@ struct QorArgs {
     out: String,
     trace: String,
     baseline: String,
+    trajectory: String,
     write_baseline: bool,
     self_diff: bool,
     verbose: bool,
@@ -56,6 +62,8 @@ fn parse_args() -> QorArgs {
         out: flag_val("--out").unwrap_or_else(|| "BENCH_qor.json".to_string()),
         trace: flag_val("--trace").unwrap_or_else(|| "trace.json".to_string()),
         baseline: flag_val("--baseline").unwrap_or_else(|| "qor-baseline.json".to_string()),
+        trajectory: flag_val("--trajectory")
+            .unwrap_or_else(|| "BENCH_trajectory.jsonl".to_string()),
         write_baseline: argv.iter().any(|a| a == "--write-baseline"),
         self_diff: argv.iter().any(|a| a == "--self-diff"),
         verbose: argv.iter().any(|a| a == "--verbose"),
@@ -161,6 +169,96 @@ fn main() -> ExitCode {
         "chrome trace written to {} (load at ui.perfetto.dev)",
         args.trace
     );
+
+    // ---- append-only trajectory + trend across recorded runs ----
+    // provenance is (git rev, seed): deliberately no wall-clock
+    // timestamp, so the record stays reproducible and wall_now() stays
+    // confined to clk-obs (A003)
+    let traj_line = Value::Obj(vec![
+        ("rev".to_string(), Value::from(snap.git_rev.as_str())),
+        ("seed".to_string(), Value::from(seed)),
+        ("suite".to_string(), Value::from(suite_name)),
+        (
+            "cases".to_string(),
+            Value::Arr(
+                snap.testcases
+                    .iter()
+                    .map(|t| {
+                        Value::Obj(vec![
+                            ("id".to_string(), Value::from(t.id.as_str())),
+                            ("var_after_ps".to_string(), Value::Num(t.variation_after_ps)),
+                            ("runtime_ms".to_string(), Value::Num(t.runtime_ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&args.trajectory)
+        .and_then(|mut f| {
+            use std::io::Write as _;
+            writeln!(f, "{}", traj_line.to_json())
+        });
+    if let Err(e) = appended {
+        eprintln!("FAIL: cannot append to {}: {e}", args.trajectory);
+        return ExitCode::FAILURE;
+    }
+    if let Ok(text) = std::fs::read_to_string(&args.trajectory) {
+        let runs: Vec<Value> = text
+            .lines()
+            .filter_map(|l| json::parse(l).ok())
+            .filter(|v| {
+                v.get("suite").and_then(Value::as_str) == Some(suite_name)
+                    && v.get("seed").and_then(Value::as_u64) == Some(seed)
+            })
+            .collect();
+        println!(
+            "\ntrajectory: {} recorded runs of suite '{suite_name}' seed {seed} in {}",
+            runs.len(),
+            args.trajectory
+        );
+        for tq in &snap.testcases {
+            // this case's variation across runs, oldest first
+            let series: Vec<(String, f64)> = runs
+                .iter()
+                .filter_map(|r| {
+                    let rev = r.get("rev").and_then(Value::as_str)?.to_string();
+                    let v = r.get("cases").and_then(|c| match c {
+                        Value::Arr(items) => items
+                            .iter()
+                            .find(|it| it.get("id").and_then(Value::as_str) == Some(&tq.id))
+                            .and_then(|it| it.get("var_after_ps"))
+                            .and_then(Value::as_f64),
+                        _ => None,
+                    })?;
+                    Some((rev, v))
+                })
+                .collect();
+            let tail: Vec<String> = series
+                .iter()
+                .rev()
+                .take(8)
+                .rev()
+                .map(|(_, v)| format!("{v:.1}"))
+                .collect();
+            let delta = (series.len() >= 2)
+                .then(|| series[series.len() - 1].1 - series[series.len() - 2].1);
+            let best = series
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(rev, v)| format!("{v:.1} @ {rev}"));
+            println!(
+                "  {:<8} var_after: [{}] ps{}  best {}",
+                tq.id,
+                tail.join(" "),
+                delta.map_or(String::new(), |d| format!("  Δ vs prev {d:+.1}")),
+                best.unwrap_or_else(|| "—".to_string()),
+            );
+        }
+    }
 
     if args.write_baseline {
         if let Err(e) = std::fs::write(&args.baseline, snap.to_json_pretty()) {

@@ -1,0 +1,620 @@
+//! QoR waterfall, deterministic replay check, and ledger diff — the
+//! consumer side of the `clk_obs::ledger` decision ledger.
+//!
+//! ```sh
+//! cargo run --release -p clk-bench --bin waterfall -- report --quick --seed 2015
+//! cargo run --release -p clk-bench --bin waterfall -- replay --quick --seed 2015
+//! cargo run --release -p clk-bench --bin waterfall -- diff a.jsonl b.jsonl
+//! ```
+//!
+//! * `report` — runs the flow suite with the decision ledger enabled
+//!   and renders, per testcase, the QoR waterfall: which committed
+//!   decisions (adopted global rounds, committed local moves) carried
+//!   the end-to-end skew-variation reduction. The **reconciliation
+//!   gate** fails the run when the ledger's committed checkpoints do
+//!   not telescope to the flow's end-to-end variation within 1e-6 ps.
+//!   Writes `BENCH_waterfall.md`, `BENCH_waterfall.json`, and one raw
+//!   ledger per case under `BENCH_ledgers/`.
+//! * `replay` — runs the suite with the ledger enabled, serializes the
+//!   ledger through JSONL and back, re-applies the accepted decisions
+//!   to the input tree with `clk_skewopt::replay_ledger`, and asserts
+//!   the tree-outcome QoR snapshot of the replayed tree is
+//!   **byte-identical** to the recorded run's.
+//! * `diff` — compares two ledger JSONL files decision by decision
+//!   with `clk-qor` verdict semantics (improved / neutral / REGRESSED
+//!   under a tolerance band); exits non-zero on any regression.
+//!
+//! Shared flags: `--quick`, `--seed N`, `--sinks N`; `report` also
+//! takes `--out`, `--json`, `--ledgers`; `diff` takes `--verbose`.
+
+// float arithmetic is the domain here; the workspace lint exists for
+// exact-arithmetic code (clk-cert escalates it to deny)
+#![allow(clippy::float_arithmetic)]
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use clk_bench::{suite_cases, ExpArgs, PreparedCase};
+use clk_cts::Testcase;
+use clk_netlist::{ClockTree, TreeStats};
+use clk_obs::json::Value;
+use clk_obs::{ledger, Ledger, LedgerRecord, Level, Obs, ObsConfig};
+use clk_qor::{CornerQor, Direction, QorSnapshot, TestcaseQor, Tolerance, Verdict};
+use clk_skewopt::{replay_ledger, Flow, FlowConfig};
+use clk_sta::{alpha_factors, clock_power, local_skew_ps, try_pair_skews, variation_report, Timer};
+
+/// The reconciliation gate: ledger checkpoints must telescope to the
+/// end-to-end variation within this, ps.
+const RECON_TOL_PS: f64 = 1e-6;
+
+/// One committed decision of the waterfall.
+struct Step {
+    /// Human-readable decision label (stable across runs of the same
+    /// configuration, so `diff` can align on it).
+    label: String,
+    /// Total skew variation after the decision, under the flow α*, ps.
+    var: f64,
+    /// Variation change carried by the decision, ps.
+    delta: f64,
+}
+
+/// The per-testcase waterfall distilled from one ledger.
+struct Waterfall {
+    /// Variation at flow init, ps.
+    init: f64,
+    /// Variation at flow end, ps.
+    end: f64,
+    /// Committed decisions, in execution order.
+    steps: Vec<Step>,
+    /// `|last committed checkpoint − flow end|`, ps — the
+    /// reconciliation error the gate bounds.
+    recon_err: f64,
+    /// Ledger records that should telescope but do not (phase_end
+    /// checkpoints disagreeing with the walk).
+    notes: Vec<String>,
+}
+
+/// Distills the committed-decision waterfall out of a parsed ledger.
+fn build_waterfall(records: &[LedgerRecord]) -> Result<Waterfall, String> {
+    let Some(LedgerRecord::FlowInit { var: init, .. }) = records.first() else {
+        return Err("ledger does not start with flow_init".to_string());
+    };
+    let Some(LedgerRecord::FlowEnd { var: end }) = records.last() else {
+        return Err("ledger does not end with flow_end".to_string());
+    };
+    // accepted ECO arcs per (round, λ-bits), for round labels
+    let mut arc_counts: Vec<((u64, u64), usize)> = Vec::new();
+    for rec in records {
+        if let LedgerRecord::EcoArc {
+            round,
+            lambda,
+            accepted: true,
+            ..
+        } = rec
+        {
+            let key = (*round, lambda.to_bits());
+            match arc_counts.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) => *n += 1,
+                None => arc_counts.push((key, 1)),
+            }
+        }
+    }
+    let mut notes = Vec::new();
+    let mut steps: Vec<Step> = Vec::new();
+    let mut pending: Vec<Step> = Vec::new();
+    let mut ckpt = *init;
+    let mut phase_ckpt = *init;
+    for rec in records {
+        match rec {
+            LedgerRecord::PhaseStart { .. } => {
+                phase_ckpt = ckpt;
+                pending.clear();
+            }
+            LedgerRecord::RoundEnd {
+                round,
+                winner_lambda,
+                adopted,
+                var,
+            } => {
+                if *adopted {
+                    let wl = winner_lambda.unwrap_or(f64::NAN);
+                    let arcs = arc_counts
+                        .iter()
+                        .find(|((r, lb), _)| *r == *round && *lb == wl.to_bits())
+                        .map_or(0, |(_, n)| *n);
+                    pending.push(Step {
+                        label: format!("global round {round} (λ={wl}, {arcs} arcs)"),
+                        var: *var,
+                        delta: 0.0,
+                    });
+                }
+                phase_ckpt = *var;
+            }
+            LedgerRecord::LocalCommit {
+                iter,
+                mv,
+                committed: true,
+                var: Some(v),
+                ..
+            } => {
+                pending.push(Step {
+                    label: format!("local iter {iter} (type-{} move)", mv.t),
+                    var: *v,
+                    delta: 0.0,
+                });
+                phase_ckpt = *v;
+            }
+            LedgerRecord::PhaseEnd {
+                phase,
+                committed,
+                var,
+            } => {
+                if *committed {
+                    steps.append(&mut pending);
+                    ckpt = phase_ckpt;
+                } else {
+                    pending.clear();
+                }
+                if (*var - ckpt).abs() > RECON_TOL_PS {
+                    notes.push(format!(
+                        "phase_end({phase}) checkpoint {var} disagrees with walk {ckpt}"
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut prev = *init;
+    for s in &mut steps {
+        s.delta = s.var - prev;
+        prev = s.var;
+    }
+    Ok(Waterfall {
+        init: *init,
+        end: *end,
+        steps,
+        recon_err: (ckpt - end).abs(),
+        notes,
+    })
+}
+
+/// Renders one case's waterfall as a markdown section.
+fn waterfall_markdown(id: &str, seed: u64, w: &Waterfall) -> String {
+    let mut out = String::new();
+    let total = w.end - w.init;
+    let _ = writeln!(out, "## {id} (seed {seed})\n");
+    let _ = writeln!(
+        out,
+        "variation {:.3} → {:.3} ps ({:+.3} ps over {} committed decisions); \
+         reconciliation error {:.3e} ps\n",
+        w.init,
+        w.end,
+        total,
+        w.steps.len(),
+        w.recon_err
+    );
+    let _ = writeln!(out, "| step | Δ var (ps) | var (ps) | share |");
+    let _ = writeln!(out, "|---|---:|---:|---:|");
+    let _ = writeln!(out, "| start | — | {:.3} | — |", w.init);
+    for s in &w.steps {
+        let share = if total.abs() > f64::EPSILON {
+            format!("{:.1}%", 100.0 * s.delta / total)
+        } else {
+            "—".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {:+.3} | {:.3} | {share} |",
+            s.label, s.delta, s.var
+        );
+    }
+    let _ = writeln!(out, "| end | — | {:.3} | — |", w.end);
+    for n in &w.notes {
+        let _ = writeln!(out, "\nnote: {n}");
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders one case's waterfall as a JSON object.
+fn waterfall_json(id: &str, w: &Waterfall) -> Value {
+    let steps: Vec<Value> = w
+        .steps
+        .iter()
+        .map(|s| {
+            Value::Obj(vec![
+                ("label".to_string(), Value::from(s.label.as_str())),
+                ("delta_ps".to_string(), Value::Num(s.delta)),
+                ("var_ps".to_string(), Value::Num(s.var)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("id".to_string(), Value::from(id)),
+        ("var_init_ps".to_string(), Value::Num(w.init)),
+        ("var_end_ps".to_string(), Value::Num(w.end)),
+        ("recon_err_ps".to_string(), Value::Num(w.recon_err)),
+        ("steps".to_string(), Value::Arr(steps)),
+    ])
+}
+
+/// Builds the tree-outcome QoR record of `tree` (see
+/// [`TestcaseQor::tree_outcome`]): every field a pure function of the
+/// input and optimized trees, everything else zeroed. Used on both the
+/// recorded and the replayed side of the replay check, so a byte
+/// difference means the trees differ.
+fn tree_outcome_qor(
+    id: &str,
+    tc: &Testcase,
+    corner_names: &[String],
+    tree: &ClockTree,
+    freq_ghz: f64,
+) -> Result<TestcaseQor, String> {
+    let timer = Timer::golden();
+    let a0 = timer
+        .try_analyze_all(&tc.tree, &tc.lib)
+        .map_err(|e| e.to_string())?;
+    let skews0: Vec<Vec<f64>> = a0
+        .iter()
+        .map(|t| try_pair_skews(t, tc.tree.sink_pairs()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    let alphas = alpha_factors(&skews0);
+    let a1 = timer
+        .try_analyze_all(tree, &tc.lib)
+        .map_err(|e| e.to_string())?;
+    let skews1: Vec<Vec<f64>> = a1
+        .iter()
+        .map(|t| try_pair_skews(t, tree.sink_pairs()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    let corners = corner_names
+        .iter()
+        .enumerate()
+        .map(|(k, name)| CornerQor {
+            name: name.clone(),
+            skew_before_ps: local_skew_ps(&skews0[k]),
+            skew_after_ps: local_skew_ps(&skews1[k]),
+        })
+        .collect();
+    let s0 = TreeStats::compute(&tc.tree, &tc.lib);
+    let s1 = TreeStats::compute(tree, &tc.lib);
+    let rec = TestcaseQor {
+        id: id.to_string(),
+        flow: Flow::GlobalLocal.to_string(),
+        variation_before_ps: variation_report(&skews0, &alphas, None).sum,
+        variation_after_ps: variation_report(&skews1, &alphas, None).sum,
+        corners,
+        cells_before: s0.n_buffers as u64,
+        cells_after: s1.n_buffers as u64,
+        area_before_um2: s0.buffer_area_um2,
+        area_after_um2: s1.buffer_area_um2,
+        power_before_mw: clock_power(&tc.tree, &tc.lib, &a0[0], freq_ghz).total_mw(),
+        power_after_mw: clock_power(tree, &tc.lib, &a1[0], freq_ghz).total_mw(),
+        wirelength_um: s1.wirelength_um,
+        runtime_ms: 0.0,
+        phases: Vec::new(),
+        lp_rounds: 0,
+        lp_iterations: 0,
+        eco_accepts: 0,
+        eco_rejects: 0,
+        local_accepts: 0,
+        local_rejects: 0,
+        golden_evals: 0,
+        faults_absorbed: 0,
+        cert_checked: 0,
+        cert_max_resid: 0.0,
+        lp_pivots: 0,
+        lp_bound_flips: 0,
+        lp_degenerate_pivots: 0,
+        lp_degenerate_ratio: 0.0,
+        counters: Vec::new(),
+    };
+    Ok(rec)
+}
+
+/// One suite run with the decision ledger enabled.
+struct LedgeredRun {
+    id: String,
+    seed: u64,
+    tc: Testcase,
+    corner_names: Vec<String>,
+    tree: ClockTree,
+    recorded_qor: TestcaseQor,
+    ledger: Ledger,
+}
+
+/// Runs the suite with ledgering on, one entry per testcase.
+fn run_suite(exp: &ExpArgs) -> Result<(Vec<LedgeredRun>, FlowConfig), String> {
+    let n = exp.sinks.unwrap_or(if exp.quick { 48 } else { 128 });
+    let cfg_base = if exp.quick {
+        clockvar_workbench::quick_flow_config()
+    } else {
+        let mut cfg = FlowConfig::default();
+        cfg.global.max_pairs = 120;
+        cfg.local.max_iterations = 12;
+        cfg.train.n_cases = 60;
+        cfg.train.moves_per_case = 60;
+        cfg
+    };
+    let mut runs = Vec::new();
+    for case in suite_cases(exp.seed) {
+        let obs = Obs::new(ObsConfig {
+            verbosity: Level::Info,
+            ledger: true,
+            ..ObsConfig::default()
+        });
+        let mut cfg = cfg_base.clone();
+        cfg.obs = obs.clone();
+        let prep = PreparedCase::generate(case, n, &cfg, &[Flow::GlobalLocal]);
+        let (report, runtime_ms) = prep
+            .run(Flow::GlobalLocal, &cfg)
+            .map_err(|e| format!("{} flow failed: {e}", case.kind.name()))?;
+        let wirelength = TreeStats::compute(&report.tree, &prep.tc.lib).wirelength_um;
+        let recorded_qor = TestcaseQor::from_report(
+            case.kind.name(),
+            &prep.corner_names(),
+            &report,
+            obs.metrics_snapshot().as_ref(),
+            runtime_ms,
+            wirelength,
+        );
+        runs.push(LedgeredRun {
+            id: case.kind.name().to_string(),
+            seed: case.seed,
+            corner_names: prep.corner_names(),
+            tc: prep.tc,
+            tree: report.tree,
+            recorded_qor,
+            ledger: obs.ledger(),
+        });
+    }
+    Ok((runs, cfg_base))
+}
+
+fn mode_report(exp: &ExpArgs, out: &str, json_out: &str, ledger_dir: &str) -> Result<(), String> {
+    let (runs, _cfg) = run_suite(exp)?;
+    std::fs::create_dir_all(ledger_dir).map_err(|e| format!("cannot create {ledger_dir}: {e}"))?;
+    let mut md = String::from("# QoR waterfall\n\nPer-testcase attribution of the end-to-end skew-variation change\nto committed ledger decisions (adopted global λ rounds, committed\nlocal moves). Regenerate with\n`cargo run --release -p clk-bench --bin waterfall -- report --quick`.\n\n");
+    let mut json_cases = Vec::new();
+    let mut failed = false;
+    for run in &runs {
+        // round-trip through JSONL before building anything: the report
+        // must reflect what a consumer of the on-disk artifact sees
+        let text = run.ledger.to_jsonl();
+        let path = format!("{ledger_dir}/{}.jsonl", run.id);
+        std::fs::write(&path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let records = ledger::parse_jsonl(&text).map_err(|e| format!("{}: {e}", run.id))?;
+        let w = build_waterfall(&records).map_err(|e| format!("{}: {e}", run.id))?;
+        let attributed: f64 = w.steps.iter().map(|s| s.delta).sum();
+        println!(
+            "  {:<8} var {:>8.3} -> {:>8.3} ps  {} decisions carry {:+.3} ps  recon err {:.2e} ps",
+            run.id,
+            w.init,
+            w.end,
+            w.steps.len(),
+            attributed,
+            w.recon_err
+        );
+        if w.recon_err > RECON_TOL_PS || !w.notes.is_empty() {
+            for n in &w.notes {
+                eprintln!("  note: {n}");
+            }
+            eprintln!(
+                "FAIL: {} ledger does not reconcile (err {:.3e} ps > {RECON_TOL_PS} ps)",
+                run.id, w.recon_err
+            );
+            failed = true;
+        }
+        md.push_str(&waterfall_markdown(&run.id, run.seed, &w));
+        json_cases.push(waterfall_json(&run.id, &w));
+    }
+    std::fs::write(out, &md).map_err(|e| format!("cannot write {out}: {e}"))?;
+    let doc = Value::Obj(vec![
+        (
+            "suite".to_string(),
+            Value::from(if exp.quick { "quick" } else { "full" }),
+        ),
+        ("seed".to_string(), Value::from(exp.seed)),
+        ("recon_tol_ps".to_string(), Value::Num(RECON_TOL_PS)),
+        ("cases".to_string(), Value::Arr(json_cases)),
+    ]);
+    std::fs::write(json_out, doc.to_json()).map_err(|e| format!("cannot write {json_out}: {e}"))?;
+    println!("waterfall written to {out} and {json_out}; ledgers under {ledger_dir}/");
+    if failed {
+        Err("reconciliation gate failed".to_string())
+    } else {
+        println!("waterfall: reconciliation gate clean");
+        Ok(())
+    }
+}
+
+fn mode_replay(exp: &ExpArgs) -> Result<(), String> {
+    let (runs, cfg) = run_suite(exp)?;
+    for run in &runs {
+        // exercise the full serialize → parse → replay path
+        let records =
+            ledger::parse_jsonl(&run.ledger.to_jsonl()).map_err(|e| format!("{}: {e}", run.id))?;
+        let replayed = replay_ledger(&run.tc.tree, &run.tc.lib, &run.tc.floorplan, &cfg, &records)
+            .map_err(|e| format!("{}: {e}", run.id))?;
+        let mut rec_snap = QorSnapshot::new("replay-check", run.seed, "replay");
+        rec_snap.testcases.push(run.recorded_qor.tree_outcome());
+        let mut rep_snap = QorSnapshot::new("replay-check", run.seed, "replay");
+        rep_snap.testcases.push(tree_outcome_qor(
+            &run.id,
+            &run.tc,
+            &run.corner_names,
+            &replayed,
+            cfg.freq_ghz,
+        )?);
+        // sanity: the projection helper must agree with the recorded
+        // run's own tree before the byte comparison means anything
+        let mut chk_snap = QorSnapshot::new("replay-check", run.seed, "replay");
+        chk_snap.testcases.push(tree_outcome_qor(
+            &run.id,
+            &run.tc,
+            &run.corner_names,
+            &run.tree,
+            cfg.freq_ghz,
+        )?);
+        if chk_snap.canonical_json() != rec_snap.canonical_json() {
+            return Err(format!(
+                "{}: tree-outcome projection disagrees with the recorded report",
+                run.id
+            ));
+        }
+        if rep_snap.canonical_json() != rec_snap.canonical_json() {
+            eprintln!("recorded:\n{}", rec_snap.canonical_json());
+            eprintln!("replayed:\n{}", rep_snap.canonical_json());
+            return Err(format!("{}: replayed snapshot differs byte-wise", run.id));
+        }
+        println!(
+            "  {:<8} replayed {} ledger records; snapshot byte-identical",
+            run.id,
+            records.len()
+        );
+    }
+    println!("replay: all testcases byte-identical");
+    Ok(())
+}
+
+fn mode_diff(base_path: &str, cur_path: &str, verbose: bool) -> Result<bool, String> {
+    let load = |p: &str| -> Result<Waterfall, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+        let records = ledger::parse_jsonl(&text).map_err(|e| format!("{p}: {e}"))?;
+        build_waterfall(&records).map_err(|e| format!("{p}: {e}"))
+    };
+    let base = load(base_path)?;
+    let cur = load(cur_path)?;
+    let tol = Tolerance {
+        rel: 0.02,
+        abs: 1.0,
+        direction: Direction::LowerBetter,
+    };
+    let verdict = |b: f64, c: f64| -> Verdict {
+        let d = c - b;
+        let band = tol.band(b);
+        if d > band {
+            Verdict::Regressed
+        } else if d < -band {
+            Verdict::Improved
+        } else {
+            Verdict::Neutral
+        }
+    };
+    println!(
+        "{:<44} {:>12} {:>12} {:>9}  verdict",
+        "decision", "base var", "cur var", "Δ ps"
+    );
+    let mut regressed = false;
+    let mut row = |label: &str, b: f64, c: f64| {
+        let v = verdict(b, c);
+        regressed |= v == Verdict::Regressed;
+        if verbose || v != Verdict::Neutral {
+            println!(
+                "{label:<44} {b:>12.3} {c:>12.3} {:>+9.3}  {}",
+                c - b,
+                v.as_str()
+            );
+        }
+    };
+    row("flow init", base.init, cur.init);
+    for s in &cur.steps {
+        match base.steps.iter().find(|b| b.label == s.label) {
+            Some(b) => row(&s.label, b.var, s.var),
+            None => println!(
+                "{:<44} {:>12} {:>12.3} {:>9}  new decision",
+                s.label, "—", s.var, ""
+            ),
+        }
+    }
+    for b in &base.steps {
+        if !cur.steps.iter().any(|s| s.label == b.label) {
+            println!(
+                "{:<44} {:>12.3} {:>12} {:>9}  decision dropped",
+                b.label, b.var, "—", ""
+            );
+        }
+    }
+    row("flow end", base.end, cur.end);
+    println!(
+        "summary: end-to-end {:+.3} ps (base {:+.3}, cur {:+.3})",
+        (cur.end - cur.init) - (base.end - base.init),
+        base.end - base.init,
+        cur.end - cur.init
+    );
+    Ok(regressed)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().collect();
+    let mode = argv.get(1).map_or("", String::as_str);
+    let flag_val = |name: &str| -> Option<String> {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1).cloned())
+    };
+    let exp = ExpArgs::parse();
+    match mode {
+        "report" => {
+            let out = flag_val("--out").unwrap_or_else(|| "BENCH_waterfall.md".to_string());
+            let json_out = flag_val("--json").unwrap_or_else(|| "BENCH_waterfall.json".to_string());
+            let ledgers = flag_val("--ledgers").unwrap_or_else(|| "BENCH_ledgers".to_string());
+            println!(
+                "waterfall report: suite '{}', seed {}",
+                if exp.quick { "quick" } else { "full" },
+                exp.seed
+            );
+            match mode_report(&exp, &out, &json_out, &ledgers) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("FAIL: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "replay" => {
+            println!(
+                "waterfall replay: suite '{}', seed {}",
+                if exp.quick { "quick" } else { "full" },
+                exp.seed
+            );
+            match mode_replay(&exp) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("FAIL: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "diff" => {
+            let files: Vec<&String> = argv[2..].iter().filter(|a| !a.starts_with("--")).collect();
+            let verbose = argv.iter().any(|a| a == "--verbose");
+            if files.len() != 2 {
+                eprintln!("usage: waterfall diff <base.jsonl> <cur.jsonl> [--verbose]");
+                return ExitCode::FAILURE;
+            }
+            match mode_diff(files[0], files[1], verbose) {
+                Ok(false) => {
+                    println!("diff: no regressions");
+                    ExitCode::SUCCESS
+                }
+                Ok(true) => {
+                    eprintln!("FAIL: ledger diff regressed beyond tolerance");
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("FAIL: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: waterfall <report|replay|diff> [flags]");
+            eprintln!("  report [--quick] [--seed N] [--sinks N] [--out MD] [--json JSON] [--ledgers DIR]");
+            eprintln!("  replay [--quick] [--seed N] [--sinks N]");
+            eprintln!("  diff <base.jsonl> <cur.jsonl> [--verbose]");
+            ExitCode::FAILURE
+        }
+    }
+}

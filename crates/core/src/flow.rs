@@ -7,7 +7,7 @@
 
 use clk_lint::{DesignCtx, LintLevel, LintRunner};
 use clk_netlist::{ClockTree, Floorplan, TreeStats};
-use clk_obs::{kv, Level, Obs};
+use clk_obs::{kv, Ledger, LedgerRecord, Level, Obs};
 use clk_sta::{
     alpha_factors, clock_power, local_skew_ps, try_pair_skews, variation_report, Timer, TimingError,
 };
@@ -125,6 +125,25 @@ pub fn check_lint_gate(
         });
     }
     Ok(())
+}
+
+/// The committed checkpoint the current phase last wrote to the ledger
+/// (the adopted round's / committed move's variation under the flow's
+/// init-time alphas), or `fallback` when the phase committed nothing.
+fn last_phase_checkpoint(ledger: &Ledger, fallback: f64) -> f64 {
+    for rec in ledger.records().iter().rev() {
+        match rec {
+            LedgerRecord::PhaseStart { .. } | LedgerRecord::PhaseEnd { .. } => break,
+            LedgerRecord::RoundEnd { var, .. } => return *var,
+            LedgerRecord::LocalCommit {
+                committed: true,
+                var: Some(v),
+                ..
+            } => return *v,
+            _ => {}
+        }
+    }
+    fallback
 }
 
 /// [`check_lint_gate`] with the legacy abort-on-failure contract.
@@ -318,6 +337,20 @@ pub fn try_optimize_with(
         .collect::<Result<_, _>>()?;
     let alphas = alpha_factors(&skews0);
     let variation_before = variation_report(&skews0, &alphas, None).sum;
+    // the decision ledger checkpoints every accepted decision under
+    // these init-time alphas so deltas telescope to the end-to-end
+    // variation delta (the waterfall reconciliation gate)
+    let ledger = obs.ledger();
+    let mut ledger_ckpt = variation_before;
+    if ledger.is_enabled() {
+        ledger.set_alphas(alphas.clone());
+        obs.ledger_append(LedgerRecord::FlowInit {
+            flow: flow.to_string(),
+            sinks: tc.tree.sinks().count() as u64,
+            corners: skews0.len() as u64,
+            var: variation_before,
+        });
+    }
     let local_skew_before: Vec<f64> = skews0.iter().map(|s| local_skew_ps(s)).collect();
     let stats0 = TreeStats::compute(&tc.tree, lib);
     let power_before = clock_power(&tc.tree, lib, &analyses0[0], cfg.freq_ghz);
@@ -349,6 +382,12 @@ pub fn try_optimize_with(
                     .map_or(-1.0, |d| d.as_secs_f64() * 1e3),
             )],
         );
+        if ledger.is_enabled() {
+            obs.ledger_append(LedgerRecord::PhaseStart {
+                phase: "global".to_string(),
+            });
+        }
+        let mut phase_committed = false;
         let mut ctx = FaultCtx::new(
             plan,
             cfg.budget.global.deadline(phase_start, Some(&cfg.cancel)),
@@ -378,6 +417,7 @@ pub fn try_optimize_with(
                     phase_span.record("arcs_changed", rep.arcs_changed);
                     tree = opt;
                     global_report = Some(rep);
+                    phase_committed = true;
                 }
                 Err(e) => ctx.record(
                     "flow",
@@ -407,6 +447,16 @@ pub fn try_optimize_with(
         phase_span.record("faults", ctx.log.len());
         faults.absorb(ctx.log);
         drop(phase_span);
+        if ledger.is_enabled() {
+            if phase_committed {
+                ledger_ckpt = last_phase_checkpoint(&ledger, ledger_ckpt);
+            }
+            obs.ledger_append(LedgerRecord::PhaseEnd {
+                phase: "global".to_string(),
+                committed: phase_committed,
+                var: ledger_ckpt,
+            });
+        }
     }
     if matches!(flow, Flow::Local | Flow::GlobalLocal) {
         let model = model.ok_or(FlowError::MissingArtifact(
@@ -424,6 +474,12 @@ pub fn try_optimize_with(
                     .map_or(-1.0, |d| d.as_secs_f64() * 1e3),
             )],
         );
+        if ledger.is_enabled() {
+            obs.ledger_append(LedgerRecord::PhaseStart {
+                phase: "local".to_string(),
+            });
+        }
+        let mut phase_committed = false;
         let txn = TreeTxn::begin(&tree);
         let mut ctx = FaultCtx::new(
             plan,
@@ -462,6 +518,7 @@ pub fn try_optimize_with(
                     phase_span.record("golden_evals", rep.golden_evals);
                     local_report = Some(rep);
                     txn.commit();
+                    phase_committed = true;
                 }
             }
             Err(e) => {
@@ -496,6 +553,16 @@ pub fn try_optimize_with(
         phase_span.record("faults", ctx.log.len());
         faults.absorb(ctx.log);
         drop(phase_span);
+        if ledger.is_enabled() {
+            if phase_committed {
+                ledger_ckpt = last_phase_checkpoint(&ledger, ledger_ckpt);
+            }
+            obs.ledger_append(LedgerRecord::PhaseEnd {
+                phase: "local".to_string(),
+                committed: phase_committed,
+                var: ledger_ckpt,
+            });
+        }
     }
 
     let scoring_span = obs.span("phase.scoring");
@@ -530,6 +597,11 @@ pub fn try_optimize_with(
         .map(|t| try_pair_skews(t, tree.sink_pairs()))
         .collect::<Result<_, _>>()?;
     let variation_after = variation_report(&skews1, &alphas, None).sum;
+    if ledger.is_enabled() {
+        obs.ledger_append(LedgerRecord::FlowEnd {
+            var: variation_after,
+        });
+    }
     let local_skew_after: Vec<f64> = skews1.iter().map(|s| local_skew_ps(s)).collect();
     let stats1 = TreeStats::compute(&tree, lib);
     let power_after = clock_power(&tree, lib, &analyses1[0], cfg.freq_ghz);
@@ -565,13 +637,13 @@ pub fn try_optimize_with(
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::fault::FaultSite;
     use clk_cts::TestcaseKind;
     use clk_ml::MlpConfig;
 
-    fn quick_cfg() -> FlowConfig {
+    pub(crate) fn quick_cfg() -> FlowConfig {
         FlowConfig {
             global: GlobalConfig {
                 max_pairs: 30,
@@ -615,6 +687,70 @@ mod tests {
             "cells {} -> {}",
             report.cells_before,
             report.cells_after
+        );
+    }
+
+    #[test]
+    // bit-exact checkpoint equality is the property under test
+    #[allow(clippy::float_cmp)]
+    fn ledger_reconciles_and_round_trips() {
+        let tc = clk_cts::Testcase::generate(TestcaseKind::Cls1v1, 40, 34);
+        let mut cfg = quick_cfg();
+        cfg.obs = Obs::new(clk_obs::ObsConfig {
+            ledger: true,
+            ..clk_obs::ObsConfig::default()
+        });
+        let report = optimize(&tc, Flow::GlobalLocal, &cfg);
+        let ledger = cfg.obs.ledger();
+        let records = ledger.records();
+
+        // the ledger brackets the run
+        let Some(LedgerRecord::FlowInit { var: init_var, .. }) = records.first() else {
+            panic!("ledger starts with flow_init: {records:?}");
+        };
+        let Some(LedgerRecord::FlowEnd { var: end_var }) = records.last() else {
+            panic!("ledger ends with flow_end: {records:?}");
+        };
+        assert_eq!(*init_var, report.variation_before);
+        assert_eq!(*end_var, report.variation_after);
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, LedgerRecord::Lambda { .. })));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, LedgerRecord::LocalCand { .. })));
+
+        // JSONL round-trip is byte-identical
+        let text = ledger.to_jsonl();
+        let parsed = clk_obs::ledger::parse_jsonl(&text).expect("ledger parses");
+        assert_eq!(parsed.len(), records.len());
+        assert_eq!(clk_obs::ledger::encode_jsonl(&parsed), text);
+
+        // reconciliation: committed checkpoints telescope bit-exactly to
+        // the end-to-end variation delta
+        let mut ckpt = *init_var;
+        let mut phase_ckpt = ckpt;
+        for rec in &records {
+            match rec {
+                LedgerRecord::PhaseStart { .. } => phase_ckpt = ckpt,
+                LedgerRecord::RoundEnd { var, .. } => phase_ckpt = *var,
+                LedgerRecord::LocalCommit {
+                    committed: true,
+                    var: Some(v),
+                    ..
+                } => phase_ckpt = *v,
+                LedgerRecord::PhaseEnd { committed, var, .. } => {
+                    if *committed {
+                        ckpt = phase_ckpt;
+                    }
+                    assert_eq!(*var, ckpt, "phase_end checkpoint mismatch");
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            (ckpt - end_var).abs() <= 1e-6,
+            "ledger checkpoint {ckpt} vs end-to-end {end_var}"
         );
     }
 

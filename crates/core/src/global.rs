@@ -16,7 +16,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use clk_liberty::{CellId, CornerId, Library};
 use clk_lp::{LpError, Problem, RowKind, Solution, VarId};
 use clk_netlist::{Arc, ArcId, ArcSet, ClockTree, Floorplan, NodeId, NodeKind, SinkPair};
-use clk_obs::{kv, Deadline, Level, Obs};
+use clk_obs::{kv, Deadline, LedgerRecord, Level, Obs};
 use clk_route::RoutePath;
 use clk_sta::{
     alpha_factors, arc_delays_ps, local_skew_ps, pair_skews, try_pair_skews, variation_report,
@@ -241,7 +241,16 @@ pub fn global_optimize_checked(
             "global.round",
             vec![kv("round", round as u64)],
         );
-        let (next, rep) = match global_round(&current, lib, fp, luts, cfg, guard_baseline, ctx) {
+        let (next, rep) = match global_round(
+            &current,
+            lib,
+            fp,
+            luts,
+            cfg,
+            guard_baseline,
+            ctx,
+            round,
+        ) {
             Ok(r) => r,
             // a cut mid-round discards only that round's uncommitted
             // trial; the last committed tree stays the result
@@ -320,6 +329,7 @@ fn global_round(
     cfg: &GlobalConfig,
     guard_baseline: Option<&[f64]>,
     ctx: &mut FaultCtx<'_>,
+    round: usize,
 ) -> Result<(ClockTree, GlobalReport), FlowError> {
     // the round runs single-threaded, so its golden timer can observe
     // the phase deadline directly (workers inside `execute_eco` re-time
@@ -399,7 +409,7 @@ fn global_round(
         })
         .collect();
 
-    let mut best: Option<(ClockTree, f64, f64, usize)> = None;
+    let mut best: Option<(ClockTree, f64, f64, usize, Option<f64>)> = None;
     let mut lp_iterations = 0usize;
     let mut sweep = Vec::with_capacity(cfg.lambdas.len());
     let before_local: Vec<f64> = match guard_baseline {
@@ -408,6 +418,23 @@ fn global_round(
     };
 
     let obs = ctx.obs.clone();
+    // decision-ledger checkpoints are evaluated under the flow's
+    // init-time alphas (α*, published via the ledger) so committed
+    // deltas telescope across rounds; the round's own `alphas` still
+    // drive every accept decision unchanged
+    let ledger = obs.ledger();
+    let star_owned = ledger.alphas();
+    let round_u = round as u64;
+    let star: Option<&[f64]> = ledger
+        .is_enabled()
+        .then(|| star_owned.as_deref().unwrap_or(&alphas));
+    let var_star_before = star.map(|sa| variation_report(&per_corner_skews, sa, None).sum);
+    if let Some(vs) = var_star_before {
+        obs.ledger_append(LedgerRecord::RoundStart {
+            round: round_u,
+            var: vs,
+        });
+    }
     for &lambda in &cfg.lambdas {
         // cut mid-sweep: keep the best already-realized λ point; the
         // caller re-polls and records the interruption
@@ -445,13 +472,15 @@ fn global_round(
             // point, keep the sweep's best-so-far, stop sweeping
             Err(e) if e.is_interrupt() => {
                 lambda_span.record("outcome", "interrupted");
+                ledger_lambda(&obs, round_u, &point, "interrupted", None);
                 sweep.push(point);
                 break;
             }
             Err(e) => return Err(e),
         };
-        let Some((solution, vars)) = solved else {
+        let Some(((solution, vars), rung)) = solved else {
             lambda_span.record("outcome", "lp_skipped");
+            ledger_lambda(&obs, round_u, &point, "skipped", None);
             sweep.push(point);
             continue;
         };
@@ -474,7 +503,7 @@ fn global_round(
         let deadline = ctx.deadline.clone();
         let eco = catch_unwind(AssertUnwindSafe(|| {
             let mut trial = tree.clone();
-            let (changed, after) = execute_eco(
+            let (changed, after, star_after) = execute_eco(
                 &mut trial,
                 lib,
                 fp,
@@ -492,10 +521,14 @@ fn global_round(
                 cfg,
                 &obs,
                 &deadline,
+                round,
+                lambda,
+                star,
+                var_star_before,
             );
-            (trial, changed, after)
+            (trial, changed, after, star_after)
         }));
-        let Ok((trial, changed, after)) = eco else {
+        let Ok((trial, changed, after, star_after)) = eco else {
             ctx.record(
                 "global",
                 FaultKind::EcoPanic,
@@ -503,6 +536,7 @@ fn global_round(
                 format!("ECO sweep at lambda {lambda} panicked; trial discarded"),
             );
             lambda_span.record("outcome", "eco_panic");
+            ledger_lambda(&obs, round_u, &point, rung, None);
             sweep.push(point);
             continue;
         };
@@ -510,6 +544,7 @@ fn global_round(
         lambda_span.record("arcs_changed", changed as u64);
         if changed == 0 {
             lambda_span.record("outcome", "no_change");
+            ledger_lambda(&obs, round_u, &point, rung, star_after);
             sweep.push(point);
             continue;
         }
@@ -521,6 +556,7 @@ fn global_round(
                 format!("trial ECO at lambda {lambda} broke tree invariants ({e}); discarded"),
             );
             lambda_span.record("outcome", "invalid_tree");
+            ledger_lambda(&obs, round_u, &point, rung, None);
             sweep.push(point);
             continue;
         }
@@ -539,15 +575,16 @@ fn global_round(
                     ),
                 );
                 lambda_span.record("outcome", "lint_reject");
+                ledger_lambda(&obs, round_u, &point, rung, None);
                 sweep.push(point);
                 continue;
             }
         }
         point.variation_after = Some(after);
         lambda_span.record("variation_after", after);
-        if after < variation_before && best.as_ref().is_none_or(|&(_, v, _, _)| after < v) {
+        if after < variation_before && best.as_ref().is_none_or(|&(_, v, _, _, _)| after < v) {
             point.accepted = true;
-            best = Some((trial, after, lambda, changed));
+            best = Some((trial, after, lambda, changed, star_after));
         }
         lambda_span.record(
             "outcome",
@@ -557,11 +594,27 @@ fn global_round(
                 "rejected"
             },
         );
+        ledger_lambda(&obs, round_u, &point, rung, star_after);
         sweep.push(point);
     }
 
+    if ledger.is_enabled() {
+        let fallback = var_star_before.unwrap_or(variation_before);
+        let (winner_lambda, adopted, var) = match &best {
+            Some((_, _, lambda, _, star_after)) => {
+                (Some(*lambda), true, star_after.unwrap_or(fallback))
+            }
+            None => (None, false, fallback),
+        };
+        obs.ledger_append(LedgerRecord::RoundEnd {
+            round: round_u,
+            winner_lambda,
+            adopted,
+            var,
+        });
+    }
     Ok(match best {
-        Some((t, after, lambda, changed)) => (
+        Some((t, after, lambda, changed, _)) => (
             t,
             GlobalReport {
                 variation_before,
@@ -584,6 +637,27 @@ fn global_round(
             },
         ),
     })
+}
+
+/// Appends one λ-trial summary to the decision ledger. `rung` is the
+/// retry-ladder rung the solve landed on; a solved point always passed
+/// exact certificate verification (`cert: "ok"`), an unsolved one has
+/// no certificate to report.
+fn ledger_lambda(obs: &Obs, round: u64, point: &SweepPoint, rung: &str, var_star: Option<f64>) {
+    if !obs.ledgering() {
+        return;
+    }
+    let solved = point.lp_objective.is_finite();
+    obs.ledger_append(LedgerRecord::Lambda {
+        round,
+        lambda: point.lambda,
+        rung: rung.to_string(),
+        cert: if solved { "ok" } else { "none" }.to_string(),
+        lp_objective: solved.then_some(point.lp_objective),
+        arcs_changed: point.arcs_changed as u64,
+        accepted: point.accepted,
+        var: var_star,
+    });
 }
 
 /// Which objective variant the LP is built with.
@@ -727,7 +801,7 @@ fn solve_with_ladder(
     objective: LpObjective,
     cfg: &GlobalConfig,
     ctx: &mut FaultCtx<'_>,
-) -> Result<Option<SolvedPoint>, FlowError> {
+) -> Result<Option<(SolvedPoint, &'static str)>, FlowError> {
     let obs = ctx.obs.clone();
     let attempt = |relax: &Relaxation,
                    rung: &str,
@@ -752,7 +826,7 @@ fn solve_with_ladder(
     match attempt(&Relaxation::NONE, "none", ctx) {
         Ok(r) => {
             rung_taken("none");
-            return Ok(Some(r));
+            return Ok(Some((r, "none")));
         }
         Err(LadderFault::Lp(LpError::Interrupted)) => {
             rung_taken("interrupted");
@@ -778,7 +852,7 @@ fn solve_with_ladder(
     match attempt(&Relaxation::RELAXED, "relaxed", ctx) {
         Ok(r) => {
             rung_taken("relaxed");
-            return Ok(Some(r));
+            return Ok(Some((r, "relaxed")));
         }
         Err(LadderFault::Lp(LpError::Interrupted)) => {
             rung_taken("interrupted");
@@ -794,7 +868,7 @@ fn solve_with_ladder(
     match attempt(&Relaxation::DEGRADED, "degraded", ctx) {
         Ok(r) => {
             rung_taken("degraded");
-            Ok(Some(r))
+            Ok(Some((r, "degraded")))
         }
         Err(LadderFault::Lp(LpError::Interrupted)) => {
             rung_taken("interrupted");
@@ -1264,7 +1338,11 @@ fn execute_eco(
     cfg: &GlobalConfig,
     obs: &Obs,
     deadline: &Deadline,
-) -> (usize, f64) {
+    round: usize,
+    lambda: f64,
+    star: Option<&[f64]>,
+    star_before: Option<f64>,
+) -> (usize, f64, Option<f64>) {
     let n_corners = arc_d.len();
     let timer = Timer::golden();
     // collect candidate arcs with their requested deltas
@@ -1291,6 +1369,7 @@ fn execute_eco(
     );
     let mut changed = 0usize;
     let mut current = variation_before;
+    let mut current_star = star_before;
     // the paper's guarantee: no new max-cap / max-transition violations
     let mut drc_budget: usize = timer
         .analyze_all(tree, lib)
@@ -1318,6 +1397,18 @@ fn execute_eco(
         if !realize_arc(tree, lib, fp, luts, timings, &arc, &d_lp, &d_now, cfg, obs) {
             *tree = backup;
             obs.count("global.eco_unrealizable", 1);
+            if obs.ledgering() {
+                obs.ledger_append(LedgerRecord::EcoArc {
+                    round: round as u64,
+                    lambda,
+                    arc: u64::from(aid.0),
+                    d_lp: d_lp.clone(),
+                    d_now: d_now.clone(),
+                    realized: None,
+                    accepted: false,
+                    var: None,
+                });
+            }
             continue;
         }
         // golden re-timing: fidelity of the realized arc delta vs the LP
@@ -1367,19 +1458,37 @@ fn execute_eco(
             .zip(guard_local)
             .all(|(s, &g)| local_skew_ps(s) <= g * cfg.skew_guard_factor + cfg.skew_guard_ps);
         let drc: usize = t_after.iter().map(|t| t.violations().len()).sum();
-        if guard_ok && drc <= drc_budget && (after < current || fid_ok) {
+        let accepted = guard_ok && drc <= drc_budget && (after < current || fid_ok);
+        // the star checkpoint re-prices the same measured skews under
+        // the flow's α*, so the extra cost when ledgering is one
+        // variation_report — no additional STA
+        let after_star = star.map(|sa| variation_report(&skews, sa, None).sum);
+        if accepted {
             drc_budget = drc;
             current = after;
+            current_star = after_star;
             changed += 1;
             obs.count("global.eco_accepted", 1);
         } else {
             *tree = backup;
             obs.count("global.eco_rollback", 1);
         }
+        if obs.ledgering() {
+            obs.ledger_append(LedgerRecord::EcoArc {
+                round: round as u64,
+                lambda,
+                arc: u64::from(aid.0),
+                d_lp: d_lp.clone(),
+                d_now: d_now.clone(),
+                realized: Some(realized.clone()),
+                accepted,
+                var: if accepted { after_star } else { None },
+            });
+        }
     }
     eco_span.record("arcs_kept", changed as u64);
     drop(eco_span);
-    (changed, current)
+    (changed, current, current_star)
 }
 
 /// Whether `arc` still describes the live chain between its junctions.
@@ -1437,7 +1546,7 @@ pub(crate) fn realize_arc_for_baseline(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn realize_arc(
+pub(crate) fn realize_arc(
     tree: &mut ClockTree,
     lib: &Library,
     fp: &Floorplan,

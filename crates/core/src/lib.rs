@@ -49,6 +49,7 @@ pub mod local;
 pub mod lut;
 pub mod moves;
 pub mod predictor;
+pub mod replay;
 
 pub use baseline::{worst_skew_optimize, WorstSkewReport};
 pub use fault::{
@@ -71,3 +72,4 @@ pub use local::{
 pub use lut::{RatioBounds, StageLuts};
 pub use moves::{apply_move, enumerate_moves, Move, MoveConfig, Resize};
 pub use predictor::{DeltaLatencyModel, ModelKind, TrainConfig};
+pub use replay::{replay_ledger, ReplayError};

@@ -7,7 +7,7 @@ use std::collections::BTreeMap;
 
 use clk_liberty::{CornerId, Library};
 use clk_netlist::{ClockTree, Floorplan, NodeId, SinkPair, TreeError};
-use clk_obs::{kv, Level};
+use clk_obs::{kv, LedgerRecord, Level};
 use clk_sta::{
     alpha_factors, local_skew_ps, try_pair_skews, variation_report, CornerTiming, Timer,
     TimingError,
@@ -248,6 +248,14 @@ pub fn local_optimize_checked(
     };
     let mut current_sum = variation_before;
     let obs = ctx.obs.clone();
+    // decision-ledger checkpoints are priced under the flow-level α*
+    // (published at flow init); the accept decisions below keep using the
+    // phase-local alphas, so QoR behavior is unchanged by ledgering
+    let ledger = obs.ledger();
+    let star_owned = ledger.alphas();
+    let star: Option<&[f64]> = ledger
+        .is_enabled()
+        .then(|| star_owned.as_deref().unwrap_or(&alphas));
     // the paper's guarantee: no new max-cap / max-transition violations
     let drc_baseline: usize = analyses0.iter().map(|t| t.violations().len()).sum();
 
@@ -302,6 +310,15 @@ pub fn local_optimize_checked(
             }
             Err(e) => return Err(e.into()),
         };
+        // golden per-corner local skews of the committed tree: the
+        // baseline for per-candidate ledger deltas (ledger runs only)
+        let cur_locals: Option<Vec<f64>> = star.and_then(|_| {
+            timings
+                .iter()
+                .map(|t| try_pair_skews(t, &pairs).map(|s| local_skew_ps(&s)))
+                .collect::<Result<Vec<_>, _>>()
+                .ok()
+        });
         let moves = enumerate_moves(tree, lib, &cfg.move_cfg, None);
         if moves.is_empty() {
             break;
@@ -404,7 +421,8 @@ pub fn local_optimize_checked(
             let alphas_ref = &alphas;
             let plan = ctx.plan;
             let prof = obs.profiler();
-            type CandidateResult = Result<(f64, Vec<f64>, ClockTree), CandidateFailure>;
+            type CandidateResult =
+                Result<(f64, Vec<f64>, Option<f64>, ClockTree), CandidateFailure>;
             let results: Vec<Option<CandidateResult>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = batch
                     .iter()
@@ -446,7 +464,8 @@ pub fn local_optimize_checked(
                                 .map_err(CandidateFailure::Timing)?;
                             let sum = variation_report(&skews, alphas_ref, None).sum;
                             let locals: Vec<f64> = skews.iter().map(|s| local_skew_ps(s)).collect();
-                            Ok((sum, locals, trial))
+                            let sum_star = star.map(|sa| variation_report(&skews, sa, None).sum);
+                            Ok((sum, locals, sum_star, trial))
                         })
                     })
                     .collect();
@@ -458,8 +477,9 @@ pub fn local_optimize_checked(
             obs.count("local.golden_evals", batch.len() as u64);
 
             let mut best: Option<(usize, f64)> = None;
+            let slot_base = (batch_no * cfg.moves_per_round.max(1)) as u64;
             for (i, r) in results.iter().enumerate() {
-                match r {
+                let (outcome, measured) = match r {
                     None => {
                         report.rejects.panicked += 1;
                         obs.count("local.reject.panicked", 1);
@@ -469,22 +489,26 @@ pub fn local_optimize_checked(
                             RecoveryAction::Skip,
                             format!("candidate {} ({}) isolated", i, batch[i].1),
                         );
+                        ("panicked", None)
                     }
                     Some(Err(CandidateFailure::Apply(e))) => {
                         report.rejects.apply_failed += 1;
                         obs.count("local.reject.apply_failed", 1);
                         let _ = e;
+                        ("apply_failed", None)
                     }
                     Some(Err(CandidateFailure::Timing(e))) => {
                         report.rejects.timing_failed += 1;
                         obs.count("local.reject.timing_failed", 1);
                         let _ = e;
+                        ("timing_failed", None)
                     }
                     Some(Err(CandidateFailure::Drc { .. })) => {
                         report.rejects.drc += 1;
                         obs.count("local.reject.drc", 1);
+                        ("drc", None)
                     }
-                    Some(Ok((sum, locals, _))) => {
+                    Some(Ok((sum, locals, _, _))) => {
                         let ok = locals.iter().zip(&guard).all(|(l, g)| l <= g);
                         if ok && *sum < current_sum && best.is_none_or(|(_, b)| *sum < b) {
                             best = Some((i, *sum));
@@ -492,14 +516,43 @@ pub fn local_optimize_checked(
                             report.rejects.not_improving += 1;
                             obs.count("local.reject.not_improving", 1);
                         }
+                        // how far the ranker's promise missed the golden
+                        // measurement, per candidate (+ = over-promised)
+                        obs.observe("local.predict.err_ps", batch[i].0 - (current_sum - sum));
+                        let improving = ok && *sum < current_sum;
+                        (
+                            if improving {
+                                "improving"
+                            } else {
+                                "not_improving"
+                            },
+                            Some(current_sum - sum),
+                        )
                     }
+                };
+                if obs.ledgering() {
+                    let deltas = match r {
+                        Some(Ok((_, locals, _, _))) => cur_locals
+                            .as_ref()
+                            .map(|cur| locals.iter().zip(cur).map(|(l, c)| l - c).collect()),
+                        _ => None,
+                    };
+                    obs.ledger_append(LedgerRecord::LocalCand {
+                        iter: iter as u64,
+                        slot: slot_base + i as u64,
+                        mv: batch[i].1.to_ledger_rec(),
+                        predicted: batch[i].0,
+                        measured,
+                        deltas,
+                        outcome: outcome.to_string(),
+                    });
                 }
             }
             if obs.at(Level::Trace) {
                 let outs: Vec<String> = results
                     .iter()
                     .map(|r| match r {
-                        Some(Ok((s, _, _))) => format!("{s:.1}"),
+                        Some(Ok((s, _, _, _))) => format!("{s:.1}"),
                         Some(Err(CandidateFailure::Drc {
                             violations,
                             baseline,
@@ -516,7 +569,7 @@ pub fn local_optimize_checked(
                 );
             }
             if let Some((i, sum)) = best {
-                let Some(Some(Ok((_, _, trial)))) = results.into_iter().nth(i) else {
+                let Some(Some(Ok((_, _, win_star, trial)))) = results.into_iter().nth(i) else {
                     // clk-analyze: allow(A005) unreachable by construction: best index points at an Ok result
                     unreachable!("best index points at an Ok result");
                 };
@@ -535,6 +588,15 @@ pub fn local_optimize_checked(
                     );
                     batch_span.record("outcome", "rollback");
                     obs.count("local.rollback", 1);
+                    if obs.ledgering() {
+                        obs.ledger_append(LedgerRecord::LocalCommit {
+                            iter: iter as u64,
+                            mv: batch[i].1.to_ledger_rec(),
+                            gain: current_sum - sum,
+                            committed: false,
+                            var: None,
+                        });
+                    }
                     continue;
                 }
                 #[cfg(debug_assertions)]
@@ -551,10 +613,28 @@ pub fn local_optimize_checked(
                         );
                         batch_span.record("outcome", "rollback");
                         obs.count("local.rollback", 1);
+                        if obs.ledgering() {
+                            obs.ledger_append(LedgerRecord::LocalCommit {
+                                iter: iter as u64,
+                                mv: batch[i].1.to_ledger_rec(),
+                                gain: current_sum - sum,
+                                committed: false,
+                                var: None,
+                            });
+                        }
                         continue;
                     }
                 }
                 txn.commit();
+                if obs.ledgering() {
+                    obs.ledger_append(LedgerRecord::LocalCommit {
+                        iter: iter as u64,
+                        mv: batch[i].1.to_ledger_rec(),
+                        gain: current_sum - sum,
+                        committed: true,
+                        var: win_star,
+                    });
+                }
                 current_sum = sum;
                 report.variation_after = sum;
                 report.iterations.push(IterationRecord {

@@ -69,6 +69,99 @@ impl Move {
             Move::Reassign { .. } => 3,
         }
     }
+
+    /// Serializes the move into its decision-ledger record. Directions
+    /// are encoded as indices into [`Direction::ALL`] (a stable order),
+    /// so a ledger written by one build replays on another.
+    pub fn to_ledger_rec(&self) -> clk_obs::MoveRec {
+        let dir_idx = |d: Direction| {
+            Direction::ALL
+                .iter()
+                .position(|&x| x == d)
+                .map(|i| i as u64)
+        };
+        match *self {
+            Move::SizeDisplace { node, dir, resize } => clk_obs::MoveRec {
+                t: 1,
+                node: u64::from(node.0),
+                dir: dir.and_then(dir_idx),
+                resize: resize.ledger_str().to_string(),
+                child: None,
+                new_parent: None,
+            },
+            Move::ChildSize {
+                node,
+                dir,
+                child,
+                child_resize,
+            } => clk_obs::MoveRec {
+                t: 2,
+                node: u64::from(node.0),
+                dir: dir_idx(dir),
+                resize: child_resize.ledger_str().to_string(),
+                child: Some(u64::from(child.0)),
+                new_parent: None,
+            },
+            Move::Reassign { node, new_parent } => clk_obs::MoveRec {
+                t: 3,
+                node: u64::from(node.0),
+                dir: None,
+                resize: Resize::None.ledger_str().to_string(),
+                child: None,
+                new_parent: Some(u64::from(new_parent.0)),
+            },
+        }
+    }
+
+    /// Rebuilds a move from a decision-ledger record. `None` when the
+    /// record is structurally inconsistent for its type tag (unknown
+    /// tag, out-of-range direction index, missing child/parent).
+    pub fn from_ledger_rec(rec: &clk_obs::MoveRec) -> Option<Move> {
+        let node_id = |v: u64| u32::try_from(v).ok().map(NodeId);
+        let dir_at = |i: u64| Direction::ALL.get(usize::try_from(i).ok()?).copied();
+        match rec.t {
+            1 => Some(Move::SizeDisplace {
+                node: node_id(rec.node)?,
+                dir: match rec.dir {
+                    Some(i) => Some(dir_at(i)?),
+                    None => None,
+                },
+                resize: Resize::from_ledger_str(&rec.resize)?,
+            }),
+            2 => Some(Move::ChildSize {
+                node: node_id(rec.node)?,
+                dir: dir_at(rec.dir?)?,
+                child: node_id(rec.child?)?,
+                child_resize: Resize::from_ledger_str(&rec.resize)?,
+            }),
+            3 => Some(Move::Reassign {
+                node: node_id(rec.node)?,
+                new_parent: node_id(rec.new_parent?)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl Resize {
+    /// Stable ledger spelling of the sizing choice.
+    pub fn ledger_str(self) -> &'static str {
+        match self {
+            Resize::None => "none",
+            Resize::Up => "up",
+            Resize::Down => "down",
+        }
+    }
+
+    /// Parses the ledger spelling back; `None` for unknown strings.
+    pub fn from_ledger_str(s: &str) -> Option<Resize> {
+        match s {
+            "none" => Some(Resize::None),
+            "up" => Some(Resize::Up),
+            "down" => Some(Resize::Down),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Move {
@@ -386,6 +479,53 @@ mod tests {
         assert_eq!(m1.move_type(), 1);
         assert_eq!(m3.move_type(), 3);
         assert_eq!(m3.primary_node(), NodeId(4));
+    }
+
+    #[test]
+    fn move_ledger_round_trip() {
+        let moves = [
+            Move::SizeDisplace {
+                node: NodeId(3),
+                dir: Some(Direction::SouthWest),
+                resize: Resize::Up,
+            },
+            Move::SizeDisplace {
+                node: NodeId(5),
+                dir: None,
+                resize: Resize::Down,
+            },
+            Move::ChildSize {
+                node: NodeId(1),
+                dir: Direction::North,
+                child: NodeId(2),
+                child_resize: Resize::Down,
+            },
+            Move::Reassign {
+                node: NodeId(4),
+                new_parent: NodeId(9),
+            },
+        ];
+        for mv in moves {
+            assert_eq!(Move::from_ledger_rec(&mv.to_ledger_rec()), Some(mv));
+        }
+        assert!(Move::from_ledger_rec(&clk_obs::MoveRec {
+            t: 7,
+            node: 0,
+            dir: None,
+            resize: "none".to_string(),
+            child: None,
+            new_parent: None,
+        })
+        .is_none());
+        assert!(Move::from_ledger_rec(&clk_obs::MoveRec {
+            t: 1,
+            node: 0,
+            dir: Some(8),
+            resize: "none".to_string(),
+            child: None,
+            new_parent: None,
+        })
+        .is_none());
     }
 
     #[test]

@@ -158,6 +158,17 @@ pub const DICTIONARY: &[MetricDef] = &[
     ),
     c("local.rollback", "local moves rolled back"),
     c("local.accepted", "local moves committed"),
+    h(
+        "local.predict.err_ps",
+        Unit::Unitless,
+        "predicted-minus-golden gain error per candidate (ps)",
+    ),
+    // --- clk-obs: decision ledger ---
+    c("ledger.records", "decision-ledger records appended"),
+    c(
+        "ledger.dropped_nonfinite",
+        "ledger records dropped for NaN/Inf floats",
+    ),
     // --- clk-bench: criterion overhead probes ---
     c("bench.ctr", "overhead-probe counter (benches only)"),
     h(

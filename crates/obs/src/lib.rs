@@ -43,6 +43,7 @@ pub mod cancel;
 pub mod chrome;
 pub mod dict;
 pub mod json;
+pub mod ledger;
 pub mod metrics;
 pub mod profile;
 
@@ -50,6 +51,7 @@ pub use cancel::{CancelToken, Deadline, SIMPLEX_POLL_STRIDE};
 pub use dict::{MetricDef, MetricKind, Unit};
 pub use event::{EventKind, EventRecord, Level};
 pub use json::Value;
+pub use ledger::{AppendOutcome, Ledger, LedgerError, LedgerRecord, MoveRec};
 pub use metrics::{
     Counter, Gauge, HistSnapshot, Histogram, MetricValue, MetricsSnapshot, Registry,
 };
@@ -89,6 +91,9 @@ pub struct ObsConfig {
     /// Enable the attribution profiler ([`Profiler`]); off by default
     /// so the hot-loop micro-timers stay a single branch.
     pub profile: bool,
+    /// Enable the decision ledger ([`Ledger`]); off by default so
+    /// every decision site stays a single branch.
+    pub ledger: bool,
 }
 
 impl Default for ObsConfig {
@@ -97,6 +102,7 @@ impl Default for ObsConfig {
             verbosity: Level::Info,
             recorder_capacity: DEFAULT_RECORDER_CAPACITY,
             profile: false,
+            ledger: false,
         }
     }
 }
@@ -107,6 +113,7 @@ struct ObsInner {
     metrics: Registry,
     recorder: FlightRecorder,
     profiler: Profiler,
+    ledger: Ledger,
     seq: AtomicU64,
     epoch: Instant,
 }
@@ -154,6 +161,11 @@ impl Obs {
                 } else {
                     Profiler::disabled()
                 },
+                ledger: if config.ledger {
+                    Ledger::enabled()
+                } else {
+                    Ledger::disabled()
+                },
                 seq: AtomicU64::new(0),
                 epoch: Instant::now(),
             })),
@@ -164,15 +176,17 @@ impl Obs {
     ///
     /// `CLOCKVAR_OBS=<level>` enables a stderr text sink at that level;
     /// `CLOCKVAR_OBS_JSONL=<path>` adds a JSONL file sink;
-    /// `CLOCKVAR_PROFILE=1` turns on the attribution profiler. With
-    /// none of the variables set the pipeline is disabled.
+    /// `CLOCKVAR_PROFILE=1` turns on the attribution profiler;
+    /// `CLOCKVAR_LEDGER=1` turns on the decision ledger. With none of
+    /// the variables set the pipeline is disabled.
     pub fn from_env() -> Self {
         let text_level = std::env::var("CLOCKVAR_OBS")
             .ok()
             .and_then(|s| Level::parse(&s));
         let jsonl_path = std::env::var("CLOCKVAR_OBS_JSONL").ok();
         let profile = std::env::var("CLOCKVAR_PROFILE").is_ok_and(|v| v == "1");
-        if text_level.is_none() && jsonl_path.is_none() && !profile {
+        let ledger = std::env::var("CLOCKVAR_LEDGER").is_ok_and(|v| v == "1");
+        if text_level.is_none() && jsonl_path.is_none() && !profile && !ledger {
             return Self::disabled();
         }
         let verbosity = text_level.unwrap_or(Level::Trace);
@@ -184,6 +198,7 @@ impl Obs {
                 verbosity
             }),
             profile,
+            ledger,
             ..ObsConfig::default()
         });
         if let Some(level) = text_level {
@@ -439,6 +454,36 @@ impl Obs {
             .as_ref()
             .map(|i| i.profiler.clone())
             .unwrap_or_default()
+    }
+
+    /// Whether the decision ledger is recording. Decision sites guard
+    /// record construction (and any extra checkpoint evaluation)
+    /// behind this single branch.
+    #[inline]
+    pub fn ledgering(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.ledger.is_enabled())
+    }
+
+    /// A clone of the pipeline's ledger handle (disabled when the
+    /// pipeline is disabled or was built without the ledger).
+    pub fn ledger(&self) -> Ledger {
+        self.inner
+            .as_ref()
+            .map(|i| i.ledger.clone())
+            .unwrap_or_default()
+    }
+
+    /// Appends a decision record to the ledger, tallying the
+    /// `ledger.records` / `ledger.dropped_nonfinite` counters.
+    pub fn ledger_append(&self, rec: LedgerRecord) {
+        let Some(inner) = &self.inner else { return };
+        match inner.ledger.append(rec) {
+            AppendOutcome::Recorded => inner.metrics.counter("ledger.records").add(1),
+            AppendOutcome::DroppedNonFinite => {
+                inner.metrics.counter("ledger.dropped_nonfinite").add(1);
+            }
+            AppendOutcome::Disabled => {}
+        }
     }
 
     /// Every flight-recorder dump captured so far.

@@ -7,8 +7,12 @@
 // exact-arithmetic code (clk-cert escalates it to deny)
 #![allow(clippy::float_arithmetic, clippy::float_cmp)]
 
+use clk_obs::ledger::{self, LedgerError, LedgerRecord, MoveRec};
 use clk_obs::profile::{from_folded, to_folded};
-use clk_obs::{json, kv, AttrNode, HistSnapshot, Level, Obs, ObsConfig, SharedBuf, Value};
+use clk_obs::{
+    json, kv, AppendOutcome, AttrNode, HistSnapshot, Ledger, Level, Obs, ObsConfig, SharedBuf,
+    Value,
+};
 use proptest::prelude::*;
 
 /// Exact nearest-rank quantile over a sample set — the oracle the
@@ -291,6 +295,180 @@ fn histogram_observe_is_thread_safe() {
     assert_eq!(snap.count, 4000);
     assert_eq!(snap.min, 1.0);
     assert_eq!(snap.max, 4000.0);
+}
+
+// ------------------------------------------------------------------
+// Decision-ledger properties. The vendored proptest shim has no
+// `prop_oneof!` / `any` / `option` combinators, so the record
+// generator draws directly from the shim's `TestRng`.
+
+/// A finite float of every flavor the ledger writer can meet: large,
+/// tiny, integral, negative zero.
+fn finite(rng: &mut proptest::TestRng) -> f64 {
+    match rng.below(4) {
+        0 => 0.0,
+        1 => -0.0,
+        2 => (rng.below(2_000_000_000) as i64 - 1_000_000_000) as f64 * 1e-6,
+        _ => (rng.unit_f64() - 0.5) * 2e12,
+    }
+}
+
+fn opt_f(rng: &mut proptest::TestRng) -> Option<f64> {
+    (rng.below(2) == 0).then(|| finite(rng))
+}
+
+fn vec_f(rng: &mut proptest::TestRng) -> Vec<f64> {
+    (0..rng.below(4)).map(|_| finite(rng)).collect()
+}
+
+fn opt_u(rng: &mut proptest::TestRng, span: u128) -> Option<u64> {
+    (rng.below(2) == 0).then(|| rng.below(span) as u64)
+}
+
+fn pick_name(rng: &mut proptest::TestRng) -> String {
+    const NAMES: [&str; 6] = ["global", "local", "ladder", "ok", "improving", "cand"];
+    NAMES[rng.below(NAMES.len() as u128) as usize].to_string()
+}
+
+fn gen_move(rng: &mut proptest::TestRng) -> MoveRec {
+    MoveRec {
+        t: rng.below(4) as u64,
+        node: rng.below(u128::from(u32::MAX)) as u64,
+        dir: opt_u(rng, 8),
+        resize: ["none", "up", "down"][rng.below(3) as usize].to_string(),
+        child: opt_u(rng, u128::from(u32::MAX)),
+        new_parent: opt_u(rng, u128::from(u32::MAX)),
+    }
+}
+
+/// One arbitrary decision-ledger record covering all ten kinds.
+fn gen_record(rng: &mut proptest::TestRng) -> LedgerRecord {
+    match rng.below(10) {
+        0 => LedgerRecord::FlowInit {
+            flow: pick_name(rng),
+            sinks: rng.below(5000) as u64,
+            corners: 1 + rng.below(7) as u64,
+            var: finite(rng),
+        },
+        1 => LedgerRecord::PhaseStart {
+            phase: pick_name(rng),
+        },
+        2 => LedgerRecord::PhaseEnd {
+            phase: pick_name(rng),
+            committed: rng.below(2) == 0,
+            var: finite(rng),
+        },
+        3 => LedgerRecord::RoundStart {
+            round: rng.below(64) as u64,
+            var: finite(rng),
+        },
+        4 => LedgerRecord::Lambda {
+            round: rng.below(64) as u64,
+            lambda: finite(rng),
+            rung: pick_name(rng),
+            cert: pick_name(rng),
+            lp_objective: opt_f(rng),
+            arcs_changed: rng.below(1000) as u64,
+            accepted: rng.below(2) == 0,
+            var: opt_f(rng),
+        },
+        5 => LedgerRecord::EcoArc {
+            round: rng.below(64) as u64,
+            lambda: finite(rng),
+            arc: rng.below(10_000) as u64,
+            d_lp: vec_f(rng),
+            d_now: vec_f(rng),
+            realized: (rng.below(2) == 0).then(|| vec_f(rng)),
+            accepted: rng.below(2) == 0,
+            var: opt_f(rng),
+        },
+        6 => LedgerRecord::RoundEnd {
+            round: rng.below(64) as u64,
+            winner_lambda: opt_f(rng),
+            adopted: rng.below(2) == 0,
+            var: finite(rng),
+        },
+        7 => LedgerRecord::LocalCand {
+            iter: rng.below(64) as u64,
+            slot: rng.below(256) as u64,
+            mv: gen_move(rng),
+            predicted: finite(rng),
+            measured: opt_f(rng),
+            deltas: (rng.below(2) == 0).then(|| vec_f(rng)),
+            outcome: pick_name(rng),
+        },
+        8 => LedgerRecord::LocalCommit {
+            iter: rng.below(64) as u64,
+            mv: gen_move(rng),
+            gain: finite(rng),
+            committed: rng.below(2) == 0,
+            var: opt_f(rng),
+        },
+        _ => LedgerRecord::FlowEnd { var: finite(rng) },
+    }
+}
+
+/// Strategy yielding `lo..hi` arbitrary ledger records.
+#[derive(Debug)]
+struct LedgerRecords(usize, usize);
+
+impl Strategy for LedgerRecords {
+    type Value = Vec<LedgerRecord>;
+    fn new_value(&self, rng: &mut proptest::TestRng) -> Vec<LedgerRecord> {
+        let n = self.0 + rng.below((self.1 - self.0) as u128) as usize;
+        (0..n).map(|_| gen_record(rng)).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The replay/waterfall contract: encode -> parse is structurally
+    /// lossless and re-encoding is **byte-identical**.
+    fn ledger_jsonl_round_trips_byte_identical(records in LedgerRecords(0, 24)) {
+        let text = ledger::encode_jsonl(&records);
+        let parsed = ledger::parse_jsonl(&text).expect("own encoding parses");
+        prop_assert_eq!(&parsed, &records);
+        prop_assert_eq!(ledger::encode_jsonl(&parsed), text);
+    }
+
+    /// Truncating the final line anywhere inside it is a typed
+    /// [`LedgerError::Malformed`], never a silently shortened ledger.
+    fn truncated_ledger_line_is_typed_error(
+        records in LedgerRecords(1, 8),
+        cut in 1usize..4096,
+    ) {
+        let text = ledger::encode_jsonl(&records);
+        let body = text.trim_end_matches('\n');
+        let last_len = body.rsplit('\n').next().map_or(body.len(), str::len);
+        // strictly inside the last line: dropping it whole would leave
+        // a well-formed shorter ledger (records are ASCII, so byte
+        // slicing is char-safe)
+        let cut = 1 + cut % (last_len - 1);
+        let truncated = &body[..body.len() - cut];
+        let err = ledger::parse_jsonl(truncated).expect_err("truncated line must not parse");
+        prop_assert!(
+            matches!(err, LedgerError::Malformed { .. }),
+            "expected Malformed, got {:?}", err
+        );
+    }
+
+    /// NaN/Inf never survives: dropped (and counted) at append time,
+    /// and the serialized `null` parses as a typed error, not a zero.
+    fn nonfinite_floats_never_round_trip(sel in 0usize..3) {
+        let rec = LedgerRecord::FlowEnd {
+            var: [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][sel],
+        };
+        let led = Ledger::enabled();
+        prop_assert_eq!(led.append(rec.clone()), AppendOutcome::DroppedNonFinite);
+        prop_assert_eq!(led.len(), 0);
+        // force-encode anyway: the reader refuses it with the field name
+        let text = ledger::encode_jsonl(&[rec]);
+        match ledger::parse_jsonl(&text) {
+            Err(LedgerError::NonFinite { field, .. }) => prop_assert_eq!(field, "var"),
+            other => prop_assert!(false, "expected NonFinite, got {:?}", other),
+        }
+    }
 }
 
 #[test]

@@ -245,6 +245,35 @@ impl TestcaseQor {
             counters,
         }
     }
+
+    /// A copy keeping only the fields that are a pure function of the
+    /// input and output trees — runtime, per-phase wall clock, solver
+    /// tallies and raw counters are zeroed. Ledger-replay verification
+    /// compares the recorded run and the replayed tree through this
+    /// projection, byte for byte.
+    #[must_use]
+    pub fn tree_outcome(&self) -> Self {
+        TestcaseQor {
+            runtime_ms: 0.0,
+            phases: Vec::new(),
+            lp_rounds: 0,
+            lp_iterations: 0,
+            eco_accepts: 0,
+            eco_rejects: 0,
+            local_accepts: 0,
+            local_rejects: 0,
+            golden_evals: 0,
+            faults_absorbed: 0,
+            cert_checked: 0,
+            cert_max_resid: 0.0,
+            lp_pivots: 0,
+            lp_bound_flips: 0,
+            lp_degenerate_pivots: 0,
+            lp_degenerate_ratio: 0.0,
+            counters: Vec::new(),
+            ..self.clone()
+        }
+    }
 }
 
 // ---- JSON serialization -------------------------------------------------
