@@ -1,0 +1,661 @@
+//! Intra-workspace call graph and closure capture extraction.
+//!
+//! Resolution is name-based and deliberately over-approximate: a simple
+//! call `f(…)` resolves to every workspace function named `f`, a
+//! qualified call `T::f(…)` to every `f` in an impl of `T`, and a
+//! method call `.f(…)` to every `f` in any impl — except a short list
+//! of ubiquitous std method names (`clone`, `get`, `len`, …) that would
+//! otherwise connect everything to everything. Over-approximation is
+//! the right direction for a certifier: an extra edge can only produce
+//! an extra (suppressible) finding, never hide a hazard. The known hole
+//! — turbofish calls (`f::<T>(…)`) are not recognized — is accepted
+//! because the passes only chase workspace-local helper names, which
+//! are called without turbofish in this codebase.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::items::FnItem;
+use crate::lexer::{TokKind, Token};
+use crate::tree::TokenTree;
+
+/// Method names resolved only through `T::name` qualification: these
+/// are std-trait or std-container vocabulary, and treating every
+/// `.clone()` as a call into any workspace `clone` would fuse the graph
+/// into one component.
+const UBIQUITOUS_METHODS: &[&str] = &[
+    "clone",
+    "default",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "total_cmp",
+    "hash",
+    "drop",
+    "from",
+    "into",
+    "try_from",
+    "try_into",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "deref",
+    "join",
+    "new",
+    "with_capacity",
+    "next",
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "borrow",
+    "borrow_mut",
+    "index",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "contains",
+    "contains_key",
+    "extend",
+    "clear",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "map",
+    "filter",
+    "collect",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "expect",
+    "min",
+    "max",
+    "abs",
+    "sort",
+    "sort_by",
+    "sort_unstable",
+    "sort_by_key",
+];
+
+/// Rust keywords and primitive-ish idents that are never captures or
+/// callees.
+pub(crate) const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true",
+    "type", "unsafe", "use", "where", "while", "usize", "isize", "u8", "u16", "u32", "u64", "i8",
+    "i16", "i32", "i64", "f32", "f64", "bool", "char", "str", "Some", "None", "Ok", "Err",
+];
+
+/// One call site extracted from a function body.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CalleeRef {
+    /// `f(…)` — resolves to every workspace fn named `f`.
+    Simple(String),
+    /// `T::f(…)` — resolves to `f` in impls of `T` (falls back to any
+    /// `f` if `T` has no impl in the workspace, e.g. a re-exported
+    /// type).
+    Qualified(String, String),
+    /// `.f(…)` — resolves to `f` in any impl, unless ubiquitous.
+    Method(String),
+}
+
+/// Extracts every call site from a flat body token stream.
+pub fn callees_of(toks: &[Token]) -> BTreeSet<CalleeRef> {
+    let mut out = BTreeSet::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || toks.get(i + 1).is_none_or(|n| n.text != "(") {
+            continue;
+        }
+        if KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+        match prev {
+            Some(".") => {
+                out.insert(CalleeRef::Method(t.text.clone()));
+            }
+            Some("::") => {
+                if let Some(q) = i
+                    .checked_sub(2)
+                    .map(|p| &toks[p])
+                    .filter(|q| q.kind == TokKind::Ident)
+                {
+                    out.insert(CalleeRef::Qualified(q.text.clone(), t.text.clone()));
+                }
+            }
+            Some("fn") => {} // definition, not a call
+            _ => {
+                out.insert(CalleeRef::Simple(t.text.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// A closure literal found in a body: parameters, body trees, and
+/// whether it was a `move` closure.
+#[derive(Debug, Clone)]
+pub struct Closure {
+    /// 1-indexed line of the opening `|`.
+    pub line: u32,
+    /// `move |…|`.
+    pub is_move: bool,
+    /// Names bound by the closure's parameter list.
+    pub params: Vec<String>,
+    /// The closure body: one brace group's contents, or the expression
+    /// trees up to the enclosing `,`/`;`.
+    pub body: Vec<TokenTree>,
+}
+
+impl Closure {
+    /// The body as a flat token stream.
+    pub fn body_tokens(&self) -> Vec<Token> {
+        crate::tree::flatten(&self.body)
+    }
+
+    /// Names the closure captures from its environment: identifiers
+    /// mentioned in the body that are not parameters, not `let`-bound
+    /// inside the body, not field/method names after `.`, not path
+    /// segments around `::`, not call heads, and not keywords. This
+    /// over-approximates (a sibling closure's parameter leaks in as a
+    /// "capture") but never misses a real data capture.
+    pub fn captures(&self) -> Vec<String> {
+        let toks = self.body_tokens();
+        let mut locals: Vec<String> = self.params.clone();
+        // let-bound names (incl. `let (a, b) =` tuple patterns): scan
+        // each let statement's pattern window up to `=`/`:`/`;`
+        for i in 0..toks.len() {
+            if toks[i].kind == TokKind::Ident && toks[i].text == "let" {
+                let mut k = i + 1;
+                while k < toks.len() && k < i + 24 {
+                    match toks[k].text.as_str() {
+                        "=" | ":" | ";" => break,
+                        _ => {
+                            if toks[k].kind == TokKind::Ident
+                                && toks[k].text != "mut"
+                                && toks[k].text != "ref"
+                                && !locals.contains(&toks[k].text)
+                            {
+                                locals.push(toks[k].text.clone());
+                            }
+                        }
+                    }
+                    k += 1;
+                }
+            }
+        }
+        // `for pat in …` and nested-closure params bind too
+        for i in 0..toks.len() {
+            if toks[i].kind == TokKind::Ident && toks[i].text == "for" {
+                let mut k = i + 1;
+                while k < toks.len() && k < i + 16 {
+                    if toks[k].text == "in" {
+                        break;
+                    }
+                    if toks[k].kind == TokKind::Ident && !locals.contains(&toks[k].text) {
+                        locals.push(toks[k].text.clone());
+                    }
+                    k += 1;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident
+                || KEYWORDS.contains(&t.text.as_str())
+                || locals.contains(&t.text)
+            {
+                continue;
+            }
+            let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+            let next = toks.get(i + 1).map(|n| n.text.as_str());
+            if matches!(prev, Some(".") | Some("::")) || matches!(next, Some("::") | Some("!")) {
+                continue; // field/method/path segment/macro
+            }
+            if next == Some("(") {
+                continue; // call head — a fn item, not a data capture
+            }
+            if next == Some(":") {
+                continue; // struct-literal field name / type ascription
+            }
+            if !out.contains(&t.text) {
+                out.push(t.text.clone());
+            }
+        }
+        out
+    }
+
+    /// Captured names the closure *writes* (assignment or compound
+    /// assignment whose lvalue root is a capture) — the unsynchronized
+    /// `&mut` capture A101 hunts for.
+    pub fn captured_writes(&self) -> Vec<(String, u32)> {
+        let caps = self.captures();
+        let toks = self.body_tokens();
+        let mut out: Vec<(String, u32)> = Vec::new();
+        for i in 0..toks.len() {
+            let is_assign = matches!(
+                toks[i].text.as_str(),
+                "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^="
+            ) && toks[i].kind == TokKind::Punct;
+            if !is_assign {
+                continue;
+            }
+            // `let x = …` introduces, it does not mutate
+            if lvalue_is_let(&toks, i) {
+                continue;
+            }
+            if let Some(root) = lvalue_root(&toks, i) {
+                if caps.contains(&root.text) && !out.iter().any(|(n, _)| *n == root.text) {
+                    out.push((root.text.clone(), toks[i].line));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Walks back from the assignment operator at `at` over the lvalue
+/// chain (`a.b[1].c =`) to its root identifier.
+fn lvalue_root(toks: &[Token], at: usize) -> Option<&Token> {
+    let mut i = at;
+    let mut root: Option<&Token> = None;
+    while i > 0 {
+        i -= 1;
+        let t = &toks[i];
+        match t.text.as_str() {
+            "." => {}
+            "]" => {
+                // skip the whole index expression
+                let mut depth = 1i32;
+                while i > 0 && depth > 0 {
+                    i -= 1;
+                    match toks[i].text.as_str() {
+                        "]" => depth += 1,
+                        "[" => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            _ => {
+                if t.kind == TokKind::Ident && !KEYWORDS.contains(&t.text.as_str()) {
+                    root = Some(t);
+                    // keep walking only if the previous token continues
+                    // the chain
+                    if i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "*") {
+                        continue;
+                    }
+                }
+                break;
+            }
+        }
+    }
+    root
+}
+
+/// Whether the statement holding the `=` at `at` begins with `let`.
+fn lvalue_is_let(toks: &[Token], at: usize) -> bool {
+    let start = toks[..at]
+        .iter()
+        .rposition(|t| matches!(t.text.as_str(), ";" | "{" | "}"))
+        .map_or(0, |p| p + 1);
+    toks.get(start)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == "let")
+}
+
+/// Tokens that may directly precede a closure's opening `|` (expression
+/// position). In tree form, group openers are boundaries, so "first
+/// tree in a group" also qualifies.
+fn closure_position(prev: Option<&TokenTree>) -> bool {
+    match prev {
+        None => true,
+        Some(t) => match t.leaf_text() {
+            Some(p) => matches!(
+                p,
+                "," | "=" | "=>" | "move" | "return" | "else" | ":" | ";" | "&&" | "||" | "("
+            ),
+            None => false,
+        },
+    }
+}
+
+/// Extracts every closure literal in a tree forest, recursively
+/// (closures nested in closures are separate entries).
+pub fn closures_in(trees: &[TokenTree]) -> Vec<Closure> {
+    let mut out = Vec::new();
+    scan_seq(trees, &mut out);
+    out
+}
+
+fn scan_seq(seq: &[TokenTree], out: &mut Vec<Closure>) {
+    let mut i = 0usize;
+    while i < seq.len() {
+        let t = &seq[i];
+        let prev = i.checked_sub(1).and_then(|p| seq.get(p));
+        let is_move = prev.is_some_and(|p| p.is_ident("move"));
+        let pos_prev = if is_move {
+            i.checked_sub(2).and_then(|p| seq.get(p))
+        } else {
+            prev
+        };
+        if t.is_punct("||") && (is_move || closure_position(pos_prev)) {
+            // zero-parameter closure
+            let (body, consumed) = closure_body(&seq[i + 1..]);
+            out.push(Closure {
+                line: t.line(),
+                is_move,
+                params: Vec::new(),
+                body: body.to_vec(),
+            });
+            scan_seq(body, out);
+            i += 1 + consumed;
+            continue;
+        }
+        if t.is_punct("|") && (is_move || closure_position(pos_prev)) {
+            // |params| body — find the closing `|` at this level
+            if let Some(close) = seq[i + 1..]
+                .iter()
+                .position(|x| x.is_punct("|"))
+                .map(|p| i + 1 + p)
+            {
+                let params = closure_params(&seq[i + 1..close]);
+                let (body, consumed) = closure_body(&seq[close + 1..]);
+                out.push(Closure {
+                    line: t.line(),
+                    is_move,
+                    params,
+                    body: body.to_vec(),
+                });
+                scan_seq(body, out);
+                i = close + 1 + consumed;
+                continue;
+            }
+        }
+        if let TokenTree::Group(g) = t {
+            scan_seq(&g.trees, out);
+        }
+        i += 1;
+    }
+}
+
+/// The trees forming a closure body: a single brace group, or the
+/// expression up to the next top-level `,`/`;`. Returns the slice and
+/// how many trees it spans.
+fn closure_body(rest: &[TokenTree]) -> (&[TokenTree], usize) {
+    // skip a `-> Type` annotation before a braced body
+    let mut start = 0usize;
+    if rest.first().is_some_and(|t| t.is_punct("->")) {
+        while start < rest.len() {
+            if let TokenTree::Group(g) = &rest[start] {
+                if g.delim == crate::tree::Delim::Brace {
+                    break;
+                }
+            }
+            start += 1;
+            if start > 8 {
+                start = 0;
+                break;
+            }
+        }
+    }
+    match rest.get(start) {
+        Some(TokenTree::Group(g)) if g.delim == crate::tree::Delim::Brace => {
+            (&rest[start..=start], start + 1)
+        }
+        _ => {
+            let end = rest
+                .iter()
+                .position(|t| t.is_punct(",") || t.is_punct(";"))
+                .unwrap_or(rest.len());
+            (&rest[..end], end)
+        }
+    }
+}
+
+/// Parameter names between a closure's pipes (types after `:` are
+/// skipped; tuple patterns contribute every ident).
+fn closure_params(trees: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    for seg in crate::items::split_commas(trees) {
+        let colon = seg
+            .iter()
+            .position(|t| t.is_punct(":"))
+            .unwrap_or(seg.len());
+        for t in &seg[..colon] {
+            match t {
+                TokenTree::Leaf(tok)
+                    if tok.kind == TokKind::Ident
+                        && tok.text != "mut"
+                        && tok.text != "ref"
+                        && !names.contains(&tok.text) =>
+                {
+                    names.push(tok.text.clone());
+                }
+                TokenTree::Group(g) => {
+                    for it in &g.trees {
+                        if let TokenTree::Leaf(tok) = it {
+                            if tok.kind == TokKind::Ident
+                                && tok.text != "mut"
+                                && tok.text != "ref"
+                                && !names.contains(&tok.text)
+                            {
+                                names.push(tok.text.clone());
+                            }
+                        }
+                    }
+                }
+                TokenTree::Leaf(_) => {}
+            }
+        }
+    }
+    names
+}
+
+/// The workspace call graph: every fn item, indexed for resolution.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// All workspace fns; indices are stable handles.
+    pub fns: Vec<FnItem>,
+    /// Resolved callee indices per fn (sorted, deduped).
+    pub edges: Vec<Vec<usize>>,
+    by_name: BTreeMap<String, Vec<usize>>,
+    by_qual: BTreeMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph: indexes fns by simple and qualified name, then
+    /// resolves every body's call sites.
+    pub fn build(fns: Vec<FnItem>) -> CallGraph {
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut by_qual: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+            if f.qual.is_some() {
+                by_qual.entry(f.key()).or_default().push(i);
+            }
+        }
+        let mut graph = CallGraph {
+            edges: Vec::with_capacity(fns.len()),
+            fns,
+            by_name,
+            by_qual,
+        };
+        for i in 0..graph.fns.len() {
+            let callees = callees_of(&graph.fns[i].body_tokens());
+            graph.edges.push(graph.resolve(&callees));
+        }
+        graph
+    }
+
+    /// Resolves call sites to fn indices (sorted, deduped).
+    pub fn resolve(&self, callees: &BTreeSet<CalleeRef>) -> Vec<usize> {
+        let mut out: BTreeSet<usize> = BTreeSet::new();
+        for c in callees {
+            match c {
+                CalleeRef::Simple(n) => {
+                    // `drop(x)` is the std prelude free fn, not a call
+                    // into some workspace `fn drop`
+                    if n != "drop" {
+                        if let Some(ix) = self.by_name.get(n) {
+                            out.extend(ix.iter().copied());
+                        }
+                    }
+                }
+                CalleeRef::Qualified(q, n) => {
+                    if let Some(ix) = self.by_qual.get(&format!("{q}::{n}")) {
+                        out.extend(ix.iter().copied());
+                    } else if !UBIQUITOUS_METHODS.contains(&n.as_str()) {
+                        // the qualifier may be a re-export or enum; any
+                        // fn of that name stays reachable. Ubiquitous
+                        // names are exempt: an unmatched `T::default`
+                        // is a derive/std impl, and falling back to
+                        // every workspace `fn default` would fuse the
+                        // graph the same way `.default()` would.
+                        if let Some(ix) = self.by_name.get(n) {
+                            out.extend(ix.iter().copied());
+                        }
+                    }
+                }
+                CalleeRef::Method(n) => {
+                    if !UBIQUITOUS_METHODS.contains(&n.as_str()) {
+                        if let Some(ix) = self.by_name.get(n) {
+                            out.extend(ix.iter().copied());
+                        }
+                    }
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// BFS from `seeds`: every reachable fn index mapped to its BFS
+    /// parent (`None` for seeds), for hazard-path reconstruction.
+    pub fn reachable(&self, seeds: &[usize]) -> BTreeMap<usize, Option<usize>> {
+        let mut parent: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &s in seeds {
+            if s < self.fns.len() && !parent.contains_key(&s) {
+                parent.insert(s, None);
+                queue.push_back(s);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            for &j in &self.edges[i] {
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(j) {
+                    e.insert(Some(i));
+                    queue.push_back(j);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The call path `seed → … → target` as fn keys, reconstructed from
+    /// a [`CallGraph::reachable`] parent map.
+    pub fn path_to(&self, parent: &BTreeMap<usize, Option<usize>>, target: usize) -> Vec<String> {
+        let mut path = Vec::new();
+        let mut cur = Some(target);
+        let mut hops = 0usize;
+        while let Some(i) = cur {
+            path.push(self.fns.get(i).map(FnItem::key).unwrap_or_default());
+            cur = parent.get(&i).copied().flatten();
+            hops += 1;
+            if hops > self.fns.len() {
+                break; // cycle safety; parent maps are acyclic by construction
+            }
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_from_str;
+    use crate::tree::parse_trees;
+
+    fn graph(src: &str) -> CallGraph {
+        let file = source_from_str("crates/x/src/lib.rs", src);
+        let trees = parse_trees(&file.tokens).expect("fixture parses");
+        let items = crate::items::extract(&file, &trees);
+        CallGraph::build(items.fns)
+    }
+
+    #[test]
+    fn simple_qualified_and_method_calls_resolve() {
+        let g = graph(
+            "fn a() { b(); Helper::c(); }\n\
+             fn b() {}\n\
+             struct Helper;\n\
+             impl Helper { fn c(&self) { d(); } fn unrelated(&self) {} }\n\
+             fn d() {}\n",
+        );
+        let a = g.fns.iter().position(|f| f.name == "a").unwrap();
+        let reach = g.reachable(&[a]);
+        let names: Vec<String> = reach.keys().map(|&i| g.fns[i].key()).collect();
+        assert_eq!(names, vec!["a", "b", "Helper::c", "d"]);
+    }
+
+    #[test]
+    fn hazard_paths_reconstruct() {
+        let g = graph("fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n");
+        let a = g.fns.iter().position(|f| f.name == "a").unwrap();
+        let c = g.fns.iter().position(|f| f.name == "c").unwrap();
+        let reach = g.reachable(&[a]);
+        assert_eq!(g.path_to(&reach, c), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ubiquitous_methods_do_not_fuse_the_graph() {
+        let g = graph(
+            "fn a(v: &[u32]) { let _ = v.len(); }\n\
+             struct W; impl W { fn len(&self) -> usize { 0 } }\n",
+        );
+        let a = g.fns.iter().position(|f| f.name == "a").unwrap();
+        assert_eq!(g.reachable(&[a]).len(), 1, "only `a` itself");
+    }
+
+    #[test]
+    fn closures_and_captures_extract() {
+        let file = source_from_str(
+            "crates/x/src/lib.rs",
+            "fn f(n: u32) {\n\
+                 let base = 2;\n\
+                 let g = move |x: u32, (lo, hi): (u32, u32)| x + base + lo + hi;\n\
+                 let h = || n;\n\
+                 g(1, (0, 9)); h();\n\
+             }\n",
+        );
+        let trees = parse_trees(&file.tokens).expect("parses");
+        let cls = closures_in(&trees);
+        assert_eq!(cls.len(), 2);
+        assert!(cls[0].is_move);
+        assert_eq!(cls[0].params, vec!["x", "lo", "hi"]);
+        assert_eq!(cls[0].captures(), vec!["base"]);
+        assert_eq!(cls[1].params, Vec::<String>::new());
+        assert_eq!(cls[1].captures(), vec!["n"]);
+    }
+
+    #[test]
+    fn captured_writes_see_through_field_chains() {
+        let file = source_from_str(
+            "crates/x/src/lib.rs",
+            "fn f() { let c = move || { total.count += 1; let local = 3; local_use(local); }; c(); }",
+        );
+        let trees = parse_trees(&file.tokens).expect("parses");
+        let cls = closures_in(&trees);
+        assert_eq!(cls.len(), 1);
+        let writes = cls[0].captured_writes();
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].0, "total");
+    }
+}

@@ -24,13 +24,48 @@ pub enum Code {
     /// Suppression hygiene: a `clk-analyze: allow(...)` comment that
     /// suppresses nothing (stale) or carries no reason.
     A006,
+    /// Semantic: shared mutable state (`static mut`, thread-locals,
+    /// interior-mutable statics, `&mut` captures) reachable from a
+    /// thread-spawn closure.
+    A101,
+    /// Semantic: impurity (wall-clock or entropy reads) reachable from
+    /// candidate evaluation.
+    A102,
+    /// Semantic: order-sensitive float reduction reachable from a
+    /// parallel region.
+    A103,
+    /// Semantic: `Ordering::Relaxed` on something feeding QoR.
+    A104,
 }
 
 impl Code {
     /// All pass codes that a suppression may name (A006 findings are
     /// about suppressions themselves and cannot be suppressed).
-    pub const SUPPRESSIBLE: [Code; 5] =
-        [Code::A001, Code::A002, Code::A003, Code::A004, Code::A005];
+    pub const SUPPRESSIBLE: [Code; 9] = [
+        Code::A001,
+        Code::A002,
+        Code::A003,
+        Code::A004,
+        Code::A005,
+        Code::A101,
+        Code::A102,
+        Code::A103,
+        Code::A104,
+    ];
+
+    /// Every code, for report tallies.
+    pub const ALL: [Code; 10] = [
+        Code::A001,
+        Code::A002,
+        Code::A003,
+        Code::A004,
+        Code::A005,
+        Code::A006,
+        Code::A101,
+        Code::A102,
+        Code::A103,
+        Code::A104,
+    ];
 
     /// Parses `"A001"` etc.
     pub fn parse(s: &str) -> Option<Code> {
@@ -41,6 +76,10 @@ impl Code {
             "A004" => Some(Code::A004),
             "A005" => Some(Code::A005),
             "A006" => Some(Code::A006),
+            "A101" => Some(Code::A101),
+            "A102" => Some(Code::A102),
+            "A103" => Some(Code::A103),
+            "A104" => Some(Code::A104),
             _ => None,
         }
     }
@@ -54,6 +93,10 @@ impl Code {
             Code::A004 => "A004",
             Code::A005 => "A005",
             Code::A006 => "A006",
+            Code::A101 => "A101",
+            Code::A102 => "A102",
+            Code::A103 => "A103",
+            Code::A104 => "A104",
         }
     }
 
@@ -66,6 +109,10 @@ impl Code {
             Code::A004 => "parallel-safety hazard ahead of the scoped-thread local phase",
             Code::A005 => "panic path (unwrap/expect/panic!) in library code",
             Code::A006 => "stale or reasonless clk-analyze suppression",
+            Code::A101 => "shared mutable state reachable from a thread-spawn closure",
+            Code::A102 => "impurity (clock/entropy) reachable from candidate evaluation",
+            Code::A103 => "order-sensitive float reduction reachable from a parallel region",
+            Code::A104 => "Ordering::Relaxed feeding QoR-bearing code",
         }
     }
 }

@@ -1,0 +1,459 @@
+//! Item model: the functions, statics, and impl blocks of one file,
+//! extracted from its token trees.
+//!
+//! This is deliberately not a Rust AST. A function item is a name, an
+//! optional `impl` type qualifier, a parameter-name list, a body (kept
+//! as trees so the call-graph layer can see closures), and a handful of
+//! semantic markers the A1xx passes need: does it return `!`, does its
+//! doc comment declare `# Panics`, where does its body start and end.
+//! Extraction is total — unrecognized constructs are simply skipped —
+//! and never panics.
+
+use crate::lexer::TokKind;
+use crate::tree::{flatten, Delim, Group, TokenTree};
+use crate::SourceFile;
+
+/// One `fn` item (free, impl method, or default trait method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Workspace-relative path of the defining file.
+    pub file: String,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: u32,
+    /// The function's name.
+    pub name: String,
+    /// The `impl` type it belongs to, when inside an impl block.
+    pub qual: Option<String>,
+    /// Names bound by the parameter list (`self` included literally).
+    pub params: Vec<String>,
+    /// Whether the return type is `!` (a diverging facade — its panics
+    /// are its contract, not an accident).
+    pub returns_never: bool,
+    /// Whether the doc comment above declares a `# Panics` section.
+    pub doc_panics: bool,
+    /// Body trees (contents of the outer brace group).
+    pub body: Vec<TokenTree>,
+    /// Line of the body's closing brace.
+    pub end_line: u32,
+}
+
+impl FnItem {
+    /// `Type::name` when qualified, else just the name.
+    pub fn key(&self) -> String {
+        match &self.qual {
+            Some(q) => format!("{q}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// The body as a flat token stream (brackets re-materialized).
+    pub fn body_tokens(&self) -> Vec<crate::lexer::Token> {
+        flatten(&self.body)
+    }
+}
+
+/// One item-level `static` (including `thread_local!` members).
+#[derive(Debug, Clone)]
+pub struct StaticItem {
+    /// Defining file.
+    pub file: String,
+    /// 1-indexed line of the `static` keyword.
+    pub line: u32,
+    /// The static's name.
+    pub name: String,
+    /// `static mut` — unsynchronized shared mutation.
+    pub is_mut: bool,
+    /// Declared inside a `thread_local!` block — per-thread divergence.
+    pub thread_local: bool,
+    /// The declared type mentions `Cell`/`RefCell`/`UnsafeCell` —
+    /// interior mutability without synchronization.
+    pub interior_mut: bool,
+}
+
+impl StaticItem {
+    /// Whether reaching this static from a worker thread is a hazard:
+    /// plain immutable `static X: AtomicU64`-style state is fine, but
+    /// `static mut`, thread-locals, and unsynchronized interior
+    /// mutability are not.
+    pub fn hazardous(&self) -> bool {
+        self.is_mut || self.thread_local || self.interior_mut
+    }
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// Function items in source order.
+    pub fns: Vec<FnItem>,
+    /// Item-level statics in source order.
+    pub statics: Vec<StaticItem>,
+}
+
+/// Extracts the item model from a file's token trees.
+pub fn extract(file: &SourceFile, trees: &[TokenTree]) -> FileItems {
+    let mut out = FileItems::default();
+    walk(file, trees, None, &mut out);
+    out
+}
+
+fn walk(file: &SourceFile, seq: &[TokenTree], qual: Option<&str>, out: &mut FileItems) {
+    let mut i = 0usize;
+    while i < seq.len() {
+        let t = &seq[i];
+        if t.is_ident("fn") {
+            if let Some(consumed) = extract_fn(file, &seq[i..], qual, out) {
+                i += consumed;
+                continue;
+            }
+        } else if t.is_ident("impl") {
+            if let Some(consumed) = extract_impl(file, &seq[i..], out) {
+                i += consumed;
+                continue;
+            }
+        } else if t.is_ident("static") {
+            i += extract_static(file, &seq[i..], false, out);
+            continue;
+        } else if t.is_ident("thread_local") && seq.get(i + 1).is_some_and(|n| n.is_punct("!")) {
+            // thread_local! { static A: …; static B: …; }
+            if let Some(TokenTree::Group(g)) = seq.get(i + 2) {
+                let mut j = 0usize;
+                while j < g.trees.len() {
+                    if g.trees[j].is_ident("static") {
+                        j += extract_static(file, &g.trees[j..], true, out);
+                    } else {
+                        j += 1;
+                    }
+                }
+                i += 3;
+                continue;
+            }
+        } else if let TokenTree::Group(g) = t {
+            // mod bodies, trait bodies, macro invocation blocks: recurse
+            // without a qualifier so default trait methods and nested
+            // items are still seen
+            if g.delim == Delim::Brace {
+                walk(file, &g.trees, None, out);
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Extracts `fn name …(params)… [-> ret] { body }` starting at the `fn`
+/// leaf; returns how many trees it consumed, or `None` if the shape is
+/// not a function definition (e.g. a trait method declaration ending in
+/// `;` still consumes up to the `;`, a bare `fn` in a type position
+/// does not).
+fn extract_fn(
+    file: &SourceFile,
+    seq: &[TokenTree],
+    qual: Option<&str>,
+    out: &mut FileItems,
+) -> Option<usize> {
+    let fn_line = seq.first()?.line();
+    let name = match seq.get(1) {
+        Some(TokenTree::Leaf(t)) if t.kind == TokKind::Ident => t.text.clone(),
+        _ => return None, // `fn(` type position, or macro fragment
+    };
+    // the parameter group is the first paren group before any brace/`;`;
+    // generic params `<…>` are leaves (angle brackets don't group)
+    let mut j = 2usize;
+    let mut params_at = None;
+    while j < seq.len() && j < 64 {
+        match &seq[j] {
+            TokenTree::Group(g) if g.delim == Delim::Paren => {
+                params_at = Some(j);
+                break;
+            }
+            TokenTree::Group(g) if g.delim == Delim::Brace => return None,
+            TokenTree::Leaf(t) if t.text == ";" => return Some(j + 1),
+            _ => j += 1,
+        }
+    }
+    let params_at = params_at?;
+    let params = match &seq[params_at] {
+        TokenTree::Group(g) => param_names(g),
+        TokenTree::Leaf(_) => Vec::new(),
+    };
+    // between params and the body: return type (watch for `-> !`) or a
+    // `;` (trait declaration, no body)
+    let mut returns_never = false;
+    let mut k = params_at + 1;
+    let body = loop {
+        match seq.get(k) {
+            Some(TokenTree::Leaf(t)) if t.text == "->" => {
+                if seq.get(k + 1).is_some_and(|n| n.is_punct("!")) {
+                    returns_never = true;
+                }
+                k += 1;
+            }
+            Some(TokenTree::Leaf(t)) if t.text == ";" => return Some(k + 1),
+            Some(TokenTree::Group(g)) if g.delim == Delim::Brace => break g,
+            Some(_) => k += 1,
+            None => return Some(k),
+        }
+        if k > params_at + 96 {
+            return Some(k); // runaway where-clause; bail
+        }
+    };
+    out.fns.push(FnItem {
+        file: file.path.clone(),
+        line: fn_line,
+        name,
+        qual: qual.map(str::to_string),
+        params,
+        returns_never,
+        doc_panics: doc_declares_panics(file, fn_line),
+        body: body.trees.clone(),
+        end_line: body.close_line,
+    });
+    // nested fns / fns inside closures are items too
+    walk(file, &body.trees, None, out);
+    Some(k + 1)
+}
+
+/// Parameter names out of the paren group: for each top-level
+/// comma-separated segment, the idents of the pattern before the `:`
+/// (or the whole segment for `self` forms).
+fn param_names(g: &Group) -> Vec<String> {
+    let mut names = Vec::new();
+    for seg in split_commas(&g.trees) {
+        let colon = seg.iter().position(|t| t.is_punct(":"));
+        let pattern = &seg[..colon.unwrap_or(seg.len())];
+        for t in pattern {
+            match t {
+                TokenTree::Leaf(tok) if tok.kind == TokKind::Ident => {
+                    if tok.text != "mut" && tok.text != "ref" && !names.contains(&tok.text) {
+                        names.push(tok.text.clone());
+                    }
+                }
+                // tuple/struct patterns: (a, b) or S { a, b }
+                TokenTree::Group(inner) => {
+                    for it in &inner.trees {
+                        if let TokenTree::Leaf(tok) = it {
+                            if tok.kind == TokKind::Ident
+                                && tok.text != "mut"
+                                && tok.text != "ref"
+                                && !names.contains(&tok.text)
+                            {
+                                names.push(tok.text.clone());
+                            }
+                        }
+                    }
+                }
+                TokenTree::Leaf(_) => {}
+            }
+        }
+        // self has no `:` but is a binding
+        if colon.is_none() && !pattern.iter().any(|t| t.is_ident("self")) {
+            // untyped segment that isn't self: not a parameter pattern
+            // we understand; nothing bound
+        }
+    }
+    names
+}
+
+/// Splits a tree slice at top-level commas.
+pub(crate) fn split_commas(trees: &[TokenTree]) -> Vec<&[TokenTree]> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for (i, t) in trees.iter().enumerate() {
+        if t.is_punct(",") {
+            out.push(&trees[start..i]);
+            start = i + 1;
+        }
+    }
+    if start < trees.len() {
+        out.push(&trees[start..]);
+    }
+    out
+}
+
+/// `impl [<…>] Type { … }` / `impl Trait for Type { … }`: walks the
+/// body with the type name as qualifier. Returns trees consumed.
+fn extract_impl(file: &SourceFile, seq: &[TokenTree], out: &mut FileItems) -> Option<usize> {
+    // the qualifier is the last identifier at angle-depth 0 before the
+    // body brace (skipping `where` clauses): `impl Display for Foo<'a>`
+    // → Foo, `impl foo::Bar` → Bar
+    let mut angle = 0i32;
+    let mut ty: Option<String> = None;
+    let mut j = 1usize;
+    while j < seq.len() && j < 96 {
+        match &seq[j] {
+            TokenTree::Leaf(t) => match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                "where" if angle <= 0 => {
+                    // type is fixed by now; scan on for the brace
+                }
+                _ => {
+                    if t.kind == TokKind::Ident && angle <= 0 && t.text != "for" && t.text != "dyn"
+                    {
+                        ty = Some(t.text.clone());
+                    }
+                }
+            },
+            TokenTree::Group(g) if g.delim == Delim::Brace => {
+                let qual = ty?;
+                walk(file, &g.trees, Some(&qual), out);
+                return Some(j + 1);
+            }
+            TokenTree::Group(_) => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// `static [mut] NAME : Type = …;` — returns trees consumed from the
+/// `static` leaf.
+fn extract_static(
+    file: &SourceFile,
+    seq: &[TokenTree],
+    thread_local: bool,
+    out: &mut FileItems,
+) -> usize {
+    let line = seq.first().map_or(0, TokenTree::line);
+    let mut j = 1usize;
+    let mut is_mut = false;
+    if seq.get(j).is_some_and(|t| t.is_ident("mut")) {
+        is_mut = true;
+        j += 1;
+    }
+    let Some(TokenTree::Leaf(name)) = seq.get(j) else {
+        return j.max(1);
+    };
+    if name.kind != TokKind::Ident {
+        return j + 1;
+    }
+    // type window: up to `=` or `;` at this level
+    let mut interior_mut = false;
+    let mut k = j + 1;
+    while k < seq.len() && k < j + 64 {
+        match &seq[k] {
+            TokenTree::Leaf(t) if t.text == "=" || t.text == ";" => break,
+            TokenTree::Leaf(t)
+                if t.kind == TokKind::Ident
+                    && matches!(t.text.as_str(), "Cell" | "RefCell" | "UnsafeCell") =>
+            {
+                interior_mut = true;
+                k += 1;
+            }
+            _ => k += 1,
+        }
+    }
+    out.statics.push(StaticItem {
+        file: file.path.clone(),
+        line,
+        name: name.text.clone(),
+        is_mut,
+        thread_local,
+        interior_mut,
+    });
+    k
+}
+
+/// Whether the contiguous doc/attribute block directly above `fn_line`
+/// contains a `# Panics` heading.
+fn doc_declares_panics(file: &SourceFile, fn_line: u32) -> bool {
+    let mut line = fn_line.saturating_sub(1);
+    while line >= 1 {
+        let Some(text) = file.lines.get((line - 1) as usize) else {
+            break;
+        };
+        let trimmed = text.trim_start();
+        let is_doc = trimmed.starts_with("///") || trimmed.starts_with("//!");
+        let is_attr_or_comment = is_doc
+            || trimmed.starts_with("//")
+            || trimmed.starts_with("#[")
+            || trimmed.starts_with("#!");
+        if !is_attr_or_comment {
+            break;
+        }
+        if is_doc && trimmed.contains("# Panics") {
+            return true;
+        }
+        line -= 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_from_str;
+    use crate::tree::parse_trees;
+
+    fn items(src: &str) -> FileItems {
+        let file = source_from_str("crates/x/src/lib.rs", src);
+        let trees = parse_trees(&file.tokens).expect("fixture parses");
+        extract(&file, &trees)
+    }
+
+    #[test]
+    fn free_fns_and_methods_are_qualified() {
+        let it = items(
+            "fn free(a: u32, mut b: f64) {}\n\
+             struct S;\n\
+             impl S { fn method(&self, x: u8) -> u8 { x } }\n\
+             impl std::fmt::Display for S {\n\
+                 fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }\n\
+             }\n",
+        );
+        let keys: Vec<String> = it.fns.iter().map(FnItem::key).collect();
+        assert_eq!(keys, vec!["free", "S::method", "S::fmt"]);
+        assert_eq!(it.fns[0].params, vec!["a", "b"]);
+        assert_eq!(it.fns[1].params, vec!["self", "x"]);
+    }
+
+    #[test]
+    fn never_return_and_doc_panics_are_marked() {
+        let it = items(
+            "/// Dies.\n///\n/// # Panics\n/// Always.\nfn die() -> ! { panic!(\"x\") }\n\
+             fn ok() -> u32 { 1 }\n",
+        );
+        assert!(it.fns[0].returns_never);
+        assert!(it.fns[0].doc_panics);
+        assert!(!it.fns[1].returns_never);
+        assert!(!it.fns[1].doc_panics, "doc must not bleed downward");
+    }
+
+    #[test]
+    fn statics_carry_hazard_markers() {
+        let it = items(
+            "static OK: u32 = 0;\n\
+             static mut RACY: u32 = 0;\n\
+             static CACHE: RefCell<u32> = RefCell::new(0);\n\
+             thread_local! { static TLS: Cell<u32> = Cell::new(0); }\n",
+        );
+        let names: Vec<(&str, bool)> = it
+            .statics
+            .iter()
+            .map(|s| (s.name.as_str(), s.hazardous()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("OK", false),
+                ("RACY", true),
+                ("CACHE", true),
+                ("TLS", true)
+            ]
+        );
+    }
+
+    #[test]
+    fn trait_declarations_without_bodies_are_skipped() {
+        let it = items("trait T { fn decl(&self) -> u32; fn dflt(&self) -> u32 { 0 } }");
+        let keys: Vec<String> = it.fns.iter().map(FnItem::key).collect();
+        assert_eq!(keys, vec!["dflt"]);
+    }
+
+    #[test]
+    fn nested_fns_are_items_too() {
+        let it = items("fn outer() { fn inner(q: u8) {} inner(3); }");
+        let keys: Vec<String> = it.fns.iter().map(FnItem::key).collect();
+        assert_eq!(keys, vec!["outer", "inner"]);
+    }
+}

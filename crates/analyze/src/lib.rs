@@ -6,9 +6,11 @@
 //! commit"), so QoR snapshots stay byte-stable and benchmark
 //! comparisons mean something. This crate finds the hazards that
 //! silently break that invariant — and the ones that would turn into
-//! data races once the local phase goes multi-threaded — by lexing
-//! every `.rs` file in the workspace and running five source-level
-//! passes with stable diagnostic codes:
+//! data races once the local phase goes multi-threaded.
+//!
+//! Two pass families share one finding/suppression/baseline framework:
+//!
+//! **Lexical (A0xx)** — token-window scans over each file:
 //!
 //! | code | finds |
 //! |------|-------|
@@ -16,8 +18,19 @@
 //! | A002 | float accumulation inside an A001 loop (order-dependent rounding) |
 //! | A003 | `Instant::now`/`SystemTime` outside `clk-obs`/allowed timing modules |
 //! | A004 | `static mut`, `thread_local!`, `Cell`/`RefCell` in hot paths |
-//! | A005 | `unwrap`/`expect`/`panic!` in library non-test code |
+//! | A005 | `unwrap`/undocumented panic paths in library non-test code |
 //! | A006 | stale or reasonless suppression (emitted by the framework) |
+//!
+//! **Semantic (A1xx)** — built on token trees ([`tree`]), an item model
+//! ([`items`]), and an intra-workspace call graph with closure capture
+//! extraction ([`callgraph`]); these certify the *parallel phase*:
+//!
+//! | code | finds |
+//! |------|-------|
+//! | A101 | shared mutable state reachable from a thread-spawn closure |
+//! | A102 | clock/entropy reads reachable from candidate evaluation |
+//! | A103 | order-sensitive float reductions reachable from parallel regions |
+//! | A104 | `Ordering::Relaxed` feeding QoR-bearing code |
 //!
 //! False positives are silenced in-source with
 //! `// clk-analyze: allow(A001) <reason>` on the finding's line or the
@@ -37,10 +50,14 @@
 //! assert_eq!(report.findings[0].code, Code::A001);
 //! ```
 
+pub mod callgraph;
 mod finding;
+pub mod items;
 mod lexer;
 mod passes;
+mod semantic;
 mod suppress;
+pub mod tree;
 mod workspace;
 
 pub use finding::{diff_against_baseline, Code, Finding, Severity};
@@ -91,6 +108,12 @@ pub struct AnalyzeConfig {
     /// Path prefixes excluded from collection entirely (vendored shims,
     /// build output).
     pub skip: Vec<String>,
+    /// Path prefixes whose thread-spawn closures are candidate-
+    /// evaluation roots for the A102 purity certification.
+    pub eval_roots: Vec<String>,
+    /// Path prefixes whose code is telemetry: exempt from A102's
+    /// reachability impurity and from A104 (counters may be Relaxed).
+    pub telemetry_paths: Vec<String>,
 }
 
 impl Default for AnalyzeConfig {
@@ -109,6 +132,8 @@ impl Default for AnalyzeConfig {
                 "target/".to_string(),
                 ".git/".to_string(),
             ],
+            eval_roots: vec!["crates/core/src/local.rs".to_string()],
+            telemetry_paths: vec!["crates/obs/src".to_string()],
         }
     }
 }
@@ -165,18 +190,33 @@ pub fn analyze_str(path: &str, src: &str, cfg: &AnalyzeConfig) -> AnalyzeReport 
     analyze_files(std::iter::once(source_from_str(path, src)), cfg)
 }
 
-/// Analyzes an iterator of files: runs every pass on each, resolves
-/// suppressions, and turns suppression-hygiene violations into A006
+/// Analyzes an iterator of files: runs the lexical passes on each,
+/// builds the workspace model (token trees → items → call graph) and
+/// runs the semantic A1xx passes over it, then resolves suppressions
+/// per file — a suppression silences semantic findings exactly like
+/// lexical ones — and turns suppression-hygiene violations into A006
 /// findings.
 pub fn analyze_files(
     files: impl IntoIterator<Item = SourceFile>,
     cfg: &AnalyzeConfig,
 ) -> AnalyzeReport {
+    let files: Vec<SourceFile> = files.into_iter().collect();
+    let mut per_file: Vec<Vec<Finding>> = files
+        .iter()
+        .map(|file| passes::run_passes(file, cfg))
+        .collect();
+    // semantic findings land in the file they anchor to
+    for f in semantic::run(&files, cfg) {
+        if let Some(i) = files.iter().position(|s| s.path == f.file) {
+            per_file[i].push(f);
+        }
+    }
     let mut report = AnalyzeReport::default();
-    for file in files {
+    for (file, mut raw) in files.iter().zip(per_file) {
         report.files += 1;
-        let raw = passes::run_passes(&file, cfg);
-        let (kept, suppressed, hygiene) = suppress::apply(&file, raw);
+        raw.sort_by_key(|a| (a.line, a.code));
+        raw.dedup_by(|a, b| a.code == b.code && a.line == b.line);
+        let (kept, suppressed, hygiene) = suppress::apply(file, raw);
         report.findings.extend(kept);
         report.findings.extend(hygiene);
         report.suppressed.extend(suppressed);

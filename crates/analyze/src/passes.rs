@@ -13,7 +13,8 @@ use crate::lexer::{TokKind, Token};
 use crate::{AnalyzeConfig, FileClass, SourceFile};
 
 /// Iteration methods whose order is the map's internal order.
-const ITER_METHODS: &[&str] = &["iter", "iter_mut", "keys", "values", "values_mut", "drain"];
+pub(crate) const ITER_METHODS: &[&str] =
+    &["iter", "iter_mut", "keys", "values", "values_mut", "drain"];
 
 /// Additionally order-sensitive when used directly in a `for` expression
 /// (outside one, `into_iter().collect()` into a sorted container is the
@@ -61,7 +62,7 @@ fn finding(
 /// Names lexically bound to a `HashMap`/`HashSet`: `let` statements
 /// whose window mentions one, and `name: ... Hash{Map,Set}` annotations
 /// (struct fields, fn parameters, `let` with type ascription).
-fn tracked_map_names(toks: &[Token]) -> Vec<String> {
+pub(crate) fn tracked_map_names(toks: &[Token]) -> Vec<String> {
     let mut names: Vec<String> = Vec::new();
     let is_map =
         |t: &Token| t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet");
@@ -290,7 +291,7 @@ fn for_expr_iterates_map<'a>(
 }
 
 /// Index of the `}` matching the `{` at `open` (or the last token).
-fn match_brace(toks: &[Token], open: usize) -> usize {
+pub(crate) fn match_brace(toks: &[Token], open: usize) -> usize {
     let mut depth = 0i32;
     for (i, t) in toks.iter().enumerate().skip(open) {
         match t.text.as_str() {
@@ -346,7 +347,7 @@ fn pass_a002(file: &SourceFile, loops: &[LoopSpan], out: &mut Vec<Finding>) {
 
 /// Names lexically bound to `f64`/`f32` or initialized from a float
 /// literal.
-fn float_var_names(toks: &[Token]) -> Vec<String> {
+pub(crate) fn float_var_names(toks: &[Token]) -> Vec<String> {
     let mut names = Vec::new();
     for i in 0..toks.len() {
         if toks[i].kind != TokKind::Ident || toks[i].text != "let" {
@@ -397,7 +398,7 @@ fn is_float_literal(text: &str) -> bool {
 }
 
 /// Does the statement containing the `+=` at `at` touch floats?
-fn statement_has_float(body: &[Token], at: usize, float_names: &[String]) -> bool {
+pub(crate) fn statement_has_float(body: &[Token], at: usize, float_names: &[String]) -> bool {
     let start = body[..at]
         .iter()
         .rposition(|t| t.text == ";" || t.text == "{" || t.text == "}")
@@ -513,6 +514,20 @@ fn pass_a004(file: &SourceFile, cfg: &AnalyzeConfig, out: &mut Vec<Finding>) {
 /// A005: panic paths in library-crate non-test code. A lexical backstop
 /// behind the clippy `unwrap_used` deny: it also sees `expect`,
 /// `panic!`, `unreachable!`, `todo!`, and `unimplemented!`.
+///
+/// Since the analyzer grew an item model, three idioms are sanctioned
+/// and no longer need suppressions:
+///
+/// - `.expect("message")` with a string-literal message — the message
+///   *is* the invariant statement (the old suppression ledger showed
+///   every reason restating it verbatim);
+/// - panic macros inside a function returning `!` — a diverging facade
+///   panics by contract;
+/// - panic macros inside a function whose doc comment declares a
+///   `# Panics` section — the contract is documented API.
+///
+/// `unwrap()` (message-free), dynamic `expect(format!(…))`, and
+/// undocumented panic macros stay flagged.
 fn pass_a005(file: &SourceFile, out: &mut Vec<Finding>) {
     if file.class != FileClass::Lib {
         return;
@@ -520,6 +535,8 @@ fn pass_a005(file: &SourceFile, out: &mut Vec<Finding>) {
     let toks = &file.tokens;
     let excluded = cfg_test_spans(toks);
     let in_test = |idx: usize| excluded.iter().any(|&(s, e)| idx >= s && idx <= e);
+    let contract_lines = contracted_panic_line_spans(file);
+    let in_contract = |line: u32| contract_lines.iter().any(|&(s, e)| line >= s && line <= e);
     for i in 0..toks.len() {
         if in_test(i) {
             continue;
@@ -534,9 +551,11 @@ fn pass_a005(file: &SourceFile, out: &mut Vec<Finding>) {
                     && toks[i - 1].text == "."
                     && toks.get(i + 1).is_some_and(|n| n.text == "(")
                     && !call_followed_by_question(toks, i + 1)
+                    && !(t.text == "expect" && literal_message_arg(toks, i + 1))
             }
             "panic" | "unreachable" | "todo" | "unimplemented" => {
                 toks.get(i + 1).is_some_and(|n| n.text == "!")
+                    && !(t.text == "panic" && in_contract(t.line))
             }
             _ => false,
         };
@@ -554,6 +573,29 @@ fn pass_a005(file: &SourceFile, out: &mut Vec<Finding>) {
             ));
         }
     }
+}
+
+/// Whether the call at `open` (`(`) has exactly one string-literal
+/// argument — the `.expect("invariant")` idiom where the message states
+/// the invariant.
+fn literal_message_arg(toks: &[Token], open: usize) -> bool {
+    toks.get(open + 1).is_some_and(|a| a.kind == TokKind::Str)
+        && toks.get(open + 2).is_some_and(|c| c.text == ")")
+}
+
+/// Line spans of functions whose panics are contract: return type `!`,
+/// or a `# Panics` doc section. Computed from the item model; a file
+/// whose trees don't parse gets no exemptions (strict fallback).
+fn contracted_panic_line_spans(file: &SourceFile) -> Vec<(u32, u32)> {
+    let Ok(trees) = crate::tree::parse_trees(&file.tokens) else {
+        return Vec::new();
+    };
+    crate::items::extract(file, &trees)
+        .fns
+        .iter()
+        .filter(|f| f.returns_never || f.doc_panics)
+        .map(|f| (f.line, f.end_line))
+        .collect()
 }
 
 /// Whether the call whose `(` sits at `open` is immediately followed by
@@ -731,9 +773,54 @@ mod tests {
             "crates/x/src/lib.rs",
         );
         assert!(f.is_empty(), "{f:?}");
-        // without the `?` the same shape is flagged
+        // a dynamic (non-literal) message is still flagged
         let f = run(
-            "fn p(o: Option<u8>) { o.expect(\"x\"); }",
+            "fn p(o: Option<u8>, msg: &str) { o.expect(msg); }",
+            "crates/x/src/lib.rs",
+        );
+        assert_eq!(f.iter().filter(|d| d.code == Code::A005).count(), 1);
+    }
+
+    #[test]
+    fn a005_sanctions_literal_expect_messages() {
+        // the invariant-assertion idiom: the message *is* the reason
+        let f = run(
+            "fn p(o: Option<u8>) -> u8 { o.expect(\"tree validated on entry\") }",
+            "crates/x/src/lib.rs",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // message-free unwrap stays flagged
+        let f = run(
+            "fn p(o: Option<u8>) -> u8 { o.unwrap() }",
+            "crates/x/src/lib.rs",
+        );
+        assert_eq!(f.iter().filter(|d| d.code == Code::A005).count(), 1);
+    }
+
+    #[test]
+    fn a005_sanctions_contracted_panics() {
+        // diverging facade: panics are its contract
+        let f = run(
+            "fn die(msg: &str) -> ! { panic!(\"fatal: {msg}\") }",
+            "crates/x/src/lib.rs",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // documented `# Panics` section sanctions too
+        let f = run(
+            "/// Entry point.\n///\n/// # Panics\n/// When the tree is corrupt.\n\
+             fn enter(ok: bool) { if !ok { panic!(\"corrupt\") } }",
+            "crates/x/src/lib.rs",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // an undocumented panic in an ordinary fn stays flagged
+        let f = run(
+            "fn quiet(ok: bool) { if !ok { panic!(\"boom\") } }",
+            "crates/x/src/lib.rs",
+        );
+        assert_eq!(f.iter().filter(|d| d.code == Code::A005).count(), 1);
+        // unreachable!/todo! are never contract, even in documented fns
+        let f = run(
+            "/// # Panics\n/// Documented.\nfn u(ok: bool) { if !ok { unreachable!() } }",
             "crates/x/src/lib.rs",
         );
         assert_eq!(f.iter().filter(|d| d.code == Code::A005).count(), 1);

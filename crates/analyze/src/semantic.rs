@@ -1,0 +1,718 @@
+//! The semantic pass family (A101–A104): workspace-level analysis over
+//! the item model and call graph.
+//!
+//! Where A001–A006 look at one token window at a time, these passes ask
+//! reachability questions: *can a thread-spawn closure reach shared
+//! mutable state* (A101), *is everything reachable from candidate
+//! evaluation pure* (A102), *can a float reduction's order depend on
+//! thread interleaving* (A103), and *does any `Ordering::Relaxed` feed
+//! QoR-bearing code* (A104). The model is built from token trees —
+//! files that fail tree parsing simply contribute nothing here (the
+//! lexical passes still cover them) — and every edge in the call graph
+//! is an over-approximation, so a finding here is a *candidate* hazard
+//! to be fixed or suppressed with a reason, never a proof of absence
+//! silently skipped.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::{callees_of, closures_in, CallGraph, Closure};
+use crate::finding::{Code, Finding, Severity};
+use crate::items::{extract, FnItem, StaticItem};
+use crate::lexer::{TokKind, Token};
+use crate::passes::{statement_has_float, tracked_map_names, ITER_METHODS};
+use crate::tree::{parse_trees, Delim, TokenTree};
+use crate::{AnalyzeConfig, SourceFile};
+
+/// Function/method names whose call means "this code reads entropy":
+/// nondeterministic across runs, so poison for candidate evaluation.
+const RNG_CALLS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "random",
+    "gen_range",
+    "gen_bool",
+    "gen_ratio",
+    "next_u32",
+    "next_u64",
+    "fill_bytes",
+];
+
+/// Channel-receive methods: iteration order is arrival order, which is
+/// thread interleaving.
+const RECV_METHODS: &[&str] = &["recv", "try_recv", "try_iter", "recv_timeout"];
+
+/// One thread-spawn site: the closure handed to `spawn(…)` plus where
+/// it happened.
+struct SpawnSite {
+    file: String,
+    line: u32,
+    closure: Closure,
+}
+
+/// Everything the A1xx passes need, built once per analysis run.
+pub(crate) struct Model {
+    graph: CallGraph,
+    statics: Vec<StaticItem>,
+    spawns: Vec<SpawnSite>,
+    /// Per-fn facts, same indices as `graph.fns`.
+    facts: Vec<Facts>,
+    /// Hash-container binding names per file (for A103 sources).
+    tracked: BTreeMap<String, Vec<String>>,
+}
+
+/// Determinism-relevant facts of one function (or closure) body.
+#[derive(Debug, Default)]
+struct Facts {
+    /// Mentions of hazardous statics: (static name, kind, line).
+    hazard_statics: Vec<(String, &'static str, u32)>,
+    /// Wall-clock reads: (what, line).
+    wall_clock: Vec<(&'static str, u32)>,
+    /// Entropy reads: (callee, line).
+    rng: Vec<(String, u32)>,
+    /// `Ordering::Relaxed` mentions (lines).
+    relaxed: Vec<u32>,
+    /// Order-sensitive float reductions: (description, line).
+    reductions: Vec<(String, u32)>,
+}
+
+/// Builds the workspace model: token trees → items → call graph →
+/// per-fn facts.
+pub(crate) fn build_model(files: &[SourceFile]) -> Model {
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut statics: Vec<StaticItem> = Vec::new();
+    let mut spawns: Vec<SpawnSite> = Vec::new();
+    let mut tracked: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for file in files {
+        let Ok(trees) = parse_trees(&file.tokens) else {
+            continue; // lexical passes still cover this file
+        };
+        tracked.insert(file.path.clone(), tracked_map_names(&file.tokens));
+        let items = extract(file, &trees);
+        for f in &items.fns {
+            for (line, closure) in spawn_sites(&f.body) {
+                spawns.push(SpawnSite {
+                    file: file.path.clone(),
+                    line,
+                    closure,
+                });
+            }
+        }
+        fns.extend(items.fns);
+        statics.extend(items.statics);
+    }
+    let graph = CallGraph::build(fns);
+    let hazards: Vec<&StaticItem> = statics.iter().filter(|s| s.hazardous()).collect();
+    let facts = graph
+        .fns
+        .iter()
+        .map(|f| {
+            let names = tracked.get(&f.file).map_or(&[] as &[String], Vec::as_slice);
+            collect_facts(&f.body_tokens(), &hazards, names)
+        })
+        .collect();
+    Model {
+        graph,
+        statics,
+        spawns,
+        facts,
+        tracked,
+    }
+}
+
+/// Finds `spawn(…)` call sites in a body and the closures inside their
+/// argument lists.
+fn spawn_sites(body: &[TokenTree]) -> Vec<(u32, Closure)> {
+    let mut out = Vec::new();
+    scan_spawns(body, &mut out);
+    out
+}
+
+fn scan_spawns(seq: &[TokenTree], out: &mut Vec<(u32, Closure)>) {
+    for (i, t) in seq.iter().enumerate() {
+        if t.is_ident("spawn") {
+            if let Some(TokenTree::Group(g)) = seq.get(i + 1) {
+                if g.delim == Delim::Paren {
+                    for c in closures_in(&g.trees) {
+                        out.push((t.line(), c));
+                    }
+                }
+            }
+        }
+        if let TokenTree::Group(g) = t {
+            scan_spawns(&g.trees, out);
+        }
+    }
+}
+
+/// Lexical fact collection over one body's flat token stream.
+fn collect_facts(toks: &[Token], hazards: &[&StaticItem], tracked: &[String]) -> Facts {
+    let mut f = Facts::default();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next = toks.get(i + 1).map(|n| n.text.as_str());
+        let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+        // hazardous static mention (names are unique SCREAMING_CASE in
+        // practice; a local shadowing one would over-report, which is
+        // the safe direction)
+        if let Some(h) = hazards.iter().find(|h| h.name == t.text) {
+            let kind = if h.is_mut {
+                "static mut"
+            } else if h.thread_local {
+                "thread_local!"
+            } else {
+                "interior-mutable static"
+            };
+            f.hazard_statics.push((t.text.clone(), kind, t.line));
+        }
+        match t.text.as_str() {
+            "Instant" if next == Some("::") && toks.get(i + 2).is_some_and(|n| n.text == "now") => {
+                f.wall_clock.push(("Instant::now", t.line));
+            }
+            "SystemTime" => f.wall_clock.push(("SystemTime", t.line)),
+            "wall_now" if next == Some("(") => f.wall_clock.push(("clk_obs::wall_now", t.line)),
+            "Relaxed" if prev == Some("::") => f.relaxed.push(t.line),
+            "RandomState" => f.rng.push((t.text.clone(), t.line)),
+            name if RNG_CALLS.contains(&name) && next == Some("(") => {
+                f.rng.push((t.text.clone(), t.line));
+            }
+            _ => {}
+        }
+    }
+    collect_reductions(toks, tracked, &mut f);
+    f
+}
+
+/// Order-sensitive float reductions: `+=`-with-float inside a loop over
+/// an unordered source, or `.sum()`/`.product()`/`.fold()` chained off
+/// one in the same statement.
+fn collect_reductions(toks: &[Token], tracked: &[String], f: &mut Facts) {
+    let float_names = crate::passes::float_var_names(toks);
+    // chain reductions, statement-scoped
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        let is_chain_reduce = t.text == "."
+            && toks.get(i + 1).is_some_and(|m| {
+                m.kind == TokKind::Ident
+                    && matches!(m.text.as_str(), "sum" | "product" | "fold")
+                    && toks
+                        .get(i + 2)
+                        .is_some_and(|p| p.text == "(" || p.text == "::")
+            });
+        if !is_chain_reduce {
+            continue;
+        }
+        let start = toks[..i]
+            .iter()
+            .rposition(|x| matches!(x.text.as_str(), ";" | "{" | "}"))
+            .map_or(0, |p| p + 1);
+        if let Some(src) = unordered_source(&toks[start..i], tracked) {
+            let method = toks.get(i + 1).map(|m| m.text.clone()).unwrap_or_default();
+            f.reductions
+                .push((format!("`.{method}()` over {src}"), toks[i].line));
+        }
+    }
+    // loop accumulation: for … in <unordered> { … acc += float … }
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].kind == TokKind::Ident && toks[i].text == "for") {
+            i += 1;
+            continue;
+        }
+        let Some(in_idx) = toks[i + 1..]
+            .iter()
+            .take(48)
+            .position(|t| t.kind == TokKind::Ident && t.text == "in")
+            .map(|p| i + 1 + p)
+        else {
+            i += 1;
+            continue;
+        };
+        // header up to the body `{` at depth 0
+        let mut k = in_idx + 1;
+        let mut depth = 0i32;
+        let mut body_open = None;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    body_open = Some(k);
+                    break;
+                }
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(body_open) = body_open else {
+            i = in_idx + 1;
+            continue;
+        };
+        let header = &toks[in_idx + 1..body_open];
+        let Some(src) = unordered_source(header, tracked) else {
+            i = body_open + 1;
+            continue;
+        };
+        let body_end = crate::passes::match_brace(toks, body_open);
+        let body = &toks[body_open + 1..body_end.min(toks.len())];
+        for (j, bt) in body.iter().enumerate() {
+            if bt.text == "+=" && statement_has_float(body, j, &float_names) {
+                f.reductions
+                    .push((format!("`+=` in a loop over {src}"), bt.line));
+            }
+        }
+        i = body_open + 1;
+    }
+}
+
+/// Whether a token window draws from an unordered source: a tracked
+/// hash container's iteration methods, or a channel receive.
+fn unordered_source(window: &[Token], tracked: &[String]) -> Option<String> {
+    for i in 0..window.len() {
+        let t = &window[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if ITER_METHODS.contains(&t.text.as_str())
+            && i >= 1
+            && window[i - 1].text == "."
+            && i >= 2
+            && tracked.contains(&window[i - 2].text)
+        {
+            return Some(format!("hash container `{}`", window[i - 2].text));
+        }
+        if RECV_METHODS.contains(&t.text.as_str())
+            && i >= 1
+            && window[i - 1].text == "."
+            && window.get(i + 1).is_some_and(|n| n.text == "(")
+        {
+            return Some(format!("channel `.{}()` (arrival order)", t.text));
+        }
+    }
+    None
+}
+
+/// Runs A101–A104 over the model. Findings are deduped by
+/// (code, file, line) and anchored where the suppression should live.
+pub(crate) fn run(files: &[SourceFile], cfg: &AnalyzeConfig) -> Vec<Finding> {
+    let model = build_model(files);
+    let by_path: BTreeMap<&str, &SourceFile> = files.iter().map(|f| (f.path.as_str(), f)).collect();
+    let mut out: Vec<Finding> = Vec::new();
+
+    // facts of each spawn closure body, against its file's tracked names
+    let hazards: Vec<&StaticItem> = model.statics.iter().filter(|s| s.hazardous()).collect();
+    let spawn_facts: Vec<Facts> = model
+        .spawns
+        .iter()
+        .map(|s| {
+            let names = model
+                .tracked
+                .get(&s.file)
+                .map_or(&[] as &[String], Vec::as_slice);
+            collect_facts(&s.closure.body_tokens(), &hazards, names)
+        })
+        .collect();
+    // seeds per spawn: fns called from the closure body, plus bare fn
+    // idents handed to spawn (`spawn(worker)`)
+    let spawn_seeds: Vec<Vec<usize>> = model
+        .spawns
+        .iter()
+        .map(|s| model.graph.resolve(&callees_of(&s.closure.body_tokens())))
+        .collect();
+    // union of everything reachable from any worker closure
+    let all_seeds: Vec<usize> = spawn_seeds.iter().flatten().copied().collect();
+    let parallel_reach = model.graph.reachable(&all_seeds);
+
+    pass_a101(&model, &by_path, &spawn_facts, &spawn_seeds, &mut out);
+    pass_a102(&model, cfg, &by_path, &spawn_facts, &spawn_seeds, &mut out);
+    pass_a103(&model, &by_path, &spawn_facts, &parallel_reach, &mut out);
+    pass_a104(&model, cfg, &by_path, &parallel_reach, &mut out);
+
+    out.sort_by(|a, b| (&a.file, a.line, a.code).cmp(&(&b.file, b.line, b.code)));
+    out.dedup_by(|a, b| a.code == b.code && a.file == b.file && a.line == b.line);
+    out
+}
+
+fn mk(
+    by_path: &BTreeMap<&str, &SourceFile>,
+    code: Code,
+    severity: Severity,
+    file: &str,
+    line: u32,
+    message: String,
+) -> Finding {
+    let snippet = by_path
+        .get(file)
+        .and_then(|f| f.lines.get(line.saturating_sub(1) as usize))
+        .map(|l| l.trim().to_string())
+        .unwrap_or_default();
+    Finding {
+        code,
+        severity,
+        file: file.to_string(),
+        line,
+        snippet,
+        message,
+    }
+}
+
+/// A101: shared-mutable-state reachability from spawn closures.
+/// Anchored at the spawn site — that is the thing being certified.
+fn pass_a101(
+    model: &Model,
+    by_path: &BTreeMap<&str, &SourceFile>,
+    spawn_facts: &[Facts],
+    spawn_seeds: &[Vec<usize>],
+    out: &mut Vec<Finding>,
+) {
+    for (si, spawn) in model.spawns.iter().enumerate() {
+        // unsynchronized &mut capture: the closure writes a binding it
+        // captured from the enclosing function
+        for (name, _line) in spawn.closure.captured_writes() {
+            out.push(mk(
+                by_path,
+                Code::A101,
+                Severity::Error,
+                &spawn.file,
+                spawn.line,
+                format!(
+                    "worker closure writes captured binding `{name}` — an unsynchronized \
+                     `&mut` capture shared across spawns is a data race; return results \
+                     and commit sequentially instead"
+                ),
+            ));
+        }
+        // direct mention of a hazardous static in the closure body
+        for (name, kind, _line) in &spawn_facts[si].hazard_statics {
+            out.push(mk(
+                by_path,
+                Code::A101,
+                Severity::Error,
+                &spawn.file,
+                spawn.line,
+                format!(
+                    "worker closure touches `{name}` ({kind}) — shared mutable state \
+                     reachable from a spawned thread breaks parallel-safety"
+                ),
+            ));
+        }
+        // reachable through the call graph
+        let reach = model.graph.reachable(&spawn_seeds[si]);
+        for &fi in reach.keys() {
+            for (name, kind, _line) in &model.facts[fi].hazard_statics {
+                let path = model.graph.path_to(&reach, fi).join(" → ");
+                out.push(mk(
+                    by_path,
+                    Code::A101,
+                    Severity::Error,
+                    &spawn.file,
+                    spawn.line,
+                    format!(
+                        "worker closure reaches `{name}` ({kind}) via `{path}` — shared \
+                         mutable state reachable from a spawned thread breaks parallel-safety"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// A102: purity certification for candidate evaluation. Roots are the
+/// spawn closures of the configured eval files; findings anchor at the
+/// impure call so the suppression sits next to the evidence.
+fn pass_a102(
+    model: &Model,
+    cfg: &AnalyzeConfig,
+    by_path: &BTreeMap<&str, &SourceFile>,
+    spawn_facts: &[Facts],
+    spawn_seeds: &[Vec<usize>],
+    out: &mut Vec<Finding>,
+) {
+    let telemetry = |file: &str| {
+        cfg.telemetry_paths
+            .iter()
+            .any(|p| file.starts_with(p.as_str()))
+    };
+    for (si, spawn) in model.spawns.iter().enumerate() {
+        if !cfg
+            .eval_roots
+            .iter()
+            .any(|p| spawn.file.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        // the closure body itself
+        for (what, line) in &spawn_facts[si].wall_clock {
+            out.push(mk(
+                by_path,
+                Code::A102,
+                Severity::Error,
+                &spawn.file,
+                *line,
+                format!(
+                    "candidate-evaluation closure reads the clock (`{what}`) — scoring \
+                     must be a pure function of the candidate"
+                ),
+            ));
+        }
+        for (what, line) in &spawn_facts[si].rng {
+            out.push(mk(
+                by_path,
+                Code::A102,
+                Severity::Error,
+                &spawn.file,
+                *line,
+                format!("candidate-evaluation closure reads entropy (`{what}`)"),
+            ));
+        }
+        // everything reachable
+        let reach = model.graph.reachable(&spawn_seeds[si]);
+        for &fi in reach.keys() {
+            let f = &model.graph.fns[fi];
+            if telemetry(&f.file) {
+                continue;
+            }
+            for (what, line) in &model.facts[fi].wall_clock {
+                let path = model.graph.path_to(&reach, fi).join(" → ");
+                out.push(mk(
+                    by_path,
+                    Code::A102,
+                    Severity::Error,
+                    &f.file,
+                    *line,
+                    format!(
+                        "`{what}` is reachable from candidate evaluation (worker closure at \
+                         {}:{}, via `{path}`) — scoring must not read the clock",
+                        spawn.file, spawn.line
+                    ),
+                ));
+            }
+            for (what, line) in &model.facts[fi].rng {
+                let path = model.graph.path_to(&reach, fi).join(" → ");
+                out.push(mk(
+                    by_path,
+                    Code::A102,
+                    Severity::Error,
+                    &f.file,
+                    *line,
+                    format!(
+                        "`{what}` is reachable from candidate evaluation (worker closure at \
+                         {}:{}, via `{path}`) — scoring must not read entropy",
+                        spawn.file, spawn.line
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// A103: order-sensitive float reductions reachable from any parallel
+/// region (plus the worker closures themselves). Anchored at the
+/// reduction.
+fn pass_a103(
+    model: &Model,
+    by_path: &BTreeMap<&str, &SourceFile>,
+    spawn_facts: &[Facts],
+    parallel_reach: &BTreeMap<usize, Option<usize>>,
+    out: &mut Vec<Finding>,
+) {
+    for (si, spawn) in model.spawns.iter().enumerate() {
+        for (desc, line) in &spawn_facts[si].reductions {
+            out.push(mk(
+                by_path,
+                Code::A103,
+                Severity::Error,
+                &spawn.file,
+                *line,
+                format!(
+                    "order-sensitive float reduction in a worker closure: {desc} — the \
+                     rounded result depends on thread interleaving"
+                ),
+            ));
+        }
+    }
+    for &fi in parallel_reach.keys() {
+        let f = &model.graph.fns[fi];
+        for (desc, line) in &model.facts[fi].reductions {
+            let path = model.graph.path_to(parallel_reach, fi).join(" → ");
+            out.push(mk(
+                by_path,
+                Code::A103,
+                Severity::Error,
+                &f.file,
+                *line,
+                format!(
+                    "order-sensitive float reduction reachable from a parallel region \
+                     (via `{path}`): {desc}"
+                ),
+            ));
+        }
+    }
+}
+
+/// A104: `Ordering::Relaxed` in code reachable from a parallel region
+/// or sitting in a hot path, telemetry excluded. Relaxed is fine for
+/// counters; it is not fine for anything whose value feeds QoR.
+fn pass_a104(
+    model: &Model,
+    cfg: &AnalyzeConfig,
+    by_path: &BTreeMap<&str, &SourceFile>,
+    parallel_reach: &BTreeMap<usize, Option<usize>>,
+    out: &mut Vec<Finding>,
+) {
+    let telemetry = |file: &str| {
+        cfg.telemetry_paths
+            .iter()
+            .any(|p| file.starts_with(p.as_str()))
+    };
+    let hot = |file: &str| cfg.hot_paths.iter().any(|p| file.starts_with(p.as_str()));
+    for (fi, f) in model.graph.fns.iter().enumerate() {
+        if telemetry(&f.file) {
+            continue;
+        }
+        let reachable = parallel_reach.contains_key(&fi);
+        if !reachable && !hot(&f.file) {
+            continue;
+        }
+        for line in &model.facts[fi].relaxed {
+            let why = if reachable {
+                "reachable from a parallel region"
+            } else {
+                "in a flow hot path"
+            };
+            out.push(mk(
+                by_path,
+                Code::A104,
+                Severity::Warning,
+                &f.file,
+                *line,
+                format!(
+                    "`Ordering::Relaxed` {why} — relaxed atomics give no happens-before \
+                     edge; anything feeding QoR needs Acquire/Release (telemetry counters \
+                     belong in clk-obs)"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_from_str;
+
+    fn run_on(srcs: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = srcs.iter().map(|(p, s)| source_from_str(p, s)).collect();
+        run(&files, &AnalyzeConfig::default())
+    }
+
+    #[test]
+    fn a101_reaches_static_mut_through_the_graph() {
+        let f = run_on(&[(
+            "crates/x/src/lib.rs",
+            "static mut HITS: u64 = 0;\n\
+             fn bump() { unsafe { HITS += 1; } }\n\
+             fn helper() { bump(); }\n\
+             fn run(s: &std::thread::Scope) {\n\
+                 s.spawn(|| helper());\n\
+             }\n",
+        )]);
+        let a101: Vec<&Finding> = f.iter().filter(|d| d.code == Code::A101).collect();
+        assert_eq!(a101.len(), 1, "{f:?}");
+        assert_eq!(a101[0].line, 5);
+        assert!(a101[0].message.contains("HITS"));
+        assert!(a101[0].message.contains("helper → bump"));
+    }
+
+    #[test]
+    fn a101_flags_captured_writes() {
+        let f = run_on(&[(
+            "crates/x/src/lib.rs",
+            "fn run(s: &std::thread::Scope) {\n\
+                 let mut total = 0u64;\n\
+                 s.spawn(|| { total += 1; });\n\
+             }\n",
+        )]);
+        assert!(
+            f.iter()
+                .any(|d| d.code == Code::A101 && d.message.contains("total")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn a101_clean_closure_certifies_clean() {
+        let f = run_on(&[(
+            "crates/x/src/lib.rs",
+            "fn score(x: u64) -> u64 { x * 2 }\n\
+             fn run(s: &std::thread::Scope, xs: &[u64]) {\n\
+                 for x in xs { s.spawn(move || score(*x)); }\n\
+             }\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn a102_flags_clock_and_rng_reachable_from_eval_roots() {
+        let f = run_on(&[(
+            "crates/core/src/local.rs",
+            "fn stamp() -> u64 { wall_now() }\n\
+             fn noisy() -> f64 { random() }\n\
+             fn eval(c: u64) -> u64 { stamp() + c }\n\
+             fn run(s: &std::thread::Scope) {\n\
+                 s.spawn(|| eval(1));\n\
+                 s.spawn(|| noisy());\n\
+             }\n",
+        )]);
+        let a102: Vec<&Finding> = f.iter().filter(|d| d.code == Code::A102).collect();
+        assert_eq!(a102.len(), 2, "{f:?}");
+        assert_eq!(a102[0].line, 1);
+        assert_eq!(a102[1].line, 2);
+    }
+
+    #[test]
+    fn a102_does_not_gate_non_eval_spawns() {
+        let f = run_on(&[(
+            "crates/serve/src/lib.rs",
+            "fn stamp() -> u64 { wall_now() }\n\
+             fn run(s: &std::thread::Scope) { s.spawn(|| stamp()); }\n",
+        )]);
+        assert!(f.iter().all(|d| d.code != Code::A102), "{f:?}");
+    }
+
+    #[test]
+    fn a103_flags_reductions_reachable_from_parallel_regions() {
+        let f = run_on(&[(
+            "crates/x/src/lib.rs",
+            "use std::collections::HashMap;\n\
+             fn total(m: &HashMap<u32, f64>) -> f64 {\n\
+                 // clk-analyze framework note: A001/A002 also fire; this\n\
+                 // test only asserts on A103\n\
+                 m.values().sum()\n\
+             }\n\
+             fn run(s: &std::thread::Scope, m: &HashMap<u32, f64>) {\n\
+                 s.spawn(move || total(m));\n\
+             }\n",
+        )]);
+        assert!(
+            f.iter()
+                .any(|d| d.code == Code::A103 && d.message.contains("sum")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn a104_flags_relaxed_in_hot_paths_but_not_telemetry() {
+        let hot = "fn flag(a: &std::sync::atomic::AtomicU64) -> u64 {\n\
+                   a.load(std::sync::atomic::Ordering::Relaxed)\n\
+                   }\n";
+        let f = run_on(&[("crates/core/src/local.rs", hot)]);
+        assert!(f.iter().any(|d| d.code == Code::A104), "{f:?}");
+        let f = run_on(&[("crates/obs/src/metrics.rs", hot)]);
+        assert!(f.iter().all(|d| d.code != Code::A104), "{f:?}");
+    }
+}

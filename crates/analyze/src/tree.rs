@@ -1,0 +1,329 @@
+//! Token trees: balanced-delimiter groups over the lexer's token
+//! stream.
+//!
+//! The semantic passes (items → call graph → A1xx) need *structure* —
+//! which tokens form a function body, which form a closure, which form
+//! an argument list — without the cost or fragility of a full Rust
+//! parser. Token trees are the smallest structure that delivers that:
+//! every `(…)`, `[…]`, `{…}` becomes a [`Group`] node, everything else
+//! stays a [`TokenTree::Leaf`]. Parsing is total and panic-free: any
+//! imbalance comes back as a typed [`TreeError`] (and the analyzer
+//! falls back to the purely lexical passes for that file), and
+//! [`flatten`] is the exact inverse of [`parse_trees`] — a property the
+//! crate's proptests pin.
+
+use crate::lexer::{TokKind, Token};
+
+/// The three bracket kinds that form groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `( … )`
+    Paren,
+    /// `[ … ]`
+    Bracket,
+    /// `{ … }`
+    Brace,
+}
+
+impl Delim {
+    /// The opening character.
+    pub fn open(self) -> char {
+        match self {
+            Delim::Paren => '(',
+            Delim::Bracket => '[',
+            Delim::Brace => '{',
+        }
+    }
+
+    /// The closing character.
+    pub fn close(self) -> char {
+        match self {
+            Delim::Paren => ')',
+            Delim::Bracket => ']',
+            Delim::Brace => '}',
+        }
+    }
+
+    fn from_open(c: &str) -> Option<Delim> {
+        match c {
+            "(" => Some(Delim::Paren),
+            "[" => Some(Delim::Bracket),
+            "{" => Some(Delim::Brace),
+            _ => None,
+        }
+    }
+
+    fn from_close(c: &str) -> Option<Delim> {
+        match c {
+            ")" => Some(Delim::Paren),
+            "]" => Some(Delim::Bracket),
+            "}" => Some(Delim::Brace),
+            _ => None,
+        }
+    }
+}
+
+/// A balanced group: delimiter kind, the lines of its brackets, and the
+/// trees between them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// Bracket kind.
+    pub delim: Delim,
+    /// 1-indexed line of the opening bracket.
+    pub open_line: u32,
+    /// 1-indexed line of the closing bracket.
+    pub close_line: u32,
+    /// The trees inside the brackets.
+    pub trees: Vec<TokenTree>,
+}
+
+/// One node of the token-tree stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenTree {
+    /// A non-bracket token, verbatim from the lexer.
+    Leaf(Token),
+    /// A balanced-delimiter group.
+    Group(Group),
+}
+
+impl TokenTree {
+    /// The line the tree starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            TokenTree::Leaf(t) => t.line,
+            TokenTree::Group(g) => g.open_line,
+        }
+    }
+
+    /// The leaf's text, or `None` for groups.
+    pub fn leaf_text(&self) -> Option<&str> {
+        match self {
+            TokenTree::Leaf(t) => Some(t.text.as_str()),
+            TokenTree::Group(_) => None,
+        }
+    }
+
+    /// Whether this is an identifier leaf with exactly `text`.
+    pub fn is_ident(&self, text: &str) -> bool {
+        matches!(self, TokenTree::Leaf(t) if t.kind == TokKind::Ident && t.text == text)
+    }
+
+    /// Whether this is a punctuation leaf with exactly `text`.
+    pub fn is_punct(&self, text: &str) -> bool {
+        matches!(self, TokenTree::Leaf(t) if t.kind == TokKind::Punct && t.text == text)
+    }
+}
+
+/// Why a token stream failed to form trees. Both variants carry the
+/// line of the offending bracket so callers can report precisely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeError {
+    /// A closing bracket with no matching opener, or closing a
+    /// different kind than the innermost open group.
+    Mismatched {
+        /// Line of the bad closer.
+        line: u32,
+        /// The closer found.
+        found: char,
+        /// The closer the innermost open group needed, if any was open.
+        expected: Option<char>,
+    },
+    /// The stream ended with a group still open.
+    Unclosed {
+        /// Line of the opener that never closed.
+        line: u32,
+        /// The opening bracket.
+        open: char,
+    },
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::Mismatched {
+                line,
+                found,
+                expected: Some(e),
+            } => write!(f, "line {line}: found `{found}` where `{e}` was expected"),
+            TreeError::Mismatched { line, found, .. } => {
+                write!(f, "line {line}: `{found}` closes nothing")
+            }
+            TreeError::Unclosed { line, open } => {
+                write!(f, "line {line}: `{open}` is never closed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Parses a token stream into trees.
+///
+/// Iterative (explicit stack), so pathological nesting cannot overflow
+/// the call stack; the lexer already guarantees brackets inside string,
+/// char, and comment text never reach here.
+///
+/// # Errors
+///
+/// [`TreeError`] on the first unbalanced bracket.
+pub fn parse_trees(toks: &[Token]) -> Result<Vec<TokenTree>, TreeError> {
+    // each open group parks (delim, open_line, its accumulated children)
+    let mut stack: Vec<(Delim, u32, Vec<TokenTree>)> = Vec::new();
+    let mut top: Vec<TokenTree> = Vec::new();
+    for t in toks {
+        if t.kind == TokKind::Punct {
+            if let Some(d) = Delim::from_open(&t.text) {
+                stack.push((d, t.line, std::mem::take(&mut top)));
+                continue;
+            }
+            if let Some(d) = Delim::from_close(&t.text) {
+                match stack.pop() {
+                    Some((open_delim, open_line, parent)) if open_delim == d => {
+                        let group = Group {
+                            delim: d,
+                            open_line,
+                            close_line: t.line,
+                            trees: std::mem::replace(&mut top, parent),
+                        };
+                        top.push(TokenTree::Group(group));
+                    }
+                    Some((open_delim, _, _)) => {
+                        return Err(TreeError::Mismatched {
+                            line: t.line,
+                            found: d.close(),
+                            expected: Some(open_delim.close()),
+                        });
+                    }
+                    None => {
+                        return Err(TreeError::Mismatched {
+                            line: t.line,
+                            found: d.close(),
+                            expected: None,
+                        });
+                    }
+                }
+                continue;
+            }
+        }
+        top.push(TokenTree::Leaf(t.clone()));
+    }
+    if let Some(&(d, line, _)) = stack.first() {
+        return Err(TreeError::Unclosed {
+            line,
+            open: d.open(),
+        });
+    }
+    Ok(top)
+}
+
+/// Flattens trees back into the exact token stream they were parsed
+/// from (the round-trip property the proptests pin).
+pub fn flatten(trees: &[TokenTree]) -> Vec<Token> {
+    let mut out = Vec::new();
+    flatten_into(trees, &mut out);
+    out
+}
+
+fn flatten_into(trees: &[TokenTree], out: &mut Vec<Token>) {
+    for t in trees {
+        match t {
+            TokenTree::Leaf(tok) => out.push(tok.clone()),
+            TokenTree::Group(g) => {
+                out.push(Token {
+                    kind: TokKind::Punct,
+                    text: g.delim.open().to_string(),
+                    line: g.open_line,
+                });
+                flatten_into(&g.trees, out);
+                out.push(Token {
+                    kind: TokKind::Punct,
+                    text: g.delim.close().to_string(),
+                    line: g.close_line,
+                });
+            }
+        }
+    }
+}
+
+/// Depth-first walk over every group in the forest (pre-order),
+/// calling `f` with each group's sibling slice context-free.
+pub fn for_each_group(trees: &[TokenTree], f: &mut dyn FnMut(&Group)) {
+    for t in trees {
+        if let TokenTree::Group(g) = t {
+            f(g);
+            for_each_group(&g.trees, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn parse(src: &str) -> Result<Vec<TokenTree>, TreeError> {
+        parse_trees(&tokenize(src).0)
+    }
+
+    #[test]
+    fn groups_nest_and_round_trip() {
+        let (toks, _) = tokenize("fn f(a: [u8; 4]) { g(a[0]); }");
+        let trees = parse_trees(&toks).unwrap();
+        assert_eq!(flatten(&trees), toks);
+        // fn, f, (…), {…}
+        let groups: Vec<&Group> = trees
+            .iter()
+            .filter_map(|t| match t {
+                TokenTree::Group(g) => Some(g),
+                TokenTree::Leaf(_) => None,
+            })
+            .collect();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].delim, Delim::Paren);
+        assert_eq!(groups[1].delim, Delim::Brace);
+    }
+
+    #[test]
+    fn mismatched_closer_is_typed() {
+        assert_eq!(
+            parse("f(a]"),
+            Err(TreeError::Mismatched {
+                line: 1,
+                found: ']',
+                expected: Some(')'),
+            })
+        );
+        assert_eq!(
+            parse("a)"),
+            Err(TreeError::Mismatched {
+                line: 1,
+                found: ')',
+                expected: None,
+            })
+        );
+    }
+
+    #[test]
+    fn unclosed_group_reports_the_opener_line() {
+        assert_eq!(
+            parse("x\n{ y"),
+            Err(TreeError::Unclosed { line: 2, open: '{' })
+        );
+    }
+
+    #[test]
+    fn strings_cannot_unbalance() {
+        let trees = parse(r#"f("(((", '}')"#).unwrap();
+        assert_eq!(trees.len(), 2); // `f` + the paren group
+    }
+
+    #[test]
+    fn lines_survive_the_round_trip() {
+        let (toks, _) = tokenize("a(\nb\n)");
+        let trees = parse_trees(&toks).unwrap();
+        let flat = flatten(&trees);
+        assert_eq!(flat, toks);
+        assert_eq!(flat[1].line, 1); // (
+        assert_eq!(flat[3].line, 3); // )
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests for the token-tree layer the semantic passes stand
+//! on: `parse_trees`/`flatten` round-trip exactly on balanced input,
+//! unbalanced input comes back as a typed [`TreeError`] (never a
+//! panic), and closure-capture extraction is exact on generated
+//! snippets with known free names.
+
+use std::collections::BTreeSet;
+
+use clk_analyze::callgraph::closures_in;
+use clk_analyze::tokenize;
+use clk_analyze::tree::{flatten, parse_trees, TreeError};
+use proptest::prelude::*;
+
+const LEAVES: &[&str] = &["x", "y", "foo", "1", "0.5", ",", ";", "+", "::", "\"s\""];
+const OPENS: &[&str] = &["(", "[", "{"];
+const CLOSE_OF: &[&str] = &[")", "]", "}"];
+
+/// Builds source that is balanced by construction from a generated
+/// instruction stream: 0..3 opens a group, 3..6 closes the innermost
+/// group when one is open, anything else drops a leaf. Whatever is
+/// still open at the end gets closed.
+fn balanced_src(prog: &[(u8, u8)]) -> String {
+    let mut words: Vec<String> = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+    for &(op, pick) in prog {
+        match op {
+            0..=2 => {
+                stack.push(op as usize);
+                words.push(OPENS[op as usize].to_string());
+            }
+            3..=5 if !stack.is_empty() => {
+                let d = stack.pop().expect("non-empty");
+                words.push(CLOSE_OF[d].to_string());
+            }
+            _ => words.push(LEAVES[pick as usize % LEAVES.len()].to_string()),
+        }
+        if pick % 5 == 0 {
+            words.push("\n".to_string());
+        }
+    }
+    while let Some(d) = stack.pop() {
+        words.push(CLOSE_OF[d].to_string());
+    }
+    words.join(" ")
+}
+
+/// Reference bracket checker over raw words, for comparing against the
+/// tree parser's accept/reject decision.
+fn reference_balanced(words: &[&str]) -> bool {
+    let mut stack = Vec::new();
+    for w in words {
+        match *w {
+            "(" | "[" | "{" => stack.push(*w),
+            ")" | "]" | "}" => {
+                let open = match *w {
+                    ")" => "(",
+                    "]" => "[",
+                    _ => "{",
+                };
+                if stack.pop() != Some(open) {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    stack.is_empty()
+}
+
+/// Subset of `pool` selected by the low bits of `mask`, in pool order.
+fn subset(pool: &[&'static str], mask: u8) -> Vec<&'static str> {
+    pool.iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, s)| *s)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Balanced input always parses, and flattening the forest gives
+    /// back the exact token stream — kinds, text, and line numbers.
+    #[test]
+    fn balanced_input_round_trips(
+        prog in proptest::collection::vec((0u8..=9, 0u8..=255), 0..80),
+    ) {
+        let src = balanced_src(&prog);
+        let (toks, _) = tokenize(&src);
+        let trees = parse_trees(&toks).expect("balanced by construction");
+        prop_assert_eq!(flatten(&trees), toks);
+    }
+
+    /// Arbitrary bracket soup: the parser accepts exactly the streams a
+    /// reference stack checker accepts, rejects the rest with a typed
+    /// error whose line is inside the input, and never panics.
+    #[test]
+    fn unbalanced_input_yields_typed_errors(
+        picks in proptest::collection::vec(0usize..8, 0..40),
+    ) {
+        const SOUP: &[&str] = &["(", ")", "[", "]", "{", "}", "x", "\n"];
+        let words: Vec<&str> = picks.iter().map(|&i| SOUP[i]).collect();
+        let src = words.concat();
+        let (toks, _) = tokenize(&src);
+        let last_line = src.lines().count().max(1) as u32;
+        match parse_trees(&toks) {
+            Ok(trees) => {
+                prop_assert!(reference_balanced(&words));
+                prop_assert_eq!(flatten(&trees), toks);
+            }
+            Err(TreeError::Mismatched { line, .. }) | Err(TreeError::Unclosed { line, .. }) => {
+                prop_assert!(!reference_balanced(&words));
+                prop_assert!(line >= 1 && line <= last_line);
+            }
+        }
+    }
+
+    /// On a generated closure with disjoint parameter / capture /
+    /// let-bound name pools, `captures()` reports exactly the free
+    /// names — every real capture, no parameter, no local.
+    #[test]
+    fn closure_captures_are_exact_on_generated_snippets(
+        param_mask in 0u8..8,
+        cap_mask in 1u8..8,
+        is_move in 0u8..2,
+    ) {
+        let params = subset(&["p0", "p1", "p2"], param_mask);
+        let caps = subset(&["alpha", "beta", "gamma"], cap_mask);
+        let is_move = is_move == 1;
+        // body: one let binding a local to the first capture, then an
+        // expression using every param, the local, and the other caps
+        let mut terms: Vec<&str> = params.clone();
+        terms.push("l0");
+        terms.extend(caps.iter().skip(1).copied());
+        let src = format!(
+            "let f = {}|{}| {{ let l0 = {}; {} }};",
+            if is_move { "move " } else { "" },
+            params.join(", "),
+            caps[0],
+            terms.join(" + "),
+        );
+        let (toks, _) = tokenize(&src);
+        let trees = parse_trees(&toks).expect("snippet is balanced");
+        let closures = closures_in(&trees);
+        prop_assert_eq!(closures.len(), 1, "snippet: {}", src);
+        let c = &closures[0];
+        prop_assert_eq!(c.is_move, is_move);
+        prop_assert_eq!(&c.params, &params);
+        let got: BTreeSet<String> = c.captures().into_iter().collect();
+        let want: BTreeSet<String> = caps.iter().map(|s| (*s).to_string()).collect();
+        prop_assert_eq!(got, want, "snippet: {}", src);
+    }
+}

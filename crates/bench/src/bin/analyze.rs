@@ -1,7 +1,10 @@
-//! Determinism & parallel-safety gate: runs the `clk-analyze` source
-//! passes (A001–A006) over the whole workspace, writes a
-//! machine-readable `analyze-report.json`, and diffs the findings
-//! against the committed `analyze-baseline.json`.
+//! Determinism & parallel-safety gate: runs the `clk-analyze` lexical
+//! passes (A001–A006) and the semantic certification passes
+//! (A101–A104: spawn-closure shared-state reachability, candidate-eval
+//! purity, parallel float reductions, `Ordering::Relaxed` audit) over
+//! the whole workspace, writes a machine-readable
+//! `analyze-report.json`, and diffs the findings against the committed
+//! `analyze-baseline.json`.
 //!
 //! ```sh
 //! cargo run --release -p clk-bench --bin analyze
@@ -17,11 +20,14 @@
 //! * `--baseline PATH` — baseline (default `analyze-baseline.json`);
 //! * `--write-baseline` — refresh the baseline from this run and exit.
 
+#![allow(clippy::float_arithmetic)]
+
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use clk_analyze::{analyze_workspace, diff_against_baseline, AnalyzeConfig, Code, Finding};
 use clk_obs::json::{self, Value};
+use clk_obs::{Obs, ObsConfig};
 
 struct Args {
     root: PathBuf,
@@ -115,9 +121,11 @@ fn main() -> ExitCode {
     let args = parse_args();
     let cfg = AnalyzeConfig::default();
     println!(
-        "analyze: workspace {} (passes A001-A006)",
+        "analyze: workspace {} (lexical A001-A006, semantic A101-A104)",
         args.root.display()
     );
+    let obs = Obs::new(ObsConfig::default());
+    let start = clk_obs::wall_now();
     let report = match analyze_workspace(&args.root, &cfg) {
         Ok(r) => r,
         Err(e) => {
@@ -125,21 +133,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let analyze_ms = start.elapsed().as_secs_f64() * 1e3;
+    obs.count("analyze.files", report.files as u64);
+    obs.count("analyze.findings", report.findings.len() as u64);
+    obs.observe("analyze.ms", analyze_ms);
 
     // per-code tally for the console and the report
     let mut tally: Vec<(Code, usize)> = Vec::new();
-    for code in [
-        Code::A001,
-        Code::A002,
-        Code::A003,
-        Code::A004,
-        Code::A005,
-        Code::A006,
-    ] {
+    for code in Code::ALL {
         tally.push((code, report.with_code(code).count()));
     }
     println!(
-        "{} files analyzed, {} findings, {} suppressed (with reasons)",
+        "{} files analyzed in {analyze_ms:.0} ms, {} findings, {} suppressed (with reasons)",
         report.files,
         report.findings.len(),
         report.suppressed.len()
@@ -194,6 +199,7 @@ fn main() -> ExitCode {
     let doc = Value::Obj(vec![
         ("schema_version".to_string(), Value::from(1u64)),
         ("files".to_string(), Value::from(report.files as u64)),
+        ("ms".to_string(), Value::from(analyze_ms)),
         (
             "summary".to_string(),
             Value::Obj(

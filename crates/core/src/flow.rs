@@ -159,7 +159,6 @@ pub fn lint_gate(
     fp: &Floorplan,
 ) {
     if let Err(e) = check_lint_gate(stage, level, tree, lib, fp) {
-        // clk-analyze: allow(A005) documented panicking facade; the _checked variant returns typed errors
         panic!("{e}");
     }
 }
@@ -230,7 +229,6 @@ impl OptReport {
 pub fn optimize(tc: &Testcase, flow: Flow, cfg: &FlowConfig) -> OptReport {
     match try_optimize(tc, flow, cfg) {
         Ok(r) => r,
-        // clk-analyze: allow(A005) documented panicking facade; the _checked variant returns typed errors
         Err(e) => panic!("{e}"),
     }
 }
@@ -264,7 +262,6 @@ pub fn optimize_with(
 ) -> OptReport {
     match try_optimize_with(tc, flow, cfg, luts, model) {
         Ok(r) => r,
-        // clk-analyze: allow(A005) documented panicking facade; the _checked variant returns typed errors
         Err(e) => panic!("{e}"),
     }
 }

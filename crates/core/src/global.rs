@@ -175,7 +175,6 @@ pub fn global_optimize_guarded(
         &PhaseBudget::unlimited(),
     ) {
         Ok(r) => r,
-        // clk-analyze: allow(A005) documented panicking facade; the _checked variant returns typed errors
         Err(e) => panic!("{e}"),
     }
 }
@@ -1713,7 +1712,6 @@ pub(crate) fn realize_arc(
 
     // tear out the old chain
     for &n in &arc.interior {
-        // clk-analyze: allow(A005) invariant upheld by construction: interior nodes are buffers
         tree.remove_buffer(n).expect("interior nodes are buffers");
     }
     // insert the new chain with legalized positions and detour-preserving
@@ -1729,17 +1727,14 @@ pub(crate) fn realize_arc(
         let piece = chain_piece(&path, prev_d, d, prev_loc, legal);
         prev = tree
             .add_node_with_route(NodeKind::Buffer(size), legal, prev, piece)
-            // clk-analyze: allow(A005) invariant upheld by construction: chain piece endpoints match
             .expect("chain piece endpoints match");
         prev_d = d;
         prev_loc = legal;
     }
     if prev != arc.from {
-        // clk-analyze: allow(A005) invariant upheld by construction: no cycles in a chain
         tree.set_parent(arc.to, prev).expect("no cycles in a chain");
     }
     let last = chain_piece(&path, prev_d, total, prev_loc, to_loc);
-    // clk-analyze: allow(A005) invariant upheld by construction: endpoints match
     tree.set_route(arc.to, last).expect("endpoints match");
     true
 }

@@ -70,6 +70,6 @@ pub use local::{
     CandidateRejects, LocalConfig, LocalReport, Ranker,
 };
 pub use lut::{RatioBounds, StageLuts};
-pub use moves::{apply_move, enumerate_moves, Move, MoveConfig, Resize};
+pub use moves::{apply_move, enumerate_moves, touched_drivers, Move, MoveConfig, Resize};
 pub use predictor::{DeltaLatencyModel, ModelKind, TrainConfig};
 pub use replay::{replay_ledger, ReplayError};

@@ -16,7 +16,7 @@ use clk_sta::{
 use crate::fault::{
     FaultCtx, FaultKind, FaultSite, FlowError, PhaseBudget, PhaseProgress, RecoveryAction, TreeTxn,
 };
-use crate::moves::{apply_move, enumerate_moves, Move, MoveConfig};
+use crate::moves::{apply_move, enumerate_moves, touched_drivers, Move, MoveConfig};
 use crate::predictor::{move_features_with_sides, DeltaLatencyModel, Topo};
 use clk_delay::WireModel;
 
@@ -54,6 +54,12 @@ pub struct LocalConfig {
     /// Budget of golden-timer evaluations (fair-comparison knob for the
     /// Fig. 8 baselines; effectively unlimited by default).
     pub max_golden_evals: usize,
+    /// Worker threads evaluating candidates per batch; `0` = one per
+    /// available core. QoR is byte-identical for every value: workers
+    /// only read the committed tree and score private clones, results
+    /// are scattered back by candidate index, and the commit decision
+    /// is taken sequentially in slot order.
+    pub workers: usize,
 }
 
 impl Default for LocalConfig {
@@ -67,6 +73,7 @@ impl Default for LocalConfig {
             skew_guard_factor: 1.02,
             skew_guard_ps: 2.0,
             max_golden_evals: usize::MAX,
+            workers: 0,
         }
     }
 }
@@ -172,7 +179,6 @@ pub fn local_optimize_guarded(
         &PhaseBudget::unlimited(),
     ) {
         Ok(r) => r,
-        // clk-analyze: allow(A005) documented panicking facade; the _checked variant returns typed errors
         Err(e) => panic!("{e}"),
     }
 }
@@ -271,6 +277,14 @@ pub fn local_optimize_checked(
             ),
         );
     }
+
+    // resolved once per phase: the stripe width of every batch
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        cfg.workers
+    };
+    obs.gauge_set("local.workers", workers as i64);
 
     let mut interrupted = false;
     'outer: for iter in 0..max_iterations {
@@ -410,69 +424,112 @@ pub fn local_optimize_checked(
                 ],
             );
             let _batch_prof = obs.prof_scope("local.batch");
-            // Realize and golden-time each candidate in a worker thread
-            // (the paper uses R threads; on one core this degrades
-            // gracefully to sequential evaluation). A worker that fails
-            // returns its typed reason; a worker that panics is caught
-            // at join and counted — either way the committed tree is
-            // untouched, because workers only ever mutate their private
-            // clone.
+            // Realize and golden-time the candidates on a striped pool
+            // of `workers` scoped threads (the paper uses R threads;
+            // with one worker this degrades gracefully to sequential
+            // evaluation). Worker `w` owns candidate slots w, w+W,
+            // w+2W, ... — a fixed assignment, so which thread evaluates
+            // a candidate never depends on scheduling. Each candidate
+            // is wrapped in its own `catch_unwind`: a typed failure or
+            // a panic poisons that slot only, and the committed tree is
+            // untouched either way because workers only ever mutate
+            // their private clone. Timing is cone-limited incremental
+            // re-propagation from the committed tree's per-corner
+            // analyses — bit-identical to a full golden re-analysis,
+            // just skipping the untouched cone.
             let pairs_ref = &pairs;
             let alphas_ref = &alphas;
+            let timings_ref = &timings;
             let plan = ctx.plan;
             let prof = obs.profiler();
             type CandidateResult =
                 Result<(f64, Vec<f64>, Option<f64>, ClockTree), CandidateFailure>;
-            let results: Vec<Option<CandidateResult>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = batch
-                    .iter()
-                    .map(|(_, mv)| {
+            /// slot-indexed results one worker's stripe produced
+            type Stripe = Vec<(usize, Option<CandidateResult>)>;
+            let n_workers = workers.min(batch.len()).max(1);
+            let mut results: Vec<Option<CandidateResult>> =
+                (0..batch.len()).map(|_| None).collect();
+            let per_worker: Vec<Option<Stripe>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n_workers)
+                    .map(|w| {
                         let tree_ref: &ClockTree = tree;
                         let prof = prof.clone();
-                        scope.spawn(move || -> CandidateResult {
-                            // workers root their own attribution subtree
-                            // (thread-scoped nesting); golden-eval cost
-                            // splits into apply / STA / scoring below
-                            let _eval_prof = prof.scope("local.eval");
-                            if plan.is_some_and(|p| p.fire(FaultSite::WorkerPanic)) {
-                                // clk-analyze: allow(A005) deliberate chaos-injection panic, absorbed by the phase transaction
-                                panic!("chaos: injected worker panic");
+                        // clk-analyze: allow(A101) PROF_STACK is thread_local: each worker roots its own attribution subtree, no cross-thread sharing
+                        scope.spawn(move || {
+                            let mut out: Stripe =
+                                Vec::with_capacity(batch.len().div_ceil(n_workers));
+                            for i in (w..batch.len()).step_by(n_workers) {
+                                let mv = &batch[i].1;
+                                // per-candidate isolation: a panic
+                                // poisons this slot, not the stripe
+                                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                    || -> CandidateResult {
+                                        // workers root their own
+                                        // attribution subtree
+                                        // (thread-scoped nesting)
+                                        let _eval_prof = prof.scope("local.eval");
+                                        if plan.is_some_and(|p| p.fire(FaultSite::WorkerPanic)) {
+                                            // clk-analyze: allow(A005) deliberate chaos-injection panic, absorbed by the phase transaction
+                                            panic!("chaos: injected worker panic");
+                                        }
+                                        let dirty = touched_drivers(tree_ref, mv);
+                                        let mut trial = tree_ref.clone();
+                                        {
+                                            let _g = prof.scope("apply");
+                                            apply_move(&mut trial, lib, fp, &cfg.move_cfg, mv)
+                                                .map_err(CandidateFailure::Apply)?;
+                                        }
+                                        let sta_prof = prof.scope("golden_sta");
+                                        let analyses = Timer::golden()
+                                            .try_analyze_all_incremental(
+                                                &trial,
+                                                lib,
+                                                timings_ref,
+                                                &dirty,
+                                            )
+                                            .map_err(CandidateFailure::Timing)?;
+                                        drop(sta_prof);
+                                        let _score_prof = prof.scope("score");
+                                        let drc: usize =
+                                            analyses.iter().map(|t| t.violations().len()).sum();
+                                        if drc > drc_baseline {
+                                            return Err(CandidateFailure::Drc {
+                                                violations: drc,
+                                                baseline: drc_baseline,
+                                            });
+                                        }
+                                        let skews = analyses
+                                            .iter()
+                                            .map(|t| try_pair_skews(t, pairs_ref))
+                                            .collect::<Result<Vec<_>, _>>()
+                                            .map_err(CandidateFailure::Timing)?;
+                                        let sum = variation_report(&skews, alphas_ref, None).sum;
+                                        let locals: Vec<f64> =
+                                            skews.iter().map(|s| local_skew_ps(s)).collect();
+                                        let sum_star =
+                                            star.map(|sa| variation_report(&skews, sa, None).sum);
+                                        Ok((sum, locals, sum_star, trial))
+                                    },
+                                ))
+                                .ok();
+                                out.push((i, r));
                             }
-                            let mut trial = tree_ref.clone();
-                            {
-                                let _g = prof.scope("apply");
-                                apply_move(&mut trial, lib, fp, &cfg.move_cfg, mv)
-                                    .map_err(CandidateFailure::Apply)?;
-                            }
-                            let sta_prof = prof.scope("golden_sta");
-                            let analyses = Timer::golden()
-                                .try_analyze_all(&trial, lib)
-                                .map_err(CandidateFailure::Timing)?;
-                            drop(sta_prof);
-                            let _score_prof = prof.scope("score");
-                            let drc: usize = analyses.iter().map(|t| t.violations().len()).sum();
-                            if drc > drc_baseline {
-                                return Err(CandidateFailure::Drc {
-                                    violations: drc,
-                                    baseline: drc_baseline,
-                                });
-                            }
-                            let skews = analyses
-                                .iter()
-                                .map(|t| try_pair_skews(t, pairs_ref))
-                                .collect::<Result<Vec<_>, _>>()
-                                .map_err(CandidateFailure::Timing)?;
-                            let sum = variation_report(&skews, alphas_ref, None).sum;
-                            let locals: Vec<f64> = skews.iter().map(|s| local_skew_ps(s)).collect();
-                            let sum_star = star.map(|sa| variation_report(&skews, sa, None).sum);
-                            Ok((sum, locals, sum_star, trial))
+                            out
                         })
                     })
                     .collect();
-                // a panicked worker yields Err from join(): map to None
-                // so the candidate is skipped, not the phase
+                // a worker thread dying outside the per-candidate
+                // guard leaves its stripe's slots None (counted as
+                // panicked), never aborts the phase
                 handles.into_iter().map(|h| h.join().ok()).collect()
             });
+            // scatter by slot index: result order is the candidate
+            // order, independent of worker count or completion order
+            for stripe in per_worker.into_iter().flatten() {
+                for (i, r) in stripe {
+                    results[i] = r;
+                }
+            }
             report.golden_evals += batch.len();
             obs.count("local.golden_evals", batch.len() as u64);
 

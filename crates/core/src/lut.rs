@@ -74,11 +74,8 @@ impl StageLuts {
                     d_slew.push(t.slew_ps(invs[b]));
                     d_tail.push(t.arrival_ps(*sink) - t.arrival_ps(invs[b]));
                 }
-                // clk-analyze: allow(A005) invariant upheld by construction: valid axis
                 uniform[k].push(Lut1::new(spacings.clone(), d_stage).expect("valid axis"));
-                // clk-analyze: allow(A005) invariant upheld by construction: valid axis
                 slew[k].push(Lut1::new(spacings.clone(), d_slew).expect("valid axis"));
-                // clk-analyze: allow(A005) invariant upheld by construction: valid axis
                 tail[k].push(Lut1::new(spacings.clone(), d_tail).expect("valid axis"));
             }
         }

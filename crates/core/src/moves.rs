@@ -247,7 +247,6 @@ pub fn enumerate_moves(
         if !matches!(tree.node(b).kind, NodeKind::Buffer(_)) {
             continue;
         }
-        // clk-analyze: allow(A005) invariant upheld by construction: buffer has a cell
         let cell = tree.cell(b).expect("buffer has a cell");
         let can_up = lib.size_up(cell).is_some();
         let can_down = lib.size_down(cell).is_some();
@@ -308,6 +307,47 @@ pub fn enumerate_moves(
     moves
 }
 
+/// The drivers whose fanout nets a move invalidates — the dirty roots
+/// for `clk-sta`'s cone-limited incremental re-analysis. Computed on the
+/// tree *before* the move is applied (the old parent of a type-III
+/// reassignment is only known then); the returned set is sorted and
+/// deduplicated.
+///
+/// Per move type:
+/// - **I** (`SizeDisplace`): the node's own net (its location anchors
+///   the routes to its children; its cell drives them) and its parent's
+///   net (the route to the node and the node's input cap change).
+/// - **II** (`ChildSize`): type I's set plus the resized child's own
+///   net (its driving cell changes).
+/// - **III** (`Reassign`): the old parent's net (loses the node) and
+///   the new parent's net (gains it). The node's own routes to its
+///   children are untouched — its changed arrival cascades through the
+///   incremental descent, not the dirty set.
+///
+/// Everything further down the cone is discovered by the incremental
+/// walk itself, which descends exactly where arrivals/slews change.
+pub fn touched_drivers(tree: &ClockTree, mv: &Move) -> Vec<NodeId> {
+    let mut dirty = Vec::with_capacity(3);
+    match *mv {
+        Move::SizeDisplace { node, .. } => {
+            dirty.extend(tree.parent(node));
+            dirty.push(node);
+        }
+        Move::ChildSize { node, child, .. } => {
+            dirty.extend(tree.parent(node));
+            dirty.push(node);
+            dirty.push(child);
+        }
+        Move::Reassign { node, new_parent } => {
+            dirty.extend(tree.parent(node));
+            dirty.push(new_parent);
+        }
+    }
+    dirty.sort_unstable();
+    dirty.dedup();
+    dirty
+}
+
 /// Applies a move in place (with legalized displacement).
 ///
 /// # Errors
@@ -323,7 +363,6 @@ pub fn apply_move(
 ) -> Result<(), TreeError> {
     let step = um_to_dbu(cfg.displace_um);
     let resize_cell = |tree: &ClockTree, n: NodeId, r: Resize| {
-        // clk-analyze: allow(A005) invariant upheld by construction: buffer
         let cur = tree.cell(n).expect("buffer");
         match r {
             Resize::None => Some(cur),

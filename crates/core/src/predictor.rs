@@ -47,7 +47,6 @@ fn net_estimate(
     };
     let loads: Vec<(usize, f64)> = pins
         .iter()
-        // clk-analyze: allow(A005) invariant upheld by construction: pin in tree
         .map(|&(p, c)| (wt.index_of(p).expect("pin in tree"), c))
         .collect();
     // lumped extraction: this is the *fast* estimate, not golden
@@ -59,7 +58,6 @@ fn net_estimate(
     let mut pin_delay = Vec::with_capacity(pins.len());
     let mut pin_slew = Vec::with_capacity(pins.len());
     for &(p, _) in pins {
-        // clk-analyze: allow(A005) invariant upheld by construction: pin in tree
         let rc_node = rct.rc_node_of_wire_node(wt.index_of(p).expect("pin in tree"));
         pin_delay.push(gate + nt.delay_ps(rc_node, model));
         pin_slew.push(peri_slew(gslew, nt.wire_slew_ps(rc_node)));
@@ -123,7 +121,6 @@ pub fn analytic_move_estimate(
                 Some(d) => tree.loc(node).step(d, step),
                 None => tree.loc(node),
             };
-            // clk-analyze: allow(A005) invariant upheld by construction: buffer
             let old_cell = tree.cell(node).expect("buffer");
             let new_cell = resized(lib, old_cell, resize);
             estimate_driver_change(
@@ -146,9 +143,7 @@ pub fn analytic_move_estimate(
             child_resize,
         } => {
             let new_loc = tree.loc(node).step(dir, step);
-            // clk-analyze: allow(A005) invariant upheld by construction: buffer
             let cell = tree.cell(node).expect("buffer");
-            // clk-analyze: allow(A005) invariant upheld by construction: buffer child
             let child_cell = tree.cell(child).expect("buffer child");
             let new_child_cell = resized(lib, child_cell, child_resize);
             estimate_driver_change(
@@ -165,7 +160,6 @@ pub fn analytic_move_estimate(
             )
         }
         Move::Reassign { node, new_parent } => {
-            // clk-analyze: allow(A005) invariant upheld by construction: non-root
             let p = tree.parent(node).expect("non-root");
             // old driver's net with and without `node`
             let old_pins: Vec<(Point, f64)> = tree
@@ -173,7 +167,6 @@ pub fn analytic_move_estimate(
                 .iter()
                 .map(|&c| (tree.loc(c), pin_cap(tree, lib, c)))
                 .collect();
-            // clk-analyze: allow(A005) invariant upheld by construction: driver
             let p_cell = tree.cell(p).expect("driver");
             let est_old = net_estimate(
                 lib,
@@ -189,7 +182,6 @@ pub fn analytic_move_estimate(
                 .children(p)
                 .iter()
                 .position(|&c| c == node)
-                // clk-analyze: allow(A005) invariant upheld by construction: node is a child of p
                 .expect("node is a child of p");
             // new driver's net with `node` appended
             let mut new_pins: Vec<(Point, f64)> = tree
@@ -198,7 +190,6 @@ pub fn analytic_move_estimate(
                 .map(|&c| (tree.loc(c), pin_cap(tree, lib, c)))
                 .collect();
             new_pins.push((tree.loc(node), pin_cap(tree, lib, node)));
-            // clk-analyze: allow(A005) invariant upheld by construction: driver
             let np_cell = tree.cell(new_parent).expect("driver");
             let est_new = net_estimate(
                 lib,
@@ -280,13 +271,11 @@ fn estimate_driver_change(
     topo: Topo,
     model: WireModel,
 ) -> MoveEstimate {
-    // clk-analyze: allow(A005) invariant upheld by construction: buffer
     let old_cell = tree.cell(node).expect("buffer");
     // --- stage 0: the parent's net sees node's pin move / recap ---
     let (d1, slew_shift, parent_side) = match tree.parent(node) {
         None => (0.0, 0.0, Vec::new()),
         Some(p) => {
-            // clk-analyze: allow(A005) invariant upheld by construction: driver
             let p_cell = tree.cell(p).expect("driver");
             let p_slew = timing.slew_ps(p);
             let before: Vec<(Point, f64)> = tree
@@ -299,7 +288,6 @@ fn estimate_driver_change(
                 .children(p)
                 .iter()
                 .position(|&c| c == node)
-                // clk-analyze: allow(A005) invariant upheld by construction: node under p
                 .expect("node under p");
             after[idx] = (new_loc, lib.cell(new_cell).input_cap_ff);
             let eb = net_estimate(
@@ -449,21 +437,18 @@ pub fn move_features_with_sides(
             detail = Some(est);
         }
     }
-    // clk-analyze: allow(A005) invariant upheld by construction: FLUTE x D2M combo always runs
     let detail = detail.expect("FLUTE x D2M combo always runs");
     let node = mv.primary_node();
     let children = tree.children(node);
     f.push(children.len() as f64);
     let mut pts: Vec<Point> = children.iter().map(|&c| tree.loc(c)).collect();
     pts.push(tree.loc(node));
-    // clk-analyze: allow(A005) invariant upheld by construction: non-empty
     let bbox = Rect::bounding(&pts).expect("non-empty");
     f.push(bbox.area_um2() / 1_000.0);
     f.push(bbox.aspect_ratio());
     // move descriptors: drive delta, displacement, child-cap delta
     let (ddrive, dist, dcap) = match *mv {
         Move::SizeDisplace { node, dir, resize } => {
-            // clk-analyze: allow(A005) invariant upheld by construction: buffer
             let c = tree.cell(node).expect("buffer");
             let nc = resized(lib, c, resize);
             (
@@ -477,7 +462,6 @@ pub fn move_features_with_sides(
             child_resize,
             ..
         } => {
-            // clk-analyze: allow(A005) invariant upheld by construction: buffer
             let c = tree.cell(child).expect("buffer");
             let nc = resized(lib, c, child_resize);
             (
@@ -487,7 +471,6 @@ pub fn move_features_with_sides(
             )
         }
         Move::Reassign { node, new_parent } => {
-            // clk-analyze: allow(A005) invariant upheld by construction: non-root
             let p = tree.parent(node).expect("non-root");
             (0.0, tree.loc(new_parent).manhattan_um(tree.loc(p)), 0.0)
         }

@@ -1,0 +1,66 @@
+//! Measured evidence for the cone-limited incremental timer: on the
+//! QoR-suite testcase size, re-timing a Table-2 candidate from the
+//! committed tree's analyses is ~5x faster than a full golden
+//! re-analysis (and bit-identical — `parallel_local.rs` pins that).
+//!
+//! Ignored by default (it is a measurement, not an assertion); run with
+//!
+//! ```sh
+//! cargo test --release -p clk-skewopt --test microbench -- --ignored --nocapture
+//! ```
+
+use clk_cts::{Testcase, TestcaseKind};
+use clk_skewopt::{apply_move, enumerate_moves, touched_drivers, MoveConfig};
+use clk_sta::Timer;
+
+#[test]
+#[ignore = "timing measurement, not a pass/fail assertion"]
+fn microbench_incremental_vs_full() {
+    let tc = Testcase::generate(TestcaseKind::Cls1v1, 48, 2015);
+    let timer = Timer::golden();
+    let prev = timer.try_analyze_all(&tc.tree, &tc.lib).unwrap();
+    let moves = enumerate_moves(&tc.tree, &tc.lib, &MoveConfig::default(), None);
+    let sample: Vec<_> = moves.iter().step_by(moves.len() / 40).take(40).collect();
+    let mut trials = Vec::new();
+    for mv in &sample {
+        let dirty = touched_drivers(&tc.tree, mv);
+        let mut trial = tc.tree.clone();
+        if apply_move(
+            &mut trial,
+            &tc.lib,
+            &tc.floorplan,
+            &MoveConfig::default(),
+            mv,
+        )
+        .is_ok()
+        {
+            trials.push((trial, dirty));
+        }
+    }
+    eprintln!(
+        "{} evaluable candidates, tree of {} nodes",
+        trials.len(),
+        tc.tree.len()
+    );
+    // two rounds: the first warms caches, the second is the number
+    for round in 0..2 {
+        let t0 = clk_obs::wall_now();
+        for (trial, _) in &trials {
+            std::hint::black_box(timer.try_analyze_all(trial, &tc.lib).unwrap());
+        }
+        let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = clk_obs::wall_now();
+        for (trial, dirty) in &trials {
+            std::hint::black_box(
+                timer
+                    .try_analyze_all_incremental(trial, &tc.lib, &prev, dirty)
+                    .unwrap(),
+            );
+        }
+        let inc_ms = t1.elapsed().as_secs_f64() * 1e3;
+        eprintln!(
+            "round {round}: full {full_ms:.1} ms, incremental {inc_ms:.1} ms, speedup {:.2}x",
+            full_ms / inc_ms
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! The parallel local phase's two contracts, end to end:
+//!
+//! 1. **Bit-stable incremental timing** — re-timing only the dirty cone
+//!    of a Table-2 move equals a full golden re-analysis bit for bit,
+//!    for every move type and corner.
+//! 2. **Worker-count invariance** — Algorithm 2 commits the exact same
+//!    move sequence (and produces the exact same tree) whether candidate
+//!    evaluation runs on 1, 4, or 8 worker threads. This is the test the
+//!    ThreadSanitizer CI job runs under `-Zsanitizer=thread`.
+
+use clk_cts::{Testcase, TestcaseKind};
+use clk_delay::WireModel;
+use clk_netlist::ClockTree;
+use clk_skewopt::local::{local_optimize, LocalConfig, Ranker};
+use clk_skewopt::predictor::Topo;
+use clk_skewopt::{apply_move, enumerate_moves, touched_drivers, MoveConfig};
+use clk_sta::{CornerTiming, Timer};
+use proptest::prelude::*;
+
+/// Bit-exact comparison of two corner analyses through the public API.
+fn assert_timing_bits_equal(tree: &ClockTree, a: &CornerTiming, b: &CornerTiming, what: &str) {
+    assert_eq!(a.corner(), b.corner(), "{what}: corner");
+    for n in tree.node_ids() {
+        let pair = |x: Result<f64, _>| x.map(f64::to_bits).ok();
+        assert_eq!(
+            pair(a.try_arrival_ps(n)),
+            pair(b.try_arrival_ps(n)),
+            "{what}: arrival at {n}"
+        );
+        assert_eq!(
+            pair(a.try_slew_ps(n)),
+            pair(b.try_slew_ps(n)),
+            "{what}: slew at {n}"
+        );
+        assert_eq!(
+            a.load_ff(n).to_bits(),
+            b.load_ff(n).to_bits(),
+            "{what}: load at {n}"
+        );
+    }
+    assert_eq!(
+        a.wire_cap_ff().to_bits(),
+        b.wire_cap_ff().to_bits(),
+        "{what}: wire cap"
+    );
+    assert_eq!(
+        a.pin_cap_ff().to_bits(),
+        b.pin_cap_ff().to_bits(),
+        "{what}: pin cap"
+    );
+    assert_eq!(a.violations(), b.violations(), "{what}: violations");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For every sampled Table-2 move, the cone-limited incremental
+    /// re-analysis from the pre-move timing is bit-identical to a full
+    /// re-analysis of the edited tree, at every corner.
+    #[test]
+    fn incremental_timing_is_bit_identical_to_full(n in 10usize..28, seed in 0u64..200) {
+        let tc = Testcase::generate(TestcaseKind::Cls1v1, n, seed);
+        let mcfg = MoveConfig::default();
+        let timer = Timer::golden();
+        let prev = timer.try_analyze_all(&tc.tree, &tc.lib).expect("baseline times");
+        let moves = enumerate_moves(&tc.tree, &tc.lib, &mcfg, None);
+        prop_assert!(!moves.is_empty());
+        // sample across the menu to cover all three move types
+        for mv in moves.iter().step_by(11) {
+            let dirty = touched_drivers(&tc.tree, mv);
+            prop_assert!(!dirty.is_empty(), "move {mv} has no dirty drivers");
+            let mut trial = tc.tree.clone();
+            if apply_move(&mut trial, &tc.lib, &tc.floorplan, &mcfg, mv).is_err() {
+                continue; // legality is another test's business
+            }
+            let full = timer.try_analyze_all(&trial, &tc.lib).expect("full times");
+            let inc = timer
+                .try_analyze_all_incremental(&trial, &tc.lib, &prev, &dirty)
+                .expect("incremental times");
+            for (f, i) in full.iter().zip(&inc) {
+                assert_timing_bits_equal(&trial, f, i, &format!("move {mv}"));
+            }
+        }
+    }
+}
+
+/// A structural digest of the final tree: topology, placement, sizing.
+fn tree_digest(tree: &ClockTree) -> Vec<String> {
+    tree.node_ids()
+        .map(|n| {
+            format!(
+                "{n}: parent={:?} loc={:?} cell={:?} kind={:?}",
+                tree.parent(n),
+                tree.loc(n),
+                tree.cell(n),
+                tree.node(n).kind
+            )
+        })
+        .collect()
+}
+
+/// Runs the local phase on one generated case with a given worker count
+/// and returns everything observable about the outcome.
+fn run_local(seed: u64, workers: usize) -> (Vec<String>, Vec<(u8, u64)>, u64, usize) {
+    let tc = Testcase::generate(TestcaseKind::Cls1v1, 24, seed);
+    let mut tree = tc.tree.clone();
+    let cfg = LocalConfig {
+        max_iterations: 3,
+        max_batches: 2,
+        workers,
+        ..LocalConfig::default()
+    };
+    let report = local_optimize(
+        &mut tree,
+        &tc.lib,
+        &tc.floorplan,
+        Ranker::Analytic(Topo::Flute, WireModel::D2m),
+        &cfg,
+    );
+    tree.validate().expect("final tree valid");
+    (
+        tree_digest(&tree),
+        report
+            .iterations
+            .iter()
+            .map(|it| (it.move_type, it.variation_sum.to_bits()))
+            .collect(),
+        report.variation_after.to_bits(),
+        report.golden_evals,
+    )
+}
+
+/// The determinism invariant the A1xx certification and the TSan job
+/// guard: byte-identical results across thread counts {1, 4, 8} on the
+/// chaos seeds.
+#[test]
+fn parallel_local_is_deterministic_across_worker_counts() {
+    for seed in [2015u64, 7, 136] {
+        let base = run_local(seed, 1);
+        for workers in [4usize, 8] {
+            let got = run_local(seed, workers);
+            assert_eq!(
+                base, got,
+                "seed {seed}: workers=1 vs workers={workers} diverged"
+            );
+        }
+    }
+}

@@ -97,14 +97,12 @@ pub fn balance_by_detours(
             if gap_ps < 1.0 {
                 continue;
             }
-            // clk-analyze: allow(A005) invariant upheld by construction: sink has driver
             let parent = tree.parent(s).expect("sink has driver");
             let drv_cell = match tree.node(parent).kind {
                 NodeKind::Buffer(c) => c,
                 _ => tree.source_cell(),
             };
             let r_drv = lib.drive_res_kohm(drv_cell, ref_corner);
-            // clk-analyze: allow(A005) invariant upheld by construction: sink routed
             let route = tree.node(s).route.as_ref().expect("sink routed");
             let len = route.length_um();
             // d(delay)/d(len): driver sees more cap + wire RC grows
@@ -117,7 +115,6 @@ pub fn balance_by_detours(
             let existing_extra = len - tree.loc(parent).manhattan_um(tree.loc(s));
             let new_route =
                 RoutePath::with_detour(tree.loc(parent), tree.loc(s), existing_extra + add);
-            // clk-analyze: allow(A005) invariant upheld by construction: endpoints unchanged
             tree.set_route(s, new_route).expect("endpoints unchanged");
         }
     }

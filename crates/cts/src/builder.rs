@@ -120,14 +120,12 @@ impl CtsEngine {
             for g in groups {
                 let members: Vec<Cluster> = g
                     .into_iter()
-                    // clk-analyze: allow(A005) invariant upheld by construction: each cluster grouped once
                     .map(|i| taken[i].take().expect("each cluster grouped once"))
                     .collect();
                 next.push(Cluster::Internal(members));
             }
             level = next;
         }
-        // clk-analyze: allow(A005) invariant upheld by construction: one root cluster
         let top = level.pop().expect("one root cluster");
 
         // 2. materialize top-down: every cluster gets an inverter pair
@@ -191,9 +189,7 @@ impl CtsEngine {
             })
             .collect();
         for child in long {
-            // clk-analyze: allow(A005) invariant upheld by construction: routed node has parent
             let parent = tree.parent(child).expect("routed node has parent");
-            // clk-analyze: allow(A005) invariant upheld by construction: checked above
             let route = tree.node(child).route.clone().expect("checked above");
             let n_pairs = (route.length_um() / limit).floor() as usize;
             if n_pairs == 0 {
@@ -205,7 +201,6 @@ impl CtsEngine {
                 interior: Vec::new(),
             };
             rebuild_arc_legalized(tree, &arc, cell, 2 * n_pairs, route, fp)
-                // clk-analyze: allow(A005) invariant upheld by construction: route endpoints unchanged
                 .expect("route endpoints unchanged");
         }
     }
@@ -231,7 +226,6 @@ impl CtsEngine {
             }
             let mut load = 0.0;
             for &ch in tree.children(id) {
-                // clk-analyze: allow(A005) invariant upheld by construction: child has route
                 let r = tree.node(ch).route.as_ref().expect("child has route");
                 load += r.length_um() * wire.c_per_um;
                 load += match tree.node(ch).kind {
@@ -247,7 +241,6 @@ impl CtsEngine {
                 .iter()
                 .position(|c| c.max_cap_ff >= need)
                 .unwrap_or(lib.cells().len() - 1);
-            // clk-analyze: allow(A005) invariant upheld by construction: id is a buffer
             tree.set_cell(id, CellId(chosen)).expect("id is a buffer");
         }
     }
@@ -261,7 +254,6 @@ fn bisect(items: Vec<usize>, pts: &[Point], max_size: usize) -> Vec<Vec<usize>> 
         return vec![items];
     }
     let bbox = Rect::bounding(&items.iter().map(|&i| pts[i]).collect::<Vec<_>>())
-        // clk-analyze: allow(A005) invariant upheld by construction: non-empty group
         .expect("non-empty group");
     let horizontal = bbox.width() >= bbox.height();
     let mut sorted = items;

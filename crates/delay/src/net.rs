@@ -32,27 +32,23 @@ impl NetTiming {
         // because parents precede children).
         let mut down_cap: Vec<f64> = (0..n).map(|i| tree.cap_ff(i)).collect();
         for i in (1..n).rev() {
-            // clk-analyze: allow(A005) invariant upheld by construction: non-root
             let p = tree.parent(i).expect("non-root");
             down_cap[p] += down_cap[i];
         }
         // m1 (Elmore): m1(child) = m1(parent) + R_edge * downstream cap
         let mut m1 = vec![0.0; n];
         for i in 1..n {
-            // clk-analyze: allow(A005) invariant upheld by construction: non-root
             let p = tree.parent(i).expect("non-root");
             m1[i] = m1[p] + tree.res_kohm(i) * down_cap[i];
         }
         // m̃2: same recursion with cap weights C·m1
         let mut down_w: Vec<f64> = (0..n).map(|i| tree.cap_ff(i) * m1[i]).collect();
         for i in (1..n).rev() {
-            // clk-analyze: allow(A005) invariant upheld by construction: non-root
             let p = tree.parent(i).expect("non-root");
             down_w[p] += down_w[i];
         }
         let mut m2 = vec![0.0; n];
         for i in 1..n {
-            // clk-analyze: allow(A005) invariant upheld by construction: non-root
             let p = tree.parent(i).expect("non-root");
             m2[i] = m2[p] + tree.res_kohm(i) * down_w[i];
         }

@@ -45,7 +45,6 @@ impl RcTree {
         // Wire-tree children always have larger indices than parents, so a
         // forward scan visits parents first.
         for i in wt.topo_order().skip(1) {
-            // clk-analyze: allow(A005) invariant upheld by construction: non-root
             let wp = wt.parent(i).expect("non-root");
             let parent_rc = tree.wire_to_rc[wp];
             debug_assert_ne!(parent_rc, usize::MAX);
@@ -85,7 +84,6 @@ impl RcTree {
         assert_eq!(parent.len(), cap_ff.len());
         assert!(parent[0].is_none(), "node 0 must be the root");
         for (i, p) in parent.iter().enumerate().skip(1) {
-            // clk-analyze: allow(A005) invariant upheld by construction: only node 0 may be parentless
             let p = p.expect("only node 0 may be parentless");
             assert!(p < i, "nodes must be topologically ordered");
         }

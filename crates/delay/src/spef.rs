@@ -51,7 +51,6 @@ pub fn write_spef(net: &str, tree: &RcTree) -> String {
     }
     let _ = writeln!(out, "*RES");
     for i in 1..tree.node_count() {
-        // clk-analyze: allow(A005) invariant upheld by construction: non-root
         let p = tree.parent(i).expect("non-root");
         let _ = writeln!(out, "{i} {} {} {:.6}", name(p), name(i), tree.res_kohm(i));
     }

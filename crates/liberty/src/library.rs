@@ -64,12 +64,10 @@ impl Library {
                 let d = Lut2::tabulate(slew_axis.clone(), load_axis.clone(), |s, c| {
                     analytic_gate_delay(cell, corner, s, c)
                 })
-                // clk-analyze: allow(A005) invariant upheld by construction: axes are valid by construction
                 .expect("axes are valid by construction");
                 let s = Lut2::tabulate(slew_axis.clone(), load_axis.clone(), |s, c| {
                     analytic_output_slew(cell, corner, s, c)
                 })
-                // clk-analyze: allow(A005) invariant upheld by construction: axes are valid by construction
                 .expect("axes are valid by construction");
                 per_corner_delay.push(d);
                 per_corner_slew.push(s);

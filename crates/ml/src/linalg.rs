@@ -248,7 +248,6 @@ pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Vec<f64> {
     let c_scaled = ata
         .cholesky_solve(&aty)
         .or_else(|| ata.lu_solve(&aty))
-        // clk-analyze: allow(A005) invariant upheld by construction: ridge-stabilized normal equations are solvable
         .expect("ridge-stabilized normal equations are solvable");
     // unscale: coefficient of x^p is c_p / xmax^p
     c_scaled

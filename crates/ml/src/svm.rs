@@ -48,7 +48,6 @@ impl LsSvm {
         rhs[1..].copy_from_slice(ys);
         let sol = m
             .lu_solve(&rhs)
-            // clk-analyze: allow(A005) invariant upheld by construction: LS-SVM system is nonsingular for C > 0
             .expect("LS-SVM system is nonsingular for C > 0");
         LsSvm {
             xs: xs.to_vec(),

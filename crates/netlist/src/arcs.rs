@@ -139,7 +139,6 @@ impl ArcSet {
                 .by_to
                 .get(&cur)
                 .copied()
-                // clk-analyze: allow(A005) invariant upheld by construction: every junction below the root terminates an arc
                 .expect("every junction below the root terminates an arc");
             path.push(id);
             cur = self.arc(id).from;
@@ -216,11 +215,9 @@ fn rebuild_arc_impl(
     // Verify staleness: walking parents from `to` must traverse interior
     // reversed and stop at `from`.
     {
-        // clk-analyze: allow(A005) invariant upheld by construction: arc end has a parent
         let mut cur = tree.parent(arc.to).expect("arc end has a parent");
         for &n in arc.interior.iter().rev() {
             assert_eq!(cur, n, "stale arc: interior mismatch");
-            // clk-analyze: allow(A005) invariant upheld by construction: interior has a parent
             cur = tree.parent(n).expect("interior has a parent");
         }
         assert_eq!(cur, arc.from, "stale arc: from mismatch");

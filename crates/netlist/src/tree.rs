@@ -168,7 +168,6 @@ impl ClockTree {
     pub fn add_node(&mut self, kind: NodeKind, loc: Point, parent: NodeId) -> NodeId {
         let route = RoutePath::l_shape(self.loc(parent), loc);
         self.add_node_with_route(kind, loc, parent, route)
-            // clk-analyze: allow(A005) invariant upheld by construction: l_shape endpoints always match
             .expect("l_shape endpoints always match")
     }
 
@@ -268,7 +267,6 @@ impl ClockTree {
         if new_parent == id || self.is_descendant(new_parent, id) {
             return Err(TreeError::WouldCycle(id));
         }
-        // clk-analyze: allow(A005) invariant upheld by construction: non-root has parent
         let old = self.node(id).parent.expect("non-root has parent");
         if old == new_parent {
             return Ok(());
@@ -292,7 +290,6 @@ impl ClockTree {
     ///
     /// Panics if `id` is dead or the root.
     pub fn set_route(&mut self, id: NodeId, route: RoutePath) -> Result<(), TreeError> {
-        // clk-analyze: allow(A005) invariant upheld by construction: root has no route
         let p = self.parent(id).expect("root has no route");
         if route.start() != self.loc(p) || route.end() != self.loc(id) {
             return Err(TreeError::RouteEndpointMismatch(id));
@@ -315,7 +312,6 @@ impl ClockTree {
         if !matches!(self.node(id).kind, NodeKind::Buffer(_)) {
             return Err(TreeError::NotABuffer(id));
         }
-        // clk-analyze: allow(A005) invariant upheld by construction: buffer has a parent
         let parent = self.node(id).parent.expect("buffer has a parent");
         let children = self.node(id).children.clone();
         self.nodes[parent.0 as usize].children.retain(|&c| c != id);

@@ -67,6 +67,15 @@ const fn h(name: &'static str, unit: Unit, help: &'static str) -> MetricDef {
     }
 }
 
+const fn g(name: &'static str, help: &'static str) -> MetricDef {
+    MetricDef {
+        name,
+        kind: MetricKind::Gauge,
+        unit: Unit::Count,
+        help,
+    }
+}
+
 /// Every metric the workspace may emit. Exact names first, wildcard
 /// families last ([`lookup`] returns the first match).
 pub const DICTIONARY: &[MetricDef] = &[
@@ -158,6 +167,7 @@ pub const DICTIONARY: &[MetricDef] = &[
     ),
     c("local.rollback", "local moves rolled back"),
     c("local.accepted", "local moves committed"),
+    g("local.workers", "worker threads in the local-phase pool"),
     h(
         "local.predict.err_ps",
         Unit::Unitless,
@@ -168,6 +178,14 @@ pub const DICTIONARY: &[MetricDef] = &[
     c(
         "ledger.dropped_nonfinite",
         "ledger records dropped for NaN/Inf floats",
+    ),
+    // --- clk-bench: analyze gate ---
+    c("analyze.files", "source files scanned by the analyze gate"),
+    c("analyze.findings", "unsuppressed analyzer findings"),
+    h(
+        "analyze.ms",
+        Unit::Millis,
+        "wall time per workspace analysis",
     ),
     // --- clk-bench: criterion overhead probes ---
     c("bench.ctr", "overhead-probe counter (benches only)"),

@@ -535,6 +535,7 @@ mod tests {
         std::thread::scope(|s| {
             for _ in 0..2 {
                 let p = p.clone();
+                // clk-analyze: allow(A101) PROF_STACK is thread_local; this test pins exactly that per-thread isolation
                 s.spawn(move || {
                     let _g = p.scope("worker.eval");
                 });

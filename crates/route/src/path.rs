@@ -81,7 +81,6 @@ impl RoutePath {
             if bend != u3 {
                 pts.push(bend);
             }
-            // clk-analyze: allow(A005) invariant upheld by construction: non-empty
             if b != *pts.last().expect("non-empty") {
                 pts.push(b);
             }
@@ -111,7 +110,6 @@ impl RoutePath {
 
     /// The load-end point.
     pub fn end(&self) -> Point {
-        // clk-analyze: allow(A005) invariant upheld by construction: paths have >= 2 points
         *self.pts.last().expect("paths have >= 2 points")
     }
 
@@ -194,7 +192,6 @@ impl RoutePath {
             }
             walked = seg_end;
         }
-        // clk-analyze: allow(A005) invariant upheld by construction: non-empty
         if *pts.last().expect("non-empty") != end || pts.len() == 1 {
             pts.push(end);
         }

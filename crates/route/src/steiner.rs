@@ -22,7 +22,6 @@ pub fn single_trunk(driver: Point, pins: &[Point]) -> WireTree {
         tree.add_child(WireTree::ROOT, pins[0]);
         return tree;
     }
-    // clk-analyze: allow(A005) invariant upheld by construction: pins non-empty
     let bbox = Rect::bounding(pins).expect("pins non-empty");
     let horizontal = bbox.width() >= bbox.height();
     // trunk coordinate = median of the perpendicular coordinate
@@ -234,7 +233,6 @@ fn mst_edges(pts: &[Point]) -> (Vec<Option<usize>>, Dbu) {
         let u = (0..n)
             .filter(|&i| !in_tree[i])
             .min_by_key(|&i| best[i])
-            // clk-analyze: allow(A005) invariant upheld by construction: node remains
             .expect("node remains");
         in_tree[u] = true;
         total += if best[u] == Dbu::MAX { 0 } else { best[u] };

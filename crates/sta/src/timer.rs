@@ -11,7 +11,6 @@ use clk_route::WireTree;
 #[cold]
 #[allow(clippy::panic)]
 fn die(e: TimingError) -> ! {
-    // clk-analyze: allow(A005) documented panicking facade; the _checked variant returns typed errors
     panic!("{e}")
 }
 
@@ -287,6 +286,7 @@ impl Timer {
             return self.analyze_inner(tree, lib, corner);
         }
         let _prof = self.obs.prof_scope("sta.analyze");
+        // clk-analyze: allow(A102) telemetry-only: behind obs.enabled(), feeds the sta.analyze.ms histogram, never the QoR
         let start = clk_obs::wall_now();
         let result = self.analyze_inner(tree, lib, corner);
         self.obs.count("sta.analyzes", 1);
@@ -336,7 +336,6 @@ impl Timer {
         out.slew_ps[root.0 as usize] = self.opts.source_slew_ps;
 
         let wire_rc = lib.wire_rc(corner);
-        let max_slew = lib.max_slew_ps();
 
         // Preorder walk: parents are timed before children.
         let mut stack = vec![root];
@@ -346,74 +345,172 @@ impl Timer {
             if self.deadline.expired() {
                 return Err(TimingError::Interrupted);
             }
-            let children = tree.children(d);
-            if children.is_empty() {
+            if tree.children(d).is_empty() {
                 continue;
             }
-            let cell = tree.cell(d).ok_or(TimingError::NoDriverCell(d))?;
-            let t_in = out.arrival_ps[d.0 as usize];
-            let s_in = out.slew_ps[d.0 as usize];
-
-            // Build the fanout wire tree from the actual routed paths.
-            let mut wt = WireTree::new(tree.loc(d));
-            let mut ends = Vec::with_capacity(children.len());
-            let mut loads = Vec::with_capacity(children.len());
-            for &c in children {
-                let route = tree
-                    .node(c)
-                    .route
-                    .as_ref()
-                    .ok_or(TimingError::MissingRoute(c))?;
-                let mut prev = WireTree::ROOT;
-                for &p in &route.points()[1..] {
-                    prev = wt.add_child(prev, p);
-                }
-                let pin_cap = match tree.node(c).kind {
-                    NodeKind::Buffer(cc) => lib.cell(cc).input_cap_ff,
-                    NodeKind::Sink => lib.sink_cap_ff(),
-                    NodeKind::Source => return Err(TimingError::SourceHasParent(c)),
-                };
-                ends.push((c, prev));
-                loads.push((prev, pin_cap));
-                out.pin_cap_ff += pin_cap;
-            }
-            let rct = RcTree::extract(&wt, wire_rc, &loads, self.opts.seg_max_um);
-            let nt = NetTiming::analyze(&rct);
-            let load = nt.total_cap_ff();
-            out.load_ff[d.0 as usize] = load;
-            out.wire_cap_ff += load - loads.iter().map(|(_, c)| c).sum::<f64>();
-
-            let limit_ff = lib.cell(cell).max_cap_ff;
-            if load > limit_ff {
-                out.violations.push(Violation::MaxCap {
-                    node: d,
-                    load_ff: load,
-                    limit_ff,
-                });
-            }
-
-            let gate_delay = lib.gate_delay(cell, corner, s_in, load);
-            let gate_slew = lib.gate_output_slew(cell, corner, s_in, load);
-
-            for (c, wnode) in ends {
-                let rc_node = rct.rc_node_of_wire_node(wnode);
-                let wire_delay = nt.delay_ps(rc_node, self.opts.wire_model);
-                let wire_slew = nt.wire_slew_ps(rc_node);
-                let t = t_in + gate_delay + wire_delay;
-                let s = peri_slew(gate_slew, wire_slew);
-                out.arrival_ps[c.0 as usize] = t;
-                out.slew_ps[c.0 as usize] = s;
-                if s > max_slew {
-                    out.violations.push(Violation::MaxSlew {
-                        node: c,
-                        slew_ps: s,
-                        limit_ps: max_slew,
-                    });
-                }
+            for c in self.time_net(tree, lib, wire_rc, corner, d, &mut out)? {
                 stack.push(c);
             }
         }
+        assemble(tree, lib, &mut out)?;
         Ok(out)
+    }
+
+    /// Times one driver's fanout net: writes `load_ff[d]` and the
+    /// children's arrivals/slews into `out`, returning the children in
+    /// route order. Aggregates (caps, violations) are deliberately NOT
+    /// updated here — [`assemble`] recomputes them in one canonical walk
+    /// so the full and incremental paths produce bit-identical results.
+    fn time_net(
+        &self,
+        tree: &ClockTree,
+        lib: &Library,
+        wire_rc: clk_liberty::WireRc,
+        corner: CornerId,
+        d: NodeId,
+        out: &mut CornerTiming,
+    ) -> Result<Vec<NodeId>, TimingError> {
+        let children = tree.children(d);
+        let cell = tree.cell(d).ok_or(TimingError::NoDriverCell(d))?;
+        let t_in = out.arrival_ps[d.0 as usize];
+        let s_in = out.slew_ps[d.0 as usize];
+
+        // Build the fanout wire tree from the actual routed paths.
+        let mut wt = WireTree::new(tree.loc(d));
+        let mut ends = Vec::with_capacity(children.len());
+        let mut loads = Vec::with_capacity(children.len());
+        for &c in children {
+            let route = tree
+                .node(c)
+                .route
+                .as_ref()
+                .ok_or(TimingError::MissingRoute(c))?;
+            let mut prev = WireTree::ROOT;
+            for &p in &route.points()[1..] {
+                prev = wt.add_child(prev, p);
+            }
+            let pin_cap = match tree.node(c).kind {
+                NodeKind::Buffer(cc) => lib.cell(cc).input_cap_ff,
+                NodeKind::Sink => lib.sink_cap_ff(),
+                NodeKind::Source => return Err(TimingError::SourceHasParent(c)),
+            };
+            ends.push((c, prev));
+            loads.push((prev, pin_cap));
+        }
+        let rct = RcTree::extract(&wt, wire_rc, &loads, self.opts.seg_max_um);
+        let nt = NetTiming::analyze(&rct);
+        let load = nt.total_cap_ff();
+        out.load_ff[d.0 as usize] = load;
+
+        let gate_delay = lib.gate_delay(cell, corner, s_in, load);
+        let gate_slew = lib.gate_output_slew(cell, corner, s_in, load);
+
+        let mut kids = Vec::with_capacity(ends.len());
+        for (c, wnode) in ends {
+            let rc_node = rct.rc_node_of_wire_node(wnode);
+            let wire_delay = nt.delay_ps(rc_node, self.opts.wire_model);
+            let wire_slew = nt.wire_slew_ps(rc_node);
+            out.arrival_ps[c.0 as usize] = t_in + gate_delay + wire_delay;
+            out.slew_ps[c.0 as usize] = peri_slew(gate_slew, wire_slew);
+            kids.push(c);
+        }
+        Ok(kids)
+    }
+
+    /// Cone-limited incremental re-analysis: starting from a previous
+    /// analysis of a structurally compatible tree, re-times only the
+    /// `dirty` driver nets (see `clk-core`'s `touched_drivers`) and the
+    /// cone below them where arrivals or slews actually changed.
+    /// Descent prunes on bit-equality: an untouched subtree whose head
+    /// arrival/slew is bit-identical re-derives the exact same values,
+    /// so the result is bit-identical to a full [`Timer::try_analyze`]
+    /// of the edited tree — the property the parallel local phase's
+    /// byte-stable QoR rests on.
+    ///
+    /// Falls back to a full analysis when `prev` does not match the tree
+    /// shape (different corner or node-id range, e.g. after an edit that
+    /// grew the tree).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Timer::try_analyze`].
+    pub fn try_analyze_incremental(
+        &self,
+        tree: &ClockTree,
+        lib: &Library,
+        prev: &CornerTiming,
+        dirty: &[NodeId],
+    ) -> Result<CornerTiming, TimingError> {
+        let corner = prev.corner;
+        let n = tree
+            .node_ids()
+            .map(|id| id.0 as usize + 1)
+            .max()
+            .unwrap_or(1);
+        if prev.arrival_ps.len() != n {
+            return self.try_analyze(tree, lib, corner);
+        }
+        let mut out = prev.clone();
+        let wire_rc = lib.wire_rc(corner);
+
+        // Worklist ordered by (depth, id): a net is recomputed only
+        // after every dirty ancestor net above it, so its input
+        // arrival/slew are final when it runs and each net runs at most
+        // once.
+        let mut pending: std::collections::BTreeSet<(u32, NodeId)> = dirty
+            .iter()
+            .filter_map(|&d| depth_of(tree, d).map(|dep| (dep, d)))
+            .collect();
+        while let Some((dep, d)) = pending.pop_first() {
+            if self.deadline.expired() {
+                return Err(TimingError::Interrupted);
+            }
+            let children = tree.children(d);
+            if children.is_empty() {
+                // a driver that lost its whole fanout (type-III surgery)
+                // no longer presents a load
+                out.load_ff[d.0 as usize] = 0.0;
+                continue;
+            }
+            let before: Vec<(u64, u64)> = children
+                .iter()
+                .map(|&c| {
+                    (
+                        out.arrival_ps[c.0 as usize].to_bits(),
+                        out.slew_ps[c.0 as usize].to_bits(),
+                    )
+                })
+                .collect();
+            let kids = self.time_net(tree, lib, wire_rc, corner, d, &mut out)?;
+            for (c, (a0, s0)) in kids.into_iter().zip(before) {
+                let changed = out.arrival_ps[c.0 as usize].to_bits() != a0
+                    || out.slew_ps[c.0 as usize].to_bits() != s0;
+                if changed {
+                    pending.insert((dep + 1, c));
+                }
+            }
+        }
+        assemble(tree, lib, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Timer::try_analyze_incremental`] across every corner of `prev`
+    /// (one previous analysis per corner, as returned by
+    /// [`Timer::try_analyze_all`]).
+    ///
+    /// # Errors
+    ///
+    /// The first [`TimingError`] encountered, if any.
+    pub fn try_analyze_all_incremental(
+        &self,
+        tree: &ClockTree,
+        lib: &Library,
+        prev: &[CornerTiming],
+        dirty: &[NodeId],
+    ) -> Result<Vec<CornerTiming>, TimingError> {
+        prev.iter()
+            .map(|p| self.try_analyze_incremental(tree, lib, p, dirty))
+            .collect()
     }
 
     /// Analyzes every corner of `lib`, in corner order.
@@ -442,6 +539,74 @@ impl Timer {
             .map(|c| self.try_analyze(tree, lib, c))
             .collect()
     }
+}
+
+/// Depth of `n` below the root (root = 0); `None` if the parent chain
+/// is broken (node not attached to this tree).
+fn depth_of(tree: &ClockTree, n: NodeId) -> Option<u32> {
+    let mut d = 0u32;
+    let mut cur = n;
+    while let Some(p) = tree.parent(cur) {
+        d += 1;
+        cur = p;
+        if d as usize > tree.len() {
+            return None; // cycle guard; validated trees never hit this
+        }
+    }
+    (cur == tree.root()).then_some(d)
+}
+
+/// Recomputes the aggregate results — total wire/pin capacitance and
+/// the violation list — from the per-node arrays in one canonical
+/// preorder walk. Both the full and the incremental analysis end with
+/// this pass, so their float summation order and violation order are
+/// identical by construction (the bit-stability contract of
+/// [`Timer::try_analyze_incremental`]).
+fn assemble(tree: &ClockTree, lib: &Library, out: &mut CornerTiming) -> Result<(), TimingError> {
+    out.wire_cap_ff = 0.0;
+    out.pin_cap_ff = 0.0;
+    out.violations.clear();
+    let max_slew = lib.max_slew_ps();
+    let mut stack = vec![tree.root()];
+    while let Some(d) = stack.pop() {
+        let children = tree.children(d);
+        if children.is_empty() {
+            continue;
+        }
+        let cell = tree.cell(d).ok_or(TimingError::NoDriverCell(d))?;
+        let mut pin_sum = 0.0;
+        for &c in children {
+            let pin_cap = match tree.node(c).kind {
+                NodeKind::Buffer(cc) => lib.cell(cc).input_cap_ff,
+                NodeKind::Sink => lib.sink_cap_ff(),
+                NodeKind::Source => return Err(TimingError::SourceHasParent(c)),
+            };
+            out.pin_cap_ff += pin_cap;
+            pin_sum += pin_cap;
+        }
+        let load = out.load_ff[d.0 as usize];
+        out.wire_cap_ff += load - pin_sum;
+        let limit_ff = lib.cell(cell).max_cap_ff;
+        if load > limit_ff {
+            out.violations.push(Violation::MaxCap {
+                node: d,
+                load_ff: load,
+                limit_ff,
+            });
+        }
+        for &c in children {
+            let s = out.slew_ps[c.0 as usize];
+            if s > max_slew {
+                out.violations.push(Violation::MaxSlew {
+                    node: c,
+                    slew_ps: s,
+                    limit_ps: max_slew,
+                });
+            }
+            stack.push(c);
+        }
+    }
+    Ok(())
 }
 
 /// Per-arc delays `D_j^{c_k}` of Table 1: latency difference between the
@@ -610,6 +775,97 @@ mod tests {
         let tok = CancelToken::new();
         let timer = Timer::golden().with_deadline(Deadline::from_token(&tok));
         assert!(timer.try_analyze(&t, &lib, CornerId(0)).is_ok());
+    }
+
+    /// Bit-exact equality of two analyses, field by field (NaN slots
+    /// must match as NaN, so compare bits, not values).
+    fn assert_bit_identical(a: &CornerTiming, b: &CornerTiming) {
+        assert_eq!(a.corner, b.corner);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.arrival_ps), bits(&b.arrival_ps), "arrivals");
+        assert_eq!(bits(&a.slew_ps), bits(&b.slew_ps), "slews");
+        assert_eq!(bits(&a.load_ff), bits(&b.load_ff), "loads");
+        assert_eq!(a.wire_cap_ff.to_bits(), b.wire_cap_ff.to_bits(), "wire cap");
+        assert_eq!(a.pin_cap_ff.to_bits(), b.pin_cap_ff.to_bits(), "pin cap");
+        assert_eq!(a.violations, b.violations, "violations");
+    }
+
+    #[test]
+    fn incremental_matches_full_after_cell_swap() {
+        let lib = lib();
+        let (mut t, ..) = symmetric(&lib);
+        let timer = Timer::golden();
+        let prev: Vec<CornerTiming> = lib
+            .corner_ids()
+            .map(|c| timer.analyze(&t, &lib, c))
+            .collect();
+        let b = t.buffers().next().unwrap();
+        let x4 = lib.cell_by_name("CLKINV_X4").unwrap();
+        // dirty roots for a resize: the buffer's net and its parent's
+        let dirty = [t.parent(b).unwrap(), b];
+        t.set_cell(b, x4).unwrap();
+        for (k, corner) in lib.corner_ids().enumerate() {
+            let full = timer.try_analyze(&t, &lib, corner).unwrap();
+            let inc = timer
+                .try_analyze_incremental(&t, &lib, &prev[k], &dirty)
+                .unwrap();
+            assert_bit_identical(&full, &inc);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_full_after_displacement() {
+        let lib = lib();
+        let (mut t, ..) = symmetric(&lib);
+        let timer = Timer::golden();
+        let prev = timer.try_analyze_all(&t, &lib).unwrap();
+        let b = t.buffers().next().unwrap();
+        let dirty = [t.parent(b).unwrap(), b];
+        t.move_node(b, Point::new(70_000, 5_000)).unwrap();
+        let full = timer.try_analyze_all(&t, &lib).unwrap();
+        let inc = timer
+            .try_analyze_all_incremental(&t, &lib, &prev, &dirty)
+            .unwrap();
+        for (f, i) in full.iter().zip(&inc) {
+            assert_bit_identical(f, i);
+        }
+    }
+
+    #[test]
+    fn incremental_noop_edit_is_identical_and_prunes() {
+        let lib = lib();
+        let (t, ..) = symmetric(&lib);
+        let timer = Timer::golden();
+        let prev = timer.try_analyze_all(&t, &lib).unwrap();
+        // no edit at all: re-timing any dirty set must reproduce the
+        // previous analysis exactly
+        let dirty = [t.root()];
+        let inc = timer
+            .try_analyze_all_incremental(&t, &lib, &prev, &dirty)
+            .unwrap();
+        for (p, i) in prev.iter().zip(&inc) {
+            assert_bit_identical(p, i);
+        }
+    }
+
+    #[test]
+    fn incremental_falls_back_when_tree_grew() {
+        let lib = lib();
+        let (mut t, ..) = symmetric(&lib);
+        let timer = Timer::golden();
+        let prev = timer.try_analyze_all(&t, &lib).unwrap();
+        let x8 = lib.cell_by_name("CLKINV_X8").unwrap();
+        let b = t.buffers().next().unwrap();
+        let nb = t.add_node(NodeKind::Buffer(x8), Point::new(80_000, 10_000), b);
+        let full = timer.try_analyze_all(&t, &lib).unwrap();
+        // prev arrays are too short for the grown tree: the incremental
+        // entry point must detect that and fall back to a full analysis
+        let inc = timer
+            .try_analyze_all_incremental(&t, &lib, &prev, &[b, nb])
+            .unwrap();
+        for (f, i) in full.iter().zip(&inc) {
+            assert_bit_identical(f, i);
+        }
     }
 
     #[test]

@@ -170,9 +170,15 @@ fn corrupt(tree: &mut ClockTree, defect: usize) {
     }
 }
 
-/// Regression: a buffer teleported outside the die (seed 136 of the
-/// proptest below) must come back as a typed error or a valid report,
-/// never a panic.
+/// Regression pin for the seed-136/defect-3 failure of the proptest
+/// below. Defect class: **geometry-domain corruption** — a buffer
+/// placed outside the floorplan (here at (-50000, -50000)), which the
+/// routing and legalization layers assume can never happen. Before the
+/// input lint gate existed this panicked deep in route-length
+/// arithmetic; the contract now is that `check_lint_gate` rejects the
+/// tree with a typed [`FlowError::LintGate`] before any phase runs, so
+/// the flow must come back as a typed error or a valid report, never a
+/// panic.
 #[test]
 fn teleported_buffer_yields_typed_result() {
     let mut tc = Testcase::generate(TestcaseKind::Cls1v1, 16, 136);
